@@ -1,0 +1,74 @@
+// cgsim.hpp — prototype-side API header for cgsim compute graphs (CGC).
+//
+// This is the header that prototype sources #include.  It is on the
+// extractor's blacklist (Section 4.6): it never reaches hardware builds,
+// where the realm runtime headers (cgsim_aie_rt.hpp / cgsim_hls_rt.hpp)
+// provide native implementations of the same port types instead.
+//
+// In the OCaml reproduction the simulator is the OCaml library `cgsim`,
+// so this header only documents the prototype-side contract; the C++
+// definitions below describe the shapes the CGC front-end understands.
+#pragma once
+#include <cstdint>
+#include <tuple>
+
+// Fixed-lane vector types (AMD spelling).
+struct v2int16 { int16_t lane[2]; int16_t &operator[](int i) { return lane[i]; } };
+struct v4int16 { int16_t lane[4]; int16_t &operator[](int i) { return lane[i]; } };
+struct v8int32 { int32_t lane[8]; int32_t &operator[](int i) { return lane[i]; } };
+struct v16float { float lane[16]; float &operator[](int i) { return lane[i]; } };
+
+// Kernel-side stream ports.  In the prototype these wrap the simulator's
+// MPMC broadcast queues; every get()/put() is an awaitable suspension
+// point of the kernel coroutine.
+template <typename T> struct KernelReadPort {
+    // awaitable get(): suspends until an element is available
+    T get();
+};
+template <typename T> struct KernelWritePort {
+    // awaitable put(): suspends while the queue is full
+    void put(T value);
+};
+
+// Window (ping-pong buffer) ports: the kernel is invoked per BYTES-sized
+// block; element access inside the window is local-memory traffic.
+template <typename T, int BYTES> struct KernelWindowReadPort {
+    T get();
+};
+template <typename T, int BYTES> struct KernelWindowWritePort {
+    void put(T value);
+};
+
+// Runtime parameter: one scalar per invocation.
+template <typename T> struct KernelRtpPort {
+    T get();
+};
+
+// Global-memory I/O: DMA to DDR through the NoC (deep buffering, high
+// bandwidth, hundreds of cycles of access latency).
+template <typename T> struct KernelGmioReadPort {
+    T get();
+};
+template <typename T> struct KernelGmioWritePort {
+    void put(T value);
+};
+
+// Graph-construction connector (Section 3.4): created inside
+// make_compute_graph_v lambdas; connecting several writers creates a
+// stream merge, several readers a broadcast.
+template <typename T> struct IoConnector {};
+
+// Attach extractor-facing attributes (PLIO names, widths, buffering
+// hints) to a connection.  No effect on simulation.
+struct attr_kv { const char *key; long value_or_string; };
+template <typename T, typename Pairs>
+void attach_attributes(IoConnector<T> conn, Pairs pairs);
+
+// Kernel definition macro: realm, kernel name, then the port parameter
+// list.  The body follows as a compound statement.
+#define COMPUTE_KERNEL(realm, name, ...) /* kernel 'name' in 'realm' */ \
+    void name(__VA_ARGS__)
+
+// Compile-time graph construction entry point: the lambda executes at
+// compile time (constexpr) and its connector flow defines the graph.
+template <auto lambda> constexpr auto make_compute_graph_v = lambda;

@@ -1,0 +1,40 @@
+// cgsim_hls_rt.hpp — PL-realm (Vitis HLS) runtime adapters for extracted
+// kernels: the same generic port types, implemented over hls::stream.
+#pragma once
+#include <hls_stream.h>
+
+template <typename T> struct KernelReadPort {
+    hls::stream<T> &s;
+    explicit KernelReadPort(hls::stream<T> &s) : s(s) {}
+    inline T get() {
+#pragma HLS INLINE
+        return s.read();
+    }
+};
+
+template <typename T> struct KernelWritePort {
+    hls::stream<T> &s;
+    explicit KernelWritePort(hls::stream<T> &s) : s(s) {}
+    inline void put(T v) {
+#pragma HLS INLINE
+        s.write(v);
+    }
+};
+
+template <typename T, int BYTES> struct KernelWindowReadPort {
+    hls::stream<T> &s;
+    explicit KernelWindowReadPort(hls::stream<T> &s) : s(s) {}
+    inline T get() { return s.read(); }
+};
+
+template <typename T, int BYTES> struct KernelWindowWritePort {
+    hls::stream<T> &s;
+    explicit KernelWindowWritePort(hls::stream<T> &s) : s(s) {}
+    inline void put(T v) { s.write(v); }
+};
+
+template <typename T> struct KernelRtpPort {
+    T v;
+    explicit KernelRtpPort(T v) : v(v) {}
+    inline T get() { return v; }
+};
