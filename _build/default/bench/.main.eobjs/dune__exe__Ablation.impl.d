@@ -1,0 +1,1 @@
+bench/ablation.ml: Aie Aiesim Apps Cgsim List Printf String Unix X86sim

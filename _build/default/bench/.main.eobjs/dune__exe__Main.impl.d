@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array List Micro Printf Profile Sys Table1 Table2

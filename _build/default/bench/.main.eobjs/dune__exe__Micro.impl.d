@@ -1,0 +1,1 @@
+bench/micro.ml: Aie Analyze Apps Array Bechamel Benchmark Cgsim Hashtbl Instance List Measure Printf Staged Test Time Toolkit Workloads

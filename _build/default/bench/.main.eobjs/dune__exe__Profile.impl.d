@@ -1,0 +1,1 @@
+bench/profile.ml: Apps Cgsim List Printf

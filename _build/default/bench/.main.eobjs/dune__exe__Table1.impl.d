@@ -1,0 +1,1 @@
+bench/table1.ml: Aie Aiesim Apps Extractor Filename List Printf String Sys

@@ -1,0 +1,1 @@
+bench/table2.ml: Aiesim Apps Cgsim Domain List Option Printf Unix X86sim

@@ -1,0 +1,36 @@
+(* Benchmark harness entry point.
+
+   Reproduces every quantitative result of the paper's evaluation:
+     table1   - Table 1, processing time per input block on aiesim
+     table2   - Table 2, wall-clock time of cgsim vs x86sim vs aiesim
+     profile  - Section 5.2 kernel-time fraction
+     micro    - bechamel micro-benchmarks of framework primitives
+     ablation - design-choice sweeps (thunk cost, buffering, placement)
+
+   With no arguments all five run in order. *)
+
+let usage () =
+  print_endline "usage: main.exe [table1|table2|table2-quick|profile|micro|ablation]...";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let run = function
+    | "table1" -> Table1.run ()
+    | "table2" -> Table2.run ()
+    | "table2-quick" -> Table2.run ~scale:0.5 ()
+    | "profile" -> Profile.run ()
+    | "micro" -> Micro.run ()
+    | "ablation" -> Ablation.run ()
+    | other ->
+      Printf.eprintf "unknown bench: %s\n" other;
+      usage ()
+  in
+  match args with
+  | [] ->
+    Table1.run ();
+    Table2.run ();
+    Profile.run ();
+    Micro.run ();
+    Ablation.run ()
+  | args -> List.iter run args

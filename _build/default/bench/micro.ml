@@ -1,0 +1,86 @@
+(* Bechamel micro-benchmarks of the framework's moving parts: queue
+   transfer, context switch, vector intrinsics, graph construction and
+   instantiation.  These back the design claims in DESIGN.md (cooperative
+   switching is cheap; construction cost is front-loaded). *)
+
+open Bechamel
+open Toolkit
+
+let queue_transfer =
+  Test.make ~name:"bqueue: 1k elements producer->consumer"
+    (Staged.stage (fun () ->
+         let q = Cgsim.Bqueue.create ~name:"bench" ~dtype:Cgsim.Dtype.I32 ~capacity:16 () in
+         let p = Cgsim.Bqueue.add_producer q in
+         let c = Cgsim.Bqueue.add_consumer q in
+         let s = Cgsim.Sched.create () in
+         Cgsim.Sched.spawn s ~name:"producer" (fun () ->
+             for i = 1 to 1000 do
+               Cgsim.Bqueue.put p (Cgsim.Value.Int i)
+             done;
+             Cgsim.Bqueue.producer_done p);
+         Cgsim.Sched.spawn s ~name:"consumer" (fun () ->
+             let rec loop () =
+               ignore (Cgsim.Bqueue.get c);
+               loop ()
+             in
+             loop ());
+         ignore (Cgsim.Sched.run s)))
+
+let context_switch =
+  Test.make ~name:"sched: 1k yields across 2 fibers"
+    (Staged.stage (fun () ->
+         let s = Cgsim.Sched.create () in
+         let fiber () =
+           for _ = 1 to 500 do
+             Cgsim.Sched.yield ()
+           done
+         in
+         Cgsim.Sched.spawn s ~name:"a" fiber;
+         Cgsim.Sched.spawn s ~name:"b" fiber;
+         ignore (Cgsim.Sched.run s)))
+
+let fpmac_bench =
+  let a = Array.make 8 1.5 and b = Array.make 8 0.25 and acc = Array.make 8 0.0 in
+  Test.make ~name:"intrinsics: fpmac 8-lane"
+    (Staged.stage (fun () -> ignore (Aie.Intrinsics.fpmac acc a b)))
+
+let sort16_bench =
+  let v = Workloads.Signals.random_f32 ~seed:1 16 in
+  Test.make ~name:"bitonic: sort one 16-vector"
+    (Staged.stage (fun () -> ignore (Apps.Bitonic.sort_vector v)))
+
+let graph_construction =
+  Test.make ~name:"builder: freeze bitonic graph"
+    (Staged.stage (fun () -> ignore (Apps.Bitonic.graph ())))
+
+let runtime_instantiation =
+  let g = Apps.Bitonic.graph () in
+  Test.make ~name:"runtime: instantiate bitonic graph"
+    (Staged.stage (fun () -> ignore (Cgsim.Runtime.instantiate g)))
+
+let tests =
+  [
+    queue_transfer;
+    context_switch;
+    fpmac_bench;
+    sort16_bench;
+    graph_construction;
+    runtime_instantiation;
+  ]
+
+let run () =
+  Printf.printf "\n== Micro-benchmarks (bechamel) ==\n%!";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-45s (no estimate)\n%!" name)
+        analyzed)
+    tests

@@ -1,0 +1,146 @@
+(* cgx — the cgsim compute-graph extractor command-line tool.
+
+   Mirrors the paper's source-to-source translation workflow (Figure 5):
+   point it at a C++ (CGC) file containing cgsim graph prototypes and it
+   emits one deployable AIE project per extractable graph.
+
+     cgx extract examples/cgc/farrow.cgc -o out/
+     cgx inspect examples/cgc/farrow.cgc
+     cgx simulate examples/cgc/bitonic.cgc          # aiesim, thunk model *)
+
+open Cmdliner
+
+let input_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"C++ source file containing cgsim compute graphs.")
+
+let include_dirs_arg =
+  Arg.(
+    value & opt_all dir []
+    & info [ "I"; "include" ] ~docv:"DIR" ~doc:"Additional include directory.")
+
+let all_graphs_arg =
+  Arg.(
+    value & flag
+    & info [ "a"; "all-graphs" ]
+        ~doc:
+          "Extract every graph, not only those annotated \
+           [[extract_compute_graph]].")
+
+let out_dir_arg =
+  Arg.(
+    value & opt string "extracted"
+    & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory for generated projects.")
+
+let handle_errors f =
+  try f () with
+  | Cgc.Diag.Error (range, msg) ->
+    Printf.eprintf "%s\n" (Cgc.Diag.to_string range msg);
+    exit 1
+  | Cgc.Sema.Sema_error (range, msg) ->
+    Printf.eprintf "%s\n" (Cgc.Diag.to_string range msg);
+    exit 1
+  | Cgc.Consteval.Eval_error (range, msg) ->
+    Printf.eprintf "%s\n" (Cgc.Diag.to_string range msg);
+    exit 1
+  | Cgc.Driver.Driver_error msg | Extractor.Project.Extract_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+let extract_cmd =
+  let run input include_dirs all_graphs out_dir =
+    handle_errors (fun () ->
+        let projects = Extractor.Project.extract_file ~include_dirs ~all_graphs input in
+        List.iter
+          (fun p ->
+            let written = Extractor.Project.write ~dir:out_dir p in
+            Printf.printf "graph %s:\n" p.Extractor.Project.graph_name;
+            List.iter (fun path -> Printf.printf "  wrote %s\n" path) written)
+          projects)
+  in
+  Cmd.v
+    (Cmd.info "extract" ~doc:"Extract compute graphs into deployable AIE projects.")
+    Term.(const run $ input_arg $ include_dirs_arg $ all_graphs_arg $ out_dir_arg)
+
+let dot_arg =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot instead of the text summary.")
+
+let inspect_cmd =
+  let run input include_dirs all_graphs dot =
+    handle_errors (fun () ->
+        let projects = Extractor.Project.extract_file ~include_dirs ~all_graphs input in
+        List.iter
+          (fun p ->
+            if dot then print_string (Extractor.Dot.of_graph p.Extractor.Project.serialized)
+            else begin
+              Format.printf "%a@." Extractor.Project.pp_summary p;
+              Format.printf "%a@." Cgsim.Serialized.pp p.Extractor.Project.serialized
+            end)
+          projects)
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Show the serialized graphs and port classification of a file.")
+    Term.(const run $ input_arg $ include_dirs_arg $ all_graphs_arg $ dot_arg)
+
+let dump_cmd =
+  let run input include_dirs all_graphs =
+    handle_errors (fun () ->
+        let projects = Extractor.Project.extract_file ~include_dirs ~all_graphs input in
+        List.iter
+          (fun p -> print_string (Cgsim.Graph_text.to_string p.Extractor.Project.serialized))
+          projects)
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Print the flattened serialized graphs in the textual graph format (the on-disk           analogue of the constexpr graph variable).")
+    Term.(const run $ input_arg $ include_dirs_arg $ all_graphs_arg)
+
+let reps_arg =
+  Arg.(value & opt int 8 & info [ "r"; "reps" ] ~docv:"N" ~doc:"Input blocks to simulate.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Write a CSV iteration timeline of the replay.")
+
+let simulate_cmd =
+  let run input include_dirs all_graphs reps trace =
+    handle_errors (fun () ->
+        let projects = Extractor.Project.extract_file ~include_dirs ~all_graphs input in
+        List.iter
+          (fun p ->
+            let name = p.Extractor.Project.graph_name in
+            match Apps.Harness.find name with
+            | None ->
+              Printf.printf
+                "graph %s: no registered workload; run via the library API with your own \
+                 sources/sinks\n"
+                name
+            | Some h ->
+              let deploy = Extractor.Project.deploy p in
+              let sinks, _ = h.Apps.Harness.make_sinks () in
+              let report = Aiesim.Sim.run deploy ~sources:(h.Apps.Harness.sources ~reps) ~sinks in
+              Format.printf "%a@." Aiesim.Sim.pp_report report;
+              match trace with
+              | None -> ()
+              | Some file ->
+                Out_channel.with_open_bin file (fun oc ->
+                    Out_channel.output_string oc (Aiesim.Sim.timeline_csv report));
+                Printf.printf "wrote timeline to %s\n" file)
+          projects)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Extract and run on the cycle-approximate AIE simulator (known workloads only).")
+    Term.(const run $ input_arg $ include_dirs_arg $ all_graphs_arg $ reps_arg $ trace_arg)
+
+let () =
+  let info =
+    Cmd.info "cgx" ~version:"1.0.0"
+      ~doc:"Compute-graph extractor for cgsim prototypes targeting AMD Versal AI Engines"
+  in
+  exit (Cmd.eval (Cmd.group info [ extract_cmd; inspect_cmd; dump_cmd; simulate_cmd ]))

@@ -1,0 +1,1 @@
+examples/dsp_chain.ml: Aiesim Apps Array Builder Cgsim Dtype Io Kernel List Port Printf Registry Runtime Sched Value Workloads

@@ -1,0 +1,1 @@
+examples/extract_demo.ml: Aiesim Cgsim Extractor Format List Printf

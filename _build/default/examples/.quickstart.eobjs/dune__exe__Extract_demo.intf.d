@@ -1,0 +1,1 @@
+examples/extract_demo.mli:

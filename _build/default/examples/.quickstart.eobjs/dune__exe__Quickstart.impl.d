@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Attr Builder Cgsim Dtype Format Io Kernel Port Printf Registry Runtime Sched Serialized

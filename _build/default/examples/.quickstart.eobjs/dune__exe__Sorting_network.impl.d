@@ -1,0 +1,1 @@
+examples/sorting_network.ml: Aiesim Apps Array Cgsim Printf String X86sim

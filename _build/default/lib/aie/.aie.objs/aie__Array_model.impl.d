@@ -1,0 +1,1 @@
+lib/aie/array_model.ml: Cfg Format Hashtbl Printf

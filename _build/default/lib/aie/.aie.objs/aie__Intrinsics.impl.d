@@ -1,0 +1,1 @@
+lib/aie/intrinsics.ml: Array Cfg Cgsim Printf Trace Vec

@@ -1,0 +1,1 @@
+lib/aie/intrinsics.mli:

@@ -1,0 +1,1 @@
+lib/aie/trace.ml: Cgsim Format Fun Hashtbl List

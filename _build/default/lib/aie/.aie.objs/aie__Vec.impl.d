@@ -1,0 +1,1 @@
+lib/aie/vec.ml: Array Cgsim Printf

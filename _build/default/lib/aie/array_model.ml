@@ -1,0 +1,78 @@
+type coord = {
+  col : int;
+  row : int;
+}
+
+let pp_coord ppf c = Format.fprintf ppf "(%d,%d)" c.col c.row
+
+let equal_coord a b = a.col = b.col && a.row = b.row
+
+exception Placement_error of string
+
+type t = {
+  cols : int;
+  rows : int;
+  occupied : (coord, string) Hashtbl.t;
+  by_name : (string, coord) Hashtbl.t;
+  mutable next : int;  (* linear scan position for auto-placement *)
+}
+
+let create ?(cols = Cfg.array_cols) ?(rows = Cfg.array_rows) () =
+  if cols <= 0 || rows <= 0 then raise (Placement_error "array dimensions must be positive");
+  { cols; rows; occupied = Hashtbl.create 16; by_name = Hashtbl.create 16; next = 0 }
+
+let cols t = t.cols
+
+let rows t = t.rows
+
+let coord_of_linear t i = { col = i / t.rows; row = 1 + (i mod t.rows) }
+
+let place_at t ~name coord =
+  if coord.row < 1 || coord.row > t.rows || coord.col < 0 || coord.col >= t.cols then
+    raise
+      (Placement_error
+         (Format.asprintf "tile %a outside the %dx%d compute grid" pp_coord coord t.cols t.rows));
+  if Hashtbl.mem t.by_name name then
+    raise (Placement_error (Printf.sprintf "kernel %s is already placed" name));
+  (match Hashtbl.find_opt t.occupied coord with
+   | Some other ->
+     raise
+       (Placement_error
+          (Format.asprintf "tile %a already occupied by %s" pp_coord coord other))
+   | None -> ());
+  Hashtbl.add t.occupied coord name;
+  Hashtbl.add t.by_name name coord;
+  coord
+
+let place t ~name =
+  if Hashtbl.mem t.by_name name then
+    raise (Placement_error (Printf.sprintf "kernel %s is already placed" name));
+  let total = t.cols * t.rows in
+  let rec scan i =
+    if i >= total then raise (Placement_error "AIE array is full")
+    else begin
+      let c = coord_of_linear t i in
+      if Hashtbl.mem t.occupied c then scan (i + 1)
+      else begin
+        t.next <- i + 1;
+        place_at t ~name c
+      end
+    end
+  in
+  scan t.next
+
+let placement t ~name = Hashtbl.find_opt t.by_name name
+
+let shim_for t ~col =
+  if col < 0 || col >= t.cols then
+    raise (Placement_error (Printf.sprintf "shim column %d out of range" col));
+  { col; row = 0 }
+
+let hops a b =
+  let manhattan = abs (a.col - b.col) + abs (a.row - b.row) in
+  (* Direct neighbours share data memory: no stream-switch traversal. *)
+  if manhattan <= 1 then 0 else manhattan
+
+let route_latency_cycles hops = hops * Cfg.stream_hop_latency_cycles
+
+let placements t = Hashtbl.fold (fun name coord acc -> (name, coord) :: acc) t.by_name []

@@ -1,0 +1,74 @@
+let check_lanes name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg
+      (Printf.sprintf "aie: %s: lane mismatch (%d vs %d)" name (Array.length a) (Array.length b))
+
+let r32 = Cgsim.Value.round_f32
+
+let fsplat lanes v = Array.make lanes (r32 v)
+
+let map2 name f a b =
+  check_lanes name a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let fadd a b = map2 "fadd" (fun x y -> r32 (x +. y)) a b
+
+let fsub a b = map2 "fsub" (fun x y -> r32 (x -. y)) a b
+
+let fmul a b = map2 "fmul" (fun x y -> r32 (x *. y)) a b
+
+let fmac acc a b =
+  check_lanes "fmac" acc a;
+  check_lanes "fmac" a b;
+  Array.init (Array.length acc) (fun i -> r32 (acc.(i) +. (a.(i) *. b.(i))))
+
+let fmax a b = map2 "fmax" (fun x y -> if x >= y then x else y) a b
+
+let fmin a b = map2 "fmin" (fun x y -> if x <= y then x else y) a b
+
+let fshuffle v idx =
+  Array.map
+    (fun i ->
+      if i < 0 || i >= Array.length v then
+        invalid_arg (Printf.sprintf "aie: fshuffle index %d out of range" i)
+      else v.(i))
+    idx
+
+let fselect mask a b =
+  check_lanes "fselect" a b;
+  if Array.length mask <> Array.length a then invalid_arg "aie: fselect mask lane mismatch";
+  Array.init (Array.length a) (fun i -> if mask.(i) then a.(i) else b.(i))
+
+let fsum v = Array.fold_left ( +. ) 0.0 v
+
+let isplat lanes v = Array.make lanes v
+
+let iadd a b = map2 "iadd" ( + ) a b
+
+let isub a b = map2 "isub" ( - ) a b
+
+let imul a b = map2 "imul" ( * ) a b
+
+let imac acc a b =
+  check_lanes "imac" acc a;
+  check_lanes "imac" a b;
+  Array.init (Array.length acc) (fun i -> acc.(i) + (a.(i) * b.(i)))
+
+let ishuffle v idx =
+  Array.map
+    (fun i ->
+      if i < 0 || i >= Array.length v then
+        invalid_arg (Printf.sprintf "aie: ishuffle index %d out of range" i)
+      else v.(i))
+    idx
+
+let srs dtype shift acc =
+  if shift < 0 then invalid_arg "aie: srs with negative shift";
+  (* Round to nearest (ties toward +inf): add half, then arithmetic shift.
+     This is the AIE default rounding mode for accumulator moves. *)
+  let half = if shift = 0 then 0 else 1 lsl (shift - 1) in
+  Array.map (fun x -> Cgsim.Value.clamp_int dtype ((x + half) asr shift)) acc
+
+let ups shift v =
+  if shift < 0 then invalid_arg "aie: ups with negative shift";
+  Array.map (fun x -> x lsl shift) v

@@ -1,0 +1,1 @@
+lib/aiesim/deploy.ml: Aie Array Cgsim List Printf

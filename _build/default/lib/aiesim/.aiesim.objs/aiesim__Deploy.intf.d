@@ -1,0 +1,1 @@
+lib/aiesim/deploy.mli: Aie Cgsim

@@ -1,0 +1,1 @@
+lib/aiesim/segments.ml: Aie Float Format Hashtbl List Option Vliw

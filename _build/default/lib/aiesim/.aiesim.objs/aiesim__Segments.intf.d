@@ -1,0 +1,1 @@
+lib/aiesim/segments.mli: Aie Format

@@ -1,0 +1,1 @@
+lib/aiesim/sim.ml: Aie Array Buffer Cgsim Deploy Float Format Fun Hashtbl List Option Printf Segments String Sys

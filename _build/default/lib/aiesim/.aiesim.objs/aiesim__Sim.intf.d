@@ -1,0 +1,1 @@
+lib/aiesim/sim.mli: Cgsim Deploy Format

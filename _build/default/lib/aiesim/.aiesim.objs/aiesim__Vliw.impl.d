@@ -1,0 +1,1 @@
+lib/aiesim/vliw.ml: Aie Format

@@ -1,0 +1,1 @@
+lib/aiesim/vliw.mli: Format

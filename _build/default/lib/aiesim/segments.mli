@@ -1,0 +1,44 @@
+(** Trace compilation: architectural op traces to timed segment programs.
+
+    A kernel's captured {!Aie.Trace} is compiled into a linear program of
+    {!seg}ments: straight-line compute regions packed by the VLIW model,
+    interleaved with the blocking I/O points where the discrete-event
+    engine synchronises kernels through stream channels.
+
+    Pipelined-loop regions compile to II*trip + prologue cycles; their
+    stream traffic is re-expanded in bounded chunks so the event engine
+    still sees producer/consumer overlap without one segment per
+    iteration. *)
+
+type seg =
+  | Compute of int  (** core busy for this many cycles *)
+  | Rd of { chan : int; bytes : int; core : int }
+      (** Consume [bytes] from channel; the core is busy [core] cycles
+          once data is available (0 when the issue cost is already inside
+          a loop's II). *)
+  | Wr of { chan : int; bytes : int; core : int }
+  | Win_in of { chan : int; bytes : int; core : int }
+      (** Acquire a full input window: blocks until [bytes] have arrived,
+          then costs the lock-acquire [core] cycles. *)
+  | Win_out of { chan : int; bytes : int; core : int }
+      (** Release a full output window to the DMA. *)
+  | Rtp_in of { chan : int }
+  | Mark  (** Kernel iteration boundary (Table 1's inter-iteration time). *)
+
+val pp_seg : Format.formatter -> seg -> unit
+
+(** Per-port channel resolution handed in by the simulator. *)
+type port_env = {
+  chan_of_port : string -> int;
+}
+
+exception Compile_error of string
+
+(** [compile ~env ~thunked events] — [thunked] selects the extracted
+    adapter cost model ({!Deploy.Thunk}); the per-access costs come from
+    {!Aie.Cfg}.  Raises {!Compile_error} on malformed traces (unbalanced
+    loop markers, unknown ports). *)
+val compile : env:port_env -> thunked:bool -> Aie.Trace.event list -> seg list
+
+(** Total compute cycles in a segment program (diagnostics). *)
+val compute_cycles : seg list -> int

@@ -1,0 +1,56 @@
+(** The cycle-approximate AIE simulator (the aiesim analogue).
+
+    Simulation happens in two phases:
+
+    + {b Capture}: the graph runs functionally under the cgsim cooperative
+      runtime with tracing enabled — every kernel fiber records its
+      architectural op trace and every port access is tagged with its
+      transport.  Functional outputs land in the caller's sinks, so
+      correctness and timing come from the same execution.
+    + {b Replay}: each kernel's trace is compiled to a segment program
+      ({!Segments}) and replayed on a virtual-time event engine in which
+      kernels, global sources (PLIO) and sinks advance local clocks and
+      synchronise through finite-capacity stream channels with hop
+      latency, transfer bandwidth, window ping-pong locks and
+      backpressure.
+
+    The report carries the paper's Table 1 metric: steady-state time
+    between kernel iterations, in cycles and nanoseconds at 1250 MHz. *)
+
+exception Sim_error of string
+
+type kernel_report = {
+  k_name : string;
+  iterations : int;  (** number of Iteration_marks replayed *)
+  first_mark_cycles : float;  (** pipeline-fill latency to first block *)
+  avg_interval_cycles : float;  (** steady-state cycles between blocks *)
+  busy_cycles : int;  (** total core-busy cycles *)
+  marks : float list;  (** iteration timestamps, in cycles *)
+}
+
+type report = {
+  label : string;
+  total_cycles : float;  (** makespan of the replay *)
+  blocks : int;  (** iterations of the reporting (output-side) kernel *)
+  ns_per_block : float;  (** Table 1's "processing time per input block" *)
+  kernels : kernel_report list;
+  capture_stats : Cgsim.Sched.stats;  (** functional-phase scheduler stats *)
+  trace_events : int;  (** total captured events (simulation effort) *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [run deploy ~sources ~sinks] simulates one execution.  Sinks receive
+    the functional outputs.  Raises {!Sim_error} on replay deadlock (a
+    graph whose traffic cannot fit the modelled buffering). *)
+val run : Deploy.t -> sources:Cgsim.Io.source list -> sinks:Cgsim.Io.sink list -> report
+
+(** Throughput ratio [baseline/extracted] of two reports (Table 1's
+    "relative throughput" column, in percent). *)
+val relative_throughput_percent : baseline:report -> extracted:report -> float
+
+(** CSV timeline of the replay: one line per kernel iteration
+    ([kernel,iteration,start_cycles,start_ns]), in execution order —
+    the equivalent of the execution trace the paper reads Table 1's
+    inter-iteration times from. *)
+val timeline_csv : report -> string

@@ -1,0 +1,57 @@
+type usage = {
+  mutable vec : int;
+  mutable scl : int;
+  mutable ld : int;
+  mutable st : int;
+  mutable srd : int;
+  mutable swr : int;
+}
+
+let empty () = { vec = 0; scl = 0; ld = 0; st = 0; srd = 0; swr = 0 }
+
+let is_empty u = u.vec = 0 && u.scl = 0 && u.ld = 0 && u.st = 0 && u.srd = 0 && u.swr = 0
+
+let ceil_div a b = (a + b - 1) / b
+
+let add_load_bytes u bytes = u.ld <- u.ld + max 1 (ceil_div bytes Aie.Cfg.dm_bytes_per_cycle)
+
+let add_store_bytes u bytes = u.st <- u.st + max 1 (ceil_div bytes Aie.Cfg.dm_bytes_per_cycle)
+
+let scale u k =
+  { vec = u.vec * k; scl = u.scl * k; ld = u.ld * k; st = u.st * k; srd = u.srd * k; swr = u.swr * k }
+
+let add dst src =
+  dst.vec <- dst.vec + src.vec;
+  dst.scl <- dst.scl + src.scl;
+  dst.ld <- dst.ld + src.ld;
+  dst.st <- dst.st + src.st;
+  dst.srd <- dst.srd + src.srd;
+  dst.swr <- dst.swr + src.swr
+
+let cycles u =
+  if is_empty u then 0
+  else begin
+    let open Aie.Cfg in
+    let c =
+      max
+        (ceil_div u.vec slots_vector)
+        (max
+           (ceil_div u.scl slots_scalar)
+           (max
+              (ceil_div u.ld slots_load)
+              (max (ceil_div u.st slots_store)
+                 (max (ceil_div u.srd slots_stream_read) (ceil_div u.swr slots_stream_write)))))
+    in
+    max 1 c
+  end
+
+let loop_cycles u ~trip =
+  if trip <= 0 then 0
+  else begin
+    let ii = max 1 (cycles u) in
+    (ii * trip) + Aie.Cfg.pipeline_depth
+  end
+
+let pp ppf u =
+  Format.fprintf ppf "{vec=%d scl=%d ld=%d st=%d srd=%d swr=%d -> %d cyc}" u.vec u.scl u.ld u.st
+    u.srd u.swr (cycles u)

@@ -1,0 +1,46 @@
+(** VLIW issue model.
+
+    Packs a bag of architectural operations into machine cycles under the
+    AIE core's issue constraints ({!Aie.Cfg}): per cycle, one vector op,
+    one scalar op, two 32-byte loads, one store, one stream read and one
+    stream write may issue in parallel.  The cycle count of a straight-line
+    region is the maximum over the per-class occupancy — the compiler is
+    assumed to schedule perfectly within a region (optimistic, but equally
+    optimistic for baseline and extracted code, so relative throughput is
+    meaningful).
+
+    Software-pipelined loops run at an initiation interval II equal to the
+    packed cycle count of one iteration body, plus a fill/drain prologue
+    of {!Aie.Cfg.pipeline_depth} cycles. *)
+
+type usage = {
+  mutable vec : int;  (** vector-unit issue slots *)
+  mutable scl : int;  (** scalar-unit ops *)
+  mutable ld : int;  (** load-unit beats (32 B each) *)
+  mutable st : int;  (** store-unit beats *)
+  mutable srd : int;  (** stream-read issues *)
+  mutable swr : int;  (** stream-write issues *)
+}
+
+val empty : unit -> usage
+
+val is_empty : usage -> bool
+
+val add_load_bytes : usage -> int -> unit
+(** Convert a data-memory access into load beats. *)
+
+val add_store_bytes : usage -> int -> unit
+
+val scale : usage -> int -> usage
+(** Multiply all counts (loop bodies). *)
+
+val add : usage -> usage -> unit
+(** Accumulate [snd] into [fst]. *)
+
+val cycles : usage -> int
+(** Packed cycle count of the region (>= 1 when non-empty). *)
+
+val loop_cycles : usage -> trip:int -> int
+(** II * trip + pipeline fill. *)
+
+val pp : Format.formatter -> usage -> unit

@@ -1,0 +1,1 @@
+lib/apps/bilinear.ml: Aie Array Cgsim Lazy List Workloads

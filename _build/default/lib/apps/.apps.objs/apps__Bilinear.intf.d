@@ -1,0 +1,1 @@
+lib/apps/bilinear.mli: Cgsim Workloads

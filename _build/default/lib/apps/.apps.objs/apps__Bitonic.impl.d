@@ -1,0 +1,1 @@
+lib/apps/bitonic.ml: Aie Array Bool Cgsim List Workloads

@@ -1,0 +1,1 @@
+lib/apps/farrow.ml: Aie Array Cgsim Workloads

@@ -1,0 +1,1 @@
+lib/apps/harness.ml: Array Bilinear Bitonic Cgsim Farrow Float Format Iir List Printexc String Workloads

@@ -1,0 +1,1 @@
+lib/apps/iir.ml: Aie Array Cgsim List Workloads

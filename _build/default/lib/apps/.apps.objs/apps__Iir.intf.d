@@ -1,0 +1,1 @@
+lib/apps/iir.mli: Cgsim Workloads

@@ -1,0 +1,65 @@
+let lanes = 16
+
+let block_bytes = 4 * lanes
+
+(* Bitonic network for 16 lanes: for merge sizes k = 2,4,8,16 and strides
+   j = k/2 .. 1, lane i exchanges with lane (i xor j); ascending regions
+   are those with (i land k) = 0.  A lane keeps the minimum of the pair
+   when it is the lower index of an ascending pair or the upper index of a
+   descending pair. *)
+let stages =
+  let stage k j =
+    let perm = Array.init lanes (fun i -> i lxor j) in
+    let keep_min =
+      Array.init lanes (fun i ->
+          let ascending = i land k = 0 in
+          let lower = i land j = 0 in
+          Bool.equal ascending lower)
+    in
+    perm, keep_min
+  in
+  List.concat_map
+    (fun k ->
+      let rec strides j = if j = 0 then [] else stage k j :: strides (j / 2) in
+      strides (k / 2))
+    [ 2; 4; 8; 16 ]
+
+let sort_vector v =
+  if Array.length v <> lanes then invalid_arg "bitonic: expected 16 lanes";
+  List.fold_left
+    (fun v (perm, keep_min) ->
+      let partner = Aie.Intrinsics.fpshuffle v perm in
+      let lo = Aie.Intrinsics.fpmin v partner in
+      let hi = Aie.Intrinsics.fpmax v partner in
+      Aie.Intrinsics.fpselect keep_min lo hi)
+    v stages
+
+let kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"bitonic_kernel"
+    [
+      Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32;
+      Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32;
+    ]
+    (fun b ->
+      let input = Cgsim.Kernel.rd b 0 and output = Cgsim.Kernel.wr b 0 in
+      while true do
+        Aie.Trace.mark_iteration ();
+        let v = Array.init lanes (fun _ -> Cgsim.Port.get_f32 input) in
+        let sorted = sort_vector v in
+        Aie.Intrinsics.scalar_op ~count:2 "blk_ctl";
+        Array.iter (Cgsim.Port.put_f32 output) sorted
+      done)
+
+let () = Cgsim.Registry.register kernel
+
+let graph () =
+  Cgsim.Builder.make ~name:"bitonic" ~inputs:[ "in", Cgsim.Dtype.F32 ] (fun b conns ->
+      let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      ignore (Cgsim.Builder.add_kernel b kernel [ List.hd conns; out ]);
+      Cgsim.Builder.attach_attributes b out
+        [ Cgsim.Attr.s "plio_name" "bitonic_out"; Cgsim.Attr.i "plio_width" 64 ];
+      [ out ])
+
+let input_floats ~reps = Workloads.Signals.random_f32 ~seed:42 (reps * lanes)
+
+let sources ~reps = [ Cgsim.Io.of_f32_array (input_floats ~reps) ]

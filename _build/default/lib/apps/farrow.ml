@@ -1,0 +1,139 @@
+let samples_per_window = 2048
+
+let block_bytes = 2 * samples_per_window
+
+let group = 32
+
+let taps = Workloads.Reference.farrow_taps
+
+let cascade_dtype = Cgsim.Dtype.Vector (Cgsim.Dtype.I16, 2)
+
+let window_settings = Cgsim.Settings.window block_bytes
+
+let pair a b = Cgsim.Value.Vec [| Cgsim.Value.Int a; Cgsim.Value.Int b |]
+
+(* --------------------------- stage 1 --------------------------- *)
+
+let stage1 =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"farrow_stage1"
+    [
+      Cgsim.Kernel.in_port "in" Cgsim.Dtype.I16 ~settings:window_settings;
+      Cgsim.Kernel.out_port "c01" cascade_dtype;
+      Cgsim.Kernel.out_port "c23" cascade_dtype;
+    ]
+    (fun b ->
+      let input = Cgsim.Kernel.rd b 0 in
+      let c01 = Cgsim.Kernel.wr b 0 and c23 = Cgsim.Kernel.wr b 1 in
+      let coeffs = Workloads.Reference.farrow_coeffs_q15 in
+      (* Sample history across window boundaries (zero-initialised, as in
+         the scalar reference). *)
+      let history = Array.make (taps - 1) 0 in
+      let groups = samples_per_window / group in
+      while true do
+        Aie.Trace.mark_iteration ();
+        let samples =
+          Array.map Cgsim.Value.to_int (Cgsim.Port.get_window input samples_per_window)
+        in
+        (* ext.(i + taps - 1) = samples.(i), prefixed with history. *)
+        let ext = Array.append history samples in
+        Aie.Intrinsics.scalar_op ~count:4 "win_setup";
+        Aie.Trace.with_pipelined_loop ~trip:groups (fun g ->
+            let base = g * group in
+            (* One shifted 32-lane load per tap, shared by all four
+               sub-filters. *)
+            let x = Array.init taps (fun k -> Aie.Intrinsics.load_i16 ext (base + k) group) in
+            let c =
+              Array.map
+                (fun row ->
+                  let acc = ref (Aie.Vec.isplat group 0) in
+                  for k = 0 to taps - 1 do
+                    acc :=
+                      Aie.Intrinsics.mac16 !acc x.(k) (Aie.Vec.isplat group row.(k))
+                  done;
+                  Aie.Intrinsics.srs16 ~shift:15 !acc)
+                coeffs
+            in
+            Aie.Intrinsics.scalar_op ~count:2 "addr";
+            for s = 0 to group - 1 do
+              Cgsim.Port.put c01 (pair c.(0).(s) c.(1).(s));
+              Cgsim.Port.put c23 (pair c.(2).(s) c.(3).(s))
+            done);
+        Array.blit samples (samples_per_window - (taps - 1)) history 0 (taps - 1)
+      done)
+
+(* --------------------------- stage 2 --------------------------- *)
+
+let stage2 =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"farrow_stage2"
+    [
+      Cgsim.Kernel.in_port "c01" cascade_dtype;
+      Cgsim.Kernel.in_port "c23" cascade_dtype;
+      Cgsim.Kernel.in_port "d" Cgsim.Dtype.I16 ~settings:Cgsim.Settings.rtp;
+      Cgsim.Kernel.out_port "out" Cgsim.Dtype.I16 ~settings:window_settings;
+    ]
+    (fun b ->
+      let c01 = Cgsim.Kernel.rd b 0
+      and c23 = Cgsim.Kernel.rd b 1
+      and d_port = Cgsim.Kernel.rd b 2
+      and output = Cgsim.Kernel.wr b 0 in
+      let d = Cgsim.Port.get_int d_port in
+      let dv = Aie.Vec.isplat group d in
+      let groups = samples_per_window / group in
+      while true do
+        Aie.Trace.mark_iteration ();
+        Aie.Trace.with_pipelined_loop ~trip:groups (fun _g ->
+            let c = Array.init 4 (fun _ -> Array.make group 0) in
+            (* Interleave the two cascade streams per sample, matching the
+               producer's write order — with 32-word stream FIFOs a
+               port-at-a-time drain would need more in-flight buffering
+               than the switch provides. *)
+            for s = 0 to group - 1 do
+              let v01 = Cgsim.Value.to_vec (Cgsim.Port.get c01) in
+              let v23 = Cgsim.Value.to_vec (Cgsim.Port.get c23) in
+              c.(0).(s) <- Cgsim.Value.to_int v01.(0);
+              c.(1).(s) <- Cgsim.Value.to_int v01.(1);
+              c.(2).(s) <- Cgsim.Value.to_int v23.(0);
+              c.(3).(s) <- Cgsim.Value.to_int v23.(1)
+            done;
+            (* Horner: acc = ((c3*d + c2)*d + c1)*d + c0 in Q15. *)
+            let acc = ref c.(3) in
+            for m = 2 downto 0 do
+              let prod = Aie.Intrinsics.mul16 !acc dv in
+              let shifted = Aie.Intrinsics.srs16 ~shift:15 prod in
+              acc := Aie.Intrinsics.add16 shifted c.(m)
+            done;
+            let y = Aie.Intrinsics.srs16 ~shift:0 !acc in
+            Aie.Intrinsics.scalar_op ~count:2 "addr";
+            Array.iter (fun s -> Cgsim.Port.put_int output s) y)
+      done)
+
+let () =
+  Cgsim.Registry.register stage1;
+  Cgsim.Registry.register stage2
+
+let graph () =
+  Cgsim.Builder.make ~name:"farrow"
+    ~inputs:[ "d", Cgsim.Dtype.I16; "in", Cgsim.Dtype.I16 ]
+    (fun b conns ->
+      match conns with
+      | [ d; input ] ->
+        let c01 = Cgsim.Builder.net b cascade_dtype in
+        let c23 = Cgsim.Builder.net b cascade_dtype in
+        let out = Cgsim.Builder.net b Cgsim.Dtype.I16 in
+        ignore (Cgsim.Builder.add_kernel b stage1 [ input; c01; c23 ]);
+        ignore (Cgsim.Builder.add_kernel b stage2 [ c01; c23; d; out ]);
+        Cgsim.Builder.attach_attributes b out
+          [ Cgsim.Attr.s "plio_name" "farrow_out"; Cgsim.Attr.i "plio_width" 64 ];
+        [ out ]
+      | _ -> assert false)
+
+let default_d_q15 = 13107 (* 0.4 *)
+
+let input_samples ~reps =
+  Workloads.Signals.chirp_i16 ~seed:11 ~amplitude:12000 (reps * samples_per_window)
+
+let sources ~reps =
+  [
+    Cgsim.Io.rtp (Cgsim.Value.Int default_d_q15);
+    Cgsim.Io.of_int_array Cgsim.Dtype.I16 (input_samples ~reps);
+  ]

@@ -1,0 +1,43 @@
+(** Farrow fractional-delay filter (the paper's [farrow_filter] example).
+
+    Two kernels in a pipeline, mirroring AMD's structure:
+
+    - {!stage1} acquires 4096-byte ping-pong windows of int16 samples and
+      computes the four 4-tap cubic-Lagrange sub-filter convolutions
+      (Q15, [mac16]/[srs]); the partial results stream to stage 2 as two
+      [v2int16] cascade streams (c0,c1) and (c2,c3).
+    - {!stage2} receives the cascades plus the fractional delay [d]
+      (a Q15 runtime parameter) and combines them with a Horner
+      evaluation, writing 4096-byte output windows.
+
+    The heavily pipelined inner loops and the stream-based cascade are
+    what make farrow sensitive to the extractor's stream-access thunks
+    (89.6 % relative throughput in Table 1), while its window edges keep
+    it cheap to simulate per byte. *)
+
+val samples_per_window : int
+(** 2048 int16 samples = 4096 bytes. *)
+
+val block_bytes : int
+(** 4096 *)
+
+val group : int
+(** Inner-loop vector width (32 samples). *)
+
+val cascade_dtype : Cgsim.Dtype.t
+(** v2int16 *)
+
+val stage1 : Cgsim.Kernel.t
+
+val stage2 : Cgsim.Kernel.t
+
+val graph : unit -> Cgsim.Serialized.t
+
+val default_d_q15 : int
+(** 0.4 in Q15. *)
+
+(** [sources ~reps] — the Q15 delay RTP followed by [reps] windows of a
+    deterministic chirp. *)
+val sources : reps:int -> Cgsim.Io.source list
+
+val input_samples : reps:int -> int array

@@ -1,0 +1,34 @@
+(** SIMD IIR filter (the paper's [implementing-iir-filter], part 2b).
+
+    A 6th-order Butterworth low-pass realised as three cascaded biquads,
+    vectorized the way the AMD tutorial does it: the sequential recurrence
+    is broken by precomputing, per section, an 8x12 coefficient matrix
+    that expresses eight consecutive outputs as a linear combination of
+    the eight new inputs plus the four boundary states; each group of 8
+    samples then costs twelve 8-lane [fpmac]s per section.
+
+    I/O uses 8192-byte ping-pong windows (2048 fp32 samples) on both
+    sides — the reason this example reaches throughput parity after
+    extraction in Table 1: the generated adapter costs a constant per
+    window instead of per element. *)
+
+val samples_per_window : int
+(** 2048 *)
+
+val block_bytes : int
+(** 8192 *)
+
+val group : int
+(** 8 (fp32 vector lanes) *)
+
+(** Per-section coefficient matrix: [matrix.(j)] is the 8-lane column for
+    basis element [j] of [y1; y2; x1; x2; x0..x7].  Exposed for tests. *)
+val section_matrix : Workloads.Reference.biquad -> float array array
+
+val kernel : Cgsim.Kernel.t
+
+val graph : unit -> Cgsim.Serialized.t
+
+val sources : reps:int -> Cgsim.Io.source list
+
+val input_samples : reps:int -> float array

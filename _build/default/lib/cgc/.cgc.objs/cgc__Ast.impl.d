@@ -1,0 +1,1 @@
+lib/cgc/ast.ml: List Option Srcloc

@@ -1,0 +1,1 @@
+lib/cgc/ast.mli: Srcloc

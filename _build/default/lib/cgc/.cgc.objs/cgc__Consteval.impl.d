@@ -1,0 +1,1 @@
+lib/cgc/consteval.ml: Array Ast Cgsim Format Hashtbl List Option Printf Sema Srcloc String

@@ -1,0 +1,1 @@
+lib/cgc/consteval.mli: Ast Cgsim Sema Srcloc

@@ -1,0 +1,1 @@
+lib/cgc/diag.ml: Format Printf Srcloc

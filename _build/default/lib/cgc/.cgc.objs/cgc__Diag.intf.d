@@ -1,0 +1,1 @@
+lib/cgc/diag.mli: Format Srcloc

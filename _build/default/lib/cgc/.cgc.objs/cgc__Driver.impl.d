@@ -1,0 +1,1 @@
+lib/cgc/driver.ml: Ast Filename Hashtbl In_channel List Parser Printf Sema Sys

@@ -1,0 +1,1 @@
+lib/cgc/driver.mli: Ast Sema

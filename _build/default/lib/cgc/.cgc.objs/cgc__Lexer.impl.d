@@ -1,0 +1,1 @@
+lib/cgc/lexer.ml: Buffer Diag List Srcloc String Token

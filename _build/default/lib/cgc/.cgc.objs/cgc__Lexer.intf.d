@@ -1,0 +1,1 @@
+lib/cgc/lexer.mli: Token

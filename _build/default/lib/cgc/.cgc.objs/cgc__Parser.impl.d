@@ -1,0 +1,1 @@
+lib/cgc/parser.ml: Array Ast Char Diag Lexer List Srcloc String Token

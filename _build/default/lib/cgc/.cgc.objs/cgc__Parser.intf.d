@@ -1,0 +1,1 @@
+lib/cgc/parser.mli: Ast Token

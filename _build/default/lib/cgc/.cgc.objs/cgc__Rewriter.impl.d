@@ -1,0 +1,1 @@
+lib/cgc/rewriter.ml: Buffer List Printf Srcloc String

@@ -1,0 +1,1 @@
+lib/cgc/rewriter.mli: Srcloc

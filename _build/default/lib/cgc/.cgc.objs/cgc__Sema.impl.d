@@ -1,0 +1,1 @@
+lib/cgc/sema.ml: Ast Cgsim Format Hashtbl List Srcloc String

@@ -1,0 +1,1 @@
+lib/cgc/sema.mli: Ast Cgsim Srcloc

@@ -1,0 +1,1 @@
+lib/cgc/srcloc.mli: Format

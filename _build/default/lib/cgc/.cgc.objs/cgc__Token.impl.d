@@ -1,0 +1,1 @@
+lib/cgc/token.ml: Format Printf Srcloc

@@ -1,0 +1,1 @@
+lib/cgc/token.mli: Format Srcloc

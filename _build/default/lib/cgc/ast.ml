@@ -1,0 +1,223 @@
+type typ = {
+  t_desc : typ_desc;
+  t_range : Srcloc.range;
+}
+
+and typ_desc =
+  | Tname of string
+  | Tqualified of string list * string
+  | Ttemplate of string * targ list
+  | Tconst of typ
+  | Tref of typ
+  | Tptr of typ
+  | Tarray of typ * expr option  (** T name[N]; dimension may be inferred *)
+  | Tauto
+
+and targ =
+  | Ta_type of typ
+  | Ta_expr of expr
+
+and expr = {
+  e_desc : expr_desc;
+  e_range : Srcloc.range;
+}
+
+and expr_desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Bool_lit of bool
+  | Ident of string
+  | Scoped of string list * string
+  | Call of expr * expr list
+  | Member of expr * string
+  | Arrow of expr * string
+  | Index of expr * expr
+  | Unop of string * expr
+  | Binop of string * expr * expr
+  | Assign of string * expr * expr
+  | Cond of expr * expr * expr
+  | Co_await of expr * Srcloc.range
+  | Init_list of expr list
+  | Cast of typ * expr
+  | Incr_post of expr
+  | Decr_post of expr
+
+and stmt = {
+  s_desc : stmt_desc;
+  s_range : Srcloc.range;
+}
+
+and stmt_desc =
+  | S_decl of decl
+  | S_expr of expr
+  | S_if of expr * stmt list * stmt list
+  | S_while of expr * stmt list
+  | S_do_while of stmt list * expr
+  | S_for of stmt option * expr option * expr option * stmt list
+  | S_return of expr option
+  | S_break
+  | S_continue
+  | S_block of stmt list
+
+and decl = {
+  d_quals : string list;
+  d_type : typ;
+  d_vars : (string * expr option) list;
+}
+
+type param = {
+  p_type : typ;
+  p_name : string;
+  p_range : Srcloc.range;
+}
+
+type lambda = {
+  l_params : param list;
+  l_body : stmt list;
+  l_range : Srcloc.range;
+}
+
+type top =
+  | T_include of { path : string; system : bool; range : Srcloc.range }
+  | T_define of { name : string; body : string; range : Srcloc.range }
+  | T_pragma of { text : string; range : Srcloc.range }
+  | T_struct of { name : string; fields : param list; range : Srcloc.range }
+  | T_global of {
+      quals : string list;
+      typ : typ;
+      name : string;
+      init : expr option;
+      attrs : string list;
+      range : Srcloc.range;
+    }
+  | T_func of {
+      quals : string list;
+      ret : typ;
+      name : string;
+      params : param list;
+      body : stmt list;
+      range : Srcloc.range;
+      body_range : Srcloc.range;
+    }
+  | T_kernel of kernel
+  | T_graph of graph
+
+and kernel = {
+  k_realm : string;
+  k_name : string;
+  k_params : param list;
+  k_body : stmt list;
+  k_range : Srcloc.range;
+  k_body_range : Srcloc.range;
+}
+
+and graph = {
+  g_name : string;
+  g_attrs : string list;
+  g_lambda : lambda;
+  g_range : Srcloc.range;
+}
+
+type tu = {
+  tu_file : string;
+  tu_source : string;
+  tu_items : top list;
+}
+
+let top_range = function
+  | T_include { range; _ }
+  | T_define { range; _ }
+  | T_pragma { range; _ }
+  | T_struct { range; _ }
+  | T_global { range; _ }
+  | T_func { range; _ } ->
+    range
+  | T_kernel k -> k.k_range
+  | T_graph g -> g.g_range
+
+let rec iter_expr f e =
+  f e;
+  match e.e_desc with
+  | Int_lit _ | Float_lit _ | Str_lit _ | Bool_lit _ | Ident _ | Scoped _ -> ()
+  | Call (callee, args) ->
+    iter_expr f callee;
+    List.iter (iter_expr f) args
+  | Member (x, _) | Arrow (x, _) | Unop (_, x) | Co_await (x, _) | Cast (_, x)
+  | Incr_post x | Decr_post x ->
+    iter_expr f x
+  | Index (a, b) | Binop (_, a, b) | Assign (_, a, b) ->
+    iter_expr f a;
+    iter_expr f b
+  | Cond (a, b, c) ->
+    iter_expr f a;
+    iter_expr f b;
+    iter_expr f c
+  | Init_list xs -> List.iter (iter_expr f) xs
+
+let rec iter_stmt f s =
+  match s.s_desc with
+  | S_decl d -> List.iter (fun (_, init) -> Option.iter (iter_expr f) init) d.d_vars
+  | S_expr e -> iter_expr f e
+  | S_if (c, t, e) ->
+    iter_expr f c;
+    List.iter (iter_stmt f) t;
+    List.iter (iter_stmt f) e
+  | S_while (c, body) ->
+    iter_expr f c;
+    List.iter (iter_stmt f) body
+  | S_do_while (body, c) ->
+    List.iter (iter_stmt f) body;
+    iter_expr f c
+  | S_for (init, cond, step, body) ->
+    Option.iter (iter_stmt f) init;
+    Option.iter (iter_expr f) cond;
+    Option.iter (iter_expr f) step;
+    List.iter (iter_stmt f) body
+  | S_return e -> Option.iter (iter_expr f) e
+  | S_break | S_continue -> ()
+  | S_block body -> List.iter (iter_stmt f) body
+
+let iter_exprs f stmts = List.iter (iter_stmt f) stmts
+
+let rec type_idents acc (t : typ) =
+  match t.t_desc with
+  | Tname n -> n :: acc
+  | Tqualified (_, n) -> n :: acc
+  | Ttemplate (n, args) ->
+    List.fold_left
+      (fun acc -> function
+        | Ta_type t -> type_idents acc t
+        | Ta_expr _ -> acc)
+      (n :: acc) args
+  | Tconst t | Tref t | Tptr t | Tarray (t, _) -> type_idents acc t
+  | Tauto -> acc
+
+let referenced_idents stmts =
+  let acc = ref [] in
+  let add n = acc := n :: !acc in
+  let visit e =
+    match e.e_desc with
+    | Ident n -> add n
+    | Scoped (_, n) -> add n
+    | Cast (t, _) -> List.iter add (type_idents [] t)
+    | _ -> ()
+  in
+  let rec visit_stmt s =
+    (match s.s_desc with
+     | S_decl d -> List.iter add (type_idents [] d.d_type)
+     | _ -> ());
+    match s.s_desc with
+    | S_if (_, t, e) ->
+      List.iter visit_stmt t;
+      List.iter visit_stmt e
+    | S_while (_, b) | S_block b -> List.iter visit_stmt b
+    | S_do_while (b, _) -> List.iter visit_stmt b
+    | S_for (i, _, _, b) ->
+      Option.iter visit_stmt i;
+      List.iter visit_stmt b
+    | S_decl _ | S_expr _ | S_return _ | S_break | S_continue -> ()
+  in
+  iter_exprs visit stmts;
+  List.iter visit_stmt stmts;
+  List.rev !acc

@@ -1,0 +1,143 @@
+(** CGC abstract syntax.
+
+    Covers the C++ subset cgsim prototypes are written in: preprocessor
+    directives (as recorded items), struct definitions, constexpr/const
+    globals, free functions, [COMPUTE_KERNEL] definitions, and graph
+    definitions ([constexpr auto g = make_compute_graph_v<lambda>]).
+    Every node keeps its source {!Srcloc.range}. *)
+
+type typ = {
+  t_desc : typ_desc;
+  t_range : Srcloc.range;
+}
+
+and typ_desc =
+  | Tname of string  (** builtin or user type name, e.g. float, int16_t *)
+  | Tqualified of string list * string  (** e.g. std::size_t *)
+  | Ttemplate of string * targ list  (** KernelReadPort<float>, IoConnector<int> *)
+  | Tconst of typ
+  | Tref of typ
+  | Tptr of typ
+  | Tarray of typ * expr option  (** T name[N]; dimension may be inferred *)
+  | Tauto
+
+and targ =
+  | Ta_type of typ
+  | Ta_expr of expr  (** non-type template argument *)
+
+and expr = {
+  e_desc : expr_desc;
+  e_range : Srcloc.range;
+}
+
+and expr_desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Bool_lit of bool
+  | Ident of string
+  | Scoped of string list * string  (** std::make_tuple *)
+  | Call of expr * expr list
+  | Member of expr * string  (** a.b *)
+  | Arrow of expr * string  (** a->b *)
+  | Index of expr * expr
+  | Unop of string * expr
+  | Binop of string * expr * expr
+  | Assign of string * expr * expr  (** =, +=, ... *)
+  | Cond of expr * expr * expr
+  | Co_await of expr * Srcloc.range  (** operand, range of the co_await keyword itself *)
+  | Init_list of expr list  (** { a, b, c } *)
+  | Cast of typ * expr  (** T(expr) or (T)expr *)
+  | Incr_post of expr
+  | Decr_post of expr
+
+and stmt = {
+  s_desc : stmt_desc;
+  s_range : Srcloc.range;
+}
+
+and stmt_desc =
+  | S_decl of decl
+  | S_expr of expr
+  | S_if of expr * stmt list * stmt list
+  | S_while of expr * stmt list
+  | S_do_while of stmt list * expr
+  | S_for of stmt option * expr option * expr option * stmt list
+  | S_return of expr option
+  | S_break
+  | S_continue
+  | S_block of stmt list
+
+and decl = {
+  d_quals : string list;  (** const, constexpr, static *)
+  d_type : typ;
+  d_vars : (string * expr option) list;  (** names with optional inits *)
+}
+
+type param = {
+  p_type : typ;
+  p_name : string;
+  p_range : Srcloc.range;
+}
+
+type lambda = {
+  l_params : param list;
+  l_body : stmt list;
+  l_range : Srcloc.range;
+}
+
+type top =
+  | T_include of { path : string; system : bool; range : Srcloc.range }
+  | T_define of { name : string; body : string; range : Srcloc.range }
+  | T_pragma of { text : string; range : Srcloc.range }
+  | T_struct of { name : string; fields : param list; range : Srcloc.range }
+  | T_global of {
+      quals : string list;
+      typ : typ;
+      name : string;
+      init : expr option;
+      attrs : string list;  (** [[attr]] spellings *)
+      range : Srcloc.range;
+    }
+  | T_func of {
+      quals : string list;
+      ret : typ;
+      name : string;
+      params : param list;
+      body : stmt list;
+      range : Srcloc.range;
+      body_range : Srcloc.range;  (** the braces, inclusive *)
+    }
+  | T_kernel of kernel
+  | T_graph of graph
+
+and kernel = {
+  k_realm : string;
+  k_name : string;
+  k_params : param list;
+  k_body : stmt list;
+  k_range : Srcloc.range;  (** full COMPUTE_KERNEL(...) { ... } expansion range *)
+  k_body_range : Srcloc.range;  (** braces, inclusive *)
+}
+
+and graph = {
+  g_name : string;
+  g_attrs : string list;
+  g_lambda : lambda;
+  g_range : Srcloc.range;
+}
+
+type tu = {
+  tu_file : string;
+  tu_source : string;
+  tu_items : top list;
+}
+
+val top_range : top -> Srcloc.range
+
+(** Fold over every expression in a statement list (pre-order). *)
+val iter_exprs : (expr -> unit) -> stmt list -> unit
+
+(** All identifiers referenced in a statement list (including scoped heads
+    and callees), for dependency analysis. *)
+val referenced_idents : stmt list -> string list

@@ -1,0 +1,5 @@
+exception Error of Srcloc.range * string
+
+let error range fmt = Format.kasprintf (fun s -> raise (Error (range, s))) fmt
+
+let to_string range msg = Printf.sprintf "%s: error: %s" (Srcloc.to_string range) msg

@@ -1,0 +1,9 @@
+(** Diagnostics for the CGC front-end. *)
+
+exception Error of Srcloc.range * string
+
+(** Raise a located error. *)
+val error : Srcloc.range -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Render "file:line:col: error: message". *)
+val to_string : Srcloc.range -> string -> string

@@ -1,0 +1,47 @@
+exception Driver_error of string
+
+let default_blacklist = [ "cgsim.hpp"; "cgsim/cgsim.hpp" ]
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> contents
+  | exception Sys_error msg -> raise (Driver_error msg)
+
+let resolve_include ~from_dir ~include_dirs path =
+  let candidates = Filename.concat from_dir path :: List.map (fun d -> Filename.concat d path) include_dirs in
+  List.find_opt Sys.file_exists candidates
+
+let load ?(include_dirs = []) ?(blacklist = default_blacklist) path =
+  if not (Sys.file_exists path) then raise (Driver_error ("no such file: " ^ path));
+  let seen = Hashtbl.create 8 in
+  let rec load_one path =
+    let canonical = path in
+    if Hashtbl.mem seen canonical then []
+    else begin
+      Hashtbl.add seen canonical ();
+      let tu = Parser.parse ~file:path (read_file path) in
+      let from_dir = Filename.dirname path in
+      let deps =
+        List.concat_map
+          (fun item ->
+            match item with
+            | Ast.T_include { path = inc; system = false; _ }
+              when not (List.mem inc blacklist) -> begin
+              match resolve_include ~from_dir ~include_dirs inc with
+              | Some resolved -> load_one resolved
+              | None -> raise (Driver_error (Printf.sprintf "%s: cannot resolve #include \"%s\"" path inc))
+            end
+            | _ -> [])
+          tu.Ast.tu_items
+      in
+      (* Included files come first so their definitions precede uses. *)
+      deps @ [ tu ]
+    end
+  in
+  load_one path
+
+let load_string ?(file = "<memory>") source = [ Parser.parse ~file source ]
+
+let analyze_file ?include_dirs ?blacklist path = Sema.analyze (load ?include_dirs ?blacklist path)
+
+let analyze_string ?file source = Sema.analyze (load_string ?file source)

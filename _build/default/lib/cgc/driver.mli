@@ -1,0 +1,25 @@
+(** Front-end driver: load a CGC program from disk.
+
+    Resolves local [#include "..."] directives recursively (relative to
+    the including file, then [include_dirs]) into separate translation
+    units, in include order, main file last — so co-extraction can slice
+    text from the file that really defines each symbol.  System includes
+    and the cgsim API header are recorded but never opened. *)
+
+exception Driver_error of string
+
+(** Headers never opened even when present on disk (the simulator API is
+    not user code; Section 4.6's blacklist). *)
+val default_blacklist : string list
+
+val load :
+  ?include_dirs:string list -> ?blacklist:string list -> string -> Ast.tu list
+(** [load path] parses [path] and its local includes. *)
+
+val load_string : ?file:string -> string -> Ast.tu list
+(** Parse from memory (tests); includes are recorded but not resolved. *)
+
+(** Parse + analyze in one step. *)
+val analyze_file : ?include_dirs:string list -> ?blacklist:string list -> string -> Sema.env
+
+val analyze_string : ?file:string -> string -> Sema.env

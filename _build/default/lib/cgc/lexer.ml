@@ -1,0 +1,327 @@
+type cursor = {
+  src : string;
+  file : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make_cursor ~file src = { src; file; off = 0; line = 1; col = 1 }
+
+let pos c = { Srcloc.file = c.file; line = c.line; col = c.col; offset = c.off }
+
+let at_end c = c.off >= String.length c.src
+
+let peek c = if at_end c then '\000' else c.src.[c.off]
+
+let peek2 c = if c.off + 1 >= String.length c.src then '\000' else c.src.[c.off + 1]
+
+let advance c =
+  if not (at_end c) then begin
+    if c.src.[c.off] = '\n' then begin
+      c.line <- c.line + 1;
+      c.col <- 1
+    end
+    else c.col <- c.col + 1;
+    c.off <- c.off + 1
+  end
+
+let range_from c start = Srcloc.make start (pos c)
+
+let is_ident_start ch = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let is_ident_char ch = is_ident_start ch || is_digit ch
+
+(* Multi-character punctuators, longest first. *)
+let puncts =
+  [
+    "<<="; ">>="; "..."; "->*"; "::"; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "++"; "--";
+    "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "->"; "[["; "]]"; "("; ")"; "{"; "}"; "[";
+    "]"; "<"; ">"; ";"; ","; "."; ":"; "?"; "="; "+"; "-"; "*"; "/"; "%"; "!"; "&"; "|"; "^";
+    "~";
+  ]
+
+let skip_ws_and_comments c =
+  let rec go () =
+    if at_end c then ()
+    else begin
+      match peek c with
+      | ' ' | '\t' | '\r' | '\n' ->
+        advance c;
+        go ()
+      | '/' when peek2 c = '/' ->
+        while (not (at_end c)) && peek c <> '\n' do
+          advance c
+        done;
+        go ()
+      | '/' when peek2 c = '*' ->
+        let start = pos c in
+        advance c;
+        advance c;
+        let rec close () =
+          if at_end c then
+            Diag.error (Srcloc.make start (pos c)) "unterminated block comment"
+          else if peek c = '*' && peek2 c = '/' then begin
+            advance c;
+            advance c
+          end
+          else begin
+            advance c;
+            close ()
+          end
+        in
+        close ();
+        go ()
+      | '\\' when peek2 c = '\n' ->
+        advance c;
+        advance c;
+        go ()
+      | _ -> ()
+    end
+  in
+  go ()
+
+let lex_ident c =
+  let start = pos c in
+  let b = Buffer.create 16 in
+  while (not (at_end c)) && is_ident_char (peek c) do
+    Buffer.add_char b (peek c);
+    advance c
+  done;
+  let name = Buffer.contents b in
+  let kind =
+    if List.mem name Token.keywords then Token.Kw name else Token.Ident name
+  in
+  { Token.kind; range = range_from c start }
+
+let lex_number c =
+  let start = pos c in
+  let b = Buffer.create 16 in
+  let add () =
+    Buffer.add_char b (peek c);
+    advance c
+  in
+  let is_hex = peek c = '0' && (peek2 c = 'x' || peek2 c = 'X') in
+  if is_hex then begin
+    add ();
+    add ();
+    while
+      (not (at_end c))
+      && (is_digit (peek c)
+          || (peek c >= 'a' && peek c <= 'f')
+          || (peek c >= 'A' && peek c <= 'F'))
+    do
+      add ()
+    done
+  end
+  else begin
+    while (not (at_end c)) && is_digit (peek c) do
+      add ()
+    done
+  end;
+  let is_float = ref false in
+  if (not is_hex) && peek c = '.' && is_digit (peek2 c) then begin
+    is_float := true;
+    add ();
+    while (not (at_end c)) && is_digit (peek c) do
+      add ()
+    done
+  end
+  else if (not is_hex) && peek c = '.' && not (is_ident_start (peek2 c)) then begin
+    is_float := true;
+    add ()
+  end;
+  if (not is_hex) && (peek c = 'e' || peek c = 'E') then begin
+    is_float := true;
+    add ();
+    if peek c = '+' || peek c = '-' then add ();
+    while (not (at_end c)) && is_digit (peek c) do
+      add ()
+    done
+  end;
+  let spelling_no_suffix = Buffer.contents b in
+  (* Consume literal suffixes (f, u, l, ll, ul...). *)
+  let suffix = Buffer.create 4 in
+  while
+    (not (at_end c))
+    && (match peek c with 'f' | 'F' | 'u' | 'U' | 'l' | 'L' -> true | _ -> false)
+  do
+    Buffer.add_char suffix (peek c);
+    advance c;
+    if Buffer.length suffix > 0 && (Buffer.nth suffix 0 = 'f' || Buffer.nth suffix 0 = 'F') then
+      is_float := true
+  done;
+  let spelling = spelling_no_suffix ^ Buffer.contents suffix in
+  let range = range_from c start in
+  if !is_float || String.contains (Buffer.contents suffix) 'f'
+     || String.contains (Buffer.contents suffix) 'F'
+  then begin
+    match float_of_string_opt spelling_no_suffix with
+    | Some f -> { Token.kind = Token.Float_lit (f, spelling); range }
+    | None -> Diag.error range "malformed floating-point literal %s" spelling
+  end
+  else begin
+    match int_of_string_opt spelling_no_suffix with
+    | Some i -> { Token.kind = Token.Int_lit (i, spelling); range }
+    | None -> Diag.error range "malformed integer literal %s" spelling
+  end
+
+let lex_string c =
+  let start = pos c in
+  advance c;
+  let b = Buffer.create 16 in
+  let rec go () =
+    if at_end c then Diag.error (Srcloc.make start (pos c)) "unterminated string literal"
+    else begin
+      match peek c with
+      | '"' -> advance c
+      | '\\' ->
+        advance c;
+        let esc = peek c in
+        advance c;
+        Buffer.add_char b
+          (match esc with
+           | 'n' -> '\n'
+           | 't' -> '\t'
+           | 'r' -> '\r'
+           | '0' -> '\000'
+           | '\\' -> '\\'
+           | '"' -> '"'
+           | '\'' -> '\''
+           | other -> other);
+        go ()
+      | ch ->
+        Buffer.add_char b ch;
+        advance c;
+        go ()
+    end
+  in
+  go ();
+  { Token.kind = Token.Str_lit (Buffer.contents b); range = range_from c start }
+
+let lex_char c =
+  let start = pos c in
+  advance c;
+  let value =
+    if peek c = '\\' then begin
+      advance c;
+      let esc = peek c in
+      advance c;
+      match esc with
+      | 'n' -> '\n'
+      | 't' -> '\t'
+      | '0' -> '\000'
+      | other -> other
+    end
+    else begin
+      let ch = peek c in
+      advance c;
+      ch
+    end
+  in
+  if peek c <> '\'' then Diag.error (range_from c start) "unterminated character literal";
+  advance c;
+  { Token.kind = Token.Char_lit value; range = range_from c start }
+
+(* One whole preprocessor line. *)
+let lex_directive c =
+  let start = pos c in
+  advance c (* '#' *);
+  (* read the rest of the (logical) line *)
+  let line_start = c.off in
+  while (not (at_end c)) && peek c <> '\n' do
+    if peek c = '\\' && peek2 c = '\n' then begin
+      advance c;
+      advance c
+    end
+    else advance c
+  done;
+  let text = String.sub c.src line_start (c.off - line_start) in
+  let range = range_from c start in
+  let text = String.trim text in
+  let starts_with prefix =
+    String.length text >= String.length prefix && String.sub text 0 (String.length prefix) = prefix
+  in
+  let after prefix = String.trim (String.sub text (String.length prefix) (String.length text - String.length prefix)) in
+  if starts_with "include" then begin
+    let arg = after "include" in
+    if String.length arg >= 2 && arg.[0] = '<' then begin
+      match String.index_opt arg '>' with
+      | Some i ->
+        {
+          Token.kind = Token.Directive_include { path = String.sub arg 1 (i - 1); system = true };
+          range;
+        }
+      | None -> Diag.error range "malformed #include directive"
+    end
+    else if String.length arg >= 2 && arg.[0] = '"' then begin
+      match String.index_from_opt arg 1 '"' with
+      | Some i ->
+        {
+          Token.kind = Token.Directive_include { path = String.sub arg 1 (i - 1); system = false };
+          range;
+        }
+      | None -> Diag.error range "malformed #include directive"
+    end
+    else Diag.error range "malformed #include directive"
+  end
+  else if starts_with "define" then begin
+    let arg = after "define" in
+    match String.index_opt arg ' ' with
+    | Some i ->
+      {
+        Token.kind =
+          Token.Directive_define
+            {
+              name = String.sub arg 0 i;
+              body = String.trim (String.sub arg i (String.length arg - i));
+            };
+        range;
+      }
+    | None -> { Token.kind = Token.Directive_define { name = arg; body = "" }; range }
+  end
+  else if starts_with "pragma" then
+    { Token.kind = Token.Directive_pragma (after "pragma"); range }
+  else Diag.error range "unsupported preprocessor directive: #%s" text
+
+let lex_punct c =
+  let start = pos c in
+  let remaining = String.length c.src - c.off in
+  let matches p =
+    String.length p <= remaining && String.sub c.src c.off (String.length p) = p
+  in
+  match List.find_opt matches puncts with
+  | Some p ->
+    for _ = 1 to String.length p do
+      advance c
+    done;
+    { Token.kind = Token.Punct p; range = range_from c start }
+  | None ->
+    Diag.error
+      (Srcloc.make start { start with col = start.col + 1; offset = start.offset + 1 })
+      "stray character %C" (peek c)
+
+let tokenize ~file src =
+  let c = make_cursor ~file src in
+  let rec go acc =
+    skip_ws_and_comments c;
+    if at_end c then begin
+      let p = pos c in
+      List.rev ({ Token.kind = Token.Eof; range = Srcloc.make p p } :: acc)
+    end
+    else begin
+      let tok =
+        match peek c with
+        | ch when is_ident_start ch -> lex_ident c
+        | ch when is_digit ch -> lex_number c
+        | '"' -> lex_string c
+        | '\'' -> lex_char c
+        | '#' -> lex_directive c
+        | _ -> lex_punct c
+      in
+      go (tok :: acc)
+    end
+  in
+  go []

@@ -1,0 +1,12 @@
+(** CGC lexer.
+
+    Tokenizes one source buffer, preserving exact byte ranges for every
+    token (the rewriter depends on them).  Comments and whitespace are
+    skipped; preprocessor lines ([#include], [#define], [#pragma]) are
+    folded into single directive tokens — CGC performs no textual macro
+    expansion, matching the design decision to keep the source text
+    stable for rewriting. *)
+
+val tokenize : file:string -> string -> Token.t list
+(** Raises {!Diag.Error} on malformed input (unterminated strings or
+    comments, bad numbers, stray characters). *)

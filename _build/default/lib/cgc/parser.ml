@@ -1,0 +1,768 @@
+open Ast
+
+type state = {
+  toks : Token.t array;
+  mutable idx : int;
+}
+
+let cur st = st.toks.(st.idx)
+
+let cur_range st = (cur st).Token.range
+
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let err st fmt = Diag.error (cur_range st) fmt
+
+let is_punct st p =
+  match (cur st).Token.kind with
+  | Token.Punct q -> String.equal p q
+  | _ -> false
+
+let is_kw st k =
+  match (cur st).Token.kind with
+  | Token.Kw q -> String.equal k q
+  | _ -> false
+
+let eat_punct st p =
+  if is_punct st p then begin
+    let r = cur_range st in
+    advance st;
+    r
+  end
+  else err st "expected '%s', found %s" p (Token.kind_to_string (cur st).Token.kind)
+
+let eat_kw st k =
+  if is_kw st k then begin
+    let r = cur_range st in
+    advance st;
+    r
+  end
+  else err st "expected keyword '%s', found %s" k (Token.kind_to_string (cur st).Token.kind)
+
+let eat_ident st =
+  match (cur st).Token.kind with
+  | Token.Ident name ->
+    let r = cur_range st in
+    advance st;
+    name, r
+  | _ -> err st "expected identifier, found %s" (Token.kind_to_string (cur st).Token.kind)
+
+(* C++11 [>>] splitting: when a template-argument context needs a single
+   '>', a '>>' token is consumed as one '>' and the state remembers the
+   other half. *)
+let eat_template_close st =
+  match (cur st).Token.kind with
+  | Token.Punct ">" ->
+    advance st;
+    ()
+  | Token.Punct ">>" ->
+    let tok = cur st in
+    let mid =
+      {
+        tok.Token.range.Srcloc.start with
+        Srcloc.col = tok.Token.range.Srcloc.start.Srcloc.col + 1;
+        offset = tok.Token.range.Srcloc.start.Srcloc.offset + 1;
+      }
+    in
+    st.toks.(st.idx) <-
+      { Token.kind = Token.Punct ">"; range = { tok.Token.range with Srcloc.start = mid } }
+  | _ -> err st "expected '>' closing template arguments"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_type_kws = [ "float"; "double"; "int"; "bool"; "char"; "void"; "long"; "short"; "unsigned"; "signed"; "auto" ]
+
+let rec parse_type st : typ =
+  let start = cur_range st in
+  let base =
+    if is_kw st "const" then begin
+      advance st;
+      let t = parse_type st in
+      { t_desc = Tconst t; t_range = Srcloc.union start t.t_range }
+    end
+    else if is_kw st "auto" then begin
+      advance st;
+      { t_desc = Tauto; t_range = start }
+    end
+    else begin
+      match (cur st).Token.kind with
+      | Token.Kw k when List.mem k builtin_type_kws ->
+        advance st;
+        (* multi-word builtins: unsigned int, long long, ... *)
+        let words = ref [ k ] in
+        let rec more () =
+          match (cur st).Token.kind with
+          | Token.Kw k2 when List.mem k2 [ "int"; "long"; "short"; "char"; "unsigned"; "signed" ] ->
+            words := k2 :: !words;
+            advance st;
+            more ()
+          | _ -> ()
+        in
+        more ();
+        { t_desc = Tname (String.concat " " (List.rev !words)); t_range = start }
+      | Token.Ident name ->
+        advance st;
+        (* qualified: a::b::c *)
+        let quals = ref [] and last = ref name in
+        while is_punct st "::" do
+          advance st;
+          let n, _ = eat_ident st in
+          quals := !last :: !quals;
+          last := n
+        done;
+        let head_range = start in
+        if is_punct st "<" then begin
+          advance st;
+          let args = parse_template_args st in
+          eat_template_close st;
+          if !quals = [] then { t_desc = Ttemplate (!last, args); t_range = head_range }
+          else
+            { t_desc = Ttemplate (String.concat "::" (List.rev !quals) ^ "::" ^ !last, args);
+              t_range = head_range }
+        end
+        else if !quals = [] then { t_desc = Tname !last; t_range = head_range }
+        else { t_desc = Tqualified (List.rev !quals, !last); t_range = head_range }
+      | _ -> err st "expected a type, found %s" (Token.kind_to_string (cur st).Token.kind)
+    end
+  in
+  parse_type_suffix st base
+
+and parse_type_suffix st base =
+  if is_punct st "&" then begin
+    advance st;
+    parse_type_suffix st { t_desc = Tref base; t_range = base.t_range }
+  end
+  else if is_punct st "*" then begin
+    advance st;
+    parse_type_suffix st { t_desc = Tptr base; t_range = base.t_range }
+  end
+  else base
+
+and parse_template_args st : targ list =
+  let parse_one () =
+    match (cur st).Token.kind with
+    | Token.Int_lit _ | Token.Str_lit _ ->
+      (* Non-type argument: parse at additive precedence so '>' and '>>'
+         stay available to close the template (as in C++, comparisons in
+         template arguments need parentheses). *)
+      Ta_expr (parse_binary st 8)
+    | Token.Punct "[" -> err st "lambda template arguments belong to make_compute_graph_v only"
+    | _ ->
+      (* Could be a type or a constant identifier; parse as a type and
+         let semantic analysis reinterpret identifiers bound to
+         constants. *)
+      Ta_type (parse_type st)
+  in
+  let rec go acc =
+    let a = parse_one () in
+    if is_punct st "," then begin
+      advance st;
+      go (a :: acc)
+    end
+    else List.rev (a :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+and parse_expr st : expr = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  match (cur st).Token.kind with
+  | Token.Punct (("=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=") as op) ->
+    advance st;
+    let rhs = parse_assign st in
+    { e_desc = Assign (op, lhs, rhs); e_range = Srcloc.union lhs.e_range rhs.e_range }
+  | _ -> lhs
+
+and parse_cond st =
+  let c = parse_binary st 0 in
+  if is_punct st "?" then begin
+    advance st;
+    let t = parse_expr st in
+    ignore (eat_punct st ":");
+    let e = parse_assign st in
+    { e_desc = Cond (c, t, e); e_range = Srcloc.union c.e_range e.e_range }
+  end
+  else c
+
+and binop_table =
+  (* precedence level -> operators *)
+  [|
+    [ "||" ];
+    [ "&&" ];
+    [ "|" ];
+    [ "^" ];
+    [ "&" ];
+    [ "=="; "!=" ];
+    [ "<"; ">"; "<="; ">=" ];
+    [ "<<"; ">>" ];
+    [ "+"; "-" ];
+    [ "*"; "/"; "%" ];
+  |]
+
+and parse_binary st level =
+  if level >= Array.length binop_table then parse_unary st
+  else begin
+    let lhs = ref (parse_binary st (level + 1)) in
+    let ops = binop_table.(level) in
+    let continue_ = ref true in
+    while !continue_ do
+      match (cur st).Token.kind with
+      | Token.Punct op when List.mem op ops ->
+        advance st;
+        let rhs = parse_binary st (level + 1) in
+        lhs :=
+          { e_desc = Binop (op, !lhs, rhs); e_range = Srcloc.union !lhs.e_range rhs.e_range }
+      | _ -> continue_ := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  let start = cur_range st in
+  match (cur st).Token.kind with
+  | Token.Kw "co_await" ->
+    let kw_range = cur_range st in
+    advance st;
+    let operand = parse_unary st in
+    { e_desc = Co_await (operand, kw_range); e_range = Srcloc.union kw_range operand.e_range }
+  | Token.Punct (("!" | "~" | "-" | "+" | "*" | "&") as op) ->
+    advance st;
+    let operand = parse_unary st in
+    { e_desc = Unop (op, operand); e_range = Srcloc.union start operand.e_range }
+  | Token.Punct "++" ->
+    advance st;
+    let operand = parse_unary st in
+    { e_desc = Unop ("++", operand); e_range = Srcloc.union start operand.e_range }
+  | Token.Punct "--" ->
+    advance st;
+    let operand = parse_unary st in
+    { e_desc = Unop ("--", operand); e_range = Srcloc.union start operand.e_range }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (cur st).Token.kind with
+    | Token.Punct "(" ->
+      advance st;
+      let args = parse_call_args st in
+      let close = eat_punct st ")" in
+      e := { e_desc = Call (!e, args); e_range = Srcloc.union !e.e_range close }
+    | Token.Punct "." ->
+      advance st;
+      let name, r = eat_ident st in
+      e := { e_desc = Member (!e, name); e_range = Srcloc.union !e.e_range r }
+    | Token.Punct "->" ->
+      advance st;
+      let name, r = eat_ident st in
+      e := { e_desc = Arrow (!e, name); e_range = Srcloc.union !e.e_range r }
+    | Token.Punct "[" ->
+      advance st;
+      let idx = parse_expr st in
+      let close = eat_punct st "]" in
+      e := { e_desc = Index (!e, idx); e_range = Srcloc.union !e.e_range close }
+    | Token.Punct "{" when (match !e.e_desc with Ident _ | Scoped _ -> true | _ -> false) ->
+      (* Braced construction of a named type: v2int16{a, b}. *)
+      let lst = parse_primary st in
+      (match lst.e_desc with
+       | Init_list _ -> e := { e_desc = Call (!e, [ lst ]); e_range = Srcloc.union !e.e_range lst.e_range }
+       | _ -> err st "expected a brace-initializer")
+    | Token.Punct "++" ->
+      let r = cur_range st in
+      advance st;
+      e := { e_desc = Incr_post !e; e_range = Srcloc.union !e.e_range r }
+    | Token.Punct "--" ->
+      let r = cur_range st in
+      advance st;
+      e := { e_desc = Decr_post !e; e_range = Srcloc.union !e.e_range r }
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_call_args st =
+  if is_punct st ")" then []
+  else begin
+    let rec go acc =
+      let a = parse_expr st in
+      if is_punct st "," then begin
+        advance st;
+        go (a :: acc)
+      end
+      else List.rev (a :: acc)
+    in
+    go []
+  end
+
+and parse_primary st =
+  let range = cur_range st in
+  match (cur st).Token.kind with
+  | Token.Int_lit (v, _) ->
+    advance st;
+    { e_desc = Int_lit v; e_range = range }
+  | Token.Float_lit (v, _) ->
+    advance st;
+    { e_desc = Float_lit v; e_range = range }
+  | Token.Str_lit s ->
+    advance st;
+    { e_desc = Str_lit s; e_range = range }
+  | Token.Char_lit c ->
+    advance st;
+    { e_desc = Int_lit (Char.code c); e_range = range }
+  | Token.Kw "true" ->
+    advance st;
+    { e_desc = Bool_lit true; e_range = range }
+  | Token.Kw "false" ->
+    advance st;
+    { e_desc = Bool_lit false; e_range = range }
+  | Token.Kw k when List.mem k builtin_type_kws ->
+    (* functional cast: float(x) *)
+    advance st;
+    let t = { t_desc = Tname k; t_range = range } in
+    ignore (eat_punct st "(");
+    let operand = parse_expr st in
+    let close = eat_punct st ")" in
+    { e_desc = Cast (t, operand); e_range = Srcloc.union range close }
+  | Token.Ident name ->
+    advance st;
+    if is_punct st "::" then begin
+      let quals = ref [ name ] in
+      let last = ref "" in
+      while is_punct st "::" do
+        advance st;
+        let n, _ = eat_ident st in
+        last := n;
+        if is_punct st "::" then quals := n :: !quals
+      done;
+      { e_desc = Scoped (List.rev !quals, !last); e_range = range }
+    end
+    else { e_desc = Ident name; e_range = range }
+  | Token.Punct "(" ->
+    advance st;
+    let e = parse_expr st in
+    let close = eat_punct st ")" in
+    { e with e_range = Srcloc.union range close }
+  | Token.Punct "{" ->
+    advance st;
+    let items =
+      if is_punct st "}" then []
+      else begin
+        let rec go acc =
+          let e = parse_expr st in
+          if is_punct st "," then begin
+            advance st;
+            go (e :: acc)
+          end
+          else List.rev (e :: acc)
+        in
+        go []
+      end
+    in
+    let close = eat_punct st "}" in
+    { e_desc = Init_list items; e_range = Srcloc.union range close }
+  | k -> err st "expected an expression, found %s" (Token.kind_to_string k)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let quals_kws = [ "const"; "constexpr"; "static"; "inline" ]
+
+let rec parse_stmt st : stmt =
+  let start = cur_range st in
+  match (cur st).Token.kind with
+  | Token.Punct "{" ->
+    advance st;
+    let body = parse_stmts_until st "}" in
+    let close = eat_punct st "}" in
+    { s_desc = S_block body; s_range = Srcloc.union start close }
+  | Token.Kw "if" ->
+    advance st;
+    ignore (eat_punct st "(");
+    let cond = parse_expr st in
+    ignore (eat_punct st ")");
+    let then_ = parse_branch st in
+    let else_ =
+      if is_kw st "else" then begin
+        advance st;
+        parse_branch st
+      end
+      else []
+    in
+    { s_desc = S_if (cond, then_, else_); s_range = Srcloc.union start (prev_range st) }
+  | Token.Kw "while" ->
+    advance st;
+    ignore (eat_punct st "(");
+    let cond = parse_expr st in
+    ignore (eat_punct st ")");
+    let body = parse_branch st in
+    { s_desc = S_while (cond, body); s_range = Srcloc.union start (prev_range st) }
+  | Token.Kw "do" ->
+    advance st;
+    let body = parse_branch st in
+    ignore (eat_kw st "while");
+    ignore (eat_punct st "(");
+    let cond = parse_expr st in
+    ignore (eat_punct st ")");
+    let close = eat_punct st ";" in
+    { s_desc = S_do_while (body, cond); s_range = Srcloc.union start close }
+  | Token.Kw "for" ->
+    advance st;
+    ignore (eat_punct st "(");
+    let init = if is_punct st ";" then (advance st; None) else Some (parse_decl_or_expr_stmt st) in
+    let cond = if is_punct st ";" then None else Some (parse_expr st) in
+    ignore (eat_punct st ";");
+    let step = if is_punct st ")" then None else Some (parse_expr st) in
+    ignore (eat_punct st ")");
+    let body = parse_branch st in
+    { s_desc = S_for (init, cond, step, body); s_range = Srcloc.union start (prev_range st) }
+  | Token.Kw "return" ->
+    advance st;
+    let value = if is_punct st ";" then None else Some (parse_expr st) in
+    let close = eat_punct st ";" in
+    { s_desc = S_return value; s_range = Srcloc.union start close }
+  | Token.Kw "break" ->
+    advance st;
+    let close = eat_punct st ";" in
+    { s_desc = S_break; s_range = Srcloc.union start close }
+  | Token.Kw "continue" ->
+    advance st;
+    let close = eat_punct st ";" in
+    { s_desc = S_continue; s_range = Srcloc.union start close }
+  | _ -> parse_decl_or_expr_stmt st
+
+and prev_range st = st.toks.(max 0 (st.idx - 1)).Token.range
+
+and parse_branch st =
+  match parse_stmt st with
+  | { s_desc = S_block body; _ } -> body
+  | s -> [ s ]
+
+and parse_stmts_until st close =
+  let rec go acc =
+    if is_punct st close then List.rev acc
+    else if (cur st).Token.kind = Token.Eof then
+      err st "unexpected end of file (missing '%s')" close
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* Declaration vs. expression: tentative parse with backtracking, the
+   same strategy C++ front-ends use for this ambiguity. *)
+and parse_decl_or_expr_stmt st : stmt =
+  let saved = st.idx in
+  match parse_decl_stmt st with
+  | s -> s
+  | exception Diag.Error _ ->
+    st.idx <- saved;
+    let start = cur_range st in
+    let e = parse_expr st in
+    let close = eat_punct st ";" in
+    { s_desc = S_expr e; s_range = Srcloc.union start close }
+
+and parse_decl_stmt st : stmt =
+  let start = cur_range st in
+  let quals = ref [] in
+  while
+    match (cur st).Token.kind with
+    | Token.Kw k when List.mem k quals_kws && k <> "const" -> true
+    | Token.Kw "const" -> true
+    | _ -> false
+  do
+    (match (cur st).Token.kind with
+     | Token.Kw k -> quals := k :: !quals
+     | _ -> ());
+    advance st
+  done;
+  let typ = parse_type st in
+  (* A declaration must be followed by an identifier. *)
+  let vars = parse_declarators st typ in
+  let close = eat_punct st ";" in
+  {
+    s_desc = S_decl { d_quals = List.rev !quals; d_type = typ; d_vars = vars };
+    s_range = Srcloc.union start close;
+  }
+
+and parse_declarators st typ =
+  let parse_one () =
+    let name, _ = eat_ident st in
+    (* array declarator folds into the variable's init handling *)
+    let rec dims acc =
+      if is_punct st "[" then begin
+        advance st;
+        let d = if is_punct st "]" then None else Some (parse_expr st) in
+        ignore (eat_punct st "]");
+        dims (d :: acc)
+      end
+      else List.rev acc
+    in
+    let _ = dims [] in
+    ignore typ;
+    let init =
+      if is_punct st "=" then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else if is_punct st "(" then begin
+        advance st;
+        let args = parse_call_args st in
+        ignore (eat_punct st ")");
+        match args with
+        | [ one ] -> Some one
+        | _ ->
+          Some { e_desc = Init_list args; e_range = cur_range st }
+      end
+      else if is_punct st "{" then Some (parse_primary st)
+      else None
+    in
+    name, init
+  in
+  let rec go acc =
+    let v = parse_one () in
+    if is_punct st "," then begin
+      advance st;
+      go (v :: acc)
+    end
+    else List.rev (v :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_param st : param =
+  let start = cur_range st in
+  let typ = parse_type st in
+  let name, r = eat_ident st in
+  (* array suffix on parameters/fields *)
+  let typ = ref typ in
+  while is_punct st "[" do
+    advance st;
+    let d = if is_punct st "]" then None else Some (parse_expr st) in
+    ignore (eat_punct st "]");
+    typ := { t_desc = Tarray (!typ, d); t_range = (!typ).t_range }
+  done;
+  { p_type = !typ; p_name = name; p_range = Srcloc.union start r }
+
+let parse_params st =
+  ignore (eat_punct st "(");
+  if is_punct st ")" then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let p = parse_param st in
+      if is_punct st "," then begin
+        advance st;
+        go (p :: acc)
+      end
+      else begin
+        ignore (eat_punct st ")");
+        List.rev (p :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_attrs st =
+  (* zero or more [[ ident ]] groups *)
+  let attrs = ref [] in
+  while is_punct st "[[" do
+    advance st;
+    let name, _ = eat_ident st in
+    attrs := name :: !attrs;
+    ignore (eat_punct st "]]")
+  done;
+  List.rev !attrs
+
+let parse_kernel st : kernel =
+  let start = cur_range st in
+  advance st (* COMPUTE_KERNEL *);
+  ignore (eat_punct st "(");
+  let realm, _ = eat_ident st in
+  ignore (eat_punct st ",");
+  let name, _ = eat_ident st in
+  ignore (eat_punct st ",");
+  let rec params acc =
+    let p = parse_param st in
+    if is_punct st "," then begin
+      advance st;
+      params (p :: acc)
+    end
+    else begin
+      ignore (eat_punct st ")");
+      List.rev (p :: acc)
+    end
+  in
+  let params = params [] in
+  let body_open = eat_punct st "{" in
+  let body = parse_stmts_until st "}" in
+  let body_close = eat_punct st "}" in
+  (* Optional trailing semicolon, as in the paper's Figure 3. *)
+  if is_punct st ";" then advance st;
+  {
+    k_realm = realm;
+    k_name = name;
+    k_params = params;
+    k_body = body;
+    k_range = Srcloc.union start (prev_range st);
+    k_body_range = Srcloc.union body_open body_close;
+  }
+
+let parse_lambda st : lambda =
+  let start = cur_range st in
+  ignore (eat_punct st "[");
+  ignore (eat_punct st "]");
+  let params = parse_params st in
+  let open_ = eat_punct st "{" in
+  let body = parse_stmts_until st "}" in
+  let close = eat_punct st "}" in
+  ignore open_;
+  { l_params = params; l_body = body; l_range = Srcloc.union start close }
+
+let parse_graph st ~attrs ~quals ~start : graph =
+  ignore quals;
+  (* after: constexpr auto NAME = make_compute_graph_v <  lambda  > ; *)
+  let name, _ = eat_ident st in
+  ignore (eat_punct st "=");
+  let head, _ = eat_ident st in
+  if head <> "make_compute_graph_v" then
+    err st "graph initializer must be make_compute_graph_v<...>, found %s" head;
+  ignore (eat_punct st "<");
+  let lambda = parse_lambda st in
+  eat_template_close st;
+  let close = eat_punct st ";" in
+  { g_name = name; g_attrs = attrs; g_lambda = lambda; g_range = Srcloc.union start close }
+
+let parse_struct st : top =
+  let start = cur_range st in
+  advance st (* struct *);
+  let name, _ = eat_ident st in
+  ignore (eat_punct st "{");
+  let fields = ref [] in
+  while not (is_punct st "}") do
+    let f = parse_param st in
+    ignore (eat_punct st ";");
+    fields := f :: !fields
+  done;
+  ignore (eat_punct st "}");
+  let close = eat_punct st ";" in
+  T_struct { name; fields = List.rev !fields; range = Srcloc.union start close }
+
+let parse_func_or_global st ~attrs : top =
+  let start = cur_range st in
+  let quals = ref [] in
+  while
+    match (cur st).Token.kind with
+    | Token.Kw k when List.mem k quals_kws -> true
+    | _ -> false
+  do
+    (match (cur st).Token.kind with
+     | Token.Kw k -> quals := k :: !quals
+     | _ -> ());
+    advance st
+  done;
+  let quals = List.rev !quals in
+  (* Graph definition: constexpr auto name = make_compute_graph_v<...> *)
+  if
+    List.mem "constexpr" quals && is_kw st "auto"
+    &&
+    (match st.toks.(st.idx + 2).Token.kind with
+     | Token.Punct "=" ->
+       (match st.toks.(st.idx + 3).Token.kind with
+        | Token.Ident "make_compute_graph_v" -> true
+        | _ -> false)
+     | _ -> false)
+  then begin
+    advance st (* auto *);
+    T_graph (parse_graph st ~attrs ~quals ~start)
+  end
+  else begin
+    let typ = parse_type st in
+    let name, _ = eat_ident st in
+    if is_punct st "(" then begin
+      let params = parse_params st in
+      let body_open = eat_punct st "{" in
+      let body = parse_stmts_until st "}" in
+      let body_close = eat_punct st "}" in
+      T_func
+        {
+          quals;
+          ret = typ;
+          name;
+          params;
+          body;
+          range = Srcloc.union start body_close;
+          body_range = Srcloc.union body_open body_close;
+        }
+    end
+    else begin
+      (* global variable, possibly an array *)
+      let typ = ref typ in
+      while is_punct st "[" do
+        advance st;
+        let d = if is_punct st "]" then None else Some (parse_expr st) in
+        ignore (eat_punct st "]");
+        typ := { t_desc = Tarray (!typ, d); t_range = (!typ).t_range }
+      done;
+      let init =
+        if is_punct st "=" then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      let close = eat_punct st ";" in
+      T_global { quals; typ = !typ; name; init; attrs; range = Srcloc.union start close }
+    end
+  end
+
+let parse_tokens ~file ~source toks =
+  let st = { toks = Array.of_list toks; idx = 0 } in
+  let items = ref [] in
+  let rec go () =
+    match (cur st).Token.kind with
+    | Token.Eof -> ()
+    | Token.Directive_include { path; system } ->
+      let range = cur_range st in
+      advance st;
+      items := T_include { path; system; range } :: !items;
+      go ()
+    | Token.Directive_define { name; body } ->
+      let range = cur_range st in
+      advance st;
+      items := T_define { name; body; range } :: !items;
+      go ()
+    | Token.Directive_pragma text ->
+      let range = cur_range st in
+      advance st;
+      items := T_pragma { text; range } :: !items;
+      go ()
+    | Token.Kw "struct" ->
+      items := parse_struct st :: !items;
+      go ()
+    | Token.Ident "COMPUTE_KERNEL" ->
+      items := T_kernel (parse_kernel st) :: !items;
+      go ()
+    | Token.Punct "[[" ->
+      let attrs = parse_attrs st in
+      items := parse_func_or_global st ~attrs :: !items;
+      go ()
+    | Token.Kw _ | Token.Ident _ ->
+      items := parse_func_or_global st ~attrs:[] :: !items;
+      go ()
+    | k -> err st "unexpected %s at top level" (Token.kind_to_string k)
+  in
+  go ();
+  { tu_file = file; tu_source = source; tu_items = List.rev !items }
+
+let parse ~file source = parse_tokens ~file ~source (Lexer.tokenize ~file source)

@@ -1,0 +1,18 @@
+(** CGC recursive-descent parser.
+
+    Parses a token stream into an {!Ast.tu}.  The grammar is the C++
+    subset used by cgsim prototypes; anything outside it produces a
+    located {!Diag.Error} rather than a guess.  Notable constructs:
+
+    - [COMPUTE_KERNEL(realm, name, ports...) { body }] parses into
+      {!Ast.T_kernel}, with the whole macro-call-through-body span kept
+      as the expansion range (the paper's footnote 3: rewriting must use
+      macro expansion ranges);
+    - [[[attr]] constexpr auto g = make_compute_graph_v<[](...) {...}>;]
+      parses into {!Ast.T_graph};
+    - [>>] closing two template levels is split, as in C++11. *)
+
+val parse : file:string -> string -> Ast.tu
+(** Lex and parse one source buffer. *)
+
+val parse_tokens : file:string -> source:string -> Token.t list -> Ast.tu

@@ -1,0 +1,71 @@
+exception Rewrite_error of string
+
+type edit = {
+  start : int;
+  stop : int;  (* exclusive; start = stop for insertions *)
+  text : string;
+}
+
+type t = {
+  src : string;
+  mutable edits : edit list;
+}
+
+let create ~source = { src = source; edits = [] }
+
+let source t = t.src
+
+let check_bounds t start stop =
+  if start < 0 || stop > String.length t.src || start > stop then
+    raise
+      (Rewrite_error
+         (Printf.sprintf "edit range [%d, %d) out of bounds (source is %d bytes)" start stop
+            (String.length t.src)))
+
+let add t e =
+  check_bounds t e.start e.stop;
+  t.edits <- e :: t.edits
+
+let remove t ~start ~stop = add t { start; stop; text = "" }
+
+let replace t ~start ~stop text = add t { start; stop; text }
+
+let insert t ~at text = add t { start = at; stop = at; text }
+
+let apply t =
+  let edits =
+    List.sort
+      (fun a b -> if a.start <> b.start then compare a.start b.start else compare a.stop b.stop)
+      (List.rev t.edits)
+  in
+  (* Overlap detection (adjacent insertions at the same point are fine). *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if a.stop > b.start then
+        raise
+          (Rewrite_error
+             (Printf.sprintf "overlapping edits: [%d, %d) and [%d, %d)" a.start a.stop b.start
+                b.stop));
+      check rest
+    | _ -> ()
+  in
+  check edits;
+  let buf = Buffer.create (String.length t.src) in
+  let cursor = ref 0 in
+  List.iter
+    (fun e ->
+      if e.start > !cursor then Buffer.add_substring buf t.src !cursor (e.start - !cursor);
+      Buffer.add_string buf e.text;
+      cursor := max !cursor e.stop)
+    edits;
+  if !cursor < String.length t.src then
+    Buffer.add_substring buf t.src !cursor (String.length t.src - !cursor);
+  Buffer.contents buf
+
+let slice ~source ~start ~stop =
+  if start < 0 || stop > String.length source || start > stop then
+    raise (Rewrite_error (Printf.sprintf "slice [%d, %d) out of bounds" start stop));
+  String.sub source start (stop - start)
+
+let slice_range ~source (r : Srcloc.range) =
+  slice ~source ~start:r.Srcloc.start.Srcloc.offset ~stop:r.Srcloc.stop.Srcloc.offset

@@ -1,0 +1,30 @@
+(** Source-level rewriting (the clang::Rewriter analogue).
+
+    Non-overlapping edits keyed by original byte offsets, applied in one
+    pass to produce the transformed text.  Edits never invalidate each
+    other's positions because they all refer to the original buffer. *)
+
+type t
+
+exception Rewrite_error of string
+
+val create : source:string -> t
+
+val source : t -> string
+
+(** [remove t ~start ~stop] deletes [start, stop).  Offsets are byte
+    offsets into the original source. *)
+val remove : t -> start:int -> stop:int -> unit
+
+val replace : t -> start:int -> stop:int -> string -> unit
+
+val insert : t -> at:int -> string -> unit
+
+(** Apply all edits.  Raises {!Rewrite_error} if any two edits overlap. *)
+val apply : t -> string
+
+(** Text of a range in an untouched buffer. *)
+val slice : source:string -> start:int -> stop:int -> string
+
+(** Slice by {!Srcloc.range}. *)
+val slice_range : source:string -> Srcloc.range -> string

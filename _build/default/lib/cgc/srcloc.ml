@@ -1,0 +1,32 @@
+type pos = {
+  file : string;
+  line : int;
+  col : int;
+  offset : int;
+}
+
+type range = {
+  start : pos;
+  stop : pos;
+}
+
+let dummy_pos = { file = "<none>"; line = 0; col = 0; offset = -1 }
+
+let dummy = { start = dummy_pos; stop = dummy_pos }
+
+let make start stop = { start; stop }
+
+let union a b =
+  if a == dummy then b
+  else if b == dummy then a
+  else begin
+    let start = if a.start.offset <= b.start.offset then a.start else b.start in
+    let stop = if a.stop.offset >= b.stop.offset then a.stop else b.stop in
+    { start; stop }
+  end
+
+let pp_pos ppf p = Format.fprintf ppf "%s:%d:%d" p.file p.line p.col
+
+let pp ppf r = pp_pos ppf r.start
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,34 @@
+(** Source locations and ranges.
+
+    Every CGC token and AST node carries a byte-offset range into the
+    original source buffer; the {!Rewriter} operates on these ranges, so
+    they must survive all analysis passes untouched (the same contract
+    clang::SourceRange gives LibTooling tools). *)
+
+type pos = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  offset : int;  (** 0-based byte offset *)
+}
+
+type range = {
+  start : pos;
+  stop : pos;  (** exclusive *)
+}
+
+val dummy_pos : pos
+
+val dummy : range
+
+val make : pos -> pos -> range
+
+(** Smallest range covering both. *)
+val union : range -> range -> range
+
+val pp_pos : Format.formatter -> pos -> unit
+
+val pp : Format.formatter -> range -> unit
+
+(** "file:line:col" of the start. *)
+val to_string : range -> string

@@ -1,0 +1,41 @@
+type kind =
+  | Ident of string
+  | Kw of string
+  | Int_lit of int * string
+  | Float_lit of float * string
+  | Str_lit of string
+  | Char_lit of char
+  | Punct of string
+  | Directive_include of { path : string; system : bool }
+  | Directive_define of { name : string; body : string }
+  | Directive_pragma of string
+  | Eof
+
+type t = {
+  kind : kind;
+  range : Srcloc.range;
+}
+
+let keywords =
+  [
+    "auto"; "bool"; "break"; "case"; "char"; "const"; "constexpr"; "continue"; "co_await";
+    "default"; "do"; "double"; "else"; "enum"; "false"; "float"; "for"; "if"; "inline"; "int";
+    "long"; "namespace"; "return"; "short"; "signed"; "sizeof"; "static"; "struct"; "switch";
+    "template"; "true"; "typedef"; "typename"; "unsigned"; "using"; "void"; "while";
+  ]
+
+let kind_to_string = function
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Kw s -> Printf.sprintf "keyword %s" s
+  | Int_lit (_, s) -> Printf.sprintf "integer %s" s
+  | Float_lit (_, s) -> Printf.sprintf "float %s" s
+  | Str_lit s -> Printf.sprintf "string %S" s
+  | Char_lit c -> Printf.sprintf "char %C" c
+  | Punct s -> Printf.sprintf "'%s'" s
+  | Directive_include { path; system } ->
+    Printf.sprintf "#include %s" (if system then "<" ^ path ^ ">" else "\"" ^ path ^ "\"")
+  | Directive_define { name; _ } -> Printf.sprintf "#define %s" name
+  | Directive_pragma p -> Printf.sprintf "#pragma %s" p
+  | Eof -> "end of file"
+
+let pp ppf t = Format.fprintf ppf "%s@%a" (kind_to_string t.kind) Srcloc.pp t.range

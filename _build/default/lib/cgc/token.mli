@@ -1,0 +1,28 @@
+(** CGC token stream elements. *)
+
+type kind =
+  | Ident of string
+  | Kw of string  (** language keyword (see {!keywords}) *)
+  | Int_lit of int * string  (** value, original spelling *)
+  | Float_lit of float * string
+  | Str_lit of string  (** decoded contents *)
+  | Char_lit of char
+  | Punct of string  (** operator or punctuation spelling, e.g. "::", "<<" *)
+  | Directive_include of { path : string; system : bool }
+      (** A whole [#include] line. *)
+  | Directive_define of { name : string; body : string }
+      (** Object-like [#define NAME tokens...] (body kept as raw text). *)
+  | Directive_pragma of string
+  | Eof
+
+type t = {
+  kind : kind;
+  range : Srcloc.range;
+}
+
+val keywords : string list
+(** The C++ keywords CGC recognizes (incl. [co_await], [constexpr]). *)
+
+val pp : Format.formatter -> t -> unit
+
+val kind_to_string : kind -> string

@@ -1,0 +1,1 @@
+lib/cgsim/attr.ml: Format Hashtbl List String

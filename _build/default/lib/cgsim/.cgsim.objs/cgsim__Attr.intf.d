@@ -1,0 +1,1 @@
+lib/cgsim/attr.mli: Format

@@ -1,0 +1,1 @@
+lib/cgsim/bqueue.ml: Array Dtype List Sched Value

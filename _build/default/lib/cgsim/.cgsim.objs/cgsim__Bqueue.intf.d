@@ -1,0 +1,1 @@
+lib/cgsim/bqueue.mli: Dtype Value

@@ -1,0 +1,1 @@
+lib/cgsim/builder.ml: Array Attr Dtype Format Hashtbl Kernel List Option Printf Registry Serialized Settings String

@@ -1,0 +1,1 @@
+lib/cgsim/builder.mli: Attr Dtype Kernel Serialized

@@ -1,0 +1,1 @@
+lib/cgsim/dtype.ml: Format List Printf String

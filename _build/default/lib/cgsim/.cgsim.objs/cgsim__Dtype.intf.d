@@ -1,0 +1,1 @@
+lib/cgsim/dtype.mli: Format

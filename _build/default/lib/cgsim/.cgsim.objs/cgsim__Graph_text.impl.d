@@ -1,0 +1,1 @@
+lib/cgsim/graph_text.ml: Array Attr Buffer Dtype Kernel List Printf Serialized Settings String

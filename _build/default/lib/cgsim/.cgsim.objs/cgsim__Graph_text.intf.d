@@ -1,0 +1,1 @@
+lib/cgsim/graph_text.mli: Dtype Serialized

@@ -1,0 +1,1 @@
+lib/cgsim/io.ml: Array List Printf Value

@@ -1,0 +1,1 @@
+lib/cgsim/io.mli: Dtype Value

@@ -1,0 +1,1 @@
+lib/cgsim/kernel.ml: Array Dtype Format Hashtbl List Port Printf Settings String

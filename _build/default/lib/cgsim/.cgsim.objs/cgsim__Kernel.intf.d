@@ -1,0 +1,1 @@
+lib/cgsim/kernel.mli: Dtype Format Port Settings

@@ -1,0 +1,1 @@
+lib/cgsim/port.ml: Array Dtype Printf Value

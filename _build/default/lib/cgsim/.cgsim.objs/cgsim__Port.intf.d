@@ -1,0 +1,1 @@
+lib/cgsim/port.mli: Dtype Value

@@ -1,0 +1,1 @@
+lib/cgsim/registry.ml: Hashtbl Kernel List Printf

@@ -1,0 +1,1 @@
+lib/cgsim/registry.mli: Kernel

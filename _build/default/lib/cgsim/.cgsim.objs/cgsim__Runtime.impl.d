@@ -1,0 +1,1 @@
+lib/cgsim/runtime.ml: Array Bqueue Dtype Format Fun Io Kernel List Port Printexc Printf Registry Sched Serialized Settings String

@@ -1,0 +1,1 @@
+lib/cgsim/runtime.mli: Io Port Sched Serialized

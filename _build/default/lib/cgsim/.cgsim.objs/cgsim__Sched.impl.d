@@ -1,0 +1,1 @@
+lib/cgsim/sched.ml: Effect Format List Queue Unix

@@ -1,0 +1,1 @@
+lib/cgsim/sched.mli: Format

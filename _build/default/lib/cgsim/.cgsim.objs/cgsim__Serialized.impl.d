@@ -1,0 +1,1 @@
+lib/cgsim/serialized.ml: Array Attr Dtype Format Int Kernel List Option Printf Settings String

@@ -1,0 +1,1 @@
+lib/cgsim/serialized.mli: Attr Dtype Format Kernel Settings

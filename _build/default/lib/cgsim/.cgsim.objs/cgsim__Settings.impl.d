@@ -1,0 +1,1 @@
+lib/cgsim/settings.ml: Format Int Option Printf Result

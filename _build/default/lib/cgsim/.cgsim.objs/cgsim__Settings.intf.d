@@ -1,0 +1,1 @@
+lib/cgsim/settings.mli: Format

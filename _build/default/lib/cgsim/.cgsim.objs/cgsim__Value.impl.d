@@ -1,0 +1,1 @@
+lib/cgsim/value.ml: Array Dtype Float Format Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/cgsim/value.mli: Dtype Format

@@ -1,0 +1,141 @@
+type t = {
+  q_name : string;
+  q_dtype : Dtype.t;
+  q_cap : int;
+  buf : Value.t array;
+  mutable head : int;  (* sequence number of the next write *)
+  mutable consumers : consumer list;
+  mutable producers_open : int;
+  mutable producers_total : int;
+  mutable closed : bool;
+  mutable put_waiters : Sched.waker list;
+  mutable get_waiters : Sched.waker list;
+  mutable total_put : int;
+}
+
+and consumer = {
+  c_queue : t;
+  mutable cursor : int;  (* sequence number of this consumer's next read *)
+}
+
+and producer = {
+  p_queue : t;
+  mutable open_ : bool;
+}
+
+let create ~name ~dtype ~capacity () =
+  if capacity <= 0 then invalid_arg ("cgsim: queue capacity must be positive: " ^ name);
+  {
+    q_name = name;
+    q_dtype = dtype;
+    q_cap = capacity;
+    buf = Array.make capacity (Value.Int 0);
+    head = 0;
+    consumers = [];
+    producers_open = 0;
+    producers_total = 0;
+    closed = false;
+    put_waiters = [];
+    get_waiters = [];
+    total_put = 0;
+  }
+
+let name q = q.q_name
+let dtype q = q.q_dtype
+let capacity q = q.q_cap
+let is_closed q = q.closed
+let total_put q = q.total_put
+
+let add_consumer q =
+  (* A consumer attached mid-stream starts at the current head: broadcast
+     completeness is defined from attachment onward.  The runtime attaches
+     all consumers before execution, so in practice cursor = 0. *)
+  let c = { c_queue = q; cursor = q.head } in
+  q.consumers <- c :: q.consumers;
+  c
+
+let add_producer q =
+  if q.closed then invalid_arg ("cgsim: adding producer to closed queue " ^ q.q_name);
+  let p = { p_queue = q; open_ = true } in
+  q.producers_open <- q.producers_open + 1;
+  q.producers_total <- q.producers_total + 1;
+  p
+
+(* Retirement point: the slowest consumer's cursor.  With no consumers the
+   queue acts as a sink and retires immediately (broadcast to zero
+   endpoints), mirroring cgsim's behaviour for dangling nets. *)
+let min_cursor q =
+  match q.consumers with
+  | [] -> q.head
+  | c :: rest -> List.fold_left (fun acc c -> min acc c.cursor) c.cursor rest
+
+let wake_all_put q =
+  let ws = q.put_waiters in
+  q.put_waiters <- [];
+  List.iter Sched.wake ws
+
+let wake_all_get q =
+  let ws = q.get_waiters in
+  q.get_waiters <- [];
+  List.iter Sched.wake ws
+
+let close q =
+  if not q.closed then begin
+    q.closed <- true;
+    wake_all_get q;
+    wake_all_put q
+  end
+
+let rec put p v =
+  let q = p.p_queue in
+  if not p.open_ then invalid_arg ("cgsim: put on finished producer of " ^ q.q_name);
+  Value.check ~net:q.q_name q.q_dtype v;
+  if q.head - min_cursor q >= q.q_cap then begin
+    Sched.park (fun w -> q.put_waiters <- w :: q.put_waiters);
+    put p v
+  end
+  else begin
+    q.buf.(q.head mod q.q_cap) <- v;
+    q.head <- q.head + 1;
+    q.total_put <- q.total_put + 1;
+    wake_all_get q
+  end
+
+let rec get c =
+  let q = c.c_queue in
+  if c.cursor < q.head then begin
+    let v = q.buf.(c.cursor mod q.q_cap) in
+    c.cursor <- c.cursor + 1;
+    (* Advancing the slowest consumer may free space for producers. *)
+    wake_all_put q;
+    v
+  end
+  else if q.closed then raise Sched.End_of_stream
+  else begin
+    Sched.park (fun w -> q.get_waiters <- w :: q.get_waiters);
+    get c
+  end
+
+let get_block c n =
+  if n < 0 then invalid_arg "cgsim: get_block with negative count";
+  Array.init n (fun _ -> get c)
+
+let put_block p vs = Array.iter (put p) vs
+
+let peek c =
+  let q = c.c_queue in
+  if c.cursor < q.head then Some q.buf.(c.cursor mod q.q_cap)
+  else if q.closed then raise Sched.End_of_stream
+  else None
+
+let available c =
+  let q = c.c_queue in
+  q.head - c.cursor
+
+let producer_done p =
+  if p.open_ then begin
+    p.open_ <- false;
+    let q = p.p_queue in
+    q.producers_open <- q.producers_open - 1;
+    if q.producers_open <= 0 then close q
+  end

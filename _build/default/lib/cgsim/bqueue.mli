@@ -1,0 +1,68 @@
+(** Fixed-capacity multi-producer multi-consumer queues with broadcast
+    semantics (Section 3.6): every consumer receives a complete copy of all
+    data written to the queue.  Order is preserved per producer; data from
+    multiple producers may interleave (producers share one append point, so
+    interleaving follows scheduling order).
+
+    Blocking behaviour integrates with {!Sched}: a full queue parks
+    producers, an empty queue parks consumers.  An element is retired once
+    the slowest consumer has read it.
+
+    Producers are registered so the queue can close itself when every
+    producer is done; reads past the last element of a closed queue raise
+    {!Sched.End_of_stream}, which ends infinite-loop kernels cleanly. *)
+
+type t
+
+type consumer
+
+type producer
+
+(** [create ~name ~dtype ~capacity ()] makes an empty queue holding at
+    most [capacity] elements (a positive count).  Written values are
+    checked against [dtype].  Blocking endpoints park on the scheduler of
+    whichever fiber touches them ({!Sched.park} uses the running fiber's
+    scheduler), so a queue belongs to whatever run it is used in. *)
+val create : name:string -> dtype:Dtype.t -> capacity:int -> unit -> t
+
+val name : t -> string
+val dtype : t -> Dtype.t
+val capacity : t -> int
+
+(** Registration must happen before the first [put]/[get] of the
+    corresponding endpoint; the runtime wires all endpoints up front. *)
+
+val add_consumer : t -> consumer
+val add_producer : t -> producer
+
+(** [put p v] appends [v]; parks while the queue is full.  Raises
+    [Invalid_argument] on dtype mismatch or put-after-done. *)
+val put : producer -> Value.t -> unit
+
+(** [get c] removes this consumer's next element; parks while none is
+    available.  Raises {!Sched.End_of_stream} once the queue is closed and
+    this consumer has drained it. *)
+val get : consumer -> Value.t
+
+(** [get_block c n] reads [n] consecutive elements (window transfer). *)
+val get_block : consumer -> int -> Value.t array
+
+(** [put_block p vs] appends all of [vs] in order. *)
+val put_block : producer -> Value.t array -> unit
+
+(** Non-blocking probe: [Some v] without consuming, [None] when empty.
+    Raises {!Sched.End_of_stream} when closed and drained. *)
+val peek : consumer -> Value.t option
+
+(** Mark one producer as finished.  The queue closes when all registered
+    producers are done; parked consumers are woken to observe end of
+    stream.  Idempotent. *)
+val producer_done : producer -> unit
+
+val is_closed : t -> bool
+
+(** Elements written over the queue's lifetime (diagnostic/metric). *)
+val total_put : t -> int
+
+(** Elements this consumer still has buffered. *)
+val available : consumer -> int

@@ -1,0 +1,136 @@
+type t =
+  | F32
+  | F64
+  | I8
+  | I16
+  | I32
+  | I64
+  | U8
+  | U16
+  | U32
+  | Vector of t * int
+  | Struct of (string * t) list
+
+let rec equal a b =
+  match a, b with
+  | F32, F32 | F64, F64 | I8, I8 | I16, I16 | I32, I32 | I64, I64
+  | U8, U8 | U16, U16 | U32, U32 ->
+    true
+  | Vector (ea, la), Vector (eb, lb) -> la = lb && equal ea eb
+  | Struct fa, Struct fb ->
+    List.length fa = List.length fb
+    && List.for_all2 (fun (na, ta) (nb, tb) -> String.equal na nb && equal ta tb) fa fb
+  | (F32 | F64 | I8 | I16 | I32 | I64 | U8 | U16 | U32 | Vector _ | Struct _), _ -> false
+
+let is_scalar = function
+  | F32 | F64 | I8 | I16 | I32 | I64 | U8 | U16 | U32 -> true
+  | Vector _ | Struct _ -> false
+
+let is_integer = function
+  | I8 | I16 | I32 | I64 | U8 | U16 | U32 -> true
+  | F32 | F64 | Vector _ | Struct _ -> false
+
+let is_float = function
+  | F32 | F64 -> true
+  | I8 | I16 | I32 | I64 | U8 | U16 | U32 | Vector _ | Struct _ -> false
+
+let rec size_bytes = function
+  | I8 | U8 -> 1
+  | I16 | U16 -> 2
+  | F32 | I32 | U32 -> 4
+  | F64 | I64 -> 8
+  | Vector (e, lanes) -> lanes * size_bytes e
+  | Struct fields -> List.fold_left (fun acc (_, t) -> acc + size_bytes t) 0 fields
+
+let rec scalar_count = function
+  | F32 | F64 | I8 | I16 | I32 | I64 | U8 | U16 | U32 -> 1
+  | Vector (e, lanes) -> lanes * scalar_count e
+  | Struct fields -> List.fold_left (fun acc (_, t) -> acc + scalar_count t) 0 fields
+
+let rec pp ppf = function
+  | F32 -> Format.pp_print_string ppf "f32"
+  | F64 -> Format.pp_print_string ppf "f64"
+  | I8 -> Format.pp_print_string ppf "i8"
+  | I16 -> Format.pp_print_string ppf "i16"
+  | I32 -> Format.pp_print_string ppf "i32"
+  | I64 -> Format.pp_print_string ppf "i64"
+  | U8 -> Format.pp_print_string ppf "u8"
+  | U16 -> Format.pp_print_string ppf "u16"
+  | U32 -> Format.pp_print_string ppf "u32"
+  | Vector (e, lanes) -> Format.fprintf ppf "v%d%a" lanes pp e
+  | Struct fields ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf (n, t) -> Format.fprintf ppf "%s:%a" n pp t))
+      fields
+
+let to_string t = Format.asprintf "%a" pp t
+
+let scalar_of_cpp = function
+  | "float" -> Some F32
+  | "double" -> Some F64
+  | "int8_t" -> Some I8
+  | "int16_t" -> Some I16
+  | "int32_t" | "int" -> Some I32
+  | "int64_t" | "long" -> Some I64
+  | "uint8_t" -> Some U8
+  | "uint16_t" -> Some U16
+  | "uint32_t" | "unsigned" -> Some U32
+  | _ -> None
+
+let of_cpp_spelling s =
+  match scalar_of_cpp s with
+  | Some t -> Some t
+  | None ->
+    (* Vector spelling: v<N><scalar>, as in AMD's v16float / v8int32. *)
+    if String.length s > 1 && s.[0] = 'v' then begin
+      let rest = String.sub s 1 (String.length s - 1) in
+      let digits = ref 0 in
+      while !digits < String.length rest && rest.[!digits] >= '0' && rest.[!digits] <= '9' do
+        incr digits
+      done;
+      if !digits = 0 then None
+      else begin
+        let lanes = int_of_string (String.sub rest 0 !digits) in
+        let elem = String.sub rest !digits (String.length rest - !digits) in
+        (* AMD spells the element without the _t suffix: v16int16, v8int32. *)
+        let elem_spelling =
+          match elem with
+          | "int16" -> "int16_t"
+          | "int32" -> "int32_t"
+          | "int8" -> "int8_t"
+          | "uint8" -> "uint8_t"
+          | other -> other
+        in
+        match scalar_of_cpp elem_spelling with
+        | Some e when lanes > 0 -> Some (Vector (e, lanes))
+        | Some _ | None -> None
+      end
+    end
+    else None
+
+let rec cpp_spelling ?struct_name = function
+  | F32 -> "float"
+  | F64 -> "double"
+  | I8 -> "int8_t"
+  | I16 -> "int16_t"
+  | I32 -> "int32_t"
+  | I64 -> "int64_t"
+  | U8 -> "uint8_t"
+  | U16 -> "uint16_t"
+  | U32 -> "uint32_t"
+  | Vector (e, lanes) ->
+    let base = cpp_spelling e in
+    let short =
+      match e with
+      | I8 -> "int8" | I16 -> "int16" | I32 -> "int32" | I64 -> "int64"
+      | U8 -> "uint8" | U16 -> "uint16" | U32 -> "uint32"
+      | F32 -> "float" | F64 -> "double"
+      | Vector _ | Struct _ -> base
+    in
+    Printf.sprintf "v%d%s" lanes short
+  | Struct _ ->
+    (match struct_name with
+     | Some n -> n
+     | None -> "struct /* anonymous */")

@@ -1,0 +1,54 @@
+(** Element type descriptors for stream data.
+
+    Every net (stream connection) in a compute graph carries elements of a
+    single {!t}.  Mirrors cgsim's use of C++ template type parameters on
+    [KernelReadPort<T>] / [KernelWritePort<T>]: the set of scalar types is
+    the set supported by AIE stream interfaces, plus fixed-lane vectors and
+    user-defined structs (cgsim explicitly supports struct-typed streams,
+    which the AMD AIE framework does not). *)
+
+type t =
+  | F32
+  | F64
+  | I8
+  | I16
+  | I32
+  | I64
+  | U8
+  | U16
+  | U32
+  | Vector of t * int  (** [Vector (elem, lanes)]; [elem] must be scalar. *)
+  | Struct of (string * t) list
+      (** Named fields, in declaration order.  Fields may themselves be
+          vectors or nested structs. *)
+
+val equal : t -> t -> bool
+
+val is_scalar : t -> bool
+
+val is_integer : t -> bool
+
+val is_float : t -> bool
+
+(** Size of one element in bytes, using natural (packed) layout.  Used to
+    express the paper's per-block byte sizes and AXI beat accounting. *)
+val size_bytes : t -> int
+
+(** Number of scalar lanes contained in the type (1 for scalars). *)
+val scalar_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Parse the C++-ish spelling used by CGC sources and attribute values:
+    "float", "double", "int8_t", "int16_t", "int32_t", "int64_t",
+    "uint8_t", "uint16_t", "uint32_t", "int", "unsigned".  Vectors are
+    spelled "v<N><scalar>", e.g. "v16float".  Returns [None] for unknown
+    spellings (structs have no textual spelling; they are built by name
+    resolution in CGC's sema). *)
+val of_cpp_spelling : string -> t option
+
+(** C++ spelling for code generation; structs print their tag via
+    [struct_name]. *)
+val cpp_spelling : ?struct_name:string -> t -> string

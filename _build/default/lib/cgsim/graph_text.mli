@@ -1,0 +1,39 @@
+(** Textual codec for serialized compute graphs.
+
+    The flattened graph form ({!Serialized.t}) is plain data — the whole
+    point of the paper's constexpr-variable design is that it crosses
+    tool boundaries.  This module gives it a stable, human-readable
+    on-disk syntax so graphs can be dumped by one tool (e.g. [cgx]) and
+    reloaded by another, golden-tested, or diffed.
+
+    The format is line-oriented:
+
+    {v
+    cgsim-graph 1
+    graph farrow
+    kernel farrow_stage1_0 farrow_stage1 aie
+      port in in i16 window:4096
+      port c01 out v2i16 stream
+      nets 1 2
+    net 0 i16 transport=rtp
+      input d
+    net 2 v2i16 transport=stream
+      writer 0.1
+      reader 1.0
+      attr plio_name str bitonic_out
+    inputs 0 1
+    outputs 4
+    v}
+
+    Round-trip property: [of_string (to_string g)] is topologically equal
+    to [g] (tested). *)
+
+val to_string : Serialized.t -> string
+
+val of_string : string -> (Serialized.t, string) result
+
+(** Dtype spellings used by the format ("f32", "v16f32",
+    "{a:f32;b:i32}"). *)
+val dtype_to_string : Dtype.t -> string
+
+val dtype_of_string : string -> (Dtype.t, string) result

@@ -1,0 +1,128 @@
+type source = {
+  src_name : string;
+  make_pull : unit -> unit -> Value.t option;
+  length : int option;
+}
+
+type sink = {
+  snk_name : string;
+  push : Value.t -> unit;
+}
+
+let of_list values =
+  {
+    src_name = "list-source";
+    make_pull =
+      (fun () ->
+        let rest = ref values in
+        fun () ->
+          match !rest with
+          | [] -> None
+          | v :: tl ->
+            rest := tl;
+            Some v);
+    length = Some (List.length values);
+  }
+
+let of_array values =
+  {
+    src_name = "array-source";
+    make_pull =
+      (fun () ->
+        let i = ref 0 in
+        fun () ->
+          if !i >= Array.length values then None
+          else begin
+            let v = values.(!i) in
+            incr i;
+            Some v
+          end);
+    length = Some (Array.length values);
+  }
+
+let of_f32_array values =
+  let tagged = Array.map (fun f -> Value.Float (Value.round_f32 f)) values in
+  { (of_array tagged) with src_name = "f32-source" }
+
+let of_int_array dtype values =
+  let tagged = Array.map (fun i -> Value.Int (Value.wrap_int dtype i)) values in
+  { (of_array tagged) with src_name = "int-source" }
+
+let repeat n values =
+  if n < 0 then invalid_arg "cgsim: Io.repeat with negative count";
+  let len = List.length values in
+  let arr = Array.of_list values in
+  {
+    src_name = Printf.sprintf "repeat%d-source" n;
+    make_pull =
+      (fun () ->
+        let produced = ref 0 in
+        let total = n * len in
+        fun () ->
+          if !produced >= total then None
+          else begin
+            let v = arr.(!produced mod len) in
+            incr produced;
+            Some v
+          end);
+    length = Some (n * len);
+  }
+
+let of_fun f = { src_name = "fun-source"; make_pull = (fun () -> f); length = None }
+
+let rtp v =
+  {
+    src_name = "rtp-source";
+    make_pull =
+      (fun () ->
+        let sent = ref false in
+        fun () ->
+          if !sent then None
+          else begin
+            sent := true;
+            Some v
+          end);
+    length = Some 1;
+  }
+
+let source_name s = s.src_name
+
+let with_source_name name s = { s with src_name = name }
+
+let buffer () =
+  let acc = ref [] in
+  ( { snk_name = "buffer-sink"; push = (fun v -> acc := v :: !acc) },
+    fun () -> List.rev !acc )
+
+let f32_buffer () =
+  let sink, contents = buffer () in
+  ( { sink with snk_name = "f32-buffer-sink" },
+    fun () -> Array.of_list (List.map Value.to_float (contents ())) )
+
+let int_buffer () =
+  let sink, contents = buffer () in
+  ( { sink with snk_name = "int-buffer-sink" },
+    fun () -> Array.of_list (List.map Value.to_int (contents ())) )
+
+let counter () =
+  let n = ref 0 in
+  { snk_name = "counter-sink"; push = (fun _ -> incr n) }, fun () -> !n
+
+let rtp_sink () =
+  let cell = ref None in
+  ( { snk_name = "rtp-sink"; push = (fun v -> cell := Some v) },
+    fun () -> !cell )
+
+let null () = { snk_name = "null-sink"; push = ignore }
+
+let of_consumer push = { snk_name = "consumer-sink"; push }
+
+let sink_name s = s.snk_name
+
+let with_sink_name name s = { s with snk_name = name }
+
+let source_pull s = s.make_pull ()
+
+let source_length s = s.length
+
+let sink_push s v = s.push v

@@ -1,0 +1,93 @@
+type realm =
+  | Aie
+  | Noextract
+  | Pl
+
+let realm_to_string = function
+  | Aie -> "aie"
+  | Noextract -> "noextract"
+  | Pl -> "pl"
+
+let realm_of_string = function
+  | "aie" -> Some Aie
+  | "noextract" -> Some Noextract
+  | "pl" | "hls" -> Some Pl
+  | _ -> None
+
+let equal_realm a b =
+  match a, b with
+  | Aie, Aie | Noextract, Noextract | Pl, Pl -> true
+  | (Aie | Noextract | Pl), _ -> false
+
+type dir =
+  | In
+  | Out
+
+type port_spec = {
+  pname : string;
+  dir : dir;
+  dtype : Dtype.t;
+  settings : Settings.t;
+}
+
+type binding = {
+  readers : Port.reader array;
+  writers : Port.writer array;
+}
+
+type body = binding -> unit
+
+type t = {
+  name : string;
+  realm : realm;
+  ports : port_spec array;
+  body : body;
+}
+
+let define ~realm ~name ports body =
+  if name = "" then invalid_arg "cgsim: kernel name must be non-empty";
+  if ports = [] then invalid_arg ("cgsim: kernel " ^ name ^ " must declare at least one port");
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if p.pname = "" then invalid_arg ("cgsim: kernel " ^ name ^ " has an unnamed port");
+      if Hashtbl.mem seen p.pname then
+        invalid_arg (Printf.sprintf "cgsim: kernel %s declares port %s twice" name p.pname);
+      Hashtbl.add seen p.pname ())
+    ports;
+  { name; realm; ports = Array.of_list ports; body }
+
+let in_port ?(settings = Settings.default) pname dtype = { pname; dir = In; dtype; settings }
+
+let out_port ?(settings = Settings.default) pname dtype = { pname; dir = Out; dtype; settings }
+
+let rd b i = b.readers.(i)
+
+let wr b i = b.writers.(i)
+
+let in_ports k = List.filter (fun p -> p.dir = In) (Array.to_list k.ports)
+
+let out_ports k = List.filter (fun p -> p.dir = Out) (Array.to_list k.ports)
+
+let directional_index k pname =
+  let rec scan i n_in n_out =
+    if i >= Array.length k.ports then None
+    else begin
+      let p = k.ports.(i) in
+      match p.dir with
+      | In -> if String.equal p.pname pname then Some (In, n_in) else scan (i + 1) (n_in + 1) n_out
+      | Out ->
+        if String.equal p.pname pname then Some (Out, n_out) else scan (i + 1) n_in (n_out + 1)
+    end
+  in
+  scan 0 0 0
+
+let pp ppf k =
+  let pp_port ppf p =
+    Format.fprintf ppf "%s %s:%a"
+      (match p.dir with In -> "in" | Out -> "out")
+      p.pname Dtype.pp p.dtype
+  in
+  Format.fprintf ppf "@[<h>kernel %s [%s] (%a)@]" k.name (realm_to_string k.realm)
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_port)
+    (Array.to_seq k.ports)

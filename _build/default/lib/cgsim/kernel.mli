@@ -1,0 +1,74 @@
+(** Compute kernel definitions.
+
+    The OCaml analogue of the paper's [COMPUTE_KERNEL] macro (Section 3.3):
+    a kernel is a named, realm-annotated function over typed I/O ports.
+    Port metadata (direction, dtype, settings) is carried explicitly —
+    the role the generated C++ class and its type traits play in cgsim.
+
+    A kernel body receives a {!binding} of runtime endpoints; bodies are
+    written as infinite loops over stream operations and terminate via
+    {!Sched.End_of_stream} when their inputs drain (or run once per window
+    for buffer-port kernels). *)
+
+(** Target hardware realm (Section 4.3).  [Aie] kernels are extracted to
+    the AI Engine array; [Noextract] kernels stay in the host application;
+    [Pl] marks the programmable-logic/HLS realm the paper lists as future
+    work (partitioning supports it; code generation rejects it). *)
+type realm =
+  | Aie
+  | Noextract
+  | Pl
+
+val realm_to_string : realm -> string
+val realm_of_string : string -> realm option
+val equal_realm : realm -> realm -> bool
+
+type dir =
+  | In
+  | Out
+
+type port_spec = {
+  pname : string;
+  dir : dir;
+  dtype : Dtype.t;
+  settings : Settings.t;
+}
+
+(** Endpoints bound positionally to the kernel's ports: [readers] holds
+    the [In] ports in declaration order, [writers] the [Out] ports. *)
+type binding = {
+  readers : Port.reader array;
+  writers : Port.writer array;
+}
+
+type body = binding -> unit
+
+type t = {
+  name : string;
+  realm : realm;
+  ports : port_spec array;
+  body : body;
+}
+
+(** [define ~realm ~name ports body] validates the port list (non-empty
+    names, unique names, at least one port) and builds a kernel. *)
+val define : realm:realm -> name:string -> port_spec list -> body -> t
+
+(** Port-spec constructors. *)
+
+val in_port : ?settings:Settings.t -> string -> Dtype.t -> port_spec
+val out_port : ?settings:Settings.t -> string -> Dtype.t -> port_spec
+
+(** Indexing helpers for bodies. *)
+
+val rd : binding -> int -> Port.reader
+val wr : binding -> int -> Port.writer
+
+val in_ports : t -> port_spec list
+val out_ports : t -> port_spec list
+
+(** Index of a port among ports of its own direction, as used by
+    {!binding}; [None] if the name is unknown. *)
+val directional_index : t -> string -> (dir * int) option
+
+val pp : Format.formatter -> t -> unit

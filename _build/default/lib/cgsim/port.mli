@@ -1,0 +1,84 @@
+(** Kernel-side stream endpoints.
+
+    The runtime analogue of [KernelReadPort<T>] / [KernelWritePort<T>]:
+    the objects a kernel body actually reads from and writes to.  They are
+    closure records so the same kernel body can be bound to
+
+    - cgsim's cooperative queues ({!Bqueue}, via {!Runtime}),
+    - x86sim's thread-safe queues (one OS thread per kernel), and
+    - aiesim's instrumented endpoints (cycle accounting around accesses),
+
+    mirroring how the paper's extractor swaps port-type implementations per
+    realm (Section 4.4) without touching kernel code. *)
+
+type reader = {
+  r_name : string;
+  r_dtype : Dtype.t;
+  r_get : unit -> Value.t;  (** May suspend; raises {!Sched.End_of_stream}. *)
+  r_peek : unit -> Value.t option;
+  r_available : unit -> int;
+}
+
+type writer = {
+  w_name : string;
+  w_dtype : Dtype.t;
+  w_put : Value.t -> unit;  (** May suspend. *)
+}
+
+val get : reader -> Value.t
+val put : writer -> Value.t -> unit
+
+(** Window (block) transfers, used by buffer-port kernels such as the IIR
+    example.  [get_window r n] reads [n] elements. *)
+val get_window : reader -> int -> Value.t array
+
+val put_window : writer -> Value.t array -> unit
+
+(** {1 Scalar conveniences} *)
+
+val get_f32 : reader -> float
+val get_int : reader -> int
+val put_f32 : writer -> float -> unit
+val put_int : writer -> int -> unit
+
+(** {1 Typed codecs}
+
+    A ['a Codec.t] converts between OCaml values and stream elements,
+    giving kernels a typed API including user-defined structs (the paper
+    highlights struct-typed streams as a type-safety improvement over the
+    AIE framework's flat buffers). *)
+
+module Codec : sig
+  type 'a t = {
+    dtype : Dtype.t;
+    enc : 'a -> Value.t;
+    dec : Value.t -> 'a;
+  }
+
+  val f32 : float t
+  val f64 : float t
+  val i32 : int t
+  val i16 : int t
+  val u8 : int t
+
+  (** Fixed-lane float vector. *)
+  val vf32 : int -> float array t
+
+  (** Fixed-lane int vector of the given scalar dtype. *)
+  val vint : Dtype.t -> int -> int array t
+
+  (** Build a struct codec from named field codecs packed as a record of
+      accessors; see {!field}. *)
+  val struct2 : string * 'a t -> string * 'b t -> ('a * 'b) t
+
+  val struct3 : string * 'a t -> string * 'b t -> string * 'c t -> ('a * 'b * 'c) t
+
+  val struct4 :
+    string * 'a t -> string * 'b t -> string * 'c t -> string * 'd t -> ('a * 'b * 'c * 'd) t
+end
+
+val read : 'a Codec.t -> reader -> 'a
+val write : 'a Codec.t -> writer -> 'a -> unit
+
+(** Fail-fast dtype agreement check used when binding endpoints. *)
+val check_dtype : expected:Dtype.t -> actual:Dtype.t -> what:string -> unit

@@ -1,0 +1,31 @@
+exception Not_found_kernel of string
+
+let table : (string, Kernel.t) Hashtbl.t = Hashtbl.create 32
+
+let order : string list ref = ref []
+
+let register (k : Kernel.t) =
+  match Hashtbl.find_opt table k.Kernel.name with
+  | Some existing when existing == k -> ()
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "cgsim: kernel name %s is already registered with a different definition"
+         k.Kernel.name)
+  | None ->
+    Hashtbl.add table k.Kernel.name k;
+    order := k.Kernel.name :: !order
+
+let find name = Hashtbl.find_opt table name
+
+let find_exn name =
+  match find name with
+  | Some k -> k
+  | None -> raise (Not_found_kernel name)
+
+let mem name = Hashtbl.mem table name
+
+let names () = List.rev !order
+
+let reset () =
+  Hashtbl.reset table;
+  order := []

@@ -1,0 +1,29 @@
+(** Global kernel registry.
+
+    The serialized graph form cannot embed OCaml closures, just as the
+    paper's flattened constexpr structure cannot embed coroutine frames —
+    it stores references to template functions instead (Section 3.5).  The
+    registry plays that role here: kernels register under their name;
+    serialized graphs reference them by key; the runtime, x86sim, aiesim
+    and the extractor all resolve through it. *)
+
+(** Register a kernel under its own name.  Raises [Invalid_argument] when
+    the name is taken by a different kernel; re-registering the identical
+    kernel is a no-op (library modules may be linked and initialized
+    twice). *)
+val register : Kernel.t -> unit
+
+val find : string -> Kernel.t option
+
+(** Like {!find} but raises [Not_found_kernel] with the missing key. *)
+val find_exn : string -> Kernel.t
+
+exception Not_found_kernel of string
+
+val mem : string -> bool
+
+(** All registered kernel names in registration order. *)
+val names : unit -> string list
+
+(** Remove everything — test isolation only. *)
+val reset : unit -> unit

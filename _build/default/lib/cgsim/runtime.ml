@@ -1,0 +1,161 @@
+exception Runtime_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type wrap_hooks = {
+  wrap_reader : Serialized.kernel_inst -> int -> Port.reader -> Port.reader;
+  wrap_writer : Serialized.kernel_inst -> int -> Port.writer -> Port.writer;
+  around_body : Serialized.kernel_inst -> (unit -> unit) -> unit -> unit;
+}
+
+let no_hooks =
+  {
+    wrap_reader = (fun _ _ r -> r);
+    wrap_writer = (fun _ _ w -> w);
+    around_body = (fun _ body () -> body ());
+  }
+
+type t = {
+  graph : Serialized.t;
+  sched : Sched.t;
+  queues : Bqueue.t array;  (* indexed by net id *)
+  mutable ran : bool;
+}
+
+let graph t = t.graph
+
+let net_traffic t = Array.map Bqueue.total_put t.queues
+
+let instantiate ?(hooks = no_hooks) ?queue_capacity (g : Serialized.t) =
+  (match Serialized.validate g with
+   | Ok () -> ()
+   | Error problems ->
+     fail "cannot instantiate %s: %s" g.Serialized.gname (String.concat "; " problems));
+  let sched = Sched.create () in
+  let queues =
+    Array.map
+      (fun (n : Serialized.net) ->
+        let elem_bytes = Dtype.size_bytes n.dtype in
+        let capacity =
+          match queue_capacity with
+          | Some c -> c
+          | None -> Settings.resolved_depth ~elem_bytes n.settings
+        in
+        Bqueue.create
+          ~name:(Printf.sprintf "%s/net%d" g.Serialized.gname n.net_id)
+          ~dtype:n.dtype ~capacity ())
+      g.Serialized.nets
+  in
+  let t = { graph = g; sched; queues; ran = false } in
+  (* Wire every kernel instance.  Endpoint registration happens here, up
+     front, so broadcast completeness holds from the first element. *)
+  Array.iteri
+    (fun _idx (inst : Serialized.kernel_inst) ->
+      let kernel =
+        match Registry.find inst.key with
+        | Some k -> k
+        | None -> fail "graph %s references unregistered kernel %s" g.Serialized.gname inst.key
+      in
+      let readers = ref [] in
+      let writers = ref [] in
+      let writer_producers = ref [] in
+      Array.iteri
+        (fun port_idx (spec : Kernel.port_spec) ->
+          let q = queues.(inst.port_nets.(port_idx)) in
+          Port.check_dtype ~expected:spec.Kernel.dtype ~actual:(Bqueue.dtype q)
+            ~what:(Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname);
+          match spec.Kernel.dir with
+          | Kernel.In ->
+            let c = Bqueue.add_consumer q in
+            let r =
+              {
+                Port.r_name = Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname;
+                r_dtype = spec.Kernel.dtype;
+                r_get = (fun () -> Bqueue.get c);
+                r_peek = (fun () -> Bqueue.peek c);
+                r_available = (fun () -> Bqueue.available c);
+              }
+            in
+            readers := hooks.wrap_reader inst port_idx r :: !readers
+          | Kernel.Out ->
+            let p = Bqueue.add_producer q in
+            writer_producers := p :: !writer_producers;
+            let w =
+              {
+                Port.w_name = Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname;
+                w_dtype = spec.Kernel.dtype;
+                w_put = (fun v -> Bqueue.put p v);
+              }
+            in
+            writers := hooks.wrap_writer inst port_idx w :: !writers)
+        inst.ports;
+      let binding =
+        {
+          Kernel.readers = Array.of_list (List.rev !readers);
+          writers = Array.of_list (List.rev !writers);
+        }
+      in
+      let producers = !writer_producers in
+      let body () =
+        (* When a kernel terminates (normally or via End_of_stream), its
+           output nets lose one producer; fully-drained nets close and the
+           closure propagates downstream. *)
+        Fun.protect
+          ~finally:(fun () -> List.iter Bqueue.producer_done producers)
+          (hooks.around_body inst (fun () -> kernel.Kernel.body binding))
+      in
+      Sched.spawn sched ~name:inst.inst_name body)
+    g.Serialized.kernels;
+  t
+
+let attach_source t net_id source =
+  let q = t.queues.(net_id) in
+  let p = Bqueue.add_producer q in
+  let pull = Io.source_pull source in
+  Sched.spawn t.sched ~name:(Io.source_name source) (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Bqueue.producer_done p)
+        (fun () ->
+          let rec loop () =
+            match pull () with
+            | Some v ->
+              Bqueue.put p v;
+              loop ()
+            | None -> ()
+          in
+          loop ()))
+
+let attach_sink t net_id sink =
+  let q = t.queues.(net_id) in
+  let c = Bqueue.add_consumer q in
+  Sched.spawn t.sched ~name:(Io.sink_name sink) (fun () ->
+      let rec loop () =
+        let v = Bqueue.get c in
+        Io.sink_push sink v;
+        loop ()
+      in
+      loop ())
+
+let run t ~sources ~sinks =
+  if t.ran then fail "runtime context for %s is single-shot; instantiate again" t.graph.gname;
+  t.ran <- true;
+  let n_in = Array.length t.graph.Serialized.input_order in
+  let n_out = Array.length t.graph.Serialized.output_order in
+  if List.length sources <> n_in then
+    fail "graph %s has %d global inputs but %d sources were supplied" t.graph.gname n_in
+      (List.length sources);
+  if List.length sinks <> n_out then
+    fail "graph %s has %d global outputs but %d sinks were supplied" t.graph.gname n_out
+      (List.length sinks);
+  List.iteri (fun i src -> attach_source t t.graph.Serialized.input_order.(i) src) sources;
+  List.iteri (fun i snk -> attach_sink t t.graph.Serialized.output_order.(i) snk) sinks;
+  let stats = Sched.run t.sched in
+  (match stats.Sched.failed with
+   | [] -> ()
+   | (name, exn) :: _ ->
+     fail "kernel fiber %s failed: %s" name (Printexc.to_string exn));
+  stats
+
+let execute ?hooks ?queue_capacity g ~sources ~sinks =
+  let t = instantiate ?hooks ?queue_capacity g in
+  run t ~sources ~sinks

@@ -1,0 +1,57 @@
+(** Runtime graph instantiation and execution.
+
+    The deserializer and [RuntimeContext] of Sections 3.6–3.8: it takes
+    the flattened {!Serialized.t} produced at construction time and
+    reconstructs a live graph — one {!Bqueue} per net, one fiber per
+    kernel instance (resolved through {!Registry}), plus source and sink
+    fibers on the global I/O nets — then drives the cooperative scheduler
+    until no fiber can continue.
+
+    Each instantiation is one execution instance; contexts are
+    single-shot (build a fresh one per run, as cgsim does). *)
+
+type t
+
+exception Runtime_error of string
+
+(** Hooks letting a simulator intercept every kernel-port access without
+    changing kernel code — the mechanism aiesim uses to count stream
+    traffic and attribute cycle costs per endpoint. *)
+type wrap_hooks = {
+  wrap_reader : Serialized.kernel_inst -> int -> Port.reader -> Port.reader;
+      (** [wrap_reader inst port_idx r]; [port_idx] indexes [inst.ports]. *)
+  wrap_writer : Serialized.kernel_inst -> int -> Port.writer -> Port.writer;
+  around_body : Serialized.kernel_inst -> (unit -> unit) -> unit -> unit;
+      (** Wraps the whole kernel body invocation. *)
+}
+
+val no_hooks : wrap_hooks
+
+(** [instantiate g] reconstructs the graph.  Queue capacities derive from
+    each net's resolved settings unless [queue_capacity] overrides them
+    all.  Raises {!Runtime_error} when a kernel key is missing from the
+    registry or the serialized form is invalid. *)
+val instantiate :
+  ?hooks:wrap_hooks -> ?queue_capacity:int -> Serialized.t -> t
+
+(** [run t ~sources ~sinks] attaches positional sources to the graph's
+    global inputs and sinks to its global outputs (counts must match;
+    {!Runtime_error} otherwise), then executes.  Returns scheduler
+    statistics.  If any kernel fiber failed with an unexpected exception,
+    the first failure is re-raised after the run completes. *)
+val run : t -> sources:Io.source list -> sinks:Io.sink list -> Sched.stats
+
+(** Convenience: instantiate + run in one step. *)
+val execute :
+  ?hooks:wrap_hooks ->
+  ?queue_capacity:int ->
+  Serialized.t ->
+  sources:Io.source list ->
+  sinks:Io.sink list ->
+  Sched.stats
+
+val graph : t -> Serialized.t
+
+(** Total elements that crossed each net during the last run, indexed by
+    net id (diagnostics and bench reporting). *)
+val net_traffic : t -> int array

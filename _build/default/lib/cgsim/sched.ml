@@ -1,0 +1,223 @@
+open Effect
+open Effect.Deep
+
+exception Terminated
+exception End_of_stream
+
+type task = {
+  name : string;
+  mutable gen : int;  (* park generation; wakers from older parks are stale *)
+  mutable state : task_state;
+}
+
+and task_state =
+  | Initial of (unit -> unit)
+  | Running
+  | Parked of (unit, unit) continuation
+  | Ready of (unit, unit) continuation
+  | Finished
+
+type waker = {
+  w_task : task;
+  w_gen : int;
+  w_sched : t;
+}
+
+and t = {
+  ready : task Queue.t;
+  mutable tasks : task list;  (* reverse spawn order *)
+  mutable spawned : int;
+  mutable completed : int;
+  mutable cancelled : int;
+  mutable failed : (string * exn) list;
+  mutable slices : int;
+  mutable kernel_ns : float;
+  mutable in_run : bool;
+}
+
+type stats = {
+  spawned : int;
+  completed : int;
+  cancelled : int;
+  failed : (string * exn) list;
+  slices : int;
+  kernel_ns : float;
+  total_ns : float;
+}
+
+let kernel_fraction s = if s.total_ns <= 0.0 then 0.0 else s.kernel_ns /. s.total_ns
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>spawned=%d completed=%d cancelled=%d failed=%d@ slices=%d kernel=%.3fms total=%.3fms \
+     kernel-fraction=%.4f@]"
+    s.spawned s.completed s.cancelled (List.length s.failed) s.slices (s.kernel_ns /. 1e6)
+    (s.total_ns /. 1e6) (kernel_fraction s)
+
+let create () =
+  {
+    ready = Queue.create ();
+    tasks = [];
+    spawned = 0;
+    completed = 0;
+    cancelled = 0;
+    failed = [];
+    slices = 0;
+    kernel_ns = 0.0;
+    in_run = false;
+  }
+
+type _ Effect.t +=
+  | Park_eff : (waker -> unit) -> unit Effect.t
+  | Yield_eff : unit Effect.t
+
+(* The current scheduler for the running fiber.  cgsim is single-threaded
+   by design (Section 5.2 discusses this trade-off), so a single slot
+   suffices; x86sim uses OS threads and never goes through this module. *)
+let current : (t * task) option ref = ref None
+
+let current_name () =
+  match !current with
+  | Some (_, task) -> task.name
+  | None -> "<host>"
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let spawn (t : t) ~name fn =
+  let task = { name; gen = 0; state = Initial fn } in
+  t.spawned <- t.spawned + 1;
+  t.tasks <- task :: t.tasks;
+  Queue.push task t.ready
+
+let yield () =
+  match !current with
+  | Some _ -> perform Yield_eff
+  | None -> ()
+
+let park register =
+  match !current with
+  | Some _ -> perform (Park_eff register)
+  | None -> invalid_arg "cgsim: Sched.park called outside of a running fiber"
+
+let wake w =
+  let task = w.w_task in
+  match task.state with
+  | Parked k when task.gen = w.w_gen ->
+    task.state <- Ready k;
+    Queue.push task w.w_sched.ready
+  | Parked _ | Initial _ | Running | Ready _ | Finished -> ()
+
+let parked_tasks (t : t) =
+  List.filter
+    (fun task -> match task.state with Parked _ -> true | _ -> false)
+    (List.rev t.tasks)
+
+let parked_count t = List.length (parked_tasks t)
+
+let parked_names t = List.map (fun task -> task.name) (parked_tasks t)
+
+(* Handler installed around every fiber body.  Park and Yield capture the
+   one-shot continuation and stash it on the task record. *)
+let fiber_handler (t : t) (task : task) : (unit, unit) handler =
+  let finish outcome =
+    task.state <- Finished;
+    match outcome with
+    | `Completed -> t.completed <- t.completed + 1
+    | `Cancelled -> t.cancelled <- t.cancelled + 1
+    | `Failed e -> t.failed <- (task.name, e) :: t.failed
+  in
+  {
+    retc = (fun () -> finish `Completed);
+    exnc =
+      (fun e ->
+        match e with
+        | End_of_stream -> finish `Completed
+        | Terminated -> finish `Cancelled
+        | e -> finish (`Failed e));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Park_eff register ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              task.gen <- task.gen + 1;
+              task.state <- Parked k;
+              register { w_task = task; w_gen = task.gen; w_sched = t })
+        | Yield_eff ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              task.state <- Ready k;
+              Queue.push task t.ready)
+        | _ -> None);
+  }
+
+let run_slice (t : t) (task : task) =
+  let resume () =
+    match task.state with
+    | Initial fn ->
+      task.state <- Running;
+      match_with fn () (fiber_handler t task)
+    | Ready k ->
+      task.state <- Running;
+      continue k ()
+    | Running | Parked _ | Finished ->
+      (* A task can be enqueued at most once per ready transition; other
+         states mean a stale queue entry (e.g. woken then cancelled). *)
+      ()
+  in
+  let saved = !current in
+  current := Some (t, task);
+  let t0 = now_ns () in
+  resume ();
+  t.kernel_ns <- t.kernel_ns +. (now_ns () -. t0);
+  t.slices <- t.slices + 1;
+  current := saved
+
+let cancel_parked t =
+  (* End-of-run cleanup (Section 3.8): terminate fibers that can no longer
+     make progress so their cleanup code runs.  Cancellation may ready new
+     work (e.g. a cancelled producer closing a stream wakes a consumer), so
+     the caller loops back into the main schedule afterwards. *)
+  List.iter
+    (fun task ->
+      match task.state with
+      | Parked k ->
+        task.state <- Running;
+        let saved = !current in
+        current := Some (t, task);
+        (* discontinue runs under the handler captured at fiber start *)
+        (try discontinue k Terminated with Terminated -> ());
+        current := saved;
+        (match task.state with
+         | Running -> task.state <- Finished
+         | Initial _ | Parked _ | Ready _ | Finished -> ())
+      | Initial _ | Running | Ready _ | Finished -> ())
+    (parked_tasks t)
+
+let run (t : t) =
+  if t.in_run then invalid_arg "cgsim: Sched.run is not reentrant";
+  t.in_run <- true;
+  let t0 = now_ns () in
+  let rec drive () =
+    match Queue.take_opt t.ready with
+    | Some task ->
+      run_slice t task;
+      drive ()
+    | None ->
+      if parked_count t > 0 then begin
+        cancel_parked t;
+        if not (Queue.is_empty t.ready) then drive ()
+      end
+  in
+  drive ();
+  t.in_run <- false;
+  let total_ns = now_ns () -. t0 in
+  {
+    spawned = t.spawned;
+    completed = t.completed;
+    cancelled = t.cancelled;
+    failed = List.rev t.failed;
+    slices = t.slices;
+    kernel_ns = t.kernel_ns;
+    total_ns;
+  }

@@ -1,0 +1,188 @@
+type endpoint = {
+  kernel_idx : int;
+  port_idx : int;
+}
+
+type net = {
+  net_id : int;
+  dtype : Dtype.t;
+  settings : Settings.t;
+  attrs : Attr.t list;
+  writers : endpoint list;
+  readers : endpoint list;
+  global_input : string option;
+  global_output : string option;
+}
+
+type kernel_inst = {
+  inst_name : string;
+  key : string;
+  realm : Kernel.realm;
+  ports : Kernel.port_spec array;
+  port_nets : int array;
+}
+
+type t = {
+  gname : string;
+  kernels : kernel_inst array;
+  nets : net array;
+  input_order : int array;
+  output_order : int array;
+}
+
+let net t id = t.nets.(id)
+
+let kernel t idx = t.kernels.(idx)
+
+let inputs t = Array.to_list (Array.map (net t) t.input_order)
+
+let outputs t = Array.to_list (Array.map (net t) t.output_order)
+
+let validate t =
+  let problems = ref [] in
+  let problem fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let nk = Array.length t.kernels in
+  let nn = Array.length t.nets in
+  Array.iteri
+    (fun i (ki : kernel_inst) ->
+      if Array.length ki.port_nets <> Array.length ki.ports then
+        problem "kernel %d (%s): port_nets length %d <> ports length %d" i ki.inst_name
+          (Array.length ki.port_nets) (Array.length ki.ports);
+      Array.iteri
+        (fun p net_id ->
+          if net_id < 0 || net_id >= nn then
+            problem "kernel %d (%s) port %d: net id %d out of range" i ki.inst_name p net_id
+          else begin
+            let n = t.nets.(net_id) in
+            if p < Array.length ki.ports then begin
+              let spec = ki.ports.(p) in
+              if not (Dtype.equal spec.Kernel.dtype n.dtype) then
+                problem "kernel %d (%s) port %s: dtype %s <> net %d dtype %s" i ki.inst_name
+                  spec.Kernel.pname
+                  (Dtype.to_string spec.Kernel.dtype)
+                  net_id (Dtype.to_string n.dtype)
+            end
+          end)
+        ki.port_nets)
+    t.kernels;
+  Array.iteri
+    (fun id n ->
+      if n.net_id <> id then problem "net %d: stored net_id %d differs" id n.net_id;
+      let check_ep role ep =
+        if ep.kernel_idx < 0 || ep.kernel_idx >= nk then
+          problem "net %d %s endpoint: kernel index %d out of range" id role ep.kernel_idx
+        else begin
+          let ki = t.kernels.(ep.kernel_idx) in
+          if ep.port_idx < 0 || ep.port_idx >= Array.length ki.ports then
+            problem "net %d %s endpoint: port index %d out of range for kernel %s" id role
+              ep.port_idx ki.inst_name
+          else begin
+            let spec = ki.ports.(ep.port_idx) in
+            let expected = if role = "writer" then Kernel.Out else Kernel.In in
+            if spec.Kernel.dir <> expected then
+              problem "net %d: %s endpoint %s.%s has the wrong direction" id role ki.inst_name
+                spec.Kernel.pname;
+            if ki.port_nets.(ep.port_idx) <> id then
+              problem "net %d: endpoint %s.%s is bound to net %d instead" id ki.inst_name
+                spec.Kernel.pname
+                ki.port_nets.(ep.port_idx)
+          end
+        end
+      in
+      List.iter (check_ep "writer") n.writers;
+      List.iter (check_ep "reader") n.readers;
+      (match Settings.validate ~elem_bytes:(Dtype.size_bytes n.dtype) n.settings with
+       | Ok () -> ()
+       | Error e -> problem "net %d: %s" id e);
+      if n.writers = [] && n.global_input = None && n.readers <> [] then
+        problem "net %d has readers but no data source" id;
+      if n.global_input <> None && n.writers <> [] then
+        problem "net %d is both a global input and kernel-driven" id)
+    t.nets;
+  let check_order role order flag =
+    Array.iter
+      (fun id ->
+        if id < 0 || id >= nn then problem "%s order references net %d out of range" role id
+        else if not (flag t.nets.(id)) then
+          problem "%s order references net %d which is not flagged as such" role id)
+      order
+  in
+  check_order "input" t.input_order (fun n -> n.global_input <> None);
+  check_order "output" t.output_order (fun n -> n.global_output <> None);
+  Array.iter
+    (fun n ->
+      if n.global_input <> None && not (Array.exists (Int.equal n.net_id) t.input_order) then
+        problem "net %d flagged as input but missing from input order" n.net_id;
+      if n.global_output <> None && not (Array.exists (Int.equal n.net_id) t.output_order) then
+        problem "net %d flagged as output but missing from output order" n.net_id)
+    t.nets;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (List.rev ps)
+
+let endpoint_equal a b = a.kernel_idx = b.kernel_idx && a.port_idx = b.port_idx
+
+let port_spec_equal (a : Kernel.port_spec) (b : Kernel.port_spec) =
+  String.equal a.Kernel.pname b.Kernel.pname
+  && a.Kernel.dir = b.Kernel.dir
+  && Dtype.equal a.Kernel.dtype b.Kernel.dtype
+  && Settings.equal a.Kernel.settings b.Kernel.settings
+
+let net_equal a b =
+  Dtype.equal a.dtype b.dtype
+  && Settings.equal a.settings b.settings
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2 Attr.equal a.attrs b.attrs
+  && List.length a.writers = List.length b.writers
+  && List.for_all2 endpoint_equal a.writers b.writers
+  && List.length a.readers = List.length b.readers
+  && List.for_all2 endpoint_equal a.readers b.readers
+  && Option.equal String.equal a.global_input b.global_input
+  && Option.equal String.equal a.global_output b.global_output
+
+let kernel_inst_equal a b =
+  String.equal a.key b.key
+  && Kernel.equal_realm a.realm b.realm
+  && Array.length a.ports = Array.length b.ports
+  && Array.for_all2 port_spec_equal a.ports b.ports
+  && Array.length a.port_nets = Array.length b.port_nets
+  && Array.for_all2 Int.equal a.port_nets b.port_nets
+
+let equal_topology a b =
+  Array.length a.kernels = Array.length b.kernels
+  && Array.length a.nets = Array.length b.nets
+  && Array.for_all2 kernel_inst_equal a.kernels b.kernels
+  && Array.for_all2 net_equal a.nets b.nets
+  && Array.length a.input_order = Array.length b.input_order
+  && Array.for_all2 Int.equal a.input_order b.input_order
+  && Array.length a.output_order = Array.length b.output_order
+  && Array.for_all2 Int.equal a.output_order b.output_order
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph %s (%d kernels, %d nets)@," t.gname (Array.length t.kernels)
+    (Array.length t.nets);
+  Array.iteri
+    (fun i ki ->
+      Format.fprintf ppf "  k%d %s : %s [%s] nets=%s@," i ki.inst_name ki.key
+        (Kernel.realm_to_string ki.realm)
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int ki.port_nets))))
+    t.kernels;
+  Array.iter
+    (fun n ->
+      let ep e = Printf.sprintf "k%d.%d" e.kernel_idx e.port_idx in
+      Format.fprintf ppf "  n%d %a %s -> %s%s%s@," n.net_id Dtype.pp n.dtype
+        (String.concat "+" (List.map ep n.writers))
+        (String.concat "+" (List.map ep n.readers))
+        (match n.global_input with Some s -> " <in:" ^ s ^ ">" | None -> "")
+        (match n.global_output with Some s -> " <out:" ^ s ^ ">" | None -> ""))
+    t.nets;
+  Format.fprintf ppf "@]"
+
+let stats t =
+  let bytes =
+    Array.fold_left (fun acc n -> acc + Dtype.size_bytes n.dtype) 0 t.nets
+  in
+  Printf.sprintf "graph %s: %d kernels, %d nets, %d inputs, %d outputs, %d element bytes total"
+    t.gname (Array.length t.kernels) (Array.length t.nets) (Array.length t.input_order)
+    (Array.length t.output_order) bytes

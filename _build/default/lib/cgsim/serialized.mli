@@ -1,0 +1,67 @@
+(** Flattened, array-based compute-graph representation.
+
+    The analogue of the constexpr-storable structure of Section 3.5: graph
+    construction produces pointer-rich builder state, which is flattened
+    into index-based arrays so it can cross the construction/execution
+    boundary.  Everything here is plain data — kernels are referenced by
+    registry key (Section 3.5's "references to template functions") — so
+    the same structure is produced by the OCaml builder and by the CGC
+    const-evaluator, consumed by the runtime deserializer, by both
+    simulators, and by the graph extractor (Section 4.2). *)
+
+type endpoint = {
+  kernel_idx : int;  (** Index into {!t.kernels}. *)
+  port_idx : int;  (** Index into that kernel's port array. *)
+}
+
+type net = {
+  net_id : int;
+  dtype : Dtype.t;
+  settings : Settings.t;  (** Fully merged over all endpoints. *)
+  attrs : Attr.t list;
+  writers : endpoint list;  (** Multiple writers = implicit stream merge. *)
+  readers : endpoint list;  (** Multiple readers = implicit broadcast. *)
+  global_input : string option;  (** Externally fed (name of graph input). *)
+  global_output : string option;  (** Externally drained (name of graph output). *)
+}
+
+type kernel_inst = {
+  inst_name : string;  (** Unique instance name within the graph. *)
+  key : string;  (** Registry key of the kernel definition. *)
+  realm : Kernel.realm;
+  ports : Kernel.port_spec array;  (** Snapshot of the definition's ports. *)
+  port_nets : int array;  (** Net id bound to each port, positionally. *)
+}
+
+type t = {
+  gname : string;
+  kernels : kernel_inst array;
+  nets : net array;
+  input_order : int array;  (** Net ids of global inputs, in argument order. *)
+  output_order : int array;  (** Net ids of global outputs, in return order. *)
+}
+
+val net : t -> int -> net
+val kernel : t -> int -> kernel_inst
+
+val inputs : t -> net list
+val outputs : t -> net list
+
+(** Structural validation: indices in range, endpoint port directions
+    consistent with writer/reader roles, dtypes of endpoints equal to the
+    net dtype, merged settings valid, input/output order arrays consistent
+    with net flags.  Returns all problems found. *)
+val validate : t -> (unit, string list) result
+
+(** Topological equality: same kernels (by key, realm, ports), same nets
+    (by dtype, settings, endpoints, attrs, global roles) and same I/O
+    order, ignoring net ids' numeric values beyond their structural role
+    and ignoring instance-name spelling.  Used to property-test that
+    builder graphs and CGC-consteval graphs agree. *)
+val equal_topology : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Total element-size-weighted fan of the graph — diagnostic metric used
+    by benches to sanity-check workload sizes. *)
+val stats : t -> string

@@ -1,0 +1,115 @@
+type transport =
+  | Stream
+  | Window of int
+  | Rtp
+  | Gmio
+
+type t = {
+  transport : transport option;
+  beat_bytes : int option;
+  depth : int option;
+}
+
+let default = { transport = None; beat_bytes = None; depth = None }
+
+let stream = { default with transport = Some Stream }
+
+let window bytes = { default with transport = Some (Window bytes) }
+
+let rtp = { default with transport = Some Rtp }
+
+let gmio = { default with transport = Some Gmio }
+
+let with_beat beat_bytes t = { t with beat_bytes = Some beat_bytes }
+
+let with_depth depth t = { t with depth = Some depth }
+
+let transport_equal a b =
+  match a, b with
+  | Stream, Stream | Rtp, Rtp | Gmio, Gmio -> true
+  | Window x, Window y -> x = y
+  | (Stream | Window _ | Rtp | Gmio), _ -> false
+
+let equal a b =
+  Option.equal transport_equal a.transport b.transport
+  && Option.equal Int.equal a.beat_bytes b.beat_bytes
+  && Option.equal Int.equal a.depth b.depth
+
+let pp_transport ppf = function
+  | Stream -> Format.pp_print_string ppf "stream"
+  | Window b -> Format.fprintf ppf "window<%d>" b
+  | Rtp -> Format.pp_print_string ppf "rtp"
+  | Gmio -> Format.pp_print_string ppf "gmio"
+
+let pp ppf t =
+  let field name pp_v ppf = function
+    | None -> ignore name; ignore ppf
+    | Some v -> Format.fprintf ppf " %s=%a" name pp_v v
+  in
+  Format.fprintf ppf "{%a%a%a }"
+    (field "transport" pp_transport) t.transport
+    (field "beat" Format.pp_print_int) t.beat_bytes
+    (field "depth" Format.pp_print_int) t.depth
+
+let merge_field ~what ~eq ~show a b =
+  match a, b with
+  | None, x | x, None -> Ok x
+  | Some x, Some y ->
+    if eq x y then Ok (Some x)
+    else
+      Error
+        (Printf.sprintf "incompatible %s settings on connected ports: %s vs %s" what (show x)
+           (show y))
+
+let merge a b =
+  let ( let* ) r f = Result.bind r f in
+  let show_transport tr = Format.asprintf "%a" pp_transport tr in
+  let* transport =
+    merge_field ~what:"transport" ~eq:transport_equal ~show:show_transport a.transport b.transport
+  in
+  let* beat_bytes =
+    merge_field ~what:"beat size" ~eq:Int.equal ~show:string_of_int a.beat_bytes b.beat_bytes
+  in
+  let* depth =
+    merge_field ~what:"queue depth" ~eq:Int.equal ~show:string_of_int a.depth b.depth
+  in
+  Ok { transport; beat_bytes; depth }
+
+let resolved_transport t = Option.value t.transport ~default:Stream
+
+let default_stream_depth = 64
+
+let resolved_depth ~elem_bytes t =
+  match t.depth with
+  | Some d -> d
+  | None ->
+    (match resolved_transport t with
+     | Stream -> default_stream_depth
+     | Rtp -> 1
+     | Gmio -> 4 * default_stream_depth
+     | Window bytes ->
+       (* Two windows in flight models the AIE ping-pong buffer pair. *)
+       let elems = max 1 (bytes / max 1 elem_bytes) in
+       2 * elems)
+
+let validate ~elem_bytes t =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    match resolved_transport t with
+    | Stream | Rtp | Gmio -> Ok ()
+    | Window bytes ->
+      if bytes <= 0 then Error "window size must be positive"
+      else if elem_bytes > 0 && bytes mod elem_bytes <> 0 then
+        Error
+          (Printf.sprintf "window size %d is not a multiple of the element size %d" bytes
+             elem_bytes)
+      else Ok ()
+  in
+  let* () =
+    match t.beat_bytes with
+    | None | Some 4 | Some 8 | Some 16 -> Ok ()
+    | Some b -> Error (Printf.sprintf "beat size must be 4, 8 or 16 bytes, got %d" b)
+  in
+  match t.depth with
+  | Some d when d <= 0 -> Error "queue depth must be positive"
+  | Some _ | None -> Ok ()

@@ -1,0 +1,1 @@
+lib/extractor/codegen_aie.ml: Array Buffer Cgc Cgsim Coextract Kernel_rewrite List Option Printf String

@@ -1,0 +1,1 @@
+lib/extractor/codegen_aie.mli: Cgc Cgsim

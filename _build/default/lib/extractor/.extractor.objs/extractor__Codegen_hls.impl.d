@@ -1,0 +1,1 @@
+lib/extractor/codegen_hls.ml: Array Buffer Cgc Cgsim Codegen_aie Coextract Kernel_rewrite List Printf String

@@ -1,0 +1,1 @@
+lib/extractor/codegen_hls.mli: Cgc Cgsim

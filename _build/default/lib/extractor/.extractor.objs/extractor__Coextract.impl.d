@@ -1,0 +1,1 @@
+lib/extractor/coextract.ml: Cgc Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/extractor/coextract.mli: Cgc

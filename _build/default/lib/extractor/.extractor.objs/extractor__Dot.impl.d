@@ -1,0 +1,1 @@
+lib/extractor/dot.ml: Array Buffer Cgsim List Printf

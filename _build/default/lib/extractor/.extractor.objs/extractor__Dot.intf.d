@@ -1,0 +1,1 @@
+lib/extractor/dot.mli: Cgsim

@@ -1,0 +1,1 @@
+lib/extractor/kernel_rewrite.ml: Buffer Cgc Cgsim List Printf String

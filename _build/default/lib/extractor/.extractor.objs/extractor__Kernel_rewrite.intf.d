@@ -1,0 +1,1 @@
+lib/extractor/kernel_rewrite.mli: Cgc

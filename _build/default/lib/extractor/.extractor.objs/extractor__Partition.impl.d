@@ -1,0 +1,1 @@
+lib/extractor/partition.ml: Array Cgsim Format Fun Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/extractor/partition.mli: Cgsim Format

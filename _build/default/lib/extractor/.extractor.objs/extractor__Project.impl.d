@@ -1,0 +1,1 @@
+lib/extractor/project.ml: Aiesim Array Buffer Cgc Cgsim Codegen_aie Codegen_hls Coextract Filename Format List Out_channel Partition Printf Runtime_headers String Sys Unix

@@ -1,0 +1,1 @@
+lib/extractor/project.mli: Aiesim Cgc Cgsim Format Partition

@@ -1,0 +1,1 @@
+lib/extractor/runtime_headers.ml:

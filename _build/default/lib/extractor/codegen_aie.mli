@@ -1,0 +1,25 @@
+(** AIE graph code generation (Section 4.7).
+
+    The original graph definition no longer exists in source form when
+    the extractor runs (it was consteval'd away), so the graph files are
+    generated, not rewritten.  Per compute graph the AIE backend emits,
+    following AMD's AIE graph programming guide structure:
+
+    - [kernel_decls.hpp] — declarations of all AIE kernel functions;
+    - [graph.hpp] — the ADF graph class: kernel instantiations, external
+      PLIO/RTP ports (named by the user's connection attributes where
+      present), connectivity with transport types (stream / window / RTP)
+      and source-file assignments;
+    - one [<kernel>.cc] per unique kernel — co-extracted support
+      declarations, the transformed kernel definition and the AIE entry
+      thunk. *)
+
+val kernel_decls_hpp : Cgc.Sema.env -> Cgsim.Serialized.t -> string
+
+val graph_hpp : Cgc.Sema.env -> Cgsim.Serialized.t -> string
+
+(** [kernel_cc env g kernel_name] — contents of the kernel's source file. *)
+val kernel_cc : Cgc.Sema.env -> Cgsim.Serialized.t -> string -> string
+
+(** Unique kernel definition names used by the graph (source order). *)
+val unique_kernels : Cgsim.Serialized.t -> string list

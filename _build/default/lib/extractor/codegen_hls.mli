@@ -1,0 +1,29 @@
+(** HLS (programmable logic) code generation.
+
+    The paper's extractor generates code only for the AIE target but its
+    realm-based architecture is explicitly designed for more backends
+    (Section 6 names FPGAs via HLS as future work).  This module
+    implements that extension: the PL-realm subgraph becomes a Vitis-HLS
+    style project —
+
+    - [pl_kernels.hpp] — declarations with [hls::stream] interfaces;
+    - one [<kernel>.cpp] per kernel with the co-extracted support code,
+      the transformed (co_await-free) definition, and an HLS wrapper
+      carrying the interface pragmas;
+    - [<graph>_pl.cpp] — a top-level dataflow region instantiating the
+      kernels and their internal channels.
+
+    The port-type contract is the same as the AIE realm's: kernels keep
+    their generic [Kernel*Port] parameters; the realm runtime header
+    ([cgsim_hls_rt.hpp]) implements them over [hls::stream]. *)
+
+val hls_runtime_header : string
+
+val hls_header_blacklist : string list
+
+val kernels_hpp : Cgc.Sema.env -> Cgsim.Serialized.t -> string
+
+val kernel_cpp : Cgc.Sema.env -> Cgsim.Serialized.t -> string -> string
+
+(** The top-level dataflow function. *)
+val toplevel_cpp : Cgc.Sema.env -> Cgsim.Serialized.t -> string

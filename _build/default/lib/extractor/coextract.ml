@@ -1,0 +1,53 @@
+let aie_header_blacklist = [ "cgsim.hpp"; "cgsim/cgsim.hpp"; "iostream"; "vector"; "cassert" ]
+
+let aie_runtime_header = "cgsim_aie_rt.hpp"
+
+let includes_for env ~blacklist ~runtime_header =
+  let seen = Hashtbl.create 8 in
+  let keep =
+    List.filter_map
+      (fun (path, system, _tu) ->
+        if List.mem path blacklist then None
+        else if Hashtbl.mem seen path then None
+        else begin
+          Hashtbl.add seen path ();
+          Some (if system then Printf.sprintf "#include <%s>" path
+                else Printf.sprintf "#include \"%s\"" path)
+        end)
+      (Cgc.Sema.includes env)
+  in
+  Printf.sprintf "#include \"%s\"" runtime_header :: keep
+
+let slice_of_symbol env name =
+  match Cgc.Sema.defining_tu env name with
+  | None -> None
+  | Some tu ->
+    List.find_map
+      (fun item ->
+        let matches =
+          match item with
+          | Cgc.Ast.T_struct { name = n; _ } -> String.equal n name
+          | Cgc.Ast.T_global { name = n; _ } -> String.equal n name
+          | Cgc.Ast.T_func { name = n; _ } -> String.equal n name
+          | Cgc.Ast.T_define { name = n; _ } -> String.equal n name
+          | _ -> false
+        in
+        if matches then
+          Some
+            (Cgc.Rewriter.slice_range ~source:tu.Cgc.Ast.tu_source (Cgc.Ast.top_range item))
+        else None)
+      tu.Cgc.Ast.tu_items
+
+let support_decls env roots =
+  let deps = Cgc.Sema.transitive_deps env roots in
+  List.filter_map
+    (fun name ->
+      match Cgc.Sema.find env name with
+      | Some (Cgc.Sema.E_kernel _) | Some (Cgc.Sema.E_graph _) | None ->
+        (* other kernels are emitted separately; graphs never co-extract *)
+        None
+      | Some (Cgc.Sema.E_define body) ->
+        Some (Printf.sprintf "#define %s %s" name body)
+      | Some (Cgc.Sema.E_struct _ | Cgc.Sema.E_func _ | Cgc.Sema.E_global _) ->
+        slice_of_symbol env name)
+    deps

@@ -1,0 +1,27 @@
+(** Co-extraction of referenced code (Section 4.6).
+
+    Kernels may use helper functions, constant lookup tables and custom
+    data types defined at global scope in the prototype source.  For each
+    kernel source file the extractor collects the transitive dependencies
+    of the kernels it contains — in source order, sliced from the file
+    that defines them — plus the include directives, with per-realm
+    header blacklisting (simulation-only headers such as the cgsim API
+    header never reach hardware builds and are replaced by the realm's
+    runtime header). *)
+
+(** Headers never copied into AIE kernel sources. *)
+val aie_header_blacklist : string list
+
+(** The realm runtime header that replaces blacklisted includes. *)
+val aie_runtime_header : string
+
+(** Include lines to emit for a set of roots' files: every recorded
+    directive except blacklisted ones (deduplicated, source order),
+    prefixed with the realm runtime header. *)
+val includes_for : Cgc.Sema.env -> blacklist:string list -> runtime_header:string -> string list
+
+(** [support_decls env roots] — source text of every global declaration
+    transitively referenced by [roots] (kernel or function names), in
+    source order, excluding the roots themselves and excluding other
+    kernels/graphs. *)
+val support_decls : Cgc.Sema.env -> string list -> string list

@@ -1,0 +1,52 @@
+let realm_color = function
+  | Cgsim.Kernel.Aie -> "lightblue"
+  | Cgsim.Kernel.Noextract -> "lightgrey"
+  | Cgsim.Kernel.Pl -> "lightgoldenrod"
+
+let transport_label (n : Cgsim.Serialized.net) =
+  match Cgsim.Settings.resolved_transport n.settings with
+  | Cgsim.Settings.Stream -> "stream"
+  | Cgsim.Settings.Window w -> Printf.sprintf "window<%d>" w
+  | Cgsim.Settings.Rtp -> "rtp"
+  | Cgsim.Settings.Gmio -> "gmio"
+
+let of_graph (g : Cgsim.Serialized.t) =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "digraph \"%s\" {\n  rankdir=LR;\n  node [fontname=\"sans-serif\"];\n" g.gname;
+  Array.iteri
+    (fun i (ki : Cgsim.Serialized.kernel_inst) ->
+      addf "  k%d [shape=box, style=filled, fillcolor=%s, label=\"%s\\n[%s]\"];\n" i
+        (realm_color ki.realm) ki.inst_name
+        (Cgsim.Kernel.realm_to_string ki.realm))
+    g.kernels;
+  Array.iter
+    (fun (n : Cgsim.Serialized.net) ->
+      (match n.global_input with
+       | Some name -> addf "  in%d [shape=ellipse, label=\"%s\"];\n" n.net_id name
+       | None -> ());
+      match n.global_output with
+      | Some name -> addf "  out%d [shape=ellipse, label=\"%s\"];\n" n.net_id name
+      | None -> ())
+    g.nets;
+  Array.iter
+    (fun (n : Cgsim.Serialized.net) ->
+      let label =
+        Printf.sprintf "%s %s" (Cgsim.Dtype.to_string n.dtype) (transport_label n)
+      in
+      let srcs =
+        (match n.global_input with Some _ -> [ Printf.sprintf "in%d" n.net_id ] | None -> [])
+        @ List.map (fun (ep : Cgsim.Serialized.endpoint) -> Printf.sprintf "k%d" ep.kernel_idx)
+            n.writers
+      in
+      let dsts =
+        (match n.global_output with Some _ -> [ Printf.sprintf "out%d" n.net_id ] | None -> [])
+        @ List.map (fun (ep : Cgsim.Serialized.endpoint) -> Printf.sprintf "k%d" ep.kernel_idx)
+            n.readers
+      in
+      List.iter
+        (fun src -> List.iter (fun dst -> addf "  %s -> %s [label=\"%s\"];\n" src dst label) dsts)
+        srcs)
+    g.nets;
+  addf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Graphviz visualization of compute graphs.
+
+    Renders a serialized compute graph as a dot digraph: kernels as boxes
+    colored by realm, global I/O as ellipses, edges labelled with dtype
+    and transport.  Useful with [cgx inspect --dot]. *)
+
+val of_graph : Cgsim.Serialized.t -> string

@@ -1,0 +1,36 @@
+(** Kernel source transformation (Sections 4.4 and 4.5).
+
+    Each unique kernel is processed twice — once for a forward
+    declaration (call signature only), once for the full definition.
+    The standard (realm-independent) transformations operate on the
+    macro expansion range of the kernel with the {!Cgc.Rewriter}:
+
+    - the [COMPUTE_KERNEL(realm, name, ports...)] header becomes a plain
+      [void name(ports...)] function header (the port types remain; each
+      realm supplies its own [KernelReadPort]/[KernelWritePort]
+      implementations);
+    - every [co_await] token is removed, turning the coroutine's
+      asynchronous stream operations into synchronous blocking calls.
+
+    The AIE realm additionally emits an adapter thunk that converts the
+    hardware-native parameters (stream/window pointers, runtime
+    parameters) into the generic port objects and calls the kernel — the
+    entry point registered in the generated graph. *)
+
+exception Rewrite_error of string
+
+(** [forward_decl env kernel] — one-line declaration, e.g.
+    ["void adder_kernel(KernelReadPort<float> in1, ...);"]. *)
+val forward_decl : Cgc.Sema.env -> Cgc.Ast.kernel -> string
+
+(** [definition env ~source kernel] — the transformed definition text. *)
+val definition : Cgc.Sema.env -> source:string -> Cgc.Ast.kernel -> string
+
+(** [aie_thunk env kernel] — the AIE entry-point adapter (Section 4.5).
+    Its name is [<kernel>_aie]. *)
+val aie_thunk : Cgc.Sema.env -> Cgc.Ast.kernel -> string
+
+(** AIE-native parameter spelling for a port (used by the thunk and the
+    generated graph): [input_stream<T> *], [input_window<T> *], or a
+    plain value for runtime parameters. *)
+val aie_native_param : Cgc.Sema.env -> Cgc.Ast.param -> string

@@ -1,0 +1,36 @@
+(** Graph partitioning by execution realm (Section 4.3).
+
+    After deserialization the extractor splits the compute graph into
+    per-realm subgraphs and classifies every net:
+
+    - {!Intra_realm}: all endpoints live in one realm;
+    - {!Inter_realm}: the connection crosses realms and must become an
+      external interface on both sides;
+    - {!Global}: the net moves data into or out of the whole graph.
+
+    Realm-specific backends use the classification to generate internal
+    connections vs. external interfaces. *)
+
+type port_class =
+  | Intra_realm of Cgsim.Kernel.realm
+  | Inter_realm
+  | Global
+
+val equal_port_class : port_class -> port_class -> bool
+
+val pp_port_class : Format.formatter -> port_class -> unit
+
+(** Classification of every net, indexed by net id. *)
+val classify : Cgsim.Serialized.t -> port_class array
+
+(** Realms that occur in the graph, in first-appearance order. *)
+val realms : Cgsim.Serialized.t -> Cgsim.Kernel.realm list
+
+exception Partition_error of string
+
+(** [subgraph g realm] — the kernels of [realm] with their nets.
+    Inter-realm and global nets become global inputs/outputs of the
+    subgraph (named after the original net), so a realm backend sees
+    exactly the external interfaces it must generate.  Raises
+    {!Partition_error} when the realm has no kernels. *)
+val subgraph : Cgsim.Serialized.t -> Cgsim.Kernel.realm -> Cgsim.Serialized.t

@@ -1,0 +1,89 @@
+(* Embedded copies of the realm runtime headers so written projects are
+   self-contained (the canonical copies live in include/ at the repo
+   root; keep both in sync). *)
+
+let aie =
+  {|// cgsim_aie_rt.hpp — AIE-realm runtime adapters for extracted kernels.
+//
+// Generated kernel sources keep their generic KernelReadPort /
+// KernelWritePort parameters (Section 4.4: "each realm must provide its
+// own implementations of these types").  This header implements them
+// over the native AIE streaming interfaces, so the extracted .cc files
+// compile under AMD's aiecompiler unchanged.
+#pragma once
+#include <adf.h>
+#include <aie_api/aie.hpp>
+
+template <typename T> struct KernelReadPort {
+    input_stream<T> *s;
+    explicit KernelReadPort(input_stream<T> *s) : s(s) {}
+    inline T get() { return readincr(s); }
+};
+
+template <typename T> struct KernelWritePort {
+    output_stream<T> *s;
+    explicit KernelWritePort(output_stream<T> *s) : s(s) {}
+    inline void put(T v) { writeincr(s, v); }
+};
+
+template <typename T, int BYTES> struct KernelWindowReadPort {
+    input_window<T> *w;
+    explicit KernelWindowReadPort(input_window<T> *w) : w(w) {}
+    inline T get() { return window_readincr(w); }
+};
+
+template <typename T, int BYTES> struct KernelWindowWritePort {
+    output_window<T> *w;
+    explicit KernelWindowWritePort(output_window<T> *w) : w(w) {}
+    inline void put(T v) { window_writeincr(w, v); }
+};
+
+template <typename T> struct KernelRtpPort {
+    T v;
+    explicit KernelRtpPort(T v) : v(v) {}
+    inline T get() { return v; }
+};
+|}
+
+let hls =
+  {|// cgsim_hls_rt.hpp — PL-realm (Vitis HLS) runtime adapters for extracted
+// kernels: the same generic port types, implemented over hls::stream.
+#pragma once
+#include <hls_stream.h>
+
+template <typename T> struct KernelReadPort {
+    hls::stream<T> &s;
+    explicit KernelReadPort(hls::stream<T> &s) : s(s) {}
+    inline T get() {
+#pragma HLS INLINE
+        return s.read();
+    }
+};
+
+template <typename T> struct KernelWritePort {
+    hls::stream<T> &s;
+    explicit KernelWritePort(hls::stream<T> &s) : s(s) {}
+    inline void put(T v) {
+#pragma HLS INLINE
+        s.write(v);
+    }
+};
+
+template <typename T, int BYTES> struct KernelWindowReadPort {
+    hls::stream<T> &s;
+    explicit KernelWindowReadPort(hls::stream<T> &s) : s(s) {}
+    inline T get() { return s.read(); }
+};
+
+template <typename T, int BYTES> struct KernelWindowWritePort {
+    hls::stream<T> &s;
+    explicit KernelWindowWritePort(hls::stream<T> &s) : s(s) {}
+    inline void put(T v) { s.write(v); }
+};
+
+template <typename T> struct KernelRtpPort {
+    T v;
+    explicit KernelRtpPort(T v) : v(v) {}
+    inline T get() { return v; }
+};
+|}

@@ -1,0 +1,1 @@
+lib/workloads/images.ml: Array Cgsim Prng

@@ -1,0 +1,1 @@
+lib/workloads/reference.ml: Aie Array Cgsim Float

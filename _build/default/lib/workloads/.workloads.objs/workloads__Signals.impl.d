@@ -1,0 +1,1 @@
+lib/workloads/signals.ml: Array Cgsim Float Prng

@@ -1,0 +1,61 @@
+type t = {
+  width : int;
+  height : int;
+  pixels : int array;
+}
+
+let synthetic ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Images.synthetic: empty image";
+  let pixels =
+    Array.init (width * height) (fun i ->
+        let x = i mod width and y = i / width in
+        let fx = float_of_int x /. float_of_int width in
+        let fy = float_of_int y /. float_of_int height in
+        let v =
+          (0.5 *. fx) +. (0.3 *. fy)
+          +. (0.2 *. sin (12.0 *. fx) *. cos (9.0 *. fy))
+        in
+        Cgsim.Value.clamp_int Cgsim.Dtype.U8 (int_of_float (v *. 255.0)))
+  in
+  { width; height; pixels }
+
+let get img ~x ~y =
+  if x < 0 || x >= img.width || y < 0 || y >= img.height then
+    invalid_arg "Images.get: out of bounds";
+  img.pixels.((y * img.width) + x)
+
+type quad = {
+  p00 : int;
+  p01 : int;
+  p10 : int;
+  p11 : int;
+  xf : int;
+  yf : int;
+}
+
+let sample_quads ~seed img n =
+  let rng = Prng.create ~seed in
+  Array.init n (fun _ ->
+      let x = Prng.int_range rng ~lo:0 ~hi:(img.width - 2) in
+      let y = Prng.int_range rng ~lo:0 ~hi:(img.height - 2) in
+      {
+        p00 = get img ~x ~y;
+        p01 = get img ~x:(x + 1) ~y;
+        p10 = get img ~x ~y:(y + 1);
+        p11 = get img ~x:(x + 1) ~y:(y + 1);
+        xf = Prng.int_range rng ~lo:0 ~hi:32767;
+        yf = Prng.int_range rng ~lo:0 ~hi:32767;
+      })
+
+let random_quads ~seed n =
+  let rng = Prng.create ~seed in
+  let u8 () = Prng.int_range rng ~lo:0 ~hi:255 in
+  Array.init n (fun _ ->
+      {
+        p00 = u8 ();
+        p01 = u8 ();
+        p10 = u8 ();
+        p11 = u8 ();
+        xf = Prng.int_range rng ~lo:0 ~hi:32767;
+        yf = Prng.int_range rng ~lo:0 ~hi:32767;
+      })

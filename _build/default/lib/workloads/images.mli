@@ -1,0 +1,28 @@
+(** Synthetic image data for the bilinear-interpolation workload. *)
+
+type t = {
+  width : int;
+  height : int;
+  pixels : int array;  (** row-major u8 *)
+}
+
+(** Smooth synthetic test pattern (sum of gradients and ripples). *)
+val synthetic : width:int -> height:int -> t
+
+val get : t -> x:int -> y:int -> int
+
+(** One interpolation request: a 2x2 pixel quad and Q15 fractions. *)
+type quad = {
+  p00 : int;
+  p01 : int;
+  p10 : int;
+  p11 : int;
+  xf : int;  (** Q15 in [0, 32767] *)
+  yf : int;
+}
+
+(** [sample_quads ~seed img n] — n random sub-pixel lookups into [img]. *)
+val sample_quads : seed:int -> t -> int -> quad array
+
+(** Pure random quads (no source image). *)
+val random_quads : seed:int -> int -> quad array

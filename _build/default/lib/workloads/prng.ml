@@ -1,0 +1,24 @@
+type t = { mutable state : int64 }
+
+let create ~seed =
+  (* Avoid the all-zero state; mix the seed through splitmix-style step. *)
+  let s = Int64.of_int (if seed = 0 then 0x9E3779B9 else seed) in
+  { state = Int64.logor s 1L }
+
+let next t =
+  let open Int64 in
+  let x = t.state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  t.state <- x;
+  (* Keep 62 bits so the result stays non-negative after Int64.to_int. *)
+  to_int (shift_right_logical (mul x 0x2545F4914F6CDD1DL) 2)
+
+let int_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_range: empty range";
+  lo + (next t mod (hi - lo + 1))
+
+let float_unit t = float_of_int (next t) /. 4611686018427387904.0
+
+let float_range t ~lo ~hi = lo +. ((hi -. lo) *. float_unit t)

@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random number generation (xorshift64 star).
+
+    All workloads derive from explicit seeds so every simulator run,
+    test and benchmark sees identical data — a prerequisite for comparing
+    cgsim, x86sim and aiesim outputs bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+
+val next : t -> int
+(** 62-bit non-negative integer. *)
+
+val int_range : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi] inclusive. *)
+
+val float_unit : t -> float
+(** Uniform in [0, 1). *)
+
+val float_range : t -> lo:float -> hi:float -> float

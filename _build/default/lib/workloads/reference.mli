@@ -1,0 +1,59 @@
+(** Golden scalar reference implementations.
+
+    Each evaluation kernel has a straightforward scalar counterpart here,
+    written independently of the vectorized implementations in {!Apps} (no
+    lane tricks, no pipelining) but sharing the same fixed-point rounding
+    semantics ({!Aie.Vec.srs}) and coefficient tables so fixed-point
+    pipelines can be compared bit-exactly and float pipelines within a
+    small tolerance. *)
+
+(** {1 Bitonic} *)
+
+val sort_f32 : float array -> float array
+(** Ascending sort (the specification of the bitonic kernel). *)
+
+(** {1 Farrow fractional-delay filter} *)
+
+val farrow_taps : int
+(** Taps per sub-filter (4: cubic Lagrange). *)
+
+val farrow_coeffs_q15 : int array array
+(** [farrow_coeffs_q15.(m).(k)] — Q15 coefficient of delay power [m],
+    tap [k].  At [d = 0] the filter degenerates to a one-tap delay. *)
+
+val srs15 : int -> int
+(** Shift-round-saturate by 15 bits to int16 — the scalar twin of
+    [Aie.Vec.srs I16 15] on one lane. *)
+
+(** [farrow_scalar ~d_q15 x] — full scalar farrow pipeline: 4 sub-filter
+    convolutions then Horner combination with the Q15 fractional delay.
+    Output length equals input length; the first [farrow_taps - 1] outputs
+    use zero-padded history. *)
+val farrow_scalar : d_q15:int -> int array -> int array
+
+(** {1 IIR cascade} *)
+
+type biquad = {
+  b0 : float;
+  b1 : float;
+  b2 : float;
+  a1 : float;
+  a2 : float;
+}
+
+(** RBJ-cookbook low-pass biquad. *)
+val design_lowpass : cutoff:float -> q:float -> biquad
+
+(** The paper example's 6th-order Butterworth low-pass as three cascaded
+    sections (Q = 0.5176, 0.7071, 1.9319) at fc = 0.1 fs. *)
+val iir_sections : biquad array
+
+(** Direct-form-I cascade, double precision. *)
+val iir_scalar : biquad array -> float array -> float array
+
+(** {1 Bilinear interpolation} *)
+
+(** One quad: four u8 pixels and Q15 x/y fractions; output is u16 in Q8.
+    Uses the exact integer pipeline of the kernel (Q8 pixels, srs15
+    blends). *)
+val bilinear_scalar : p00:int -> p01:int -> p10:int -> p11:int -> xf:int -> yf:int -> int

@@ -1,0 +1,24 @@
+let random_f32 ~seed n =
+  let rng = Prng.create ~seed in
+  Array.init n (fun _ -> Cgsim.Value.round_f32 (Prng.float_range rng ~lo:(-1.0) ~hi:1.0))
+
+let chirp_i16 ~seed ~amplitude n =
+  if amplitude <= 0 || amplitude > 32767 then invalid_arg "chirp_i16: bad amplitude";
+  let rng = Prng.create ~seed in
+  let a = float_of_int amplitude in
+  Array.init n (fun i ->
+      let t = float_of_int i /. float_of_int (max 1 n) in
+      (* Sweep 0.01..0.2 cycles/sample. *)
+      let phase = 2.0 *. Float.pi *. ((0.01 *. float_of_int i) +. (0.095 *. t *. float_of_int i)) in
+      let dither = Prng.float_range rng ~lo:(-0.5) ~hi:0.5 in
+      Cgsim.Value.clamp_int Cgsim.Dtype.I16 (int_of_float ((a *. sin phase) +. dither)))
+
+let step_noise_f32 ~seed n =
+  let rng = Prng.create ~seed in
+  Array.init n (fun i ->
+      let step = if i >= n / 8 then 1.0 else 0.0 in
+      Cgsim.Value.round_f32 (step +. Prng.float_range rng ~lo:(-0.01) ~hi:0.01))
+
+let random_i16 ~seed n =
+  let rng = Prng.create ~seed in
+  Array.init n (fun _ -> Prng.int_range rng ~lo:(-32768) ~hi:32767)

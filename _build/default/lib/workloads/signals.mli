@@ -1,0 +1,15 @@
+(** Signal and data generators for the four evaluation workloads. *)
+
+(** [random_f32 ~seed n] — n uniform floats in [-1, 1), f32-rounded. *)
+val random_f32 : seed:int -> int -> float array
+
+(** [chirp_i16 ~seed ~amplitude n] — linear chirp quantized to int16 with
+    a little dither; the farrow filter input. *)
+val chirp_i16 : seed:int -> amplitude:int -> int -> int array
+
+(** [step_noise_f32 ~seed n] — unit step plus small noise; the classic IIR
+    step-response workload. *)
+val step_noise_f32 : seed:int -> int -> float array
+
+(** [random_i16 ~seed n] — uniform int16 samples. *)
+val random_i16 : seed:int -> int -> int array

@@ -1,0 +1,1 @@
+lib/x86sim/sim.ml: Array Cgsim Domain Format Fun Gc List Mutex Printexc Printf String Tqueue Unix

@@ -1,0 +1,1 @@
+lib/x86sim/tqueue.ml: Array Cgsim Condition Fun List Mutex

@@ -1,0 +1,156 @@
+exception X86sim_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (X86sim_error s)) fmt
+
+type stats = {
+  threads : int;
+  failed : (string * exn) list;
+  wall_ns : float;
+}
+
+let deep_stream_depth = 4096
+
+let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
+  (match Cgsim.Serialized.validate g with
+   | Ok () -> ()
+   | Error problems -> fail "invalid graph %s: %s" g.gname (String.concat "; " problems));
+  let n_in = Array.length g.input_order and n_out = Array.length g.output_order in
+  if List.length sources <> n_in then
+    fail "graph %s has %d global inputs but %d sources were supplied" g.gname n_in
+      (List.length sources);
+  if List.length sinks <> n_out then
+    fail "graph %s has %d global outputs but %d sinks were supplied" g.gname n_out
+      (List.length sinks);
+  let queues =
+    Array.map
+      (fun (n : Cgsim.Serialized.net) ->
+        let elem_bytes = Cgsim.Dtype.size_bytes n.dtype in
+        let capacity =
+          match queue_capacity with
+          | Some c -> c
+          | None ->
+            (* The functional simulator buffers deeply in host memory
+               (threads should block rarely); hardware-fidelity depths
+               only matter to aiesim. *)
+            max deep_stream_depth (Cgsim.Settings.resolved_depth ~elem_bytes n.settings)
+        in
+        Tqueue.create ~name:(Printf.sprintf "%s/net%d" g.gname n.net_id) ~dtype:n.dtype ~capacity
+          ())
+      g.nets
+  in
+  let failures = ref [] in
+  let failures_lock = Mutex.create () in
+  let record_failure name exn =
+    Mutex.lock failures_lock;
+    failures := (name, exn) :: !failures;
+    Mutex.unlock failures_lock
+  in
+  let bodies = ref [] in
+  (* Wire kernels. *)
+  Array.iter
+    (fun (inst : Cgsim.Serialized.kernel_inst) ->
+      let kernel =
+        match Cgsim.Registry.find inst.key with
+        | Some k -> k
+        | None -> fail "graph %s references unregistered kernel %s" g.gname inst.key
+      in
+      let readers = ref [] and writers = ref [] and producers = ref [] in
+      Array.iteri
+        (fun port_idx (spec : Cgsim.Kernel.port_spec) ->
+          let q = queues.(inst.port_nets.(port_idx)) in
+          match spec.Cgsim.Kernel.dir with
+          | Cgsim.Kernel.In ->
+            let c = Tqueue.add_consumer q in
+            readers :=
+              {
+                Cgsim.Port.r_name = Printf.sprintf "%s.%s" inst.inst_name spec.Cgsim.Kernel.pname;
+                r_dtype = spec.Cgsim.Kernel.dtype;
+                r_get = (fun () -> Tqueue.get c);
+                r_peek = (fun () -> Tqueue.peek c);
+                r_available = (fun () -> Tqueue.available c);
+              }
+              :: !readers
+          | Cgsim.Kernel.Out ->
+            let p = Tqueue.add_producer q in
+            producers := p :: !producers;
+            writers :=
+              {
+                Cgsim.Port.w_name = Printf.sprintf "%s.%s" inst.inst_name spec.Cgsim.Kernel.pname;
+                w_dtype = spec.Cgsim.Kernel.dtype;
+                w_put = (fun v -> Tqueue.put p v);
+              }
+              :: !writers)
+        inst.ports;
+      let binding =
+        {
+          Cgsim.Kernel.readers = Array.of_list (List.rev !readers);
+          writers = Array.of_list (List.rev !writers);
+        }
+      in
+      let ps = !producers in
+      let body () =
+        Fun.protect
+          ~finally:(fun () -> List.iter Tqueue.producer_done ps)
+          (fun () ->
+            try kernel.Cgsim.Kernel.body binding with
+            | Cgsim.Sched.End_of_stream -> ()
+            | exn -> record_failure inst.inst_name exn)
+      in
+      bodies := (inst.inst_name, body) :: !bodies)
+    g.kernels;
+  (* Sources and sinks. *)
+  List.iteri
+    (fun i src ->
+      let q = queues.(g.input_order.(i)) in
+      let p = Tqueue.add_producer q in
+      let pull = Cgsim.Io.source_pull src in
+      let body () =
+        Fun.protect
+          ~finally:(fun () -> Tqueue.producer_done p)
+          (fun () ->
+            try
+              let rec loop () =
+                match pull () with
+                | Some v ->
+                  Tqueue.put p v;
+                  loop ()
+                | None -> ()
+              in
+              loop ()
+            with exn -> record_failure (Cgsim.Io.source_name src) exn)
+      in
+      bodies := (Cgsim.Io.source_name src, body) :: !bodies)
+    sources;
+  List.iteri
+    (fun i snk ->
+      let q = queues.(g.output_order.(i)) in
+      let c = Tqueue.add_consumer q in
+      let body () =
+        try
+          let rec loop () =
+            Cgsim.Io.sink_push snk (Tqueue.get c);
+            loop ()
+          in
+          loop ()
+        with
+        | Cgsim.Sched.End_of_stream -> ()
+        | exn -> record_failure (Cgsim.Io.sink_name snk) exn
+      in
+      bodies := (Cgsim.Io.sink_name snk, body) :: !bodies)
+    sinks;
+  (* OCaml 5 minor collections stop every domain; a larger minor heap
+     keeps the preemptive simulator's domains off each other's backs. *)
+  let gc = Gc.get () in
+  Gc.set { gc with Gc.minor_heap_size = max gc.Gc.minor_heap_size (8 * 1024 * 1024) };
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.map (fun (_name, body) -> Domain.spawn body) (List.rev !bodies)
+  in
+  List.iter Domain.join threads;
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  Gc.set gc;
+  let failed = List.rev !failures in
+  (match failed with
+   | [] -> ()
+   | (name, exn) :: _ -> fail "kernel thread %s failed: %s" name (Printexc.to_string exn));
+  { threads = List.length threads; failed; wall_ns }

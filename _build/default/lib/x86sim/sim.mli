@@ -1,0 +1,27 @@
+(** Thread-per-kernel functional simulator (the x86sim analogue).
+
+    Runs the same serialized graphs and the same kernel bodies as cgsim's
+    runtime, but with the execution model of AMD's functional simulator:
+    every kernel instance, data source and data sink runs on a dedicated
+    OS thread and blocks preemptively in queue operations.  This is the
+    comparison point of Table 2 — faster than cgsim only when several
+    compute-heavy kernels genuinely run in parallel; slower when frequent
+    small transfers make mutex/condvar synchronisation dominate. *)
+
+exception X86sim_error of string
+
+type stats = {
+  threads : int;
+  failed : (string * exn) list;
+  wall_ns : float;
+}
+
+(** [run g ~sources ~sinks] executes the graph to completion.  Re-raises
+    the first kernel failure as {!X86sim_error} after joining all
+    threads. *)
+val run :
+  ?queue_capacity:int ->
+  Cgsim.Serialized.t ->
+  sources:Cgsim.Io.source list ->
+  sinks:Cgsim.Io.sink list ->
+  stats

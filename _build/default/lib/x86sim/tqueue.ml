@@ -1,0 +1,116 @@
+type t = {
+  q_name : string;
+  q_dtype : Cgsim.Dtype.t;
+  cap : int;
+  buf : Cgsim.Value.t array;
+  mutable head : int;
+  mutable consumers : consumer list;
+  mutable producers_open : int;
+  mutable closed : bool;
+  mutable total : int;
+  lock : Mutex.t;
+  nonfull : Condition.t;
+  nonempty : Condition.t;
+}
+
+and consumer = {
+  c_queue : t;
+  mutable cursor : int;
+}
+
+and producer = {
+  p_queue : t;
+  mutable open_ : bool;
+}
+
+let create ~name ~dtype ~capacity () =
+  if capacity <= 0 then invalid_arg ("x86sim: queue capacity must be positive: " ^ name);
+  {
+    q_name = name;
+    q_dtype = dtype;
+    cap = capacity;
+    buf = Array.make capacity (Cgsim.Value.Int 0);
+    head = 0;
+    consumers = [];
+    producers_open = 0;
+    closed = false;
+    total = 0;
+    lock = Mutex.create ();
+    nonfull = Condition.create ();
+    nonempty = Condition.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add_consumer q =
+  with_lock q (fun () ->
+      let c = { c_queue = q; cursor = q.head } in
+      q.consumers <- c :: q.consumers;
+      c)
+
+let add_producer q =
+  with_lock q (fun () ->
+      if q.closed then invalid_arg ("x86sim: adding producer to closed queue " ^ q.q_name);
+      q.producers_open <- q.producers_open + 1;
+      { p_queue = q; open_ = true })
+
+let min_cursor q =
+  match q.consumers with
+  | [] -> q.head
+  | c :: rest -> List.fold_left (fun acc c -> min acc c.cursor) c.cursor rest
+
+let put p v =
+  let q = p.p_queue in
+  if not p.open_ then invalid_arg ("x86sim: put on finished producer of " ^ q.q_name);
+  Cgsim.Value.check ~net:q.q_name q.q_dtype v;
+  with_lock q (fun () ->
+      while q.head - min_cursor q >= q.cap && not q.closed do
+        Condition.wait q.nonfull q.lock
+      done;
+      if q.closed then invalid_arg ("x86sim: put on closed queue " ^ q.q_name);
+      q.buf.(q.head mod q.cap) <- v;
+      q.head <- q.head + 1;
+      q.total <- q.total + 1;
+      Condition.broadcast q.nonempty)
+
+let get c =
+  let q = c.c_queue in
+  with_lock q (fun () ->
+      while c.cursor >= q.head && not q.closed do
+        Condition.wait q.nonempty q.lock
+      done;
+      if c.cursor < q.head then begin
+        let v = q.buf.(c.cursor mod q.cap) in
+        c.cursor <- c.cursor + 1;
+        Condition.broadcast q.nonfull;
+        v
+      end
+      else raise Cgsim.Sched.End_of_stream)
+
+let peek c =
+  let q = c.c_queue in
+  with_lock q (fun () ->
+      if c.cursor < q.head then Some q.buf.(c.cursor mod q.cap)
+      else if q.closed then raise Cgsim.Sched.End_of_stream
+      else None)
+
+let available c =
+  let q = c.c_queue in
+  with_lock q (fun () -> q.head - c.cursor)
+
+let producer_done p =
+  if p.open_ then begin
+    p.open_ <- false;
+    let q = p.p_queue in
+    with_lock q (fun () ->
+        q.producers_open <- q.producers_open - 1;
+        if q.producers_open <= 0 then begin
+          q.closed <- true;
+          Condition.broadcast q.nonempty;
+          Condition.broadcast q.nonfull
+        end)
+  end
+
+let total_put q = with_lock q (fun () -> q.total)

@@ -1,0 +1,38 @@
+(** Thread-safe bounded broadcast queues.
+
+    The preemptive counterpart of {!Cgsim.Bqueue}, used by the x86sim
+    analogue, which runs every kernel on its own OS thread like AMD's
+    functional simulator (Section 5.2).  Synchronisation is a mutex and
+    condition variable per queue — the overhead the paper's Table 2
+    contrasts against cgsim's cooperative design.
+
+    Semantics match {!Cgsim.Bqueue}: broadcast to every consumer,
+    per-producer FIFO, close-on-last-producer, reads past a drained closed
+    queue raise {!Cgsim.Sched.End_of_stream}. *)
+
+type t
+
+type consumer
+
+type producer
+
+val create : name:string -> dtype:Cgsim.Dtype.t -> capacity:int -> unit -> t
+
+val add_consumer : t -> consumer
+
+val add_producer : t -> producer
+
+val put : producer -> Cgsim.Value.t -> unit
+(** Blocks while full. *)
+
+val get : consumer -> Cgsim.Value.t
+(** Blocks while empty; raises {!Cgsim.Sched.End_of_stream} when closed
+    and drained. *)
+
+val peek : consumer -> Cgsim.Value.t option
+
+val available : consumer -> int
+
+val producer_done : producer -> unit
+
+val total_put : t -> int

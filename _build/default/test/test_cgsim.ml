@@ -1,0 +1,798 @@
+(* Unit and property tests for the cgsim core library. *)
+
+let dt = Alcotest.testable Cgsim.Dtype.pp Cgsim.Dtype.equal
+
+(* ------------------------------------------------------------------ *)
+(* Dtype                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_dtype_sizes () =
+  let open Cgsim.Dtype in
+  Alcotest.(check int) "f32" 4 (size_bytes F32);
+  Alcotest.(check int) "i16" 2 (size_bytes I16);
+  Alcotest.(check int) "v16f32" 64 (size_bytes (Vector (F32, 16)));
+  Alcotest.(check int) "struct" 12 (size_bytes (Struct [ "a", F32; "b", I32; "c", U16; "d", I16 ]));
+  Alcotest.(check int) "lanes" 16 (scalar_count (Vector (F32, 16)))
+
+let test_dtype_spelling () =
+  let open Cgsim.Dtype in
+  Alcotest.(check (option dt)) "float" (Some F32) (of_cpp_spelling "float");
+  Alcotest.(check (option dt)) "int16_t" (Some I16) (of_cpp_spelling "int16_t");
+  Alcotest.(check (option dt)) "v16float" (Some (Vector (F32, 16))) (of_cpp_spelling "v16float");
+  Alcotest.(check (option dt)) "v8int32" (Some (Vector (I32, 8))) (of_cpp_spelling "v8int32");
+  Alcotest.(check (option dt)) "garbage" None (of_cpp_spelling "quux");
+  Alcotest.(check (option dt)) "v0float" None (of_cpp_spelling "v0float");
+  Alcotest.(check string) "roundtrip v16f32" "v16float" (cpp_spelling (Vector (F32, 16)));
+  Alcotest.(check string) "roundtrip i16" "int16_t" (cpp_spelling I16)
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_conforms () =
+  let open Cgsim in
+  Alcotest.(check bool) "f32 ok" true (Value.conforms Dtype.F32 (Value.Float 1.5));
+  Alcotest.(check bool) "i16 ok" true (Value.conforms Dtype.I16 (Value.Int 32767));
+  Alcotest.(check bool) "i16 overflow" false (Value.conforms Dtype.I16 (Value.Int 32768));
+  Alcotest.(check bool) "u8 negative" false (Value.conforms Dtype.U8 (Value.Int (-1)));
+  let vec = Value.Vec [| Value.Float 0.0; Value.Float 1.0 |] in
+  Alcotest.(check bool) "vector ok" true (Value.conforms (Dtype.Vector (Dtype.F32, 2)) vec);
+  Alcotest.(check bool) "vector wrong lanes" false
+    (Value.conforms (Dtype.Vector (Dtype.F32, 3)) vec);
+  let st = Dtype.Struct [ "x", Dtype.F32; "y", Dtype.I32 ] in
+  Alcotest.(check bool) "struct ok" true
+    (Value.conforms st (Value.Rec [ "x", Value.Float 1.0; "y", Value.Int 2 ]));
+  Alcotest.(check bool) "struct field order matters" false
+    (Value.conforms st (Value.Rec [ "y", Value.Int 2; "x", Value.Float 1.0 ]))
+
+let test_value_int_ops () =
+  let open Cgsim in
+  Alcotest.(check int) "clamp high" 32767 (Value.clamp_int Dtype.I16 100000);
+  Alcotest.(check int) "clamp low" (-32768) (Value.clamp_int Dtype.I16 (-100000));
+  Alcotest.(check int) "wrap i16" (-32768) (Value.wrap_int Dtype.I16 32768);
+  Alcotest.(check int) "wrap u8" 1 (Value.wrap_int Dtype.U8 257);
+  Alcotest.(check int) "zero int" 0 (Value.to_int (Value.zero Dtype.I32))
+
+(* ------------------------------------------------------------------ *)
+(* Settings                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_settings_merge () =
+  let open Cgsim.Settings in
+  let ok = function Ok s -> s | Error e -> Alcotest.failf "unexpected merge error: %s" e in
+  let m = ok (merge (window 8192) (with_beat 8 default)) in
+  Alcotest.(check bool) "window+beat" true (equal m (with_beat 8 (window 8192)));
+  (match merge (window 8192) (window 4096) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "conflicting windows must not merge");
+  (match merge stream rtp with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "stream vs rtp must not merge");
+  Alcotest.(check bool) "wildcard" true (equal (ok (merge default stream)) stream)
+
+let test_settings_validate () =
+  let open Cgsim.Settings in
+  (match validate ~elem_bytes:4 (window 8192) with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "8192/4 window should validate: %s" e);
+  (match validate ~elem_bytes:3 (window 8192) with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "non-multiple window must fail");
+  (match validate ~elem_bytes:4 (with_beat 5 stream) with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "beat 5 must fail");
+  Alcotest.(check int) "window depth = 2 windows" 4096
+    (resolved_depth ~elem_bytes:4 (window 8192));
+  Alcotest.(check int) "stream default depth" default_stream_depth
+    (resolved_depth ~elem_bytes:4 stream)
+
+let settings_gen =
+  let open QCheck.Gen in
+  let transport =
+    frequency
+      [
+        2, return None;
+        2, return (Some Cgsim.Settings.Stream);
+        1, map (fun i -> Some (Cgsim.Settings.Window (4 * (1 + i)))) (int_bound 8);
+        1, return (Some Cgsim.Settings.Rtp);
+      ]
+  in
+  let beat = frequency [ 2, return None; 1, oneofl [ Some 4; Some 8; Some 16 ] ] in
+  let depth = frequency [ 2, return None; 1, map (fun i -> Some (1 + i)) (int_bound 64) ] in
+  map
+    (fun (transport, (beat_bytes, depth)) -> { Cgsim.Settings.transport; beat_bytes; depth })
+    (pair transport (pair beat depth))
+
+let settings_arb =
+  QCheck.make settings_gen ~print:(fun s -> Format.asprintf "%a" Cgsim.Settings.pp s)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"Settings.merge is commutative" ~count:500
+    (QCheck.pair settings_arb settings_arb)
+    (fun (a, b) ->
+      let open Cgsim.Settings in
+      match merge a b, merge b a with
+      | Ok x, Ok y -> equal x y
+      | Error _, Error _ -> true
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"Settings.merge is associative" ~count:500
+    (QCheck.triple settings_arb settings_arb settings_arb)
+    (fun (a, b, c) ->
+      let open Cgsim.Settings in
+      let left = Result.bind (merge a b) (fun ab -> merge ab c) in
+      let right = Result.bind (merge b c) (fun bc -> merge a bc) in
+      match left, right with
+      | Ok x, Ok y -> equal x y
+      | Error _, Error _ -> true
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let prop_merge_idempotent =
+  QCheck.Test.make ~name:"Settings.merge is idempotent" ~count:500 settings_arb (fun a ->
+      let open Cgsim.Settings in
+      match merge a a with
+      | Ok x -> equal x a
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Attr                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_attr_merge () =
+  let open Cgsim.Attr in
+  let merged = merge [ s "plio_name" "a"; i "plio_width" 64 ] [ s "plio_name" "b" ] in
+  Alcotest.(check (option string)) "override" (Some "b") (find_string "plio_name" merged);
+  Alcotest.(check (option int)) "kept" (Some 64) (find_int "plio_width" merged);
+  Alcotest.(check int) "no duplicates" 2 (List.length merged);
+  Alcotest.(check (option int)) "wrong kind" None (find_int "plio_name" merged)
+
+(* ------------------------------------------------------------------ *)
+(* Sched                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_sched_roundrobin () =
+  let s = Cgsim.Sched.create () in
+  let log = ref [] in
+  let fiber name =
+    for i = 1 to 3 do
+      log := Printf.sprintf "%s%d" name i :: !log;
+      Cgsim.Sched.yield ()
+    done
+  in
+  Cgsim.Sched.spawn s ~name:"a" (fun () -> fiber "a");
+  Cgsim.Sched.spawn s ~name:"b" (fun () -> fiber "b");
+  let stats = Cgsim.Sched.run s in
+  Alcotest.(check int) "completed" 2 stats.Cgsim.Sched.completed;
+  Alcotest.(check (list string)) "interleaving"
+    [ "a1"; "b1"; "a2"; "b2"; "a3"; "b3" ]
+    (List.rev !log)
+
+let test_sched_park_wake () =
+  let s = Cgsim.Sched.create () in
+  let slot = ref None in
+  let got = ref (-1) in
+  Cgsim.Sched.spawn s ~name:"consumer" (fun () ->
+      Cgsim.Sched.park (fun w -> slot := Some w);
+      got := 42);
+  Cgsim.Sched.spawn s ~name:"producer" (fun () ->
+      match !slot with
+      | Some w -> Cgsim.Sched.wake w
+      | None -> Alcotest.fail "consumer should have parked first");
+  let stats = Cgsim.Sched.run s in
+  Alcotest.(check int) "both completed" 2 stats.Cgsim.Sched.completed;
+  Alcotest.(check int) "consumer resumed" 42 !got
+
+let test_sched_stall_cancels () =
+  let s = Cgsim.Sched.create () in
+  let cleaned = ref false in
+  Cgsim.Sched.spawn s ~name:"stuck" (fun () ->
+      Fun.protect
+        ~finally:(fun () -> cleaned := true)
+        (fun () -> Cgsim.Sched.park (fun _ -> ())));
+  let stats = Cgsim.Sched.run s in
+  Alcotest.(check int) "cancelled" 1 stats.Cgsim.Sched.cancelled;
+  Alcotest.(check bool) "cleanup ran" true !cleaned
+
+let test_sched_failure_recorded () =
+  let s = Cgsim.Sched.create () in
+  Cgsim.Sched.spawn s ~name:"boom" (fun () -> failwith "kernel bug");
+  let stats = Cgsim.Sched.run s in
+  match stats.Cgsim.Sched.failed with
+  | [ ("boom", Failure msg) ] when msg = "kernel bug" -> ()
+  | _ -> Alcotest.fail "failure should be recorded with fiber name"
+
+let test_sched_stale_waker () =
+  let s = Cgsim.Sched.create () in
+  let first = ref None in
+  let hits = ref 0 in
+  Cgsim.Sched.spawn s ~name:"sleeper" (fun () ->
+      Cgsim.Sched.park (fun w -> first := Some w);
+      incr hits;
+      (* Park again; waking the stale first waker must not resume this. *)
+      Cgsim.Sched.park (fun _ -> ()));
+  Cgsim.Sched.spawn s ~name:"waker" (fun () ->
+      match !first with
+      | Some w ->
+        Cgsim.Sched.wake w;
+        Cgsim.Sched.yield ();
+        Cgsim.Sched.wake w (* stale: sleeper re-parked under a new generation *)
+      | None -> Alcotest.fail "sleeper should have parked");
+  let stats = Cgsim.Sched.run s in
+  Alcotest.(check int) "woken exactly once" 1 !hits;
+  Alcotest.(check int) "sleeper cancelled at stall" 1 stats.Cgsim.Sched.cancelled
+
+let test_sched_spawn_during_run () =
+  let s = Cgsim.Sched.create () in
+  let seen = ref [] in
+  Cgsim.Sched.spawn s ~name:"parent" (fun () ->
+      seen := "parent" :: !seen;
+      Cgsim.Sched.spawn s ~name:"child" (fun () -> seen := "child" :: !seen));
+  let stats = Cgsim.Sched.run s in
+  Alcotest.(check int) "both ran" 2 stats.Cgsim.Sched.completed;
+  Alcotest.(check (list string)) "order" [ "parent"; "child" ] (List.rev !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Bqueue                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_fibers fibers =
+  let s = Cgsim.Sched.create () in
+  List.iter (fun (name, fn) -> Cgsim.Sched.spawn s ~name fn) fibers;
+  Cgsim.Sched.run s
+
+let test_bqueue_fifo () =
+  let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:4 () in
+  let p = Cgsim.Bqueue.add_producer q in
+  let c = Cgsim.Bqueue.add_consumer q in
+  let got = ref [] in
+  let stats =
+    run_fibers
+      [
+        ( "producer",
+          fun () ->
+            for i = 1 to 100 do
+              Cgsim.Bqueue.put p (Cgsim.Value.Int i)
+            done;
+            Cgsim.Bqueue.producer_done p );
+        ( "consumer",
+          fun () ->
+            let rec loop () =
+              got := Cgsim.Value.to_int (Cgsim.Bqueue.get c) :: !got;
+              loop ()
+            in
+            loop () );
+      ]
+  in
+  Alcotest.(check int) "all fibers done" 2 stats.Cgsim.Sched.completed;
+  Alcotest.(check (list int)) "order" (List.init 100 (fun i -> i + 1)) (List.rev !got)
+
+let test_bqueue_broadcast () =
+  let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:2 () in
+  let p = Cgsim.Bqueue.add_producer q in
+  let c1 = Cgsim.Bqueue.add_consumer q in
+  let c2 = Cgsim.Bqueue.add_consumer q in
+  let got1 = ref [] and got2 = ref [] in
+  let consume c acc () =
+    let rec loop () =
+      acc := Cgsim.Value.to_int (Cgsim.Bqueue.get c) :: !acc;
+      loop ()
+    in
+    loop ()
+  in
+  let _ =
+    run_fibers
+      [
+        ( "producer",
+          fun () ->
+            for i = 1 to 50 do
+              Cgsim.Bqueue.put p (Cgsim.Value.Int i)
+            done;
+            Cgsim.Bqueue.producer_done p );
+        "c1", consume c1 got1;
+        "c2", consume c2 got2;
+      ]
+  in
+  let expect = List.init 50 (fun i -> i + 1) in
+  Alcotest.(check (list int)) "c1 complete copy" expect (List.rev !got1);
+  Alcotest.(check (list int)) "c2 complete copy" expect (List.rev !got2)
+
+let test_bqueue_backpressure () =
+  (* Capacity 1 forces strict ping-pong between producer and consumer. *)
+  let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:1 () in
+  let p = Cgsim.Bqueue.add_producer q in
+  let c = Cgsim.Bqueue.add_consumer q in
+  let max_in_flight = ref 0 in
+  let _ =
+    run_fibers
+      [
+        ( "producer",
+          fun () ->
+            for i = 1 to 20 do
+              Cgsim.Bqueue.put p (Cgsim.Value.Int i);
+              max_in_flight := max !max_in_flight (Cgsim.Bqueue.available c)
+            done;
+            Cgsim.Bqueue.producer_done p );
+        ( "consumer",
+          fun () ->
+            let rec loop () =
+              ignore (Cgsim.Bqueue.get c);
+              loop ()
+            in
+            loop () );
+      ]
+  in
+  Alcotest.(check bool) "bounded" true (!max_in_flight <= 1)
+
+let test_bqueue_multiproducer () =
+  let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:8 () in
+  let p1 = Cgsim.Bqueue.add_producer q in
+  let p2 = Cgsim.Bqueue.add_producer q in
+  let c = Cgsim.Bqueue.add_consumer q in
+  let got = ref [] in
+  let produce p base () =
+    for i = 1 to 25 do
+      Cgsim.Bqueue.put p (Cgsim.Value.Int (base + i))
+    done;
+    Cgsim.Bqueue.producer_done p
+  in
+  let _ =
+    run_fibers
+      [
+        "p1", produce p1 0;
+        "p2", produce p2 100;
+        ( "consumer",
+          fun () ->
+            let rec loop () =
+              got := Cgsim.Value.to_int (Cgsim.Bqueue.get c) :: !got;
+              loop ()
+            in
+            loop () );
+      ]
+  in
+  let all = List.rev !got in
+  Alcotest.(check int) "everything arrived" 50 (List.length all);
+  (* Per-producer FIFO: the subsequence from each producer is ordered. *)
+  let sub pred = List.filter pred all in
+  let sorted l = List.sort compare l in
+  Alcotest.(check (list int)) "p1 order kept" (sorted (sub (fun x -> x <= 25)))
+    (sub (fun x -> x <= 25));
+  Alcotest.(check (list int)) "p2 order kept" (sorted (sub (fun x -> x > 25)))
+    (sub (fun x -> x > 25))
+
+let test_bqueue_close_drains () =
+  let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:8 () in
+  let p = Cgsim.Bqueue.add_producer q in
+  let c = Cgsim.Bqueue.add_consumer q in
+  let got = ref [] in
+  let stats =
+    run_fibers
+      [
+        ( "producer",
+          fun () ->
+            Cgsim.Bqueue.put p (Cgsim.Value.Int 7);
+            Cgsim.Bqueue.put p (Cgsim.Value.Int 8);
+            Cgsim.Bqueue.producer_done p );
+        ( "consumer",
+          fun () ->
+            let rec loop () =
+              got := Cgsim.Value.to_int (Cgsim.Bqueue.get c) :: !got;
+              loop ()
+            in
+            loop () );
+      ]
+  in
+  (* Consumer terminates via End_of_stream, counted as completed. *)
+  Alcotest.(check int) "completed" 2 stats.Cgsim.Sched.completed;
+  Alcotest.(check (list int)) "drained before close" [ 7; 8 ] (List.rev !got)
+
+let test_bqueue_dtype_check () =
+  let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.F32 ~capacity:2 () in
+  let p = Cgsim.Bqueue.add_producer q in
+  let stats = run_fibers [ ("bad", fun () -> Cgsim.Bqueue.put p (Cgsim.Value.Int 1)) ] in
+  match stats.Cgsim.Sched.failed with
+  | [ ("bad", Invalid_argument _) ] -> ()
+  | _ -> Alcotest.fail "dtype mismatch should fail the producing fiber"
+
+let prop_bqueue_broadcast_random =
+  QCheck.Test.make ~name:"Bqueue broadcast delivers identical complete copies" ~count:50
+    QCheck.(pair (int_range 1 6) (list_of_size (QCheck.Gen.int_range 0 60) small_int))
+    (fun (cap, items) ->
+      let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:cap () in
+      let p = Cgsim.Bqueue.add_producer q in
+      let consumers = List.init 3 (fun _ -> Cgsim.Bqueue.add_consumer q) in
+      let results = List.map (fun _ -> ref []) consumers in
+      let fibers =
+        ( "producer",
+          fun () ->
+            List.iter (fun i -> Cgsim.Bqueue.put p (Cgsim.Value.Int i)) items;
+            Cgsim.Bqueue.producer_done p )
+        :: List.map2
+             (fun c acc ->
+               ( "consumer",
+                 fun () ->
+                   let rec loop () =
+                     acc := Cgsim.Value.to_int (Cgsim.Bqueue.get c) :: !acc;
+                     loop ()
+                   in
+                   loop () ))
+             consumers results
+      in
+      ignore (run_fibers fibers);
+      List.for_all (fun acc -> List.rev !acc = items) results)
+
+(* ------------------------------------------------------------------ *)
+(* Builder / Serialized / Runtime round trip                          *)
+(* ------------------------------------------------------------------ *)
+
+let scale_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"test_scale"
+    [
+      Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32;
+      Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32;
+    ]
+    (fun b ->
+      let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+      while true do
+        Cgsim.Port.put_f32 o (2.0 *. Cgsim.Port.get_f32 i)
+      done)
+
+let add_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"test_add"
+    [
+      Cgsim.Kernel.in_port "a" Cgsim.Dtype.F32;
+      Cgsim.Kernel.in_port "b" Cgsim.Dtype.F32;
+      Cgsim.Kernel.out_port "sum" Cgsim.Dtype.F32;
+    ]
+    (fun b ->
+      let a = Cgsim.Kernel.rd b 0 and bb = Cgsim.Kernel.rd b 1 and o = Cgsim.Kernel.wr b 0 in
+      while true do
+        let x = Cgsim.Port.get_f32 a in
+        let y = Cgsim.Port.get_f32 bb in
+        Cgsim.Port.put_f32 o (x +. y)
+      done)
+
+let () =
+  Cgsim.Registry.register scale_kernel;
+  Cgsim.Registry.register add_kernel
+
+let diamond_graph () =
+  (* in -> scale -> (broadcast) -> two scales -> add -> out *)
+  Cgsim.Builder.make ~name:"diamond" ~inputs:[ "x", Cgsim.Dtype.F32 ] (fun b conns ->
+      let x = List.hd conns in
+      let mid = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      let l = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      let r = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      ignore (Cgsim.Builder.add_kernel b scale_kernel [ x; mid ]);
+      ignore (Cgsim.Builder.add_kernel b scale_kernel [ mid; l ]);
+      ignore (Cgsim.Builder.add_kernel b scale_kernel [ mid; r ]);
+      ignore (Cgsim.Builder.add_kernel b add_kernel [ l; r; out ]);
+      [ out ])
+
+let test_builder_valid () =
+  let g = diamond_graph () in
+  match Cgsim.Serialized.validate g with
+  | Ok () -> ()
+  | Error ps -> Alcotest.failf "diamond should validate: %s" (String.concat "; " ps)
+
+let test_builder_broadcast_recorded () =
+  let g = diamond_graph () in
+  (* Net 1 is "mid": one writer, two readers. *)
+  let mid = Cgsim.Serialized.net g 1 in
+  Alcotest.(check int) "writers" 1 (List.length mid.Cgsim.Serialized.writers);
+  Alcotest.(check int) "readers" 2 (List.length mid.Cgsim.Serialized.readers)
+
+let test_builder_dtype_mismatch () =
+  match
+    Cgsim.Builder.make ~name:"bad" ~inputs:[ "x", Cgsim.Dtype.I32 ] (fun b conns ->
+        let x = List.hd conns in
+        let y = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel b scale_kernel [ x; y ]);
+        [ y ])
+  with
+  | exception Cgsim.Builder.Construction_error _ -> ()
+  | _ -> Alcotest.fail "connecting i32 connector to f32 port must fail"
+
+let test_builder_arity_mismatch () =
+  match
+    Cgsim.Builder.make ~name:"bad" ~inputs:[ "x", Cgsim.Dtype.F32 ] (fun b conns ->
+        ignore (Cgsim.Builder.add_kernel b add_kernel conns);
+        conns)
+  with
+  | exception Cgsim.Builder.Construction_error _ -> ()
+  | _ -> Alcotest.fail "wrong connector count must fail"
+
+let test_builder_dangling () =
+  match
+    Cgsim.Builder.make ~name:"bad" ~inputs:[] (fun b _ ->
+        let orphan = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel b scale_kernel [ orphan; out ]);
+        [ out ])
+  with
+  | exception Cgsim.Builder.Construction_error _ -> ()
+  | _ -> Alcotest.fail "kernel reading an unwritten connector must fail at freeze"
+
+let test_builder_cross_builder_conn () =
+  let b1 = Cgsim.Builder.create ~name:"g1" in
+  let b2 = Cgsim.Builder.create ~name:"g2" in
+  let c1 = Cgsim.Builder.net b1 Cgsim.Dtype.F32 in
+  match Cgsim.Builder.attach_attributes b2 c1 [] with
+  | exception Cgsim.Builder.Construction_error _ -> ()
+  | () -> Alcotest.fail "foreign connector must be rejected"
+
+let test_runtime_diamond () =
+  let g = diamond_graph () in
+  let sink, contents = Cgsim.Io.f32_buffer () in
+  let input = Cgsim.Io.of_f32_array [| 1.0; 2.0; 3.0 |] in
+  let _ = Cgsim.Runtime.execute g ~sources:[ input ] ~sinks:[ sink ] in
+  (* x -> 2x -> (4x, 4x) -> 8x *)
+  Alcotest.(check (array (float 1e-6))) "diamond output" [| 8.0; 16.0; 24.0 |] (contents ())
+
+let test_runtime_io_count_mismatch () =
+  let g = diamond_graph () in
+  match Cgsim.Runtime.execute g ~sources:[] ~sinks:[ Cgsim.Io.null () ] with
+  | exception Cgsim.Runtime.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "source count mismatch must fail"
+
+let test_runtime_unregistered_kernel () =
+  let ghost =
+    Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"test_ghost"
+      [ Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32; Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32 ]
+      (fun _ -> ())
+  in
+  (* Intentionally not registered. *)
+  match
+    Cgsim.Builder.make ~name:"ghostly" ~inputs:[ "x", Cgsim.Dtype.F32 ] (fun b conns ->
+        let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel b ghost [ List.hd conns; out ]);
+        [ out ])
+  with
+  | exception Cgsim.Builder.Construction_error _ -> ()
+  | _g -> Alcotest.fail "freeze must reject unregistered kernels"
+
+let test_runtime_single_shot () =
+  let g = diamond_graph () in
+  let t = Cgsim.Runtime.instantiate g in
+  let _ =
+    Cgsim.Runtime.run t ~sources:[ Cgsim.Io.of_f32_array [| 1.0 |] ] ~sinks:[ Cgsim.Io.null () ]
+  in
+  match
+    Cgsim.Runtime.run t ~sources:[ Cgsim.Io.of_f32_array [| 1.0 |] ] ~sinks:[ Cgsim.Io.null () ]
+  with
+  | exception Cgsim.Runtime.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "contexts are single-shot"
+
+let test_runtime_rtp () =
+  (* Runtime-parameter source delivers exactly one scalar. *)
+  let gain_kernel =
+    Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"test_gain"
+      [
+        Cgsim.Kernel.in_port "gain" Cgsim.Dtype.F32 ~settings:Cgsim.Settings.rtp;
+        Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32;
+        Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32;
+      ]
+      (fun b ->
+        let gain = Cgsim.Port.get_f32 (Cgsim.Kernel.rd b 0) in
+        let i = Cgsim.Kernel.rd b 1 and o = Cgsim.Kernel.wr b 0 in
+        while true do
+          Cgsim.Port.put_f32 o (gain *. Cgsim.Port.get_f32 i)
+        done)
+  in
+  Cgsim.Registry.register gain_kernel;
+  let g =
+    Cgsim.Builder.make ~name:"rtp_graph"
+      ~inputs:[ "gain", Cgsim.Dtype.F32; "x", Cgsim.Dtype.F32 ]
+      (fun b conns ->
+        match conns with
+        | [ gain; x ] ->
+          let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+          ignore (Cgsim.Builder.add_kernel b gain_kernel [ gain; x; out ]);
+          [ out ]
+        | _ -> assert false)
+  in
+  let sink, contents = Cgsim.Io.f32_buffer () in
+  let _ =
+    Cgsim.Runtime.execute g
+      ~sources:[ Cgsim.Io.rtp (Cgsim.Value.Float 3.0); Cgsim.Io.of_f32_array [| 1.0; 2.0 |] ]
+      ~sinks:[ sink ]
+  in
+  Alcotest.(check (array (float 1e-6))) "rtp applied" [| 3.0; 6.0 |] (contents ())
+
+let prop_pipeline_random =
+  (* A random-length chain of scale kernels doubles each element n times. *)
+  QCheck.Test.make ~name:"runtime: random scale chains compute 2^n * x" ~count:25
+    QCheck.(pair (int_range 1 6) (list_of_size (QCheck.Gen.int_range 0 20) (int_range (-100) 100)))
+    (fun (depth, xs) ->
+      let g =
+        Cgsim.Builder.make ~name:"chain" ~inputs:[ "x", Cgsim.Dtype.F32 ] (fun b conns ->
+            let rec build prev = function
+              | 0 -> prev
+              | n ->
+                let next = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+                ignore (Cgsim.Builder.add_kernel b scale_kernel [ prev; next ]);
+                build next (n - 1)
+            in
+            [ build (List.hd conns) depth ])
+      in
+      let sink, contents = Cgsim.Io.f32_buffer () in
+      let input = Cgsim.Io.of_f32_array (Array.of_list (List.map float_of_int xs)) in
+      let _ = Cgsim.Runtime.execute g ~sources:[ input ] ~sinks:[ sink ] in
+      let expect = List.map (fun x -> float_of_int x *. (2.0 ** float_of_int depth)) xs in
+      contents () = Array.of_list expect)
+
+let test_serialized_topology_equal () =
+  let a = diamond_graph () in
+  let b = diamond_graph () in
+  Alcotest.(check bool) "same construction, same topology" true
+    (Cgsim.Serialized.equal_topology a b);
+  let c =
+    Cgsim.Builder.make ~name:"other" ~inputs:[ "x", Cgsim.Dtype.F32 ] (fun b conns ->
+        let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel b scale_kernel [ List.hd conns; out ]);
+        [ out ])
+  in
+  Alcotest.(check bool) "different graphs differ" false (Cgsim.Serialized.equal_topology a c)
+
+let test_profile_fraction () =
+  (* The Section 5.2 claim: cooperative scheduling keeps sync overhead
+     negligible, i.e. the kernel fraction dominates. *)
+  let busy =
+    Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"test_busy"
+      [ Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32; Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32 ]
+      (fun b ->
+        let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+        while true do
+          let x = Cgsim.Port.get_f32 i in
+          let acc = ref x in
+          for _ = 1 to 5000 do
+            acc := !acc *. 1.0000001 +. 0.5
+          done;
+          Cgsim.Port.put_f32 o !acc
+        done)
+  in
+  Cgsim.Registry.register busy;
+  let g =
+    Cgsim.Builder.make ~name:"busy_graph" ~inputs:[ "x", Cgsim.Dtype.F32 ] (fun b conns ->
+        let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel b busy [ List.hd conns; out ]);
+        [ out ])
+  in
+  let sink = Cgsim.Io.null () in
+  let input = Cgsim.Io.of_f32_array (Array.init 500 float_of_int) in
+  let stats = Cgsim.Runtime.execute g ~sources:[ input ] ~sinks:[ sink ] in
+  Alcotest.(check bool) "kernel fraction > 0.9" true (Cgsim.Sched.kernel_fraction stats > 0.9)
+
+(* ------------------------------------------------------------------ *)
+(* Graph_text codec                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_text_dtype_roundtrip () =
+  List.iter
+    (fun t ->
+      let s = Cgsim.Graph_text.dtype_to_string t in
+      match Cgsim.Graph_text.dtype_of_string s with
+      | Ok t' -> Alcotest.(check bool) (s ^ " round-trips") true (Cgsim.Dtype.equal t t')
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    [
+      Cgsim.Dtype.F32;
+      Cgsim.Dtype.I16;
+      Cgsim.Dtype.U32;
+      Cgsim.Dtype.Vector (Cgsim.Dtype.I16, 2);
+      Cgsim.Dtype.Vector (Cgsim.Dtype.F32, 16);
+      Cgsim.Dtype.Struct
+        [ "pix", Cgsim.Dtype.Vector (Cgsim.Dtype.U8, 4); "xf", Cgsim.Dtype.U16; "yf", Cgsim.Dtype.U16 ];
+      Cgsim.Dtype.Struct [ "a", Cgsim.Dtype.Struct [ "b", Cgsim.Dtype.F64 ] ];
+    ]
+
+let test_graph_text_dtype_errors () =
+  List.iter
+    (fun bad ->
+      match Cgsim.Graph_text.dtype_of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s should not parse" bad)
+    [ "q32"; "v0"; "{a}"; "{a:f32"; "f32junk"; "" ]
+
+let test_graph_text_roundtrip () =
+  let g = diamond_graph () in
+  let text = Cgsim.Graph_text.to_string g in
+  match Cgsim.Graph_text.of_string text with
+  | Ok g' ->
+    Alcotest.(check bool) "topology preserved" true (Cgsim.Serialized.equal_topology g g');
+    Alcotest.(check string) "name preserved" g.Cgsim.Serialized.gname g'.Cgsim.Serialized.gname;
+    (* second round must be byte-identical (canonical form) *)
+    Alcotest.(check string) "canonical" text (Cgsim.Graph_text.to_string g')
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+
+let test_graph_text_rejects_garbage () =
+  (match Cgsim.Graph_text.of_string "cgsim-graph 99
+" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown version must be rejected");
+  match Cgsim.Graph_text.of_string "cgsim-graph 1
+banana split
+" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown lines must be rejected"
+
+let test_io_rtp_sink () =
+  let g = diamond_graph () in
+  let sink, last = Cgsim.Io.rtp_sink () in
+  let _ =
+    Cgsim.Runtime.execute g ~sources:[ Cgsim.Io.of_f32_array [| 1.0; 2.0 |] ] ~sinks:[ sink ]
+  in
+  match last () with
+  | Some (Cgsim.Value.Float f) -> Alcotest.(check (float 1e-6)) "last value" 16.0 f
+  | _ -> Alcotest.fail "rtp sink should hold the final scalar"
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "cgsim"
+    [
+      ( "dtype",
+        [
+          Alcotest.test_case "sizes" `Quick test_dtype_sizes;
+          Alcotest.test_case "cpp spellings" `Quick test_dtype_spelling;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "conformance" `Quick test_value_conforms;
+          Alcotest.test_case "int clamp/wrap" `Quick test_value_int_ops;
+        ] );
+      ( "settings",
+        [
+          Alcotest.test_case "merge" `Quick test_settings_merge;
+          Alcotest.test_case "validate" `Quick test_settings_validate;
+        ]
+        @ qsuite [ prop_merge_commutative; prop_merge_associative; prop_merge_idempotent ] );
+      "attr", [ Alcotest.test_case "merge/override" `Quick test_attr_merge ];
+      ( "sched",
+        [
+          Alcotest.test_case "round robin" `Quick test_sched_roundrobin;
+          Alcotest.test_case "park/wake" `Quick test_sched_park_wake;
+          Alcotest.test_case "stall cancels" `Quick test_sched_stall_cancels;
+          Alcotest.test_case "failure recorded" `Quick test_sched_failure_recorded;
+          Alcotest.test_case "stale waker ignored" `Quick test_sched_stale_waker;
+          Alcotest.test_case "spawn during run" `Quick test_sched_spawn_during_run;
+        ] );
+      ( "bqueue",
+        [
+          Alcotest.test_case "fifo" `Quick test_bqueue_fifo;
+          Alcotest.test_case "broadcast" `Quick test_bqueue_broadcast;
+          Alcotest.test_case "backpressure" `Quick test_bqueue_backpressure;
+          Alcotest.test_case "multi-producer" `Quick test_bqueue_multiproducer;
+          Alcotest.test_case "close drains" `Quick test_bqueue_close_drains;
+          Alcotest.test_case "dtype check" `Quick test_bqueue_dtype_check;
+        ]
+        @ qsuite [ prop_bqueue_broadcast_random ] );
+      ( "builder",
+        [
+          Alcotest.test_case "valid diamond" `Quick test_builder_valid;
+          Alcotest.test_case "broadcast recorded" `Quick test_builder_broadcast_recorded;
+          Alcotest.test_case "dtype mismatch" `Quick test_builder_dtype_mismatch;
+          Alcotest.test_case "arity mismatch" `Quick test_builder_arity_mismatch;
+          Alcotest.test_case "dangling connector" `Quick test_builder_dangling;
+          Alcotest.test_case "foreign connector" `Quick test_builder_cross_builder_conn;
+          Alcotest.test_case "topology equality" `Quick test_serialized_topology_equal;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "diamond" `Quick test_runtime_diamond;
+          Alcotest.test_case "io count mismatch" `Quick test_runtime_io_count_mismatch;
+          Alcotest.test_case "unregistered kernel" `Quick test_runtime_unregistered_kernel;
+          Alcotest.test_case "single shot" `Quick test_runtime_single_shot;
+          Alcotest.test_case "runtime parameter" `Quick test_runtime_rtp;
+          Alcotest.test_case "profile fraction" `Quick test_profile_fraction;
+        ]
+        @ qsuite [ prop_pipeline_random ] );
+      ( "graph-text",
+        [
+          Alcotest.test_case "dtype round-trip" `Quick test_graph_text_dtype_roundtrip;
+          Alcotest.test_case "dtype errors" `Quick test_graph_text_dtype_errors;
+          Alcotest.test_case "graph round-trip" `Quick test_graph_text_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_graph_text_rejects_garbage;
+        ] );
+      "io", [ Alcotest.test_case "rtp sink" `Quick test_io_rtp_sink ];
+    ]

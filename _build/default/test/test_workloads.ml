@@ -1,0 +1,218 @@
+(* Tests for the workload generators and golden references. *)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Workloads.Prng.create ~seed:123 in
+  let b = Workloads.Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Workloads.Prng.next a) (Workloads.Prng.next b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Workloads.Prng.create ~seed:1 in
+  let b = Workloads.Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Workloads.Prng.next a <> Workloads.Prng.next b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let prop_prng_nonnegative =
+  QCheck.Test.make ~name:"prng values are non-negative" ~count:200 QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Workloads.Prng.create ~seed in
+      List.for_all (fun _ -> Workloads.Prng.next rng >= 0) (List.init 50 Fun.id))
+
+let prop_prng_int_range =
+  QCheck.Test.make ~name:"int_range stays in range" ~count:200
+    QCheck.(triple (int_range 0 1000) (int_range (-500) 0) (int_range 1 500))
+    (fun (seed, lo, hi) ->
+      let rng = Workloads.Prng.create ~seed in
+      List.for_all
+        (fun _ ->
+          let v = Workloads.Prng.int_range rng ~lo ~hi in
+          v >= lo && v <= hi)
+        (List.init 50 Fun.id))
+
+let prop_prng_float_unit =
+  QCheck.Test.make ~name:"float_unit in [0,1)" ~count:100 QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Workloads.Prng.create ~seed in
+      List.for_all
+        (fun _ ->
+          let f = Workloads.Prng.float_unit rng in
+          f >= 0.0 && f < 1.0)
+        (List.init 50 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Signals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_signals_ranges () =
+  let f = Workloads.Signals.random_f32 ~seed:1 1000 in
+  Array.iter (fun v -> Alcotest.(check bool) "f32 range" true (v >= -1.0 && v < 1.0)) f;
+  let c = Workloads.Signals.chirp_i16 ~seed:1 ~amplitude:12000 1000 in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "chirp range" true (v >= -32768 && v <= 32767))
+    c;
+  let s = Workloads.Signals.step_noise_f32 ~seed:1 1000 in
+  Alcotest.(check bool) "step starts low" true (Float.abs s.(0) < 0.1);
+  Alcotest.(check bool) "step ends high" true (Float.abs (s.(999) -. 1.0) < 0.1)
+
+let test_signals_deterministic () =
+  Alcotest.(check bool) "same seed same data" true
+    (Workloads.Signals.random_f32 ~seed:5 64 = Workloads.Signals.random_f32 ~seed:5 64)
+
+(* ------------------------------------------------------------------ *)
+(* Images                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_images_bounds () =
+  let img = Workloads.Images.synthetic ~width:32 ~height:16 in
+  Alcotest.(check int) "pixel count" (32 * 16) (Array.length img.Workloads.Images.pixels);
+  Array.iter
+    (fun p -> Alcotest.(check bool) "u8 pixel" true (p >= 0 && p <= 255))
+    img.Workloads.Images.pixels;
+  match Workloads.Images.get img ~x:32 ~y:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds get must be rejected"
+
+let prop_quads_valid =
+  QCheck.Test.make ~name:"sampled quads are valid requests" ~count:50 QCheck.(int_range 0 10000)
+    (fun seed ->
+      let img = Workloads.Images.synthetic ~width:64 ~height:64 in
+      let quads = Workloads.Images.sample_quads ~seed img 100 in
+      Array.for_all
+        (fun (q : Workloads.Images.quad) ->
+          q.p00 >= 0 && q.p00 <= 255 && q.p01 >= 0 && q.p01 <= 255 && q.p10 >= 0 && q.p10 <= 255
+          && q.p11 >= 0 && q.p11 <= 255 && q.xf >= 0 && q.xf <= 32767 && q.yf >= 0
+          && q.yf <= 32767)
+        quads)
+
+(* ------------------------------------------------------------------ *)
+(* References                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sort_reference =
+  QCheck.Test.make ~name:"sort_f32 sorts and is a permutation" ~count:100
+    QCheck.(array_of_size (QCheck.Gen.int_range 0 64) (float_range (-100.0) 100.0))
+    (fun a ->
+      let s = Workloads.Reference.sort_f32 a in
+      let sorted = Array.for_all2 (fun _ _ -> true) s s
+                   &&
+                   (let ok = ref true in
+                    for i = 0 to Array.length s - 2 do
+                      if s.(i) > s.(i + 1) then ok := false
+                    done;
+                    !ok)
+      in
+      sorted && List.sort compare (Array.to_list a) = List.sort compare (Array.to_list s))
+
+let test_srs15_rounding () =
+  Alcotest.(check int) "positive round" 1 (Workloads.Reference.srs15 32768);
+  Alcotest.(check int) "round to nearest" 1 (Workloads.Reference.srs15 16384);
+  Alcotest.(check int) "below half floors" 0 (Workloads.Reference.srs15 16383);
+  Alcotest.(check int) "negative" (-1) (Workloads.Reference.srs15 (-32768));
+  Alcotest.(check int) "saturates high" 32767 (Workloads.Reference.srs15 (32768 * 40000));
+  Alcotest.(check int) "saturates low" (-32768) (Workloads.Reference.srs15 (-32768 * 40000))
+
+let test_farrow_coefficients () =
+  (* Rows sum to 0 for m >= 1 (delay polynomials vanish at d=0 except the
+     unit row), and the m=0 row is the unit tap in Q15. *)
+  let c = Workloads.Reference.farrow_coeffs_q15 in
+  Alcotest.(check int) "unit tap" 32767 c.(0).(1);
+  Alcotest.(check int) "other taps zero" 0 (c.(0).(0) + c.(0).(2) + c.(0).(3))
+
+let test_farrow_interpolates_linear_ramp () =
+  (* On a linear ramp, fractional delay by d produces (approximately) the
+     ramp shifted by 2 - d samples... i.e. between the two integer-delay
+     outputs.  Check midpoint behaviour at d = 0.5. *)
+  let n = 64 in
+  let x = Array.init n (fun i -> i * 100) in
+  let y = Workloads.Reference.farrow_scalar ~d_q15:16384 x in
+  (* steady state after the 4-tap warmup *)
+  for i = 8 to n - 2 do
+    let expected_lo = x.(i - 2) and expected_hi = x.(i - 1) in
+    Alcotest.(check bool)
+      (Printf.sprintf "y[%d]=%d between x[i-2]=%d and x[i-1]=%d" i y.(i) expected_lo expected_hi)
+      true
+      (y.(i) >= expected_lo - 2 && y.(i) <= expected_hi + 2)
+  done
+
+let test_iir_step_response_settles () =
+  (* A low-pass cascade driven by a unit step must settle to ~1. *)
+  let n = 2048 in
+  let x = Array.make n 1.0 in
+  let y = Workloads.Reference.iir_scalar Workloads.Reference.iir_sections x in
+  Alcotest.(check bool) "settles to unity" true (Float.abs (y.(n - 1) -. 1.0) < 1e-3)
+
+let test_iir_attenuates_high_frequency () =
+  let n = 2048 in
+  let nyquist = Array.init n (fun i -> if i mod 2 = 0 then 1.0 else -1.0) in
+  let y = Workloads.Reference.iir_scalar Workloads.Reference.iir_sections nyquist in
+  let tail_energy = ref 0.0 in
+  for i = n - 256 to n - 1 do
+    tail_energy := !tail_energy +. (y.(i) *. y.(i))
+  done;
+  Alcotest.(check bool) "nyquist killed" true (!tail_energy < 1e-3)
+
+let test_bilinear_reference_corners () =
+  let v = Workloads.Reference.bilinear_scalar ~p00:10 ~p01:20 ~p10:30 ~p11:40 ~xf:0 ~yf:0 in
+  Alcotest.(check int) "q8 of p00" (10 * 256) v;
+  let mid =
+    Workloads.Reference.bilinear_scalar ~p00:0 ~p01:0 ~p10:255 ~p11:255 ~xf:16384 ~yf:16384
+  in
+  (* Halfway vertically between 0 and 255 in Q8: ~127.5*256 *)
+  Alcotest.(check bool) "midpoint" true (abs (mid - 32640) < 64)
+
+let prop_bilinear_monotone_in_yf =
+  QCheck.Test.make ~name:"bilinear monotone in yf when bottom >= top" ~count:200
+    QCheck.(pair (int_bound 255) (int_bound 32767))
+    (fun (p, yf) ->
+      let lo = Workloads.Reference.bilinear_scalar ~p00:p ~p01:p ~p10:255 ~p11:255 ~xf:0 ~yf in
+      let hi =
+        Workloads.Reference.bilinear_scalar ~p00:p ~p01:p ~p10:255 ~p11:255 ~xf:0
+          ~yf:(min 32767 (yf + 100))
+      in
+      hi >= lo - 1)
+
+let test_design_lowpass_validations () =
+  match Workloads.Reference.design_lowpass ~cutoff:0.6 ~q:0.7 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cutoff >= 0.5 must be rejected"
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_prng_nonnegative; prop_prng_int_range; prop_prng_float_unit ] );
+      ( "signals",
+        [
+          Alcotest.test_case "ranges" `Quick test_signals_ranges;
+          Alcotest.test_case "deterministic" `Quick test_signals_deterministic;
+        ] );
+      ( "images",
+        [ Alcotest.test_case "bounds" `Quick test_images_bounds ]
+        @ [ QCheck_alcotest.to_alcotest prop_quads_valid ] );
+      ( "references",
+        [
+          Alcotest.test_case "srs15 rounding" `Quick test_srs15_rounding;
+          Alcotest.test_case "farrow coefficients" `Quick test_farrow_coefficients;
+          Alcotest.test_case "farrow on a ramp" `Quick test_farrow_interpolates_linear_ramp;
+          Alcotest.test_case "iir step response" `Quick test_iir_step_response_settles;
+          Alcotest.test_case "iir high-frequency rejection" `Quick
+            test_iir_attenuates_high_frequency;
+          Alcotest.test_case "bilinear corners" `Quick test_bilinear_reference_corners;
+          Alcotest.test_case "lowpass design validation" `Quick test_design_lowpass_validations;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_sort_reference; prop_bilinear_monotone_in_yf ]
+      );
+    ]

@@ -1,0 +1,168 @@
+(* Tests for the thread-per-kernel functional simulator and its
+   domain-safe broadcast queues. *)
+
+let test_tqueue_spsc () =
+  let q = X86sim.Tqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:4 () in
+  let p = X86sim.Tqueue.add_producer q in
+  let c = X86sim.Tqueue.add_consumer q in
+  let got = ref [] in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to 200 do
+          X86sim.Tqueue.put p (Cgsim.Value.Int i)
+        done;
+        X86sim.Tqueue.producer_done p)
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        try
+          while true do
+            got := Cgsim.Value.to_int (X86sim.Tqueue.get c) :: !got
+          done
+        with Cgsim.Sched.End_of_stream -> ())
+  in
+  Domain.join producer;
+  Domain.join consumer;
+  Alcotest.(check (list int)) "fifo across domains" (List.init 200 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_tqueue_broadcast () =
+  let q = X86sim.Tqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:2 () in
+  let p = X86sim.Tqueue.add_producer q in
+  let c1 = X86sim.Tqueue.add_consumer q in
+  let c2 = X86sim.Tqueue.add_consumer q in
+  let drain c acc =
+    Domain.spawn (fun () ->
+        try
+          while true do
+            acc := Cgsim.Value.to_int (X86sim.Tqueue.get c) :: !acc
+          done
+        with Cgsim.Sched.End_of_stream -> ())
+  in
+  let a1 = ref [] and a2 = ref [] in
+  let d1 = drain c1 a1 and d2 = drain c2 a2 in
+  for i = 1 to 100 do
+    X86sim.Tqueue.put p (Cgsim.Value.Int i)
+  done;
+  X86sim.Tqueue.producer_done p;
+  Domain.join d1;
+  Domain.join d2;
+  let expect = List.init 100 (fun i -> i + 1) in
+  Alcotest.(check (list int)) "c1 complete" expect (List.rev !a1);
+  Alcotest.(check (list int)) "c2 complete" expect (List.rev !a2)
+
+let test_tqueue_close_then_get () =
+  let q = X86sim.Tqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:2 () in
+  let p = X86sim.Tqueue.add_producer q in
+  let c = X86sim.Tqueue.add_consumer q in
+  X86sim.Tqueue.put p (Cgsim.Value.Int 1);
+  X86sim.Tqueue.producer_done p;
+  Alcotest.(check int) "drains" 1 (Cgsim.Value.to_int (X86sim.Tqueue.get c));
+  match X86sim.Tqueue.get c with
+  | exception Cgsim.Sched.End_of_stream -> ()
+  | _ -> Alcotest.fail "closed+drained queue must raise End_of_stream"
+
+let test_tqueue_put_after_done () =
+  let q = X86sim.Tqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:2 () in
+  let p = X86sim.Tqueue.add_producer q in
+  X86sim.Tqueue.producer_done p;
+  match X86sim.Tqueue.put p (Cgsim.Value.Int 1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "put after producer_done must be rejected"
+
+let test_tqueue_dtype_checked () =
+  let q = X86sim.Tqueue.create ~name:"q" ~dtype:Cgsim.Dtype.F32 ~capacity:2 () in
+  let p = X86sim.Tqueue.add_producer q in
+  match X86sim.Tqueue.put p (Cgsim.Value.Int 3) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dtype mismatch must be rejected"
+
+let test_sim_io_count_mismatch () =
+  let g = Apps.Bitonic.graph () in
+  match X86sim.Sim.run g ~sources:[] ~sinks:[ Cgsim.Io.null () ] with
+  | exception X86sim.Sim.X86sim_error _ -> ()
+  | _ -> Alcotest.fail "source count mismatch must be rejected"
+
+let test_sim_kernel_failure_reported () =
+  let boom =
+    Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"x86_boom"
+      [ Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32; Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32 ]
+      (fun b ->
+        ignore (Cgsim.Port.get (Cgsim.Kernel.rd b 0));
+        failwith "deliberate")
+  in
+  Cgsim.Registry.register boom;
+  let g =
+    Cgsim.Builder.make ~name:"boom_graph" ~inputs:[ "x", Cgsim.Dtype.F32 ] (fun b conns ->
+        let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel b boom [ List.hd conns; out ]);
+        [ out ])
+  in
+  match
+    X86sim.Sim.run g ~sources:[ Cgsim.Io.of_f32_array [| 1.0; 2.0 |] ] ~sinks:[ Cgsim.Io.null () ]
+  with
+  | exception X86sim.Sim.X86sim_error _ -> ()
+  | _ -> Alcotest.fail "kernel failures must be re-raised after the join"
+
+let test_sim_thread_count () =
+  (* farrow: 2 kernels + 2 sources (samples + rtp) + 1 sink = 5 threads *)
+  let h = Apps.Harness.farrow in
+  let sinks, _ = h.Apps.Harness.make_sinks () in
+  let stats =
+    X86sim.Sim.run (h.Apps.Harness.graph ()) ~sources:(h.Apps.Harness.sources ~reps:1) ~sinks
+  in
+  Alcotest.(check int) "threads" 5 stats.X86sim.Sim.threads
+
+let prop_x86sim_random_chain =
+  QCheck.Test.make ~name:"x86sim: random chains match cgsim" ~count:10
+    QCheck.(pair (int_range 1 4) (list_of_size (QCheck.Gen.int_range 1 32) (int_range (-50) 50)))
+    (fun (depth, xs) ->
+      let scale = Cgsim.Registry.find_exn "test_x86_scale" in
+      let graph () =
+        Cgsim.Builder.make ~name:"xchain" ~inputs:[ "x", Cgsim.Dtype.F32 ] (fun b conns ->
+            let rec build prev n =
+              if n = 0 then prev
+              else begin
+                let next = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+                ignore (Cgsim.Builder.add_kernel b scale [ prev; next ]);
+                build next (n - 1)
+              end
+            in
+            [ build (List.hd conns) depth ])
+      in
+      let input () = Cgsim.Io.of_f32_array (Array.of_list (List.map float_of_int xs)) in
+      let sink1, out1 = Cgsim.Io.f32_buffer () in
+      let _ = Cgsim.Runtime.execute (graph ()) ~sources:[ input () ] ~sinks:[ sink1 ] in
+      let sink2, out2 = Cgsim.Io.f32_buffer () in
+      let _ = X86sim.Sim.run (graph ()) ~sources:[ input () ] ~sinks:[ sink2 ] in
+      out1 () = out2 ())
+
+let () =
+  Cgsim.Registry.register
+    (Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"test_x86_scale"
+       [ Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32; Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32 ]
+       (fun b ->
+         let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+         while true do
+           Cgsim.Port.put_f32 o (2.0 *. Cgsim.Port.get_f32 i)
+         done))
+
+let () =
+  Alcotest.run "x86sim"
+    [
+      ( "tqueue",
+        [
+          Alcotest.test_case "spsc across domains" `Quick test_tqueue_spsc;
+          Alcotest.test_case "broadcast" `Quick test_tqueue_broadcast;
+          Alcotest.test_case "close then drain" `Quick test_tqueue_close_then_get;
+          Alcotest.test_case "put after done" `Quick test_tqueue_put_after_done;
+          Alcotest.test_case "dtype checked" `Quick test_tqueue_dtype_checked;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "io count mismatch" `Quick test_sim_io_count_mismatch;
+          Alcotest.test_case "kernel failure reported" `Quick test_sim_kernel_failure_reported;
+          Alcotest.test_case "thread count" `Quick test_sim_thread_count;
+          QCheck_alcotest.to_alcotest prop_x86sim_random_chain;
+        ] );
+    ]
