@@ -7,30 +7,65 @@
      micro    - bechamel micro-benchmarks of framework primitives
      ablation - design-choice sweeps (thunk cost, buffering, placement)
 
-   With no arguments all five run in order. *)
+   With no arguments all five run in order.
+
+   profile takes options:
+     --trace FILE   run under an obs session and write a Chrome
+                    trace-event JSON (Perfetto-loadable)
+     --smoke        reduced repetition counts (CI guard for the
+                    instrumentation hooks) *)
 
 let usage () =
-  print_endline "usage: main.exe [table1|table2|table2-quick|profile|micro|ablation]...";
+  print_endline
+    "usage: main.exe [table1|table2|table2-quick|profile [--trace FILE] [--smoke]|micro|ablation]...";
   exit 2
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let run = function
-    | "table1" -> Table1.run ()
-    | "table2" -> Table2.run ()
-    | "table2-quick" -> Table2.run ~scale:0.5 ()
-    | "profile" -> Profile.run ()
-    | "micro" -> Micro.run ()
-    | "ablation" -> Ablation.run ()
-    | other ->
+type action =
+  | Table1
+  | Table2
+  | Table2_quick
+  | Profile of string option * bool  (* trace file, smoke *)
+  | Micro
+  | Ablation
+
+let parse_actions args =
+  let rec go = function
+    | [] -> []
+    | "table1" :: rest -> Table1 :: go rest
+    | "table2" :: rest -> Table2 :: go rest
+    | "table2-quick" :: rest -> Table2_quick :: go rest
+    | "micro" :: rest -> Micro :: go rest
+    | "ablation" :: rest -> Ablation :: go rest
+    | "profile" :: rest ->
+      let rec opts trace smoke = function
+        | "--trace" :: file :: rest -> opts (Some file) smoke rest
+        | "--trace" :: [] ->
+          Printf.eprintf "--trace needs a FILE argument\n";
+          usage ()
+        | "--smoke" :: rest -> opts trace true rest
+        | rest -> Profile (trace, smoke) :: go rest
+      in
+      opts None false rest
+    | other :: _ ->
       Printf.eprintf "unknown bench: %s\n" other;
       usage ()
   in
-  match args with
+  go args
+
+let run = function
+  | Table1 -> Table1.run ()
+  | Table2 -> Table2.run ()
+  | Table2_quick -> Table2.run ~scale:0.5 ()
+  | Profile (trace, smoke) -> Profile.run ?trace ~smoke ()
+  | Micro -> Micro.run ()
+  | Ablation -> Ablation.run ()
+
+let () =
+  match parse_actions (List.tl (Array.to_list Sys.argv)) with
   | [] ->
     Table1.run ();
     Table2.run ();
     Profile.run ();
     Micro.run ();
     Ablation.run ()
-  | args -> List.iter run args
+  | actions -> List.iter run actions

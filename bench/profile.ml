@@ -2,30 +2,126 @@
    cgsim spends 99.94 % of the bitonic run inside the kernel and 0.06 %
    in synchronisation/data transfer.  Our scheduler keeps the same
    accounting natively: time inside fiber slices (kernel + queue calls
-   made by the kernel) vs. time in the scheduling loop. *)
+   made by the kernel) vs. time in the scheduling loop.
+
+   With [~trace:(Some file)] the whole profile runs under an Obs trace
+   session: scheduler slices, queue blocked-time spans and occupancy
+   marks land in a Chrome trace-event JSON (open it in Perfetto), an
+   aiesim replay of bitonic is added on the virtual-time track for
+   side-by-side comparison, and a per-app queue/blocked-time breakdown
+   is printed from the session metrics.  [~smoke:true] divides the
+   repetition counts for CI. *)
+
+let apps =
+  [
+    Apps.Harness.bitonic, 8192;
+    Apps.Harness.farrow, 64;
+    Apps.Harness.iir, 32;
+    Apps.Harness.bilinear, 512;
+  ]
 
 let run_one (h : Apps.Harness.t) ~reps =
   let sinks, _ = h.make_sinks () in
   let stats = Cgsim.Runtime.execute (h.graph ()) ~sources:(h.sources ~reps) ~sinks in
   h.name, stats
 
-let run () =
-  Printf.printf "\n== Profile (Section 5.2): cgsim kernel-time fraction ==\n";
+let run_apps ~smoke =
   Printf.printf "%-9s %9s %10s %12s %12s %10s\n" "graph" "reps" "slices" "kernel(ms)" "total(ms)"
     "fraction";
   List.iter
     (fun ((h : Apps.Harness.t), reps) ->
+      let reps = if smoke then max 1 (reps / 64) else reps in
       let name, stats = run_one h ~reps in
       Printf.printf "%-9s %9d %10d %12.2f %12.2f %9.4f%%\n" name reps stats.Cgsim.Sched.slices
         (stats.Cgsim.Sched.kernel_ns /. 1e6)
         (stats.Cgsim.Sched.total_ns /. 1e6)
         (100.0 *. Cgsim.Sched.kernel_fraction stats))
-    [
-      Apps.Harness.bitonic, 8192;
-      Apps.Harness.farrow, 64;
-      Apps.Harness.iir, 32;
-      Apps.Harness.bilinear, 512;
-    ];
+    apps
+
+(* Metric keys from Cgsim.Bqueue look like "queue.blocked_put:bitonic/net3";
+   the graph name between ':' and '/' groups them per app. *)
+let app_of_key key =
+  match String.index_opt key ':' with
+  | None -> None
+  | Some i ->
+    let rest = String.sub key (i + 1) (String.length key - i - 1) in
+    (match String.index_opt rest '/' with
+     | None -> Some rest
+     | Some j -> Some (String.sub rest 0 j))
+
+let print_queue_breakdown (snap : Obs.Metrics.snapshot) =
+  let acc : (string, float * float * int) Hashtbl.t = Hashtbl.create 8 in
+  let bump app ~put_ns ~get_ns ~events =
+    let p, g, n = Option.value ~default:(0.0, 0.0, 0) (Hashtbl.find_opt acc app) in
+    Hashtbl.replace acc app (p +. put_ns, g +. get_ns, n + events)
+  in
+  List.iter
+    (fun (h : Obs.Metrics.histo_snapshot) ->
+      match app_of_key h.Obs.Metrics.h_name with
+      | Some app when String.length h.h_name >= 18 ->
+        if String.sub h.h_name 0 18 = "queue.blocked_put:" then
+          bump app ~put_ns:h.sum ~get_ns:0.0 ~events:h.count
+        else if String.sub h.h_name 0 18 = "queue.blocked_get:" then
+          bump app ~put_ns:0.0 ~get_ns:h.sum ~events:h.count
+      | _ -> ())
+    snap.Obs.Metrics.histograms;
+  let occ : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (g : Obs.Metrics.gauge_snapshot) ->
+      let name = g.Obs.Metrics.g_name in
+      if String.length name >= 19 && String.sub name 0 19 = "queue.occupancy_hw:" then
+        match app_of_key name with
+        | Some app ->
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt occ app) in
+          Hashtbl.replace occ app (Float.max prev g.peak)
+        | None -> ())
+    snap.Obs.Metrics.gauges;
+  Printf.printf "\nper-app queue breakdown (from obs metrics):\n";
+  Printf.printf "%-9s %16s %16s %14s %14s\n" "graph" "put-blocked(ms)" "get-blocked(ms)"
+    "block-events" "max-occupancy";
+  List.iter
+    (fun ((h : Apps.Harness.t), _) ->
+      let put_ns, get_ns, events =
+        Option.value ~default:(0.0, 0.0, 0) (Hashtbl.find_opt acc h.name)
+      in
+      let occupancy = Option.value ~default:0.0 (Hashtbl.find_opt occ h.name) in
+      Printf.printf "%-9s %16.3f %16.3f %14d %14.0f\n" h.name (put_ns /. 1e6) (get_ns /. 1e6)
+        events occupancy)
+    apps
+
+(* A short aiesim run of bitonic inside the same session puts replay
+   iteration spans (virtual time) next to the capture's wall-clock
+   spans — the single-Perfetto-view comparison the trace is for. *)
+let add_aiesim_replay () =
+  let h = Apps.Harness.bitonic in
+  let sinks, _ = h.make_sinks () in
+  let report =
+    Aiesim.Sim.run
+      (Aiesim.Deploy.baseline (h.graph ()))
+      ~sources:(h.sources ~reps:8) ~sinks
+  in
+  Printf.printf "aiesim replay in trace: %s, %.0f cycles, %d blocks\n" report.Aiesim.Sim.label
+    report.Aiesim.Sim.total_cycles report.Aiesim.Sim.blocks
+
+let run ?trace ?(smoke = false) () =
+  Printf.printf "\n== Profile (Section 5.2): cgsim kernel-time fraction ==\n";
+  (match trace with
+   | None -> run_apps ~smoke
+   | Some file ->
+     let (), session =
+       Obs.Trace.with_session ~capacity:(1 lsl 18) (fun () ->
+           run_apps ~smoke;
+           add_aiesim_replay ())
+     in
+     (try
+        Out_channel.with_open_bin file (fun oc ->
+            Out_channel.output_string oc (Obs.Export.chrome_json session))
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write trace: %s\n" msg;
+        exit 1);
+     print_queue_breakdown (Obs.Metrics.snapshot session.Obs.Trace.metrics);
+     Printf.printf "\n%s" (Obs.Export.summary session);
+     Printf.printf "wrote Chrome trace (open in https://ui.perfetto.dev) to %s\n" file);
   Printf.printf
     "(paper, via perf: bitonic spends 99.94%% in the kernel, 0.06%% in sync/transfer;\n\
     \ the fraction here separates fiber execution from scheduler bookkeeping)\n%!"

@@ -48,6 +48,9 @@ let handle_errors f =
   | Cgc.Driver.Driver_error msg | Extractor.Project.Extract_error msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 1
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
 
 let extract_cmd =
   let run input include_dirs all_graphs out_dir =
@@ -105,12 +108,19 @@ let trace_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE" ~doc:"Write a CSV iteration timeline of the replay.")
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write an execution trace of the simulation.  FILE ending in .json gets the full \
+           Chrome trace-event form (capture-phase scheduler/queue activity plus the replay \
+           timeline; open in Perfetto); any other extension gets the CSV iteration timeline.")
 
 let simulate_cmd =
   let run input include_dirs all_graphs reps trace =
     handle_errors (fun () ->
         let projects = Extractor.Project.extract_file ~include_dirs ~all_graphs input in
+        let chrome_trace =
+          match trace with Some f when Filename.check_suffix f ".json" -> Some f | _ -> None
+        in
         List.iter
           (fun p ->
             let name = p.Extractor.Project.graph_name in
@@ -122,15 +132,27 @@ let simulate_cmd =
                 name
             | Some h ->
               let deploy = Extractor.Project.deploy p in
-              let sinks, _ = h.Apps.Harness.make_sinks () in
-              let report = Aiesim.Sim.run deploy ~sources:(h.Apps.Harness.sources ~reps) ~sinks in
-              Format.printf "%a@." Aiesim.Sim.pp_report report;
-              match trace with
-              | None -> ()
-              | Some file ->
-                Out_channel.with_open_bin file (fun oc ->
-                    Out_channel.output_string oc (Aiesim.Sim.timeline_csv report));
-                Printf.printf "wrote timeline to %s\n" file)
+              let simulate () =
+                let sinks, _ = h.Apps.Harness.make_sinks () in
+                Aiesim.Sim.run deploy ~sources:(h.Apps.Harness.sources ~reps) ~sinks
+              in
+              (match chrome_trace with
+               | Some file ->
+                 let report, session = Obs.Trace.with_session simulate in
+                 Format.printf "%a@." Aiesim.Sim.pp_report report;
+                 Out_channel.with_open_bin file (fun oc ->
+                     Out_channel.output_string oc (Obs.Export.chrome_json session));
+                 Printf.printf "wrote Chrome trace (open in https://ui.perfetto.dev) to %s\n"
+                   file
+               | None ->
+                 let report = simulate () in
+                 Format.printf "%a@." Aiesim.Sim.pp_report report;
+                 (match trace with
+                  | None -> ()
+                  | Some file ->
+                    Out_channel.with_open_bin file (fun oc ->
+                        Out_channel.output_string oc (Aiesim.Sim.timeline_csv report));
+                    Printf.printf "wrote timeline to %s\n" file)))
           projects)
   in
   Cmd.v

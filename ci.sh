@@ -1,0 +1,30 @@
+#!/bin/sh
+# CI entry point: build, test, (optionally) check formatting, then smoke
+# the profiling path with tracing enabled and validate its trace output.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune fmt check =="
+  dune build @fmt
+else
+  echo "== fmt check skipped (ocamlformat not installed) =="
+fi
+
+echo "== profile smoke (tracing on) =="
+TRACE=$(mktemp -t ci-trace-XXXXXX.json)
+trap 'rm -f "$TRACE"' EXIT
+dune exec bench/main.exe -- profile --smoke --trace "$TRACE"
+
+test -s "$TRACE" || { echo "ci: trace file is empty" >&2; exit 1; }
+grep -q '"traceEvents"' "$TRACE" || { echo "ci: trace file has no traceEvents" >&2; exit 1; }
+echo "trace OK: $(wc -c < "$TRACE") bytes"
+
+echo "== ci passed =="

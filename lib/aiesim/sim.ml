@@ -557,6 +557,41 @@ let kernel_reports procs (g : Cgsim.Serialized.t) =
            })
        g.kernels)
 
+(* Mirror the replay timeline into the active obs session, on the
+   virtual-time pid: cycle timestamps become ns at the modelled clock,
+   one track per kernel ("aie:<name>").  Together with the wall-clock
+   spans the capture phase already emitted (scheduler slices, queue
+   blocked time), one Perfetto view then shows a cgsim run and its
+   aiesim replay side by side. *)
+let report_to_trace (r : report) =
+  if Obs.Trace.is_on () then begin
+    let pid = Obs.Event.virtual_pid in
+    List.iter
+      (fun k ->
+        let track = "aie:" ^ k.k_name in
+        (match k.marks with
+         | [] -> ()
+         | first :: _ ->
+           Obs.Trace.span ~track ~pid ~cat:"sim" ~name:"fill" ~ts_ns:0.0
+             ~dur_ns:(Aie.Cfg.cycles_to_ns first) ());
+        let iter_key = "aie.iter_ns:" ^ k.k_name in
+        let rec pairs i = function
+          | a :: (b :: _ as rest) ->
+            let dur = Aie.Cfg.cycles_to_ns (b -. a) in
+            Obs.Trace.span ~track ~pid ~cat:"sim"
+              ~arg:("iteration", float_of_int i)
+              ~name:"iter" ~ts_ns:(Aie.Cfg.cycles_to_ns a) ~dur_ns:dur ();
+            Obs.Trace.observe_ns iter_key dur;
+            pairs (i + 1) rest
+          | _ -> ()
+        in
+        pairs 0 k.marks;
+        Obs.Trace.add_metric ("aie.busy_cycles:" ^ k.k_name) (float_of_int k.busy_cycles))
+      r.kernels;
+    Obs.Trace.span ~track:"aie:replay" ~pid ~cat:"sim" ~name:("replay " ^ r.label) ~ts_ns:0.0
+      ~dur_ns:(Aie.Cfg.cycles_to_ns r.total_cycles) ()
+  end
+
 let run (d : Deploy.t) ~sources ~sinks =
   let cap = capture d ~sources ~sinks in
   let procs = replay d cap in
@@ -581,15 +616,19 @@ let run (d : Deploy.t) ~sources ~sinks =
       max 1 (k.iterations - 1), Aie.Cfg.cycles_to_ns k.avg_interval_cycles
     | None -> 0, Aie.Cfg.cycles_to_ns total_cycles
   in
-  {
-    label = d.Deploy.label;
-    total_cycles;
-    blocks;
-    ns_per_block;
-    kernels;
-    capture_stats = cap.stats;
-    trace_events = cap.events_total;
-  }
+  let report =
+    {
+      label = d.Deploy.label;
+      total_cycles;
+      blocks;
+      ns_per_block;
+      kernels;
+      capture_stats = cap.stats;
+      trace_events = cap.events_total;
+    }
+  in
+  report_to_trace report;
+  report
 
 let relative_throughput_percent ~baseline ~extracted =
   if extracted.ns_per_block <= 0.0 then 0.0

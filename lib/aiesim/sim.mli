@@ -45,6 +45,14 @@ val pp_report : Format.formatter -> report -> unit
     graph whose traffic cannot fit the modelled buffering). *)
 val run : Deploy.t -> sources:Cgsim.Io.source list -> sinks:Cgsim.Io.sink list -> report
 
+(** Emit the replay timeline into the active {!Obs.Trace} session on
+    the virtual-time pid: per kernel, a pipeline-fill span plus one span
+    per iteration interval, with matching [aie.iter_ns:*] histograms.
+    {!run} already does this when tracing is on; exposed for replaying a
+    stored report into a session started later.  No-op when tracing is
+    off. *)
+val report_to_trace : report -> unit
+
 (** Throughput ratio [baseline/extracted] of two reports (Table 1's
     "relative throughput" column, in percent). *)
 val relative_throughput_percent : baseline:report -> extracted:report -> float

@@ -11,6 +11,13 @@ type t = {
   mutable put_waiters : Sched.waker list;
   mutable get_waiters : Sched.waker list;
   mutable total_put : int;
+  (* Observability: keys are precomputed so the traced hot path does no
+     string building; occ_hw gates counter emission to new high-waters. *)
+  mutable occ_hw : int;
+  k_occ : string;
+  k_retire : string;
+  k_bput : string;
+  k_bget : string;
 }
 
 and consumer = {
@@ -38,6 +45,11 @@ let create ~name ~dtype ~capacity () =
     put_waiters = [];
     get_waiters = [];
     total_put = 0;
+    occ_hw = 0;
+    k_occ = "queue.occupancy_hw:" ^ name;
+    k_retire = "queue.retire_lag_hw:" ^ name;
+    k_bput = "queue.blocked_put:" ^ name;
+    k_bget = "queue.blocked_get:" ^ name;
   }
 
 let name q = q.q_name
@@ -86,35 +98,93 @@ let close q =
     wake_all_put q
   end
 
+(* Occupancy == head - min_cursor: elements the slowest consumer has not
+   yet retired (for a broadcast queue that is also the retire lag that
+   holds buffer space).  Counter events are emitted only on a new
+   high-water mark, so the trace shows the staircase without one event
+   per element. *)
+let note_put q =
+  let occ = q.head - min_cursor q in
+  if occ > q.occ_hw then begin
+    q.occ_hw <- occ;
+    Obs.Trace.high_water q.k_occ (float_of_int occ);
+    Obs.Trace.counter ~track:q.q_name ~cat:"queue" ~name:"occupancy" (float_of_int occ)
+  end
+
+(* Spread between the fastest and slowest consumer cursor: how far the
+   laggard of a broadcast trails (0 with a single consumer). *)
+let note_get q =
+  match q.consumers with
+  | [] | [ _ ] -> ()
+  | c :: rest ->
+    let mn, mx =
+      List.fold_left
+        (fun (mn, mx) c -> min mn c.cursor, max mx c.cursor)
+        (c.cursor, c.cursor) rest
+    in
+    Obs.Trace.high_water q.k_retire (float_of_int (mx - mn))
+
+let store q v =
+  q.buf.(q.head mod q.q_cap) <- v;
+  q.head <- q.head + 1;
+  q.total_put <- q.total_put + 1;
+  if !Obs.Trace.on then note_put q;
+  wake_all_get q
+
 let rec put p v =
   let q = p.p_queue in
   if not p.open_ then invalid_arg ("cgsim: put on finished producer of " ^ q.q_name);
   Value.check ~net:q.q_name q.q_dtype v;
-  if q.head - min_cursor q >= q.q_cap then begin
-    Sched.park (fun w -> q.put_waiters <- w :: q.put_waiters);
-    put p v
-  end
-  else begin
-    q.buf.(q.head mod q.q_cap) <- v;
-    q.head <- q.head + 1;
-    q.total_put <- q.total_put + 1;
-    wake_all_get q
-  end
+  if q.head - min_cursor q >= q.q_cap then
+    if !Obs.Trace.on then blocked_put p v
+    else begin
+      Sched.park (fun w -> q.put_waiters <- w :: q.put_waiters);
+      put p v
+    end
+  else store q v
+
+and blocked_put p v =
+  let q = p.p_queue in
+  let track = Sched.current_name () in
+  let t0 = Obs.Trace.now_ns () in
+  while q.head - min_cursor q >= q.q_cap do
+    Sched.park (fun w -> q.put_waiters <- w :: q.put_waiters)
+  done;
+  let dt = Obs.Trace.now_ns () -. t0 in
+  Obs.Trace.span ~track ~cat:"queue" ~name:q.k_bput ~ts_ns:t0 ~dur_ns:dt ();
+  Obs.Trace.observe_ns q.k_bput dt;
+  store q v
 
 let rec get c =
   let q = c.c_queue in
   if c.cursor < q.head then begin
     let v = q.buf.(c.cursor mod q.q_cap) in
     c.cursor <- c.cursor + 1;
+    if !Obs.Trace.on then note_get q;
     (* Advancing the slowest consumer may free space for producers. *)
     wake_all_put q;
     v
   end
   else if q.closed then raise Sched.End_of_stream
+  else if !Obs.Trace.on then blocked_get c
   else begin
     Sched.park (fun w -> q.get_waiters <- w :: q.get_waiters);
     get c
   end
+
+and blocked_get c =
+  let q = c.c_queue in
+  let track = Sched.current_name () in
+  let t0 = Obs.Trace.now_ns () in
+  while c.cursor >= q.head && not q.closed do
+    Sched.park (fun w -> q.get_waiters <- w :: q.get_waiters)
+  done;
+  let dt = Obs.Trace.now_ns () -. t0 in
+  Obs.Trace.span ~track ~cat:"queue" ~name:q.k_bget ~ts_ns:t0 ~dur_ns:dt ();
+  Obs.Trace.observe_ns q.k_bget dt;
+  (* Either data is available or the queue closed while parked; the
+     non-blocking path of [get] resolves both. *)
+  get c
 
 let get_block c n =
   if n < 0 then invalid_arg "cgsim: get_block with negative count";

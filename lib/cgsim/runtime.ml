@@ -15,6 +15,55 @@ let no_hooks =
     around_body = (fun _ body () -> body ());
   }
 
+let compose_hooks outer inner =
+  {
+    wrap_reader = (fun inst idx r -> outer.wrap_reader inst idx (inner.wrap_reader inst idx r));
+    wrap_writer = (fun inst idx w -> outer.wrap_writer inst idx (inner.wrap_writer inst idx w));
+    around_body = (fun inst body -> outer.around_body inst (inner.around_body inst body));
+  }
+
+(* Observability instrumentation, expressed as ordinary wrap_hooks: per
+   port element counters and kernel body lifecycle instants.  Installed
+   automatically by [instantiate] when a trace session is active, inside
+   any caller-supplied hooks (so e.g. aiesim's capture wrappers see the
+   same values they always did). *)
+let obs_hooks () =
+  {
+    wrap_reader =
+      (fun _inst _idx r ->
+        let key = "port.get:" ^ r.Port.r_name in
+        {
+          r with
+          Port.r_get =
+            (fun () ->
+              let v = r.Port.r_get () in
+              Obs.Trace.incr_metric key;
+              v);
+        });
+    wrap_writer =
+      (fun _inst _idx w ->
+        let key = "port.put:" ^ w.Port.w_name in
+        {
+          w with
+          Port.w_put =
+            (fun v ->
+              w.Port.w_put v;
+              Obs.Trace.incr_metric key);
+        });
+    around_body =
+      (fun inst body () ->
+        let track = inst.Serialized.inst_name in
+        Obs.Trace.instant ~track ~cat:"kernel" "body-start";
+        match body () with
+        | () -> Obs.Trace.instant ~track ~cat:"kernel" "body-end"
+        | exception Sched.End_of_stream ->
+          Obs.Trace.instant ~track ~cat:"kernel" "body-end";
+          raise Sched.End_of_stream
+        | exception e ->
+          Obs.Trace.instant ~track ~cat:"kernel" "body-raise";
+          raise e);
+  }
+
 type t = {
   graph : Serialized.t;
   sched : Sched.t;
@@ -27,6 +76,7 @@ let graph t = t.graph
 let net_traffic t = Array.map Bqueue.total_put t.queues
 
 let instantiate ?(hooks = no_hooks) ?queue_capacity (g : Serialized.t) =
+  let hooks = if !Obs.Trace.on then compose_hooks hooks (obs_hooks ()) else hooks in
   (match Serialized.validate g with
    | Ok () -> ()
    | Error problems ->

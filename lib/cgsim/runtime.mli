@@ -27,6 +27,16 @@ type wrap_hooks = {
 
 val no_hooks : wrap_hooks
 
+(** [compose_hooks outer inner] nests hook layers: readers/writers are
+    wrapped by [inner] first, then [outer]; bodies likewise. *)
+val compose_hooks : wrap_hooks -> wrap_hooks -> wrap_hooks
+
+(** The observability hooks (per-port element counters, kernel body
+    lifecycle instants into the active {!Obs.Trace} session).  They are
+    installed automatically by {!instantiate} whenever a trace session
+    is active; exposed for simulators that build bindings themselves. *)
+val obs_hooks : unit -> wrap_hooks
+
 (** [instantiate g] reconstructs the graph.  Queue capacities derive from
     each net's resolved settings unless [queue_capacity] overrides them
     all.  Raises {!Runtime_error} when a kernel key is missing from the

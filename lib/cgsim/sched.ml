@@ -81,7 +81,9 @@ let current_name () =
   | Some (_, task) -> task.name
   | None -> "<host>"
 
-let now_ns () = Unix.gettimeofday () *. 1e9
+(* The single clock shared with the observability layer: scheduler stats
+   and exported obs spans must agree on what "now" means. *)
+let now_ns = Obs.Clock.now_ns
 
 let spawn (t : t) ~name fn =
   let task = { name; gen = 0; state = Initial fn } in
@@ -104,6 +106,10 @@ let wake w =
   match task.state with
   | Parked k when task.gen = w.w_gen ->
     task.state <- Ready k;
+    if !Obs.Trace.on then begin
+      Obs.Trace.instant ~track:task.name ~cat:"sched" "wake";
+      Obs.Trace.incr_metric "sched.wakes"
+    end;
     Queue.push task w.w_sched.ready
   | Parked _ | Initial _ | Running | Ready _ | Finished -> ()
 
@@ -142,6 +148,10 @@ let fiber_handler (t : t) (task : task) : (unit, unit) handler =
             (fun (k : (a, unit) continuation) ->
               task.gen <- task.gen + 1;
               task.state <- Parked k;
+              if !Obs.Trace.on then begin
+                Obs.Trace.instant ~track:task.name ~cat:"sched" "park";
+                Obs.Trace.incr_metric "sched.parks"
+              end;
               register { w_task = task; w_gen = task.gen; w_sched = t })
         | Yield_eff ->
           Some
@@ -169,8 +179,15 @@ let run_slice (t : t) (task : task) =
   current := Some (t, task);
   let t0 = now_ns () in
   resume ();
-  t.kernel_ns <- t.kernel_ns +. (now_ns () -. t0);
+  let t1 = now_ns () in
+  t.kernel_ns <- t.kernel_ns +. (t1 -. t0);
   t.slices <- t.slices + 1;
+  if !Obs.Trace.on then begin
+    (* The span duration is exactly what was added to kernel_ns, so the
+       exported trace and Sched.stats stay mutually consistent. *)
+    Obs.Trace.span ~track:task.name ~cat:"sched" ~name:"slice" ~ts_ns:t0 ~dur_ns:(t1 -. t0) ();
+    Obs.Trace.observe_ns "sched.slice_ns" (t1 -. t0)
+  end;
   current := saved
 
 let cancel_parked t =
@@ -212,6 +229,8 @@ let run (t : t) =
   drive ();
   t.in_run <- false;
   let total_ns = now_ns () -. t0 in
+  if !Obs.Trace.on then
+    Obs.Trace.span ~track:"<scheduler>" ~cat:"sched" ~name:"run" ~ts_ns:t0 ~dur_ns:total_ns ();
   {
     spawned = t.spawned;
     completed = t.completed;

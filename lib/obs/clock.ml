@@ -1,0 +1,24 @@
+(* One clock source for the whole stack.  Sched slice accounting, queue
+   blocked-time spans and exported trace timestamps must be mutually
+   comparable, so everything reads this module instead of calling
+   Unix.gettimeofday directly.
+
+   The clock is "monotonic-ish": gettimeofday can step backwards under
+   NTP adjustment, which would produce negative span durations and
+   Perfetto refuses such traces, so readings are clamped to never go
+   below the last value handed out.  The origin is process start, which
+   keeps the exported microsecond timestamps small. *)
+
+let epoch = Unix.gettimeofday ()
+
+let last = ref 0.0
+
+let now_ns () =
+  let t = (Unix.gettimeofday () -. epoch) *. 1e9 in
+  (* Benign race under x86sim's domains: a stale [last] can only make the
+     clamp less strict, never yield a negative delta for one reader. *)
+  let t = if t < !last then !last else t in
+  last := t;
+  t
+
+let epoch_s () = epoch

@@ -1,0 +1,13 @@
+(** The single wall-clock source shared by every simulator.
+
+    All observability timestamps — scheduler slice accounting, queue
+    blocked-time spans, exported trace events — come from here, so the
+    numbers are mutually consistent by construction.  Readings never go
+    backwards (gettimeofday steps are clamped). *)
+
+(** Nanoseconds since process start, monotonically non-decreasing. *)
+val now_ns : unit -> float
+
+(** The gettimeofday origin (seconds since the Unix epoch) that
+    [now_ns] is relative to, for correlating with external logs. *)
+val epoch_s : unit -> float

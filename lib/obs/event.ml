@@ -1,0 +1,55 @@
+type phase =
+  | Span  (* has a duration; Chrome "X" complete event *)
+  | Instant  (* Chrome "i" *)
+  | Counter  (* Chrome "C"; value in [a_val] *)
+
+type t = {
+  mutable ts_ns : float;
+  mutable dur_ns : float;
+  mutable phase : phase;
+  mutable name : string;
+  mutable track : string;
+  mutable cat : string;
+  mutable pid : int;
+  mutable a_key : string;  (* "" means no argument *)
+  mutable a_val : float;
+}
+
+let wall_pid = 1
+
+let virtual_pid = 2
+
+let make_empty () =
+  {
+    ts_ns = 0.0;
+    dur_ns = 0.0;
+    phase = Instant;
+    name = "";
+    track = "";
+    cat = "";
+    pid = wall_pid;
+    a_key = "";
+    a_val = 0.0;
+  }
+
+let copy e =
+  {
+    ts_ns = e.ts_ns;
+    dur_ns = e.dur_ns;
+    phase = e.phase;
+    name = e.name;
+    track = e.track;
+    cat = e.cat;
+    pid = e.pid;
+    a_key = e.a_key;
+    a_val = e.a_val;
+  }
+
+let phase_to_string = function Span -> "X" | Instant -> "i" | Counter -> "C"
+
+let pp ppf e =
+  match e.phase with
+  | Span ->
+    Format.fprintf ppf "[%s] %s %s @%.0fns +%.0fns" e.track e.cat e.name e.ts_ns e.dur_ns
+  | Instant -> Format.fprintf ppf "[%s] %s %s @%.0fns" e.track e.cat e.name e.ts_ns
+  | Counter -> Format.fprintf ppf "[%s] %s %s=%g @%.0fns" e.track e.cat e.name e.a_val e.ts_ns

@@ -1,0 +1,43 @@
+(** Typed trace events.
+
+    The event vocabulary is the intersection of what the three
+    simulators need and what the Chrome trace-event format can render:
+    spans (slices with a duration), instants and counter samples.  Every
+    event carries a [track] (the fiber, OS thread or aiesim tile lane it
+    belongs to) and a [pid] namespace separating wall-clock time from
+    aiesim's virtual cycle time, so a cgsim run and its replay can sit
+    side by side in one Perfetto view without their timelines mixing. *)
+
+type phase =
+  | Span  (** [dur_ns] long; exported as a Chrome "X" complete event. *)
+  | Instant
+  | Counter  (** Sampled value in [a_val]. *)
+
+type t = {
+  mutable ts_ns : float;  (** Start time, ns on the owning timeline. *)
+  mutable dur_ns : float;  (** Span length; 0 otherwise. *)
+  mutable phase : phase;
+  mutable name : string;
+  mutable track : string;  (** Fiber / thread / tile lane. *)
+  mutable cat : string;  (** "sched", "queue", "kernel", "thread", "sim", … *)
+  mutable pid : int;  (** {!wall_pid} or {!virtual_pid}. *)
+  mutable a_key : string;  (** Optional argument key; [""] = none. *)
+  mutable a_val : float;
+}
+
+(** Process id for wall-clock events (cgsim, x86sim, host code). *)
+val wall_pid : int
+
+(** Process id for virtual-time events (the aiesim replay; timestamps
+    are cycles converted to ns at the modelled clock). *)
+val virtual_pid : int
+
+(** A zeroed event (ring-buffer slot initialisation). *)
+val make_empty : unit -> t
+
+(** Deep copy (ring slots are recycled; export snapshots copy out). *)
+val copy : t -> t
+
+val phase_to_string : phase -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+(* Exporters over a stopped (or still-running) session: Chrome
+   trace-event JSON for Perfetto/chrome://tracing, CSV for ad-hoc
+   analysis, and a human-readable text summary. *)
+
+let us ns = ns /. 1000.0
+
+(* Stable (pid, track) -> tid mapping in first-encounter order, so two
+   exports of the same session agree and tests are deterministic. *)
+let assign_tids events =
+  let table : (int * string, int) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let next = ref 1 in
+  List.iter
+    (fun (e : Event.t) ->
+      let key = e.Event.pid, e.Event.track in
+      if not (Hashtbl.mem table key) then begin
+        Hashtbl.add table key !next;
+        order := (key, !next) :: !order;
+        incr next
+      end)
+    events;
+  table, List.rev !order
+
+let chrome_json (s : Trace.session) =
+  let events = Ring.to_list s.Trace.ring in
+  let tids, order = assign_tids events in
+  let pids =
+    List.sort_uniq compare (List.map (fun ((pid, _), _) -> pid) order)
+  in
+  let process_meta =
+    List.map
+      (fun pid ->
+        let pname =
+          if pid = Event.virtual_pid then "aiesim (virtual cycles as ns)" else "wall-clock"
+        in
+        Json.Obj
+          [
+            "name", Json.Str "process_name";
+            "ph", Json.Str "M";
+            "pid", Json.Num (float_of_int pid);
+            "tid", Json.Num 0.0;
+            "args", Json.Obj [ "name", Json.Str pname ];
+          ])
+      pids
+  in
+  let thread_meta =
+    List.map
+      (fun ((pid, track), tid) ->
+        Json.Obj
+          [
+            "name", Json.Str "thread_name";
+            "ph", Json.Str "M";
+            "pid", Json.Num (float_of_int pid);
+            "tid", Json.Num (float_of_int tid);
+            "args", Json.Obj [ "name", Json.Str track ];
+          ])
+      order
+  in
+  let event_json (e : Event.t) =
+    let tid = Hashtbl.find tids (e.Event.pid, e.Event.track) in
+    let base =
+      [
+        "name", Json.Str e.Event.name;
+        "cat", Json.Str e.Event.cat;
+        "ph", Json.Str (Event.phase_to_string e.Event.phase);
+        "ts", Json.Num (us e.Event.ts_ns);
+        "pid", Json.Num (float_of_int e.Event.pid);
+        "tid", Json.Num (float_of_int tid);
+      ]
+    in
+    let base =
+      match e.Event.phase with
+      | Event.Span -> base @ [ "dur", Json.Num (us e.Event.dur_ns) ]
+      | Event.Instant -> base @ [ "s", Json.Str "t" ]
+      | Event.Counter -> base
+    in
+    let base =
+      if String.equal e.Event.a_key "" then base
+      else base @ [ "args", Json.Obj [ e.Event.a_key, Json.Num e.Event.a_val ] ]
+    in
+    Json.Obj base
+  in
+  let duration_ns =
+    match s.Trace.stopped_ns with
+    | Some t -> t -. s.Trace.started_ns
+    | None -> Clock.now_ns () -. s.Trace.started_ns
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         "displayTimeUnit", Json.Str "ns";
+         "otherData",
+         Json.Obj
+           [
+             "producer", Json.Str "cgsim-versal lib/obs";
+             "events", Json.Num (float_of_int (Ring.length s.Trace.ring));
+             "dropped", Json.Num (float_of_int (Ring.dropped s.Trace.ring));
+             "ring_capacity", Json.Num (float_of_int (Ring.capacity s.Trace.ring));
+             "session_ns", Json.Num duration_ns;
+           ];
+         "traceEvents", Json.Arr (process_meta @ thread_meta @ List.map event_json events);
+       ])
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let csv (s : Trace.session) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "ts_ns,dur_ns,phase,pid,track,cat,name,arg_key,arg_val\n";
+  Ring.iter s.Trace.ring (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.0f,%.0f,%s,%d,%s,%s,%s,%s,%g\n" e.Event.ts_ns e.Event.dur_ns
+           (Event.phase_to_string e.Event.phase)
+           e.Event.pid (csv_escape e.Event.track) (csv_escape e.Event.cat)
+           (csv_escape e.Event.name) (csv_escape e.Event.a_key) e.Event.a_val));
+  Buffer.contents buf
+
+let summary (s : Trace.session) =
+  let by_cat : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let span_ns_by_cat : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  Ring.iter s.Trace.ring (fun e ->
+      Hashtbl.replace by_cat e.Event.cat
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_cat e.Event.cat));
+      if e.Event.phase = Event.Span then
+        Hashtbl.replace span_ns_by_cat e.Event.cat
+          (e.Event.dur_ns
+          +. Option.value ~default:0.0 (Hashtbl.find_opt span_ns_by_cat e.Event.cat)));
+  let duration_ns =
+    match s.Trace.stopped_ns with
+    | Some t -> t -. s.Trace.started_ns
+    | None -> Clock.now_ns () -. s.Trace.started_ns
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "obs session: %.3f ms, %d events retained (%d dropped, capacity %d)\n"
+       (duration_ns /. 1e6) (Ring.length s.Trace.ring) (Ring.dropped s.Trace.ring)
+       (Ring.capacity s.Trace.ring));
+  let cats = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_cat []) in
+  List.iter
+    (fun (cat, n) ->
+      let span_ms =
+        Option.value ~default:0.0 (Hashtbl.find_opt span_ns_by_cat cat) /. 1e6
+      in
+      Buffer.add_string b (Printf.sprintf "  %-12s %8d events, %10.3f ms in spans\n" cat n span_ms))
+    cats;
+  Buffer.add_string b (Format.asprintf "%a" Metrics.pp_snapshot (Metrics.snapshot s.Trace.metrics));
+  Buffer.contents b

@@ -1,0 +1,20 @@
+(** Session exporters.
+
+    {!chrome_json} emits the Chrome trace-event format (load the file in
+    {{:https://ui.perfetto.dev}Perfetto} or chrome://tracing): one
+    process per timeline (wall-clock vs. aiesim virtual time), one named
+    thread track per fiber / OS thread / tile, spans as "X" complete
+    events, instants and counters.  Timestamps are microseconds as the
+    format requires.  Drop counts and ring capacity ride along in
+    [otherData] so truncated traces are recognisable. *)
+
+(** Chrome trace-event JSON for the session's retained events. *)
+val chrome_json : Trace.session -> string
+
+(** Flat CSV ([ts_ns,dur_ns,phase,pid,track,cat,name,arg_key,arg_val]). *)
+val csv : Trace.session -> string
+
+(** Human-readable text: session length, per-category event counts and
+    span time, then the full metrics snapshot (counters, high-water
+    gauges, latency histograms). *)
+val summary : Trace.session -> string

@@ -1,0 +1,25 @@
+(** Dependency-free minimal JSON: a writer for the Chrome trace-event
+    exporter and a strict parser so tests can validate exported traces
+    by parsing them back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** Strict parse of a complete document (trailing garbage is an error).
+    Non-ASCII [\u] escapes decode as ['?'] — trace content is ASCII. *)
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+
+val to_float : t -> float option
+
+val to_str : t -> string option

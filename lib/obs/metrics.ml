@@ -1,0 +1,177 @@
+type counter = { mutable total : float; mutable events : int }
+
+(* Power-of-two buckets: bucket [i] counts values in [2^i, 2^(i+1))
+   (bucket 0 also takes everything below 2).  64 buckets cover any ns
+   quantity we can measure; recording is two array ops, so histograms
+   are cheap enough for per-element paths. *)
+type histo = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  buckets : int array;
+}
+
+type gauge = { mutable peak : float }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  histos : (string, histo) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    histos = Hashtbl.create 32;
+    gauges = Hashtbl.create 32;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  let r = f () in
+  Mutex.unlock t.lock;
+  r
+
+let add t name v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c ->
+        c.total <- c.total +. v;
+        c.events <- c.events + 1
+      | None -> Hashtbl.add t.counters name { total = v; events = 1 })
+
+let incr t name = add t name 1.0
+
+let bucket_of v =
+  if v < 2.0 then 0
+  else begin
+    let e = snd (Float.frexp v) - 1 in
+    if e > 63 then 63 else e
+  end
+
+let observe t name v =
+  locked t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.histos name with
+        | Some h -> h
+        | None ->
+          let h =
+            { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
+              buckets = Array.make 64 0 }
+          in
+          Hashtbl.add t.histos name h;
+          h
+      in
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let b = bucket_of v in
+      h.buckets.(b) <- h.buckets.(b) + 1)
+
+let high_water t name v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some g -> if v > g.peak then g.peak <- v
+      | None -> Hashtbl.add t.gauges name { peak = v })
+
+type counter_snapshot = { c_name : string; total : float; events : int }
+
+type histo_snapshot = {
+  h_name : string;
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  cumulative : (float * int) list;  (* bucket upper bound, events <= bound *)
+}
+
+type gauge_snapshot = { g_name : string; peak : float }
+
+type snapshot = {
+  counters : counter_snapshot list;
+  histograms : histo_snapshot list;
+  gauges : gauge_snapshot list;
+}
+
+let by_name n1 n2 = String.compare n1 n2
+
+let snapshot (t : t) =
+  locked t (fun () ->
+      let counters =
+        Hashtbl.fold
+          (fun c_name (c : counter) acc -> { c_name; total = c.total; events = c.events } :: acc)
+          t.counters []
+        |> List.sort (fun a b -> by_name a.c_name b.c_name)
+      in
+      let histograms =
+        Hashtbl.fold
+          (fun h_name h acc ->
+            let cum = ref 0 and entries = ref [] in
+            Array.iteri
+              (fun i n ->
+                if n > 0 then begin
+                  cum := !cum + n;
+                  entries := (Float.ldexp 1.0 (i + 1), !cum) :: !entries
+                end)
+              h.buckets;
+            {
+              h_name;
+              count = h.h_count;
+              sum = h.h_sum;
+              min_v = h.h_min;
+              max_v = h.h_max;
+              cumulative = List.rev !entries;
+            }
+            :: acc)
+          t.histos []
+        |> List.sort (fun a b -> by_name a.h_name b.h_name)
+      in
+      let gauges =
+        Hashtbl.fold
+          (fun g_name (g : gauge) acc -> { g_name; peak = g.peak } :: acc)
+          t.gauges []
+        |> List.sort (fun a b -> by_name a.g_name b.g_name)
+      in
+      { counters; histograms; gauges })
+
+let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+(* Bucket-resolution quantile: the upper bound of the first bucket whose
+   cumulative count reaches the rank, clamped to the observed extremes. *)
+let quantile h q =
+  if h.count = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int h.count)) in
+    let rank = max 1 (min h.count rank) in
+    let rec find = function
+      | [] -> h.max_v
+      | (bound, cum) :: rest -> if cum >= rank then bound else find rest
+    in
+    Float.min h.max_v (Float.max h.min_v (find h.cumulative))
+  end
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "@[<v>";
+  if s.counters <> [] then begin
+    Format.fprintf ppf "counters:@,";
+    List.iter
+      (fun c -> Format.fprintf ppf "  %-40s %14.0f (%d events)@," c.c_name c.total c.events)
+      s.counters
+  end;
+  if s.gauges <> [] then begin
+    Format.fprintf ppf "high-water gauges:@,";
+    List.iter (fun g -> Format.fprintf ppf "  %-40s %14.1f@," g.g_name g.peak) s.gauges
+  end;
+  if s.histograms <> [] then begin
+    Format.fprintf ppf "histograms (ns):@,";
+    List.iter
+      (fun h ->
+        Format.fprintf ppf "  %-40s n=%-8d mean=%-10.0f p50=%-10.0f p99=%-10.0f max=%.0f@,"
+          h.h_name h.count (mean h) (quantile h 0.5) (quantile h 0.99) h.max_v)
+      s.histograms
+  end;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,55 @@
+(** Named aggregate metrics: counters, high-water gauges and log2-bucket
+    latency histograms.
+
+    Metrics complement the event ring: the ring holds a bounded window
+    of individual events, metrics aggregate over the whole run (queue
+    occupancy high-water marks, per-endpoint blocked time, park/wake
+    counts, slice durations) with O(1) memory per name.  All operations
+    are thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t name v] adds [v] to counter [name] (created on first use). *)
+val add : t -> string -> float -> unit
+
+val incr : t -> string -> unit
+
+(** [observe t name v] records [v] (typically ns) into histogram
+    [name]: power-of-two buckets, plus exact count/sum/min/max. *)
+val observe : t -> string -> float -> unit
+
+(** [high_water t name v] raises gauge [name] to at least [v]. *)
+val high_water : t -> string -> float -> unit
+
+type counter_snapshot = { c_name : string; total : float; events : int }
+
+type histo_snapshot = {
+  h_name : string;
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  cumulative : (float * int) list;
+      (** (bucket upper bound, events at or below it), ascending. *)
+}
+
+type gauge_snapshot = { g_name : string; peak : float }
+
+type snapshot = {
+  counters : counter_snapshot list;
+  histograms : histo_snapshot list;
+  gauges : gauge_snapshot list;
+}
+
+(** Consistent copy of every metric, each section sorted by name. *)
+val snapshot : t -> snapshot
+
+val mean : histo_snapshot -> float
+
+(** [quantile h q] for [q] in [0,1], at bucket resolution (the value is
+    an upper bound clamped to the observed min/max). *)
+val quantile : histo_snapshot -> float -> float
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

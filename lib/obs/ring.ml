@@ -1,0 +1,67 @@
+(* Bounded trace buffer.  All slots are allocated up front and recycled,
+   so emitting an event writes eight fields into an existing record —
+   no per-event allocation, which keeps tracing cheap enough to leave
+   compiled in (the off path is a single branch in Trace).
+
+   Overflow drops the OLDEST events: the interesting part of a stalled
+   or slow run is almost always its tail, and the dropped count is
+   reported so truncation is never silent.
+
+   A mutex serialises writers: cgsim is single-threaded (uncontended
+   lock), x86sim emits from many domains. *)
+
+type t = {
+  slots : Event.t array;
+  mutable next : int;  (* total events ever emitted *)
+  mutable dropped : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "obs: ring capacity must be positive";
+  {
+    slots = Array.init capacity (fun _ -> Event.make_empty ());
+    next = 0;
+    dropped = 0;
+    lock = Mutex.create ();
+  }
+
+let capacity t = Array.length t.slots
+
+let length t = min t.next (Array.length t.slots)
+
+let dropped t = t.dropped
+
+let emit t ~ts_ns ~dur_ns ~phase ~name ~track ~cat ~pid ~a_key ~a_val =
+  Mutex.lock t.lock;
+  let cap = Array.length t.slots in
+  if t.next >= cap then t.dropped <- t.dropped + 1;
+  let slot = t.slots.(t.next mod cap) in
+  slot.Event.ts_ns <- ts_ns;
+  slot.Event.dur_ns <- dur_ns;
+  slot.Event.phase <- phase;
+  slot.Event.name <- name;
+  slot.Event.track <- track;
+  slot.Event.cat <- cat;
+  slot.Event.pid <- pid;
+  slot.Event.a_key <- a_key;
+  slot.Event.a_val <- a_val;
+  t.next <- t.next + 1;
+  Mutex.unlock t.lock
+
+(* Oldest-first traversal of the live window. *)
+let iter t f =
+  Mutex.lock t.lock;
+  let snapshot =
+    let cap = Array.length t.slots in
+    let n = min t.next cap in
+    let first = t.next - n in
+    Array.init n (fun i -> Event.copy t.slots.((first + i) mod cap))
+  in
+  Mutex.unlock t.lock;
+  Array.iter f snapshot
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc

@@ -1,0 +1,36 @@
+(** Preallocated bounded ring buffer for trace events.
+
+    Emission recycles preallocated slots (no allocation per event) and
+    is thread-safe.  When full, the oldest events are overwritten and
+    counted in {!dropped} — truncation is bounded and never silent. *)
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** Events currently held (≤ capacity). *)
+val length : t -> int
+
+(** Events lost to overflow since creation. *)
+val dropped : t -> int
+
+val emit :
+  t ->
+  ts_ns:float ->
+  dur_ns:float ->
+  phase:Event.phase ->
+  name:string ->
+  track:string ->
+  cat:string ->
+  pid:int ->
+  a_key:string ->
+  a_val:float ->
+  unit
+
+(** Oldest-first traversal over a consistent snapshot. *)
+val iter : t -> (Event.t -> unit) -> unit
+
+(** Oldest-first snapshot as a list. *)
+val to_list : t -> Event.t list

@@ -1,0 +1,126 @@
+type session = {
+  ring : Ring.t;
+  metrics : Metrics.t;
+  started_ns : float;
+  mutable stopped_ns : float option;
+}
+
+(* The enabled flag is split from the session so instrumentation sites
+   pay exactly one load+branch when tracing is off — the invariant the
+   simulators rely on to leave hooks compiled in unconditionally. *)
+let on = ref false
+
+let active : session option ref = ref None
+
+let[@inline] is_on () = !on
+
+let current () = !active
+
+let default_capacity = 1 lsl 16
+
+let start ?(capacity = default_capacity) () =
+  (match !active with
+   | Some _ -> invalid_arg "obs: a trace session is already active"
+   | None -> ());
+  let s =
+    {
+      ring = Ring.create ~capacity;
+      metrics = Metrics.create ();
+      started_ns = Clock.now_ns ();
+      stopped_ns = None;
+    }
+  in
+  active := Some s;
+  on := true;
+  s
+
+let stop () =
+  match !active with
+  | None -> None
+  | Some s ->
+    on := false;
+    active := None;
+    s.stopped_ns <- Some (Clock.now_ns ());
+    Some s
+
+let with_session ?capacity f =
+  let s = start ?capacity () in
+  let finish () = ignore (stop ()) in
+  let r =
+    try f ()
+    with e ->
+      finish ();
+      raise e
+  in
+  finish ();
+  r, s
+
+let now_ns = Clock.now_ns
+
+(* ------------------------------------------------------------------ *)
+(* Event emission (no-ops when off)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let emit ~phase ~track ~cat ~pid ~arg ~name ~ts_ns ~dur_ns =
+  match !active with
+  | None -> ()
+  | Some s ->
+    let a_key, a_val = match arg with None -> "", 0.0 | Some (k, v) -> k, v in
+    Ring.emit s.ring ~ts_ns ~dur_ns ~phase ~name ~track ~cat ~pid ~a_key ~a_val
+
+let span ~track ?(cat = "span") ?(pid = Event.wall_pid) ?arg ~name ~ts_ns ~dur_ns () =
+  if !on then emit ~phase:Event.Span ~track ~cat ~pid ~arg ~name ~ts_ns ~dur_ns
+
+let instant ~track ?(cat = "instant") ?(pid = Event.wall_pid) ?arg name =
+  if !on then emit ~phase:Event.Instant ~track ~cat ~pid ~arg ~name ~ts_ns:(Clock.now_ns ()) ~dur_ns:0.0
+
+let counter ~track ?(cat = "counter") ?(pid = Event.wall_pid) ?ts_ns ~name value =
+  if !on then begin
+    let ts_ns = match ts_ns with Some t -> t | None -> Clock.now_ns () in
+    emit ~phase:Event.Counter ~track ~cat ~pid ~arg:(Some ("value", value)) ~name ~ts_ns
+      ~dur_ns:0.0
+  end
+
+let with_span ~track ?(cat = "span") ?(pid = Event.wall_pid) name f =
+  if not !on then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    let finish () =
+      let t1 = Clock.now_ns () in
+      emit ~phase:Event.Span ~track ~cat ~pid ~arg:None ~name ~ts_ns:t0 ~dur_ns:(t1 -. t0)
+    in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics (no-ops when off)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let add_metric name v = match !active with None -> () | Some s -> Metrics.add s.metrics name v
+
+let incr_metric name = match !active with None -> () | Some s -> Metrics.incr s.metrics name
+
+let observe_ns name v =
+  match !active with None -> () | Some s -> Metrics.observe s.metrics name v
+
+let high_water name v =
+  match !active with None -> () | Some s -> Metrics.high_water s.metrics name v
+
+(* ------------------------------------------------------------------ *)
+(* Thread identity for the preemptive simulator                        *)
+(* ------------------------------------------------------------------ *)
+
+let label_key : string Domain.DLS.key = Domain.DLS.new_key (fun () -> "")
+
+let set_thread_label name = Domain.DLS.set label_key name
+
+let thread_label () =
+  match Domain.DLS.get label_key with
+  | "" -> Printf.sprintf "domain-%d" (Domain.self () :> int)
+  | l -> l

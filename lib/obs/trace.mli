@@ -1,0 +1,83 @@
+(** Global tracing session: the front door every simulator emits into.
+
+    At most one session is active at a time.  Instrumentation sites in
+    cgsim, x86sim and aiesim stay compiled in permanently and check
+    {!is_on} — a single load-and-branch when tracing is off; when on,
+    events go into the session's preallocated {!Ring} (no allocation per
+    event) and aggregates into its {!Metrics}. *)
+
+type session = {
+  ring : Ring.t;
+  metrics : Metrics.t;
+  started_ns : float;  (** {!Clock.now_ns} at {!start}. *)
+  mutable stopped_ns : float option;
+}
+
+(** The raw enabled flag.  Read-only for instrumentation fast paths
+    ([if !Obs.Trace.on then …]); use {!start}/{!stop} to change it. *)
+val on : bool ref
+
+val is_on : unit -> bool
+
+val current : unit -> session option
+
+(** Begin a session (default ring capacity 65536 events).  Raises
+    [Invalid_argument] if one is already active. *)
+val start : ?capacity:int -> unit -> session
+
+(** End the active session, if any, and return it for export. *)
+val stop : unit -> session option
+
+(** [with_session f] runs [f] under a fresh session and returns its
+    result with the (stopped) session.  The session is stopped even if
+    [f] raises. *)
+val with_session : ?capacity:int -> (unit -> 'a) -> 'a * session
+
+(** Alias of {!Clock.now_ns} so instrumentation needs one [open]. *)
+val now_ns : unit -> float
+
+(** {1 Event emission — no-ops when tracing is off} *)
+
+(** A completed span whose endpoints the caller already measured. *)
+val span :
+  track:string ->
+  ?cat:string ->
+  ?pid:int ->
+  ?arg:string * float ->
+  name:string ->
+  ts_ns:float ->
+  dur_ns:float ->
+  unit ->
+  unit
+
+val instant :
+  track:string -> ?cat:string -> ?pid:int -> ?arg:string * float -> string -> unit
+
+(** Counter sample ([ts_ns] defaults to now; pass it explicitly for
+    virtual-time counters). *)
+val counter :
+  track:string -> ?cat:string -> ?pid:int -> ?ts_ns:float -> name:string -> float -> unit
+
+(** [with_span ~track name f] measures [f] and emits the span (also on
+    exception).  When tracing is off it is exactly [f ()]. *)
+val with_span : track:string -> ?cat:string -> ?pid:int -> string -> (unit -> 'a) -> 'a
+
+(** {1 Metric emission — no-ops when tracing is off} *)
+
+val add_metric : string -> float -> unit
+
+val incr_metric : string -> unit
+
+val observe_ns : string -> float -> unit
+
+val high_water : string -> float -> unit
+
+(** {1 Thread identity}
+
+    cgsim passes fiber names explicitly; x86sim's domains label
+    themselves once and queue code recovers the label here. *)
+
+val set_thread_label : string -> unit
+
+(** The current domain's label ("domain-N" when unlabelled). *)
+val thread_label : unit -> string

@@ -142,12 +142,19 @@ let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
      keeps the preemptive simulator's domains off each other's backs. *)
   let gc = Gc.get () in
   Gc.set { gc with Gc.minor_heap_size = max gc.Gc.minor_heap_size (8 * 1024 * 1024) };
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let threads =
-    List.map (fun (_name, body) -> Domain.spawn body) (List.rev !bodies)
+    List.map
+      (fun (name, body) ->
+        Domain.spawn (fun () ->
+            (* Label the domain so Tqueue's wait spans land on a named
+               track; the thread span frames its whole lifetime. *)
+            Obs.Trace.set_thread_label name;
+            Obs.Trace.with_span ~track:name ~cat:"thread" "thread" body))
+      (List.rev !bodies)
   in
   List.iter Domain.join threads;
-  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let wall_ns = Obs.Clock.now_ns () -. t0 in
   Gc.set gc;
   let failed = List.rev !failures in
   (match failed with

@@ -11,6 +11,8 @@ type t = {
   lock : Mutex.t;
   nonfull : Condition.t;
   nonempty : Condition.t;
+  k_wput : string;  (* precomputed obs keys, cf. Cgsim.Bqueue *)
+  k_wget : string;
 }
 
 and consumer = {
@@ -38,6 +40,8 @@ let create ~name ~dtype ~capacity () =
     lock = Mutex.create ();
     nonfull = Condition.create ();
     nonempty = Condition.create ();
+    k_wput = "queue.wait_put:" ^ name;
+    k_wget = "queue.wait_get:" ^ name;
   }
 
 let with_lock t f =
@@ -61,14 +65,37 @@ let min_cursor q =
   | [] -> q.head
   | c :: rest -> List.fold_left (fun acc c -> min acc c.cursor) c.cursor rest
 
+(* Measured condition wait: attributes blocked time both to the queue
+   endpoint and to the calling OS thread (the per-thread lock-wait
+   breakdown Table 2's x86sim/cgsim comparison is really about).  The
+   span is emitted only when the caller actually had to wait, so an
+   uncontended run traces nothing here. *)
+let timed_wait ~key cond q predicate =
+  if predicate () then begin
+    if !Obs.Trace.on then begin
+      let track = Obs.Trace.thread_label () in
+      let t0 = Obs.Trace.now_ns () in
+      while predicate () do
+        Condition.wait cond q.lock
+      done;
+      let dt = Obs.Trace.now_ns () -. t0 in
+      Obs.Trace.span ~track ~cat:"queue" ~name:key ~ts_ns:t0 ~dur_ns:dt ();
+      Obs.Trace.observe_ns key dt;
+      Obs.Trace.observe_ns ("x86.wait:" ^ track) dt
+    end
+    else
+      while predicate () do
+        Condition.wait cond q.lock
+      done
+  end
+
 let put p v =
   let q = p.p_queue in
   if not p.open_ then invalid_arg ("x86sim: put on finished producer of " ^ q.q_name);
   Cgsim.Value.check ~net:q.q_name q.q_dtype v;
   with_lock q (fun () ->
-      while q.head - min_cursor q >= q.cap && not q.closed do
-        Condition.wait q.nonfull q.lock
-      done;
+      timed_wait ~key:q.k_wput q.nonfull q (fun () ->
+          q.head - min_cursor q >= q.cap && not q.closed);
       if q.closed then invalid_arg ("x86sim: put on closed queue " ^ q.q_name);
       q.buf.(q.head mod q.cap) <- v;
       q.head <- q.head + 1;
@@ -78,9 +105,7 @@ let put p v =
 let get c =
   let q = c.c_queue in
   with_lock q (fun () ->
-      while c.cursor >= q.head && not q.closed do
-        Condition.wait q.nonempty q.lock
-      done;
+      timed_wait ~key:q.k_wget q.nonempty q (fun () -> c.cursor >= q.head && not q.closed);
       if c.cursor < q.head then begin
         let v = q.buf.(c.cursor mod q.cap) in
         c.cursor <- c.cursor + 1;

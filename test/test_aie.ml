@@ -142,6 +142,61 @@ let test_trace_zero_trip () =
   let events = with_recording (fun () -> Aie.Trace.with_pipelined_loop ~trip:0 (fun _ -> ())) in
   Alcotest.(check int) "no events for empty loop" 0 (List.length events)
 
+(* The abort path as it actually occurs in a graph run: the input stream
+   drains while iteration 0 of a pipelined loop is being recorded, so
+   [Cgsim.Port.get] raises [End_of_stream] mid-body.  The region must be
+   closed with [Loop_abort] (so replay does not multiply a partial body
+   by the trip count) and the run must still terminate cleanly. *)
+let loop4_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"fi_loop4"
+    [ Cgsim.Kernel.in_port "in" Cgsim.Dtype.I32; Cgsim.Kernel.out_port "out" Cgsim.Dtype.I32 ]
+    (fun b ->
+      let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+      while true do
+        Aie.Trace.with_pipelined_loop ~trip:4 (fun _ ->
+            Aie.Trace.vop "work";
+            Cgsim.Port.put o (Cgsim.Port.get i))
+      done)
+
+let () = Cgsim.Registry.register loop4_kernel
+
+let test_trace_loop_abort_on_end_of_stream () =
+  let g =
+    Cgsim.Builder.make ~name:"abortg" ~inputs:[ "x", Cgsim.Dtype.I32 ] (fun b conns ->
+        let out = Cgsim.Builder.net b Cgsim.Dtype.I32 in
+        ignore (Cgsim.Builder.add_kernel b ~inst:"abortk" loop4_kernel [ List.hd conns; out ]);
+        [ out ])
+  in
+  let r = Aie.Trace.create_recorder () in
+  Aie.Trace.bind "abortk" r;
+  Aie.Trace.enabled := true;
+  let sink, contents = Cgsim.Io.int_buffer () in
+  Fun.protect
+    ~finally:(fun () ->
+      Aie.Trace.enabled := false;
+      Aie.Trace.unbind "abortk")
+    (fun () ->
+      (* Exactly one full trip of input: the second loop region's first
+         body read hits the drained stream. *)
+      ignore
+        (Cgsim.Runtime.execute g
+           ~sources:[ Cgsim.Io.of_int_array Cgsim.Dtype.I32 [| 1; 2; 3; 4 |] ]
+           ~sinks:[ sink ]));
+  Alcotest.(check (array int)) "full first trip delivered" [| 1; 2; 3; 4 |] (contents ());
+  match Aie.Trace.events r with
+  | [
+   Aie.Trace.Loop_enter { trip = 4 };
+   Aie.Trace.Vop { name = "work"; _ };
+   Aie.Trace.Loop_exit;
+   Aie.Trace.Loop_enter { trip = 4 };
+   Aie.Trace.Vop { name = "work"; _ };
+   Aie.Trace.Loop_abort;
+  ] ->
+    ()
+  | evs ->
+    Alcotest.failf "unexpected event sequence: %s"
+      (String.concat "; " (List.map (Format.asprintf "%a" Aie.Trace.pp_event) evs))
+
 (* ------------------------------------------------------------------ *)
 (* Failure injection at graph level                                   *)
 (* ------------------------------------------------------------------ *)
@@ -264,6 +319,8 @@ let () =
           Alcotest.test_case "loop suppression" `Quick test_trace_loop_suppression;
           Alcotest.test_case "loop abort marker" `Quick test_trace_loop_abort_marker;
           Alcotest.test_case "zero trip" `Quick test_trace_zero_trip;
+          Alcotest.test_case "abort on end of stream" `Quick
+            test_trace_loop_abort_on_end_of_stream;
         ] );
       ( "failure-injection",
         [

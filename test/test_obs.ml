@@ -1,0 +1,371 @@
+(* Tests for the lib/obs observability layer: ring-buffer wraparound,
+   Chrome trace-event export (validated by parsing it back), span
+   nesting, metrics, and end-to-end instrumentation consistency on real
+   cgsim / x86sim runs. *)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_monotone () =
+  let prev = ref (Obs.Clock.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Obs.Clock.now_ns () in
+    if t < !prev then Alcotest.failf "clock went backwards: %f after %f" t !prev;
+    prev := t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let emit_n ring n =
+  for i = 1 to n do
+    Obs.Ring.emit ring ~ts_ns:(float_of_int i) ~dur_ns:0.0 ~phase:Obs.Event.Instant
+      ~name:(Printf.sprintf "e%d" i) ~track:"t" ~cat:"test" ~pid:1 ~a_key:"" ~a_val:0.0
+  done
+
+let test_ring_fill () =
+  let ring = Obs.Ring.create ~capacity:8 in
+  emit_n ring 5;
+  Alcotest.(check int) "length" 5 (Obs.Ring.length ring);
+  Alcotest.(check int) "dropped" 0 (Obs.Ring.dropped ring);
+  let names = List.map (fun (e : Obs.Event.t) -> e.Obs.Event.name) (Obs.Ring.to_list ring) in
+  Alcotest.(check (list string)) "order" [ "e1"; "e2"; "e3"; "e4"; "e5" ] names
+
+let test_ring_wraparound () =
+  let ring = Obs.Ring.create ~capacity:8 in
+  emit_n ring 20;
+  Alcotest.(check int) "length capped" 8 (Obs.Ring.length ring);
+  Alcotest.(check int) "dropped counts overflow" 12 (Obs.Ring.dropped ring);
+  let events = Obs.Ring.to_list ring in
+  let names = List.map (fun (e : Obs.Event.t) -> e.Obs.Event.name) events in
+  (* Oldest events fall out; the retained window is the tail, in order. *)
+  Alcotest.(check (list string)) "newest retained, chronological"
+    [ "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20" ]
+    names;
+  let ts = List.map (fun (e : Obs.Event.t) -> e.Obs.Event.ts_ns) events in
+  Alcotest.(check bool) "timestamps ascending" true (List.sort compare ts = ts)
+
+let test_ring_rejects_zero_capacity () =
+  match Obs.Ring.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_basic () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "c";
+  Obs.Metrics.add m "c" 4.0;
+  Obs.Metrics.high_water m "g" 10.0;
+  Obs.Metrics.high_water m "g" 3.0;
+  List.iter (fun v -> Obs.Metrics.observe m "h" v) [ 1.0; 10.0; 100.0; 1000.0 ];
+  let s = Obs.Metrics.snapshot m in
+  (match s.Obs.Metrics.counters with
+   | [ c ] ->
+     Alcotest.(check string) "counter name" "c" c.Obs.Metrics.c_name;
+     Alcotest.(check (float 0.0)) "counter total" 5.0 c.Obs.Metrics.total;
+     Alcotest.(check int) "counter events" 2 c.Obs.Metrics.events
+   | l -> Alcotest.failf "expected one counter, got %d" (List.length l));
+  (match s.Obs.Metrics.gauges with
+   | [ g ] -> Alcotest.(check (float 0.0)) "gauge keeps peak" 10.0 g.Obs.Metrics.peak
+   | _ -> Alcotest.fail "expected one gauge");
+  match s.Obs.Metrics.histograms with
+  | [ h ] ->
+    Alcotest.(check int) "histo count" 4 h.Obs.Metrics.count;
+    Alcotest.(check (float 0.0)) "histo sum" 1111.0 h.Obs.Metrics.sum;
+    Alcotest.(check (float 0.0)) "histo min" 1.0 h.Obs.Metrics.min_v;
+    Alcotest.(check (float 0.0)) "histo max" 1000.0 h.Obs.Metrics.max_v;
+    let p100 = Obs.Metrics.quantile h 1.0 in
+    Alcotest.(check bool) "p100 clamps to max" true (p100 = 1000.0);
+    let p25 = Obs.Metrics.quantile h 0.25 in
+    Alcotest.(check bool) "p25 is near the low end" true (p25 <= 2.0)
+  | _ -> Alcotest.fail "expected one histogram"
+
+(* ------------------------------------------------------------------ *)
+(* Session + span nesting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_single () =
+  let _, _s = Obs.Trace.with_session (fun () -> ()) in
+  Alcotest.(check bool) "off after with_session" false (Obs.Trace.is_on ());
+  let s = Obs.Trace.start () in
+  (match Obs.Trace.start () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "nested start must be rejected");
+  (match Obs.Trace.stop () with
+   | Some s' -> Alcotest.(check bool) "stop returns the session" true (s == s')
+   | None -> Alcotest.fail "stop lost the session");
+  Alcotest.(check bool) "stopped_ns recorded" true (s.Obs.Trace.stopped_ns <> None)
+
+let find_span name events =
+  List.find_opt
+    (fun (e : Obs.Event.t) -> e.Obs.Event.phase = Obs.Event.Span && e.Obs.Event.name = name)
+    events
+
+let test_span_nesting () =
+  let (), session =
+    Obs.Trace.with_session (fun () ->
+        Obs.Trace.with_span ~track:"f" "outer" (fun () ->
+            ignore (Sys.opaque_identity (Array.make 64 0));
+            Obs.Trace.with_span ~track:"f" "inner" (fun () ->
+                ignore (Sys.opaque_identity (Array.make 64 0)))))
+  in
+  let events = Obs.Ring.to_list session.Obs.Trace.ring in
+  match find_span "outer" events, find_span "inner" events with
+  | Some outer, Some inner ->
+    let o0 = outer.Obs.Event.ts_ns and o1 = outer.Obs.Event.ts_ns +. outer.Obs.Event.dur_ns in
+    let i0 = inner.Obs.Event.ts_ns and i1 = inner.Obs.Event.ts_ns +. inner.Obs.Event.dur_ns in
+    Alcotest.(check bool) "inner starts within outer" true (i0 >= o0);
+    Alcotest.(check bool) "inner ends within outer" true (i1 <= o1);
+    Alcotest.(check bool) "durations non-negative" true
+      (outer.Obs.Event.dur_ns >= 0.0 && inner.Obs.Event.dur_ns >= 0.0)
+  | _ -> Alcotest.fail "outer/inner spans missing from the ring"
+
+let test_emit_off_is_noop () =
+  Alcotest.(check bool) "tracing off" false (Obs.Trace.is_on ());
+  (* None of these may raise or leak anywhere observable. *)
+  Obs.Trace.instant ~track:"x" "nothing";
+  Obs.Trace.span ~track:"x" ~name:"nothing" ~ts_ns:0.0 ~dur_ns:1.0 ();
+  Obs.Trace.incr_metric "nothing";
+  Obs.Trace.observe_ns "nothing" 1.0;
+  let (), session = Obs.Trace.with_session (fun () -> ()) in
+  Alcotest.(check int) "prior emissions did not land in a later session" 0
+    (Obs.Ring.length session.Obs.Trace.ring)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [
+        "s", Obs.Json.Str "a\"b\\c\nd\te";
+        "n", Obs.Json.Num 42.0;
+        "f", Obs.Json.Num 1.5;
+        "b", Obs.Json.Bool true;
+        "z", Obs.Json.Null;
+        "l", Obs.Json.Arr [ Obs.Json.Num 1.0; Obs.Json.Str "x"; Obs.Json.Obj [] ];
+      ]
+  in
+  match Obs.Json.of_string (Obs.Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid JSON %S" s)
+    [ "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "{} trailing"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: cgsim instrumentation                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pass_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"obs_pass"
+    [ Cgsim.Kernel.in_port "in" Cgsim.Dtype.I32; Cgsim.Kernel.out_port "out" Cgsim.Dtype.I32 ]
+    (fun b ->
+      let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+      while true do
+        Cgsim.Port.put o (Cgsim.Port.get i)
+      done)
+
+let () = Cgsim.Registry.register pass_kernel
+
+let pipe_graph () =
+  Cgsim.Builder.make ~name:"obspipe" ~inputs:[ "x", Cgsim.Dtype.I32 ] (fun b conns ->
+      let mid = Cgsim.Builder.net b Cgsim.Dtype.I32 in
+      let out = Cgsim.Builder.net b Cgsim.Dtype.I32 in
+      ignore (Cgsim.Builder.add_kernel b pass_kernel [ List.hd conns; mid ]);
+      ignore (Cgsim.Builder.add_kernel b pass_kernel [ mid; out ]);
+      [ out ])
+
+let traced_cgsim_run ?(n = 500) ?(queue_capacity = 8) () =
+  Obs.Trace.with_session (fun () ->
+      let sink, contents = Cgsim.Io.int_buffer () in
+      let stats =
+        Cgsim.Runtime.execute (pipe_graph ()) ~queue_capacity
+          ~sources:[ Cgsim.Io.of_int_array Cgsim.Dtype.I32 (Array.init n (fun i -> i)) ]
+          ~sinks:[ sink ]
+      in
+      stats, contents ())
+
+let test_cgsim_occupancy_bounded () =
+  let (stats, out), session = traced_cgsim_run () in
+  Alcotest.(check int) "all data through" 500 (Array.length out);
+  Alcotest.(check bool) "fibers completed" true (stats.Cgsim.Sched.completed > 0);
+  let snap = Obs.Metrics.snapshot session.Obs.Trace.metrics in
+  let occupancy_gauges =
+    List.filter
+      (fun (g : Obs.Metrics.gauge_snapshot) ->
+        String.length g.Obs.Metrics.g_name >= 19
+        && String.sub g.Obs.Metrics.g_name 0 19 = "queue.occupancy_hw:")
+      snap.Obs.Metrics.gauges
+  in
+  Alcotest.(check bool) "occupancy gauges recorded" true (occupancy_gauges <> []);
+  List.iter
+    (fun (g : Obs.Metrics.gauge_snapshot) ->
+      if g.Obs.Metrics.peak > 8.0 then
+        Alcotest.failf "%s exceeded capacity: %f" g.Obs.Metrics.g_name g.Obs.Metrics.peak)
+    occupancy_gauges
+
+let test_cgsim_slices_match_stats () =
+  let (stats, _), session = traced_cgsim_run () in
+  let slice_sum = ref 0.0 and slice_count = ref 0 in
+  Obs.Ring.iter session.Obs.Trace.ring (fun e ->
+      if e.Obs.Event.phase = Obs.Event.Span && String.equal e.Obs.Event.name "slice" then begin
+        slice_sum := !slice_sum +. e.Obs.Event.dur_ns;
+        incr slice_count
+      end);
+  Alcotest.(check int) "one span per scheduler slice" stats.Cgsim.Sched.slices !slice_count;
+  (* Same clock, same measurements: the trace must agree with the
+     scheduler's own kernel-time accounting. *)
+  let diff = Float.abs (!slice_sum -. stats.Cgsim.Sched.kernel_ns) in
+  if diff > 1e-6 *. Float.max 1.0 stats.Cgsim.Sched.kernel_ns then
+    Alcotest.failf "slice spans sum to %f ns but stats.kernel_ns is %f" !slice_sum
+      stats.Cgsim.Sched.kernel_ns;
+  Alcotest.(check bool) "kernel fraction consistent" true
+    (Cgsim.Sched.kernel_fraction stats >= 0.0 && Cgsim.Sched.kernel_fraction stats <= 1.0)
+
+let test_cgsim_blocked_time_recorded () =
+  (* capacity 1 between two pass stages forces producer/consumer blocking *)
+  let (_, _), session = traced_cgsim_run ~queue_capacity:1 () in
+  let snap = Obs.Metrics.snapshot session.Obs.Trace.metrics in
+  let blocked =
+    List.filter
+      (fun (h : Obs.Metrics.histo_snapshot) ->
+        String.length h.Obs.Metrics.h_name >= 18
+        && (String.sub h.Obs.Metrics.h_name 0 18 = "queue.blocked_put:"
+           || String.sub h.Obs.Metrics.h_name 0 18 = "queue.blocked_get:"))
+      snap.Obs.Metrics.histograms
+  in
+  Alcotest.(check bool) "blocked-time histograms present" true (blocked <> []);
+  let parks =
+    List.exists
+      (fun (c : Obs.Metrics.counter_snapshot) ->
+        c.Obs.Metrics.c_name = "sched.parks" && c.Obs.Metrics.total > 0.0)
+      snap.Obs.Metrics.counters
+  in
+  Alcotest.(check bool) "parks counted" true parks
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: Chrome export parses back                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_export_well_formed () =
+  let (_, _), session = traced_cgsim_run () in
+  let text = Obs.Export.chrome_json session in
+  match Obs.Json.of_string text with
+  | Error e -> Alcotest.failf "exported trace is not valid JSON: %s" e
+  | Ok doc ->
+    let events =
+      match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "no traceEvents array"
+    in
+    Alcotest.(check bool) "has events" true (List.length events > 10);
+    let get_str k e = Option.bind (Obs.Json.member k e) Obs.Json.to_str in
+    let get_num k e = Option.bind (Obs.Json.member k e) Obs.Json.to_float in
+    let phases = List.filter_map (get_str "ph") events in
+    List.iter
+      (fun ph ->
+        if not (List.mem ph [ "X"; "i"; "C"; "M" ]) then Alcotest.failf "unexpected ph %S" ph)
+      phases;
+    Alcotest.(check bool) "has slice spans" true
+      (List.exists
+         (fun e -> get_str "ph" e = Some "X" && get_str "cat" e = Some "sched")
+         events);
+    Alcotest.(check bool) "has queue events" true
+      (List.exists (fun e -> get_str "cat" e = Some "queue") events);
+    Alcotest.(check bool) "has thread metadata" true
+      (List.exists (fun e -> get_str "name" e = Some "thread_name") events);
+    (* Every non-metadata event needs a timestamp; spans need dur >= 0. *)
+    List.iter
+      (fun e ->
+        match get_str "ph" e with
+        | Some "M" -> ()
+        | Some "X" ->
+          (match get_num "ts" e, get_num "dur" e with
+           | Some ts, Some dur when ts >= 0.0 && dur >= 0.0 -> ()
+           | _ -> Alcotest.fail "span without valid ts/dur")
+        | Some _ ->
+          if get_num "ts" e = None then Alcotest.fail "event without ts"
+        | None -> Alcotest.fail "event without ph")
+      events
+
+let test_csv_and_summary () =
+  let (_, _), session = traced_cgsim_run () in
+  let csv = Obs.Export.csv session in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check bool) "csv has header + rows" true (List.length lines > 2);
+  Alcotest.(check string) "csv header"
+    "ts_ns,dur_ns,phase,pid,track,cat,name,arg_key,arg_val" (List.hd lines);
+  let summary = Obs.Export.summary session in
+  Alcotest.(check bool) "summary mentions session" true
+    (String.length summary > 0
+    && String.sub summary 0 11 = "obs session")
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: x86sim instrumentation                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_x86sim_thread_spans () =
+  let (stats, out), session =
+    Obs.Trace.with_session (fun () ->
+        let sink, contents = Cgsim.Io.int_buffer () in
+        let stats =
+          X86sim.Sim.run (pipe_graph ()) ~queue_capacity:4
+            ~sources:[ Cgsim.Io.of_int_array Cgsim.Dtype.I32 (Array.init 200 (fun i -> i)) ]
+            ~sinks:[ sink ]
+        in
+        stats, contents ())
+  in
+  Alcotest.(check int) "all data through" 200 (Array.length out);
+  let thread_spans = ref 0 in
+  Obs.Ring.iter session.Obs.Trace.ring (fun e ->
+      if e.Obs.Event.phase = Obs.Event.Span && String.equal e.Obs.Event.cat "thread" then
+        incr thread_spans);
+  Alcotest.(check int) "one lifetime span per OS thread" stats.X86sim.Sim.threads !thread_spans
+
+let () =
+  Alcotest.run "obs"
+    [
+      "clock", [ Alcotest.test_case "monotone" `Quick test_clock_monotone ];
+      ( "ring",
+        [
+          Alcotest.test_case "fill" `Quick test_ring_fill;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "zero capacity" `Quick test_ring_rejects_zero_capacity;
+        ] );
+      "metrics", [ Alcotest.test_case "counters/gauges/histograms" `Quick test_metrics_basic ];
+      ( "session",
+        [
+          Alcotest.test_case "single active session" `Quick test_session_single;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "off is no-op" `Quick test_emit_off_is_noop;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "cgsim",
+        [
+          Alcotest.test_case "occupancy bounded by capacity" `Quick test_cgsim_occupancy_bounded;
+          Alcotest.test_case "slice spans match stats" `Quick test_cgsim_slices_match_stats;
+          Alcotest.test_case "blocked time recorded" `Quick test_cgsim_blocked_time_recorded;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome JSON parses back" `Quick test_chrome_export_well_formed;
+          Alcotest.test_case "csv and summary" `Quick test_csv_and_summary;
+        ] );
+      "x86sim", [ Alcotest.test_case "thread spans" `Quick test_x86sim_thread_spans ];
+    ]
