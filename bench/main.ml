@@ -12,21 +12,33 @@
    profile takes options:
      --trace FILE   run under an obs session and write a Chrome
                     trace-event JSON (Perfetto-loadable)
+     --json FILE    write per-app stats as machine-readable JSON
      --smoke        reduced repetition counts (CI guard for the
-                    instrumentation hooks) *)
+                    instrumentation hooks)
+
+   micro takes options:
+     --json FILE    write estimates and the block-transfer comparison
+                    as machine-readable JSON
+     --smoke        reduced quotas and element counts for CI
+
+   check-json FILE parses FILE with the strict Obs.Json parser and
+   requires a top-level object with a "schema" string; exits nonzero
+   on malformed output (the CI guard for --json). *)
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table2-quick|profile [--trace FILE] [--smoke]|micro|ablation]...";
+    "usage: main.exe [table1|table2|table2-quick|profile [--trace FILE] [--json FILE] \
+     [--smoke]|micro [--json FILE] [--smoke]|ablation|check-json FILE]...";
   exit 2
 
 type action =
   | Table1
   | Table2
   | Table2_quick
-  | Profile of string option * bool  (* trace file, smoke *)
-  | Micro
+  | Profile of string option * string option * bool  (* trace file, json file, smoke *)
+  | Micro of string option * bool  (* json file, smoke *)
   | Ablation
+  | Check_json of string
 
 let parse_actions args =
   let rec go = function
@@ -34,31 +46,67 @@ let parse_actions args =
     | "table1" :: rest -> Table1 :: go rest
     | "table2" :: rest -> Table2 :: go rest
     | "table2-quick" :: rest -> Table2_quick :: go rest
-    | "micro" :: rest -> Micro :: go rest
+    | "micro" :: rest ->
+      let rec opts json smoke = function
+        | "--json" :: file :: rest -> opts (Some file) smoke rest
+        | "--json" :: [] ->
+          Printf.eprintf "--json needs a FILE argument\n";
+          usage ()
+        | "--smoke" :: rest -> opts json true rest
+        | rest -> Micro (json, smoke) :: go rest
+      in
+      opts None false rest
     | "ablation" :: rest -> Ablation :: go rest
     | "profile" :: rest ->
-      let rec opts trace smoke = function
-        | "--trace" :: file :: rest -> opts (Some file) smoke rest
+      let rec opts trace json smoke = function
+        | "--trace" :: file :: rest -> opts (Some file) json smoke rest
         | "--trace" :: [] ->
           Printf.eprintf "--trace needs a FILE argument\n";
           usage ()
-        | "--smoke" :: rest -> opts trace true rest
-        | rest -> Profile (trace, smoke) :: go rest
+        | "--json" :: file :: rest -> opts trace (Some file) smoke rest
+        | "--json" :: [] ->
+          Printf.eprintf "--json needs a FILE argument\n";
+          usage ()
+        | "--smoke" :: rest -> opts trace json true rest
+        | rest -> Profile (trace, json, smoke) :: go rest
       in
-      opts None false rest
+      opts None None false rest
+    | "check-json" :: file :: rest -> Check_json file :: go rest
+    | "check-json" :: [] ->
+      Printf.eprintf "check-json needs a FILE argument\n";
+      usage ()
     | other :: _ ->
       Printf.eprintf "unknown bench: %s\n" other;
       usage ()
   in
   go args
 
+let check_json file =
+  let contents =
+    try In_channel.with_open_bin file In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "check-json: cannot read %s: %s\n" file msg;
+      exit 1
+  in
+  match Obs.Json.of_string contents with
+  | Error msg ->
+    Printf.eprintf "check-json: %s is malformed: %s\n" file msg;
+    exit 1
+  | Ok doc ->
+    (match Option.bind (Obs.Json.member "schema" doc) Obs.Json.to_str with
+     | Some schema -> Printf.printf "check-json: %s ok (schema %s)\n%!" file schema
+     | None ->
+       Printf.eprintf "check-json: %s has no \"schema\" string\n" file;
+       exit 1)
+
 let run = function
   | Table1 -> Table1.run ()
   | Table2 -> Table2.run ()
   | Table2_quick -> Table2.run ~scale:0.5 ()
-  | Profile (trace, smoke) -> Profile.run ?trace ~smoke ()
-  | Micro -> Micro.run ()
+  | Profile (trace, json, smoke) -> Profile.run ?trace ?json ~smoke ()
+  | Micro (json, smoke) -> Micro.run ?json ~smoke ()
   | Ablation -> Ablation.run ()
+  | Check_json file -> check_json file
 
 let () =
   match parse_actions (List.tl (Array.to_list Sys.argv)) with

@@ -1,7 +1,13 @@
 (* Bechamel micro-benchmarks of the framework's moving parts: queue
    transfer, context switch, vector intrinsics, graph construction and
    instantiation.  These back the design claims in DESIGN.md (cooperative
-   switching is cheap; construction cost is front-loaded). *)
+   switching is cheap; construction cost is front-loaded).
+
+   On top of the bechamel estimates, a manually-timed element-vs-block
+   queue transfer on the same queue configuration backs the block
+   fast-path claim in docs/PERFORMANCE.md; [run ~json:file] writes every
+   number as machine-readable JSON (schema "cgsim-bench-micro/1") so CI
+   can parse it back and the repo can commit a baseline. *)
 
 open Bechamel
 open Toolkit
@@ -68,19 +74,145 @@ let tests =
     runtime_instantiation;
   ]
 
-let run () =
-  Printf.printf "\n== Micro-benchmarks (bechamel) ==\n%!";
+let bechamel_results ~quota =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
-  List.iter
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
       let analyzed = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name ols_result ->
+      Hashtbl.fold
+        (fun name ols_result acc ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n%!" name est
-          | _ -> Printf.printf "%-45s (no estimate)\n%!" name)
-        analyzed)
+          | Some [ est ] -> (name, est) :: acc
+          | _ -> acc)
+        analyzed [])
     tests
+
+(* ------------------------------------------------------------------ *)
+(* Element-vs-block transfer on one queue configuration                 *)
+(* ------------------------------------------------------------------ *)
+
+let transfer_capacity = 1024
+
+let transfer_chunk = 256
+
+(* Move [elements] I32 values through one capacity-[transfer_capacity]
+   queue between a producer and a consumer fiber; returns wall ns. *)
+let time_element_path ~elements =
+  let q =
+    Cgsim.Bqueue.create ~name:"xfer-elem" ~dtype:Cgsim.Dtype.I32 ~capacity:transfer_capacity ()
+  in
+  let p = Cgsim.Bqueue.add_producer q in
+  let c = Cgsim.Bqueue.add_consumer q in
+  let s = Cgsim.Sched.create () in
+  let v = Cgsim.Value.Int 7 in
+  Cgsim.Sched.spawn s ~name:"producer" (fun () ->
+      for _ = 1 to elements do
+        Cgsim.Bqueue.put p v
+      done;
+      Cgsim.Bqueue.producer_done p);
+  Cgsim.Sched.spawn s ~name:"consumer" (fun () ->
+      let rec loop () =
+        ignore (Cgsim.Bqueue.get c);
+        loop ()
+      in
+      loop ());
+  let t0 = Obs.Clock.now_ns () in
+  ignore (Cgsim.Sched.run s);
+  Obs.Clock.now_ns () -. t0
+
+(* Same traffic, but the producer pushes [transfer_chunk]-element blocks
+   and the consumer drains with [get_some] — the fast path. *)
+let time_block_path ~elements =
+  let q =
+    Cgsim.Bqueue.create ~name:"xfer-blk" ~dtype:Cgsim.Dtype.I32 ~capacity:transfer_capacity ()
+  in
+  let p = Cgsim.Bqueue.add_producer q in
+  let c = Cgsim.Bqueue.add_consumer q in
+  let s = Cgsim.Sched.create () in
+  let block = Array.make transfer_chunk (Cgsim.Value.Int 7) in
+  let blocks = elements / transfer_chunk in
+  Cgsim.Sched.spawn s ~name:"producer" (fun () ->
+      for _ = 1 to blocks do
+        Cgsim.Bqueue.put_block p block
+      done;
+      Cgsim.Bqueue.producer_done p);
+  Cgsim.Sched.spawn s ~name:"consumer" (fun () ->
+      let rec loop () =
+        ignore (Cgsim.Bqueue.get_some c ~max:transfer_chunk);
+        loop ()
+      in
+      loop ());
+  let t0 = Obs.Clock.now_ns () in
+  ignore (Cgsim.Sched.run s);
+  Obs.Clock.now_ns () -. t0
+
+let best_of n f =
+  let rec go i acc = if i >= n then acc else go (i + 1) (Float.min acc (f ())) in
+  go 1 (f ())
+
+type block_comparison = {
+  elements : int;
+  element_ns_per_elem : float;
+  block_ns_per_elem : float;
+  speedup : float;
+}
+
+let compare_transfer ~smoke =
+  let elements = if smoke then 16384 else 262144 in
+  let rounds = if smoke then 2 else 5 in
+  let element_ns = best_of rounds (fun () -> time_element_path ~elements) in
+  let block_ns = best_of rounds (fun () -> time_block_path ~elements) in
+  let n = float_of_int elements in
+  {
+    elements;
+    element_ns_per_elem = element_ns /. n;
+    block_ns_per_elem = block_ns /. n;
+    speedup = element_ns /. block_ns;
+  }
+
+let json_of_run ~smoke ~bechamel (cmp : block_comparison) =
+  Obs.Json.Obj
+    [
+      "schema", Obs.Json.Str "cgsim-bench-micro/1";
+      "smoke", Obs.Json.Bool smoke;
+      ( "results",
+        Obs.Json.Arr
+          (List.map
+             (fun (name, ns) ->
+               Obs.Json.Obj [ "name", Obs.Json.Str name; "ns_per_run", Obs.Json.Num ns ])
+             bechamel) );
+      ( "block_transfer",
+        Obs.Json.Obj
+          [
+            "elements", Obs.Json.Num (float_of_int cmp.elements);
+            "capacity", Obs.Json.Num (float_of_int transfer_capacity);
+            "chunk", Obs.Json.Num (float_of_int transfer_chunk);
+            "element_ns_per_elem", Obs.Json.Num cmp.element_ns_per_elem;
+            "block_ns_per_elem", Obs.Json.Num cmp.block_ns_per_elem;
+            "speedup", Obs.Json.Num cmp.speedup;
+          ] );
+    ]
+
+let run ?json ?(smoke = false) () =
+  Printf.printf "\n== Micro-benchmarks (bechamel) ==\n%!";
+  let quota = if smoke then 0.02 else 0.25 in
+  let bechamel = bechamel_results ~quota in
+  List.iter (fun (name, est) -> Printf.printf "%-45s %12.1f ns/run\n%!" name est) bechamel;
+  Printf.printf "\n== Block-transfer fast path (same queue, cap=%d, chunk=%d) ==\n%!"
+    transfer_capacity transfer_chunk;
+  let cmp = compare_transfer ~smoke in
+  Printf.printf "%-45s %12.2f ns/elem\n" "element path (put/get)" cmp.element_ns_per_elem;
+  Printf.printf "%-45s %12.2f ns/elem\n" "block path (put_block/get_some)" cmp.block_ns_per_elem;
+  Printf.printf "%-45s %12.2fx\n%!" "speedup" cmp.speedup;
+  match json with
+  | None -> ()
+  | Some file ->
+    let doc = json_of_run ~smoke ~bechamel cmp in
+    (try Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc (Obs.Json.to_string doc))
+     with Sys_error msg ->
+       Printf.eprintf "error: cannot write %s: %s\n" file msg;
+       exit 1);
+    Printf.printf "wrote micro-benchmark JSON to %s\n%!" file

@@ -28,15 +28,45 @@ let run_one (h : Apps.Harness.t) ~reps =
 let run_apps ~smoke =
   Printf.printf "%-9s %9s %10s %12s %12s %10s\n" "graph" "reps" "slices" "kernel(ms)" "total(ms)"
     "fraction";
-  List.iter
+  List.map
     (fun ((h : Apps.Harness.t), reps) ->
       let reps = if smoke then max 1 (reps / 64) else reps in
       let name, stats = run_one h ~reps in
       Printf.printf "%-9s %9d %10d %12.2f %12.2f %9.4f%%\n" name reps stats.Cgsim.Sched.slices
         (stats.Cgsim.Sched.kernel_ns /. 1e6)
         (stats.Cgsim.Sched.total_ns /. 1e6)
-        (100.0 *. Cgsim.Sched.kernel_fraction stats))
+        (100.0 *. Cgsim.Sched.kernel_fraction stats);
+      name, reps, stats)
     apps
+
+let json_of_results results =
+  Obs.Json.Obj
+    [
+      "schema", Obs.Json.Str "cgsim-bench-profile/1";
+      ( "apps",
+        Obs.Json.Arr
+          (List.map
+             (fun (name, reps, (stats : Cgsim.Sched.stats)) ->
+               Obs.Json.Obj
+                 [
+                   "name", Obs.Json.Str name;
+                   "reps", Obs.Json.Num (float_of_int reps);
+                   "slices", Obs.Json.Num (float_of_int stats.Cgsim.Sched.slices);
+                   "kernel_ns", Obs.Json.Num stats.Cgsim.Sched.kernel_ns;
+                   "total_ns", Obs.Json.Num stats.Cgsim.Sched.total_ns;
+                   "kernel_fraction", Obs.Json.Num (Cgsim.Sched.kernel_fraction stats);
+                 ])
+             results) );
+    ]
+
+let write_json file results =
+  try
+    Out_channel.with_open_bin file (fun oc ->
+        Out_channel.output_string oc (Obs.Json.to_string (json_of_results results)));
+    Printf.printf "wrote profile JSON to %s\n%!" file
+  with Sys_error msg ->
+    Printf.eprintf "error: cannot write %s: %s\n" file msg;
+    exit 1
 
 (* Metric keys from Cgsim.Bqueue look like "queue.blocked_put:bitonic/net3";
    the graph name between ':' and '/' groups them per app. *)
@@ -103,16 +133,20 @@ let add_aiesim_replay () =
   Printf.printf "aiesim replay in trace: %s, %.0f cycles, %d blocks\n" report.Aiesim.Sim.label
     report.Aiesim.Sim.total_cycles report.Aiesim.Sim.blocks
 
-let run ?trace ?(smoke = false) () =
+let run ?trace ?json ?(smoke = false) () =
   Printf.printf "\n== Profile (Section 5.2): cgsim kernel-time fraction ==\n";
   (match trace with
-   | None -> run_apps ~smoke
+   | None ->
+     let results = run_apps ~smoke in
+     Option.iter (fun file -> write_json file results) json
    | Some file ->
-     let (), session =
+     let results, session =
        Obs.Trace.with_session ~capacity:(1 lsl 18) (fun () ->
-           run_apps ~smoke;
-           add_aiesim_replay ())
+           let results = run_apps ~smoke in
+           add_aiesim_replay ();
+           results)
      in
+     Option.iter (fun f -> write_json f results) json;
      (try
         Out_channel.with_open_bin file (fun oc ->
             Out_channel.output_string oc (Obs.Export.chrome_json session))

@@ -20,11 +20,19 @@ fi
 
 echo "== profile smoke (tracing on) =="
 TRACE=$(mktemp -t ci-trace-XXXXXX.json)
-trap 'rm -f "$TRACE"' EXIT
+MICRO_JSON=$(mktemp -t ci-micro-XXXXXX.json)
+trap 'rm -f "$TRACE" "$MICRO_JSON"' EXIT
 dune exec bench/main.exe -- profile --smoke --trace "$TRACE"
 
 test -s "$TRACE" || { echo "ci: trace file is empty" >&2; exit 1; }
 grep -q '"traceEvents"' "$TRACE" || { echo "ci: trace file has no traceEvents" >&2; exit 1; }
 echo "trace OK: $(wc -c < "$TRACE") bytes"
+
+echo "== micro smoke (block fast path, JSON output) =="
+dune exec bench/main.exe -- micro --smoke --json "$MICRO_JSON"
+test -s "$MICRO_JSON" || { echo "ci: micro JSON is empty" >&2; exit 1; }
+# check-json re-parses with the strict Obs.Json parser and fails on
+# malformed output or a missing schema marker.
+dune exec bench/main.exe -- check-json "$MICRO_JSON"
 
 echo "== ci passed =="

@@ -69,13 +69,23 @@ let capture (d : Deploy.t) ~sources ~sinks =
           let bytes = Cgsim.Dtype.size_bytes net.Cgsim.Serialized.dtype in
           let thunked = thunk_applies inst in
           let port = port_key inst port_idx in
+          let ev = Aie.Trace.Port_read { port; bytes; transport; thunked } in
           {
             r with
             Cgsim.Port.r_get =
               (fun () ->
                 let v = r.Cgsim.Port.r_get () in
-                Aie.Trace.emit (Aie.Trace.Port_read { port; bytes; transport; thunked });
+                Aie.Trace.emit ev;
                 v);
+            Cgsim.Port.r_get_block =
+              (fun n ->
+                (* Block reads must keep per-element cycle accounting:
+                   emit one event per element, as the element loop would. *)
+                let vs = r.Cgsim.Port.r_get_block n in
+                for _ = 1 to Array.length vs do
+                  Aie.Trace.emit ev
+                done;
+                vs);
           });
       wrap_writer =
         (fun inst port_idx w ->
@@ -84,12 +94,19 @@ let capture (d : Deploy.t) ~sources ~sinks =
           let bytes = Cgsim.Dtype.size_bytes net.Cgsim.Serialized.dtype in
           let thunked = thunk_applies inst in
           let port = port_key inst port_idx in
+          let ev = Aie.Trace.Port_write { port; bytes; transport; thunked } in
           {
             w with
             Cgsim.Port.w_put =
               (fun v ->
                 w.Cgsim.Port.w_put v;
-                Aie.Trace.emit (Aie.Trace.Port_write { port; bytes; transport; thunked }));
+                Aie.Trace.emit ev);
+            Cgsim.Port.w_put_block =
+              (fun vs ->
+                w.Cgsim.Port.w_put_block vs;
+                for _ = 1 to Array.length vs do
+                  Aie.Trace.emit ev
+                done);
           });
       around_body = (fun _ body () -> body ());
     }

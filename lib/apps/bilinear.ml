@@ -82,10 +82,10 @@ let kernel =
       while true do
         Aie.Trace.mark_iteration ();
         Aie.Trace.with_pipelined_loop ~trip:groups_per_block (fun _g ->
-            let quads = Array.init group (fun _ -> quad_of_value (Cgsim.Port.get input)) in
+            let quads = Array.map quad_of_value (Cgsim.Port.get_window input group) in
             let out = blend_group quads in
             Aie.Intrinsics.scalar_op ~count:2 "addr";
-            Array.iter (fun v -> Cgsim.Port.put_int output v) out)
+            Cgsim.Port.put_window output (Array.map (fun v -> Cgsim.Value.Int v) out))
       done)
 
 let () = Cgsim.Registry.register kernel

@@ -54,6 +54,10 @@ let stage1 =
                 coeffs
             in
             Aie.Intrinsics.scalar_op ~count:2 "addr";
+            (* Deliberately NOT block writes: stage2 drains c01/c23
+               interleaved per sample, and with default stream depths a
+               whole-group burst on one port before the other would
+               overrun the in-flight buffering and deadlock. *)
             for s = 0 to group - 1 do
               Cgsim.Port.put c01 (pair c.(0).(s) c.(1).(s));
               Cgsim.Port.put c23 (pair c.(2).(s) c.(3).(s))
@@ -104,7 +108,7 @@ let stage2 =
             done;
             let y = Aie.Intrinsics.srs16 ~shift:0 !acc in
             Aie.Intrinsics.scalar_op ~count:2 "addr";
-            Array.iter (fun s -> Cgsim.Port.put_int output s) y)
+            Cgsim.Port.put_window output (Array.map (fun s -> Cgsim.Value.Int s) y))
       done)
 
 let () =

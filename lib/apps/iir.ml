@@ -70,7 +70,7 @@ let kernel =
                 Aie.Intrinsics.store_f32 buf (g * group) y))
           matrices;
         Aie.Intrinsics.scalar_op ~count:4 "win_ctl";
-        Array.iter (fun v -> Cgsim.Port.put_f32 output v) buf
+        Cgsim.Port.put_window output (Array.map (fun f -> Cgsim.Value.Float f) buf)
       done)
 
 let () = Cgsim.Registry.register kernel

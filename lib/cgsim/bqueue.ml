@@ -3,7 +3,9 @@ type t = {
   q_dtype : Dtype.t;
   q_cap : int;
   buf : Value.t array;
+  check : Value.t -> bool;  (* validator compiled once from q_dtype *)
   mutable head : int;  (* sequence number of the next write *)
+  mutable retired : int;  (* cached min consumer cursor; see [min_cursor] *)
   mutable consumers : consumer list;
   mutable producers_open : int;
   mutable producers_total : int;
@@ -37,7 +39,9 @@ let create ~name ~dtype ~capacity () =
     q_dtype = dtype;
     q_cap = capacity;
     buf = Array.make capacity (Value.Int 0);
+    check = Value.compile_check dtype;
     head = 0;
+    retired = 0;
     consumers = [];
     producers_open = 0;
     producers_total = 0;
@@ -63,6 +67,9 @@ let add_consumer q =
      completeness is defined from attachment onward.  The runtime attaches
      all consumers before execution, so in practice cursor = 0. *)
   let c = { c_queue = q; cursor = q.head } in
+  (match q.consumers with
+   | [] -> q.retired <- q.head  (* first consumer pins the retirement point *)
+   | _ :: _ -> ()  (* cursor = head >= retired: the cached minimum stands *));
   q.consumers <- c :: q.consumers;
   c
 
@@ -75,21 +82,49 @@ let add_producer q =
 
 (* Retirement point: the slowest consumer's cursor.  With no consumers the
    queue acts as a sink and retires immediately (broadcast to zero
-   endpoints), mirroring cgsim's behaviour for dangling nets. *)
+   endpoints), mirroring cgsim's behaviour for dangling nets.
+
+   Invariant: with consumers attached, [q.retired] equals the minimum
+   cursor at all times.  It is re-folded only when the consumer that sat
+   at the retirement point advances ([note_retire]); every other get
+   leaves the minimum — and therefore the cache — untouched, so the
+   common put/get/blocked-spin paths read one field instead of folding
+   the consumer list. *)
 let min_cursor q =
+  match q.consumers with
+  | [] -> q.head
+  | _ :: _ -> q.retired
+
+let fold_min_cursor q =
   match q.consumers with
   | [] -> q.head
   | c :: rest -> List.fold_left (fun acc c -> min acc c.cursor) c.cursor rest
 
 let wake_all_put q =
-  let ws = q.put_waiters in
-  q.put_waiters <- [];
-  List.iter Sched.wake ws
+  match q.put_waiters with
+  | [] -> ()
+  | ws ->
+    q.put_waiters <- [];
+    Sched.wake_batch ws
 
 let wake_all_get q =
-  let ws = q.get_waiters in
-  q.get_waiters <- [];
-  List.iter Sched.wake ws
+  match q.get_waiters with
+  | [] -> ()
+  | ws ->
+    q.get_waiters <- [];
+    Sched.wake_batch ws
+
+(* A consumer advanced from [old_cursor].  Only when it held the
+   retirement point can the minimum move; and only when space was
+   actually freed — and producers are waiting for it — are they woken. *)
+let note_retire q old_cursor =
+  if old_cursor = q.retired && q.consumers <> [] then begin
+    let m = fold_min_cursor q in
+    if m > q.retired then begin
+      q.retired <- m;
+      wake_all_put q
+    end
+  end
 
 let close q =
   if not q.closed then begin
@@ -124,6 +159,42 @@ let note_get q =
     in
     Obs.Trace.high_water q.k_retire (float_of_int (mx - mn))
 
+(* Park until the queue has space, attributing the blocked time to the
+   queue and the calling fiber when a trace session is active. *)
+let wait_for_space q =
+  let spin () =
+    while q.head - min_cursor q >= q.q_cap do
+      Sched.park (fun w -> q.put_waiters <- w :: q.put_waiters)
+    done
+  in
+  if !Obs.Trace.on then begin
+    let track = Sched.current_name () in
+    let t0 = Obs.Trace.now_ns () in
+    spin ();
+    let dt = Obs.Trace.now_ns () -. t0 in
+    Obs.Trace.span ~track ~cat:"queue" ~name:q.k_bput ~ts_ns:t0 ~dur_ns:dt ();
+    Obs.Trace.observe_ns q.k_bput dt
+  end
+  else spin ()
+
+(* Park until data is available for [c] (or the queue closes). *)
+let wait_for_data c =
+  let q = c.c_queue in
+  let spin () =
+    while c.cursor >= q.head && not q.closed do
+      Sched.park (fun w -> q.get_waiters <- w :: q.get_waiters)
+    done
+  in
+  if !Obs.Trace.on then begin
+    let track = Sched.current_name () in
+    let t0 = Obs.Trace.now_ns () in
+    spin ();
+    let dt = Obs.Trace.now_ns () -. t0 in
+    Obs.Trace.span ~track ~cat:"queue" ~name:q.k_bget ~ts_ns:t0 ~dur_ns:dt ();
+    Obs.Trace.observe_ns q.k_bget dt
+  end
+  else spin ()
+
 let store q v =
   q.buf.(q.head mod q.q_cap) <- v;
   q.head <- q.head + 1;
@@ -131,66 +202,115 @@ let store q v =
   if !Obs.Trace.on then note_put q;
   wake_all_get q
 
-let rec put p v =
+let put p v =
   let q = p.p_queue in
   if not p.open_ then invalid_arg ("cgsim: put on finished producer of " ^ q.q_name);
-  Value.check ~net:q.q_name q.q_dtype v;
-  if q.head - min_cursor q >= q.q_cap then
-    if !Obs.Trace.on then blocked_put p v
-    else begin
-      Sched.park (fun w -> q.put_waiters <- w :: q.put_waiters);
-      put p v
-    end
-  else store q v
-
-and blocked_put p v =
-  let q = p.p_queue in
-  let track = Sched.current_name () in
-  let t0 = Obs.Trace.now_ns () in
-  while q.head - min_cursor q >= q.q_cap do
-    Sched.park (fun w -> q.put_waiters <- w :: q.put_waiters)
-  done;
-  let dt = Obs.Trace.now_ns () -. t0 in
-  Obs.Trace.span ~track ~cat:"queue" ~name:q.k_bput ~ts_ns:t0 ~dur_ns:dt ();
-  Obs.Trace.observe_ns q.k_bput dt;
+  if not (q.check v) then Value.check ~net:q.q_name q.q_dtype v;
+  if q.head - min_cursor q >= q.q_cap then wait_for_space q;
   store q v
 
-let rec get c =
+let get c =
   let q = c.c_queue in
-  if c.cursor < q.head then begin
-    let v = q.buf.(c.cursor mod q.q_cap) in
-    c.cursor <- c.cursor + 1;
-    if !Obs.Trace.on then note_get q;
-    (* Advancing the slowest consumer may free space for producers. *)
-    wake_all_put q;
-    v
-  end
-  else if q.closed then raise Sched.End_of_stream
-  else if !Obs.Trace.on then blocked_get c
-  else begin
-    Sched.park (fun w -> q.get_waiters <- w :: q.get_waiters);
-    get c
-  end
+  if c.cursor >= q.head then begin
+    if q.closed then raise Sched.End_of_stream;
+    wait_for_data c;
+    if c.cursor >= q.head then raise Sched.End_of_stream (* closed while parked *)
+  end;
+  let v = q.buf.(c.cursor mod q.q_cap) in
+  let old = c.cursor in
+  c.cursor <- old + 1;
+  if !Obs.Trace.on then note_get q;
+  (* Advancing the slowest consumer may free space for producers. *)
+  note_retire q old;
+  v
 
-and blocked_get c =
+(* ------------------------------------------------------------------ *)
+(* Block transfers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The block fast path moves contiguous ring slices: each chunk is at
+   most two [Array.blit]s (the slice up to the ring wrap point plus the
+   remainder), the dtype is validated by the precompiled [q.check], and
+   waiters are woken once per stored/retired chunk instead of once per
+   element.  Blocks larger than the queue capacity stream through in
+   capacity-sized chunks, interleaving with the consumers/producers. *)
+
+let blit_in q src off len =
+  let idx = q.head mod q.q_cap in
+  let first = min len (q.q_cap - idx) in
+  Array.blit src off q.buf idx first;
+  if len > first then Array.blit src (off + first) q.buf 0 (len - first);
+  q.head <- q.head + len;
+  q.total_put <- q.total_put + len
+
+let blit_out c dst off len =
   let q = c.c_queue in
-  let track = Sched.current_name () in
-  let t0 = Obs.Trace.now_ns () in
-  while c.cursor >= q.head && not q.closed do
-    Sched.park (fun w -> q.get_waiters <- w :: q.get_waiters)
+  let idx = c.cursor mod q.q_cap in
+  let first = min len (q.q_cap - idx) in
+  Array.blit q.buf idx dst off first;
+  if len > first then Array.blit q.buf 0 dst (off + first) (len - first)
+
+let put_block p vs =
+  let q = p.p_queue in
+  if not p.open_ then invalid_arg ("cgsim: put on finished producer of " ^ q.q_name);
+  let n = Array.length vs in
+  for i = 0 to n - 1 do
+    if not (q.check vs.(i)) then Value.check ~net:q.q_name q.q_dtype vs.(i)
   done;
-  let dt = Obs.Trace.now_ns () -. t0 in
-  Obs.Trace.span ~track ~cat:"queue" ~name:q.k_bget ~ts_ns:t0 ~dur_ns:dt ();
-  Obs.Trace.observe_ns q.k_bget dt;
-  (* Either data is available or the queue closed while parked; the
-     non-blocking path of [get] resolves both. *)
-  get c
+  let off = ref 0 in
+  while !off < n do
+    let space = q.q_cap - (q.head - min_cursor q) in
+    if space > 0 then begin
+      let len = min space (n - !off) in
+      blit_in q vs !off len;
+      off := !off + len;
+      if !Obs.Trace.on then note_put q;
+      wake_all_get q
+    end
+    else wait_for_space q
+  done
 
 let get_block c n =
   if n < 0 then invalid_arg "cgsim: get_block with negative count";
-  Array.init n (fun _ -> get c)
+  let q = c.c_queue in
+  let out = Array.make n (Value.Int 0) in
+  let filled = ref 0 in
+  while !filled < n do
+    let avail = q.head - c.cursor in
+    if avail > 0 then begin
+      let len = min avail (n - !filled) in
+      blit_out c out !filled len;
+      let old = c.cursor in
+      c.cursor <- old + len;
+      filled := !filled + len;
+      if !Obs.Trace.on then note_get q;
+      note_retire q old
+    end
+    else if q.closed then raise Sched.End_of_stream
+    else wait_for_data c
+  done;
+  out
 
-let put_block p vs = Array.iter (put p) vs
+let get_some c ~max =
+  if max <= 0 then invalid_arg "cgsim: get_some needs a positive bound";
+  let q = c.c_queue in
+  let rec avail () =
+    let a = q.head - c.cursor in
+    if a > 0 then a
+    else if q.closed then raise Sched.End_of_stream
+    else begin
+      wait_for_data c;
+      avail ()
+    end
+  in
+  let len = min (avail ()) max in
+  let out = Array.make len (Value.Int 0) in
+  blit_out c out 0 len;
+  let old = c.cursor in
+  c.cursor <- old + len;
+  if !Obs.Trace.on then note_get q;
+  note_retire q old;
+  out
 
 let peek c =
   let q = c.c_queue in

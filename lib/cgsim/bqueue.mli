@@ -44,11 +44,30 @@ val put : producer -> Value.t -> unit
     this consumer has drained it. *)
 val get : consumer -> Value.t
 
-(** [get_block c n] reads [n] consecutive elements (window transfer). *)
+(** {1 Block transfers}
+
+    The block fast path: contiguous ring slices move with at most two
+    [Array.blit]s per chunk, dtype validation uses the queue's
+    precompiled checker ({!Value.compile_check}), and waiters are woken
+    once per chunk rather than once per element.  Blocks larger than the
+    queue capacity stream through in capacity-sized chunks.  Blocking and
+    {!Sched.End_of_stream} behaviour match a loop of the scalar calls. *)
+
+(** [get_block c n] reads exactly [n] consecutive elements (window
+    transfer); parks until all [n] arrive.  Raises
+    {!Sched.End_of_stream} if the queue closes before the block is
+    complete (elements already consumed stay consumed, as with a scalar
+    read loop). *)
 val get_block : consumer -> int -> Value.t array
 
 (** [put_block p vs] appends all of [vs] in order. *)
 val put_block : producer -> Value.t array -> unit
+
+(** [get_some c ~max] reads between 1 and [max] immediately-available
+    consecutive elements, parking only while the queue is empty — the
+    natural drain loop for sinks.  Raises {!Sched.End_of_stream} when
+    closed and drained. *)
+val get_some : consumer -> max:int -> Value.t array
 
 (** Non-blocking probe: [Some v] without consuming, [None] when empty.
     Raises {!Sched.End_of_stream} when closed and drained. *)

@@ -1,26 +1,50 @@
 type source = {
   src_name : string;
   make_pull : unit -> unit -> Value.t option;
+  make_pull_block : unit -> int -> Value.t array;
+      (* Returns at most [n] elements; [||] means exhausted.  Independent
+         iterator from [make_pull]: a run uses one or the other. *)
   length : int option;
 }
 
 type sink = {
   snk_name : string;
   push : Value.t -> unit;
+  push_block : Value.t array -> unit;
 }
 
+(* Derive a block pull from a scalar pull (element loop, same stream). *)
+let block_of_pull make_pull () =
+  let pull = make_pull () in
+  fun n ->
+    let acc = ref [] in
+    let taken = ref 0 in
+    let continue = ref true in
+    while !continue && !taken < n do
+      match pull () with
+      | Some v ->
+        acc := v :: !acc;
+        incr taken
+      | None -> continue := false
+    done;
+    let out = Array.make !taken (Value.Int 0) in
+    List.iteri (fun i v -> out.(!taken - 1 - i) <- v) !acc;
+    out
+
 let of_list values =
+  let make_pull () =
+    let rest = ref values in
+    fun () ->
+      match !rest with
+      | [] -> None
+      | v :: tl ->
+        rest := tl;
+        Some v
+  in
   {
     src_name = "list-source";
-    make_pull =
-      (fun () ->
-        let rest = ref values in
-        fun () ->
-          match !rest with
-          | [] -> None
-          | v :: tl ->
-            rest := tl;
-            Some v);
+    make_pull;
+    make_pull_block = block_of_pull make_pull;
     length = Some (List.length values);
   }
 
@@ -37,6 +61,19 @@ let of_array values =
             incr i;
             Some v
           end);
+    (* Array-backed sources hand out [Array.sub] slices directly: the
+       whole chunk is one copy, feeding [Bqueue.put_block]'s blit path. *)
+    make_pull_block =
+      (fun () ->
+        let i = ref 0 in
+        fun n ->
+          let len = min n (Array.length values - !i) in
+          if len <= 0 then [||]
+          else begin
+            let slice = Array.sub values !i len in
+            i := !i + len;
+            slice
+          end);
     length = Some (Array.length values);
   }
 
@@ -52,12 +89,12 @@ let repeat n values =
   if n < 0 then invalid_arg "cgsim: Io.repeat with negative count";
   let len = List.length values in
   let arr = Array.of_list values in
+  let total = n * len in
   {
     src_name = Printf.sprintf "repeat%d-source" n;
     make_pull =
       (fun () ->
         let produced = ref 0 in
-        let total = n * len in
         fun () ->
           if !produced >= total then None
           else begin
@@ -65,23 +102,42 @@ let repeat n values =
             incr produced;
             Some v
           end);
-    length = Some (n * len);
+    make_pull_block =
+      (fun () ->
+        let produced = ref 0 in
+        fun want ->
+          let take = min want (total - !produced) in
+          if take <= 0 then [||]
+          else begin
+            let out = Array.init take (fun k -> arr.((!produced + k) mod len)) in
+            produced := !produced + take;
+            out
+          end);
+    length = Some total;
   }
 
-let of_fun f = { src_name = "fun-source"; make_pull = (fun () -> f); length = None }
+let of_fun f =
+  {
+    src_name = "fun-source";
+    make_pull = (fun () -> f);
+    make_pull_block = block_of_pull (fun () -> f);
+    length = None;
+  }
 
 let rtp v =
+  let make_pull () =
+    let sent = ref false in
+    fun () ->
+      if !sent then None
+      else begin
+        sent := true;
+        Some v
+      end
+  in
   {
     src_name = "rtp-source";
-    make_pull =
-      (fun () ->
-        let sent = ref false in
-        fun () ->
-          if !sent then None
-          else begin
-            sent := true;
-            Some v
-          end);
+    make_pull;
+    make_pull_block = block_of_pull make_pull;
     length = Some 1;
   }
 
@@ -89,9 +145,15 @@ let source_name s = s.src_name
 
 let with_source_name name s = { s with src_name = name }
 
+let sink_of_push name push = { snk_name = name; push; push_block = Array.iter push }
+
 let buffer () =
   let acc = ref [] in
-  ( { snk_name = "buffer-sink"; push = (fun v -> acc := v :: !acc) },
+  ( {
+      snk_name = "buffer-sink";
+      push = (fun v -> acc := v :: !acc);
+      push_block = (fun vs -> Array.iter (fun v -> acc := v :: !acc) vs);
+    },
     fun () -> List.rev !acc )
 
 let f32_buffer () =
@@ -106,16 +168,21 @@ let int_buffer () =
 
 let counter () =
   let n = ref 0 in
-  { snk_name = "counter-sink"; push = (fun _ -> incr n) }, fun () -> !n
+  ( {
+      snk_name = "counter-sink";
+      push = (fun _ -> incr n);
+      push_block = (fun vs -> n := !n + Array.length vs);
+    },
+    fun () -> !n )
 
 let rtp_sink () =
   let cell = ref None in
-  ( { snk_name = "rtp-sink"; push = (fun v -> cell := Some v) },
+  ( sink_of_push "rtp-sink" (fun v -> cell := Some v),
     fun () -> !cell )
 
-let null () = { snk_name = "null-sink"; push = ignore }
+let null () = { snk_name = "null-sink"; push = ignore; push_block = ignore }
 
-let of_consumer push = { snk_name = "consumer-sink"; push }
+let of_consumer push = sink_of_push "consumer-sink" push
 
 let sink_name s = s.snk_name
 
@@ -123,6 +190,10 @@ let with_sink_name name s = { s with snk_name = name }
 
 let source_pull s = s.make_pull ()
 
+let source_pull_block s = s.make_pull_block ()
+
 let source_length s = s.length
 
 let sink_push s v = s.push v
+
+let sink_push_block s vs = s.push_block vs

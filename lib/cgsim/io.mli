@@ -68,7 +68,17 @@ val with_sink_name : string -> sink -> sink
     Sources are restartable: each call restarts from the beginning. *)
 val source_pull : source -> unit -> Value.t option
 
+(** [source_pull_block s] returns a fresh block-pull function: [pull n]
+    yields at most [n] elements, [[||]] once exhausted.  Array-backed
+    sources serve [Array.sub] slices (one copy per chunk); others fall
+    back to an element loop.  Independent iterator from {!source_pull} —
+    a run drives one or the other, never both. *)
+val source_pull_block : source -> int -> Value.t array
+
 (** Elements the source will produce, when statically known. *)
 val source_length : source -> int option
 
 val sink_push : sink -> Value.t -> unit
+
+(** Push a whole block; equivalent to pushing each element in order. *)
+val sink_push_block : sink -> Value.t array -> unit

@@ -4,21 +4,29 @@ type reader = {
   r_get : unit -> Value.t;
   r_peek : unit -> Value.t option;
   r_available : unit -> int;
+  r_get_block : int -> Value.t array;
 }
 
 type writer = {
   w_name : string;
   w_dtype : Dtype.t;
   w_put : Value.t -> unit;
+  w_put_block : Value.t array -> unit;
 }
 
 let get r = r.r_get ()
 
 let put w v = w.w_put v
 
-let get_window r n = Array.init n (fun _ -> get r)
+let get_window r n = r.r_get_block n
 
-let put_window w vs = Array.iter (put w) vs
+let put_window w vs = w.w_put_block vs
+
+(* Fallback block accessors for bindings whose transport has no native
+   block operation (element loops, semantically identical). *)
+let block_get_of_get get n = Array.init n (fun _ -> get ())
+
+let block_put_of_put put vs = Array.iter put vs
 
 let get_f32 r = Value.to_float (get r)
 

@@ -17,22 +17,34 @@ type reader = {
   r_get : unit -> Value.t;  (** May suspend; raises {!Sched.End_of_stream}. *)
   r_peek : unit -> Value.t option;
   r_available : unit -> int;
+  r_get_block : int -> Value.t array;
+      (** Block read: equivalent to [n] calls of [r_get] but routed
+          through the transport's block fast path when it has one. *)
 }
 
 type writer = {
   w_name : string;
   w_dtype : Dtype.t;
   w_put : Value.t -> unit;  (** May suspend. *)
+  w_put_block : Value.t array -> unit;  (** Block write, cf. [r_get_block]. *)
 }
 
 val get : reader -> Value.t
 val put : writer -> Value.t -> unit
 
 (** Window (block) transfers, used by buffer-port kernels such as the IIR
-    example.  [get_window r n] reads [n] elements. *)
+    example.  [get_window r n] reads [n] elements through the binding's
+    block path (one queue transaction per chunk rather than per element). *)
 val get_window : reader -> int -> Value.t array
 
 val put_window : writer -> Value.t array -> unit
+
+(** Derive block accessors from scalar ones, for bindings whose transport
+    has no native block operation.  Semantically identical to an element
+    loop. *)
+val block_get_of_get : (unit -> Value.t) -> int -> Value.t array
+
+val block_put_of_put : (Value.t -> unit) -> Value.t array -> unit
 
 (** {1 Scalar conveniences} *)
 

@@ -39,6 +39,12 @@ let obs_hooks () =
               let v = r.Port.r_get () in
               Obs.Trace.incr_metric key;
               v);
+          Port.r_get_block =
+            (fun n ->
+              let vs = r.Port.r_get_block n in
+              (* One metric update per block, same totals as per-element. *)
+              Obs.Trace.add_metric key (float_of_int (Array.length vs));
+              vs);
         });
     wrap_writer =
       (fun _inst _idx w ->
@@ -49,6 +55,10 @@ let obs_hooks () =
             (fun v ->
               w.Port.w_put v;
               Obs.Trace.incr_metric key);
+          Port.w_put_block =
+            (fun vs ->
+              w.Port.w_put_block vs;
+              Obs.Trace.add_metric key (float_of_int (Array.length vs)));
         });
     around_body =
       (fun inst body () ->
@@ -68,6 +78,7 @@ type t = {
   graph : Serialized.t;
   sched : Sched.t;
   queues : Bqueue.t array;  (* indexed by net id *)
+  block_io : bool;
   mutable ran : bool;
 }
 
@@ -75,7 +86,11 @@ let graph t = t.graph
 
 let net_traffic t = Array.map Bqueue.total_put t.queues
 
-let instantiate ?(hooks = no_hooks) ?queue_capacity (g : Serialized.t) =
+(* I/O fibers move data in chunks of this many elements at most; bounded
+   by the queue capacity so a chunk is at most one full ring. *)
+let io_chunk q = max 1 (min (Bqueue.capacity q) 1024)
+
+let instantiate ?(hooks = no_hooks) ?queue_capacity ?(block_io = true) (g : Serialized.t) =
   let hooks = if !Obs.Trace.on then compose_hooks hooks (obs_hooks ()) else hooks in
   (match Serialized.validate g with
    | Ok () -> ()
@@ -96,7 +111,7 @@ let instantiate ?(hooks = no_hooks) ?queue_capacity (g : Serialized.t) =
           ~dtype:n.dtype ~capacity ())
       g.Serialized.nets
   in
-  let t = { graph = g; sched; queues; ran = false } in
+  let t = { graph = g; sched; queues; block_io; ran = false } in
   (* Wire every kernel instance.  Endpoint registration happens here, up
      front, so broadcast completeness holds from the first element. *)
   Array.iteri
@@ -124,6 +139,9 @@ let instantiate ?(hooks = no_hooks) ?queue_capacity (g : Serialized.t) =
                 r_get = (fun () -> Bqueue.get c);
                 r_peek = (fun () -> Bqueue.peek c);
                 r_available = (fun () -> Bqueue.available c);
+                r_get_block =
+                  (if block_io then fun n -> Bqueue.get_block c n
+                   else Port.block_get_of_get (fun () -> Bqueue.get c));
               }
             in
             readers := hooks.wrap_reader inst port_idx r :: !readers
@@ -135,6 +153,9 @@ let instantiate ?(hooks = no_hooks) ?queue_capacity (g : Serialized.t) =
                 Port.w_name = Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname;
                 w_dtype = spec.Kernel.dtype;
                 w_put = (fun v -> Bqueue.put p v);
+                w_put_block =
+                  (if block_io then Bqueue.put_block p
+                   else Port.block_put_of_put (fun v -> Bqueue.put p v));
               }
             in
             writers := hooks.wrap_writer inst port_idx w :: !writers)
@@ -161,30 +182,59 @@ let instantiate ?(hooks = no_hooks) ?queue_capacity (g : Serialized.t) =
 let attach_source t net_id source =
   let q = t.queues.(net_id) in
   let p = Bqueue.add_producer q in
-  let pull = Io.source_pull source in
+  let body =
+    if t.block_io then begin
+      let pull_block = Io.source_pull_block source in
+      let chunk = io_chunk q in
+      fun () ->
+        let rec loop () =
+          let vs = pull_block chunk in
+          if Array.length vs > 0 then begin
+            Bqueue.put_block p vs;
+            loop ()
+          end
+        in
+        loop ()
+    end
+    else begin
+      let pull = Io.source_pull source in
+      fun () ->
+        let rec loop () =
+          match pull () with
+          | Some v ->
+            Bqueue.put p v;
+            loop ()
+          | None -> ()
+        in
+        loop ()
+    end
+  in
   Sched.spawn t.sched ~name:(Io.source_name source) (fun () ->
-      Fun.protect
-        ~finally:(fun () -> Bqueue.producer_done p)
-        (fun () ->
-          let rec loop () =
-            match pull () with
-            | Some v ->
-              Bqueue.put p v;
-              loop ()
-            | None -> ()
-          in
-          loop ()))
+      Fun.protect ~finally:(fun () -> Bqueue.producer_done p) body)
 
 let attach_sink t net_id sink =
   let q = t.queues.(net_id) in
   let c = Bqueue.add_consumer q in
-  Sched.spawn t.sched ~name:(Io.sink_name sink) (fun () ->
+  let body =
+    if t.block_io then begin
+      let chunk = io_chunk q in
+      fun () ->
+        let rec loop () =
+          let vs = Bqueue.get_some c ~max:chunk in
+          Io.sink_push_block sink vs;
+          loop ()
+        in
+        loop ()
+    end
+    else fun () ->
       let rec loop () =
         let v = Bqueue.get c in
         Io.sink_push sink v;
         loop ()
       in
-      loop ())
+      loop ()
+  in
+  Sched.spawn t.sched ~name:(Io.sink_name sink) body
 
 let run t ~sources ~sinks =
   if t.ran then fail "runtime context for %s is single-shot; instantiate again" t.graph.gname;
@@ -206,6 +256,6 @@ let run t ~sources ~sinks =
      fail "kernel fiber %s failed: %s" name (Printexc.to_string exn));
   stats
 
-let execute ?hooks ?queue_capacity g ~sources ~sinks =
-  let t = instantiate ?hooks ?queue_capacity g in
+let execute ?hooks ?queue_capacity ?block_io g ~sources ~sinks =
+  let t = instantiate ?hooks ?queue_capacity ?block_io g in
   run t ~sources ~sinks

@@ -39,10 +39,14 @@ val obs_hooks : unit -> wrap_hooks
 
 (** [instantiate g] reconstructs the graph.  Queue capacities derive from
     each net's resolved settings unless [queue_capacity] overrides them
-    all.  Raises {!Runtime_error} when a kernel key is missing from the
-    registry or the serialized form is invalid. *)
+    all.  [block_io] (default [true]) selects the block-transfer fast
+    path for kernel ports and I/O fibers; with [~block_io:false] every
+    block access degrades to a per-element loop — semantically identical,
+    useful as an equivalence baseline.  Raises {!Runtime_error} when a
+    kernel key is missing from the registry or the serialized form is
+    invalid. *)
 val instantiate :
-  ?hooks:wrap_hooks -> ?queue_capacity:int -> Serialized.t -> t
+  ?hooks:wrap_hooks -> ?queue_capacity:int -> ?block_io:bool -> Serialized.t -> t
 
 (** [run t ~sources ~sinks] attaches positional sources to the graph's
     global inputs and sinks to its global outputs (counts must match;
@@ -55,6 +59,7 @@ val run : t -> sources:Io.source list -> sinks:Io.sink list -> Sched.stats
 val execute :
   ?hooks:wrap_hooks ->
   ?queue_capacity:int ->
+  ?block_io:bool ->
   Serialized.t ->
   sources:Io.source list ->
   sinks:Io.sink list ->

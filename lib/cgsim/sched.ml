@@ -33,6 +33,7 @@ and t = {
   mutable slices : int;
   mutable kernel_ns : float;
   mutable in_run : bool;
+  mutable n_parked : int;  (* tasks currently in [Parked _] *)
 }
 
 type stats = {
@@ -65,6 +66,7 @@ let create () =
     slices = 0;
     kernel_ns = 0.0;
     in_run = false;
+    n_parked = 0;
   }
 
 type _ Effect.t +=
@@ -106,6 +108,7 @@ let wake w =
   match task.state with
   | Parked k when task.gen = w.w_gen ->
     task.state <- Ready k;
+    w.w_sched.n_parked <- w.w_sched.n_parked - 1;
     if !Obs.Trace.on then begin
       Obs.Trace.instant ~track:task.name ~cat:"sched" "wake";
       Obs.Trace.incr_metric "sched.wakes"
@@ -113,12 +116,36 @@ let wake w =
     Queue.push task w.w_sched.ready
   | Parked _ | Initial _ | Running | Ready _ | Finished -> ()
 
+(* Batched wake: one pass over the waiter list and a single metric update,
+   instead of re-entering the per-waker bookkeeping for every entry.
+   Stale wakers (task re-parked under a newer generation, already ready,
+   or finished) are skipped exactly as in [wake]. *)
+let wake_batch ws =
+  let traced = !Obs.Trace.on in
+  let woken = ref 0 in
+  List.iter
+    (fun w ->
+      let task = w.w_task in
+      match task.state with
+      | Parked k when task.gen = w.w_gen ->
+        task.state <- Ready k;
+        w.w_sched.n_parked <- w.w_sched.n_parked - 1;
+        incr woken;
+        if traced then Obs.Trace.instant ~track:task.name ~cat:"sched" "wake";
+        Queue.push task w.w_sched.ready
+      | Parked _ | Initial _ | Running | Ready _ | Finished -> ())
+    ws;
+  if traced && !woken > 0 then Obs.Trace.add_metric "sched.wakes" (float_of_int !woken)
+
 let parked_tasks (t : t) =
   List.filter
     (fun task -> match task.state with Parked _ -> true | _ -> false)
     (List.rev t.tasks)
 
-let parked_count t = List.length (parked_tasks t)
+(* O(1): maintained at every park/wake/cancel transition; the scheduling
+   loop consults this on each idle check, so a fold over all tasks there
+   would be O(tasks) per drained ready-queue. *)
+let parked_count t = t.n_parked
 
 let parked_names t = List.map (fun task -> task.name) (parked_tasks t)
 
@@ -148,6 +175,7 @@ let fiber_handler (t : t) (task : task) : (unit, unit) handler =
             (fun (k : (a, unit) continuation) ->
               task.gen <- task.gen + 1;
               task.state <- Parked k;
+              t.n_parked <- t.n_parked + 1;
               if !Obs.Trace.on then begin
                 Obs.Trace.instant ~track:task.name ~cat:"sched" "park";
                 Obs.Trace.incr_metric "sched.parks"
@@ -200,6 +228,7 @@ let cancel_parked t =
       match task.state with
       | Parked k ->
         task.state <- Running;
+        t.n_parked <- t.n_parked - 1;
         let saved = !current in
         current := Some (t, task);
         (* discontinue runs under the handler captured at fiber start *)

@@ -74,5 +74,11 @@ val park : (waker -> unit) -> unit
 (** Wake a parked fiber.  Safe to call on stale or duplicate wakers. *)
 val wake : waker -> unit
 
+(** [wake_batch ws] wakes every valid waker in [ws] in one pass with a
+    single metrics update — the queue layer uses it to make wake cost
+    proportional to the number of waiters actually resumed rather than
+    re-entering per-waker bookkeeping.  Stale wakers are skipped. *)
+val wake_batch : waker list -> unit
+
 (** Name of the currently running fiber, for diagnostics. *)
 val current_name : unit -> string

@@ -9,10 +9,10 @@ let rec equal a b =
   | Float x, Float y -> Float.equal x y
   | Int x, Int y -> x = y
   | Vec x, Vec y ->
-    Array.length x = Array.length y
-    && (let ok = ref true in
-        Array.iteri (fun i xi -> if not (equal xi y.(i)) then ok := false) x;
-        !ok)
+    let n = Array.length x in
+    n = Array.length y
+    && (let rec scan i = i >= n || (equal x.(i) y.(i) && scan (i + 1)) in
+        scan 0)
   | Rec x, Rec y ->
     List.length x = List.length y
     && List.for_all2 (fun (nx, vx) (ny, vy) -> String.equal nx ny && equal vx vy) x y
@@ -65,6 +65,34 @@ let check ~net dtype v =
     invalid_arg
       (Printf.sprintf "cgsim: value %s does not conform to dtype %s on net %s"
          (to_string v) (Dtype.to_string dtype) net)
+
+(* Specialized validators: the dtype tree is interpreted once, here, and
+   the returned closure does only the per-value shape/range tests.  Queues
+   compile one validator at creation instead of re-walking the dtype on
+   every element (the dominant cost of [conforms] on scalar streams). *)
+let rec compile_check = function
+  | (Dtype.F32 | Dtype.F64) -> ( function Float _ -> true | Int _ | Vec _ | Rec _ -> false)
+  | Dtype.I64 -> ( function Int _ -> true | Float _ | Vec _ | Rec _ -> false)
+  | (Dtype.I8 | Dtype.I16 | Dtype.I32 | Dtype.U8 | Dtype.U16 | Dtype.U32) as d ->
+    (match int_range d with
+     | Some (lo, hi) ->
+       fun v -> ( match v with Int i -> i >= lo && i <= hi | Float _ | Vec _ | Rec _ -> false)
+     | None -> ( function Int _ -> true | Float _ | Vec _ | Rec _ -> false))
+  | Dtype.Vector (e, lanes) ->
+    let ce = compile_check e in
+    fun v ->
+      (match v with
+       | Vec a -> Array.length a = lanes && Array.for_all ce a
+       | Float _ | Int _ | Rec _ -> false)
+  | Dtype.Struct fields ->
+    let compiled = List.map (fun (fn, ft) -> fn, compile_check ft) fields in
+    let nfields = List.length fields in
+    fun v ->
+      (match v with
+       | Rec fvs ->
+         List.length fvs = nfields
+         && List.for_all2 (fun (fn, cf) (vn, vv) -> String.equal fn vn && cf vv) compiled fvs
+       | Float _ | Int _ | Vec _ -> false)
 
 let rec zero = function
   | Dtype.F32 | Dtype.F64 -> Float 0.0

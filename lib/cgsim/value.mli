@@ -28,6 +28,13 @@ val conforms : Dtype.t -> t -> bool
     message naming [net] when [v] does not conform to [dtype]. *)
 val check : net:string -> Dtype.t -> t -> unit
 
+(** [compile_check dtype] specializes {!conforms} for one dtype: the dtype
+    tree is interpreted once and the returned closure performs only the
+    per-value tests.  [compile_check d v = conforms d v] for every [v];
+    queues compile a validator at creation so hot-path writes avoid
+    re-walking the dtype. *)
+val compile_check : Dtype.t -> t -> bool
+
 (** Canonical zero element of a dtype (0 / 0.0 / zero-filled aggregates). *)
 val zero : Dtype.t -> t
 

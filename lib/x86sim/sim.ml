@@ -68,6 +68,7 @@ let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
                 r_get = (fun () -> Tqueue.get c);
                 r_peek = (fun () -> Tqueue.peek c);
                 r_available = (fun () -> Tqueue.available c);
+                r_get_block = (fun n -> Tqueue.get_block c n);
               }
               :: !readers
           | Cgsim.Kernel.Out ->
@@ -78,6 +79,7 @@ let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
                 Cgsim.Port.w_name = Printf.sprintf "%s.%s" inst.inst_name spec.Cgsim.Kernel.pname;
                 w_dtype = spec.Cgsim.Kernel.dtype;
                 w_put = (fun v -> Tqueue.put p v);
+                w_put_block = Tqueue.put_block p;
               }
               :: !writers)
         inst.ports;
@@ -103,18 +105,19 @@ let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
     (fun i src ->
       let q = queues.(g.input_order.(i)) in
       let p = Tqueue.add_producer q in
-      let pull = Cgsim.Io.source_pull src in
+      let pull_block = Cgsim.Io.source_pull_block src in
+      let chunk = max 1 (min (Tqueue.capacity q) 1024) in
       let body () =
         Fun.protect
           ~finally:(fun () -> Tqueue.producer_done p)
           (fun () ->
             try
               let rec loop () =
-                match pull () with
-                | Some v ->
-                  Tqueue.put p v;
+                let vs = pull_block chunk in
+                if Array.length vs > 0 then begin
+                  Tqueue.put_block p vs;
                   loop ()
-                | None -> ()
+                end
               in
               loop ()
             with exn -> record_failure (Cgsim.Io.source_name src) exn)
@@ -125,10 +128,11 @@ let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
     (fun i snk ->
       let q = queues.(g.output_order.(i)) in
       let c = Tqueue.add_consumer q in
+      let chunk = max 1 (min (Tqueue.capacity q) 1024) in
       let body () =
         try
           let rec loop () =
-            Cgsim.Io.sink_push snk (Tqueue.get c);
+            Cgsim.Io.sink_push_block snk (Tqueue.get_some c ~max:chunk);
             loop ()
           in
           loop ()

@@ -1,9 +1,12 @@
 type t = {
   q_name : string;
   q_dtype : Cgsim.Dtype.t;
+  check : Cgsim.Value.t -> bool;  (* compiled dtype validator *)
   cap : int;
   buf : Cgsim.Value.t array;
   mutable head : int;
+  mutable retired : int;
+      (* cached min consumer cursor; valid whenever [consumers <> []] *)
   mutable consumers : consumer list;
   mutable producers_open : int;
   mutable closed : bool;
@@ -30,9 +33,11 @@ let create ~name ~dtype ~capacity () =
   {
     q_name = name;
     q_dtype = dtype;
+    check = Cgsim.Value.compile_check dtype;
     cap = capacity;
     buf = Array.make capacity (Cgsim.Value.Int 0);
     head = 0;
+    retired = 0;
     consumers = [];
     producers_open = 0;
     closed = false;
@@ -51,6 +56,7 @@ let with_lock t f =
 let add_consumer q =
   with_lock q (fun () ->
       let c = { c_queue = q; cursor = q.head } in
+      if q.consumers = [] then q.retired <- q.head;
       q.consumers <- c :: q.consumers;
       c)
 
@@ -60,10 +66,28 @@ let add_producer q =
       q.producers_open <- q.producers_open + 1;
       { p_queue = q; open_ = true })
 
-let min_cursor q =
+let fold_min_cursor q =
   match q.consumers with
   | [] -> q.head
   | c :: rest -> List.fold_left (fun acc c -> min acc c.cursor) c.cursor rest
+
+let min_cursor q =
+  match q.consumers with
+  | [] -> q.head
+  | _ :: _ -> q.retired
+
+(* Call with the lock held after a consumer's cursor advanced from
+   [old_cursor].  The retirement point only moves when the advancing
+   consumer held it, so the O(consumers) refold is skipped otherwise —
+   and producers are woken only when the minimum actually moved. *)
+let note_retire q old_cursor =
+  if old_cursor = q.retired && q.consumers <> [] then begin
+    let m = fold_min_cursor q in
+    if m > q.retired then begin
+      q.retired <- m;
+      Condition.broadcast q.nonfull
+    end
+  end
 
 (* Measured condition wait: attributes blocked time both to the queue
    endpoint and to the calling OS thread (the per-thread lock-wait
@@ -92,7 +116,7 @@ let timed_wait ~key cond q predicate =
 let put p v =
   let q = p.p_queue in
   if not p.open_ then invalid_arg ("x86sim: put on finished producer of " ^ q.q_name);
-  Cgsim.Value.check ~net:q.q_name q.q_dtype v;
+  if not (q.check v) then Cgsim.Value.check ~net:q.q_name q.q_dtype v;
   with_lock q (fun () ->
       timed_wait ~key:q.k_wput q.nonfull q (fun () ->
           q.head - min_cursor q >= q.cap && not q.closed);
@@ -108,9 +132,90 @@ let get c =
       timed_wait ~key:q.k_wget q.nonempty q (fun () -> c.cursor >= q.head && not q.closed);
       if c.cursor < q.head then begin
         let v = q.buf.(c.cursor mod q.cap) in
-        c.cursor <- c.cursor + 1;
-        Condition.broadcast q.nonfull;
+        let old = c.cursor in
+        c.cursor <- old + 1;
+        note_retire q old;
         v
+      end
+      else raise Cgsim.Sched.End_of_stream)
+
+(* Ring-slice copies: at most two [Array.blit]s around the seam. *)
+let blit_in q src off len =
+  let pos = q.head mod q.cap in
+  let first = min len (q.cap - pos) in
+  Array.blit src off q.buf pos first;
+  if len > first then Array.blit src (off + first) q.buf 0 (len - first)
+
+let blit_out c dst off len =
+  let q = c.c_queue in
+  let pos = c.cursor mod q.cap in
+  let first = min len (q.cap - pos) in
+  Array.blit q.buf pos dst off first;
+  if len > first then Array.blit q.buf 0 dst (off + first) (len - first)
+
+let put_block p vs =
+  let q = p.p_queue in
+  if not p.open_ then invalid_arg ("x86sim: put on finished producer of " ^ q.q_name);
+  (* Validate the whole block before taking the lock. *)
+  Array.iter (fun v -> if not (q.check v) then Cgsim.Value.check ~net:q.q_name q.q_dtype v) vs;
+  let len = Array.length vs in
+  if len > 0 then
+    (* One lock acquisition for the whole block; [Condition.wait] releases
+       it while full, and consumers are woken once per stored chunk. *)
+    with_lock q (fun () ->
+        let off = ref 0 in
+        while !off < len do
+          timed_wait ~key:q.k_wput q.nonfull q (fun () ->
+              q.head - min_cursor q >= q.cap && not q.closed);
+          if q.closed then invalid_arg ("x86sim: put on closed queue " ^ q.q_name);
+          let space = q.cap - (q.head - min_cursor q) in
+          let chunk = min space (len - !off) in
+          blit_in q vs !off chunk;
+          q.head <- q.head + chunk;
+          q.total <- q.total + chunk;
+          off := !off + chunk;
+          Condition.broadcast q.nonempty
+        done)
+
+let get_block c n =
+  if n < 0 then invalid_arg "x86sim: get_block with negative count";
+  let q = c.c_queue in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (Cgsim.Value.Int 0) in
+    with_lock q (fun () ->
+        let filled = ref 0 in
+        while !filled < n do
+          timed_wait ~key:q.k_wget q.nonempty q (fun () -> c.cursor >= q.head && not q.closed);
+          if c.cursor < q.head then begin
+            let take = min (q.head - c.cursor) (n - !filled) in
+            blit_out c out !filled take;
+            let old = c.cursor in
+            c.cursor <- old + take;
+            filled := !filled + take;
+            note_retire q old
+          end
+          else
+            (* Closed and drained mid-block: consumed elements stay
+               consumed, exactly like the element loop. *)
+            raise Cgsim.Sched.End_of_stream
+        done);
+    out
+  end
+
+let get_some c ~max =
+  if max <= 0 then invalid_arg "x86sim: get_some needs a positive max";
+  let q = c.c_queue in
+  with_lock q (fun () ->
+      timed_wait ~key:q.k_wget q.nonempty q (fun () -> c.cursor >= q.head && not q.closed);
+      if c.cursor < q.head then begin
+        let take = min (q.head - c.cursor) max in
+        let out = Array.make take (Cgsim.Value.Int 0) in
+        blit_out c out 0 take;
+        let old = c.cursor in
+        c.cursor <- old + take;
+        note_retire q old;
+        out
       end
       else raise Cgsim.Sched.End_of_stream)
 
@@ -139,3 +244,5 @@ let producer_done p =
   end
 
 let total_put q = with_lock q (fun () -> q.total)
+
+let capacity q = q.cap

@@ -29,6 +29,27 @@ val get : consumer -> Cgsim.Value.t
 (** Blocks while empty; raises {!Cgsim.Sched.End_of_stream} when closed
     and drained. *)
 
+(** {1 Block transfers}
+
+    Semantically equivalent to element loops, but each call takes the
+    queue lock once for the whole block (condition waits release it while
+    blocked), moves contiguous ring slices with at most two array blits
+    per chunk, and wakes the other side once per stored/retired chunk. *)
+
+val put_block : producer -> Cgsim.Value.t array -> unit
+(** Store a whole block, chunking by available space; blocks larger than
+    the capacity stream through.  The block is validated up front. *)
+
+val get_block : consumer -> int -> Cgsim.Value.t array
+(** Read exactly [n] elements.  Raises {!Cgsim.Sched.End_of_stream} if
+    the queue closes mid-block (elements consumed so far stay consumed,
+    like the element loop). *)
+
+val get_some : consumer -> max:int -> Cgsim.Value.t array
+(** Read between 1 and [max] immediately-available elements, blocking
+    only while the queue is empty; raises {!Cgsim.Sched.End_of_stream}
+    when closed and drained.  The sink-drain primitive. *)
+
 val peek : consumer -> Cgsim.Value.t option
 
 val available : consumer -> int
@@ -36,3 +57,5 @@ val available : consumer -> int
 val producer_done : producer -> unit
 
 val total_put : t -> int
+
+val capacity : t -> int

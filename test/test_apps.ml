@@ -147,6 +147,28 @@ let test_x86sim_matches_cgsim () =
         Alcotest.failf "%s: cgsim and x86sim outputs differ" h.Apps.Harness.name)
     Apps.Harness.all
 
+(* The block fast path and the per-element fallback must be
+   indistinguishable from outside: bit-identical sink contents for
+   every app. *)
+let test_block_io_equivalence () =
+  List.iter
+    (fun (h : Apps.Harness.t) ->
+      let reps = 2 in
+      let run_with ~block_io =
+        let g = h.Apps.Harness.graph () in
+        let sinks, contents = h.Apps.Harness.make_sinks () in
+        ignore
+          (Cgsim.Runtime.execute ~block_io g ~sources:(h.Apps.Harness.sources ~reps) ~sinks);
+        contents ()
+      in
+      let blocked = run_with ~block_io:true in
+      let element = run_with ~block_io:false in
+      if List.length blocked <> List.length element then
+        Alcotest.failf "%s: block and element paths differ in length" h.Apps.Harness.name;
+      if not (List.for_all2 Cgsim.Value.equal blocked element) then
+        Alcotest.failf "%s: block and element paths differ" h.Apps.Harness.name)
+    Apps.Harness.all
+
 let () =
   Alcotest.run "apps"
     [
@@ -168,6 +190,7 @@ let () =
           Alcotest.test_case "farrow x2" `Quick (cgsim_case Apps.Harness.farrow 2);
           Alcotest.test_case "iir x2" `Quick (cgsim_case Apps.Harness.iir 2);
           Alcotest.test_case "bilinear x3" `Quick (cgsim_case Apps.Harness.bilinear 3);
+          Alcotest.test_case "block == element path" `Quick test_block_io_equivalence;
         ] );
       ( "x86sim-end-to-end",
         [

@@ -422,6 +422,230 @@ let prop_bqueue_broadcast_random =
       List.for_all (fun acc -> List.rev !acc = items) results)
 
 (* ------------------------------------------------------------------ *)
+(* Bqueue block transfers                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ints lo hi = Array.init (hi - lo + 1) (fun i -> Cgsim.Value.Int (lo + i))
+
+let test_bqueue_block_roundtrip () =
+  (* put_block / get_block move the same stream an element loop would. *)
+  let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:8 () in
+  let p = Cgsim.Bqueue.add_producer q in
+  let c = Cgsim.Bqueue.add_consumer q in
+  let got = ref [] in
+  let stats =
+    run_fibers
+      [
+        ( "producer",
+          fun () ->
+            Cgsim.Bqueue.put_block p (ints 1 40);
+            Cgsim.Bqueue.put_block p [||];
+            Cgsim.Bqueue.put_block p (ints 41 100);
+            Cgsim.Bqueue.producer_done p );
+        ( "consumer",
+          fun () ->
+            let rec loop () =
+              let vs = Cgsim.Bqueue.get_block c 10 in
+              Array.iter (fun v -> got := Cgsim.Value.to_int v :: !got) vs;
+              loop ()
+            in
+            loop () );
+      ]
+  in
+  Alcotest.(check int) "all fibers done" 2 stats.Cgsim.Sched.completed;
+  Alcotest.(check (list int)) "order" (List.init 100 (fun i -> i + 1)) (List.rev !got)
+
+let test_bqueue_block_broadcast_mixed () =
+  (* Broadcast with consumers at different cursors: one drains in blocks
+     of 7, one element-at-a-time; both must see identical complete
+     copies through a tiny ring. *)
+  let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:3 () in
+  let p = Cgsim.Bqueue.add_producer q in
+  let cb = Cgsim.Bqueue.add_consumer q in
+  let ce = Cgsim.Bqueue.add_consumer q in
+  let got_b = ref [] and got_e = ref [] in
+  let _ =
+    run_fibers
+      [
+        ( "producer",
+          fun () ->
+            Cgsim.Bqueue.put_block p (ints 1 70);
+            Cgsim.Bqueue.producer_done p );
+        ( "block-consumer",
+          fun () ->
+            let rec loop () =
+              Array.iter
+                (fun v -> got_b := Cgsim.Value.to_int v :: !got_b)
+                (Cgsim.Bqueue.get_block cb 7);
+              loop ()
+            in
+            loop () );
+        ( "elem-consumer",
+          fun () ->
+            let rec loop () =
+              got_e := Cgsim.Value.to_int (Cgsim.Bqueue.get ce) :: !got_e;
+              loop ()
+            in
+            loop () );
+      ]
+  in
+  let expect = List.init 70 (fun i -> i + 1) in
+  Alcotest.(check (list int)) "block consumer copy" expect (List.rev !got_b);
+  Alcotest.(check (list int)) "element consumer copy" expect (List.rev !got_e)
+
+let test_bqueue_block_larger_than_capacity () =
+  (* A single block far larger than the ring must stream through. *)
+  let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:4 () in
+  let p = Cgsim.Bqueue.add_producer q in
+  let c = Cgsim.Bqueue.add_consumer q in
+  let got = ref [||] in
+  let stats =
+    run_fibers
+      [
+        ( "producer",
+          fun () ->
+            Cgsim.Bqueue.put_block p (ints 1 64);
+            Cgsim.Bqueue.producer_done p );
+        ("consumer", fun () -> got := Cgsim.Bqueue.get_block c 64);
+      ]
+  in
+  Alcotest.(check int) "no deadlock" 2 stats.Cgsim.Sched.completed;
+  Alcotest.(check (list int)) "content"
+    (List.init 64 (fun i -> i + 1))
+    (Array.to_list (Array.map Cgsim.Value.to_int !got))
+
+let test_bqueue_block_eos_midblock () =
+  (* End_of_stream arriving mid-block: the elements consumed before the
+     close stay consumed, then the block read raises. *)
+  let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:8 () in
+  let p = Cgsim.Bqueue.add_producer q in
+  let c = Cgsim.Bqueue.add_consumer q in
+  let raised = ref false in
+  let drained = ref (-1) in
+  let _ =
+    run_fibers
+      [
+        ( "producer",
+          fun () ->
+            Cgsim.Bqueue.put_block p (ints 1 5);
+            Cgsim.Bqueue.producer_done p );
+        ( "consumer",
+          fun () ->
+            (try ignore (Cgsim.Bqueue.get_block c 8)
+             with Cgsim.Sched.End_of_stream -> raised := true);
+            drained := Cgsim.Bqueue.available c );
+      ]
+  in
+  Alcotest.(check bool) "raised" true !raised;
+  Alcotest.(check int) "partial block was consumed" 0 !drained
+
+let test_bqueue_get_some_bounds () =
+  (* get_some returns between 1 and max immediately-available elements
+     and raises End_of_stream once closed and drained. *)
+  let q = Cgsim.Bqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:16 () in
+  let p = Cgsim.Bqueue.add_producer q in
+  let c = Cgsim.Bqueue.add_consumer q in
+  let sizes = ref [] in
+  let total = ref 0 in
+  let _ =
+    run_fibers
+      [
+        ( "producer",
+          fun () ->
+            Cgsim.Bqueue.put_block p (ints 1 10);
+            Cgsim.Bqueue.producer_done p );
+        ( "consumer",
+          fun () ->
+            let rec loop () =
+              let vs = Cgsim.Bqueue.get_some c ~max:4 in
+              sizes := Array.length vs :: !sizes;
+              total := !total + Array.length vs;
+              loop ()
+            in
+            loop () );
+      ]
+  in
+  Alcotest.(check int) "total" 10 !total;
+  List.iter
+    (fun n -> Alcotest.(check bool) "1 <= n <= max" true (n >= 1 && n <= 4))
+    !sizes
+
+let test_value_compile_check_matches_conforms () =
+  let open Cgsim in
+  let dtypes =
+    [
+      Dtype.F32;
+      Dtype.F64;
+      Dtype.I8;
+      Dtype.I16;
+      Dtype.I32;
+      Dtype.I64;
+      Dtype.U8;
+      Dtype.U16;
+      Dtype.U32;
+      Dtype.Vector (Dtype.F32, 2);
+      Dtype.Vector (Dtype.U8, 4);
+      Dtype.Struct [ "x", Dtype.F32; "y", Dtype.I16 ];
+      Dtype.Struct [ "pix", Dtype.Vector (Dtype.U8, 4); "xf", Dtype.U16 ];
+    ]
+  in
+  let values =
+    [
+      Value.Float 1.5;
+      Value.Int 0;
+      Value.Int 200;
+      Value.Int (-1);
+      Value.Int 32768;
+      Value.Int 70000;
+      Value.Vec [| Value.Float 0.0; Value.Float 1.0 |];
+      Value.Vec [| Value.Int 1; Value.Int 2; Value.Int 3; Value.Int 4 |];
+      Value.Vec [| Value.Int 255; Value.Int 256; Value.Int 0; Value.Int 9 |];
+      Value.Rec [ "x", Value.Float 1.0; "y", Value.Int 2 ];
+      Value.Rec [ "y", Value.Int 2; "x", Value.Float 1.0 ];
+      Value.Rec [ "pix", Value.Vec (Array.make 4 (Value.Int 7)); "xf", Value.Int 9 ];
+    ]
+  in
+  List.iter
+    (fun d ->
+      let compiled = Value.compile_check d in
+      List.iter
+        (fun v ->
+          Alcotest.(check bool)
+            (Format.asprintf "compile_check %a" Dtype.pp d)
+            (Value.conforms d v) (compiled v))
+        values)
+    dtypes
+
+let test_value_equal_vec () =
+  let open Cgsim in
+  let v a = Value.Vec (Array.map (fun i -> Value.Int i) a) in
+  Alcotest.(check bool) "equal" true (Value.equal (v [| 1; 2; 3 |]) (v [| 1; 2; 3 |]));
+  Alcotest.(check bool) "length differs" false (Value.equal (v [| 1; 2 |]) (v [| 1; 2; 3 |]));
+  Alcotest.(check bool) "first element differs" false
+    (Value.equal (v [| 9; 2; 3 |]) (v [| 1; 2; 3 |]));
+  Alcotest.(check bool) "last element differs" false
+    (Value.equal (v [| 1; 2; 9 |]) (v [| 1; 2; 3 |]));
+  Alcotest.(check bool) "empty" true (Value.equal (v [||]) (v [||]))
+
+let test_sched_wake_batch () =
+  let s = Cgsim.Sched.create () in
+  let wakers = ref [] in
+  let resumed = ref 0 in
+  for i = 1 to 3 do
+    Cgsim.Sched.spawn s ~name:(Printf.sprintf "sleeper%d" i) (fun () ->
+        Cgsim.Sched.park (fun w -> wakers := w :: !wakers);
+        incr resumed)
+  done;
+  Cgsim.Sched.spawn s ~name:"waker" (fun () ->
+      Alcotest.(check int) "all parked" 3 (Cgsim.Sched.parked_count s);
+      (* Duplicate entries must be skipped as stale. *)
+      Cgsim.Sched.wake_batch (!wakers @ !wakers);
+      Alcotest.(check int) "none parked after batch" 0 (Cgsim.Sched.parked_count s));
+  let stats = Cgsim.Sched.run s in
+  Alcotest.(check int) "all resumed" 3 !resumed;
+  Alcotest.(check int) "completed" 4 stats.Cgsim.Sched.completed
+
+(* ------------------------------------------------------------------ *)
 (* Builder / Serialized / Runtime round trip                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -740,6 +964,9 @@ let () =
         [
           Alcotest.test_case "conformance" `Quick test_value_conforms;
           Alcotest.test_case "int clamp/wrap" `Quick test_value_int_ops;
+          Alcotest.test_case "compile_check == conforms" `Quick
+            test_value_compile_check_matches_conforms;
+          Alcotest.test_case "vec equality" `Quick test_value_equal_vec;
         ] );
       ( "settings",
         [
@@ -756,6 +983,7 @@ let () =
           Alcotest.test_case "failure recorded" `Quick test_sched_failure_recorded;
           Alcotest.test_case "stale waker ignored" `Quick test_sched_stale_waker;
           Alcotest.test_case "spawn during run" `Quick test_sched_spawn_during_run;
+          Alcotest.test_case "wake batch" `Quick test_sched_wake_batch;
         ] );
       ( "bqueue",
         [
@@ -765,6 +993,11 @@ let () =
           Alcotest.test_case "multi-producer" `Quick test_bqueue_multiproducer;
           Alcotest.test_case "close drains" `Quick test_bqueue_close_drains;
           Alcotest.test_case "dtype check" `Quick test_bqueue_dtype_check;
+          Alcotest.test_case "block roundtrip" `Quick test_bqueue_block_roundtrip;
+          Alcotest.test_case "block broadcast mixed" `Quick test_bqueue_block_broadcast_mixed;
+          Alcotest.test_case "block > capacity" `Quick test_bqueue_block_larger_than_capacity;
+          Alcotest.test_case "eos mid-block" `Quick test_bqueue_block_eos_midblock;
+          Alcotest.test_case "get_some bounds" `Quick test_bqueue_get_some_bounds;
         ]
         @ qsuite [ prop_bqueue_broadcast_random ] );
       ( "builder",

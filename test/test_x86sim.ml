@@ -77,6 +77,72 @@ let test_tqueue_dtype_checked () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "dtype mismatch must be rejected"
 
+let test_tqueue_block_concurrent_producers () =
+  (* Two domains push blocks through a small ring concurrently; every
+     element arrives and each producer's stream stays ordered. *)
+  let q = X86sim.Tqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:8 () in
+  let p1 = X86sim.Tqueue.add_producer q in
+  let p2 = X86sim.Tqueue.add_producer q in
+  let c = X86sim.Tqueue.add_consumer q in
+  let produce p base =
+    Domain.spawn (fun () ->
+        for b = 0 to 9 do
+          X86sim.Tqueue.put_block p
+            (Array.init 20 (fun i -> Cgsim.Value.Int (base + (b * 20) + i)))
+        done;
+        X86sim.Tqueue.producer_done p)
+  in
+  let got = ref [] in
+  let consumer =
+    Domain.spawn (fun () ->
+        try
+          while true do
+            Array.iter
+              (fun v -> got := Cgsim.Value.to_int v :: !got)
+              (X86sim.Tqueue.get_some c ~max:16)
+          done
+        with Cgsim.Sched.End_of_stream -> ())
+  in
+  let d1 = produce p1 0 and d2 = produce p2 1000 in
+  Domain.join d1;
+  Domain.join d2;
+  Domain.join consumer;
+  let all = List.rev !got in
+  Alcotest.(check int) "everything arrived" 400 (List.length all);
+  let stream pred = List.filter pred all in
+  Alcotest.(check (list int)) "p1 order kept"
+    (List.init 200 (fun i -> i))
+    (stream (fun x -> x < 1000));
+  Alcotest.(check (list int)) "p2 order kept"
+    (List.init 200 (fun i -> 1000 + i))
+    (stream (fun x -> x >= 1000))
+
+let test_tqueue_block_larger_than_capacity () =
+  let q = X86sim.Tqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:4 () in
+  let p = X86sim.Tqueue.add_producer q in
+  let c = X86sim.Tqueue.add_consumer q in
+  let producer =
+    Domain.spawn (fun () ->
+        X86sim.Tqueue.put_block p (Array.init 64 (fun i -> Cgsim.Value.Int (i + 1)));
+        X86sim.Tqueue.producer_done p)
+  in
+  let got = X86sim.Tqueue.get_block c 64 in
+  Domain.join producer;
+  Alcotest.(check (list int)) "streams through"
+    (List.init 64 (fun i -> i + 1))
+    (Array.to_list (Array.map Cgsim.Value.to_int got))
+
+let test_tqueue_block_eos_midblock () =
+  let q = X86sim.Tqueue.create ~name:"q" ~dtype:Cgsim.Dtype.I32 ~capacity:8 () in
+  let p = X86sim.Tqueue.add_producer q in
+  let c = X86sim.Tqueue.add_consumer q in
+  X86sim.Tqueue.put_block p (Array.init 5 (fun i -> Cgsim.Value.Int i));
+  X86sim.Tqueue.producer_done p;
+  (match X86sim.Tqueue.get_block c 8 with
+   | exception Cgsim.Sched.End_of_stream -> ()
+   | _ -> Alcotest.fail "closing mid-block must raise End_of_stream");
+  Alcotest.(check int) "partial block was consumed" 0 (X86sim.Tqueue.available c)
+
 let test_sim_io_count_mismatch () =
   let g = Apps.Bitonic.graph () in
   match X86sim.Sim.run g ~sources:[] ~sinks:[ Cgsim.Io.null () ] with
@@ -157,6 +223,10 @@ let () =
           Alcotest.test_case "close then drain" `Quick test_tqueue_close_then_get;
           Alcotest.test_case "put after done" `Quick test_tqueue_put_after_done;
           Alcotest.test_case "dtype checked" `Quick test_tqueue_dtype_checked;
+          Alcotest.test_case "block ops, concurrent producers" `Quick
+            test_tqueue_block_concurrent_producers;
+          Alcotest.test_case "block > capacity" `Quick test_tqueue_block_larger_than_capacity;
+          Alcotest.test_case "eos mid-block" `Quick test_tqueue_block_eos_midblock;
         ] );
       ( "sim",
         [
