@@ -21,6 +21,12 @@
                     as machine-readable JSON
      --smoke        reduced quotas and element counts for CI
 
+   serve benchmarks parallel request serving over Cgsim.Pool:
+     --json FILE    write requests/sec + scaling per app as JSON
+     --smoke        fewer requests and domain counts for CI
+     --domains CSV  domain counts to sweep (default 1,2,4,8)
+     --requests N   requests per app per domain count
+
    check-json FILE parses FILE with the strict Obs.Json parser and
    requires a top-level object with a "schema" string; exits nonzero
    on malformed output (the CI guard for --json). *)
@@ -28,7 +34,8 @@
 let usage () =
   print_endline
     "usage: main.exe [table1|table2|table2-quick|profile [--trace FILE] [--json FILE] \
-     [--smoke]|micro [--json FILE] [--smoke]|ablation|check-json FILE]...";
+     [--smoke]|micro [--json FILE] [--smoke]|serve [--json FILE] [--smoke] [--domains CSV] \
+     [--requests N]|ablation|check-json FILE]...";
   exit 2
 
 type action =
@@ -37,6 +44,8 @@ type action =
   | Table2_quick
   | Profile of string option * string option * bool  (* trace file, json file, smoke *)
   | Micro of string option * bool  (* json file, smoke *)
+  | Serve of string option * bool * int list option * int option
+      (* json file, smoke, domain counts, requests *)
   | Ablation
   | Check_json of string
 
@@ -56,6 +65,43 @@ let parse_actions args =
         | rest -> Micro (json, smoke) :: go rest
       in
       opts None false rest
+    | "serve" :: rest ->
+      let parse_domains s =
+        match String.split_on_char ',' s |> List.map int_of_string_opt with
+        | exception _ -> None
+        | parts ->
+          let ds = List.filter_map Fun.id parts in
+          if List.length ds = List.length parts && ds <> [] && List.for_all (fun d -> d > 0) ds
+          then Some ds
+          else None
+      in
+      let rec opts json smoke doms reqs = function
+        | "--json" :: file :: rest -> opts (Some file) smoke doms reqs rest
+        | "--json" :: [] ->
+          Printf.eprintf "--json needs a FILE argument\n";
+          usage ()
+        | "--smoke" :: rest -> opts json true doms reqs rest
+        | "--domains" :: csv :: rest ->
+          (match parse_domains csv with
+           | Some ds -> opts json smoke (Some ds) reqs rest
+           | None ->
+             Printf.eprintf "--domains needs a CSV of positive ints (e.g. 1,2,4)\n";
+             usage ())
+        | "--domains" :: [] ->
+          Printf.eprintf "--domains needs a CSV argument\n";
+          usage ()
+        | "--requests" :: n :: rest ->
+          (match int_of_string_opt n with
+           | Some r when r > 0 -> opts json smoke doms (Some r) rest
+           | _ ->
+             Printf.eprintf "--requests needs a positive integer\n";
+             usage ())
+        | "--requests" :: [] ->
+          Printf.eprintf "--requests needs an argument\n";
+          usage ()
+        | rest -> Serve (json, smoke, doms, reqs) :: go rest
+      in
+      opts None false None None rest
     | "ablation" :: rest -> Ablation :: go rest
     | "profile" :: rest ->
       let rec opts trace json smoke = function
@@ -105,6 +151,7 @@ let run = function
   | Table2_quick -> Table2.run ~scale:0.5 ()
   | Profile (trace, json, smoke) -> Profile.run ?trace ?json ~smoke ()
   | Micro (json, smoke) -> Micro.run ?json ~smoke ()
+  | Serve (json, smoke, domains, requests) -> Serve.run ?json ~smoke ?domains ?requests ()
   | Ablation -> Ablation.run ()
   | Check_json file -> check_json file
 

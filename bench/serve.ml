@@ -1,0 +1,147 @@
+(* Parallel serving benchmark: throughput of Cgsim.Pool over the four
+   example applications.
+
+   Each request is one complete cgsim simulation of the app's graph
+   (fresh Runtime instance, [serve_reps] input blocks); the pool serves
+   a fixed batch of requests on 1/2/4/8 domains and we report
+   requests/sec plus scaling efficiency against the single-domain run.
+   Every request's output is verified against the scalar reference, so
+   the numbers can't quietly come from broken parallel runs.
+
+   The host core count is recorded in the JSON: on a single-core
+   container the efficiency at >1 domains is expected to collapse to
+   ~1/domains, and the committed baseline must be read with its
+   "host_cores" field in hand.
+
+   [run ~json:file] writes schema "cgsim-bench-serve/1"; check-json
+   validates it in CI.  The SPSC micro comparison rides along so the
+   serving baseline and the queue fast-path numbers land in one file. *)
+
+let default_domains = [ 1; 2; 4; 8 ]
+
+let smoke_domains = [ 1; 2 ]
+
+(* One request should be a meaningful simulation, not a fixture:
+   table2's per-app rep counts scaled down so a full serve run costs
+   about one table2 cgsim column per domain count. *)
+let serve_reps ~smoke (t : Apps.Harness.t) =
+  max 1 (t.Apps.Harness.table2_reps / if smoke then 64 else 16)
+
+type app_run = {
+  domains : int;
+  wall_ns : float;
+  rps : float;
+  steals : int;
+  errors : string list;
+}
+
+let run_app ~domains ~requests ~reps (t : Apps.Harness.t) g =
+  let contents = Array.make requests (fun () -> []) in
+  let io r =
+    (* Called on the executing domain; distinct [r] slots, no sharing. *)
+    let sinks, c = t.Apps.Harness.make_sinks () in
+    contents.(r) <- c;
+    t.Apps.Harness.sources ~reps, sinks
+  in
+  let stats = Cgsim.Pool.run ~domains ~requests ~io g in
+  let errors = ref [] in
+  Array.iter
+    (fun (res : Cgsim.Pool.request_result) ->
+      match res.Cgsim.Pool.outcome with
+      | Error e -> errors := Printf.sprintf "req %d: %s" res.Cgsim.Pool.req_id e :: !errors
+      | Ok _ ->
+        (match t.Apps.Harness.check ~reps (contents.(res.Cgsim.Pool.req_id) ()) with
+         | Ok () -> ()
+         | Error e ->
+           errors := Printf.sprintf "req %d: wrong output: %s" res.Cgsim.Pool.req_id e :: !errors))
+    stats.Cgsim.Pool.results;
+  {
+    domains;
+    wall_ns = stats.Cgsim.Pool.wall_ns;
+    rps = float_of_int requests /. (stats.Cgsim.Pool.wall_ns /. 1e9);
+    steals = stats.Cgsim.Pool.steals;
+    errors = List.rev !errors;
+  }
+
+let json_of_app_run ~base_wall (r : app_run) =
+  let speedup = base_wall /. r.wall_ns in
+  Obs.Json.Obj
+    [
+      "domains", Obs.Json.Num (float_of_int r.domains);
+      "wall_ms", Obs.Json.Num (r.wall_ns /. 1e6);
+      "requests_per_sec", Obs.Json.Num r.rps;
+      "speedup_vs_1", Obs.Json.Num speedup;
+      "efficiency", Obs.Json.Num (speedup /. float_of_int r.domains);
+      "steals", Obs.Json.Num (float_of_int r.steals);
+      "errors", Obs.Json.Arr (List.map (fun e -> Obs.Json.Str e) r.errors);
+    ]
+
+let run ?json ?(smoke = false) ?(domains = if smoke then smoke_domains else default_domains)
+    ?requests () =
+  let requests = Option.value requests ~default:(if smoke then 6 else 32) in
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf "\n== Parallel serving (Cgsim.Pool, %d requests/app, host cores: %d) ==\n%!"
+    requests host_cores;
+  let failures = ref 0 in
+  let app_docs =
+    List.map
+      (fun (t : Apps.Harness.t) ->
+        let reps = serve_reps ~smoke t in
+        let g = t.Apps.Harness.graph () in
+        Printf.printf "\n%-10s (%d reps/request)\n%!" t.Apps.Harness.name reps;
+        let runs = List.map (fun d -> run_app ~domains:d ~requests ~reps t g) domains in
+        let base_wall =
+          match runs with
+          | first :: _ -> first.wall_ns
+          | [] -> 1.0
+        in
+        List.iter
+          (fun r ->
+            let speedup = base_wall /. r.wall_ns in
+            Printf.printf
+              "  domains=%d  %8.1f ms  %8.2f req/s  speedup %5.2fx  eff %4.0f%%  steals %d\n%!"
+              r.domains (r.wall_ns /. 1e6) r.rps speedup
+              (100.0 *. speedup /. float_of_int r.domains)
+              r.steals;
+            List.iter
+              (fun e ->
+                incr failures;
+                Printf.printf "    ERROR %s\n%!" e)
+              r.errors)
+          runs;
+        Obs.Json.Obj
+          [
+            "name", Obs.Json.Str t.Apps.Harness.name;
+            "reps_per_request", Obs.Json.Num (float_of_int reps);
+            "requests", Obs.Json.Num (float_of_int requests);
+            "runs", Obs.Json.Arr (List.map (json_of_app_run ~base_wall) runs);
+          ])
+      Apps.Harness.all
+  in
+  let sp = Micro.compare_spsc ~smoke in
+  Printf.printf "\nSPSC vs MPMC element path: %.2f vs %.2f ns/elem (%.2fx)\n%!"
+    sp.Micro.spsc_ns_per_elem sp.Micro.mpmc_ns_per_elem sp.Micro.sp_speedup;
+  (match json with
+   | None -> ()
+   | Some file ->
+     let doc =
+       Obs.Json.Obj
+         [
+           "schema", Obs.Json.Str "cgsim-bench-serve/1";
+           "smoke", Obs.Json.Bool smoke;
+           "host_cores", Obs.Json.Num (float_of_int host_cores);
+           "apps", Obs.Json.Arr app_docs;
+           "spsc_micro", Micro.json_of_spsc sp;
+         ]
+     in
+     (try
+        Out_channel.with_open_bin file (fun oc ->
+            Out_channel.output_string oc (Obs.Json.to_string doc))
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write %s: %s\n" file msg;
+        exit 1);
+     Printf.printf "wrote serving benchmark JSON to %s\n%!" file);
+  if !failures > 0 then begin
+    Printf.eprintf "serve: %d request(s) failed verification\n" !failures;
+    exit 1
+  end

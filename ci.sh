@@ -35,4 +35,13 @@ test -s "$MICRO_JSON" || { echo "ci: micro JSON is empty" >&2; exit 1; }
 # malformed output or a missing schema marker.
 dune exec bench/main.exe -- check-json "$MICRO_JSON"
 
+echo "== serve smoke (parallel pool on 2 domains, JSON output) =="
+SERVE_JSON=$(mktemp -t ci-serve-XXXXXX.json)
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$SERVE_JSON"' EXIT
+# Every request's output is verified inside the bench; nonzero exit on
+# any wrong result.  Schema cgsim-bench-serve/1.
+dune exec bench/main.exe -- serve --smoke --domains 1,2 --json "$SERVE_JSON"
+test -s "$SERVE_JSON" || { echo "ci: serve JSON is empty" >&2; exit 1; }
+dune exec bench/main.exe -- check-json "$SERVE_JSON"
+
 echo "== ci passed =="

@@ -107,6 +107,17 @@ let capture (d : Deploy.t) ~sources ~sinks =
                 for _ = 1 to Array.length vs do
                   Aie.Trace.emit ev
                 done);
+            Cgsim.Port.w_space =
+              (* An AIE core has no burst buffer behind its stream ports —
+                 every write is one switch beat.  Advertising zero advisory
+                 space makes interleave-aware block writers (put_window2)
+                 degrade to the per-beat order the hardware would emit, so
+                 the captured event order stays replayable against the
+                 switch-FIFO capacities even though cgsim's own queues are
+                 deep enough to absorb whole-group bursts. *)
+              (match transport with
+               | Aie.Trace.Stream -> (fun () -> 0)
+               | Aie.Trace.Window _ | Aie.Trace.Rtp | Aie.Trace.Gmio -> w.Cgsim.Port.w_space);
           });
       around_body = (fun _ body () -> body ());
     }

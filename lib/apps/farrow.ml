@@ -54,14 +54,16 @@ let stage1 =
                 coeffs
             in
             Aie.Intrinsics.scalar_op ~count:2 "addr";
-            (* Deliberately NOT block writes: stage2 drains c01/c23
-               interleaved per sample, and with default stream depths a
+            (* stage2 drains c01/c23 interleaved per sample, so a
                whole-group burst on one port before the other would
-               overrun the in-flight buffering and deadlock. *)
-            for s = 0 to group - 1 do
-              Cgsim.Port.put c01 (pair c.(0).(s) c.(1).(s));
-              Cgsim.Port.put c23 (pair c.(2).(s) c.(3).(s))
-            done);
+               overrun the in-flight buffering of both streams and
+               deadlock.  put_window2 writes the pair in lockstep chunks
+               bounded by the tighter queue's free space — block-path
+               transfers without changing the observable element order
+               beyond what the consumer's interleave already absorbs. *)
+            let out01 = Array.init group (fun s -> pair c.(0).(s) c.(1).(s)) in
+            let out23 = Array.init group (fun s -> pair c.(2).(s) c.(3).(s)) in
+            Cgsim.Port.put_window2 c01 c23 out01 out23);
         Array.blit samples (samples_per_window - (taps - 1)) history 0 (taps - 1)
       done)
 

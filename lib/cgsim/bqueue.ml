@@ -10,6 +10,12 @@ type t = {
   mutable producers_open : int;
   mutable producers_total : int;
   mutable closed : bool;
+  (* SPSC fast path: set by [seal] when the wired queue has exactly one
+     producer and one consumer.  On this path [retired] is maintained
+     directly from the lone consumer's cursor — no cached-minimum refold,
+     no broadcast bookkeeping.  Registering any further endpoint drops
+     the flag, falling back to the MPMC path transparently. *)
+  mutable spsc : bool;
   mutable put_waiters : Sched.waker list;
   mutable get_waiters : Sched.waker list;
   mutable total_put : int;
@@ -46,6 +52,7 @@ let create ~name ~dtype ~capacity () =
     producers_open = 0;
     producers_total = 0;
     closed = false;
+    spsc = false;
     put_waiters = [];
     get_waiters = [];
     total_put = 0;
@@ -61,6 +68,9 @@ let dtype q = q.q_dtype
 let capacity q = q.q_cap
 let is_closed q = q.closed
 let total_put q = q.total_put
+let producers q = q.producers_total
+let consumers q = List.length q.consumers
+let is_spsc q = q.spsc
 
 let add_consumer q =
   (* A consumer attached mid-stream starts at the current head: broadcast
@@ -71,6 +81,7 @@ let add_consumer q =
    | [] -> q.retired <- q.head  (* first consumer pins the retirement point *)
    | _ :: _ -> ()  (* cursor = head >= retired: the cached minimum stands *));
   q.consumers <- c :: q.consumers;
+  q.spsc <- false;  (* a second consumer needs the broadcast machinery *)
   c
 
 let add_producer q =
@@ -78,7 +89,11 @@ let add_producer q =
   let p = { p_queue = q; open_ = true } in
   q.producers_open <- q.producers_open + 1;
   q.producers_total <- q.producers_total + 1;
+  q.spsc <- false;  (* interleaving producers share the MPMC append point *)
   p
+
+let seal ?(spsc = true) q =
+  q.spsc <- spsc && q.producers_total = 1 && (match q.consumers with [ _ ] -> true | _ -> false)
 
 (* Retirement point: the slowest consumer's cursor.  With no consumers the
    queue acts as a sink and retires immediately (broadcast to zero
@@ -94,6 +109,10 @@ let min_cursor q =
   match q.consumers with
   | [] -> q.head
   | _ :: _ -> q.retired
+
+(* Free slots from the producer side (elements the slowest consumer has
+   not yet retired bound the occupancy). *)
+let space q = q.q_cap - (q.head - min_cursor q)
 
 let fold_min_cursor q =
   match q.consumers with
@@ -206,7 +225,11 @@ let put p v =
   let q = p.p_queue in
   if not p.open_ then invalid_arg ("cgsim: put on finished producer of " ^ q.q_name);
   if not (q.check v) then Value.check ~net:q.q_name q.q_dtype v;
-  if q.head - min_cursor q >= q.q_cap then wait_for_space q;
+  if q.spsc then begin
+    (* SPSC: [retired] IS the lone consumer's cursor, one field read. *)
+    if q.head - q.retired >= q.q_cap then wait_for_space q
+  end
+  else if q.head - min_cursor q >= q.q_cap then wait_for_space q;
   store q v
 
 let get c =
@@ -220,8 +243,15 @@ let get c =
   let old = c.cursor in
   c.cursor <- old + 1;
   if !Obs.Trace.on then note_get q;
-  (* Advancing the slowest consumer may free space for producers. *)
-  note_retire q old;
+  if q.spsc then begin
+    (* SPSC: this consumer is the retirement point by definition — no
+       minimum refold, every get frees exactly one slot. *)
+    q.retired <- old + 1;
+    wake_all_put q
+  end
+  else
+    (* Advancing the slowest consumer may free space for producers. *)
+    note_retire q old;
   v
 
 (* ------------------------------------------------------------------ *)
@@ -259,9 +289,9 @@ let put_block p vs =
   done;
   let off = ref 0 in
   while !off < n do
-    let space = q.q_cap - (q.head - min_cursor q) in
-    if space > 0 then begin
-      let len = min space (n - !off) in
+    let free = if q.spsc then q.q_cap - (q.head - q.retired) else space q in
+    if free > 0 then begin
+      let len = min free (n - !off) in
       blit_in q vs !off len;
       off := !off + len;
       if !Obs.Trace.on then note_put q;
@@ -284,7 +314,11 @@ let get_block c n =
       c.cursor <- old + len;
       filled := !filled + len;
       if !Obs.Trace.on then note_get q;
-      note_retire q old
+      if q.spsc then begin
+        q.retired <- old + len;
+        wake_all_put q
+      end
+      else note_retire q old
     end
     else if q.closed then raise Sched.End_of_stream
     else wait_for_data c
@@ -309,7 +343,11 @@ let get_some c ~max =
   let old = c.cursor in
   c.cursor <- old + len;
   if !Obs.Trace.on then note_get q;
-  note_retire q old;
+  if q.spsc then begin
+    q.retired <- old + len;
+    wake_all_put q
+  end
+  else note_retire q old;
   out
 
 let peek c =

@@ -35,6 +35,33 @@ val capacity : t -> int
 val add_consumer : t -> consumer
 val add_producer : t -> producer
 
+(** Endpoints registered so far: producers over the queue's lifetime
+    (including finished ones) and attached consumers.  The runtime uses
+    these to reject miswired edges before execution instead of hanging
+    at run time. *)
+
+val producers : t -> int
+val consumers : t -> int
+
+(** [seal q] ends the wiring phase: when the queue has exactly one
+    registered producer and one consumer (and [spsc], default [true],
+    permits it), subsequent transfers take a single-producer /
+    single-consumer fast path — a plain head/tail ring where the lone
+    consumer's cursor is the retirement point, skipping the broadcast
+    minimum-cursor bookkeeping.  Semantics are identical to the MPMC
+    path.  Registering any further endpoint after sealing falls back to
+    the MPMC path transparently.  [~spsc:false] forces the MPMC path
+    (equivalence baselines, benchmarks). *)
+val seal : ?spsc:bool -> t -> unit
+
+(** Whether the sealed queue is currently on the SPSC fast path. *)
+val is_spsc : t -> bool
+
+(** Free slots from the producer side (capacity minus unretired
+    elements).  Advisory: another fiber may change it; block writes
+    re-check under their own blocking discipline. *)
+val space : t -> int
+
 (** [put p v] appends [v]; parks while the queue is full.  Raises
     [Invalid_argument] on dtype mismatch or put-after-done. *)
 val put : producer -> Value.t -> unit

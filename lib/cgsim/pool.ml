@@ -1,0 +1,133 @@
+type request_result = {
+  req_id : int;
+  domain : int;
+  stolen : bool;
+  outcome : (Sched.stats, string) result;
+  req_wall_ns : float;
+}
+
+type stats = {
+  domains : int;
+  requests : int;
+  results : request_result array;
+  steals : int;
+  wall_ns : float;
+}
+
+(* Per-domain work deque over a fixed population of request ids.  All
+   items are seeded before any domain starts and nothing is ever pushed
+   back, so the structure only shrinks: a mutex per deque is plenty, and
+   "every deque observed empty" is a sound termination condition.  The
+   owner pops the bottom (LIFO over its own seed order keeps it on the
+   requests it was dealt last), thieves take the top — the classic
+   work-stealing discipline, minus the lock-free heroics that a
+   requests-scale workload (each item is a whole graph simulation)
+   cannot measure. *)
+type deque = {
+  items : int array;
+  mutable top : int;  (* next index thieves take *)
+  mutable bot : int;  (* one past the owner's end *)
+  lock : Mutex.t;
+}
+
+let deque_of_list ids =
+  let items = Array.of_list ids in
+  { items; top = 0; bot = Array.length items; lock = Mutex.create () }
+
+let with_lock d f =
+  Mutex.lock d.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock d.lock) f
+
+let pop_bottom d =
+  with_lock d (fun () ->
+      if d.top < d.bot then begin
+        d.bot <- d.bot - 1;
+        Some d.items.(d.bot)
+      end
+      else None)
+
+let steal_top d =
+  with_lock d (fun () ->
+      if d.top < d.bot then begin
+        let r = d.items.(d.top) in
+        d.top <- d.top + 1;
+        Some r
+      end
+      else None)
+
+let run ?queue_capacity ?block_io ?spsc ~domains ~requests ~io (g : Serialized.t) =
+  if domains <= 0 then invalid_arg "cgsim: Pool.run needs a positive domain count";
+  if requests <= 0 then invalid_arg "cgsim: Pool.run needs a positive request count";
+  (* Seed round-robin: request r belongs to domain [r mod domains].  The
+     per-domain lists are built back-to-front so the owner's LIFO pop
+     replays its seeds in ascending request order — with one domain the
+     pool degenerates to the sequential loop [for r = 0 to requests-1]. *)
+  let seeds = Array.make domains [] in
+  for r = requests - 1 downto 0 do
+    let d = r mod domains in
+    seeds.(d) <- r :: seeds.(d)
+  done;
+  let deques = Array.map (fun ids -> deque_of_list (List.rev ids)) seeds in
+  let dummy =
+    { req_id = -1; domain = -1; stolen = false; outcome = Error "not executed"; req_wall_ns = 0. }
+  in
+  (* Each slot is written exactly once, by whichever domain executed the
+     request, and read only after the joins — no lock needed. *)
+  let results = Array.make requests dummy in
+  let steals = Atomic.make 0 in
+  let execute ~domain ~stolen r =
+    let t0 = Obs.Clock.now_ns () in
+    let outcome =
+      try
+        let t = Runtime.instantiate ?queue_capacity ?block_io ?spsc g in
+        let sources, sinks = io r in
+        Ok (Runtime.run t ~sources ~sinks)
+      with exn -> Error (Printexc.to_string exn)
+    in
+    let dt = Obs.Clock.now_ns () -. t0 in
+    if !Obs.Trace.on then begin
+      let track = Printf.sprintf "serve-domain-%d" domain in
+      Obs.Trace.span ~track ~cat:"pool" ~pid:3
+        ~name:(Printf.sprintf "req-%d%s" r (if stolen then " (stolen)" else ""))
+        ~ts_ns:t0 ~dur_ns:dt ();
+      Obs.Trace.observe_ns "pool.request" dt;
+      if stolen then Obs.Trace.incr_metric "pool.steals"
+    end;
+    results.(r) <- { req_id = r; domain; stolen; outcome; req_wall_ns = dt }
+  in
+  let worker domain () =
+    Obs.Trace.set_thread_label (Printf.sprintf "serve-domain-%d" domain);
+    let own = deques.(domain) in
+    let rec try_steal k =
+      if k >= domains then None
+      else
+        match steal_top deques.((domain + k) mod domains) with
+        | Some _ as hit -> hit
+        | None -> try_steal (k + 1)
+    in
+    let rec loop () =
+      match pop_bottom own with
+      | Some r ->
+        execute ~domain ~stolen:false r;
+        loop ()
+      | None -> (
+        match try_steal 1 with
+        | Some r ->
+          Atomic.incr steals;
+          execute ~domain ~stolen:true r;
+          loop ()
+        | None -> ())
+    in
+    loop ()
+  in
+  (* OCaml 5 minor collections stop every domain; the same larger minor
+     heap x86sim uses keeps the parallel instances off each other's
+     backs.  Restored after the joins. *)
+  let gc = Gc.get () in
+  Gc.set { gc with Gc.minor_heap_size = max gc.Gc.minor_heap_size (8 * 1024 * 1024) };
+  let t0 = Obs.Clock.now_ns () in
+  let spawned = Array.init domains (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join spawned;
+  let wall_ns = Obs.Clock.now_ns () -. t0 in
+  Gc.set gc;
+  { domains; requests; results; steals = Atomic.get steals; wall_ns }

@@ -1,0 +1,59 @@
+(** Parallel request serving over independent graph instances.
+
+    One serialized graph, N requests, D OCaml domains: each request gets
+    its own {!Runtime} instantiation (contexts are single-shot and share
+    no mutable state), so whole-graph simulations can run in parallel
+    even though each individual instance is cooperatively scheduled on a
+    single domain.  This is the "many independent simulations" serving
+    model — parameter sweeps, regression batteries, request services —
+    rather than intra-graph parallelism.
+
+    Requests are distributed round-robin across per-domain work deques;
+    a domain that drains its own deque steals from the others (owner
+    pops one end, thieves take the other), so skewed request costs still
+    balance.  With [~domains:1] execution order is exactly the seeded
+    order, making single-domain runs deterministic and comparable to a
+    sequential loop.
+
+    When a {!Obs.Trace} session is active, each request is emitted as a
+    span on a per-domain track (pid 3, alongside cgsim's fiber lanes and
+    aiesim's tile lanes), so Chrome-trace shows the pool's occupancy and
+    steal behaviour directly. *)
+
+type request_result = {
+  req_id : int;
+  domain : int;  (** Domain that executed the request. *)
+  stolen : bool;  (** Executed by a thief rather than its seeded owner. *)
+  outcome : (Sched.stats, string) result;
+      (** Scheduler stats of the instance, or the printed exception. *)
+  req_wall_ns : float;
+}
+
+type stats = {
+  domains : int;
+  requests : int;
+  results : request_result array;  (** Indexed by request id. *)
+  steals : int;  (** Requests executed by a non-owner domain. *)
+  wall_ns : float;  (** Whole-pool wall time, spawn to last join. *)
+}
+
+(** [run ~domains ~requests ~io g] executes [requests] independent
+    instances of [g] on [domains] parallel domains.  [io r] is called on
+    the executing domain to build the sources and sinks for request [r]
+    (it must be safe to call concurrently for distinct [r]).
+    [queue_capacity], [block_io] and [spsc] are passed through to
+    {!Runtime.instantiate} for every instance.
+
+    Per-request failures (including {!Runtime.Runtime_error}) are
+    captured in the corresponding {!request_result}, not raised; the
+    pool always runs every request to completion.  Raises
+    [Invalid_argument] if [domains] or [requests] is not positive. *)
+val run :
+  ?queue_capacity:int ->
+  ?block_io:bool ->
+  ?spsc:bool ->
+  domains:int ->
+  requests:int ->
+  io:(int -> Io.source list * Io.sink list) ->
+  Serialized.t ->
+  stats

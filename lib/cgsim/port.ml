@@ -12,6 +12,7 @@ type writer = {
   w_dtype : Dtype.t;
   w_put : Value.t -> unit;
   w_put_block : Value.t array -> unit;
+  w_space : unit -> int;
 }
 
 let get r = r.r_get ()
@@ -21,6 +22,39 @@ let put w v = w.w_put v
 let get_window r n = r.r_get_block n
 
 let put_window w vs = w.w_put_block vs
+
+(* Two-port interleaved block write.  Some kernels (farrow stage 1)
+   produce two streams that a downstream kernel drains alternately; a
+   whole-window burst on one port before touching the other can exceed
+   the in-flight buffering of both queues together and deadlock.  This
+   writes the pair in lockstep chunks bounded by the currently free
+   space of the tighter queue, so the consumer always gets data on the
+   stream it needs next.  When neither queue has space the chunk
+   degrades to one element, which blocks exactly like the scalar
+   interleave — progress is guaranteed whenever the plain per-element
+   interleave would make progress. *)
+let put_window2 wa wb va vb =
+  let n = Array.length va in
+  if Array.length vb <> n then
+    invalid_arg
+      (Printf.sprintf "cgsim: put_window2 on %s/%s: arrays differ in length (%d vs %d)"
+         wa.w_name wb.w_name n (Array.length vb));
+  if n > 0 then begin
+    let off = ref 0 in
+    while !off < n do
+      let free = min (wa.w_space ()) (wb.w_space ()) in
+      let len = min (n - !off) (max 1 free) in
+      if !off = 0 && len = n then begin
+        wa.w_put_block va;
+        wb.w_put_block vb
+      end
+      else begin
+        wa.w_put_block (Array.sub va !off len);
+        wb.w_put_block (Array.sub vb !off len)
+      end;
+      off := !off + len
+    done
+  end
 
 (* Fallback block accessors for bindings whose transport has no native
    block operation (element loops, semantically identical). *)

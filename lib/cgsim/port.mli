@@ -27,6 +27,10 @@ type writer = {
   w_dtype : Dtype.t;
   w_put : Value.t -> unit;  (** May suspend. *)
   w_put_block : Value.t array -> unit;  (** Block write, cf. [r_get_block]. *)
+  w_space : unit -> int;
+      (** Advisory free space of the transport (never suspends); the
+          interleave-aware {!put_window2} sizes its lockstep chunks with
+          it. *)
 }
 
 val get : reader -> Value.t
@@ -38,6 +42,15 @@ val put : writer -> Value.t -> unit
 val get_window : reader -> int -> Value.t array
 
 val put_window : writer -> Value.t array -> unit
+
+(** [put_window2 wa wb va vb] writes two equal-length windows to two
+    ports in lockstep chunks sized by the free space of the tighter
+    queue — the block path for producers whose consumer drains the two
+    streams interleaved (farrow stage 1).  A whole-window burst on one
+    port could deadlock such a pair; this cannot, because whenever
+    neither queue has space it degrades to the scalar interleave.
+    Raises [Invalid_argument] if the arrays differ in length. *)
+val put_window2 : writer -> writer -> Value.t array -> Value.t array -> unit
 
 (** Derive block accessors from scalar ones, for bindings whose transport
     has no native block operation.  Semantically identical to an element

@@ -79,6 +79,7 @@ type t = {
   sched : Sched.t;
   queues : Bqueue.t array;  (* indexed by net id *)
   block_io : bool;
+  spsc : bool;
   mutable ran : bool;
 }
 
@@ -90,7 +91,8 @@ let net_traffic t = Array.map Bqueue.total_put t.queues
    by the queue capacity so a chunk is at most one full ring. *)
 let io_chunk q = max 1 (min (Bqueue.capacity q) 1024)
 
-let instantiate ?(hooks = no_hooks) ?queue_capacity ?(block_io = true) (g : Serialized.t) =
+let instantiate ?(hooks = no_hooks) ?queue_capacity ?(block_io = true) ?(spsc = true)
+    (g : Serialized.t) =
   let hooks = if !Obs.Trace.on then compose_hooks hooks (obs_hooks ()) else hooks in
   (match Serialized.validate g with
    | Ok () -> ()
@@ -111,7 +113,7 @@ let instantiate ?(hooks = no_hooks) ?queue_capacity ?(block_io = true) (g : Seri
           ~dtype:n.dtype ~capacity ())
       g.Serialized.nets
   in
-  let t = { graph = g; sched; queues; block_io; ran = false } in
+  let t = { graph = g; sched; queues; block_io; spsc; ran = false } in
   (* Wire every kernel instance.  Endpoint registration happens here, up
      front, so broadcast completeness holds from the first element. *)
   Array.iteri
@@ -156,6 +158,7 @@ let instantiate ?(hooks = no_hooks) ?queue_capacity ?(block_io = true) (g : Seri
                 w_put_block =
                   (if block_io then Bqueue.put_block p
                    else Port.block_put_of_put (fun v -> Bqueue.put p v));
+                w_space = (fun () -> Bqueue.space q);
               }
             in
             writers := hooks.wrap_writer inst port_idx w :: !writers)
@@ -236,6 +239,34 @@ let attach_sink t net_id sink =
   in
   Sched.spawn t.sched ~name:(Io.sink_name sink) body
 
+(* Every net must end wiring with at least one producer and one consumer
+   on its queue: a producer-less queue never closes (its readers would
+   hang until end-of-run cancellation), and a consumer-less queue retires
+   nothing (its writers fill it and hang).  Both used to fail silently at
+   run time; now they fail up front, naming the kernel ports on the net. *)
+let check_wiring t =
+  let describe_eps eps =
+    match eps with
+    | [] -> "no kernel ports"
+    | _ ->
+      String.concat ", "
+        (List.map
+           (fun (ep : Serialized.endpoint) ->
+             let ki = t.graph.Serialized.kernels.(ep.kernel_idx) in
+             Printf.sprintf "%s.%s" ki.inst_name ki.ports.(ep.port_idx).Kernel.pname)
+           eps)
+  in
+  Array.iteri
+    (fun id q ->
+      let (n : Serialized.net) = t.graph.Serialized.nets.(id) in
+      if Bqueue.producers q = 0 then
+        fail "graph %s: net %s has no producer — readers %s would hang (missing source?)"
+          t.graph.gname (Bqueue.name q) (describe_eps n.readers);
+      if Bqueue.consumers q = 0 then
+        fail "graph %s: net %s has no consumer — writers %s would hang (missing sink?)"
+          t.graph.gname (Bqueue.name q) (describe_eps n.writers))
+    t.queues
+
 let run t ~sources ~sinks =
   if t.ran then fail "runtime context for %s is single-shot; instantiate again" t.graph.gname;
   t.ran <- true;
@@ -249,6 +280,10 @@ let run t ~sources ~sinks =
       (List.length sinks);
   List.iteri (fun i src -> attach_source t t.graph.Serialized.input_order.(i) src) sources;
   List.iteri (fun i snk -> attach_sink t t.graph.Serialized.output_order.(i) snk) sinks;
+  (* Wiring is complete: verify every edge, then seal the queues so
+     1-producer/1-consumer edges take the SPSC fast path. *)
+  check_wiring t;
+  Array.iter (fun q -> Bqueue.seal ~spsc:t.spsc q) t.queues;
   let stats = Sched.run t.sched in
   (match stats.Sched.failed with
    | [] -> ()
@@ -256,6 +291,6 @@ let run t ~sources ~sinks =
      fail "kernel fiber %s failed: %s" name (Printexc.to_string exn));
   stats
 
-let execute ?hooks ?queue_capacity ?block_io g ~sources ~sinks =
-  let t = instantiate ?hooks ?queue_capacity ?block_io g in
+let execute ?hooks ?queue_capacity ?block_io ?spsc g ~sources ~sinks =
+  let t = instantiate ?hooks ?queue_capacity ?block_io ?spsc g in
   run t ~sources ~sinks

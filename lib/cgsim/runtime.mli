@@ -42,15 +42,21 @@ val obs_hooks : unit -> wrap_hooks
     all.  [block_io] (default [true]) selects the block-transfer fast
     path for kernel ports and I/O fibers; with [~block_io:false] every
     block access degrades to a per-element loop — semantically identical,
-    useful as an equivalence baseline.  Raises {!Runtime_error} when a
-    kernel key is missing from the registry or the serialized form is
-    invalid. *)
+    useful as an equivalence baseline.  [spsc] (default [true]) lets
+    edges with exactly one producer and one consumer take {!Bqueue}'s
+    SPSC fast path once wiring completes; [~spsc:false] keeps every edge
+    on the broadcast MPMC path (the equivalence baseline for the fast
+    path).  Raises {!Runtime_error} when a kernel key is missing from
+    the registry or the serialized form is invalid. *)
 val instantiate :
-  ?hooks:wrap_hooks -> ?queue_capacity:int -> ?block_io:bool -> Serialized.t -> t
+  ?hooks:wrap_hooks -> ?queue_capacity:int -> ?block_io:bool -> ?spsc:bool -> Serialized.t -> t
 
 (** [run t ~sources ~sinks] attaches positional sources to the graph's
     global inputs and sinks to its global outputs (counts must match;
-    {!Runtime_error} otherwise), then executes.  Returns scheduler
+    {!Runtime_error} otherwise), verifies that every net ends up with at
+    least one producer and one consumer (raising {!Runtime_error} naming
+    the offending net and its kernel ports — a miswired edge used to
+    hang silently at run time), then executes.  Returns scheduler
     statistics.  If any kernel fiber failed with an unexpected exception,
     the first failure is re-raised after the run completes. *)
 val run : t -> sources:Io.source list -> sinks:Io.sink list -> Sched.stats
@@ -60,6 +66,7 @@ val execute :
   ?hooks:wrap_hooks ->
   ?queue_capacity:int ->
   ?block_io:bool ->
+  ?spsc:bool ->
   Serialized.t ->
   sources:Io.source list ->
   sinks:Io.sink list ->

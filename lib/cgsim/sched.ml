@@ -73,13 +73,18 @@ type _ Effect.t +=
   | Park_eff : (waker -> unit) -> unit Effect.t
   | Yield_eff : unit Effect.t
 
-(* The current scheduler for the running fiber.  cgsim is single-threaded
-   by design (Section 5.2 discusses this trade-off), so a single slot
-   suffices; x86sim uses OS threads and never goes through this module. *)
-let current : (t * task) option ref = ref None
+(* The current scheduler for the running fiber.  Each scheduler instance
+   is single-threaded by design (Section 5.2 discusses this trade-off),
+   but the domain pool (Pool) runs one independent scheduler per domain,
+   so the slot is domain-local rather than a plain global; x86sim uses OS
+   threads and never goes through this module. *)
+let current_key : (t * task) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = Domain.DLS.get current_key
 
 let current_name () =
-  match !current with
+  match !(current ()) with
   | Some (_, task) -> task.name
   | None -> "<host>"
 
@@ -94,12 +99,12 @@ let spawn (t : t) ~name fn =
   Queue.push task t.ready
 
 let yield () =
-  match !current with
+  match !(current ()) with
   | Some _ -> perform Yield_eff
   | None -> ()
 
 let park register =
-  match !current with
+  match !(current ()) with
   | Some _ -> perform (Park_eff register)
   | None -> invalid_arg "cgsim: Sched.park called outside of a running fiber"
 
@@ -203,8 +208,9 @@ let run_slice (t : t) (task : task) =
          states mean a stale queue entry (e.g. woken then cancelled). *)
       ()
   in
-  let saved = !current in
-  current := Some (t, task);
+  let slot = current () in
+  let saved = !slot in
+  slot := Some (t, task);
   let t0 = now_ns () in
   resume ();
   let t1 = now_ns () in
@@ -216,7 +222,7 @@ let run_slice (t : t) (task : task) =
     Obs.Trace.span ~track:task.name ~cat:"sched" ~name:"slice" ~ts_ns:t0 ~dur_ns:(t1 -. t0) ();
     Obs.Trace.observe_ns "sched.slice_ns" (t1 -. t0)
   end;
-  current := saved
+  slot := saved
 
 let cancel_parked t =
   (* End-of-run cleanup (Section 3.8): terminate fibers that can no longer
@@ -229,11 +235,12 @@ let cancel_parked t =
       | Parked k ->
         task.state <- Running;
         t.n_parked <- t.n_parked - 1;
-        let saved = !current in
-        current := Some (t, task);
+        let slot = current () in
+        let saved = !slot in
+        slot := Some (t, task);
         (* discontinue runs under the handler captured at fiber start *)
         (try discontinue k Terminated with Terminated -> ());
-        current := saved;
+        slot := saved;
         (match task.state with
          | Running -> task.state <- Finished
          | Initial _ | Parked _ | Ready _ | Finished -> ())

@@ -80,6 +80,7 @@ let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
                 w_dtype = spec.Cgsim.Kernel.dtype;
                 w_put = (fun v -> Tqueue.put p v);
                 w_put_block = Tqueue.put_block p;
+                w_space = (fun () -> Tqueue.space q);
               }
               :: !writers)
         inst.ports;

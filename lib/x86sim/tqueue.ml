@@ -246,3 +246,7 @@ let producer_done p =
 let total_put q = with_lock q (fun () -> q.total)
 
 let capacity q = q.cap
+
+(* Advisory free space: stale by the time the caller acts on it, which
+   is fine — block writes re-check under the lock. *)
+let space q = with_lock q (fun () -> q.cap - (q.head - min_cursor q))

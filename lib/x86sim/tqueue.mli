@@ -59,3 +59,8 @@ val producer_done : producer -> unit
 val total_put : t -> int
 
 val capacity : t -> int
+
+val space : t -> int
+(** Advisory free space (capacity minus in-flight elements), taken under
+    the queue lock but stale the moment it returns; block writes re-check
+    before storing.  Feeds {!Cgsim.Port.w_space}. *)

@@ -169,6 +169,50 @@ let test_block_io_equivalence () =
         Alcotest.failf "%s: block and element paths differ" h.Apps.Harness.name)
     Apps.Harness.all
 
+(* Same bar for the SPSC fast path: sealed 1:1 edges and the forced
+   broadcast path must give bit-identical sink contents for every app. *)
+let test_spsc_equivalence () =
+  List.iter
+    (fun (h : Apps.Harness.t) ->
+      let reps = 2 in
+      let run_with ~spsc =
+        let g = h.Apps.Harness.graph () in
+        let sinks, contents = h.Apps.Harness.make_sinks () in
+        ignore (Cgsim.Runtime.execute ~spsc g ~sources:(h.Apps.Harness.sources ~reps) ~sinks);
+        contents ()
+      in
+      let fast = run_with ~spsc:true in
+      let slow = run_with ~spsc:false in
+      if List.length fast <> List.length slow then
+        Alcotest.failf "%s: spsc and mpmc paths differ in length" h.Apps.Harness.name;
+      if not (List.for_all2 Cgsim.Value.equal fast slow) then
+        Alcotest.failf "%s: spsc and mpmc paths differ" h.Apps.Harness.name)
+    Apps.Harness.all
+
+(* Whole apps served through the pool: every request's output checks
+   against the scalar reference, with more requests than domains. *)
+let test_pool_serves_apps () =
+  List.iter
+    (fun (h : Apps.Harness.t) ->
+      let reps = 1 and requests = 5 in
+      let contents = Array.make requests (fun () -> []) in
+      let io r =
+        let sinks, c = h.Apps.Harness.make_sinks () in
+        contents.(r) <- c;
+        h.Apps.Harness.sources ~reps, sinks
+      in
+      let stats = Cgsim.Pool.run ~domains:2 ~requests ~io (h.Apps.Harness.graph ()) in
+      Array.iter
+        (fun (res : Cgsim.Pool.request_result) ->
+          match res.Cgsim.Pool.outcome with
+          | Error e -> Alcotest.failf "%s req %d: %s" h.Apps.Harness.name res.Cgsim.Pool.req_id e
+          | Ok _ ->
+            check_ok
+              (Printf.sprintf "%s req %d (pool)" h.Apps.Harness.name res.Cgsim.Pool.req_id)
+              (h.Apps.Harness.check ~reps (contents.(res.Cgsim.Pool.req_id) ())))
+        stats.Cgsim.Pool.results)
+    Apps.Harness.all
+
 let () =
   Alcotest.run "apps"
     [
@@ -191,6 +235,8 @@ let () =
           Alcotest.test_case "iir x2" `Quick (cgsim_case Apps.Harness.iir 2);
           Alcotest.test_case "bilinear x3" `Quick (cgsim_case Apps.Harness.bilinear 3);
           Alcotest.test_case "block == element path" `Quick test_block_io_equivalence;
+          Alcotest.test_case "spsc == mpmc path" `Quick test_spsc_equivalence;
+          Alcotest.test_case "pool serves all apps" `Quick test_pool_serves_apps;
         ] );
       ( "x86sim-end-to-end",
         [

@@ -950,6 +950,215 @@ let test_io_rtp_sink () =
   | Some (Cgsim.Value.Float f) -> Alcotest.(check (float 1e-6)) "last value" 16.0 f
   | _ -> Alcotest.fail "rtp sink should hold the final scalar"
 
+(* ------------------------------------------------------------------ *)
+(* SPSC fast path, wiring verification, Pool                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bqueue_endpoint_counts () =
+  let q = Cgsim.Bqueue.create ~name:"counts" ~dtype:Cgsim.Dtype.I32 ~capacity:4 () in
+  Alcotest.(check int) "no producers" 0 (Cgsim.Bqueue.producers q);
+  Alcotest.(check int) "no consumers" 0 (Cgsim.Bqueue.consumers q);
+  let _p = Cgsim.Bqueue.add_producer q in
+  let _c1 = Cgsim.Bqueue.add_consumer q in
+  let _c2 = Cgsim.Bqueue.add_consumer q in
+  Alcotest.(check int) "one producer" 1 (Cgsim.Bqueue.producers q);
+  Alcotest.(check int) "two consumers" 2 (Cgsim.Bqueue.consumers q)
+
+let test_bqueue_spsc_detection () =
+  (* 1:1 edge seals onto the fast path. *)
+  let q = Cgsim.Bqueue.create ~name:"spsc" ~dtype:Cgsim.Dtype.I32 ~capacity:4 () in
+  let _p = Cgsim.Bqueue.add_producer q in
+  let _c = Cgsim.Bqueue.add_consumer q in
+  Alcotest.(check bool) "not spsc before seal" false (Cgsim.Bqueue.is_spsc q);
+  Cgsim.Bqueue.seal q;
+  Alcotest.(check bool) "sealed 1:1 is spsc" true (Cgsim.Bqueue.is_spsc q);
+  (* Any endpoint registered after sealing drops the flag (transparent
+     fallback to the broadcast path). *)
+  let _c2 = Cgsim.Bqueue.add_consumer q in
+  Alcotest.(check bool) "extra consumer drops spsc" false (Cgsim.Bqueue.is_spsc q);
+  (* Broadcast shapes never seal. *)
+  let q2 = Cgsim.Bqueue.create ~name:"mpmc" ~dtype:Cgsim.Dtype.I32 ~capacity:4 () in
+  let _ = Cgsim.Bqueue.add_producer q2 in
+  let _ = Cgsim.Bqueue.add_producer q2 in
+  let _ = Cgsim.Bqueue.add_consumer q2 in
+  Cgsim.Bqueue.seal q2;
+  Alcotest.(check bool) "2 producers never spsc" false (Cgsim.Bqueue.is_spsc q2);
+  (* Opt-out leaves a 1:1 edge on the broadcast path. *)
+  let q3 = Cgsim.Bqueue.create ~name:"optout" ~dtype:Cgsim.Dtype.I32 ~capacity:4 () in
+  let _ = Cgsim.Bqueue.add_producer q3 in
+  let _ = Cgsim.Bqueue.add_consumer q3 in
+  Cgsim.Bqueue.seal ~spsc:false q3;
+  Alcotest.(check bool) "seal ~spsc:false stays mpmc" false (Cgsim.Bqueue.is_spsc q3)
+
+(* Push 0..n-1 through a capacity-8 queue with a mix of element and block
+   operations on both sides; returns the received ints in order. *)
+let spsc_transfer ~spsc ~n =
+  let q = Cgsim.Bqueue.create ~name:"xfer" ~dtype:Cgsim.Dtype.I32 ~capacity:8 () in
+  let p = Cgsim.Bqueue.add_producer q in
+  let c = Cgsim.Bqueue.add_consumer q in
+  Cgsim.Bqueue.seal ~spsc q;
+  Alcotest.(check bool) "seal state" spsc (Cgsim.Bqueue.is_spsc q);
+  let got = ref [] in
+  let s = Cgsim.Sched.create () in
+  Cgsim.Sched.spawn s ~name:"producer" (fun () ->
+      let i = ref 0 in
+      while !i < n do
+        if !i mod 3 = 0 && n - !i >= 7 then begin
+          (* Block write larger than half the ring to exercise chunking. *)
+          Cgsim.Bqueue.put_block p (Array.init 7 (fun k -> Cgsim.Value.Int (!i + k)));
+          i := !i + 7
+        end
+        else begin
+          Cgsim.Bqueue.put p (Cgsim.Value.Int !i);
+          incr i
+        end
+      done;
+      Cgsim.Bqueue.producer_done p);
+  Cgsim.Sched.spawn s ~name:"consumer" (fun () ->
+      let step = ref 0 in
+      let rec loop () =
+        (match !step mod 3 with
+         | 0 -> got := Cgsim.Value.to_int (Cgsim.Bqueue.get c) :: !got
+         | 1 ->
+           Array.iter
+             (fun v -> got := Cgsim.Value.to_int v :: !got)
+             (Cgsim.Bqueue.get_some c ~max:5)
+         | _ ->
+           if Cgsim.Bqueue.available c >= 2 then
+             Array.iter
+               (fun v -> got := Cgsim.Value.to_int v :: !got)
+               (Cgsim.Bqueue.get_block c 2)
+           else got := Cgsim.Value.to_int (Cgsim.Bqueue.get c) :: !got);
+        incr step;
+        loop ()
+      in
+      loop ());
+  ignore (Cgsim.Sched.run s);
+  List.rev !got
+
+let test_bqueue_spsc_transfer_equal () =
+  let n = 200 in
+  let fast = spsc_transfer ~spsc:true ~n in
+  let slow = spsc_transfer ~spsc:false ~n in
+  Alcotest.(check (list int)) "same bytes either path" slow fast;
+  Alcotest.(check (list int)) "and they are 0..n-1" (List.init n Fun.id) fast
+
+let test_runtime_spsc_equivalence () =
+  (* Whole-graph equivalence: the diamond has 1:1 edges (sealed) and a
+     broadcast net (never sealed); outputs must not depend on the flag. *)
+  let run ~spsc =
+    let sink, contents = Cgsim.Io.f32_buffer () in
+    let input = Cgsim.Io.of_f32_array (Array.init 64 float_of_int) in
+    let _ = Cgsim.Runtime.execute ~spsc (diamond_graph ()) ~sources:[ input ] ~sinks:[ sink ] in
+    contents ()
+  in
+  Alcotest.(check (array (float 0.0))) "spsc on == off" (run ~spsc:false) (run ~spsc:true)
+
+let test_runtime_missing_consumer () =
+  (* Hand-build a graph whose kernel output net has neither readers nor a
+     global output: structurally valid, but every element written would
+     sit unretired forever.  The wiring check must name the port. *)
+  let g =
+    Cgsim.Builder.make ~name:"leaky" ~inputs:[ "x", Cgsim.Dtype.F32 ] (fun b conns ->
+        let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel b scale_kernel [ List.hd conns; out ]);
+        [ out ])
+  in
+  let leaky_net (n : Cgsim.Serialized.net) =
+    if n.Cgsim.Serialized.global_output = None then n
+    else { n with Cgsim.Serialized.global_output = None }
+  in
+  let g =
+    { g with Cgsim.Serialized.nets = Array.map leaky_net g.Cgsim.Serialized.nets;
+             output_order = [||] }
+  in
+  match
+    Cgsim.Runtime.execute g ~sources:[ Cgsim.Io.of_f32_array [| 1.0 |] ] ~sinks:[]
+  with
+  | exception Cgsim.Runtime.Runtime_error msg ->
+    let mentions needle =
+      let nl = String.length needle and hl = String.length msg in
+      let rec at i = i + nl <= hl && (String.sub msg i nl = needle || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) ("names the failure: " ^ msg) true
+      (mentions "no consumer" && mentions "test_scale_0.out")
+  | _ -> Alcotest.fail "consumer-less net must be rejected before running"
+
+let pool_io_for_request contents r =
+  let sink, c = Cgsim.Io.f32_buffer () in
+  contents.(r) <- c;
+  let input = Array.init 8 (fun i -> float_of_int ((r * 8) + i)) in
+  [ Cgsim.Io.of_f32_array input ], [ sink ]
+
+let pool_expected r = Array.init 8 (fun i -> 8.0 *. float_of_int ((r * 8) + i))
+
+let test_pool_single_domain_matches_sequential () =
+  let requests = 5 in
+  let contents = Array.make requests (fun () -> [||]) in
+  let stats =
+    Cgsim.Pool.run ~domains:1 ~requests ~io:(pool_io_for_request contents) (diamond_graph ())
+  in
+  Alcotest.(check int) "no steals on one domain" 0 stats.Cgsim.Pool.steals;
+  Array.iter
+    (fun (res : Cgsim.Pool.request_result) ->
+      (match res.Cgsim.Pool.outcome with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "request %d failed: %s" res.Cgsim.Pool.req_id e);
+      Alcotest.(check int) "ran on domain 0" 0 res.Cgsim.Pool.domain)
+    stats.Cgsim.Pool.results;
+  (* Outputs equal what a sequential loop over Runtime.execute yields. *)
+  for r = 0 to requests - 1 do
+    let sink, seq = Cgsim.Io.f32_buffer () in
+    let input = Array.init 8 (fun i -> float_of_int ((r * 8) + i)) in
+    let _ =
+      Cgsim.Runtime.execute (diamond_graph ())
+        ~sources:[ Cgsim.Io.of_f32_array input ] ~sinks:[ sink ]
+    in
+    Alcotest.(check (array (float 0.0)))
+      (Printf.sprintf "request %d matches sequential" r)
+      (seq ()) (contents.(r) ())
+  done
+
+let test_pool_more_requests_than_domains () =
+  let requests = 17 and domains = 4 in
+  let contents = Array.make requests (fun () -> [||]) in
+  let stats =
+    Cgsim.Pool.run ~domains ~requests ~io:(pool_io_for_request contents) (diamond_graph ())
+  in
+  Alcotest.(check int) "all results present" requests (Array.length stats.Cgsim.Pool.results);
+  Array.iteri
+    (fun r (res : Cgsim.Pool.request_result) ->
+      Alcotest.(check int) "indexed by request id" r res.Cgsim.Pool.req_id;
+      (match res.Cgsim.Pool.outcome with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "request %d failed: %s" r e);
+      Alcotest.(check bool) "domain in range" true
+        (res.Cgsim.Pool.domain >= 0 && res.Cgsim.Pool.domain < domains);
+      Alcotest.(check (array (float 0.0)))
+        (Printf.sprintf "request %d output" r)
+        (pool_expected r) (contents.(r) ()))
+    stats.Cgsim.Pool.results
+
+let test_pool_captures_failures () =
+  (* A bad request (wrong source count) is reported in its slot; the
+     others still complete. *)
+  let requests = 4 in
+  let contents = Array.make requests (fun () -> [||]) in
+  let io r =
+    if r = 2 then [], [ Cgsim.Io.null () ] else pool_io_for_request contents r
+  in
+  let stats = Cgsim.Pool.run ~domains:2 ~requests ~io (diamond_graph ()) in
+  Array.iteri
+    (fun r (res : Cgsim.Pool.request_result) ->
+      match res.Cgsim.Pool.outcome, r with
+      | Error _, 2 -> ()
+      | Ok _, 2 -> Alcotest.fail "request 2 must fail (no sources)"
+      | Ok _, _ -> Alcotest.(check (array (float 0.0))) "good request" (pool_expected r)
+                     (contents.(r) ())
+      | Error e, _ -> Alcotest.failf "request %d should succeed: %s" r e)
+    stats.Cgsim.Pool.results
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -998,6 +1207,9 @@ let () =
           Alcotest.test_case "block > capacity" `Quick test_bqueue_block_larger_than_capacity;
           Alcotest.test_case "eos mid-block" `Quick test_bqueue_block_eos_midblock;
           Alcotest.test_case "get_some bounds" `Quick test_bqueue_get_some_bounds;
+          Alcotest.test_case "endpoint counts" `Quick test_bqueue_endpoint_counts;
+          Alcotest.test_case "spsc detection" `Quick test_bqueue_spsc_detection;
+          Alcotest.test_case "spsc transfer equal" `Quick test_bqueue_spsc_transfer_equal;
         ]
         @ qsuite [ prop_bqueue_broadcast_random ] );
       ( "builder",
@@ -1018,8 +1230,17 @@ let () =
           Alcotest.test_case "single shot" `Quick test_runtime_single_shot;
           Alcotest.test_case "runtime parameter" `Quick test_runtime_rtp;
           Alcotest.test_case "profile fraction" `Quick test_profile_fraction;
+          Alcotest.test_case "spsc equivalence" `Quick test_runtime_spsc_equivalence;
+          Alcotest.test_case "missing consumer" `Quick test_runtime_missing_consumer;
         ]
         @ qsuite [ prop_pipeline_random ] );
+      ( "pool",
+        [
+          Alcotest.test_case "1 domain == sequential" `Quick
+            test_pool_single_domain_matches_sequential;
+          Alcotest.test_case "requests > domains" `Quick test_pool_more_requests_than_domains;
+          Alcotest.test_case "failures captured" `Quick test_pool_captures_failures;
+        ] );
       ( "graph-text",
         [
           Alcotest.test_case "dtype round-trip" `Quick test_graph_text_dtype_roundtrip;
