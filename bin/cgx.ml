@@ -76,7 +76,10 @@ let inspect_cmd =
         let projects = Extractor.Project.extract_file ~include_dirs ~all_graphs input in
         List.iter
           (fun p ->
-            if dot then print_string (Extractor.Dot.of_graph p.Extractor.Project.serialized)
+            if dot then
+              print_string
+                (Extractor.Dot.of_graph ~lint:p.Extractor.Project.lint
+                   p.Extractor.Project.serialized)
             else begin
               Format.printf "%a@." Extractor.Project.pp_summary p;
               Format.printf "%a@." Cgsim.Serialized.pp p.Extractor.Project.serialized
@@ -101,6 +104,70 @@ let dump_cmd =
          "Print the flattened serialized graphs in the textual graph format (the on-disk           analogue of the constexpr graph variable).")
     Term.(const run $ input_arg $ include_dirs_arg $ all_graphs_arg)
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit findings as a JSON document (schema cgsim-lint/1).")
+
+let graph_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "g"; "graph" ] ~docv:"NAME" ~doc:"Lint only the graph named NAME.")
+
+let lint_cmd =
+  let run input include_dirs json graph_name =
+    handle_errors (fun () ->
+        let env = Cgc.Driver.analyze_file ~include_dirs input in
+        let graphs =
+          match graph_name with
+          | None -> Cgc.Sema.graphs env
+          | Some n ->
+            List.filter (fun (g : Cgc.Ast.graph) -> g.Cgc.Ast.g_name = n) (Cgc.Sema.graphs env)
+        in
+        if graphs = [] then begin
+          Printf.eprintf "error: no compute graphs%s in %s\n"
+            (match graph_name with Some n -> " named " ^ n | None -> "")
+            input;
+          exit 2
+        end;
+        let linted =
+          List.map
+            (fun (g : Cgc.Ast.graph) ->
+              g.Cgc.Ast.g_name, Analysis.Lint.run (Cgc.Consteval.eval_graph env g))
+            graphs
+        in
+        if json then
+          print_endline
+            (Obs.Json.to_string
+               (Obs.Json.Obj
+                  [
+                    "schema", Obs.Json.Str "cgsim-lint/1";
+                    "file", Obs.Json.Str input;
+                    ( "graphs",
+                      Obs.Json.Arr
+                        (List.map
+                           (fun (name, diags) -> Analysis.Report.to_json ~graph:name diags)
+                           linted) );
+                  ]))
+        else
+          List.iter
+            (fun (name, diags) ->
+              Printf.printf "graph %s: %s\n" name (Analysis.Report.summary diags);
+              List.iter
+                (fun d -> print_endline ("  " ^ Cgsim.Diagnostic.render d))
+                (Cgsim.Diagnostic.sort diags))
+            linted;
+        (* 0 clean/info, 1 warnings, 2 errors — CI gates on >= 2. *)
+        exit (Cgsim.Diagnostic.exit_status (List.concat_map snd linted)))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze the compute graphs of a file: structural validity, rate balance, \
+          capacity-aware deadlock detection, fan-out/settings hazards, pool safety.")
+    Term.(const run $ input_arg $ include_dirs_arg $ json_arg $ graph_arg)
+
 let reps_arg =
   Arg.(value & opt int 8 & info [ "r"; "reps" ] ~docv:"N" ~doc:"Input blocks to simulate.")
 
@@ -121,6 +188,16 @@ let simulate_cmd =
         let chrome_trace =
           match trace with Some f when Filename.check_suffix f ".json" -> Some f | _ -> None
         in
+        (* A trace file without the .json suffix silently fell through to
+           the CSV timeline; say so, so a typo like trace.jsn is visible. *)
+        (match trace, chrome_trace with
+         | Some f, None ->
+           Printf.eprintf
+             "warning: --trace %s does not end in .json; writing the CSV iteration timeline \
+              (name the file *.json for the Chrome trace)\n\
+              %!"
+             f
+         | _ -> ());
         List.iter
           (fun p ->
             let name = p.Extractor.Project.graph_name in
@@ -165,4 +242,4 @@ let () =
     Cmd.info "cgx" ~version:"1.0.0"
       ~doc:"Compute-graph extractor for cgsim prototypes targeting AMD Versal AI Engines"
   in
-  exit (Cmd.eval (Cmd.group info [ extract_cmd; inspect_cmd; dump_cmd; simulate_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ extract_cmd; inspect_cmd; dump_cmd; lint_cmd; simulate_cmd ]))

@@ -35,9 +35,25 @@ test -s "$MICRO_JSON" || { echo "ci: micro JSON is empty" >&2; exit 1; }
 # malformed output or a missing schema marker.
 dune exec bench/main.exe -- check-json "$MICRO_JSON"
 
+echo "== graph lint (examples/cgc, JSON output) =="
+LINT_JSON=$(mktemp -t ci-lint-XXXXXX.json)
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON"' EXIT
+for f in examples/cgc/*.cgc; do
+  # Exit status: 0 clean/info, 1 warnings (tolerated), 2 errors (fail).
+  rc=0
+  dune exec bin/cgx.exe -- lint --json "$f" > "$LINT_JSON" || rc=$?
+  if [ "$rc" -ge 2 ]; then
+    echo "ci: $f has lint errors" >&2
+    cat "$LINT_JSON" >&2
+    exit 1
+  fi
+  dune exec bench/main.exe -- check-json "$LINT_JSON"
+  echo "lint OK: $f (rc=$rc)"
+done
+
 echo "== serve smoke (parallel pool on 2 domains, JSON output) =="
 SERVE_JSON=$(mktemp -t ci-serve-XXXXXX.json)
-trap 'rm -f "$TRACE" "$MICRO_JSON" "$SERVE_JSON"' EXIT
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_JSON"' EXIT
 # Every request's output is verified inside the bench; nonzero exit on
 # any wrong result.  Schema cgsim-bench-serve/1.
 dune exec bench/main.exe -- serve --smoke --domains 1,2 --json "$SERVE_JSON"

@@ -1,0 +1,29 @@
+(** The lint driver: every pass over one graph, one finding list.
+
+    Pass order is structural validation first ({!Cgsim.Serialized.validate_diags});
+    when it reports errors the graph's indices cannot be trusted, so the
+    deeper passes are skipped and only the structural findings are
+    returned.  Otherwise the rate, deadlock, hazard and pool-safety
+    passes run and their findings are filtered through per-net
+    suppression and sorted errors-first.
+
+    Suppression: a net attribute ["lint.suppress"] whose string value is
+    a comma-separated list of codes (or ["all"]) drops findings of those
+    codes when {e every} net the finding names carries the suppression.
+    Findings naming no net are never suppressed. *)
+
+type pass = {
+  pass_name : string;
+  pass_run : Cgsim.Serialized.t -> Cgsim.Diagnostic.t list;
+}
+
+(** Rates, deadlock, hazards, pool-safety — the passes that run after
+    structural validation. *)
+val default_passes : pass list
+
+val run : ?passes:pass list -> Cgsim.Serialized.t -> Cgsim.Diagnostic.t list
+
+(** Install {!run} as {!Cgsim.Runtime}'s pre-flight hook.  Idempotent;
+    also performed when this module is initialized, so merely linking
+    the [analysis] library arms the runtime pre-flight. *)
+val install_runtime_hook : unit -> unit

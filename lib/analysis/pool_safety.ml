@@ -1,0 +1,39 @@
+module S = Cgsim.Serialized
+module D = Cgsim.Diagnostic
+
+let analyze (g : S.t) =
+  let diags = ref [] in
+  let unknown = ref [] in
+  Array.iter
+    (fun (inst : S.kernel_inst) ->
+      match Cgsim.Registry.find inst.S.key with
+      | None -> ()  (* structural validation reports unregistered keys *)
+      | Some k ->
+        (match k.Cgsim.Kernel.purity with
+         | Cgsim.Kernel.Stateful ->
+           diags :=
+             D.make ~severity:D.Warning ~code:"CG-W401" ~graph:g.S.gname
+               ~kernels:[ inst.S.inst_name ] ?loc:inst.S.src
+               (Printf.sprintf
+                  "kernel %s (%s) is declared stateful: concurrent pool serving of this graph \
+                   may observe cross-request interference"
+                  inst.S.inst_name inst.S.key)
+             :: !diags
+         | Cgsim.Kernel.Pure -> ()
+         | Cgsim.Kernel.Unknown ->
+           if not (List.mem inst.S.key !unknown) then unknown := inst.S.key :: !unknown))
+    g.S.kernels;
+  let diags = List.rev !diags in
+  match List.rev !unknown with
+  | [] -> diags
+  | keys ->
+    diags
+    @ [
+        D.make ~severity:D.Info ~code:"CG-I402" ~graph:g.S.gname
+          (Printf.sprintf
+             "kernel definition%s %s declare%s no purity; annotate with ~pure to let the \
+              pool-safety pass verify concurrent serving"
+             (if List.length keys = 1 then "" else "s")
+             (String.concat ", " keys)
+             (if List.length keys = 1 then "s" else ""));
+      ]

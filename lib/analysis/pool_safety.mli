@@ -1,0 +1,15 @@
+(** Pool-safety / determinism pass.
+
+    {!Cgsim.Pool} instantiates and runs the same serialized graph on
+    several domains at once; a kernel body that captures shared mutable
+    state (declared [~pure:false]) makes those runs interfere.  This
+    pass resolves every kernel instance through the registry and
+    reports:
+
+    - [CG-W401]: an instance of a kernel declared stateful — concurrent
+      pool serving (or even back-to-back runs) may observe cross-request
+      interference;
+    - [CG-I402]: a single info listing the kernel definitions that never
+      declared their purity, as a nudge to annotate them. *)
+
+val analyze : Cgsim.Serialized.t -> Cgsim.Diagnostic.t list

@@ -1,0 +1,18 @@
+(** Rendering of finding sets.
+
+    One reporter for every surface: [cgx lint]'s text and [--json]
+    output, the runtime pre-flight's stderr lines, and the extractor's
+    embedded README section all go through here so a finding reads the
+    same everywhere. *)
+
+(** One line per finding (sorted errors-first) followed by a summary
+    line ["N errors, M warnings, K infos"]; ["no findings"] alone when
+    the list is empty. *)
+val to_text : Cgsim.Diagnostic.t list -> string
+
+(** The summary line by itself. *)
+val summary : Cgsim.Diagnostic.t list -> string
+
+(** JSON document with schema ["cgsim-lint/1"]: graph name, per-severity
+    counts, and the findings as structured objects. *)
+val to_json : graph:string -> Cgsim.Diagnostic.t list -> Obs.Json.t

@@ -72,6 +72,8 @@ let blend_group quads =
 
 let kernel =
   Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"bilinear_kernel"
+    ~rates:[ "req", 1; "out", 1 ]
+    ~pure:true
     [
       Cgsim.Kernel.in_port "req" quad_dtype;
       Cgsim.Kernel.out_port "out" Cgsim.Dtype.U16;

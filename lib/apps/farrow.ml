@@ -16,6 +16,8 @@ let pair a b = Cgsim.Value.Vec [| Cgsim.Value.Int a; Cgsim.Value.Int b |]
 
 let stage1 =
   Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"farrow_stage1"
+    ~rates:[ "in", samples_per_window; "c01", samples_per_window; "c23", samples_per_window ]
+    ~pure:true
     [
       Cgsim.Kernel.in_port "in" Cgsim.Dtype.I16 ~settings:window_settings;
       Cgsim.Kernel.out_port "c01" cascade_dtype;
@@ -71,6 +73,9 @@ let stage1 =
 
 let stage2 =
   Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"farrow_stage2"
+    ~rates:
+      [ "c01", samples_per_window; "c23", samples_per_window; "d", 0; "out", samples_per_window ]
+    ~pure:true
     [
       Cgsim.Kernel.in_port "c01" cascade_dtype;
       Cgsim.Kernel.in_port "c23" cascade_dtype;

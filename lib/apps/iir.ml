@@ -32,6 +32,8 @@ let section_matrix (s : Workloads.Reference.biquad) =
 
 let kernel =
   Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"iir_kernel"
+    ~rates:[ "in", samples_per_window; "out", samples_per_window ]
+    ~pure:true
     [
       Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32 ~settings:window_settings;
       Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32 ~settings:window_settings;

@@ -202,7 +202,33 @@ let kernel_of_cgc ctx (k : Ast.kernel) : Cgsim.Kernel.t =
       ports;
     if not (Cgsim.Kernel.equal_realm twin.Cgsim.Kernel.realm realm) then
       fail k.Ast.k_range "kernel %s: realm differs from the registered twin" k.Ast.k_name;
-    twin
+    (* Queue depths are CGC-side tuning, not part of the twin contract:
+       a declared <.., DEPTH> argument overlays the twin's port settings
+       so the instantiated graph actually gets the declared capacity. *)
+    let depths_declared =
+      List.exists
+        (fun (spec : Cgsim.Kernel.port_spec) ->
+          spec.Cgsim.Kernel.settings.Cgsim.Settings.depth <> None)
+        ports
+    in
+    if not depths_declared then twin
+    else
+      {
+        twin with
+        Cgsim.Kernel.ports =
+          Array.of_list
+            (List.mapi
+               (fun i (spec : Cgsim.Kernel.port_spec) ->
+                 let t = List.nth twin_ports i in
+                 match spec.Cgsim.Kernel.settings.Cgsim.Settings.depth with
+                 | Some d ->
+                   {
+                     t with
+                     Cgsim.Kernel.settings = Cgsim.Settings.with_depth d t.Cgsim.Kernel.settings;
+                   }
+                 | None -> t)
+               ports);
+      }
   | None ->
     let kernel =
       Cgsim.Kernel.define ~realm ~name:k.Ast.k_name ports (fun _ ->
@@ -329,7 +355,7 @@ and eval_call ctx scope range callee args =
             | v -> fail a.Ast.e_range "kernel arguments must be connectors, got %s" (value_kind v))
           args
       in
-      ignore (Cgsim.Builder.add_kernel ctx.builder kernel conns);
+      ignore (Cgsim.Builder.add_kernel ctx.builder ~src:(Diag.span_of_range range) kernel conns);
       V_unit
     | _ -> assert false
   end
@@ -350,7 +376,10 @@ and eval_stmt ctx scope (s : Ast.stmt) =
         (fun (name, init) ->
           match init with
           | None ->
-            Hashtbl.replace scope.vars name (ref (V_conn (Cgsim.Builder.net ctx.builder dtype)))
+            Hashtbl.replace scope.vars name
+              (ref
+                 (V_conn
+                    (Cgsim.Builder.net ~src:(Diag.span_of_range s.Ast.s_range) ctx.builder dtype)))
           | Some e -> begin
             match eval_expr ctx scope e with
             | V_conn c -> Hashtbl.replace scope.vars name (ref (V_conn c))
@@ -418,7 +447,10 @@ let eval_graph env (g : Ast.graph) : Cgsim.Serialized.t =
   List.iter
     (fun (p : Ast.param) ->
       let dtype = Sema.connector_dtype env p.Ast.p_type in
-      let conn = Cgsim.Builder.input builder ~name:p.Ast.p_name dtype in
+      let conn =
+        Cgsim.Builder.input builder ~src:(Diag.span_of_range p.Ast.p_range) ~name:p.Ast.p_name
+          dtype
+      in
       Hashtbl.replace scope.vars p.Ast.p_name (ref (V_conn conn)))
     g.Ast.g_lambda.Ast.l_params;
   let result =

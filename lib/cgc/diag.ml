@@ -2,4 +2,15 @@ exception Error of Srcloc.range * string
 
 let error range fmt = Format.kasprintf (fun s -> raise (Error (range, s))) fmt
 
-let to_string range msg = Printf.sprintf "%s: error: %s" (Srcloc.to_string range) msg
+let span_of_range (r : Srcloc.range) =
+  Cgsim.Srcspan.make ~file:r.Srcloc.start.Srcloc.file ~line:r.Srcloc.start.Srcloc.line
+    ~col:r.Srcloc.start.Srcloc.col ~end_line:r.Srcloc.stop.Srcloc.line
+    ~end_col:r.Srcloc.stop.Srcloc.col ()
+
+let to_diagnostic range msg =
+  Cgsim.Diagnostic.make ~severity:Cgsim.Diagnostic.Error ~code:""
+    ~loc:(span_of_range range) msg
+
+(* Front-end errors carry no code; Diagnostic.render then produces the
+   historical "file:line:col: error: message" shape exactly. *)
+let to_string range msg = Cgsim.Diagnostic.render (to_diagnostic range msg)

@@ -1,9 +1,19 @@
-(** Diagnostics for the CGC front-end. *)
+(** Diagnostics for the CGC front-end.
+
+    Located front-end failures are raised as {!Error}; rendering routes
+    through {!Cgsim.Diagnostic} so CGC errors, validator findings and
+    static-analysis findings all read the same. *)
 
 exception Error of Srcloc.range * string
 
 (** Raise a located error. *)
 val error : Srcloc.range -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
-(** Render "file:line:col: error: message". *)
+(** CGC range to the neutral span type carried by serialized graphs. *)
+val span_of_range : Srcloc.range -> Cgsim.Srcspan.t
+
+(** A front-end error as an uncoded error-severity diagnostic. *)
+val to_diagnostic : Srcloc.range -> string -> Cgsim.Diagnostic.t
+
+(** Render "file:line:col: error: message" (via {!Cgsim.Diagnostic.render}). *)
 val to_string : Srcloc.range -> string -> string

@@ -88,19 +88,28 @@ let int_template_arg (t : Ast.targ) range =
 
 let port_of_param env (p : Ast.param) : Cgsim.Kernel.port_spec =
   let range = p.Ast.p_range in
+  (* Stream and window port types accept one trailing integer template
+     argument declaring the simulation queue depth in elements —
+     cgsim's KernelReadPort<T, DEPTH> non-type argument.  Omitted, the
+     depth stays unset and resolves to the runtime default. *)
+  let depth settings = function
+    | [] -> settings
+    | [ d ] -> Cgsim.Settings.with_depth (int_template_arg d range) settings
+    | _ -> fail range "kernel parameter %s: too many template arguments" p.Ast.p_name
+  in
   match p.Ast.p_type.Ast.t_desc with
-  | Ast.Ttemplate ("KernelReadPort", [ Ast.Ta_type elem ]) ->
+  | Ast.Ttemplate ("KernelReadPort", Ast.Ta_type elem :: rest) ->
     Cgsim.Kernel.in_port p.Ast.p_name (dtype_of_type env elem)
-      ~settings:Cgsim.Settings.stream
-  | Ast.Ttemplate ("KernelWritePort", [ Ast.Ta_type elem ]) ->
+      ~settings:(depth Cgsim.Settings.stream rest)
+  | Ast.Ttemplate ("KernelWritePort", Ast.Ta_type elem :: rest) ->
     Cgsim.Kernel.out_port p.Ast.p_name (dtype_of_type env elem)
-      ~settings:Cgsim.Settings.stream
-  | Ast.Ttemplate ("KernelWindowReadPort", [ Ast.Ta_type elem; bytes ]) ->
+      ~settings:(depth Cgsim.Settings.stream rest)
+  | Ast.Ttemplate ("KernelWindowReadPort", Ast.Ta_type elem :: bytes :: rest) ->
     Cgsim.Kernel.in_port p.Ast.p_name (dtype_of_type env elem)
-      ~settings:(Cgsim.Settings.window (int_template_arg bytes range))
-  | Ast.Ttemplate ("KernelWindowWritePort", [ Ast.Ta_type elem; bytes ]) ->
+      ~settings:(depth (Cgsim.Settings.window (int_template_arg bytes range)) rest)
+  | Ast.Ttemplate ("KernelWindowWritePort", Ast.Ta_type elem :: bytes :: rest) ->
     Cgsim.Kernel.out_port p.Ast.p_name (dtype_of_type env elem)
-      ~settings:(Cgsim.Settings.window (int_template_arg bytes range))
+      ~settings:(depth (Cgsim.Settings.window (int_template_arg bytes range)) rest)
   | Ast.Ttemplate ("KernelRtpPort", [ Ast.Ta_type elem ]) ->
     Cgsim.Kernel.in_port p.Ast.p_name (dtype_of_type env elem) ~settings:Cgsim.Settings.rtp
   | Ast.Ttemplate ("KernelGmioReadPort", [ Ast.Ta_type elem ]) ->

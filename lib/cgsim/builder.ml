@@ -5,6 +5,7 @@ let fail fmt = Format.kasprintf (fun s -> raise (Construction_error s)) fmt
 type net_state = {
   id : int;
   dtype : Dtype.t;
+  src : Srcspan.t option;
   mutable attrs : Attr.t list;
   mutable writers : Serialized.endpoint list;  (* reverse order *)
   mutable readers : Serialized.endpoint list;  (* reverse order *)
@@ -21,6 +22,7 @@ type inst_state = {
   inst_name : string;
   kernel : Kernel.t;
   port_nets : int array;
+  inst_src : Srcspan.t option;
 }
 
 type t = {
@@ -55,12 +57,13 @@ let create ~name =
 
 let check_open t = if t.frozen then fail "graph %s: construction after freeze" t.gname
 
-let fresh_net t dtype =
+let fresh_net ?src t dtype =
   check_open t;
   let n =
     {
       id = t.next_net;
       dtype;
+      src;
       attrs = [];
       writers = [];
       readers = [];
@@ -76,10 +79,10 @@ let check_owner t c =
   if c.owner_id <> t.builder_id then
     fail "graph %s: connector belongs to a different graph builder" t.gname
 
-let net t dtype = fresh_net t dtype
+let net ?src t dtype = fresh_net ?src t dtype
 
-let input t ?(attrs = []) ~name dtype =
-  let c = fresh_net t dtype in
+let input t ?src ?(attrs = []) ~name dtype =
+  let c = fresh_net ?src t dtype in
   c.net.global_input <- Some name;
   c.net.attrs <- Attr.merge c.net.attrs attrs;
   t.input_order <- c.net.id :: t.input_order;
@@ -102,7 +105,7 @@ let attach_attributes t c attrs =
 
 let dtype_of c = c.net.dtype
 
-let add_kernel t ?inst (kernel : Kernel.t) conns =
+let add_kernel t ?inst ?src (kernel : Kernel.t) conns =
   check_open t;
   let n_ports = Array.length kernel.Kernel.ports in
   if List.length conns <> n_ports then
@@ -145,7 +148,7 @@ let add_kernel t ?inst (kernel : Kernel.t) conns =
             (Option.value c.net.global_input ~default:"?");
         c.net.writers <- ep :: c.net.writers)
     conns;
-  t.insts <- { inst_name; kernel; port_nets } :: t.insts;
+  t.insts <- { inst_name; kernel; port_nets; inst_src = src } :: t.insts;
   kernel_idx
 
 (* Merge the settings of all endpoints touching a net, mirroring cgsim's
@@ -180,6 +183,7 @@ let freeze t =
           realm = st.kernel.Kernel.realm;
           ports = st.kernel.Kernel.ports;
           port_nets = st.port_nets;
+          src = st.inst_src;
         })
       insts
   in
@@ -200,6 +204,7 @@ let freeze t =
              readers = List.rev n.readers;
              global_input = n.global_input;
              global_output = n.global_output;
+             src = n.src;
            })
          nets_list)
   in

@@ -23,11 +23,13 @@ exception Construction_error of string
 
 val create : name:string -> t
 
-(** Declare an external graph input carrying elements of the dtype. *)
-val input : t -> ?attrs:Attr.t list -> name:string -> Dtype.t -> conn
+(** Declare an external graph input carrying elements of the dtype.
+    [src] records the source construct that declared it (set by the CGC
+    const-evaluator; OCaml-built graphs normally omit it). *)
+val input : t -> ?src:Srcspan.t -> ?attrs:Attr.t list -> name:string -> Dtype.t -> conn
 
 (** Create an internal connector. *)
-val net : t -> Dtype.t -> conn
+val net : ?src:Srcspan.t -> t -> Dtype.t -> conn
 
 (** Declare [conn] as an external graph output. *)
 val output : t -> ?attrs:Attr.t list -> name:string -> conn -> unit
@@ -36,8 +38,8 @@ val output : t -> ?attrs:Attr.t list -> name:string -> conn -> unit
     positionally to its ports (inputs read the connector, outputs write
     it).  Arity and dtypes are checked immediately; settings are merged at
     freeze.  Returns the instance index.  An explicit [inst] name overrides
-    the generated ["<kernel>_<n>"]. *)
-val add_kernel : t -> ?inst:string -> Kernel.t -> conn list -> int
+    the generated ["<kernel>_<n>"]; [src] records the invocation site. *)
+val add_kernel : t -> ?inst:string -> ?src:Srcspan.t -> Kernel.t -> conn list -> int
 
 (** Attach extractor-facing attributes to a connector (Section 3.4). *)
 val attach_attributes : t -> conn -> Attr.t list -> unit

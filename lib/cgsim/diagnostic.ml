@@ -1,0 +1,114 @@
+type severity =
+  | Info
+  | Warning
+  | Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function
+  | Info -> 0
+  | Warning -> 1
+  | Error -> 2
+
+let compare_severity a b = Int.compare (severity_rank a) (severity_rank b)
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  graph : string;
+  kernels : string list;
+  nets : string list;
+  net_ids : int list;
+  loc : Srcspan.t option;
+}
+
+let make ~severity ~code ?(graph = "") ?(kernels = []) ?(nets = []) ?(net_ids = []) ?loc message
+    =
+  { severity; code; message; graph; kernels; nets; net_ids; loc }
+
+let max_severity = function
+  | [] -> None
+  | d :: ds ->
+    Some
+      (List.fold_left
+         (fun acc d -> if compare_severity d.severity acc > 0 then d.severity else acc)
+         d.severity ds)
+
+let exit_status diags =
+  match max_severity diags with
+  | None | Some Info -> 0
+  | Some Warning -> 1
+  | Some Error -> 2
+
+let sort diags =
+  List.stable_sort
+    (fun a b ->
+      match compare_severity b.severity a.severity with
+      | 0 -> String.compare a.code b.code
+      | c -> c)
+    diags
+
+let render d =
+  let buf = Buffer.create 128 in
+  (match d.loc with
+   | Some span ->
+     Buffer.add_string buf (Srcspan.to_string span);
+     Buffer.add_string buf ": "
+   | None ->
+     if d.graph <> "" then begin
+       Buffer.add_string buf "graph ";
+       Buffer.add_string buf d.graph;
+       Buffer.add_string buf ": "
+     end);
+  Buffer.add_string buf (severity_to_string d.severity);
+  if d.code <> "" then begin
+    Buffer.add_char buf '[';
+    Buffer.add_string buf d.code;
+    Buffer.add_char buf ']'
+  end;
+  Buffer.add_string buf ": ";
+  Buffer.add_string buf d.message;
+  let context =
+    (if d.kernels = [] then [] else [ "kernels: " ^ String.concat ", " d.kernels ])
+    @ if d.nets = [] then [] else [ "nets: " ^ String.concat ", " d.nets ]
+  in
+  if context <> [] then begin
+    Buffer.add_string buf " [";
+    Buffer.add_string buf (String.concat "; " context);
+    Buffer.add_char buf ']'
+  end;
+  Buffer.contents buf
+
+let pp ppf d = Format.pp_print_string ppf (render d)
+
+let to_json d =
+  let open Obs.Json in
+  Obj
+    ([
+       "severity", Str (severity_to_string d.severity);
+       "code", Str d.code;
+       "message", Str d.message;
+       "graph", Str d.graph;
+       "kernels", Arr (List.map (fun k -> Str k) d.kernels);
+       "nets", Arr (List.map (fun n -> Str n) d.nets);
+       "net_ids", Arr (List.map (fun i -> Num (float_of_int i)) d.net_ids);
+     ]
+    @
+    match d.loc with
+    | None -> []
+    | Some span ->
+      [
+        ( "loc",
+          Obj
+            [
+              "file", Str span.Srcspan.file;
+              "line", Num (float_of_int span.Srcspan.line);
+              "col", Num (float_of_int span.Srcspan.col);
+              "end_line", Num (float_of_int span.Srcspan.end_line);
+              "end_col", Num (float_of_int span.Srcspan.end_col);
+            ] );
+      ])

@@ -132,6 +132,9 @@ let to_string (g : Serialized.t) =
   Array.iter
     (fun (ki : Serialized.kernel_inst) ->
       addf "kernel %s %s %s\n" ki.inst_name ki.key (Kernel.realm_to_string ki.realm);
+      (match ki.src with
+       | Some span -> addf "  src %s\n" (Srcspan.to_compact span)
+       | None -> ());
       Array.iter
         (fun (spec : Kernel.port_spec) ->
           let dir = match spec.Kernel.dir with Kernel.In -> "in" | Kernel.Out -> "out" in
@@ -148,6 +151,9 @@ let to_string (g : Serialized.t) =
       let settings = settings_tokens n.settings in
       addf "net %d %s%s\n" n.net_id (dtype_to_string n.dtype)
         (if settings = [] then "" else " " ^ String.concat " " settings);
+      (match n.src with
+       | Some span -> addf "  src %s\n" (Srcspan.to_compact span)
+       | None -> ());
       List.iter (fun (ep : Serialized.endpoint) -> addf "  writer %d.%d\n" ep.kernel_idx ep.port_idx) n.writers;
       List.iter (fun (ep : Serialized.endpoint) -> addf "  reader %d.%d\n" ep.kernel_idx ep.port_idx) n.readers;
       (match n.global_input with Some name -> addf "  input %s\n" name | None -> ());
@@ -175,6 +181,7 @@ type pending_kernel = {
   pk_realm : Kernel.realm;
   mutable pk_ports : Kernel.port_spec list;  (* reverse *)
   mutable pk_nets : int list;
+  mutable pk_src : Srcspan.t option;
 }
 
 type pending_net = {
@@ -186,6 +193,7 @@ type pending_net = {
   mutable pn_input : string option;
   mutable pn_output : string option;
   mutable pn_attrs : Attr.t list;  (* reverse *)
+  mutable pn_src : Srcspan.t option;
 }
 
 let of_string text =
@@ -220,7 +228,16 @@ let of_string text =
           match Kernel.realm_of_string realm with
           | None -> fail "unknown realm %s" realm
           | Some r ->
-            let pk = { pk_inst = inst; pk_key = key; pk_realm = r; pk_ports = []; pk_nets = [] } in
+            let pk =
+              {
+                pk_inst = inst;
+                pk_key = key;
+                pk_realm = r;
+                pk_ports = [];
+                pk_nets = [];
+                pk_src = None;
+              }
+            in
             kernels := pk :: !kernels;
             current := `Kernel pk
         end
@@ -260,10 +277,22 @@ let of_string text =
               pn_input = None;
               pn_output = None;
               pn_attrs = [];
+              pn_src = None;
             }
           in
           nets := pn :: !nets;
           current := `Net pn
+        | [ "src"; compact ] -> begin
+          let span =
+            match Srcspan.of_compact compact with
+            | Some s -> s
+            | None -> fail "malformed src span %s" compact
+          in
+          match !current with
+          | `Kernel pk -> pk.pk_src <- Some span
+          | `Net pn -> pn.pn_src <- Some span
+          | _ -> fail "src line outside a kernel or net"
+        end
         | [ "writer"; ep ] -> begin
           match !current with
           | `Net pn -> pn.pn_writers <- endpoint_of ep :: pn.pn_writers
@@ -309,6 +338,7 @@ let of_string text =
                realm = pk.pk_realm;
                ports = Array.of_list (List.rev pk.pk_ports);
                port_nets = Array.of_list pk.pk_nets;
+               src = pk.pk_src;
              })
            !kernels)
     in
@@ -326,6 +356,7 @@ let of_string text =
                readers = List.rev pn.pn_readers;
                global_input = pn.pn_input;
                global_output = pn.pn_output;
+               src = pn.pn_src;
              })
            nets_list)
     in

@@ -37,14 +37,26 @@ type binding = {
 
 type body = binding -> unit
 
+type purity =
+  | Pure
+  | Stateful
+  | Unknown
+
+let purity_to_string = function
+  | Pure -> "pure"
+  | Stateful -> "stateful"
+  | Unknown -> "unknown"
+
 type t = {
   name : string;
   realm : realm;
   ports : port_spec array;
   body : body;
+  rates : int array option;
+  purity : purity;
 }
 
-let define ~realm ~name ports body =
+let define ?rates ?pure ~realm ~name ports body =
   if name = "" then invalid_arg "cgsim: kernel name must be non-empty";
   if ports = [] then invalid_arg ("cgsim: kernel " ^ name ^ " must declare at least one port");
   let seen = Hashtbl.create 8 in
@@ -55,7 +67,38 @@ let define ~realm ~name ports body =
         invalid_arg (Printf.sprintf "cgsim: kernel %s declares port %s twice" name p.pname);
       Hashtbl.add seen p.pname ())
     ports;
-  { name; realm; ports = Array.of_list ports; body }
+  let ports_arr = Array.of_list ports in
+  let rates =
+    match rates with
+    | None -> None
+    | Some declared ->
+      List.iter
+        (fun (pname, r) ->
+          if not (Hashtbl.mem seen pname) then
+            invalid_arg
+              (Printf.sprintf "cgsim: kernel %s declares a rate for unknown port %s" name pname);
+          if r < 0 then
+            invalid_arg
+              (Printf.sprintf "cgsim: kernel %s declares a negative rate for port %s" name pname))
+        declared;
+      Some
+        (Array.map
+           (fun spec ->
+             match List.assoc_opt spec.pname declared with
+             | Some r -> r
+             | None ->
+               invalid_arg
+                 (Printf.sprintf "cgsim: kernel %s declares rates but omits port %s" name
+                    spec.pname))
+           ports_arr)
+  in
+  let purity = match pure with None -> Unknown | Some true -> Pure | Some false -> Stateful in
+  { name; realm; ports = ports_arr; body; rates; purity }
+
+let rate k idx =
+  match k.rates with
+  | None -> None
+  | Some rs -> if idx >= 0 && idx < Array.length rs then Some rs.(idx) else None
 
 let in_port ?(settings = Settings.default) pname dtype = { pname; dir = In; dtype; settings }
 

@@ -43,16 +43,51 @@ type binding = {
 
 type body = binding -> unit
 
+(** Whether the kernel body is safe to run on several graph instances at
+    once.  [Pure] bodies keep all mutable state inside the body closure
+    (created fresh per instantiation); [Stateful] bodies capture shared
+    mutable state, so concurrent {!Pool} serving or even back-to-back
+    runs may observe cross-request interference.  [Unknown] is the
+    default for kernels that never declared themselves. *)
+type purity =
+  | Pure
+  | Stateful
+  | Unknown
+
+val purity_to_string : purity -> string
+
 type t = {
   name : string;
   realm : realm;
   ports : port_spec array;
   body : body;
+  rates : int array option;
+      (** Beats produced/consumed per steady-state firing, positionally
+          aligned with [ports]; [None] when undeclared.  Consumed by the
+          static analyzer's SDF balance and deadlock passes. *)
+  purity : purity;
 }
 
 (** [define ~realm ~name ports body] validates the port list (non-empty
-    names, unique names, at least one port) and builds a kernel. *)
-val define : realm:realm -> name:string -> port_spec list -> body -> t
+    names, unique names, at least one port) and builds a kernel.
+
+    [rates] declares per-port beats per firing by port name (every name
+    must exist, every rate must be non-negative; RTP ports conventionally
+    declare [0]).  [pure] declares pool-safety: [~pure:true] promises the
+    body keeps all mutable state local, [~pure:false] flags shared
+    mutable state.  Omitting either leaves the metadata undeclared. *)
+val define :
+  ?rates:(string * int) list ->
+  ?pure:bool ->
+  realm:realm ->
+  name:string ->
+  port_spec list ->
+  body ->
+  t
+
+(** Declared rate of a port (by index into [ports]); [None] when the
+    kernel declared no rates. *)
+val rate : t -> int -> int option
 
 (** Port-spec constructors. *)
 

@@ -58,6 +58,9 @@ let steal_top d =
 let run ?queue_capacity ?block_io ?spsc ~domains ~requests ~io (g : Serialized.t) =
   if domains <= 0 then invalid_arg "cgsim: Pool.run needs a positive domain count";
   if requests <= 0 then invalid_arg "cgsim: Pool.run needs a positive request count";
+  (* Lint once up front — the pool-safety pass flags kernels whose bodies
+     share mutable state across the instances the domains run. *)
+  Runtime.preflight ~lint:`Warn g;
   (* Seed round-robin: request r belongs to domain [r mod domains].  The
      per-domain lists are built back-to-front so the owner's LIFO pop
      replays its seeds in ascending request order — with one domain the
@@ -81,7 +84,9 @@ let run ?queue_capacity ?block_io ?spsc ~domains ~requests ~io (g : Serialized.t
       try
         let t = Runtime.instantiate ?queue_capacity ?block_io ?spsc g in
         let sources, sinks = io r in
-        Ok (Runtime.run t ~sources ~sinks)
+        (* The graph is linted once when the pool is built, not once per
+           request on every serving domain. *)
+        Ok (Runtime.run ~lint:`Off t ~sources ~sinks)
       with exn -> Error (Printexc.to_string exn)
     in
     let dt = Obs.Clock.now_ns () -. t0 in

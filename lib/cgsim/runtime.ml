@@ -74,6 +74,37 @@ let obs_hooks () =
           raise e);
   }
 
+type lint_level =
+  [ `Off
+  | `Warn
+  | `Error
+  ]
+
+(* The static analyzer (lib/analysis) installs itself here at module-init
+   time; cgsim itself cannot depend on it without a cycle.  When no hook
+   is installed, pre-flight linting quietly does nothing. *)
+let lint_hook : (Serialized.t -> Diagnostic.t list) option ref = ref None
+
+let set_lint_hook f = lint_hook := Some f
+
+let preflight ~lint (g : Serialized.t) =
+  match lint, !lint_hook with
+  | `Off, _ | _, None -> ()
+  | (`Warn | `Error), Some hook ->
+    let diags =
+      List.filter
+        (fun d -> d.Diagnostic.severity <> Diagnostic.Info)
+        (hook g)
+    in
+    if diags <> [] then begin
+      match lint, Diagnostic.max_severity diags with
+      | `Error, Some Diagnostic.Error ->
+        fail "graph %s failed pre-flight lint:\n%s" g.Serialized.gname
+          (String.concat "\n" (List.map Diagnostic.render diags))
+      | _ ->
+        List.iter (fun d -> prerr_endline (Diagnostic.render d)) diags
+    end
+
 type t = {
   graph : Serialized.t;
   sched : Sched.t;
@@ -267,8 +298,12 @@ let check_wiring t =
           t.graph.gname (Bqueue.name q) (describe_eps n.writers))
     t.queues
 
-let run t ~sources ~sinks =
+let run ?(lint = `Warn) t ~sources ~sinks =
   if t.ran then fail "runtime context for %s is single-shot; instantiate again" t.graph.gname;
+  (* Pre-flight static analysis happens before any fiber is scheduled:
+     at [`Error] a failing graph is refused before a single kernel body
+     executes. *)
+  preflight ~lint t.graph;
   t.ran <- true;
   let n_in = Array.length t.graph.Serialized.input_order in
   let n_out = Array.length t.graph.Serialized.output_order in
@@ -291,6 +326,6 @@ let run t ~sources ~sinks =
      fail "kernel fiber %s failed: %s" name (Printexc.to_string exn));
   stats
 
-let execute ?hooks ?queue_capacity ?block_io ?spsc g ~sources ~sinks =
+let execute ?hooks ?queue_capacity ?block_io ?spsc ?lint g ~sources ~sinks =
   let t = instantiate ?hooks ?queue_capacity ?block_io ?spsc g in
-  run t ~sources ~sinks
+  run ?lint t ~sources ~sinks

@@ -14,6 +14,28 @@ type t
 
 exception Runtime_error of string
 
+(** Pre-flight lint behaviour of {!run}: [`Off] skips the analysis,
+    [`Warn] (the default) prints warning/error findings to stderr and
+    proceeds, [`Error] refuses to run a graph with error-level findings
+    (raising {!Runtime_error} before any kernel body executes). *)
+type lint_level =
+  [ `Off
+  | `Warn
+  | `Error
+  ]
+
+(** Install the static analyzer used by {!run}'s pre-flight.  The
+    [analysis] library installs {!Analysis.Lint.run} here when it is
+    linked; without a hook the pre-flight is a no-op.  (Dependency
+    injection: cgsim cannot depend on the analyzer directly.) *)
+val set_lint_hook : (Serialized.t -> Diagnostic.t list) -> unit
+
+(** Run the installed lint hook on a graph at the given level without
+    instantiating it — the entry {!run} uses for its pre-flight, exposed
+    for components (e.g. {!Pool}) that execute one graph many times and
+    want to lint it once. *)
+val preflight : lint:lint_level -> Serialized.t -> unit
+
 (** Hooks letting a simulator intercept every kernel-port access without
     changing kernel code — the mechanism aiesim uses to count stream
     traffic and attribute cycle costs per endpoint. *)
@@ -58,8 +80,11 @@ val instantiate :
     the offending net and its kernel ports — a miswired edge used to
     hang silently at run time), then executes.  Returns scheduler
     statistics.  If any kernel fiber failed with an unexpected exception,
-    the first failure is re-raised after the run completes. *)
-val run : t -> sources:Io.source list -> sinks:Io.sink list -> Sched.stats
+    the first failure is re-raised after the run completes.
+
+    [lint] (default [`Warn]) runs the installed static-analysis hook
+    before execution; see {!lint_level}. *)
+val run : ?lint:lint_level -> t -> sources:Io.source list -> sinks:Io.sink list -> Sched.stats
 
 (** Convenience: instantiate + run in one step. *)
 val execute :
@@ -67,6 +92,7 @@ val execute :
   ?queue_capacity:int ->
   ?block_io:bool ->
   ?spsc:bool ->
+  ?lint:lint_level ->
   Serialized.t ->
   sources:Io.source list ->
   sinks:Io.sink list ->

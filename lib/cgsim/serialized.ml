@@ -12,6 +12,7 @@ type net = {
   readers : endpoint list;
   global_input : string option;
   global_output : string option;
+  src : Srcspan.t option;
 }
 
 type kernel_inst = {
@@ -20,6 +21,7 @@ type kernel_inst = {
   realm : Kernel.realm;
   ports : Kernel.port_spec array;
   port_nets : int array;
+  src : Srcspan.t option;
 }
 
 type t = {
@@ -38,53 +40,122 @@ let inputs t = Array.to_list (Array.map (net t) t.input_order)
 
 let outputs t = Array.to_list (Array.map (net t) t.output_order)
 
-let validate t =
-  let problems = ref [] in
-  let problem fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+(* ------------------------------------------------------------------ *)
+(* Display names — diagnostics name kernels and nets, never indices.  *)
+(* ------------------------------------------------------------------ *)
+
+let endpoint_display t (ep : endpoint) =
+  if ep.kernel_idx < 0 || ep.kernel_idx >= Array.length t.kernels then
+    Printf.sprintf "kernel#%d.port#%d" ep.kernel_idx ep.port_idx
+  else begin
+    let ki = t.kernels.(ep.kernel_idx) in
+    if ep.port_idx < 0 || ep.port_idx >= Array.length ki.ports then
+      Printf.sprintf "%s.port#%d" ki.inst_name ep.port_idx
+    else Printf.sprintf "%s.%s" ki.inst_name ki.ports.(ep.port_idx).Kernel.pname
+  end
+
+let net_display t id =
+  if id < 0 || id >= Array.length t.nets then Printf.sprintf "net%d" id
+  else begin
+    let n = t.nets.(id) in
+    match n.global_input, n.global_output with
+    | Some name, _ -> Printf.sprintf "input \"%s\" (net%d)" name id
+    | _, Some name -> Printf.sprintf "output \"%s\" (net%d)" name id
+    | None, None ->
+      let eps = List.map (endpoint_display t) (n.writers @ n.readers) in
+      if eps = [] then Printf.sprintf "net%d (unconnected)" id
+      else Printf.sprintf "net%d (%s)" id (String.concat ", " eps)
+  end
+
+let net_src t id =
+  if id < 0 || id >= Array.length t.nets then None
+  else begin
+    let n = t.nets.(id) in
+    match n.src with
+    | Some _ as s -> s
+    | None ->
+      List.find_map
+        (fun ep ->
+          if ep.kernel_idx >= 0 && ep.kernel_idx < Array.length t.kernels then
+            t.kernels.(ep.kernel_idx).src
+          else None)
+        (n.writers @ n.readers)
+  end
+
+let validate_diags t =
+  let diags = ref [] in
+  let problem ?kernels ?nets ?loc code fmt =
+    Format.kasprintf
+      (fun message ->
+        let nets = Option.value nets ~default:[] in
+        let loc =
+          match loc with
+          | Some _ as l -> l
+          | None -> List.find_map (net_src t) nets
+        in
+        diags :=
+          Diagnostic.make ~severity:Diagnostic.Error ~code ~graph:t.gname
+            ?kernels ~nets:(List.map (net_display t) nets) ~net_ids:nets ?loc message
+          :: !diags)
+      fmt
+  in
   let nk = Array.length t.kernels in
   let nn = Array.length t.nets in
   Array.iteri
-    (fun i (ki : kernel_inst) ->
+    (fun _i (ki : kernel_inst) ->
       if Array.length ki.port_nets <> Array.length ki.ports then
-        problem "kernel %d (%s): port_nets length %d <> ports length %d" i ki.inst_name
+        problem "CG-E001" ~kernels:[ ki.inst_name ] ?loc:ki.src
+          "kernel %s: bound to %d nets but declares %d ports" ki.inst_name
           (Array.length ki.port_nets) (Array.length ki.ports);
       Array.iteri
         (fun p net_id ->
           if net_id < 0 || net_id >= nn then
-            problem "kernel %d (%s) port %d: net id %d out of range" i ki.inst_name p net_id
+            problem "CG-E001" ~kernels:[ ki.inst_name ] ?loc:ki.src
+              "kernel %s port %s: net id %d out of range" ki.inst_name
+              (if p < Array.length ki.ports then ki.ports.(p).Kernel.pname
+               else Printf.sprintf "#%d" p)
+              net_id
           else begin
             let n = t.nets.(net_id) in
             if p < Array.length ki.ports then begin
               let spec = ki.ports.(p) in
               if not (Dtype.equal spec.Kernel.dtype n.dtype) then
-                problem "kernel %d (%s) port %s: dtype %s <> net %d dtype %s" i ki.inst_name
+                problem "CG-E002" ~kernels:[ ki.inst_name ] ~nets:[ net_id ]
+                  ?loc:(match ki.src with Some _ as s -> s | None -> net_src t net_id)
+                  "kernel %s port %s carries %s but %s carries %s" ki.inst_name
                   spec.Kernel.pname
                   (Dtype.to_string spec.Kernel.dtype)
-                  net_id (Dtype.to_string n.dtype)
+                  (net_display t net_id) (Dtype.to_string n.dtype)
             end
           end)
         ki.port_nets)
     t.kernels;
   Array.iteri
     (fun id n ->
-      if n.net_id <> id then problem "net %d: stored net_id %d differs" id n.net_id;
+      if n.net_id <> id then
+        problem "CG-E001" ~nets:[ id ] "%s: stored net id %d differs from its position"
+          (net_display t id) n.net_id;
       let check_ep role ep =
         if ep.kernel_idx < 0 || ep.kernel_idx >= nk then
-          problem "net %d %s endpoint: kernel index %d out of range" id role ep.kernel_idx
+          problem "CG-E001" ~nets:[ id ] "%s: %s endpoint kernel index %d out of range"
+            (net_display t id) role ep.kernel_idx
         else begin
           let ki = t.kernels.(ep.kernel_idx) in
           if ep.port_idx < 0 || ep.port_idx >= Array.length ki.ports then
-            problem "net %d %s endpoint: port index %d out of range for kernel %s" id role
-              ep.port_idx ki.inst_name
+            problem "CG-E001" ~kernels:[ ki.inst_name ] ~nets:[ id ]
+              "%s: %s endpoint port index %d out of range for kernel %s" (net_display t id)
+              role ep.port_idx ki.inst_name
           else begin
             let spec = ki.ports.(ep.port_idx) in
             let expected = if role = "writer" then Kernel.Out else Kernel.In in
             if spec.Kernel.dir <> expected then
-              problem "net %d: %s endpoint %s.%s has the wrong direction" id role ki.inst_name
-                spec.Kernel.pname;
+              problem "CG-E003" ~kernels:[ ki.inst_name ] ~nets:[ id ] ?loc:ki.src
+                "%s: %s endpoint %s has the wrong direction" (net_display t id) role
+                (endpoint_display t ep);
             if ki.port_nets.(ep.port_idx) <> id then
-              problem "net %d: endpoint %s.%s is bound to net %d instead" id ki.inst_name
-                spec.Kernel.pname
+              problem "CG-E003" ~kernels:[ ki.inst_name ] ~nets:[ id ] ?loc:ki.src
+                "%s: endpoint %s is bound to net %d instead" (net_display t id)
+                (endpoint_display t ep)
                 ki.port_nets.(ep.port_idx)
           end
         end
@@ -93,18 +164,24 @@ let validate t =
       List.iter (check_ep "reader") n.readers;
       (match Settings.validate ~elem_bytes:(Dtype.size_bytes n.dtype) n.settings with
        | Ok () -> ()
-       | Error e -> problem "net %d: %s" id e);
+       | Error e -> problem "CG-E004" ~nets:[ id ] "%s: %s" (net_display t id) e);
       if n.writers = [] && n.global_input = None && n.readers <> [] then
-        problem "net %d has readers but no data source" id;
+        problem "CG-E005" ~nets:[ id ]
+          ~kernels:(List.map (fun ep -> endpoint_display t ep) n.readers)
+          "%s has readers but no data source" (net_display t id);
       if n.global_input <> None && n.writers <> [] then
-        problem "net %d is both a global input and kernel-driven" id)
+        problem "CG-E005" ~nets:[ id ]
+          ~kernels:(List.map (fun ep -> endpoint_display t ep) n.writers)
+          "%s is both a global input and kernel-driven" (net_display t id))
     t.nets;
   let check_order role order flag =
     Array.iter
       (fun id ->
-        if id < 0 || id >= nn then problem "%s order references net %d out of range" role id
+        if id < 0 || id >= nn then
+          problem "CG-E006" "%s order references net %d, which is out of range" role id
         else if not (flag t.nets.(id)) then
-          problem "%s order references net %d which is not flagged as such" role id)
+          problem "CG-E006" ~nets:[ id ] "%s order references %s, which is not flagged as such"
+            role (net_display t id))
       order
   in
   check_order "input" t.input_order (fun n -> n.global_input <> None);
@@ -112,13 +189,18 @@ let validate t =
   Array.iter
     (fun n ->
       if n.global_input <> None && not (Array.exists (Int.equal n.net_id) t.input_order) then
-        problem "net %d flagged as input but missing from input order" n.net_id;
+        problem "CG-E006" ~nets:[ n.net_id ] "%s flagged as input but missing from input order"
+          (net_display t n.net_id);
       if n.global_output <> None && not (Array.exists (Int.equal n.net_id) t.output_order) then
-        problem "net %d flagged as output but missing from output order" n.net_id)
+        problem "CG-E006" ~nets:[ n.net_id ]
+          "%s flagged as output but missing from output order" (net_display t n.net_id))
     t.nets;
-  match !problems with
+  List.rev !diags
+
+let validate t =
+  match validate_diags t with
   | [] -> Ok ()
-  | ps -> Error (List.rev ps)
+  | diags -> Error (List.map Diagnostic.render diags)
 
 let endpoint_equal a b = a.kernel_idx = b.kernel_idx && a.port_idx = b.port_idx
 

@@ -23,6 +23,9 @@ type net = {
   readers : endpoint list;  (** Multiple readers = implicit broadcast. *)
   global_input : string option;  (** Externally fed (name of graph input). *)
   global_output : string option;  (** Externally drained (name of graph output). *)
+  src : Srcspan.t option;
+      (** Source construct that created the connector (CGC graphs only;
+          builder graphs leave it unset unless the caller provides one). *)
 }
 
 type kernel_inst = {
@@ -31,6 +34,7 @@ type kernel_inst = {
   realm : Kernel.realm;
   ports : Kernel.port_spec array;  (** Snapshot of the definition's ports. *)
   port_nets : int array;  (** Net id bound to each port, positionally. *)
+  src : Srcspan.t option;  (** Invocation site in CGC source, when known. *)
 }
 
 type t = {
@@ -47,10 +51,29 @@ val kernel : t -> int -> kernel_inst
 val inputs : t -> net list
 val outputs : t -> net list
 
+(** Human-facing name of a net: its global input/output name when it has
+    one, otherwise "net<id> (writer.port -> reader.port)" built from the
+    kernel ports on it — diagnostics should never show a bare index. *)
+val net_display : t -> int -> string
+
+(** "inst.port" spelling of an endpoint. *)
+val endpoint_display : t -> endpoint -> string
+
+(** Best-effort source span for a net: the net's own [src] when present,
+    else the span of the first endpoint kernel that has one. *)
+val net_src : t -> int -> Srcspan.t option
+
 (** Structural validation: indices in range, endpoint port directions
     consistent with writer/reader roles, dtypes of endpoints equal to the
     net dtype, merged settings valid, input/output order arrays consistent
-    with net flags.  Returns all problems found. *)
+    with net flags.  Returns all problems found, as structured
+    diagnostics (codes CG-E001..CG-E006) naming kernel instances and
+    nets rather than bare indices, with source spans when the graph
+    carries them. *)
+val validate_diags : t -> Diagnostic.t list
+
+(** Compatibility shim over {!validate_diags}: the same findings rendered
+    to strings. *)
 val validate : t -> (unit, string list) result
 
 (** Topological equality: same kernels (by key, realm, ports), same nets

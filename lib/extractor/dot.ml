@@ -10,7 +10,31 @@ let transport_label (n : Cgsim.Serialized.net) =
   | Cgsim.Settings.Rtp -> "rtp"
   | Cgsim.Settings.Gmio -> "gmio"
 
-let of_graph (g : Cgsim.Serialized.t) =
+(* Worst lint severity naming each net, for edge coloring. *)
+let net_severities lint nets =
+  let worst = Array.make nets None in
+  List.iter
+    (fun (d : Cgsim.Diagnostic.t) ->
+      List.iter
+        (fun id ->
+          if id >= 0 && id < nets then
+            worst.(id) <-
+              (match worst.(id) with
+               | None -> Some d.Cgsim.Diagnostic.severity
+               | Some s ->
+                 if Cgsim.Diagnostic.compare_severity d.Cgsim.Diagnostic.severity s > 0 then
+                   Some d.Cgsim.Diagnostic.severity
+                 else Some s))
+        d.Cgsim.Diagnostic.net_ids)
+    lint;
+  worst
+
+let severity_style = function
+  | Some Cgsim.Diagnostic.Error -> " color=red penwidth=2.0"
+  | Some Cgsim.Diagnostic.Warning -> " color=orange penwidth=1.5"
+  | Some Cgsim.Diagnostic.Info | None -> ""
+
+let of_graph ?(lint = []) (g : Cgsim.Serialized.t) =
   let buf = Buffer.create 1024 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   addf "digraph \"%s\" {\n  rankdir=LR;\n  node [fontname=\"sans-serif\"];\n" g.gname;
@@ -29,11 +53,13 @@ let of_graph (g : Cgsim.Serialized.t) =
       | Some name -> addf "  out%d [shape=ellipse, label=\"%s\"];\n" n.net_id name
       | None -> ())
     g.nets;
+  let severities = net_severities lint (Array.length g.nets) in
   Array.iter
     (fun (n : Cgsim.Serialized.net) ->
       let label =
         Printf.sprintf "%s %s" (Cgsim.Dtype.to_string n.dtype) (transport_label n)
       in
+      let style = severity_style severities.(n.net_id) in
       let srcs =
         (match n.global_input with Some _ -> [ Printf.sprintf "in%d" n.net_id ] | None -> [])
         @ List.map (fun (ep : Cgsim.Serialized.endpoint) -> Printf.sprintf "k%d" ep.kernel_idx)
@@ -45,7 +71,8 @@ let of_graph (g : Cgsim.Serialized.t) =
             n.readers
       in
       List.iter
-        (fun src -> List.iter (fun dst -> addf "  %s -> %s [label=\"%s\"];\n" src dst label) dsts)
+        (fun src ->
+          List.iter (fun dst -> addf "  %s -> %s [label=\"%s\"%s];\n" src dst label style) dsts)
         srcs)
     g.nets;
   addf "}\n";

@@ -2,6 +2,10 @@
 
     Renders a serialized compute graph as a dot digraph: kernels as boxes
     colored by realm, global I/O as ellipses, edges labelled with dtype
-    and transport.  Useful with [cgx inspect --dot]. *)
+    and transport.  Useful with [cgx inspect --dot].
 
-val of_graph : Cgsim.Serialized.t -> string
+    When [lint] findings are supplied, edges of nets named by a finding
+    are colored by its worst severity: red for errors, orange for
+    warnings (info-level findings do not change the rendering). *)
+
+val of_graph : ?lint:Cgsim.Diagnostic.t list -> Cgsim.Serialized.t -> string

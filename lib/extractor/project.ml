@@ -14,6 +14,7 @@ type t = {
   host_kernels : string list;
   files : file list;
   port_classes : Partition.port_class array;
+  lint : Cgsim.Diagnostic.t list;
 }
 
 let extract_attribute = "extract_compute_graph"
@@ -40,8 +41,49 @@ let host_manifest (g : Cgc.Ast.graph) serialized host_kernels =
     classes;
   Buffer.contents buf
 
+(* The generated project's front page: what was extracted, and what the
+   static analyzer had to say about the graph it came from.  Warnings
+   ride along with the generated code so whoever builds it downstream
+   sees them without re-running the linter. *)
+let readme (g : Cgc.Ast.graph) (serialized : Cgsim.Serialized.t) host_kernels lint =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "# Extracted compute graph `%s`\n\n" g.Cgc.Ast.g_name;
+  addf "%d kernel instances, %d nets, %d inputs, %d outputs.\n\n"
+    (Array.length serialized.Cgsim.Serialized.kernels)
+    (Array.length serialized.Cgsim.Serialized.nets)
+    (Array.length serialized.Cgsim.Serialized.input_order)
+    (Array.length serialized.Cgsim.Serialized.output_order);
+  if host_kernels <> [] then
+    addf "Host (noextract) kernels: %s.\n\n" (String.concat ", " host_kernels);
+  addf "## Static analysis\n\n";
+  (match
+     List.filter
+       (fun (d : Cgsim.Diagnostic.t) -> d.Cgsim.Diagnostic.severity <> Cgsim.Diagnostic.Info)
+       lint
+   with
+   | [] -> addf "The graph lints clean (%s).\n" (Analysis.Report.summary lint)
+   | visible ->
+     addf "The linter reported %s on this graph:\n\n" (Analysis.Report.summary lint);
+     List.iter (fun d -> addf "- %s\n" (Cgsim.Diagnostic.render d)) visible);
+  Buffer.contents buf
+
 let extract env (g : Cgc.Ast.graph) =
   let serialized = Cgc.Consteval.eval_graph env g in
+  let lint = Analysis.Lint.run serialized in
+  (match Cgsim.Diagnostic.max_severity lint with
+   | Some Cgsim.Diagnostic.Error ->
+     let errors =
+       List.filter
+         (fun (d : Cgsim.Diagnostic.t) ->
+           d.Cgsim.Diagnostic.severity = Cgsim.Diagnostic.Error)
+         lint
+     in
+     raise
+       (Extract_error
+          (Printf.sprintf "graph %s fails static analysis:\n%s" g.Cgc.Ast.g_name
+             (String.concat "\n" (List.map Cgsim.Diagnostic.render errors))))
+   | _ -> ());
   let port_classes = Partition.classify serialized in
   let realms = Partition.realms serialized in
   let has r = List.exists (Cgsim.Kernel.equal_realm r) realms in
@@ -101,6 +143,9 @@ let extract env (g : Cgc.Ast.graph) =
     | Some tu -> tu.Cgc.Ast.tu_file
     | None -> "<unknown>"
   in
+  let readme_file =
+    { rel_path = "README.md"; contents = readme g serialized host_kernels lint }
+  in
   {
     graph_name = g.Cgc.Ast.g_name;
     source_file;
@@ -108,8 +153,9 @@ let extract env (g : Cgc.Ast.graph) =
     aie_subgraph;
     pl_subgraph;
     host_kernels;
-    files = aie_files @ pl_files @ host_files;
+    files = (readme_file :: aie_files) @ pl_files @ host_files;
     port_classes;
+    lint;
   }
 
 let extract_file ?include_dirs ?all_graphs path =

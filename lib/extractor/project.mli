@@ -22,14 +22,21 @@ type t = {
   host_kernels : string list;  (** noextract kernels left in the host app *)
   files : file list;
   port_classes : Partition.port_class array;
+  lint : Cgsim.Diagnostic.t list;
+      (** Static-analysis findings on the full graph.  Never contains an
+          error-level finding — extraction refuses those graphs — and is
+          embedded in the generated project [README.md]. *)
 }
 
 (** Graphs eligible for extraction in an analyzed program: those marked
     [[extract_compute_graph]]; with [all_graphs] every graph. *)
 val extractable_graphs : ?all_graphs:bool -> Cgc.Sema.env -> Cgc.Ast.graph list
 
-(** Extract one graph.  Raises {!Extract_error} (or the underlying
-    located front-end errors) on failure. *)
+(** Extract one graph.  The graph is linted first ({!Analysis.Lint.run});
+    error-level findings abort extraction with {!Extract_error} listing
+    them, and surviving warnings are carried in [lint] and embedded in
+    the generated [README.md].  Raises {!Extract_error} (or the
+    underlying located front-end errors) on failure. *)
 val extract : Cgc.Sema.env -> Cgc.Ast.graph -> t
 
 (** Extract every eligible graph of a file (convenience). *)

@@ -222,7 +222,7 @@ let test_extract_project_files () =
   let p = extract_app "bitonic" in
   let paths = List.map (fun f -> f.Extractor.Project.rel_path) p.Extractor.Project.files in
   Alcotest.(check (list string)) "files"
-    [ "cgsim_aie_rt.hpp"; "kernel_decls.hpp"; "graph.hpp"; "bitonic_kernel.cc" ]
+    [ "README.md"; "cgsim_aie_rt.hpp"; "kernel_decls.hpp"; "graph.hpp"; "bitonic_kernel.cc" ]
     paths
 
 let test_extract_graph_hpp_content () =
@@ -410,15 +410,18 @@ let test_extract_write_to_disk () =
   let dir = Filename.temp_file "cgx" "" in
   Sys.remove dir;
   let written = Extractor.Project.write ~dir p in
-  Alcotest.(check int) "four files" 4 (List.length written);
+  Alcotest.(check int) "five files" 5 (List.length written);
   List.iter
     (fun path -> Alcotest.(check bool) (path ^ " exists") true (Sys.file_exists path))
     written;
-  (* Generated headers re-lex cleanly (no stray tokens). *)
+  (* Generated headers re-lex cleanly (no stray tokens); README.md is
+     markdown, not C++, so it is exempt. *)
   List.iter
     (fun path ->
-      let contents = In_channel.with_open_bin path In_channel.input_all in
-      ignore (Cgc.Lexer.tokenize ~file:path contents))
+      if Filename.basename path <> "README.md" then begin
+        let contents = In_channel.with_open_bin path In_channel.input_all in
+        ignore (Cgc.Lexer.tokenize ~file:path contents)
+      end)
     written
 
 let () =
