@@ -47,7 +47,9 @@ let queue_capacity_sweep () =
       let sinks, _ = h.make_sinks () in
       let t0 = Unix.gettimeofday () in
       let stats =
-        Cgsim.Runtime.execute ~queue_capacity (h.graph ()) ~sources:(h.sources ~reps:16) ~sinks
+        Cgsim.Runtime.execute_exn
+          ~config:Cgsim.Run_config.(with_queue_capacity queue_capacity default)
+          (h.graph ()) ~sources:(h.sources ~reps:16) ~sinks
       in
       let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
       Printf.printf "%10d %12.1f %10d\n" queue_capacity ms stats.Cgsim.Sched.slices)
@@ -65,7 +67,9 @@ let x86_buffer_sweep () =
       let sinks, _ = h.make_sinks () in
       let t0 = Unix.gettimeofday () in
       let _ =
-        X86sim.Sim.run ~queue_capacity (h.graph ()) ~sources:(h.sources ~reps:16) ~sinks
+        X86sim.Sim.run_exn
+          ~config:Cgsim.Run_config.(with_queue_capacity queue_capacity default)
+          (h.graph ()) ~sources:(h.sources ~reps:16) ~sinks
       in
       Printf.printf "%10d %12.1f\n" queue_capacity ((Unix.gettimeofday () -. t0) *. 1e3))
     [ 4; 64; 1024; 8192 ]

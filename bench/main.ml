@@ -26,6 +26,11 @@
      --smoke        fewer requests and domain counts for CI
      --domains CSV  domain counts to sweep (default 1,2,4,8)
      --requests N   requests per app per domain count
+     --chaos        serve under deterministic fault injection instead:
+                    seeded kernel raises + a stall, per-request deadline
+                    and retry supervision; writes schema
+                    "cgsim-bench-chaos/1" and fails unless every fault
+                    was absorbed (at least one by retry)
 
    check-json FILE parses FILE with the strict Obs.Json parser and
    requires a top-level object with a "schema" string; exits nonzero
@@ -35,7 +40,7 @@ let usage () =
   print_endline
     "usage: main.exe [table1|table2|table2-quick|profile [--trace FILE] [--json FILE] \
      [--smoke]|micro [--json FILE] [--smoke]|serve [--json FILE] [--smoke] [--domains CSV] \
-     [--requests N]|ablation|check-json FILE]...";
+     [--requests N] [--chaos]|ablation|check-json FILE]...";
   exit 2
 
 type action =
@@ -44,8 +49,8 @@ type action =
   | Table2_quick
   | Profile of string option * string option * bool  (* trace file, json file, smoke *)
   | Micro of string option * bool  (* json file, smoke *)
-  | Serve of string option * bool * int list option * int option
-      (* json file, smoke, domain counts, requests *)
+  | Serve of string option * bool * int list option * int option * bool
+      (* json file, smoke, domain counts, requests, chaos *)
   | Ablation
   | Check_json of string
 
@@ -75,15 +80,16 @@ let parse_actions args =
           then Some ds
           else None
       in
-      let rec opts json smoke doms reqs = function
-        | "--json" :: file :: rest -> opts (Some file) smoke doms reqs rest
+      let rec opts json smoke doms reqs chaos = function
+        | "--json" :: file :: rest -> opts (Some file) smoke doms reqs chaos rest
         | "--json" :: [] ->
           Printf.eprintf "--json needs a FILE argument\n";
           usage ()
-        | "--smoke" :: rest -> opts json true doms reqs rest
+        | "--smoke" :: rest -> opts json true doms reqs chaos rest
+        | "--chaos" :: rest -> opts json smoke doms reqs true rest
         | "--domains" :: csv :: rest ->
           (match parse_domains csv with
-           | Some ds -> opts json smoke (Some ds) reqs rest
+           | Some ds -> opts json smoke (Some ds) reqs chaos rest
            | None ->
              Printf.eprintf "--domains needs a CSV of positive ints (e.g. 1,2,4)\n";
              usage ())
@@ -92,16 +98,16 @@ let parse_actions args =
           usage ()
         | "--requests" :: n :: rest ->
           (match int_of_string_opt n with
-           | Some r when r > 0 -> opts json smoke doms (Some r) rest
+           | Some r when r > 0 -> opts json smoke doms (Some r) chaos rest
            | _ ->
              Printf.eprintf "--requests needs a positive integer\n";
              usage ())
         | "--requests" :: [] ->
           Printf.eprintf "--requests needs an argument\n";
           usage ()
-        | rest -> Serve (json, smoke, doms, reqs) :: go rest
+        | rest -> Serve (json, smoke, doms, reqs, chaos) :: go rest
       in
-      opts None false None None rest
+      opts None false None None false rest
     | "ablation" :: rest -> Ablation :: go rest
     | "profile" :: rest ->
       let rec opts trace json smoke = function
@@ -151,7 +157,9 @@ let run = function
   | Table2_quick -> Table2.run ~scale:0.5 ()
   | Profile (trace, json, smoke) -> Profile.run ?trace ?json ~smoke ()
   | Micro (json, smoke) -> Micro.run ?json ~smoke ()
-  | Serve (json, smoke, domains, requests) -> Serve.run ?json ~smoke ?domains ?requests ()
+  | Serve (json, smoke, domains, requests, chaos) ->
+    if chaos then Serve.run_chaos ?json ~smoke ?requests ()
+    else Serve.run ?json ~smoke ?domains ?requests ()
   | Ablation -> Ablation.run ()
   | Check_json file -> check_json file
 

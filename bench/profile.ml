@@ -22,7 +22,7 @@ let apps =
 
 let run_one (h : Apps.Harness.t) ~reps =
   let sinks, _ = h.make_sinks () in
-  let stats = Cgsim.Runtime.execute (h.graph ()) ~sources:(h.sources ~reps) ~sinks in
+  let stats = Cgsim.Runtime.execute_exn (h.graph ()) ~sources:(h.sources ~reps) ~sinks in
   h.name, stats
 
 let run_apps ~smoke =

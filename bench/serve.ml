@@ -48,12 +48,15 @@ let run_app ~domains ~requests ~reps (t : Apps.Harness.t) g =
   Array.iter
     (fun (res : Cgsim.Pool.request_result) ->
       match res.Cgsim.Pool.outcome with
-      | Error e -> errors := Printf.sprintf "req %d: %s" res.Cgsim.Pool.req_id e :: !errors
-      | Ok _ ->
+      | Cgsim.Runtime.Completed _ ->
         (match t.Apps.Harness.check ~reps (contents.(res.Cgsim.Pool.req_id) ()) with
          | Ok () -> ()
          | Error e ->
-           errors := Printf.sprintf "req %d: wrong output: %s" res.Cgsim.Pool.req_id e :: !errors))
+           errors := Printf.sprintf "req %d: wrong output: %s" res.Cgsim.Pool.req_id e :: !errors)
+      | o ->
+        errors :=
+          Format.asprintf "req %d: %a" res.Cgsim.Pool.req_id Cgsim.Runtime.pp_outcome o
+          :: !errors)
     stats.Cgsim.Pool.results;
   {
     domains;
@@ -143,5 +146,124 @@ let run ?json ?(smoke = false) ?(domains = if smoke then smoke_domains else defa
      Printf.printf "wrote serving benchmark JSON to %s\n%!" file);
   if !failures > 0 then begin
     Printf.eprintf "serve: %d request(s) failed verification\n" !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chaos mode: serving under deterministic fault injection             *)
+(* ------------------------------------------------------------------ *)
+
+(* One app, a seeded fault plan (a transient kernel raise and a single
+   busy-stall that burns the per-attempt deadline), retries enabled:
+   every request must end [Completed] after supervision has absorbed the
+   injected faults, and at least one must have needed a retry to get
+   there.  Writes schema "cgsim-bench-chaos/1"; check-json validates it
+   in CI.  Exits nonzero when no fault was injected, nothing was
+   recovered by retry, or any request still failed. *)
+let run_chaos ?json ?(smoke = false) ?requests () =
+  let t = Apps.Harness.farrow in
+  let requests = Option.value requests ~default:(if smoke then 6 else 16) in
+  let domains = 2 in
+  let reps = serve_reps ~smoke t in
+  let g = t.Apps.Harness.graph () in
+  let faults =
+    Cgsim.Faults.(
+      plan ~seed:7
+        [
+          raise_on ~kernel:"*" ~after:2 ~fires:2 ();
+          stall_on ~kernel:"*" ~after:5 ~fires:1 ();
+        ])
+  in
+  let deadline_ms = if smoke then 100. else 250. in
+  let retries = 2 in
+  let config =
+    Cgsim.Run_config.(
+      default
+      |> with_deadline_ms deadline_ms
+      |> with_retries retries
+      |> with_backoff ~base_ns:1e5 ~cap_ns:1e7
+      |> with_faults faults |> with_seed 7)
+  in
+  Printf.printf
+    "\n== Chaos serving (%s, %d requests, %d domains, deadline %.0f ms, %d retries) ==\n%!"
+    t.Apps.Harness.name requests domains deadline_ms retries;
+  List.iter (fun d -> Printf.printf "  fault: %s\n%!" d) (Cgsim.Faults.describe faults);
+  let contents = Array.make requests (fun () -> []) in
+  let io r =
+    let sinks, c = t.Apps.Harness.make_sinks () in
+    contents.(r) <- c;
+    t.Apps.Harness.sources ~reps, sinks
+  in
+  let stats = Cgsim.Pool.run ~config ~domains ~requests ~io g in
+  let errors = ref [] in
+  Array.iter
+    (fun (res : Cgsim.Pool.request_result) ->
+      match res.Cgsim.Pool.outcome with
+      | Cgsim.Runtime.Completed _ when not res.Cgsim.Pool.shed ->
+        (match t.Apps.Harness.check ~reps (contents.(res.Cgsim.Pool.req_id) ()) with
+         | Ok () -> ()
+         | Error e ->
+           errors := Printf.sprintf "req %d: wrong output: %s" res.Cgsim.Pool.req_id e :: !errors)
+      | o ->
+        errors :=
+          Format.asprintf "req %d:%s %a" res.Cgsim.Pool.req_id
+            (if res.Cgsim.Pool.shed then " shed;" else "")
+            Cgsim.Runtime.pp_outcome o
+          :: !errors)
+    stats.Cgsim.Pool.results;
+  let errors = List.rev !errors in
+  let c = stats.Cgsim.Pool.counts in
+  let injected = Cgsim.Faults.injected faults in
+  Printf.printf
+    "  injected %d fault(s); %d retry attempt(s); %d/%d completed (%d recovered on retry)\n%!"
+    injected stats.Cgsim.Pool.retries c.Cgsim.Pool.n_completed requests c.Cgsim.Pool.n_retried_ok;
+  List.iter (fun e -> Printf.printf "    ERROR %s\n%!" e) errors;
+  (match json with
+   | None -> ()
+   | Some file ->
+     let doc =
+       Obs.Json.Obj
+         [
+           "schema", Obs.Json.Str "cgsim-bench-chaos/1";
+           "smoke", Obs.Json.Bool smoke;
+           "app", Obs.Json.Str t.Apps.Harness.name;
+           "requests", Obs.Json.Num (float_of_int requests);
+           "domains", Obs.Json.Num (float_of_int domains);
+           "deadline_ms", Obs.Json.Num deadline_ms;
+           "retry_budget", Obs.Json.Num (float_of_int retries);
+           "faults", Obs.Json.Arr (List.map (fun d -> Obs.Json.Str d) (Cgsim.Faults.describe faults));
+           "injected", Obs.Json.Num (float_of_int injected);
+           "retries_performed", Obs.Json.Num (float_of_int stats.Cgsim.Pool.retries);
+           "recovered_by_retry", Obs.Json.Num (float_of_int c.Cgsim.Pool.n_retried_ok);
+           "breaker_tripped", Obs.Json.Bool stats.Cgsim.Pool.breaker_tripped;
+           ( "outcomes",
+             Obs.Json.Obj
+               [
+                 "completed", Obs.Json.Num (float_of_int c.Cgsim.Pool.n_completed);
+                 "deadline", Obs.Json.Num (float_of_int c.Cgsim.Pool.n_deadline);
+                 "cancelled", Obs.Json.Num (float_of_int c.Cgsim.Pool.n_cancelled);
+                 "failed", Obs.Json.Num (float_of_int c.Cgsim.Pool.n_failed);
+                 "shed", Obs.Json.Num (float_of_int c.Cgsim.Pool.n_shed);
+               ] );
+           "errors", Obs.Json.Arr (List.map (fun e -> Obs.Json.Str e) errors);
+         ]
+     in
+     (try
+        Out_channel.with_open_bin file (fun oc ->
+            Out_channel.output_string oc (Obs.Json.to_string doc))
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write %s: %s\n" file msg;
+        exit 1);
+     Printf.printf "wrote chaos benchmark JSON to %s\n%!" file);
+  if errors <> [] then begin
+    Printf.eprintf "serve --chaos: %d request(s) did not recover\n" (List.length errors);
+    exit 1
+  end;
+  if injected = 0 then begin
+    Printf.eprintf "serve --chaos: fault plan never fired\n";
+    exit 1
+  end;
+  if c.Cgsim.Pool.n_retried_ok = 0 then begin
+    Printf.eprintf "serve --chaos: no injected fault was recovered by retry\n";
     exit 1
   end

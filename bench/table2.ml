@@ -51,7 +51,7 @@ let run_one ?scale (h : Apps.Harness.t) =
   let (), cgsim_s =
     wall (fun () ->
         let sinks, contents = h.make_sinks () in
-        let _ = Cgsim.Runtime.execute (h.graph ()) ~sources:(h.sources ~reps) ~sinks in
+        let _ = Cgsim.Runtime.execute_exn (h.graph ()) ~sources:(h.sources ~reps) ~sinks in
         (* Functional spot-check on the cgsim run keeps the timing loop
            honest without re-checking the other two runs (their outputs
            are covered by the test suite). *)
@@ -63,7 +63,7 @@ let run_one ?scale (h : Apps.Harness.t) =
   let (), x86sim_s =
     wall (fun () ->
         let sinks, _ = h.make_sinks () in
-        ignore (X86sim.Sim.run (h.graph ()) ~sources:(h.sources ~reps) ~sinks))
+        ignore (X86sim.Sim.run_exn (h.graph ()) ~sources:(h.sources ~reps) ~sinks))
   in
   (* aiesim, reduced reps, extrapolated *)
   let aiesim_reps = max 4 (reps / aiesim_divisor) in

@@ -51,6 +51,9 @@ let handle_errors f =
   | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 1
+  | Aiesim.Sim.Sim_error msg | Cgsim.Runtime.Runtime_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
 
 let extract_cmd =
   let run input include_dirs all_graphs out_dir =
@@ -181,8 +184,18 @@ let trace_arg =
            Chrome trace-event form (capture-phase scheduler/queue activity plus the replay \
            timeline; open in Perfetto); any other extension gets the CSV iteration timeline.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget for the functional capture phase of each simulated graph.  A \
+           stalled or divergent graph is stopped at the budget and reported as an error \
+           naming the parked kernels, instead of hanging the command.")
+
 let simulate_cmd =
-  let run input include_dirs all_graphs reps trace =
+  let run input include_dirs all_graphs reps trace deadline_ms =
     handle_errors (fun () ->
         let projects = Extractor.Project.extract_file ~include_dirs ~all_graphs input in
         let chrome_trace =
@@ -209,9 +222,14 @@ let simulate_cmd =
                 name
             | Some h ->
               let deploy = Extractor.Project.deploy p in
+              let config =
+                match deadline_ms with
+                | None -> None
+                | Some ms -> Some Cgsim.Run_config.(with_deadline_ms ms default)
+              in
               let simulate () =
                 let sinks, _ = h.Apps.Harness.make_sinks () in
-                Aiesim.Sim.run deploy ~sources:(h.Apps.Harness.sources ~reps) ~sinks
+                Aiesim.Sim.run ?config deploy ~sources:(h.Apps.Harness.sources ~reps) ~sinks
               in
               (match chrome_trace with
                | Some file ->
@@ -235,7 +253,9 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Extract and run on the cycle-approximate AIE simulator (known workloads only).")
-    Term.(const run $ input_arg $ include_dirs_arg $ all_graphs_arg $ reps_arg $ trace_arg)
+    Term.(
+      const run $ input_arg $ include_dirs_arg $ all_graphs_arg $ reps_arg $ trace_arg
+      $ deadline_arg)
 
 let () =
   let info =

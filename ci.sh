@@ -60,4 +60,24 @@ dune exec bench/main.exe -- serve --smoke --domains 1,2 --json "$SERVE_JSON"
 test -s "$SERVE_JSON" || { echo "ci: serve JSON is empty" >&2; exit 1; }
 dune exec bench/main.exe -- check-json "$SERVE_JSON"
 
+echo "== chaos smoke (fault injection + retry supervision, JSON output) =="
+CHAOS_JSON=$(mktemp -t ci-chaos-XXXXXX.json)
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_JSON" "$CHAOS_JSON"' EXIT
+# Serves under a seeded fault plan (kernel raises + a busy-stall) with a
+# per-request deadline and retries; exits nonzero unless every injected
+# fault was absorbed and at least one request recovered by retry.
+# Schema cgsim-bench-chaos/1.
+dune exec bench/main.exe -- serve --chaos --smoke --json "$CHAOS_JSON"
+test -s "$CHAOS_JSON" || { echo "ci: chaos JSON is empty" >&2; exit 1; }
+dune exec bench/main.exe -- check-json "$CHAOS_JSON"
+
+echo "== deprecated-shim gate =="
+# The optional-argument bridges (instantiate_opts/run_opts/execute_opts)
+# exist for out-of-tree callers only; in-tree code must use Run_config.
+if grep -rnE '(Runtime|Pool|Sim)\.(instantiate|execute|run)_opts' lib bin bench examples; then
+  echo "ci: in-tree caller uses a deprecated _opts shim (use Run_config)" >&2
+  exit 1
+fi
+echo "no in-tree shim callers"
+
 echo "== ci passed =="

@@ -52,7 +52,7 @@ let () =
       let d_q15 = min 32767 (max 0 d_q15) in
       let sink, result = Io.f32_buffer () in
       let stats =
-        Runtime.execute (chain_graph ())
+        Runtime.execute_exn (chain_graph ())
           ~sources:
             [ Io.rtp (Value.Int d_q15); Io.of_int_array Dtype.I16 samples ]
           ~sinks:[ sink ]

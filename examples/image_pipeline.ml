@@ -28,7 +28,7 @@ let () =
   in
   let source = Cgsim.Io.of_array (Array.map Apps.Bilinear.quad_value requests) in
   let sink, result = Cgsim.Io.int_buffer () in
-  let _ = Cgsim.Runtime.execute (Apps.Bilinear.graph ()) ~sources:[ source ] ~sinks:[ sink ] in
+  let _ = Cgsim.Runtime.execute_exn (Apps.Bilinear.graph ()) ~sources:[ source ] ~sinks:[ sink ] in
   let pixels = result () in
   (* Render as ASCII art (Q8 -> 8 grey levels). *)
   let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in

@@ -65,7 +65,7 @@ let () =
   let ys = [| 10.0; 20.0; 30.0; 40.0 |] in
   let sink, result = Io.f32_buffer () in
   let stats =
-    Runtime.execute graph ~sources:[ Io.of_f32_array xs; Io.of_f32_array ys ] ~sinks:[ sink ]
+    Runtime.execute_exn graph ~sources:[ Io.of_f32_array xs; Io.of_f32_array ys ] ~sinks:[ sink ]
   in
   Array.iteri
     (fun i v -> Printf.printf "(%g + %g)^2 = %g\n" xs.(i) ys.(i) v)

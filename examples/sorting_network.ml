@@ -13,7 +13,7 @@ let () =
 
   (* cgsim: cooperative, single thread *)
   let sinks, contents = h.Apps.Harness.make_sinks () in
-  let stats = Cgsim.Runtime.execute graph ~sources:(h.Apps.Harness.sources ~reps) ~sinks in
+  let stats = Cgsim.Runtime.execute_exn graph ~sources:(h.Apps.Harness.sources ~reps) ~sinks in
   (match h.Apps.Harness.check ~reps (contents ()) with
    | Ok () -> Printf.printf "cgsim:  %d blocks sorted correctly (%d fiber slices)\n" reps
                 stats.Cgsim.Sched.slices
@@ -21,7 +21,7 @@ let () =
 
   (* x86sim: one OS thread per kernel *)
   let sinks, contents = h.Apps.Harness.make_sinks () in
-  let x86 = X86sim.Sim.run graph ~sources:(h.Apps.Harness.sources ~reps) ~sinks in
+  let x86 = X86sim.Sim.run_exn graph ~sources:(h.Apps.Harness.sources ~reps) ~sinks in
   (match h.Apps.Harness.check ~reps (contents ()) with
    | Ok () -> Printf.printf "x86sim: identical outputs on %d threads\n" x86.X86sim.Sim.threads
    | Error e -> failwith e);

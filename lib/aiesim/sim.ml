@@ -51,7 +51,7 @@ type capture_result = {
   events_total : int;
 }
 
-let capture (d : Deploy.t) ~sources ~sinks =
+let capture ?(config = Cgsim.Run_config.default) (d : Deploy.t) ~sources ~sinks =
   let g = d.Deploy.graph in
   let thunk_applies (inst : Cgsim.Serialized.kernel_inst) =
     d.Deploy.adapter = Deploy.Thunk && inst.realm = Cgsim.Kernel.Aie
@@ -136,9 +136,25 @@ let capture (d : Deploy.t) ~sources ~sinks =
     Aie.Trace.enabled := false;
     List.iter (fun (name, _) -> Aie.Trace.unbind name) recorders
   in
-  let ctx = Cgsim.Runtime.instantiate ~hooks g in
-  let stats =
+  (* The caller's hooks (if any) wrap the capture wrappers, so capture
+     records the traffic the kernels actually performed. *)
+  let config =
+    Cgsim.Run_config.with_hooks
+      (Cgsim.Runtime.compose_hooks config.Cgsim.Run_config.hooks hooks)
+      config
+  in
+  let ctx = Cgsim.Runtime.instantiate ~config g in
+  let outcome =
     Fun.protect ~finally:finish (fun () -> Cgsim.Runtime.run ctx ~sources ~sinks)
+  in
+  let stats =
+    match outcome with
+    | Cgsim.Runtime.Completed stats -> stats
+    | o ->
+      (* A capture cut short by deadline, cancellation or kernel failure
+         has no replayable trace; surface it as a simulator error. *)
+      fail "capture of %s did not complete: %a" g.Cgsim.Serialized.gname Cgsim.Runtime.pp_outcome
+        o
   in
   let traces = List.map (fun (name, r) -> name, Aie.Trace.events r) recorders in
   let events_total =
@@ -620,8 +636,8 @@ let report_to_trace (r : report) =
       ~dur_ns:(Aie.Cfg.cycles_to_ns r.total_cycles) ()
   end
 
-let run (d : Deploy.t) ~sources ~sinks =
-  let cap = capture d ~sources ~sinks in
+let run ?config (d : Deploy.t) ~sources ~sinks =
+  let cap = capture ?config d ~sources ~sinks in
   let procs = replay d cap in
   let kernels = kernel_reports procs d.Deploy.graph in
   let total_cycles = List.fold_left (fun acc p -> Float.max acc p.time) 0.0 procs in

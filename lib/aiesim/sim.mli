@@ -41,9 +41,18 @@ type report = {
 val pp_report : Format.formatter -> report -> unit
 
 (** [run deploy ~sources ~sinks] simulates one execution.  Sinks receive
-    the functional outputs.  Raises {!Sim_error} on replay deadlock (a
-    graph whose traffic cannot fit the modelled buffering). *)
-val run : Deploy.t -> sources:Cgsim.Io.source list -> sinks:Cgsim.Io.sink list -> report
+    the functional outputs.  [config] governs the functional capture
+    phase (queue knobs, deadline/fuel, fault plan); its hooks compose
+    outside the capture wrappers.  Raises {!Sim_error} on replay
+    deadlock (a graph whose traffic cannot fit the modelled buffering)
+    or when the capture phase does not complete — deadline, cancellation
+    or kernel failure, with the structured outcome in the message. *)
+val run :
+  ?config:Cgsim.Run_config.t ->
+  Deploy.t ->
+  sources:Cgsim.Io.source list ->
+  sinks:Cgsim.Io.sink list ->
+  report
 
 (** Emit the replay timeline into the active {!Obs.Trace} session on
     the virtual-time pid: per kernel, a pipeline-fill span plus one span

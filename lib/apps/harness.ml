@@ -124,12 +124,13 @@ let all = [ bitonic; farrow; iir; bilinear ]
 
 let find name = List.find_opt (fun t -> String.equal t.name name) all
 
-let run_cgsim t ~reps =
+let run_cgsim ?config t ~reps =
   let g = t.graph () in
   let sinks, contents = t.make_sinks () in
-  match Cgsim.Runtime.execute g ~sources:(t.sources ~reps) ~sinks with
+  match Cgsim.Runtime.execute ?config g ~sources:(t.sources ~reps) ~sinks with
   | exception e -> Error (Printexc.to_string e)
-  | stats ->
+  | Cgsim.Runtime.Completed stats ->
     (match t.check ~reps (contents ()) with
      | Ok () -> Ok stats
      | Error e -> Error e)
+  | o -> Error (Format.asprintf "%a" Cgsim.Runtime.pp_outcome o)

@@ -29,5 +29,7 @@ val all : t list
 val find : string -> t option
 
 (** Run the app once under the plain cgsim runtime and check outputs;
-    convenience used by tests and the quickstart of the bench harness. *)
-val run_cgsim : t -> reps:int -> (Cgsim.Sched.stats, string) result
+    convenience used by tests and the quickstart of the bench harness.
+    Any non-[Completed] outcome (deadline, cancellation, kernel failure
+    — e.g. under a [config] with faults) is rendered into the [Error]. *)
+val run_cgsim : ?config:Cgsim.Run_config.t -> t -> reps:int -> (Cgsim.Sched.stats, string) result

@@ -114,6 +114,10 @@ let min_cursor q =
    not yet retired bound the occupancy). *)
 let space q = q.q_cap - (q.head - min_cursor q)
 
+(* Unretired elements: what the slowest consumer has not yet read.  Used
+   by the runtime's stuck-graph post-mortems (per-net occupancy). *)
+let occupancy q = q.head - min_cursor q
+
 let fold_min_cursor q =
   match q.consumers with
   | [] -> q.head

@@ -62,6 +62,10 @@ val is_spsc : t -> bool
     re-check under their own blocking discipline. *)
 val space : t -> int
 
+(** Unretired elements currently buffered (capacity minus {!space}) —
+    the per-net occupancy reported by stuck-graph post-mortems. *)
+val occupancy : t -> int
+
 (** [put p v] appends [v]; parks while the queue is full.  Raises
     [Invalid_argument] on dtype mismatch or put-after-done. *)
 val put : producer -> Value.t -> unit

@@ -226,10 +226,11 @@ let freeze t =
       output_order = Array.of_list (List.rev t.output_order);
     }
   in
-  match Serialized.validate serialized with
-  | Ok () -> serialized
-  | Error problems ->
-    fail "graph %s: invalid serialized form:@\n%s" t.gname (String.concat "\n" problems)
+  match Serialized.validate_diags serialized with
+  | [] -> serialized
+  | diags ->
+    fail "graph %s: invalid serialized form:@\n%s" t.gname
+      (String.concat "\n" (List.map Diagnostic.render diags))
 
 let make ~name ~inputs f =
   let b = create ~name in

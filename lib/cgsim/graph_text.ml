@@ -369,9 +369,10 @@ let of_string text =
         output_order = !outputs;
       }
     in
-    match Serialized.validate g with
-    | Ok () -> g
-    | Error problems -> fail "invalid graph: %s" (String.concat "; " problems)
+    match Serialized.validate_diags g with
+    | [] -> g
+    | diags ->
+      fail "invalid graph: %s" (String.concat "; " (List.map Diagnostic.render diags))
   in
   match parse () with
   | g -> Ok g

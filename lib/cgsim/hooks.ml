@@ -1,0 +1,23 @@
+(* Port/body interception hooks, factored out of Runtime so that lower
+   layers (fault injection, Run_config) can talk about hooks without a
+   dependency cycle on the runtime itself. *)
+
+type t = {
+  wrap_reader : Serialized.kernel_inst -> int -> Port.reader -> Port.reader;
+  wrap_writer : Serialized.kernel_inst -> int -> Port.writer -> Port.writer;
+  around_body : Serialized.kernel_inst -> (unit -> unit) -> unit -> unit;
+}
+
+let none =
+  {
+    wrap_reader = (fun _ _ r -> r);
+    wrap_writer = (fun _ _ w -> w);
+    around_body = (fun _ body () -> body ());
+  }
+
+let compose outer inner =
+  {
+    wrap_reader = (fun inst idx r -> outer.wrap_reader inst idx (inner.wrap_reader inst idx r));
+    wrap_writer = (fun inst idx w -> outer.wrap_writer inst idx (inner.wrap_writer inst idx w));
+    around_body = (fun inst body -> outer.around_body inst (inner.around_body inst body));
+  }

@@ -1,0 +1,23 @@
+(** Hooks letting a simulator intercept every kernel-port access and every
+    kernel body without changing kernel code — the mechanism aiesim uses to
+    count stream traffic, the observability layer uses for per-port
+    counters, and {!Faults} uses to inject failures.
+
+    This lives below {!Runtime} (which re-exports it as [wrap_hooks]) so
+    that {!Run_config} and {!Faults} can be expressed without a dependency
+    cycle on the runtime. *)
+
+type t = {
+  wrap_reader : Serialized.kernel_inst -> int -> Port.reader -> Port.reader;
+      (** [wrap_reader inst port_idx r]; [port_idx] indexes [inst.ports]. *)
+  wrap_writer : Serialized.kernel_inst -> int -> Port.writer -> Port.writer;
+  around_body : Serialized.kernel_inst -> (unit -> unit) -> unit -> unit;
+      (** Wraps the whole kernel body invocation. *)
+}
+
+(** Identity hooks. *)
+val none : t
+
+(** [compose outer inner] nests hook layers: readers/writers are wrapped
+    by [inner] first, then [outer]; bodies likewise. *)
+val compose : t -> t -> t

@@ -2,8 +2,19 @@ type request_result = {
   req_id : int;
   domain : int;
   stolen : bool;
-  outcome : (Sched.stats, string) result;
+  outcome : Runtime.outcome;
+  attempts : int;
+  shed : bool;
   req_wall_ns : float;
+}
+
+type outcome_counts = {
+  n_completed : int;
+  n_deadline : int;
+  n_cancelled : int;
+  n_failed : int;
+  n_shed : int;
+  n_retried_ok : int;  (* completed on a retry attempt *)
 }
 
 type stats = {
@@ -11,8 +22,43 @@ type stats = {
   requests : int;
   results : request_result array;
   steals : int;
+  retries : int;
+  breaker_tripped : bool;
+  counts : outcome_counts;
   wall_ns : float;
 }
+
+let count_outcomes results =
+  Array.fold_left
+    (fun c r ->
+      if r.shed then { c with n_shed = c.n_shed + 1 }
+      else
+        match r.outcome with
+        | Runtime.Completed _ ->
+          {
+            c with
+            n_completed = c.n_completed + 1;
+            n_retried_ok = (c.n_retried_ok + if r.attempts > 1 then 1 else 0);
+          }
+        | Runtime.Deadline_exceeded _ -> { c with n_deadline = c.n_deadline + 1 }
+        | Runtime.Cancelled -> { c with n_cancelled = c.n_cancelled + 1 }
+        | Runtime.Kernel_failed _ -> { c with n_failed = c.n_failed + 1 })
+    { n_completed = 0; n_deadline = 0; n_cancelled = 0; n_failed = 0; n_shed = 0; n_retried_ok = 0 }
+    results
+
+(* Splitmix-style seeded stream for backoff jitter: deterministic per
+   (pool seed, request id), no global Random state. *)
+let jitter_state ~seed ~req =
+  ref (Int64.logxor (Int64.of_int ((seed * 0x9e3779b9) + 1)) (Int64.of_int ((req + 1) * 0x85ebca6b)))
+
+let next_unit_float st =
+  let x = !st in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  st := x;
+  let bits = Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x2545F4914F6CDD1DL) 11) in
+  float_of_int (bits land 0xFFFFF) /. float_of_int 0x100000
 
 (* Per-domain work deque over a fixed population of request ids.  All
    items are seeded before any domain starts and nothing is ever pushed
@@ -55,12 +101,15 @@ let steal_top d =
       end
       else None)
 
-let run ?queue_capacity ?block_io ?spsc ~domains ~requests ~io (g : Serialized.t) =
+let run ?(config = Run_config.default) ~domains ~requests ~io (g : Serialized.t) =
   if domains <= 0 then invalid_arg "cgsim: Pool.run needs a positive domain count";
   if requests <= 0 then invalid_arg "cgsim: Pool.run needs a positive request count";
   (* Lint once up front — the pool-safety pass flags kernels whose bodies
      share mutable state across the instances the domains run. *)
-  Runtime.preflight ~lint:`Warn g;
+  Runtime.preflight ~lint:config.Run_config.lint g;
+  (* The graph is linted once when the pool is built, not once per
+     request (or attempt) on every serving domain. *)
+  let request_config = Run_config.with_lint `Off config in
   (* Seed round-robin: request r belongs to domain [r mod domains].  The
      per-domain lists are built back-to-front so the owner's LIFO pop
      replays its seeds in ascending request order — with one domain the
@@ -72,33 +121,115 @@ let run ?queue_capacity ?block_io ?spsc ~domains ~requests ~io (g : Serialized.t
   done;
   let deques = Array.map (fun ids -> deque_of_list (List.rev ids)) seeds in
   let dummy =
-    { req_id = -1; domain = -1; stolen = false; outcome = Error "not executed"; req_wall_ns = 0. }
+    {
+      req_id = -1;
+      domain = -1;
+      stolen = false;
+      outcome = Runtime.Cancelled;
+      attempts = 0;
+      shed = false;
+      req_wall_ns = 0.;
+    }
   in
   (* Each slot is written exactly once, by whichever domain executed the
      request, and read only after the joins — no lock needed. *)
   let results = Array.make requests dummy in
   let steals = Atomic.make 0 in
+  let retries_total = Atomic.make 0 in
+  (* Circuit breaker: consecutive requests whose FINAL outcome was a
+     failure or deadline (retries exhausted).  Once the count reaches the
+     threshold the circuit opens and every not-yet-started request is
+     shed without executing — load shedding under systemic failure. *)
+  let consec_failures = Atomic.make 0 in
+  let breaker_tripped = Atomic.make false in
+  let breaker_open () =
+    match config.Run_config.breaker_threshold with
+    | None -> false
+    | Some th -> Atomic.get consec_failures >= th
+  in
   let execute ~domain ~stolen r =
-    let t0 = Obs.Clock.now_ns () in
-    let outcome =
-      try
-        let t = Runtime.instantiate ?queue_capacity ?block_io ?spsc g in
-        let sources, sinks = io r in
-        (* The graph is linted once when the pool is built, not once per
-           request on every serving domain. *)
-        Ok (Runtime.run ~lint:`Off t ~sources ~sinks)
-      with exn -> Error (Printexc.to_string exn)
-    in
-    let dt = Obs.Clock.now_ns () -. t0 in
-    if !Obs.Trace.on then begin
-      let track = Printf.sprintf "serve-domain-%d" domain in
-      Obs.Trace.span ~track ~cat:"pool" ~pid:3
-        ~name:(Printf.sprintf "req-%d%s" r (if stolen then " (stolen)" else ""))
-        ~ts_ns:t0 ~dur_ns:dt ();
-      Obs.Trace.observe_ns "pool.request" dt;
-      if stolen then Obs.Trace.incr_metric "pool.steals"
-    end;
-    results.(r) <- { req_id = r; domain; stolen; outcome; req_wall_ns = dt }
+    if breaker_open () then begin
+      if not (Atomic.exchange breaker_tripped true) then
+        if !Obs.Trace.on then
+          Obs.Trace.instant ~track:"pool" ~cat:"pool" "breaker-open";
+      if !Obs.Trace.on then Obs.Trace.incr_metric "pool.shed";
+      results.(r) <-
+        { req_id = r; domain; stolen; outcome = Runtime.Cancelled; attempts = 0; shed = true;
+          req_wall_ns = 0. }
+    end
+    else begin
+      let t0 = Obs.Clock.now_ns () in
+      let jitter = jitter_state ~seed:config.Run_config.seed ~req:r in
+      let prev_backoff = ref config.Run_config.retry_base_ns in
+      let backoff () =
+        let base = config.Run_config.retry_base_ns in
+        if base > 0. then begin
+          (* Decorrelated jitter: sleep in [base, min(cap, 3*prev)],
+             uniformly — retries from concurrent domains desynchronise
+             instead of hammering in lockstep. *)
+          let hi = Float.min config.Run_config.retry_cap_ns (Float.max base (!prev_backoff *. 3.)) in
+          let sleep = base +. (next_unit_float jitter *. (hi -. base)) in
+          prev_backoff := sleep;
+          Unix.sleepf (sleep /. 1e9)
+        end
+      in
+      let run_once attempt =
+        let a0 = Obs.Clock.now_ns () in
+        let outcome =
+          try
+            let t = Runtime.instantiate ~config:request_config g in
+            let sources, sinks = io r in
+            Runtime.run t ~sources ~sinks
+          with exn ->
+            (* Wiring/instantiation raises (caller bugs) are captured so
+               the pool still runs every request to completion. *)
+            Runtime.Kernel_failed
+              {
+                Runtime.f_graph = g.Serialized.gname;
+                f_kernel = "<harness>";
+                f_exn = exn;
+                f_backtrace = "";
+                f_src = None;
+              }
+        in
+        let dt = Obs.Clock.now_ns () -. a0 in
+        if !Obs.Trace.on then begin
+          let track = Printf.sprintf "serve-domain-%d" domain in
+          Obs.Trace.span ~track ~cat:"pool" ~pid:3
+            ~name:
+              (Printf.sprintf "req-%d%s%s" r
+                 (if attempt > 1 then Printf.sprintf " try-%d" attempt else "")
+                 (if stolen then " (stolen)" else ""))
+            ~ts_ns:a0 ~dur_ns:dt ();
+          Obs.Trace.observe_ns "pool.request" dt;
+          Obs.Trace.incr_metric ("pool.outcome." ^ Runtime.outcome_label outcome);
+          (match outcome with
+           | Runtime.Deadline_exceeded _ -> Obs.Trace.incr_metric "pool.deadline"
+           | _ -> ())
+        end;
+        outcome
+      in
+      let rec supervise attempt =
+        let outcome = run_once attempt in
+        match outcome with
+        | Runtime.Completed _ | Runtime.Cancelled -> outcome, attempt
+        | Runtime.Deadline_exceeded _ | Runtime.Kernel_failed _ ->
+          if attempt <= config.Run_config.retries then begin
+            Atomic.incr retries_total;
+            if !Obs.Trace.on then Obs.Trace.incr_metric "pool.retry";
+            backoff ();
+            supervise (attempt + 1)
+          end
+          else outcome, attempt
+      in
+      let outcome, attempts = supervise 1 in
+      (match outcome with
+       | Runtime.Completed _ -> Atomic.set consec_failures 0
+       | Runtime.Cancelled -> ()
+       | Runtime.Deadline_exceeded _ | Runtime.Kernel_failed _ -> Atomic.incr consec_failures);
+      let dt = Obs.Clock.now_ns () -. t0 in
+      results.(r) <- { req_id = r; domain; stolen; outcome; attempts; shed = false; req_wall_ns = dt }
+    end
   in
   let worker domain () =
     Obs.Trace.set_thread_label (Printf.sprintf "serve-domain-%d" domain);
@@ -135,4 +266,16 @@ let run ?queue_capacity ?block_io ?spsc ~domains ~requests ~io (g : Serialized.t
   Array.iter Domain.join spawned;
   let wall_ns = Obs.Clock.now_ns () -. t0 in
   Gc.set gc;
-  { domains; requests; results; steals = Atomic.get steals; wall_ns }
+  {
+    domains;
+    requests;
+    results;
+    steals = Atomic.get steals;
+    retries = Atomic.get retries_total;
+    breaker_tripped = Atomic.get breaker_tripped;
+    counts = count_outcomes results;
+    wall_ns;
+  }
+
+let run_opts ?queue_capacity ?block_io ?spsc ~domains ~requests ~io g =
+  run ~config:(Run_config.make ?queue_capacity ?block_io ?spsc ()) ~domains ~requests ~io g

@@ -1,4 +1,5 @@
-(** Parallel request serving over independent graph instances.
+(** Parallel request serving over independent graph instances, with
+    per-request supervision.
 
     One serialized graph, N requests, D OCaml domains: each request gets
     its own {!Runtime} instantiation (contexts are single-shot and share
@@ -15,18 +16,41 @@
     order, making single-domain runs deterministic and comparable to a
     sequential loop.
 
-    When a {!Obs.Trace} session is active, each request is emitted as a
-    span on a per-domain track (pid 3, alongside cgsim's fiber lanes and
-    aiesim's tile lanes), so Chrome-trace shows the pool's occupancy and
-    steal behaviour directly. *)
+    Supervision, per request, driven by the {!Run_config.t}:
+
+    - a kernel failure or deadline hit is retried up to
+      [config.retries] times, sleeping a decorrelated-jitter backoff
+      (seeded by [config.seed] and the request id — deterministic)
+      between attempts;
+    - after [config.breaker_threshold] consecutive requests whose final
+      outcome was still a failure/deadline, the circuit opens and every
+      not-yet-started request is shed without executing (the classic
+      load-shedding breaker); successes reset the count;
+    - the per-attempt deadline, fault plan, hooks and queue knobs come
+      from the same config, passed to {!Runtime.instantiate} verbatim.
+
+    When an {!Obs.Trace} session is active, each attempt is a span on a
+    per-domain track (pid 3), and the pool emits [pool.request] timings
+    plus [pool.retry], [pool.deadline], [pool.shed] and
+    [pool.outcome.<label>] counters. *)
 
 type request_result = {
   req_id : int;
-  domain : int;  (** Domain that executed the request. *)
+  domain : int;  (** Domain that executed (or shed) the request. *)
   stolen : bool;  (** Executed by a thief rather than its seeded owner. *)
-  outcome : (Sched.stats, string) result;
-      (** Scheduler stats of the instance, or the printed exception. *)
-  req_wall_ns : float;
+  outcome : Runtime.outcome;  (** Final outcome, after retries. *)
+  attempts : int;  (** Executions performed; 0 when shed. *)
+  shed : bool;  (** Refused by the open circuit breaker. *)
+  req_wall_ns : float;  (** Wall time across all attempts and backoffs. *)
+}
+
+type outcome_counts = {
+  n_completed : int;
+  n_deadline : int;
+  n_cancelled : int;
+  n_failed : int;
+  n_shed : int;
+  n_retried_ok : int;  (** Completed, but only on a retry attempt. *)
 }
 
 type stats = {
@@ -34,21 +58,38 @@ type stats = {
   requests : int;
   results : request_result array;  (** Indexed by request id. *)
   steals : int;  (** Requests executed by a non-owner domain. *)
+  retries : int;  (** Retry attempts across all requests. *)
+  breaker_tripped : bool;  (** The circuit opened at least once. *)
+  counts : outcome_counts;
   wall_ns : float;  (** Whole-pool wall time, spawn to last join. *)
 }
 
-(** [run ~domains ~requests ~io g] executes [requests] independent
-    instances of [g] on [domains] parallel domains.  [io r] is called on
-    the executing domain to build the sources and sinks for request [r]
-    (it must be safe to call concurrently for distinct [r]).
-    [queue_capacity], [block_io] and [spsc] are passed through to
-    {!Runtime.instantiate} for every instance.
+val count_outcomes : request_result array -> outcome_counts
 
-    Per-request failures (including {!Runtime.Runtime_error}) are
-    captured in the corresponding {!request_result}, not raised; the
-    pool always runs every request to completion.  Raises
-    [Invalid_argument] if [domains] or [requests] is not positive. *)
+(** [run ~domains ~requests ~io g] executes [requests] independent
+    instances of [g] on [domains] parallel domains under [config]
+    (default {!Run_config.default}).  [io r] is called on the executing
+    domain, once per attempt, to build the sources and sinks for request
+    [r] (it must be safe to call concurrently for distinct [r], and
+    sources must be re-buildable if [config.retries > 0]).
+
+    Per-request failures — including {!Runtime.Runtime_error} raised
+    during instantiation or wiring — are captured in the corresponding
+    {!request_result}, never raised; the pool always produces a result
+    for every request.  The graph is linted once up front at
+    [config.lint], not per request.  Raises [Invalid_argument] if
+    [domains] or [requests] is not positive. *)
 val run :
+  ?config:Run_config.t ->
+  domains:int ->
+  requests:int ->
+  io:(int -> Io.source list * Io.sink list) ->
+  Serialized.t ->
+  stats
+
+(** Deprecated optional-argument bridge; equivalent to building a
+    {!Run_config.t} with the same knobs (no retries, no breaker). *)
+val run_opts :
   ?queue_capacity:int ->
   ?block_io:bool ->
   ?spsc:bool ->
@@ -57,3 +98,4 @@ val run :
   io:(int -> Io.source list * Io.sink list) ->
   Serialized.t ->
   stats
+[@@ocaml.deprecated "use run ?config with Run_config"]

@@ -1,0 +1,84 @@
+(* The single knob record for every execution path.
+
+   Before this existed, Runtime/Pool/X86sim each grew their own sprawl of
+   optional arguments (?hooks ?queue_capacity ?block_io ?spsc ?lint) and
+   every new capability (deadlines, retries, faults) would have tripled
+   the sprawl.  A Run_config is built once — [default |> with_*] — and
+   threaded through instantiate/execute/Pool.run/X86sim.Sim.run. *)
+
+type lint_level =
+  [ `Off
+  | `Warn
+  | `Error
+  ]
+
+type t = {
+  hooks : Hooks.t;
+  queue_capacity : int option;
+  block_io : bool;
+  spsc : bool;
+  lint : lint_level;
+  deadline_ns : float option;
+  max_steps : int option;
+  retries : int;
+  retry_base_ns : float;
+  retry_cap_ns : float;
+  breaker_threshold : int option;
+  faults : Faults.t option;
+  seed : int;
+}
+
+let default =
+  {
+    hooks = Hooks.none;
+    queue_capacity = None;
+    block_io = true;
+    spsc = true;
+    lint = `Warn;
+    deadline_ns = None;
+    max_steps = None;
+    retries = 0;
+    retry_base_ns = 1e6 (* 1 ms *);
+    retry_cap_ns = 1e8 (* 100 ms *);
+    breaker_threshold = None;
+    faults = None;
+    seed = 1;
+  }
+
+let with_hooks hooks t = { t with hooks }
+let with_queue_capacity c t = { t with queue_capacity = Some c }
+let with_block_io block_io t = { t with block_io }
+let with_spsc spsc t = { t with spsc }
+let with_lint lint t = { t with lint }
+let with_deadline_ns d t = { t with deadline_ns = Some d }
+let with_deadline_ms d t = { t with deadline_ns = Some (d *. 1e6) }
+let with_max_steps n t = { t with max_steps = Some n }
+let with_retries n t = { t with retries = n }
+
+let with_backoff ?base_ns ?cap_ns t =
+  {
+    t with
+    retry_base_ns = Option.value base_ns ~default:t.retry_base_ns;
+    retry_cap_ns = Option.value cap_ns ~default:t.retry_cap_ns;
+  }
+
+let with_breaker threshold t = { t with breaker_threshold = Some threshold }
+let with_faults faults t = { t with faults = Some faults }
+let with_seed seed t = { t with seed }
+
+(* Bridge for the deprecated optional-arg entry points: exactly the old
+   defaults when an argument is omitted. *)
+let make ?hooks ?queue_capacity ?block_io ?spsc ?lint ?deadline_ns ?max_steps ?retries ?faults ()
+    =
+  {
+    default with
+    hooks = Option.value hooks ~default:Hooks.none;
+    queue_capacity;
+    block_io = Option.value block_io ~default:true;
+    spsc = Option.value spsc ~default:true;
+    lint = Option.value lint ~default:`Warn;
+    deadline_ns;
+    max_steps;
+    retries = Option.value retries ~default:0;
+    faults;
+  }

@@ -2,25 +2,17 @@ exception Runtime_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
 
-type wrap_hooks = {
+(* Hooks are defined in their own module (dependency-cycle avoidance);
+   re-exported here under the historical names. *)
+type wrap_hooks = Hooks.t = {
   wrap_reader : Serialized.kernel_inst -> int -> Port.reader -> Port.reader;
   wrap_writer : Serialized.kernel_inst -> int -> Port.writer -> Port.writer;
   around_body : Serialized.kernel_inst -> (unit -> unit) -> unit -> unit;
 }
 
-let no_hooks =
-  {
-    wrap_reader = (fun _ _ r -> r);
-    wrap_writer = (fun _ _ w -> w);
-    around_body = (fun _ body () -> body ());
-  }
+let no_hooks = Hooks.none
 
-let compose_hooks outer inner =
-  {
-    wrap_reader = (fun inst idx r -> outer.wrap_reader inst idx (inner.wrap_reader inst idx r));
-    wrap_writer = (fun inst idx w -> outer.wrap_writer inst idx (inner.wrap_writer inst idx w));
-    around_body = (fun inst body -> outer.around_body inst (inner.around_body inst body));
-  }
+let compose_hooks = Hooks.compose
 
 (* Observability instrumentation, expressed as ordinary wrap_hooks: per
    port element counters and kernel body lifecycle instants.  Installed
@@ -74,11 +66,7 @@ let obs_hooks () =
           raise e);
   }
 
-type lint_level =
-  [ `Off
-  | `Warn
-  | `Error
-  ]
+type lint_level = Run_config.lint_level
 
 (* The static analyzer (lib/analysis) installs itself here at module-init
    time; cgsim itself cannot depend on it without a cycle.  When no hook
@@ -105,37 +93,144 @@ let preflight ~lint (g : Serialized.t) =
         List.iter (fun d -> prerr_endline (Diagnostic.render d)) diags
     end
 
+(* ------------------------------------------------------------------ *)
+(* Structured outcomes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  f_graph : string;
+  f_kernel : string;
+  f_exn : exn;
+  f_backtrace : string;  (* may be empty when backtrace recording is off *)
+  f_src : Srcspan.t option;
+}
+
+type progress = {
+  p_graph : string;
+  p_reason : [ `Wall_clock | `Max_steps ];
+  p_parked : string list;
+  p_occupancy : (string * int) list;  (* net name, unretired elements *)
+  p_last_kernel : string option;
+  p_stats : Sched.stats;
+}
+
+type outcome =
+  | Completed of Sched.stats
+  | Deadline_exceeded of progress
+  | Cancelled
+  | Kernel_failed of failure
+
+let outcome_label = function
+  | Completed _ -> "completed"
+  | Deadline_exceeded p -> (match p.p_reason with `Wall_clock -> "deadline" | `Max_steps -> "max-steps")
+  | Cancelled -> "cancelled"
+  | Kernel_failed _ -> "failed"
+
+let failure_message f =
+  Format.asprintf "graph %s: kernel %s failed: %s%s%s" f.f_graph f.f_kernel
+    (Printexc.to_string f.f_exn)
+    (match f.f_src with
+     | Some s -> Printf.sprintf " (%s)" (Srcspan.to_string s)
+     | None -> "")
+    (if f.f_backtrace = "" then ""
+     else "\n" ^ f.f_backtrace)
+
+let progress_message p =
+  Format.asprintf "graph %s: %s after %d slices; parked: %s; last advanced: %s%s" p.p_graph
+    (match p.p_reason with
+     | `Wall_clock -> "wall-clock deadline exceeded"
+     | `Max_steps -> "step budget exhausted")
+    p.p_stats.Sched.slices
+    (match p.p_parked with [] -> "<none>" | ps -> String.concat ", " ps)
+    (Option.value p.p_last_kernel ~default:"<none>")
+    (match List.filter (fun (_, occ) -> occ > 0) p.p_occupancy with
+     | [] -> ""
+     | occ ->
+       "; occupancy: "
+       ^ String.concat ", " (List.map (fun (n, o) -> Printf.sprintf "%s=%d" n o) occ))
+
+let pp_outcome ppf = function
+  | Completed stats -> Format.fprintf ppf "completed (%a)" Sched.pp_stats stats
+  | Deadline_exceeded p -> Format.pp_print_string ppf (progress_message p)
+  | Cancelled -> Format.pp_print_string ppf "cancelled"
+  | Kernel_failed f -> Format.pp_print_string ppf (failure_message f)
+
 type t = {
   graph : Serialized.t;
   sched : Sched.t;
   queues : Bqueue.t array;  (* indexed by net id *)
-  block_io : bool;
-  spsc : bool;
+  mutable config : Run_config.t;
   mutable ran : bool;
+  mutable failure : failure option;  (* first kernel failure, with context *)
 }
 
 let graph t = t.graph
 
+let config t = t.config
+
 let net_traffic t = Array.map Bqueue.total_put t.queues
+
+let cancel t = Sched.cancel t.sched
 
 (* I/O fibers move data in chunks of this many elements at most; bounded
    by the queue capacity so a chunk is at most one full ring. *)
 let io_chunk q = max 1 (min (Bqueue.capacity q) 1024)
 
-let instantiate ?(hooks = no_hooks) ?queue_capacity ?(block_io = true) ?(spsc = true)
-    (g : Serialized.t) =
-  let hooks = if !Obs.Trace.on then compose_hooks hooks (obs_hooks ()) else hooks in
-  (match Serialized.validate g with
-   | Ok () -> ()
-   | Error problems ->
-     fail "cannot instantiate %s: %s" g.Serialized.gname (String.concat "; " problems));
+(* Failure supervision, expressed as the outermost body hook: a kernel
+   body raising is recorded — kernel name, exception, backtrace, source
+   span from the graph — before the scheduler's fiber boundary sees it.
+   Only the first failure is kept (later ones are usually collateral).
+   [ctx] is filled in by [instantiate] before any body can run. *)
+let supervise_hooks (ctx : t option ref) =
+  {
+    Hooks.wrap_reader = (fun _ _ r -> r);
+    wrap_writer = (fun _ _ w -> w);
+    around_body =
+      (fun inst body () ->
+        try body () with
+        | (Sched.End_of_stream | Sched.Terminated) as e -> raise e
+        | e ->
+          let bt = Printexc.get_backtrace () in
+          (match !ctx with
+           | Some t when t.failure = None ->
+             t.failure <-
+               Some
+                 {
+                   f_graph = t.graph.Serialized.gname;
+                   f_kernel = inst.Serialized.inst_name;
+                   f_exn = e;
+                   f_backtrace = String.trim bt;
+                   f_src = inst.Serialized.src;
+                 }
+           | _ -> ());
+          raise e);
+  }
+
+let instantiate ?(config = Run_config.default) (g : Serialized.t) =
+  (* Hook nesting, outermost first: failure supervision, caller hooks,
+     observability counters, fault injection.  Faults sit innermost so an
+     injected raise unwinds through (and is seen by) every other layer,
+     exactly like a real kernel bug. *)
+  let ctx = ref None in
+  let hooks = Hooks.compose (supervise_hooks ctx) config.Run_config.hooks in
+  let hooks = if !Obs.Trace.on then Hooks.compose hooks (obs_hooks ()) else hooks in
+  let hooks =
+    match config.Run_config.faults with
+    | None -> hooks
+    | Some plan -> Hooks.compose hooks (Faults.hooks plan)
+  in
+  (match Serialized.validate_diags g with
+   | [] -> ()
+   | diags ->
+     fail "cannot instantiate %s: %s" g.Serialized.gname
+       (String.concat "; " (List.map Diagnostic.render diags)));
   let sched = Sched.create () in
   let queues =
     Array.map
       (fun (n : Serialized.net) ->
         let elem_bytes = Dtype.size_bytes n.dtype in
         let capacity =
-          match queue_capacity with
+          match config.Run_config.queue_capacity with
           | Some c -> c
           | None -> Settings.resolved_depth ~elem_bytes n.settings
         in
@@ -144,7 +239,9 @@ let instantiate ?(hooks = no_hooks) ?queue_capacity ?(block_io = true) ?(spsc = 
           ~dtype:n.dtype ~capacity ())
       g.Serialized.nets
   in
-  let t = { graph = g; sched; queues; block_io; spsc; ran = false } in
+  let t = { graph = g; sched; queues; config; ran = false; failure = None } in
+  ctx := Some t;
+  let block_io = config.Run_config.block_io in
   (* Wire every kernel instance.  Endpoint registration happens here, up
      front, so broadcast completeness holds from the first element. *)
   Array.iteri
@@ -177,7 +274,7 @@ let instantiate ?(hooks = no_hooks) ?queue_capacity ?(block_io = true) ?(spsc = 
                    else Port.block_get_of_get (fun () -> Bqueue.get c));
               }
             in
-            readers := hooks.wrap_reader inst port_idx r :: !readers
+            readers := hooks.Hooks.wrap_reader inst port_idx r :: !readers
           | Kernel.Out ->
             let p = Bqueue.add_producer q in
             writer_producers := p :: !writer_producers;
@@ -192,7 +289,7 @@ let instantiate ?(hooks = no_hooks) ?queue_capacity ?(block_io = true) ?(spsc = 
                 w_space = (fun () -> Bqueue.space q);
               }
             in
-            writers := hooks.wrap_writer inst port_idx w :: !writers)
+            writers := hooks.Hooks.wrap_writer inst port_idx w :: !writers)
         inst.ports;
       let binding =
         {
@@ -207,7 +304,7 @@ let instantiate ?(hooks = no_hooks) ?queue_capacity ?(block_io = true) ?(spsc = 
            closure propagates downstream. *)
         Fun.protect
           ~finally:(fun () -> List.iter Bqueue.producer_done producers)
-          (hooks.around_body inst (fun () -> kernel.Kernel.body binding))
+          (hooks.Hooks.around_body inst (fun () -> kernel.Kernel.body binding))
       in
       Sched.spawn sched ~name:inst.inst_name body)
     g.Serialized.kernels;
@@ -217,7 +314,7 @@ let attach_source t net_id source =
   let q = t.queues.(net_id) in
   let p = Bqueue.add_producer q in
   let body =
-    if t.block_io then begin
+    if t.config.Run_config.block_io then begin
       let pull_block = Io.source_pull_block source in
       let chunk = io_chunk q in
       fun () ->
@@ -250,7 +347,7 @@ let attach_sink t net_id sink =
   let q = t.queues.(net_id) in
   let c = Bqueue.add_consumer q in
   let body =
-    if t.block_io then begin
+    if t.config.Run_config.block_io then begin
       let chunk = io_chunk q in
       fun () ->
         let rec loop () =
@@ -298,12 +395,23 @@ let check_wiring t =
           t.graph.gname (Bqueue.name q) (describe_eps n.writers))
     t.queues
 
-let run ?(lint = `Warn) t ~sources ~sinks =
+(* Source span of a kernel instance by fiber name, for failures recorded
+   at the scheduler boundary (source/sink fibers have no span). *)
+let src_of_fiber t name =
+  Array.fold_left
+    (fun acc (ki : Serialized.kernel_inst) ->
+      if acc = None && String.equal ki.inst_name name then ki.src else acc)
+    None t.graph.Serialized.kernels
+
+let occupancy_snapshot t =
+  Array.to_list (Array.map (fun q -> Bqueue.name q, Bqueue.occupancy q) t.queues)
+
+let run t ~sources ~sinks =
   if t.ran then fail "runtime context for %s is single-shot; instantiate again" t.graph.gname;
   (* Pre-flight static analysis happens before any fiber is scheduled:
      at [`Error] a failing graph is refused before a single kernel body
      executes. *)
-  preflight ~lint t.graph;
+  preflight ~lint:t.config.Run_config.lint t.graph;
   t.ran <- true;
   let n_in = Array.length t.graph.Serialized.input_order in
   let n_out = Array.length t.graph.Serialized.output_order in
@@ -318,14 +426,74 @@ let run ?(lint = `Warn) t ~sources ~sinks =
   (* Wiring is complete: verify every edge, then seal the queues so
      1-producer/1-consumer edges take the SPSC fast path. *)
   check_wiring t;
-  Array.iter (fun q -> Bqueue.seal ~spsc:t.spsc q) t.queues;
-  let stats = Sched.run t.sched in
-  (match stats.Sched.failed with
-   | [] -> ()
-   | (name, exn) :: _ ->
-     fail "kernel fiber %s failed: %s" name (Printexc.to_string exn));
-  stats
+  Array.iter (fun q -> Bqueue.seal ~spsc:t.config.Run_config.spsc q) t.queues;
+  let stats =
+    Sched.run ?deadline_ns:t.config.Run_config.deadline_ns
+      ?max_steps:t.config.Run_config.max_steps t.sched
+  in
+  match t.failure with
+  | Some f -> Kernel_failed f
+  | None ->
+    (match stats.Sched.stopped with
+     | Some stop ->
+       (match stop.Sched.reason with
+        | Sched.Cancel_requested -> Cancelled
+        | Sched.Deadline | Sched.Out_of_fuel ->
+          Deadline_exceeded
+            {
+              p_graph = t.graph.Serialized.gname;
+              p_reason =
+                (match stop.Sched.reason with
+                 | Sched.Deadline -> `Wall_clock
+                 | _ -> `Max_steps);
+              p_parked = stop.Sched.parked;
+              p_occupancy = occupancy_snapshot t;
+              p_last_kernel = stop.Sched.last_task;
+              p_stats = stats;
+            })
+     | None ->
+       (match stats.Sched.failed with
+        | [] -> Completed stats
+        | (name, exn) :: _ ->
+          (* A source/sink fiber failed (kernel failures are recorded by
+             the supervision hook above, with more context). *)
+          Kernel_failed
+            {
+              f_graph = t.graph.Serialized.gname;
+              f_kernel = name;
+              f_exn = exn;
+              f_backtrace = "";
+              f_src = src_of_fiber t name;
+            }))
 
-let execute ?hooks ?queue_capacity ?block_io ?spsc ?lint g ~sources ~sinks =
-  let t = instantiate ?hooks ?queue_capacity ?block_io ?spsc g in
-  run ?lint t ~sources ~sinks
+let stats_exn = function
+  | Completed stats -> stats
+  | Kernel_failed f -> raise (Runtime_error (failure_message f))
+  | Deadline_exceeded p -> raise (Runtime_error (progress_message p))
+  | Cancelled -> raise (Runtime_error "run cancelled")
+
+let run_exn t ~sources ~sinks = stats_exn (run t ~sources ~sinks)
+
+let execute ?config g ~sources ~sinks =
+  let t = instantiate ?config g in
+  run t ~sources ~sinks
+
+let execute_exn ?config g ~sources ~sinks = stats_exn (execute ?config g ~sources ~sinks)
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated optional-arg shims (one release; see docs/ROBUSTNESS.md)  *)
+(* ------------------------------------------------------------------ *)
+
+let instantiate_opts ?hooks ?queue_capacity ?block_io ?spsc g =
+  instantiate ~config:(Run_config.make ?hooks ?queue_capacity ?block_io ?spsc ()) g
+
+let run_opts ?lint t ~sources ~sinks =
+  (match lint with
+   | Some lint -> t.config <- Run_config.with_lint lint t.config
+   | None -> ());
+  stats_exn (run t ~sources ~sinks)
+
+let execute_opts ?hooks ?queue_capacity ?block_io ?spsc ?lint g ~sources ~sinks =
+  stats_exn
+    (execute ~config:(Run_config.make ?hooks ?queue_capacity ?block_io ?spsc ?lint ()) g ~sources
+       ~sinks)

@@ -5,7 +5,12 @@
     reconstructs a live graph — one {!Bqueue} per net, one fiber per
     kernel instance (resolved through {!Registry}), plus source and sink
     fibers on the global I/O nets — then drives the cooperative scheduler
-    until no fiber can continue.
+    until no fiber can continue, the configured deadline or step budget
+    expires, a kernel fails, or the run is cancelled.
+
+    Execution knobs are carried by a {!Run_config.t}; {!run} returns a
+    structured {!outcome} instead of raising on failure.  Use
+    {!run_exn}/{!execute_exn} for the raising convenience.
 
     Each instantiation is one execution instance; contexts are
     single-shot (build a fresh one per run, as cgsim does). *)
@@ -14,18 +19,15 @@ type t
 
 exception Runtime_error of string
 
-(** Pre-flight lint behaviour of {!run}: [`Off] skips the analysis,
-    [`Warn] (the default) prints warning/error findings to stderr and
-    proceeds, [`Error] refuses to run a graph with error-level findings
-    (raising {!Runtime_error} before any kernel body executes). *)
-type lint_level =
-  [ `Off
-  | `Warn
-  | `Error
-  ]
+(** Pre-flight lint behaviour, re-exported from {!Run_config}: [`Off]
+    skips the analysis, [`Warn] (the default) prints warning/error
+    findings to stderr and proceeds, [`Error] refuses to run a graph
+    with error-level findings (raising {!Runtime_error} before any
+    kernel body executes). *)
+type lint_level = Run_config.lint_level
 
 (** Install the static analyzer used by {!run}'s pre-flight.  The
-    [analysis] library installs {!Analysis.Lint.run} here when it is
+    [analysis] library installs [Analysis.Lint.run] here when it is
     linked; without a hook the pre-flight is a no-op.  (Dependency
     injection: cgsim cannot depend on the analyzer directly.) *)
 val set_lint_hook : (Serialized.t -> Diagnostic.t list) -> unit
@@ -38,8 +40,10 @@ val preflight : lint:lint_level -> Serialized.t -> unit
 
 (** Hooks letting a simulator intercept every kernel-port access without
     changing kernel code — the mechanism aiesim uses to count stream
-    traffic and attribute cycle costs per endpoint. *)
-type wrap_hooks = {
+    traffic and attribute cycle costs per endpoint.  The type is an
+    equation over {!Hooks.t}, so record construction through either
+    path is interchangeable. *)
+type wrap_hooks = Hooks.t = {
   wrap_reader : Serialized.kernel_inst -> int -> Port.reader -> Port.reader;
       (** [wrap_reader inst port_idx r]; [port_idx] indexes [inst.ports]. *)
   wrap_writer : Serialized.kernel_inst -> int -> Port.writer -> Port.writer;
@@ -59,35 +63,117 @@ val compose_hooks : wrap_hooks -> wrap_hooks -> wrap_hooks
     is active; exposed for simulators that build bindings themselves. *)
 val obs_hooks : unit -> wrap_hooks
 
-(** [instantiate g] reconstructs the graph.  Queue capacities derive from
-    each net's resolved settings unless [queue_capacity] overrides them
-    all.  [block_io] (default [true]) selects the block-transfer fast
-    path for kernel ports and I/O fibers; with [~block_io:false] every
-    block access degrades to a per-element loop — semantically identical,
-    useful as an equivalence baseline.  [spsc] (default [true]) lets
-    edges with exactly one producer and one consumer take {!Bqueue}'s
-    SPSC fast path once wiring completes; [~spsc:false] keeps every edge
-    on the broadcast MPMC path (the equivalence baseline for the fast
-    path).  Raises {!Runtime_error} when a kernel key is missing from
-    the registry or the serialized form is invalid. *)
-val instantiate :
-  ?hooks:wrap_hooks -> ?queue_capacity:int -> ?block_io:bool -> ?spsc:bool -> Serialized.t -> t
+(** {1 Structured outcomes} *)
+
+(** A kernel body raised: who, what, where. *)
+type failure = {
+  f_graph : string;  (** Graph name. *)
+  f_kernel : string;  (** Fiber name (kernel instance, source or sink). *)
+  f_exn : exn;
+  f_backtrace : string;  (** Empty when backtrace recording is off. *)
+  f_src : Srcspan.t option;  (** Construction-site span, when known. *)
+}
+
+(** Post-mortem snapshot of a run stopped by deadline or fuel: which
+    fibers were parked (blocked on queue I/O), how many unretired
+    elements each net held, and the last fiber that advanced — enough to
+    tell a stalled pipeline from a busy-divergent kernel. *)
+type progress = {
+  p_graph : string;
+  p_reason : [ `Wall_clock | `Max_steps ];
+  p_parked : string list;
+  p_occupancy : (string * int) list;  (** (net name, unretired elements) *)
+  p_last_kernel : string option;
+  p_stats : Sched.stats;
+}
+
+type outcome =
+  | Completed of Sched.stats
+  | Deadline_exceeded of progress
+  | Cancelled  (** {!cancel} (or [Sched.cancel]) was called mid-run. *)
+  | Kernel_failed of failure
+
+(** Stable one-word label: ["completed"], ["deadline"], ["max-steps"],
+    ["cancelled"], ["failed"] — used as metric/JSON keys. *)
+val outcome_label : outcome -> string
+
+val failure_message : failure -> string
+val progress_message : progress -> string
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** [Completed stats] returns [stats]; every other outcome raises
+    {!Runtime_error} with the corresponding message. *)
+val stats_exn : outcome -> Sched.stats
+
+(** [instantiate g] reconstructs the graph under [config] (default
+    {!Run_config.default}).  Queue capacities derive from each net's
+    resolved settings unless [config.queue_capacity] overrides them all;
+    [config.block_io]/[config.spsc] select the block-transfer and SPSC
+    fast paths (with [false], semantically identical slow paths — the
+    equivalence baselines).  [config.hooks] are installed around every
+    kernel port and body; [config.faults] wraps innermost.  Raises
+    {!Runtime_error} when a kernel key is missing from the registry or
+    the serialized form is invalid. *)
+val instantiate : ?config:Run_config.t -> Serialized.t -> t
 
 (** [run t ~sources ~sinks] attaches positional sources to the graph's
     global inputs and sinks to its global outputs (counts must match;
     {!Runtime_error} otherwise), verifies that every net ends up with at
     least one producer and one consumer (raising {!Runtime_error} naming
     the offending net and its kernel ports — a miswired edge used to
-    hang silently at run time), then executes.  Returns scheduler
-    statistics.  If any kernel fiber failed with an unexpected exception,
-    the first failure is re-raised after the run completes.
+    hang silently at run time), then executes under the context's
+    {!Run_config.t}: the configured wall-clock deadline and step budget
+    are enforced at every scheduling boundary, and a kernel failure is
+    captured with its backtrace and source span rather than escaping.
 
-    [lint] (default [`Warn]) runs the installed static-analysis hook
-    before execution; see {!lint_level}. *)
-val run : ?lint:lint_level -> t -> sources:Io.source list -> sinks:Io.sink list -> Sched.stats
+    Wiring errors (wrong source/sink counts, miswired nets, failed
+    [`Error]-level pre-flight) still raise — those are caller bugs, not
+    run outcomes. *)
+val run : t -> sources:Io.source list -> sinks:Io.sink list -> outcome
+
+(** {!run} then {!stats_exn}: raises {!Runtime_error} on any outcome
+    other than [Completed]. *)
+val run_exn : t -> sources:Io.source list -> sinks:Io.sink list -> Sched.stats
 
 (** Convenience: instantiate + run in one step. *)
 val execute :
+  ?config:Run_config.t -> Serialized.t -> sources:Io.source list -> sinks:Io.sink list -> outcome
+
+val execute_exn :
+  ?config:Run_config.t ->
+  Serialized.t ->
+  sources:Io.source list ->
+  sinks:Io.sink list ->
+  Sched.stats
+
+(** Request cooperative cancellation of a run in progress (thread-safe;
+    callable from another domain or from inside a hook).  The run winds
+    down at the next scheduling boundary and {!run} returns [Cancelled]. *)
+val cancel : t -> unit
+
+val graph : t -> Serialized.t
+
+val config : t -> Run_config.t
+
+(** Total elements that crossed each net during the last run, indexed by
+    net id (diagnostics and bench reporting). *)
+val net_traffic : t -> int array
+
+(** {1 Deprecated shims}
+
+    One-release bridges for the pre-{!Run_config} optional-argument API;
+    see [docs/ROBUSTNESS.md] for the migration table.  They raise on
+    non-[Completed] outcomes exactly like the historical entry points. *)
+
+val instantiate_opts :
+  ?hooks:wrap_hooks -> ?queue_capacity:int -> ?block_io:bool -> ?spsc:bool -> Serialized.t -> t
+[@@ocaml.deprecated "use instantiate ?config with Run_config"]
+
+val run_opts :
+  ?lint:lint_level -> t -> sources:Io.source list -> sinks:Io.sink list -> Sched.stats
+[@@ocaml.deprecated "use run (returns outcome) or run_exn"]
+
+val execute_opts :
   ?hooks:wrap_hooks ->
   ?queue_capacity:int ->
   ?block_io:bool ->
@@ -97,9 +183,4 @@ val execute :
   sources:Io.source list ->
   sinks:Io.sink list ->
   Sched.stats
-
-val graph : t -> Serialized.t
-
-(** Total elements that crossed each net during the last run, indexed by
-    net id (diagnostics and bench reporting). *)
-val net_traffic : t -> int array
+[@@ocaml.deprecated "use execute ?config (returns outcome) or execute_exn"]

@@ -34,6 +34,21 @@ and t = {
   mutable kernel_ns : float;
   mutable in_run : bool;
   mutable n_parked : int;  (* tasks currently in [Parked _] *)
+  mutable stop : stop_reason option;  (* cooperative cancel token *)
+  mutable stop_info : stop option;  (* snapshot taken when [stop] was set *)
+  mutable last_ran : string option;  (* last task that executed a slice *)
+}
+
+and stop_reason =
+  | Cancel_requested
+  | Deadline
+  | Out_of_fuel
+
+and stop = {
+  reason : stop_reason;
+  parked : string list;  (* parked fibers at stop detection, spawn order *)
+  last_task : string option;
+  stop_slices : int;
 }
 
 type stats = {
@@ -44,16 +59,25 @@ type stats = {
   slices : int;
   kernel_ns : float;
   total_ns : float;
+  stopped : stop option;
 }
+
+let stop_reason_to_string = function
+  | Cancel_requested -> "cancelled"
+  | Deadline -> "deadline"
+  | Out_of_fuel -> "max-steps"
 
 let kernel_fraction s = if s.total_ns <= 0.0 then 0.0 else s.kernel_ns /. s.total_ns
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>spawned=%d completed=%d cancelled=%d failed=%d@ slices=%d kernel=%.3fms total=%.3fms \
-     kernel-fraction=%.4f@]"
+     kernel-fraction=%.4f%s@]"
     s.spawned s.completed s.cancelled (List.length s.failed) s.slices (s.kernel_ns /. 1e6)
     (s.total_ns /. 1e6) (kernel_fraction s)
+    (match s.stopped with
+     | None -> ""
+     | Some st -> Printf.sprintf " stopped=%s" (stop_reason_to_string st.reason))
 
 let create () =
   {
@@ -67,6 +91,9 @@ let create () =
     kernel_ns = 0.0;
     in_run = false;
     n_parked = 0;
+    stop = None;
+    stop_info = None;
+    last_ran = None;
   }
 
 type _ Effect.t +=
@@ -98,14 +125,20 @@ let spawn (t : t) ~name fn =
   t.tasks <- task :: t.tasks;
   Queue.push task t.ready
 
+(* Suspension points double as the cancellation checkpoints: once the
+   scheduler's stop token is set, a fiber reaching any park/yield boundary
+   is terminated instead of suspended, so cancellation cascades cannot
+   re-park and the stop is guaranteed to drain (only a fiber that never
+   suspends can outlive it). *)
 let yield () =
   match !(current ()) with
-  | Some _ -> perform Yield_eff
+  | Some (t, _) -> if t.stop <> None then raise Terminated else perform Yield_eff
   | None -> ()
 
 let park register =
   match !(current ()) with
-  | Some _ -> perform (Park_eff register)
+  | Some (t, _) ->
+    if t.stop <> None then raise Terminated else perform (Park_eff register)
   | None -> invalid_arg "cgsim: Sched.park called outside of a running fiber"
 
 let wake w =
@@ -153,6 +186,23 @@ let parked_tasks (t : t) =
 let parked_count t = t.n_parked
 
 let parked_names t = List.map (fun task -> task.name) (parked_tasks t)
+
+(* First stop wins; the snapshot is taken here, before any fiber is torn
+   down, so post-mortems see the graph as it was when progress ended. *)
+let set_stop t reason =
+  if t.stop = None then begin
+    t.stop <- Some reason;
+    t.stop_info <-
+      Some { reason; parked = parked_names t; last_task = t.last_ran; stop_slices = t.slices };
+    if !Obs.Trace.on then begin
+      Obs.Trace.instant ~track:"<scheduler>" ~cat:"sched" (stop_reason_to_string reason);
+      Obs.Trace.incr_metric "sched.cancel"
+    end
+  end
+
+let cancel t = set_stop t Cancel_requested
+
+let cancel_requested t = t.stop <> None
 
 (* Handler installed around every fiber body.  Park and Yield capture the
    one-shot continuation and stash it on the task record. *)
@@ -216,6 +266,7 @@ let run_slice (t : t) (task : task) =
   let t1 = now_ns () in
   t.kernel_ns <- t.kernel_ns +. (t1 -. t0);
   t.slices <- t.slices + 1;
+  t.last_ran <- Some task.name;
   if !Obs.Trace.on then begin
     (* The span duration is exactly what was added to kernel_ns, so the
        exported trace and Sched.stats stay mutually consistent. *)
@@ -247,22 +298,81 @@ let cancel_parked t =
       | Initial _ | Running | Ready _ | Finished -> ())
     (parked_tasks t)
 
-let run (t : t) =
+(* Forced teardown after a stop: discontinue every live fiber with
+   {!Terminated} so cleanup code runs.  Because park/yield raise once the
+   stop token is set, no fiber can re-suspend, so each pass strictly
+   shrinks the live set and the loop terminates. *)
+let terminate_all (t : t) =
+  let discontinue_ready task =
+    match task.state with
+    | Ready k ->
+      task.state <- Running;
+      let slot = current () in
+      let saved = !slot in
+      slot := Some (t, task);
+      (try discontinue k Terminated with Terminated -> ());
+      slot := saved;
+      (match task.state with
+       | Running -> task.state <- Finished
+       | Initial _ | Parked _ | Ready _ | Finished -> ())
+    | Initial _ ->
+      (* Never started: no cleanup to run, just account for it. *)
+      task.state <- Finished;
+      t.cancelled <- t.cancelled + 1
+    | Running | Parked _ | Finished -> ()
+  in
+  let rec pass () =
+    match Queue.take_opt t.ready with
+    | Some task ->
+      discontinue_ready task;
+      pass ()
+    | None ->
+      List.iter discontinue_ready
+        (List.filter
+           (fun task -> match task.state with Ready _ | Initial _ -> true | _ -> false)
+           t.tasks);
+      if parked_count t > 0 then begin
+        cancel_parked t;
+        pass ()
+      end
+      else if not (Queue.is_empty t.ready) then pass ()
+  in
+  pass ()
+
+let run ?deadline_ns ?max_steps (t : t) =
   if t.in_run then invalid_arg "cgsim: Sched.run is not reentrant";
   t.in_run <- true;
   let t0 = now_ns () in
+  let deadline_abs = Option.map (fun d -> t0 +. d) deadline_ns in
+  (* Budget checks run between slices — the park/wake boundary of whichever
+     fiber is about to be scheduled — so a stop is detected after at most
+     one further slice of execution. *)
+  let check_budget () =
+    if t.stop = None then begin
+      (match deadline_abs with
+       | Some d when now_ns () > d -> set_stop t Deadline
+       | Some _ | None -> ());
+      match max_steps with
+      | Some m when t.stop = None && t.slices >= m -> set_stop t Out_of_fuel
+      | Some _ | None -> ()
+    end
+  in
   let rec drive () =
-    match Queue.take_opt t.ready with
-    | Some task ->
-      run_slice t task;
-      drive ()
-    | None ->
-      if parked_count t > 0 then begin
-        cancel_parked t;
-        if not (Queue.is_empty t.ready) then drive ()
-      end
+    check_budget ();
+    if t.stop = None then begin
+      match Queue.take_opt t.ready with
+      | Some task ->
+        run_slice t task;
+        drive ()
+      | None ->
+        if parked_count t > 0 then begin
+          cancel_parked t;
+          if not (Queue.is_empty t.ready) then drive ()
+        end
+    end
   in
   drive ();
+  if t.stop <> None then terminate_all t;
   t.in_run <- false;
   let total_ns = now_ns () -. t0 in
   if !Obs.Trace.on then
@@ -275,4 +385,5 @@ let run (t : t) =
     slices = t.slices;
     kernel_ns = t.kernel_ns;
     total_ns;
+    stopped = t.stop_info;
   }

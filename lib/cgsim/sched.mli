@@ -31,6 +31,23 @@ exception Terminated
     written as infinite loops terminate cleanly through it. *)
 exception End_of_stream
 
+(** Why a run was stopped before quiescence. *)
+type stop_reason =
+  | Cancel_requested  (** {!cancel} was called. *)
+  | Deadline  (** The wall-clock budget of {!run} expired. *)
+  | Out_of_fuel  (** The slice budget of {!run} was exhausted. *)
+
+(** Progress snapshot taken the instant the stop was detected, before any
+    fiber was torn down — the post-mortem for stuck or divergent graphs. *)
+type stop = {
+  reason : stop_reason;
+  parked : string list;  (** Fibers parked at stop time, in spawn order. *)
+  last_task : string option;  (** The last fiber that executed a slice. *)
+  stop_slices : int;  (** Slices executed when the stop fired. *)
+}
+
+val stop_reason_to_string : stop_reason -> string
+
 type stats = {
   spawned : int;  (** Fibers registered. *)
   completed : int;  (** Fibers that returned or ended via {!End_of_stream}. *)
@@ -39,6 +56,9 @@ type stats = {
   slices : int;  (** Resume-to-suspend execution slices. *)
   kernel_ns : float;  (** Wall time spent inside fiber code. *)
   total_ns : float;  (** Wall time of the whole run. *)
+  stopped : stop option;
+      (** [Some _] when the run ended via cancellation, deadline or fuel
+          exhaustion rather than quiescence. *)
 }
 
 (** Fraction of run time spent inside fibers, [kernel_ns /. total_ns]. *)
@@ -52,8 +72,28 @@ val create : unit -> t
     both before {!run} and from inside a running fiber. *)
 val spawn : t -> name:string -> (unit -> unit) -> unit
 
-(** Run until no fiber can continue.  Not reentrant. *)
-val run : t -> stats
+(** Run until no fiber can continue.  Not reentrant.
+
+    [deadline_ns] bounds the run's wall-clock time (relative to its
+    start) and [max_steps] bounds the number of execution slices — the
+    fuel budget.  Both are checked between every two slices, i.e. at
+    every park/wake boundary of the cooperative schedule.  When either
+    trips (or {!cancel} was called), the scheduler snapshots progress
+    into [stats.stopped], then terminates every remaining fiber with
+    {!Terminated} so cleanup code runs.  Once the stop token is set,
+    {!park} and {!yield} raise {!Terminated} instead of suspending, so
+    teardown cannot wedge; only a fiber that never reaches a suspension
+    point can outlive its budget. *)
+val run : ?deadline_ns:float -> ?max_steps:int -> t -> stats
+
+(** Cooperatively request cancellation: sets the stop token checked at
+    every park/wake boundary.  Callable from inside a fiber (the caller
+    itself is terminated at its next suspension point) or from the host
+    before {!run}.  Idempotent; the first stop reason wins. *)
+val cancel : t -> unit
+
+(** Whether the stop token is set (any reason). *)
+val cancel_requested : t -> bool
 
 (** Number of fibers currently parked (diagnostic). *)
 val parked_count : t -> int

@@ -197,11 +197,6 @@ let validate_diags t =
     t.nets;
   List.rev !diags
 
-let validate t =
-  match validate_diags t with
-  | [] -> Ok ()
-  | diags -> Error (List.map Diagnostic.render diags)
-
 let endpoint_equal a b = a.kernel_idx = b.kernel_idx && a.port_idx = b.port_idx
 
 let port_spec_equal (a : Kernel.port_spec) (b : Kernel.port_spec) =

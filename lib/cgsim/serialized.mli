@@ -72,10 +72,6 @@ val net_src : t -> int -> Srcspan.t option
     carries them. *)
 val validate_diags : t -> Diagnostic.t list
 
-(** Compatibility shim over {!validate_diags}: the same findings rendered
-    to strings. *)
-val validate : t -> (unit, string list) result
-
 (** Topological equality: same kernels (by key, realm, ports), same nets
     (by dtype, settings, endpoints, attrs, global roles) and same I/O
     order, ignoring net ids' numeric values beyond their structural role

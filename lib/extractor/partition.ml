@@ -150,11 +150,11 @@ let subgraph (g : Cgsim.Serialized.t) realm =
       output_order;
     }
   in
-  match Cgsim.Serialized.validate sub with
-  | Ok () -> sub
-  | Error problems ->
+  match Cgsim.Serialized.validate_diags sub with
+  | [] -> sub
+  | diags ->
     raise
       (Partition_error
          (Printf.sprintf "subgraph of %s for realm %s is invalid: %s" g.gname
             (Cgsim.Kernel.realm_to_string realm)
-            (String.concat "; " problems)))
+            (String.concat "; " (List.map Cgsim.Diagnostic.render diags))))

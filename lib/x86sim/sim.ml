@@ -8,12 +8,36 @@ type stats = {
   wall_ns : float;
 }
 
+type outcome =
+  | Completed of stats
+  | Deadline_exceeded of {
+      graph : string;
+      waiting : string list;
+      wall_ns : float;
+    }
+  | Kernel_failed of {
+      graph : string;
+      thread : string;
+      exn : exn;
+      wall_ns : float;
+    }
+
+let outcome_label = function
+  | Completed _ -> "completed"
+  | Deadline_exceeded _ -> "deadline"
+  | Kernel_failed _ -> "failed"
+
 let deep_stream_depth = 4096
 
-let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
-  (match Cgsim.Serialized.validate g with
-   | Ok () -> ()
-   | Error problems -> fail "invalid graph %s: %s" g.gname (String.concat "; " problems));
+let run ?(config = Cgsim.Run_config.default) (g : Cgsim.Serialized.t) ~sources ~sinks =
+  (match Cgsim.Serialized.validate_diags g with
+   | [] -> ()
+   | diags ->
+     fail "invalid graph %s: %s" g.gname
+       (String.concat "; " (List.map Cgsim.Diagnostic.render diags)));
+  (* Same pre-flight static analysis as the cgsim runtime; the threaded
+     backend shares the structural hazards (e.g. shared kernel state). *)
+  Cgsim.Runtime.preflight ~lint:config.Cgsim.Run_config.lint g;
   let n_in = Array.length g.input_order and n_out = Array.length g.output_order in
   if List.length sources <> n_in then
     fail "graph %s has %d global inputs but %d sources were supplied" g.gname n_in
@@ -26,7 +50,7 @@ let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
       (fun (n : Cgsim.Serialized.net) ->
         let elem_bytes = Cgsim.Dtype.size_bytes n.dtype in
         let capacity =
-          match queue_capacity with
+          match config.Cgsim.Run_config.queue_capacity with
           | Some c -> c
           | None ->
             (* The functional simulator buffers deeply in host memory
@@ -96,7 +120,7 @@ let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
           ~finally:(fun () -> List.iter Tqueue.producer_done ps)
           (fun () ->
             try kernel.Cgsim.Kernel.body binding with
-            | Cgsim.Sched.End_of_stream -> ()
+            | Cgsim.Sched.End_of_stream | Cgsim.Sched.Terminated -> ()
             | exn -> record_failure inst.inst_name exn)
       in
       bodies := (inst.inst_name, body) :: !bodies)
@@ -121,7 +145,9 @@ let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
                 end
               in
               loop ()
-            with exn -> record_failure (Cgsim.Io.source_name src) exn)
+            with
+            | Cgsim.Sched.Terminated -> ()
+            | exn -> record_failure (Cgsim.Io.source_name src) exn)
       in
       bodies := (Cgsim.Io.source_name src, body) :: !bodies)
     sources;
@@ -138,31 +164,95 @@ let run ?queue_capacity (g : Cgsim.Serialized.t) ~sources ~sinks =
           in
           loop ()
         with
-        | Cgsim.Sched.End_of_stream -> ()
+        | Cgsim.Sched.End_of_stream | Cgsim.Sched.Terminated -> ()
         | exn -> record_failure (Cgsim.Io.sink_name snk) exn
       in
       bodies := (Cgsim.Io.sink_name snk, body) :: !bodies)
     sinks;
+  let bodies = List.rev !bodies in
+  (* Completion flags, one per thread: the watchdog snapshots the names
+     still running when the deadline fires — the threaded analogue of the
+     cooperative scheduler's parked-fiber snapshot. *)
+  let flags = List.map (fun (name, _) -> name, Atomic.make false) bodies in
   (* OCaml 5 minor collections stop every domain; a larger minor heap
      keeps the preemptive simulator's domains off each other's backs. *)
   let gc = Gc.get () in
   Gc.set { gc with Gc.minor_heap_size = max gc.Gc.minor_heap_size (8 * 1024 * 1024) };
   let t0 = Obs.Clock.now_ns () in
+  let all_done = Atomic.make false in
+  let deadline_hit = ref None in
+  (* Wall-clock watchdog: no timed condition wait in the stdlib, so it
+     ticks every 2 ms; on expiry it poisons every queue, which raises
+     {!Cgsim.Sched.Terminated} in all blocked (and subsequently blocking)
+     threads.  A thread that never touches a queue again is not
+     interruptible — same caveat as cgsim's cooperative budget. *)
+  let watchdog =
+    match config.Cgsim.Run_config.deadline_ns with
+    | None -> None
+    | Some d ->
+      Some
+        (Domain.spawn (fun () ->
+             let t_end = t0 +. d in
+             let fired = ref false in
+             while (not (Atomic.get all_done)) && not !fired do
+               let remaining_ns = t_end -. Obs.Clock.now_ns () in
+               if remaining_ns <= 0. then begin
+                 fired := true;
+                 let waiting =
+                   List.filter_map
+                     (fun (name, flag) -> if Atomic.get flag then None else Some name)
+                     flags
+                 in
+                 deadline_hit := Some waiting;
+                 if !Obs.Trace.on then begin
+                   Obs.Trace.instant ~track:"x86sim" ~cat:"sim" "deadline-poison";
+                   Obs.Trace.incr_metric "x86.deadline"
+                 end;
+                 Array.iter Tqueue.poison queues
+               end
+               else Unix.sleepf (Float.min (remaining_ns /. 1e9) 0.002)
+             done))
+  in
   let threads =
-    List.map
-      (fun (name, body) ->
+    List.map2
+      (fun (name, body) (_, flag) ->
         Domain.spawn (fun () ->
             (* Label the domain so Tqueue's wait spans land on a named
                track; the thread span frames its whole lifetime. *)
             Obs.Trace.set_thread_label name;
-            Obs.Trace.with_span ~track:name ~cat:"thread" "thread" body))
-      (List.rev !bodies)
+            Fun.protect
+              ~finally:(fun () -> Atomic.set flag true)
+              (fun () -> Obs.Trace.with_span ~track:name ~cat:"thread" "thread" body)))
+      bodies flags
   in
   List.iter Domain.join threads;
+  Atomic.set all_done true;
+  (match watchdog with Some w -> Domain.join w | None -> ());
   let wall_ns = Obs.Clock.now_ns () -. t0 in
   Gc.set gc;
   let failed = List.rev !failures in
-  (match failed with
-   | [] -> ()
-   | (name, exn) :: _ -> fail "kernel thread %s failed: %s" name (Printexc.to_string exn));
-  { threads = List.length threads; failed; wall_ns }
+  match failed with
+  | (name, exn) :: _ -> Kernel_failed { graph = g.gname; thread = name; exn; wall_ns }
+  | [] ->
+    (match !deadline_hit with
+     | Some waiting -> Deadline_exceeded { graph = g.gname; waiting; wall_ns }
+     | None -> Completed { threads = List.length threads; failed; wall_ns })
+
+let stats_exn = function
+  | Completed stats -> stats
+  | Kernel_failed { graph; thread; exn; _ } ->
+    fail "graph %s: kernel thread %s failed: %s" graph thread (Printexc.to_string exn)
+  | Deadline_exceeded { graph; waiting; wall_ns } ->
+    fail "graph %s: wall-clock deadline exceeded after %.1f ms; still running: %s" graph
+      (wall_ns /. 1e6)
+      (match waiting with [] -> "<none>" | ws -> String.concat ", " ws)
+
+let run_exn ?config g ~sources ~sinks = stats_exn (run ?config g ~sources ~sinks)
+
+let run_opts ?queue_capacity g ~sources ~sinks =
+  let config =
+    match queue_capacity with
+    | None -> Cgsim.Run_config.default
+    | Some c -> Cgsim.Run_config.with_queue_capacity c Cgsim.Run_config.default
+  in
+  stats_exn (run ~config g ~sources ~sinks)

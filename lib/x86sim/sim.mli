@@ -6,7 +6,15 @@
     OS thread and blocks preemptively in queue operations.  This is the
     comparison point of Table 2 — faster than cgsim only when several
     compute-heavy kernels genuinely run in parallel; slower when frequent
-    small transfers make mutex/condvar synchronisation dominate. *)
+    small transfers make mutex/condvar synchronisation dominate.
+
+    Execution knobs come from the shared {!Cgsim.Run_config.t}; the
+    fields that make sense here are [queue_capacity], [lint] and
+    [deadline_ns] (enforced by a watchdog that poisons every {!Tqueue}
+    on expiry, raising [Terminated] in all blocked threads).  The
+    cooperative-scheduler knobs — [hooks], [faults], [max_steps],
+    [block_io], [spsc], retry/breaker — do not apply to the threaded
+    backend and are ignored. *)
 
 exception X86sim_error of string
 
@@ -16,12 +24,52 @@ type stats = {
   wall_ns : float;
 }
 
-(** [run g ~sources ~sinks] executes the graph to completion.  Re-raises
-    the first kernel failure as {!X86sim_error} after joining all
-    threads. *)
+type outcome =
+  | Completed of stats
+  | Deadline_exceeded of {
+      graph : string;
+      waiting : string list;
+          (** Threads that had not finished when the deadline fired. *)
+      wall_ns : float;
+    }
+  | Kernel_failed of {
+      graph : string;
+      thread : string;  (** Kernel/source/sink thread that raised. *)
+      exn : exn;
+      wall_ns : float;
+    }
+
+(** ["completed"], ["deadline"] or ["failed"] (metric/JSON key). *)
+val outcome_label : outcome -> string
+
+(** [run g ~sources ~sinks] executes the graph to completion, deadline
+    expiry or first failure, joining every thread before returning.
+    Wiring errors (invalid graph, wrong source/sink counts, unregistered
+    kernels) raise {!X86sim_error} up front. *)
 val run :
+  ?config:Cgsim.Run_config.t ->
+  Cgsim.Serialized.t ->
+  sources:Cgsim.Io.source list ->
+  sinks:Cgsim.Io.sink list ->
+  outcome
+
+(** [Completed stats] returns [stats]; other outcomes raise
+    {!X86sim_error} with a message naming the graph. *)
+val stats_exn : outcome -> stats
+
+val run_exn :
+  ?config:Cgsim.Run_config.t ->
+  Cgsim.Serialized.t ->
+  sources:Cgsim.Io.source list ->
+  sinks:Cgsim.Io.sink list ->
+  stats
+
+(** Deprecated optional-argument bridge (raises on failure, like the
+    historical entry point). *)
+val run_opts :
   ?queue_capacity:int ->
   Cgsim.Serialized.t ->
   sources:Cgsim.Io.source list ->
   sinks:Cgsim.Io.sink list ->
   stats
+[@@ocaml.deprecated "use run ?config with Cgsim.Run_config (returns outcome) or run_exn"]

@@ -10,6 +10,7 @@ type t = {
   mutable consumers : consumer list;
   mutable producers_open : int;
   mutable closed : bool;
+  mutable poisoned : bool;  (* deadline teardown: blocked ops raise Terminated *)
   mutable total : int;
   lock : Mutex.t;
   nonfull : Condition.t;
@@ -41,6 +42,7 @@ let create ~name ~dtype ~capacity () =
     consumers = [];
     producers_open = 0;
     closed = false;
+    poisoned = false;
     total = 0;
     lock = Mutex.create ();
     nonfull = Condition.create ();
@@ -89,12 +91,32 @@ let note_retire q old_cursor =
     end
   end
 
+(* Deadline teardown.  Once poisoned, every queue operation — blocked or
+   about to block — raises {!Cgsim.Sched.Terminated}: the watchdog in
+   {!Sim.run} poisons all queues when the wall-clock budget expires and
+   the OS threads unwind at their next queue touch (the preemptive
+   analogue of cgsim's park/wake stop token). *)
+let check_poison q = if q.poisoned then raise Cgsim.Sched.Terminated
+
+let poison q =
+  with_lock q (fun () ->
+      if not q.poisoned then begin
+        q.poisoned <- true;
+        Condition.broadcast q.nonempty;
+        Condition.broadcast q.nonfull
+      end)
+
+let is_poisoned q = with_lock q (fun () -> q.poisoned)
+
 (* Measured condition wait: attributes blocked time both to the queue
    endpoint and to the calling OS thread (the per-thread lock-wait
    breakdown Table 2's x86sim/cgsim comparison is really about).  The
    span is emitted only when the caller actually had to wait, so an
    uncontended run traces nothing here. *)
 let timed_wait ~key cond q predicate =
+  (* Poison ends any wait: the loop predicate drops out and the trailing
+     check raises, whether or not the caller ever blocked. *)
+  let predicate () = predicate () && not q.poisoned in
   if predicate () then begin
     if !Obs.Trace.on then begin
       let track = Obs.Trace.thread_label () in
@@ -111,7 +133,8 @@ let timed_wait ~key cond q predicate =
       while predicate () do
         Condition.wait cond q.lock
       done
-  end
+  end;
+  check_poison q
 
 let put p v =
   let q = p.p_queue in
@@ -222,6 +245,7 @@ let get_some c ~max =
 let peek c =
   let q = c.c_queue in
   with_lock q (fun () ->
+      check_poison q;
       if c.cursor < q.head then Some q.buf.(c.cursor mod q.cap)
       else if q.closed then raise Cgsim.Sched.End_of_stream
       else None)

@@ -56,6 +56,17 @@ val available : consumer -> int
 
 val producer_done : producer -> unit
 
+(** {1 Deadline teardown}
+
+    [poison q] marks the queue and wakes every blocked thread; from then
+    on any operation on [q] — including ones that would not have blocked
+    — raises {!Cgsim.Sched.Terminated}.  {!Sim.run}'s watchdog poisons
+    all queues when the wall-clock budget expires, so the per-kernel OS
+    threads unwind at their next queue touch.  Idempotent, thread-safe. *)
+val poison : t -> unit
+
+val is_poisoned : t -> bool
+
 val total_put : t -> int
 
 val capacity : t -> int

@@ -179,7 +179,7 @@ let test_trace_loop_abort_on_end_of_stream () =
       (* Exactly one full trip of input: the second loop region's first
          body read hits the drained stream. *)
       ignore
-        (Cgsim.Runtime.execute g
+        (Cgsim.Runtime.execute_exn g
            ~sources:[ Cgsim.Io.of_int_array Cgsim.Dtype.I32 [| 1; 2; 3; 4 |] ]
            ~sinks:[ sink ]));
   Alcotest.(check (array int)) "full first trip delivered" [| 1; 2; 3; 4 |] (contents ());
@@ -245,7 +245,7 @@ let test_cyclic_graph_terminates () =
   in
   let sink, contents = Cgsim.Io.buffer () in
   let stats =
-    Cgsim.Runtime.execute g
+    Cgsim.Runtime.execute_exn g
       ~sources:[ Cgsim.Io.of_int_array Cgsim.Dtype.I32 [| 1; 2; 3 |] ]
       ~sinks:[ sink ]
   in
@@ -269,7 +269,7 @@ let test_unbalanced_merge_drains () =
   in
   let sink, contents = Cgsim.Io.int_buffer () in
   let _ =
-    Cgsim.Runtime.execute g
+    Cgsim.Runtime.execute_exn g
       ~sources:
         [
           Cgsim.Io.of_int_array Cgsim.Dtype.I32 [| 1; 2; 3; 4; 5 |];

@@ -214,7 +214,7 @@ let test_sim_outputs_match_cgsim () =
       let _, aiesim_out = run_app h (Aiesim.Deploy.baseline (h.Apps.Harness.graph ())) reps in
       let sinks, contents = h.Apps.Harness.make_sinks () in
       let _ =
-        Cgsim.Runtime.execute (h.Apps.Harness.graph ())
+        Cgsim.Runtime.execute_exn (h.Apps.Harness.graph ())
           ~sources:(h.Apps.Harness.sources ~reps) ~sinks
       in
       let cgsim_out = contents () in

@@ -358,7 +358,7 @@ let test_stateful_spot_check () =
   let run_once () =
     let sink, contents = Cgsim.Io.f32_buffer () in
     let _ =
-      Cgsim.Runtime.execute ~lint:`Off g
+      Cgsim.Runtime.execute_exn ~config:Cgsim.Run_config.(with_lint `Off default) g
         ~sources:[ Cgsim.Io.of_f32_array [| 1.0; 1.0 |] ]
         ~sinks:[ sink ]
     in
@@ -400,7 +400,7 @@ let test_runtime_refuses_at_error () =
   Cgsim.Registry.register back;
   let g = cycle_graph ~name:"ana_refused" (fwd, back) in
   (match
-     Cgsim.Runtime.execute ~lint:`Error g
+     Cgsim.Runtime.execute_exn ~config:Cgsim.Run_config.(with_lint `Error default) g
        ~sources:[ Cgsim.Io.of_f32_array [| 1.0 |] ]
        ~sinks:[ Cgsim.Io.null () ]
    with
@@ -432,9 +432,9 @@ let test_validate_shim_names () =
   in
   Alcotest.(check bool) "structured code" true
     (has_code "CG-E002" (Cgsim.Serialized.validate_diags bad));
-  match Cgsim.Serialized.validate bad with
-  | Ok () -> Alcotest.fail "expected validation failure"
-  | Error problems ->
+  match List.map Cgsim.Diagnostic.render (Cgsim.Serialized.validate_diags bad) with
+  | [] -> Alcotest.fail "expected validation failure"
+  | problems ->
     Alcotest.(check bool) "mentions the kernel instance" true
       (List.exists (contains "ana_shim_a_0") problems);
     Alcotest.(check bool) "no bare kernel indices" false

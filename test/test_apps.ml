@@ -125,7 +125,7 @@ let cgsim_case (h : Apps.Harness.t) reps () =
 let x86sim_case (h : Apps.Harness.t) reps () =
   let g = h.Apps.Harness.graph () in
   let sinks, contents = h.Apps.Harness.make_sinks () in
-  let _stats = X86sim.Sim.run g ~sources:(h.Apps.Harness.sources ~reps) ~sinks in
+  let _stats = X86sim.Sim.run_exn g ~sources:(h.Apps.Harness.sources ~reps) ~sinks in
   check_ok (h.Apps.Harness.name ^ " (x86sim)") (h.Apps.Harness.check ~reps (contents ()))
 
 (* x86sim must produce bit-identical outputs to cgsim. *)
@@ -140,9 +140,9 @@ let test_x86sim_matches_cgsim () =
         contents ()
       in
       let a =
-        run_with (fun g sources sinks -> ignore (Cgsim.Runtime.execute g ~sources ~sinks))
+        run_with (fun g sources sinks -> ignore (Cgsim.Runtime.execute_exn g ~sources ~sinks))
       in
-      let b = run_with (fun g sources sinks -> ignore (X86sim.Sim.run g ~sources ~sinks)) in
+      let b = run_with (fun g sources sinks -> ignore (X86sim.Sim.run_exn g ~sources ~sinks)) in
       if not (List.for_all2 Cgsim.Value.equal a b) then
         Alcotest.failf "%s: cgsim and x86sim outputs differ" h.Apps.Harness.name)
     Apps.Harness.all
@@ -158,7 +158,9 @@ let test_block_io_equivalence () =
         let g = h.Apps.Harness.graph () in
         let sinks, contents = h.Apps.Harness.make_sinks () in
         ignore
-          (Cgsim.Runtime.execute ~block_io g ~sources:(h.Apps.Harness.sources ~reps) ~sinks);
+          (Cgsim.Runtime.execute_exn
+             ~config:Cgsim.Run_config.(with_block_io block_io default)
+             g ~sources:(h.Apps.Harness.sources ~reps) ~sinks);
         contents ()
       in
       let blocked = run_with ~block_io:true in
@@ -178,7 +180,10 @@ let test_spsc_equivalence () =
       let run_with ~spsc =
         let g = h.Apps.Harness.graph () in
         let sinks, contents = h.Apps.Harness.make_sinks () in
-        ignore (Cgsim.Runtime.execute ~spsc g ~sources:(h.Apps.Harness.sources ~reps) ~sinks);
+        ignore
+          (Cgsim.Runtime.execute_exn
+             ~config:Cgsim.Run_config.(with_spsc spsc default)
+             g ~sources:(h.Apps.Harness.sources ~reps) ~sinks);
         contents ()
       in
       let fast = run_with ~spsc:true in
@@ -205,11 +210,13 @@ let test_pool_serves_apps () =
       Array.iter
         (fun (res : Cgsim.Pool.request_result) ->
           match res.Cgsim.Pool.outcome with
-          | Error e -> Alcotest.failf "%s req %d: %s" h.Apps.Harness.name res.Cgsim.Pool.req_id e
-          | Ok _ ->
+          | Cgsim.Runtime.Completed _ ->
             check_ok
               (Printf.sprintf "%s req %d (pool)" h.Apps.Harness.name res.Cgsim.Pool.req_id)
-              (h.Apps.Harness.check ~reps (contents.(res.Cgsim.Pool.req_id) ())))
+              (h.Apps.Harness.check ~reps (contents.(res.Cgsim.Pool.req_id) ()))
+          | o ->
+            Alcotest.failf "%s req %d: %a" h.Apps.Harness.name res.Cgsim.Pool.req_id
+              Cgsim.Runtime.pp_outcome o)
         stats.Cgsim.Pool.results)
     Apps.Harness.all
 

@@ -696,9 +696,11 @@ let diamond_graph () =
 
 let test_builder_valid () =
   let g = diamond_graph () in
-  match Cgsim.Serialized.validate g with
-  | Ok () -> ()
-  | Error ps -> Alcotest.failf "diamond should validate: %s" (String.concat "; " ps)
+  match Cgsim.Serialized.validate_diags g with
+  | [] -> ()
+  | diags ->
+    Alcotest.failf "diamond should validate: %s"
+      (String.concat "; " (List.map Cgsim.Diagnostic.render diags))
 
 let test_builder_broadcast_recorded () =
   let g = diamond_graph () in
@@ -750,13 +752,13 @@ let test_runtime_diamond () =
   let g = diamond_graph () in
   let sink, contents = Cgsim.Io.f32_buffer () in
   let input = Cgsim.Io.of_f32_array [| 1.0; 2.0; 3.0 |] in
-  let _ = Cgsim.Runtime.execute g ~sources:[ input ] ~sinks:[ sink ] in
+  let _ = Cgsim.Runtime.execute_exn g ~sources:[ input ] ~sinks:[ sink ] in
   (* x -> 2x -> (4x, 4x) -> 8x *)
   Alcotest.(check (array (float 1e-6))) "diamond output" [| 8.0; 16.0; 24.0 |] (contents ())
 
 let test_runtime_io_count_mismatch () =
   let g = diamond_graph () in
-  match Cgsim.Runtime.execute g ~sources:[] ~sinks:[ Cgsim.Io.null () ] with
+  match Cgsim.Runtime.execute_exn g ~sources:[] ~sinks:[ Cgsim.Io.null () ] with
   | exception Cgsim.Runtime.Runtime_error _ -> ()
   | _ -> Alcotest.fail "source count mismatch must fail"
 
@@ -818,7 +820,7 @@ let test_runtime_rtp () =
   in
   let sink, contents = Cgsim.Io.f32_buffer () in
   let _ =
-    Cgsim.Runtime.execute g
+    Cgsim.Runtime.execute_exn g
       ~sources:[ Cgsim.Io.rtp (Cgsim.Value.Float 3.0); Cgsim.Io.of_f32_array [| 1.0; 2.0 |] ]
       ~sinks:[ sink ]
   in
@@ -842,7 +844,7 @@ let prop_pipeline_random =
       in
       let sink, contents = Cgsim.Io.f32_buffer () in
       let input = Cgsim.Io.of_f32_array (Array.of_list (List.map float_of_int xs)) in
-      let _ = Cgsim.Runtime.execute g ~sources:[ input ] ~sinks:[ sink ] in
+      let _ = Cgsim.Runtime.execute_exn g ~sources:[ input ] ~sinks:[ sink ] in
       let expect = List.map (fun x -> float_of_int x *. (2.0 ** float_of_int depth)) xs in
       contents () = Array.of_list expect)
 
@@ -885,7 +887,7 @@ let test_profile_fraction () =
   in
   let sink = Cgsim.Io.null () in
   let input = Cgsim.Io.of_f32_array (Array.init 500 float_of_int) in
-  let stats = Cgsim.Runtime.execute g ~sources:[ input ] ~sinks:[ sink ] in
+  let stats = Cgsim.Runtime.execute_exn g ~sources:[ input ] ~sinks:[ sink ] in
   Alcotest.(check bool) "kernel fraction > 0.9" true (Cgsim.Sched.kernel_fraction stats > 0.9)
 
 (* ------------------------------------------------------------------ *)
@@ -944,7 +946,7 @@ let test_io_rtp_sink () =
   let g = diamond_graph () in
   let sink, last = Cgsim.Io.rtp_sink () in
   let _ =
-    Cgsim.Runtime.execute g ~sources:[ Cgsim.Io.of_f32_array [| 1.0; 2.0 |] ] ~sinks:[ sink ]
+    Cgsim.Runtime.execute_exn g ~sources:[ Cgsim.Io.of_f32_array [| 1.0; 2.0 |] ] ~sinks:[ sink ]
   in
   match last () with
   | Some (Cgsim.Value.Float f) -> Alcotest.(check (float 1e-6)) "last value" 16.0 f
@@ -1049,7 +1051,11 @@ let test_runtime_spsc_equivalence () =
   let run ~spsc =
     let sink, contents = Cgsim.Io.f32_buffer () in
     let input = Cgsim.Io.of_f32_array (Array.init 64 float_of_int) in
-    let _ = Cgsim.Runtime.execute ~spsc (diamond_graph ()) ~sources:[ input ] ~sinks:[ sink ] in
+    let _ =
+      Cgsim.Runtime.execute_exn
+        ~config:Cgsim.Run_config.(with_spsc spsc default)
+        (diamond_graph ()) ~sources:[ input ] ~sinks:[ sink ]
+    in
     contents ()
   in
   Alcotest.(check (array (float 0.0))) "spsc on == off" (run ~spsc:false) (run ~spsc:true)
@@ -1073,7 +1079,7 @@ let test_runtime_missing_consumer () =
              output_order = [||] }
   in
   match
-    Cgsim.Runtime.execute g ~sources:[ Cgsim.Io.of_f32_array [| 1.0 |] ] ~sinks:[]
+    Cgsim.Runtime.execute_exn g ~sources:[ Cgsim.Io.of_f32_array [| 1.0 |] ] ~sinks:[]
   with
   | exception Cgsim.Runtime.Runtime_error msg ->
     let mentions needle =
@@ -1103,8 +1109,9 @@ let test_pool_single_domain_matches_sequential () =
   Array.iter
     (fun (res : Cgsim.Pool.request_result) ->
       (match res.Cgsim.Pool.outcome with
-       | Ok _ -> ()
-       | Error e -> Alcotest.failf "request %d failed: %s" res.Cgsim.Pool.req_id e);
+       | Cgsim.Runtime.Completed _ -> ()
+       | o ->
+         Alcotest.failf "request %d failed: %a" res.Cgsim.Pool.req_id Cgsim.Runtime.pp_outcome o);
       Alcotest.(check int) "ran on domain 0" 0 res.Cgsim.Pool.domain)
     stats.Cgsim.Pool.results;
   (* Outputs equal what a sequential loop over Runtime.execute yields. *)
@@ -1112,7 +1119,7 @@ let test_pool_single_domain_matches_sequential () =
     let sink, seq = Cgsim.Io.f32_buffer () in
     let input = Array.init 8 (fun i -> float_of_int ((r * 8) + i)) in
     let _ =
-      Cgsim.Runtime.execute (diamond_graph ())
+      Cgsim.Runtime.execute_exn (diamond_graph ())
         ~sources:[ Cgsim.Io.of_f32_array input ] ~sinks:[ sink ]
     in
     Alcotest.(check (array (float 0.0)))
@@ -1131,8 +1138,8 @@ let test_pool_more_requests_than_domains () =
     (fun r (res : Cgsim.Pool.request_result) ->
       Alcotest.(check int) "indexed by request id" r res.Cgsim.Pool.req_id;
       (match res.Cgsim.Pool.outcome with
-       | Ok _ -> ()
-       | Error e -> Alcotest.failf "request %d failed: %s" r e);
+       | Cgsim.Runtime.Completed _ -> ()
+       | o -> Alcotest.failf "request %d failed: %a" r Cgsim.Runtime.pp_outcome o);
       Alcotest.(check bool) "domain in range" true
         (res.Cgsim.Pool.domain >= 0 && res.Cgsim.Pool.domain < domains);
       Alcotest.(check (array (float 0.0)))
@@ -1152,11 +1159,12 @@ let test_pool_captures_failures () =
   Array.iteri
     (fun r (res : Cgsim.Pool.request_result) ->
       match res.Cgsim.Pool.outcome, r with
-      | Error _, 2 -> ()
-      | Ok _, 2 -> Alcotest.fail "request 2 must fail (no sources)"
-      | Ok _, _ -> Alcotest.(check (array (float 0.0))) "good request" (pool_expected r)
-                     (contents.(r) ())
-      | Error e, _ -> Alcotest.failf "request %d should succeed: %s" r e)
+      | Cgsim.Runtime.Kernel_failed _, 2 -> ()
+      | Cgsim.Runtime.Completed _, 2 -> Alcotest.fail "request 2 must fail (no sources)"
+      | Cgsim.Runtime.Completed _, _ ->
+        Alcotest.(check (array (float 0.0))) "good request" (pool_expected r)
+          (contents.(r) ())
+      | o, _ -> Alcotest.failf "request %d should succeed: %a" r Cgsim.Runtime.pp_outcome o)
     stats.Cgsim.Pool.results
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests

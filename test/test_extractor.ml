@@ -90,9 +90,11 @@ let test_partition_subgraph () =
   (* The inter-realm net becomes the subgraph's external input. *)
   Alcotest.(check int) "one input" 1 (Array.length sub.Cgsim.Serialized.input_order);
   Alcotest.(check int) "one output" 1 (Array.length sub.Cgsim.Serialized.output_order);
-  match Cgsim.Serialized.validate sub with
-  | Ok () -> ()
-  | Error ps -> Alcotest.failf "subgraph invalid: %s" (String.concat "; " ps)
+  match Cgsim.Serialized.validate_diags sub with
+  | [] -> ()
+  | diags ->
+    Alcotest.failf "subgraph invalid: %s"
+      (String.concat "; " (List.map Cgsim.Diagnostic.render diags))
 
 let test_partition_missing_realm () =
   let _, g = mixed_graph () in

@@ -191,7 +191,9 @@ let traced_cgsim_run ?(n = 500) ?(queue_capacity = 8) () =
   Obs.Trace.with_session (fun () ->
       let sink, contents = Cgsim.Io.int_buffer () in
       let stats =
-        Cgsim.Runtime.execute (pipe_graph ()) ~queue_capacity
+        Cgsim.Runtime.execute_exn
+          ~config:Cgsim.Run_config.(with_queue_capacity queue_capacity default)
+          (pipe_graph ())
           ~sources:[ Cgsim.Io.of_int_array Cgsim.Dtype.I32 (Array.init n (fun i -> i)) ]
           ~sinks:[ sink ]
       in
@@ -321,7 +323,9 @@ let test_x86sim_thread_spans () =
     Obs.Trace.with_session (fun () ->
         let sink, contents = Cgsim.Io.int_buffer () in
         let stats =
-          X86sim.Sim.run (pipe_graph ()) ~queue_capacity:4
+          X86sim.Sim.run_exn
+            ~config:Cgsim.Run_config.(with_queue_capacity 4 default)
+            (pipe_graph ())
             ~sources:[ Cgsim.Io.of_int_array Cgsim.Dtype.I32 (Array.init 200 (fun i -> i)) ]
             ~sinks:[ sink ]
         in

@@ -1,0 +1,534 @@
+(* Robustness stack tests: structured outcomes, deadlines, cancellation,
+   fault injection, pool supervision (retry + circuit breaker), and the
+   deprecated optional-argument shims against the Run_config path. *)
+
+(* The shim-equivalence cases exercise the deprecated entry points on
+   purpose. *)
+[@@@warning "-3"]
+
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  at 0
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scale_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"robust_scale"
+    [
+      Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32;
+      Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32;
+    ]
+    (fun b ->
+      let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+      while true do
+        Cgsim.Port.put_f32 o (2.0 *. Cgsim.Port.get_f32 i)
+      done)
+
+let boom_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"robust_boom"
+    [
+      Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32;
+      Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32;
+    ]
+    (fun b ->
+      ignore (Cgsim.Port.get_f32 (Cgsim.Kernel.rd b 0));
+      ignore (Cgsim.Kernel.wr b 0);
+      failwith "deliberate robustness failure")
+
+(* Produces forever: the schedule stays live until a deadline stops it. *)
+let fountain_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"robust_fountain"
+    [ Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32 ]
+    (fun b ->
+      let o = Cgsim.Kernel.wr b 0 in
+      while true do
+        Cgsim.Port.put_f32 o 1.0
+      done)
+
+let () =
+  Cgsim.Registry.register scale_kernel;
+  Cgsim.Registry.register boom_kernel;
+  Cgsim.Registry.register fountain_kernel
+
+(* in -> robust_scale_0 -> robust_scale_1 -> out *)
+let chain_graph () =
+  Cgsim.Builder.make ~name:"robust_chain" ~inputs:[ "x", Cgsim.Dtype.F32 ] (fun b conns ->
+      let mid = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      ignore (Cgsim.Builder.add_kernel b scale_kernel [ List.hd conns; mid ]);
+      ignore (Cgsim.Builder.add_kernel b scale_kernel [ mid; out ]);
+      [ out ])
+
+let boom_graph () =
+  Cgsim.Builder.make ~name:"robust_boom_graph" ~inputs:[ "x", Cgsim.Dtype.F32 ]
+    (fun b conns ->
+      let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      ignore (Cgsim.Builder.add_kernel b boom_kernel [ List.hd conns; out ]);
+      [ out ])
+
+let fountain_graph () =
+  Cgsim.Builder.make ~name:"robust_fountain_graph" ~inputs:[] (fun b _ ->
+      let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      ignore (Cgsim.Builder.add_kernel b fountain_kernel [ out ]);
+      [ out ])
+
+let chain_input n = Cgsim.Io.of_f32_array (Array.init n float_of_int)
+
+(* ------------------------------------------------------------------ *)
+(* Structured outcomes and graph-naming errors                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_outcome_completed () =
+  let sink, contents = Cgsim.Io.f32_buffer () in
+  match Cgsim.Runtime.execute (chain_graph ()) ~sources:[ chain_input 4 ] ~sinks:[ sink ] with
+  | Cgsim.Runtime.Completed _ ->
+    Alcotest.(check (array (float 1e-6))) "output" [| 0.0; 4.0; 8.0; 12.0 |] (contents ())
+  | o -> Alcotest.failf "expected Completed, got %a" Cgsim.Runtime.pp_outcome o
+
+let test_kernel_failure_captured () =
+  let sink = Cgsim.Io.null () in
+  match
+    Cgsim.Runtime.execute (boom_graph ()) ~sources:[ chain_input 4 ] ~sinks:[ sink ]
+  with
+  | Cgsim.Runtime.Kernel_failed f ->
+    Alcotest.(check string) "graph named" "robust_boom_graph" f.Cgsim.Runtime.f_graph;
+    Alcotest.(check string) "kernel named" "robust_boom_0" f.Cgsim.Runtime.f_kernel;
+    (match f.Cgsim.Runtime.f_exn with
+     | Failure msg -> Alcotest.(check string) "exn preserved" "deliberate robustness failure" msg
+     | e -> Alcotest.failf "unexpected exn %s" (Printexc.to_string e));
+    (* stats_exn turns it into a Runtime_error naming graph and kernel *)
+    (match Cgsim.Runtime.stats_exn (Cgsim.Runtime.Kernel_failed f) with
+     | exception Cgsim.Runtime.Runtime_error msg ->
+       Alcotest.(check bool) ("names graph: " ^ msg) true (contains "robust_boom_graph" msg);
+       Alcotest.(check bool) ("names kernel: " ^ msg) true (contains "robust_boom_0" msg)
+     | _ -> Alcotest.fail "stats_exn must raise on Kernel_failed")
+  | o -> Alcotest.failf "expected Kernel_failed, got %a" Cgsim.Runtime.pp_outcome o
+
+let test_wiring_errors_name_graph () =
+  (* Wrong source count is a caller bug: still raises, and the message
+     names the graph. *)
+  match Cgsim.Runtime.execute (chain_graph ()) ~sources:[] ~sinks:[ Cgsim.Io.null () ] with
+  | exception Cgsim.Runtime.Runtime_error msg ->
+    Alcotest.(check bool) ("names graph: " ^ msg) true (contains "robust_chain" msg)
+  | _ -> Alcotest.fail "source count mismatch must raise"
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines, fuel and cancellation                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_on_divergent_graph () =
+  let config = Cgsim.Run_config.(with_deadline_ms 50.0 default) in
+  match
+    Cgsim.Runtime.execute ~config (fountain_graph ()) ~sources:[] ~sinks:[ Cgsim.Io.null () ]
+  with
+  | Cgsim.Runtime.Deadline_exceeded p ->
+    Alcotest.(check string) "graph named" "robust_fountain_graph" p.Cgsim.Runtime.p_graph;
+    (match p.Cgsim.Runtime.p_reason with
+     | `Wall_clock -> ()
+     | `Max_steps -> Alcotest.fail "expected a wall-clock stop")
+  | o -> Alcotest.failf "expected Deadline_exceeded, got %a" Cgsim.Runtime.pp_outcome o
+
+let test_deadline_stalled_names_parked () =
+  (* A stalled (not busy) pipeline: the stall fault spins one fiber on
+     yield, everyone downstream parks on empty queues; the progress
+     snapshot must name them. *)
+  let faults = Cgsim.Faults.(plan ~seed:3 [ stall_on ~kernel:"robust_scale_0" ~after:2 () ]) in
+  let config =
+    Cgsim.Run_config.(default |> with_deadline_ms 50.0 |> with_faults faults)
+  in
+  let sink = Cgsim.Io.null () in
+  match
+    Cgsim.Runtime.execute ~config (chain_graph ()) ~sources:[ chain_input 64 ] ~sinks:[ sink ]
+  with
+  | Cgsim.Runtime.Deadline_exceeded p ->
+    Alcotest.(check bool) "parked snapshot non-empty" true (p.Cgsim.Runtime.p_parked <> []);
+    Alcotest.(check bool) "downstream kernel parked" true
+      (List.mem "robust_scale_1" p.Cgsim.Runtime.p_parked);
+    let msg = Cgsim.Runtime.progress_message p in
+    Alcotest.(check bool) ("message names parked: " ^ msg) true
+      (contains "robust_scale_1" msg)
+  | o -> Alcotest.failf "expected Deadline_exceeded, got %a" Cgsim.Runtime.pp_outcome o
+
+let test_max_steps_budget () =
+  let config = Cgsim.Run_config.(with_max_steps 10 default) in
+  match
+    Cgsim.Runtime.execute ~config (fountain_graph ()) ~sources:[] ~sinks:[ Cgsim.Io.null () ]
+  with
+  | Cgsim.Runtime.Deadline_exceeded p ->
+    (match p.Cgsim.Runtime.p_reason with
+     | `Max_steps -> ()
+     | `Wall_clock -> Alcotest.fail "expected the step budget, not the clock")
+  | o -> Alcotest.failf "expected Deadline_exceeded, got %a" Cgsim.Runtime.pp_outcome o
+
+let test_cancel_mid_run () =
+  (* Cooperative cancellation requested from inside a hook (as another
+     domain would): the run winds down and reports Cancelled. *)
+  let target = ref None in
+  let reads = ref 0 in
+  let hooks =
+    {
+      Cgsim.Runtime.no_hooks with
+      Cgsim.Runtime.wrap_reader =
+        (fun _inst _idx r ->
+          {
+            r with
+            Cgsim.Port.r_get =
+              (fun () ->
+                incr reads;
+                if !reads = 5 then Option.iter Cgsim.Runtime.cancel !target;
+                r.Cgsim.Port.r_get ());
+          });
+    }
+  in
+  let config = Cgsim.Run_config.(with_hooks hooks default) in
+  let t = Cgsim.Runtime.instantiate ~config (chain_graph ()) in
+  target := Some t;
+  (match Cgsim.Runtime.run t ~sources:[ chain_input 64 ] ~sinks:[ Cgsim.Io.null () ] with
+   | Cgsim.Runtime.Cancelled -> ()
+   | o -> Alcotest.failf "expected Cancelled, got %a" Cgsim.Runtime.pp_outcome o);
+  Alcotest.(check string) "label" "cancelled"
+    (Cgsim.Runtime.outcome_label Cgsim.Runtime.Cancelled)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fault injection                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_with_fault () =
+  let faults =
+    Cgsim.Faults.(plan ~seed:42 [ raise_on ~kernel:"robust_scale_0" ~after:3 ~fires:1 () ])
+  in
+  let config = Cgsim.Run_config.(with_faults faults default) in
+  let outcome =
+    Cgsim.Runtime.execute ~config (chain_graph ()) ~sources:[ chain_input 8 ]
+      ~sinks:[ Cgsim.Io.null () ]
+  in
+  faults, outcome
+
+let test_fault_raise_deterministic () =
+  let faults, first = run_with_fault () in
+  Alcotest.(check int) "exactly one injection" 1 (Cgsim.Faults.injected faults);
+  let _, second = run_with_fault () in
+  let signature = function
+    | Cgsim.Runtime.Kernel_failed f ->
+      (match f.Cgsim.Runtime.f_exn with
+       | Cgsim.Faults.Injected _ -> f.Cgsim.Runtime.f_kernel
+       | e -> Alcotest.failf "expected Injected, got %s" (Printexc.to_string e))
+    | o -> Alcotest.failf "expected Kernel_failed, got %a" Cgsim.Runtime.pp_outcome o
+  in
+  Alcotest.(check string) "same seed, same victim" (signature first) (signature second);
+  Alcotest.(check string) "victim is the matched kernel" "robust_scale_0" (signature first)
+
+let test_fault_budget_recovers () =
+  (* The fire budget is shared across instantiations of one plan: after
+     the single armed raise has fired, the same plan runs clean — the
+     transient-fault model retries rely on. *)
+  let faults, first = run_with_fault () in
+  (match first with
+   | Cgsim.Runtime.Kernel_failed _ -> ()
+   | o -> Alcotest.failf "first run must fail, got %a" Cgsim.Runtime.pp_outcome o);
+  let config = Cgsim.Run_config.(with_faults faults default) in
+  let sink, contents = Cgsim.Io.f32_buffer () in
+  (match
+     Cgsim.Runtime.execute ~config (chain_graph ()) ~sources:[ chain_input 8 ] ~sinks:[ sink ]
+   with
+   | Cgsim.Runtime.Completed _ -> ()
+   | o -> Alcotest.failf "budget-exhausted run must complete, got %a" Cgsim.Runtime.pp_outcome o);
+  Alcotest.(check (array (float 1e-6))) "clean output after budget"
+    (Array.init 8 (fun i -> 4.0 *. float_of_int i))
+    (contents ());
+  Alcotest.(check int) "still one injection" 1 (Cgsim.Faults.injected faults)
+
+let test_fault_delay_is_transparent () =
+  (* Delays perturb the schedule, never the data. *)
+  let faults = Cgsim.Faults.(plan ~seed:9 [ delay_on ~kernel:"*" ~after:2 ~yields:8 ~fires:4 () ]) in
+  let config = Cgsim.Run_config.(with_faults faults default) in
+  let sink, contents = Cgsim.Io.f32_buffer () in
+  (match
+     Cgsim.Runtime.execute ~config (chain_graph ()) ~sources:[ chain_input 16 ] ~sinks:[ sink ]
+   with
+   | Cgsim.Runtime.Completed _ -> ()
+   | o -> Alcotest.failf "delays must not change the outcome: %a" Cgsim.Runtime.pp_outcome o);
+  Alcotest.(check bool) "delays fired" true (Cgsim.Faults.injected faults > 0);
+  Alcotest.(check (array (float 1e-6))) "output unchanged"
+    (Array.init 16 (fun i -> 4.0 *. float_of_int i))
+    (contents ())
+
+let test_fault_seed_derived_activations () =
+  (* Unspecified activation counts resolve deterministically from the
+     seed: same seed, same plan description; different seed, different. *)
+  let d1 = Cgsim.Faults.(describe (plan ~seed:5 [ raise_on ~kernel:"*" () ])) in
+  let d2 = Cgsim.Faults.(describe (plan ~seed:5 [ raise_on ~kernel:"*" () ])) in
+  Alcotest.(check (list string)) "same seed, same arming" d1 d2;
+  Alcotest.(check int) "one armed spec" 1 (List.length d1)
+
+(* ------------------------------------------------------------------ *)
+(* Pool supervision: retry, deadline, circuit breaker                  *)
+(* ------------------------------------------------------------------ *)
+
+let pool_io contents r =
+  let sink, c = Cgsim.Io.f32_buffer () in
+  contents.(r) <- c;
+  [ chain_input 8 ], [ sink ]
+
+let test_pool_retry_then_succeed () =
+  (* A twice-firing transient raise pinned to one kernel instance: the
+     first request burns both fires across two failed attempts and
+     completes on its third; the rest run clean.  Every final outcome is
+     Completed and the stats show the recovery. *)
+  let faults =
+    Cgsim.Faults.(plan ~seed:11 [ raise_on ~kernel:"robust_scale_0" ~after:3 ~fires:2 () ])
+  in
+  let config =
+    Cgsim.Run_config.(
+      default |> with_retries 2 |> with_backoff ~base_ns:1e4 ~cap_ns:1e6 |> with_faults faults)
+  in
+  let requests = 4 in
+  let contents = Array.make requests (fun () -> [||]) in
+  let stats =
+    Cgsim.Pool.run ~config ~domains:1 ~requests ~io:(pool_io contents) (chain_graph ())
+  in
+  Array.iter
+    (fun (res : Cgsim.Pool.request_result) ->
+      match res.Cgsim.Pool.outcome with
+      | Cgsim.Runtime.Completed _ ->
+        Alcotest.(check (array (float 1e-6)))
+          (Printf.sprintf "req %d output" res.Cgsim.Pool.req_id)
+          (Array.init 8 (fun i -> 4.0 *. float_of_int i))
+          (contents.(res.Cgsim.Pool.req_id) ())
+      | o ->
+        Alcotest.failf "req %d must recover, got %a" res.Cgsim.Pool.req_id
+          Cgsim.Runtime.pp_outcome o)
+    stats.Cgsim.Pool.results;
+  Alcotest.(check int) "two injections" 2 (Cgsim.Faults.injected faults);
+  Alcotest.(check int) "two retry attempts" 2 stats.Cgsim.Pool.retries;
+  Alcotest.(check int) "recovered on retry" 1 stats.Cgsim.Pool.counts.Cgsim.Pool.n_retried_ok;
+  Alcotest.(check bool) "breaker stayed closed" false stats.Cgsim.Pool.breaker_tripped
+
+let test_pool_deadline_divergent_graph () =
+  (* The ISSUE acceptance shape: a divergent graph served with a 50 ms
+     per-request deadline must come back Deadline_exceeded with a
+     non-empty parked snapshot — and the pool must not hang. *)
+  let faults = Cgsim.Faults.(plan ~seed:13 [ stall_on ~kernel:"robust_scale_0" ~after:2 ~fires:(-1) () ]) in
+  let config =
+    Cgsim.Run_config.(default |> with_deadline_ms 50.0 |> with_faults faults)
+  in
+  let requests = 2 in
+  let contents = Array.make requests (fun () -> [||]) in
+  let stats =
+    Cgsim.Pool.run ~config ~domains:1 ~requests ~io:(pool_io contents) (chain_graph ())
+  in
+  Alcotest.(check int) "deadline on every request" requests
+    stats.Cgsim.Pool.counts.Cgsim.Pool.n_deadline;
+  Array.iter
+    (fun (res : Cgsim.Pool.request_result) ->
+      match res.Cgsim.Pool.outcome with
+      | Cgsim.Runtime.Deadline_exceeded p ->
+        Alcotest.(check bool)
+          (Printf.sprintf "req %d parked snapshot non-empty" res.Cgsim.Pool.req_id)
+          true
+          (p.Cgsim.Runtime.p_parked <> [])
+      | o ->
+        Alcotest.failf "req %d expected Deadline_exceeded, got %a" res.Cgsim.Pool.req_id
+          Cgsim.Runtime.pp_outcome o)
+    stats.Cgsim.Pool.results
+
+let test_pool_breaker_sheds () =
+  (* Persistent failure: after the threshold of consecutive final
+     failures the circuit opens and the remaining requests are shed
+     without executing. *)
+  let config = Cgsim.Run_config.(default |> with_breaker 2) in
+  let requests = 6 in
+  let stats =
+    Cgsim.Pool.run ~config ~domains:1 ~requests
+      ~io:(fun _ -> [ chain_input 4 ], [ Cgsim.Io.null () ])
+      (boom_graph ())
+  in
+  Alcotest.(check bool) "breaker tripped" true stats.Cgsim.Pool.breaker_tripped;
+  Alcotest.(check int) "threshold failures before opening" 2
+    stats.Cgsim.Pool.counts.Cgsim.Pool.n_failed;
+  Alcotest.(check int) "rest shed" (requests - 2) stats.Cgsim.Pool.counts.Cgsim.Pool.n_shed;
+  Array.iter
+    (fun (res : Cgsim.Pool.request_result) ->
+      if res.Cgsim.Pool.shed then
+        Alcotest.(check int)
+          (Printf.sprintf "req %d shed without executing" res.Cgsim.Pool.req_id)
+          0 res.Cgsim.Pool.attempts)
+    stats.Cgsim.Pool.results
+
+let test_pool_breaker_reset_by_success () =
+  (* A threshold above the consecutive-failure count keeps the circuit
+     closed: nothing is shed even though every request fails. *)
+  let config = Cgsim.Run_config.(default |> with_breaker 10) in
+  let stats =
+    Cgsim.Pool.run ~config ~domains:1 ~requests:4
+      ~io:(fun _ -> [ chain_input 4 ], [ Cgsim.Io.null () ])
+      (boom_graph ())
+  in
+  Alcotest.(check bool) "under threshold: closed" false stats.Cgsim.Pool.breaker_tripped;
+  Alcotest.(check int) "nothing shed" 0 stats.Cgsim.Pool.counts.Cgsim.Pool.n_shed
+
+(* ------------------------------------------------------------------ *)
+(* x86sim: watchdog deadline and failure outcomes                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_x86_deadline_poisons () =
+  let config = Cgsim.Run_config.(with_deadline_ms 100.0 default) in
+  match
+    X86sim.Sim.run ~config (fountain_graph ()) ~sources:[] ~sinks:[ Cgsim.Io.null () ]
+  with
+  | X86sim.Sim.Deadline_exceeded { graph; waiting; _ } ->
+    Alcotest.(check string) "graph named" "robust_fountain_graph" graph;
+    Alcotest.(check bool) "waiting threads named" true (waiting <> [])
+  | o -> Alcotest.failf "expected Deadline_exceeded, got %s" (X86sim.Sim.outcome_label o)
+
+let test_x86_failure_names_graph () =
+  (match
+     X86sim.Sim.run (boom_graph ()) ~sources:[ chain_input 4 ] ~sinks:[ Cgsim.Io.null () ]
+   with
+   | X86sim.Sim.Kernel_failed { graph; thread; _ } as o ->
+     Alcotest.(check string) "graph named" "robust_boom_graph" graph;
+     Alcotest.(check bool) "thread names the kernel" true (contains "robust_boom" thread);
+     (match X86sim.Sim.stats_exn o with
+      | exception X86sim.Sim.X86sim_error msg ->
+        Alcotest.(check bool) ("names graph: " ^ msg) true (contains "robust_boom_graph" msg)
+      | _ -> Alcotest.fail "stats_exn must raise on Kernel_failed")
+   | o -> Alcotest.failf "expected Kernel_failed, got %s" (X86sim.Sim.outcome_label o))
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated shims == Run_config path                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_shims_match_config_path () =
+  (* The optional-argument bridges must be behaviourally identical to
+     the Run_config record path on all four example apps. *)
+  List.iter
+    (fun (h : Apps.Harness.t) ->
+      let reps = 1 in
+      let via_config () =
+        let sinks, contents = h.Apps.Harness.make_sinks () in
+        ignore
+          (Cgsim.Runtime.execute_exn
+             ~config:Cgsim.Run_config.(with_queue_capacity 8 default)
+             (h.Apps.Harness.graph ())
+             ~sources:(h.Apps.Harness.sources ~reps) ~sinks);
+        contents ()
+      in
+      let via_shim () =
+        let sinks, contents = h.Apps.Harness.make_sinks () in
+        ignore
+          (Cgsim.Runtime.execute_opts ~queue_capacity:8
+             (h.Apps.Harness.graph ())
+             ~sources:(h.Apps.Harness.sources ~reps) ~sinks);
+        contents ()
+      in
+      let a = via_config () and b = via_shim () in
+      if not (List.for_all2 Cgsim.Value.equal a b) then
+        Alcotest.failf "%s: shim and config paths differ" h.Apps.Harness.name)
+    Apps.Harness.all
+
+let test_instantiate_shim_matches () =
+  let via_shim =
+    let t = Cgsim.Runtime.instantiate_opts ~spsc:false (chain_graph ()) in
+    let sink, contents = Cgsim.Io.f32_buffer () in
+    ignore (Cgsim.Runtime.run_opts t ~sources:[ chain_input 8 ] ~sinks:[ sink ]);
+    contents ()
+  in
+  let via_config =
+    let t =
+      Cgsim.Runtime.instantiate
+        ~config:Cgsim.Run_config.(with_spsc false default)
+        (chain_graph ())
+    in
+    let sink, contents = Cgsim.Io.f32_buffer () in
+    ignore (Cgsim.Runtime.stats_exn (Cgsim.Runtime.run t ~sources:[ chain_input 8 ] ~sinks:[ sink ]));
+    contents ()
+  in
+  Alcotest.(check (array (float 0.0))) "instantiate shim == config" via_config via_shim
+
+let test_pool_shim_matches () =
+  let requests = 3 in
+  let run_pool run_fn =
+    let contents = Array.make requests (fun () -> [||]) in
+    let stats = run_fn (pool_io contents) in
+    Array.map (fun c -> c ()) (Array.map (fun r -> contents.(r.Cgsim.Pool.req_id)) stats.Cgsim.Pool.results)
+  in
+  let a =
+    run_pool (fun io ->
+        Cgsim.Pool.run
+          ~config:Cgsim.Run_config.(with_queue_capacity 4 default)
+          ~domains:1 ~requests ~io (chain_graph ()))
+  in
+  let b =
+    run_pool (fun io ->
+        Cgsim.Pool.run_opts ~queue_capacity:4 ~domains:1 ~requests ~io (chain_graph ()))
+  in
+  Array.iteri
+    (fun i ai -> Alcotest.(check (array (float 0.0))) (Printf.sprintf "req %d" i) ai b.(i))
+    a
+
+let test_x86_shim_matches () =
+  let via_config =
+    let sink, contents = Cgsim.Io.f32_buffer () in
+    ignore
+      (X86sim.Sim.run_exn
+         ~config:Cgsim.Run_config.(with_queue_capacity 4 default)
+         (chain_graph ()) ~sources:[ chain_input 8 ] ~sinks:[ sink ]);
+    contents ()
+  in
+  let via_shim =
+    let sink, contents = Cgsim.Io.f32_buffer () in
+    ignore
+      (X86sim.Sim.run_opts ~queue_capacity:4 (chain_graph ()) ~sources:[ chain_input 8 ]
+         ~sinks:[ sink ]);
+    contents ()
+  in
+  Alcotest.(check (array (float 0.0))) "x86sim shim == config" via_config via_shim
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "robust"
+    [
+      ( "outcomes",
+        [
+          Alcotest.test_case "completed" `Quick test_outcome_completed;
+          Alcotest.test_case "kernel failure captured" `Quick test_kernel_failure_captured;
+          Alcotest.test_case "wiring errors name graph" `Quick test_wiring_errors_name_graph;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "divergent graph stops" `Quick test_deadline_on_divergent_graph;
+          Alcotest.test_case "stalled names parked" `Quick test_deadline_stalled_names_parked;
+          Alcotest.test_case "max-steps budget" `Quick test_max_steps_budget;
+          Alcotest.test_case "cancel mid-run" `Quick test_cancel_mid_run;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "raise is deterministic" `Quick test_fault_raise_deterministic;
+          Alcotest.test_case "budget then recovery" `Quick test_fault_budget_recovers;
+          Alcotest.test_case "delay is transparent" `Quick test_fault_delay_is_transparent;
+          Alcotest.test_case "seeded arming" `Quick test_fault_seed_derived_activations;
+        ] );
+      ( "pool-supervision",
+        [
+          Alcotest.test_case "retry then succeed" `Quick test_pool_retry_then_succeed;
+          Alcotest.test_case "deadline on divergent" `Quick test_pool_deadline_divergent_graph;
+          Alcotest.test_case "breaker opens and sheds" `Quick test_pool_breaker_sheds;
+          Alcotest.test_case "closed under threshold" `Quick test_pool_breaker_reset_by_success;
+        ] );
+      ( "x86sim",
+        [
+          Alcotest.test_case "watchdog deadline" `Quick test_x86_deadline_poisons;
+          Alcotest.test_case "failure names graph" `Quick test_x86_failure_names_graph;
+        ] );
+      ( "shims",
+        [
+          Alcotest.test_case "execute_opts on all apps" `Quick test_shims_match_config_path;
+          Alcotest.test_case "instantiate_opts/run_opts" `Quick test_instantiate_shim_matches;
+          Alcotest.test_case "Pool.run_opts" `Quick test_pool_shim_matches;
+          Alcotest.test_case "X86sim run_opts" `Quick test_x86_shim_matches;
+        ] );
+    ]

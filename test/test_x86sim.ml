@@ -145,7 +145,7 @@ let test_tqueue_block_eos_midblock () =
 
 let test_sim_io_count_mismatch () =
   let g = Apps.Bitonic.graph () in
-  match X86sim.Sim.run g ~sources:[] ~sinks:[ Cgsim.Io.null () ] with
+  match X86sim.Sim.run_exn g ~sources:[] ~sinks:[ Cgsim.Io.null () ] with
   | exception X86sim.Sim.X86sim_error _ -> ()
   | _ -> Alcotest.fail "source count mismatch must be rejected"
 
@@ -165,7 +165,8 @@ let test_sim_kernel_failure_reported () =
         [ out ])
   in
   match
-    X86sim.Sim.run g ~sources:[ Cgsim.Io.of_f32_array [| 1.0; 2.0 |] ] ~sinks:[ Cgsim.Io.null () ]
+    X86sim.Sim.run_exn g ~sources:[ Cgsim.Io.of_f32_array [| 1.0; 2.0 |] ]
+      ~sinks:[ Cgsim.Io.null () ]
   with
   | exception X86sim.Sim.X86sim_error _ -> ()
   | _ -> Alcotest.fail "kernel failures must be re-raised after the join"
@@ -175,7 +176,7 @@ let test_sim_thread_count () =
   let h = Apps.Harness.farrow in
   let sinks, _ = h.Apps.Harness.make_sinks () in
   let stats =
-    X86sim.Sim.run (h.Apps.Harness.graph ()) ~sources:(h.Apps.Harness.sources ~reps:1) ~sinks
+    X86sim.Sim.run_exn (h.Apps.Harness.graph ()) ~sources:(h.Apps.Harness.sources ~reps:1) ~sinks
   in
   Alcotest.(check int) "threads" 5 stats.X86sim.Sim.threads
 
@@ -198,9 +199,9 @@ let prop_x86sim_random_chain =
       in
       let input () = Cgsim.Io.of_f32_array (Array.of_list (List.map float_of_int xs)) in
       let sink1, out1 = Cgsim.Io.f32_buffer () in
-      let _ = Cgsim.Runtime.execute (graph ()) ~sources:[ input () ] ~sinks:[ sink1 ] in
+      let _ = Cgsim.Runtime.execute_exn (graph ()) ~sources:[ input () ] ~sinks:[ sink1 ] in
       let sink2, out2 = Cgsim.Io.f32_buffer () in
-      let _ = X86sim.Sim.run (graph ()) ~sources:[ input () ] ~sinks:[ sink2 ] in
+      let _ = X86sim.Sim.run_exn (graph ()) ~sources:[ input () ] ~sinks:[ sink2 ] in
       out1 () = out2 ())
 
 let () =
