@@ -32,27 +32,45 @@
                     "cgsim-bench-chaos/1" and fails unless every fault
                     was absorbed (at least one by retry)
 
+   loadtest runs open-loop Poisson arrivals against Cgsim.Pool:
+     --json FILE    write p50/p99/p999 + error rate per rate step as
+                    JSON (schema "cgsim-bench-load/1")
+     --metrics FILE write the last step's Prometheus exposition
+     --rates CSV    offered arrival rates in req/s (default 50,200,800)
+     --requests N   requests per rate step
+     --chaos        inject transient faults with retry supervision
+     --smoke        one low rate, few requests (CI)
+
    check-json FILE parses FILE with the strict Obs.Json parser and
    requires a top-level object with a "schema" string; exits nonzero
-   on malformed output (the CI guard for --json). *)
+   on malformed output (the CI guard for --json).
+
+   check-prom FILE validates FILE as Prometheus text exposition with
+   the strict Obs.Prom parser (the CI guard for --metrics). *)
 
 let usage () =
   print_endline
     "usage: main.exe [table1|table2|table2-quick|profile [--trace FILE] [--json FILE] \
-     [--smoke]|micro [--json FILE] [--smoke]|serve [--json FILE] [--smoke] [--domains CSV] \
-     [--requests N] [--chaos]|ablation|check-json FILE]...";
+     [--folded FILE] [--smoke]|micro [--json FILE] [--smoke]|serve [--json FILE] [--smoke] \
+     [--domains CSV] [--requests N] [--chaos]|loadtest [--json FILE] [--metrics FILE] \
+     [--rates CSV] [--requests N] [--chaos] [--smoke]|ablation|check-json FILE|check-prom \
+     FILE]...";
   exit 2
 
 type action =
   | Table1
   | Table2
   | Table2_quick
-  | Profile of string option * string option * bool  (* trace file, json file, smoke *)
+  | Profile of string option * string option * string option * bool
+      (* trace file, json file, folded file, smoke *)
   | Micro of string option * bool  (* json file, smoke *)
   | Serve of string option * bool * int list option * int option * bool
       (* json file, smoke, domain counts, requests, chaos *)
+  | Loadtest of string option * string option * bool * bool * float list option * int option
+      (* json file, metrics file, smoke, chaos, rates, requests *)
   | Ablation
   | Check_json of string
+  | Check_prom of string
 
 let parse_actions args =
   let rec go = function
@@ -109,23 +127,73 @@ let parse_actions args =
       in
       opts None false None None false rest
     | "ablation" :: rest -> Ablation :: go rest
-    | "profile" :: rest ->
-      let rec opts trace json smoke = function
-        | "--trace" :: file :: rest -> opts (Some file) json smoke rest
-        | "--trace" :: [] ->
-          Printf.eprintf "--trace needs a FILE argument\n";
-          usage ()
-        | "--json" :: file :: rest -> opts trace (Some file) smoke rest
+    | "loadtest" :: rest ->
+      let parse_rates s =
+        match String.split_on_char ',' s |> List.map float_of_string_opt with
+        | exception _ -> None
+        | parts ->
+          let rs = List.filter_map Fun.id parts in
+          if List.length rs = List.length parts && rs <> [] && List.for_all (fun r -> r > 0.) rs
+          then Some rs
+          else None
+      in
+      let rec opts json metrics smoke chaos rates reqs = function
+        | "--json" :: file :: rest -> opts (Some file) metrics smoke chaos rates reqs rest
         | "--json" :: [] ->
           Printf.eprintf "--json needs a FILE argument\n";
           usage ()
-        | "--smoke" :: rest -> opts trace json true rest
-        | rest -> Profile (trace, json, smoke) :: go rest
+        | "--metrics" :: file :: rest -> opts json (Some file) smoke chaos rates reqs rest
+        | "--metrics" :: [] ->
+          Printf.eprintf "--metrics needs a FILE argument\n";
+          usage ()
+        | "--smoke" :: rest -> opts json metrics true chaos rates reqs rest
+        | "--chaos" :: rest -> opts json metrics smoke true rates reqs rest
+        | "--rates" :: csv :: rest ->
+          (match parse_rates csv with
+           | Some rs -> opts json metrics smoke chaos (Some rs) reqs rest
+           | None ->
+             Printf.eprintf "--rates needs a CSV of positive numbers (e.g. 50,200,800)\n";
+             usage ())
+        | "--rates" :: [] ->
+          Printf.eprintf "--rates needs a CSV argument\n";
+          usage ()
+        | "--requests" :: n :: rest ->
+          (match int_of_string_opt n with
+           | Some r when r > 0 -> opts json metrics smoke chaos rates (Some r) rest
+           | _ ->
+             Printf.eprintf "--requests needs a positive integer\n";
+             usage ())
+        | "--requests" :: [] ->
+          Printf.eprintf "--requests needs an argument\n";
+          usage ()
+        | rest -> Loadtest (json, metrics, smoke, chaos, rates, reqs) :: go rest
       in
-      opts None None false rest
+      opts None None false false None None rest
+    | "profile" :: rest ->
+      let rec opts trace json folded smoke = function
+        | "--trace" :: file :: rest -> opts (Some file) json folded smoke rest
+        | "--trace" :: [] ->
+          Printf.eprintf "--trace needs a FILE argument\n";
+          usage ()
+        | "--json" :: file :: rest -> opts trace (Some file) folded smoke rest
+        | "--json" :: [] ->
+          Printf.eprintf "--json needs a FILE argument\n";
+          usage ()
+        | "--folded" :: file :: rest -> opts trace json (Some file) smoke rest
+        | "--folded" :: [] ->
+          Printf.eprintf "--folded needs a FILE argument\n";
+          usage ()
+        | "--smoke" :: rest -> opts trace json folded true rest
+        | rest -> Profile (trace, json, folded, smoke) :: go rest
+      in
+      opts None None None false rest
     | "check-json" :: file :: rest -> Check_json file :: go rest
     | "check-json" :: [] ->
       Printf.eprintf "check-json needs a FILE argument\n";
+      usage ()
+    | "check-prom" :: file :: rest -> Check_prom file :: go rest
+    | "check-prom" :: [] ->
+      Printf.eprintf "check-prom needs a FILE argument\n";
       usage ()
     | other :: _ ->
       Printf.eprintf "unknown bench: %s\n" other;
@@ -151,17 +219,33 @@ let check_json file =
        Printf.eprintf "check-json: %s has no \"schema\" string\n" file;
        exit 1)
 
+let check_prom file =
+  let contents =
+    try In_channel.with_open_bin file In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "check-prom: cannot read %s: %s\n" file msg;
+      exit 1
+  in
+  match Obs.Prom.validate contents with
+  | Ok () -> Printf.printf "check-prom: %s ok\n%!" file
+  | Error msg ->
+    Printf.eprintf "check-prom: %s is malformed: %s\n" file msg;
+    exit 1
+
 let run = function
   | Table1 -> Table1.run ()
   | Table2 -> Table2.run ()
   | Table2_quick -> Table2.run ~scale:0.5 ()
-  | Profile (trace, json, smoke) -> Profile.run ?trace ?json ~smoke ()
+  | Profile (trace, json, folded, smoke) -> Profile.run ?trace ?json ?folded ~smoke ()
   | Micro (json, smoke) -> Micro.run ?json ~smoke ()
   | Serve (json, smoke, domains, requests, chaos) ->
     if chaos then Serve.run_chaos ?json ~smoke ?requests ()
     else Serve.run ?json ~smoke ?domains ?requests ()
+  | Loadtest (json, metrics, smoke, chaos, rates, requests) ->
+    Loadtest.run ?json ?metrics ~smoke ~chaos ?rates ?requests ()
   | Ablation -> Ablation.run ()
   | Check_json file -> check_json file
+  | Check_prom file -> check_prom file
 
 let () =
   match parse_actions (List.tl (Array.to_list Sys.argv)) with

@@ -133,8 +133,13 @@ let add_aiesim_replay () =
   Printf.printf "aiesim replay in trace: %s, %.0f cycles, %d blocks\n" report.Aiesim.Sim.label
     report.Aiesim.Sim.total_cycles report.Aiesim.Sim.blocks
 
-let run ?trace ?json ?(smoke = false) () =
+let run ?trace ?json ?folded ?(smoke = false) () =
   Printf.printf "\n== Profile (Section 5.2): cgsim kernel-time fraction ==\n";
+  (match folded, trace with
+   | Some _, None ->
+     Printf.eprintf "error: --folded needs --trace (self-time comes from the obs session)\n";
+     exit 1
+   | _ -> ());
   (match trace with
    | None ->
      let results = run_apps ~smoke in
@@ -153,7 +158,19 @@ let run ?trace ?json ?(smoke = false) () =
       with Sys_error msg ->
         Printf.eprintf "error: cannot write trace: %s\n" msg;
         exit 1);
-     print_queue_breakdown (Obs.Metrics.snapshot session.Obs.Trace.metrics);
+     let snap = Obs.Metrics.snapshot session.Obs.Trace.metrics in
+     print_queue_breakdown snap;
+     Printf.printf "\nper-kernel self time (from sched slices):\n%s" (Obs.Profile.table snap);
+     (match folded with
+      | None -> ()
+      | Some f ->
+        (try
+           Out_channel.with_open_bin f (fun oc ->
+               Out_channel.output_string oc (Obs.Profile.collapsed snap));
+           Printf.printf "wrote collapsed stacks (flamegraph.pl %s > profile.svg) to %s\n" f f
+         with Sys_error msg ->
+           Printf.eprintf "error: cannot write folded stacks: %s\n" msg;
+           exit 1));
      Printf.printf "\n%s" (Obs.Export.summary session);
      Printf.printf "wrote Chrome trace (open in https://ui.perfetto.dev) to %s\n" file);
   Printf.printf

@@ -13,7 +13,11 @@
    ~1/domains, and the committed baseline must be read with its
    "host_cores" field in hand.
 
-   [run ~json:file] writes schema "cgsim-bench-serve/1"; check-json
+   Runs with more domains than host cores carry "oversubscribed": true
+   in their JSON so baseline consumers can filter them out of scaling
+   comparisons.
+
+   [run ~json:file] writes schema "cgsim-bench-serve/2"; check-json
    validates it in CI.  The SPSC micro comparison rides along so the
    serving baseline and the queue fast-path numbers land in one file. *)
 
@@ -66,11 +70,16 @@ let run_app ~domains ~requests ~reps (t : Apps.Harness.t) g =
     errors = List.rev !errors;
   }
 
-let json_of_app_run ~base_wall (r : app_run) =
+let json_of_app_run ~base_wall ~host_cores (r : app_run) =
   let speedup = base_wall /. r.wall_ns in
   Obs.Json.Obj
     [
       "domains", Obs.Json.Num (float_of_int r.domains);
+      (* More domains than host cores: the run timeshares and its
+         efficiency number is not a scaling datapoint — marked so
+         baseline consumers can filter instead of reverse-engineering
+         it from host_cores. *)
+      "oversubscribed", Obs.Json.Bool (r.domains > host_cores);
       "wall_ms", Obs.Json.Num (r.wall_ns /. 1e6);
       "requests_per_sec", Obs.Json.Num r.rps;
       "speedup_vs_1", Obs.Json.Num speedup;
@@ -117,7 +126,7 @@ let run ?json ?(smoke = false) ?(domains = if smoke then smoke_domains else defa
             "name", Obs.Json.Str t.Apps.Harness.name;
             "reps_per_request", Obs.Json.Num (float_of_int reps);
             "requests", Obs.Json.Num (float_of_int requests);
-            "runs", Obs.Json.Arr (List.map (json_of_app_run ~base_wall) runs);
+            "runs", Obs.Json.Arr (List.map (json_of_app_run ~base_wall ~host_cores) runs);
           ])
       Apps.Harness.all
   in
@@ -130,7 +139,7 @@ let run ?json ?(smoke = false) ?(domains = if smoke then smoke_domains else defa
      let doc =
        Obs.Json.Obj
          [
-           "schema", Obs.Json.Str "cgsim-bench-serve/1";
+           "schema", Obs.Json.Str "cgsim-bench-serve/2";
            "smoke", Obs.Json.Bool smoke;
            "host_cores", Obs.Json.Num (float_of_int host_cores);
            "apps", Obs.Json.Arr app_docs;

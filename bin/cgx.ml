@@ -194,8 +194,18 @@ let deadline_arg =
            stalled or divergent graph is stopped at the budget and reported as an error \
            naming the parked kernels, instead of hanging the command.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the simulation's aggregate metrics (per-port element counters, per-kernel \
+           self-time histograms, scheduler/queue latencies) as Prometheus text exposition \
+           (format 0.0.4) to FILE.")
+
 let simulate_cmd =
-  let run input include_dirs all_graphs reps trace deadline_ms =
+  let run input include_dirs all_graphs reps trace deadline_ms metrics =
     handle_errors (fun () ->
         let projects = Extractor.Project.extract_file ~include_dirs ~all_graphs input in
         let chrome_trace =
@@ -231,23 +241,37 @@ let simulate_cmd =
                 let sinks, _ = h.Apps.Harness.make_sinks () in
                 Aiesim.Sim.run ?config deploy ~sources:(h.Apps.Harness.sources ~reps) ~sinks
               in
-              (match chrome_trace with
-               | Some file ->
-                 let report, session = Obs.Trace.with_session simulate in
-                 Format.printf "%a@." Aiesim.Sim.pp_report report;
-                 Out_channel.with_open_bin file (fun oc ->
-                     Out_channel.output_string oc (Obs.Export.chrome_json session));
-                 Printf.printf "wrote Chrome trace (open in https://ui.perfetto.dev) to %s\n"
-                   file
-               | None ->
-                 let report = simulate () in
-                 Format.printf "%a@." Aiesim.Sim.pp_report report;
-                 (match trace with
-                  | None -> ()
-                  | Some file ->
-                    Out_channel.with_open_bin file (fun oc ->
-                        Out_channel.output_string oc (Aiesim.Sim.timeline_csv report));
-                    Printf.printf "wrote timeline to %s\n" file)))
+              if chrome_trace <> None || metrics <> None then begin
+                (* Both exports read the same session: the trace file gets
+                   the event ring, the metrics file the aggregates. *)
+                let report, session = Obs.Trace.with_session simulate in
+                Format.printf "%a@." Aiesim.Sim.pp_report report;
+                (match chrome_trace with
+                 | Some file ->
+                   Out_channel.with_open_bin file (fun oc ->
+                       Out_channel.output_string oc (Obs.Export.chrome_json session));
+                   Printf.printf "wrote Chrome trace (open in https://ui.perfetto.dev) to %s\n"
+                     file
+                 | None -> ());
+                match metrics with
+                | Some file ->
+                  let text =
+                    Obs.Prom.of_snapshot (Obs.Metrics.snapshot session.Obs.Trace.metrics)
+                  in
+                  Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc text);
+                  Printf.printf "wrote Prometheus exposition to %s\n" file
+                | None -> ()
+              end
+              else begin
+                let report = simulate () in
+                Format.printf "%a@." Aiesim.Sim.pp_report report;
+                match trace with
+                | None -> ()
+                | Some file ->
+                  Out_channel.with_open_bin file (fun oc ->
+                      Out_channel.output_string oc (Aiesim.Sim.timeline_csv report));
+                  Printf.printf "wrote timeline to %s\n" file
+              end)
           projects)
   in
   Cmd.v
@@ -255,7 +279,7 @@ let simulate_cmd =
        ~doc:"Extract and run on the cycle-approximate AIE simulator (known workloads only).")
     Term.(
       const run $ input_arg $ include_dirs_arg $ all_graphs_arg $ reps_arg $ trace_arg
-      $ deadline_arg)
+      $ deadline_arg $ metrics_arg)
 
 let () =
   let info =

@@ -71,6 +71,28 @@ dune exec bench/main.exe -- serve --chaos --smoke --json "$CHAOS_JSON"
 test -s "$CHAOS_JSON" || { echo "ci: chaos JSON is empty" >&2; exit 1; }
 dune exec bench/main.exe -- check-json "$CHAOS_JSON"
 
+echo "== loadtest smoke (open-loop Poisson arrivals + chaos, JSON + Prometheus output) =="
+LOAD_JSON=$(mktemp -t ci-load-XXXXXX.json)
+LOAD_PROM=$(mktemp -t ci-load-XXXXXX.prom)
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM"' EXIT
+# Open-loop arrivals against the pool under a transient-fault plan with
+# retries; exits nonzero if nothing completed or chaos never forced a
+# retry.  Schema cgsim-bench-load/1.
+dune exec bench/main.exe -- loadtest --smoke --chaos --json "$LOAD_JSON" --metrics "$LOAD_PROM"
+test -s "$LOAD_JSON" || { echo "ci: loadtest JSON is empty" >&2; exit 1; }
+dune exec bench/main.exe -- check-json "$LOAD_JSON"
+# check-prom validates the Prometheus text exposition with the strict
+# Obs.Prom parser (TYPE lines, label syntax, bucket monotonicity).
+test -s "$LOAD_PROM" || { echo "ci: loadtest exposition is empty" >&2; exit 1; }
+dune exec bench/main.exe -- check-prom "$LOAD_PROM"
+
+echo "== cgx --metrics smoke (Prometheus exposition from the extractor CLI) =="
+CGX_PROM=$(mktemp -t ci-cgx-XXXXXX.prom)
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM" "$CGX_PROM"' EXIT
+dune exec bin/cgx.exe -- simulate examples/cgc/bitonic.cgc --reps 4 --metrics "$CGX_PROM"
+test -s "$CGX_PROM" || { echo "ci: cgx exposition is empty" >&2; exit 1; }
+dune exec bench/main.exe -- check-prom "$CGX_PROM"
+
 echo "== deprecated-shim gate =="
 # The optional-argument bridges (instantiate_opts/run_opts/execute_opts)
 # exist for out-of-tree callers only; in-tree code must use Run_config.

@@ -105,6 +105,7 @@ let rec take_fire a =
 
 let fired t a port =
   Atomic.incr t.t_injected;
+  Obs.Flight.note Obs.Flight.Fault port;
   if !Obs.Trace.on then begin
     Obs.Trace.instant ~track:port ~cat:"faults"
       (Printf.sprintf "inject:%s" (action_to_string a.a_spec.fs_action));

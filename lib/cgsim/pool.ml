@@ -6,6 +6,10 @@ type request_result = {
   attempts : int;
   shed : bool;
   req_wall_ns : float;
+  req_latency_ns : float;
+      (* closed loop: service time (= req_wall_ns); open loop (run with
+         ~arrivals): completion minus scheduled arrival, so time spent
+         waiting for a free domain counts — the latency a client sees *)
 }
 
 type outcome_counts = {
@@ -26,6 +30,13 @@ type stats = {
   breaker_tripped : bool;
   counts : outcome_counts;
   wall_ns : float;
+  metrics : Obs.Metrics.snapshot;
+      (* always-on pool metrics: request-latency HDR histogram
+         ("pool.request", per-domain recorders merged at join), outcome
+         counters, steal/retry totals — populated with tracing off *)
+  breaker_flight : Obs.Flight.entry list;
+      (* flight-recorder window from the domain that opened the circuit
+         breaker, oldest first; [] when the breaker never tripped *)
 }
 
 let count_outcomes results =
@@ -101,9 +112,13 @@ let steal_top d =
       end
       else None)
 
-let run ?(config = Run_config.default) ~domains ~requests ~io (g : Serialized.t) =
+let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Serialized.t) =
   if domains <= 0 then invalid_arg "cgsim: Pool.run needs a positive domain count";
   if requests <= 0 then invalid_arg "cgsim: Pool.run needs a positive request count";
+  (match arrivals with
+   | Some a when Array.length a <> requests ->
+     invalid_arg "cgsim: Pool.run ~arrivals must have one offset per request"
+   | Some _ | None -> ());
   (* Lint once up front — the pool-safety pass flags kernels whose bodies
      share mutable state across the instances the domains run. *)
   Runtime.preflight ~lint:config.Run_config.lint g;
@@ -129,6 +144,7 @@ let run ?(config = Run_config.default) ~domains ~requests ~io (g : Serialized.t)
       attempts = 0;
       shed = false;
       req_wall_ns = 0.;
+      req_latency_ns = 0.;
     }
   in
   (* Each slot is written exactly once, by whichever domain executed the
@@ -136,6 +152,14 @@ let run ?(config = Run_config.default) ~domains ~requests ~io (g : Serialized.t)
   let results = Array.make requests dummy in
   let steals = Atomic.make 0 in
   let retries_total = Atomic.make 0 in
+  (* Open-loop arrivals are offsets from this instant (set just before
+     the workers spawn). *)
+  let pool_t0 = ref 0.0 in
+  (* One latency recorder per domain, merged into the pool metrics after
+     the joins: recording stays lock-free on the serving path, and the
+     merge is the cross-domain HDR aggregation story in practice. *)
+  let lat_hdrs = Array.init domains (fun _ -> Obs.Hdr.create ()) in
+  let breaker_flight = ref [] in
   (* Circuit breaker: consecutive requests whose FINAL outcome was a
      failure or deadline (retries exhausted).  Once the count reaches the
      threshold the circuit opens and every not-yet-started request is
@@ -149,16 +173,34 @@ let run ?(config = Run_config.default) ~domains ~requests ~io (g : Serialized.t)
   in
   let execute ~domain ~stolen r =
     if breaker_open () then begin
-      if not (Atomic.exchange breaker_tripped true) then
+      if not (Atomic.exchange breaker_tripped true) then begin
+        (* First domain to observe the open circuit dumps its flight
+           window: the events leading up to the failure streak. *)
+        Obs.Flight.note Obs.Flight.Breaker g.Serialized.gname;
+        breaker_flight := Obs.Flight.snapshot ();
         if !Obs.Trace.on then
-          Obs.Trace.instant ~track:"pool" ~cat:"pool" "breaker-open";
+          Obs.Trace.instant ~track:"pool" ~cat:"pool" "breaker-open"
+      end;
       if !Obs.Trace.on then Obs.Trace.incr_metric "pool.shed";
       results.(r) <-
         { req_id = r; domain; stolen; outcome = Runtime.Cancelled; attempts = 0; shed = true;
-          req_wall_ns = 0. }
+          req_wall_ns = 0.; req_latency_ns = 0. }
     end
     else begin
+      (* Open loop: wait out this request's scheduled arrival, then count
+         latency from the arrival instant, so any backlog the pool built
+         up is charged to the requests that queued behind it. *)
+      let arrival_abs =
+        match arrivals with
+        | Some a ->
+          let target = !pool_t0 +. a.(r) in
+          let wait = target -. Obs.Clock.now_ns () in
+          if wait > 0.0 then Unix.sleepf (wait /. 1e9);
+          target
+        | None -> 0.0
+      in
       let t0 = Obs.Clock.now_ns () in
+      Obs.Flight.note Obs.Flight.Request ~arg:(float_of_int r) g.Serialized.gname;
       let jitter = jitter_state ~seed:config.Run_config.seed ~req:r in
       let prev_backoff = ref config.Run_config.retry_base_ns in
       let backoff () =
@@ -190,6 +232,7 @@ let run ?(config = Run_config.default) ~domains ~requests ~io (g : Serialized.t)
                 f_exn = exn;
                 f_backtrace = "";
                 f_src = None;
+                f_flight = Obs.Flight.snapshot ();
               }
         in
         let dt = Obs.Clock.now_ns () -. a0 in
@@ -216,6 +259,7 @@ let run ?(config = Run_config.default) ~domains ~requests ~io (g : Serialized.t)
         | Runtime.Deadline_exceeded _ | Runtime.Kernel_failed _ ->
           if attempt <= config.Run_config.retries then begin
             Atomic.incr retries_total;
+            Obs.Flight.note Obs.Flight.Retry ~arg:(float_of_int attempt) g.Serialized.gname;
             if !Obs.Trace.on then Obs.Trace.incr_metric "pool.retry";
             backoff ();
             supervise (attempt + 1)
@@ -227,8 +271,15 @@ let run ?(config = Run_config.default) ~domains ~requests ~io (g : Serialized.t)
        | Runtime.Completed _ -> Atomic.set consec_failures 0
        | Runtime.Cancelled -> ()
        | Runtime.Deadline_exceeded _ | Runtime.Kernel_failed _ -> Atomic.incr consec_failures);
-      let dt = Obs.Clock.now_ns () -. t0 in
-      results.(r) <- { req_id = r; domain; stolen; outcome; attempts; shed = false; req_wall_ns = dt }
+      let finished = Obs.Clock.now_ns () in
+      let dt = finished -. t0 in
+      let latency =
+        match arrivals with Some _ -> Float.max 0.0 (finished -. arrival_abs) | None -> dt
+      in
+      Obs.Hdr.record lat_hdrs.(domain) latency;
+      results.(r) <-
+        { req_id = r; domain; stolen; outcome; attempts; shed = false; req_wall_ns = dt;
+          req_latency_ns = latency }
     end
   in
   let worker domain () =
@@ -261,21 +312,41 @@ let run ?(config = Run_config.default) ~domains ~requests ~io (g : Serialized.t)
      backs.  Restored after the joins. *)
   let gc = Gc.get () in
   Gc.set { gc with Gc.minor_heap_size = max gc.Gc.minor_heap_size (8 * 1024 * 1024) };
-  let t0 = Obs.Clock.now_ns () in
+  pool_t0 := Obs.Clock.now_ns ();
+  let t0 = !pool_t0 in
   let spawned = Array.init domains (fun d -> Domain.spawn (worker d)) in
   Array.iter Domain.join spawned;
   let wall_ns = Obs.Clock.now_ns () -. t0 in
   Gc.set gc;
+  (* Fold the per-domain recorders and the outcome tallies into one
+     metrics registry; this (not a trace session) is what
+     [metrics_exposition] serves, so it is populated unconditionally. *)
+  let metrics = Obs.Metrics.create () in
+  Array.iter (fun hdr -> Obs.Metrics.merge_hdr metrics "pool.request" hdr) lat_hdrs;
+  Array.iter
+    (fun r ->
+      if r.shed then Obs.Metrics.incr metrics "pool.shed"
+      else Obs.Metrics.incr metrics ("pool.outcome." ^ Runtime.outcome_label r.outcome))
+    results;
+  let retries_n = Atomic.get retries_total in
+  let steals_n = Atomic.get steals in
+  if retries_n > 0 then Obs.Metrics.add metrics "pool.retries" (float_of_int retries_n);
+  if steals_n > 0 then Obs.Metrics.add metrics "pool.steals" (float_of_int steals_n);
+  Obs.Metrics.high_water metrics "pool.domains" (float_of_int domains);
   {
     domains;
     requests;
     results;
-    steals = Atomic.get steals;
-    retries = Atomic.get retries_total;
+    steals = steals_n;
+    retries = retries_n;
     breaker_tripped = Atomic.get breaker_tripped;
     counts = count_outcomes results;
     wall_ns;
+    metrics = Obs.Metrics.snapshot metrics;
+    breaker_flight = !breaker_flight;
   }
+
+let metrics_exposition s = Obs.Prom.of_snapshot s.metrics
 
 let run_opts ?queue_capacity ?block_io ?spsc ~domains ~requests ~io g =
   run ~config:(Run_config.make ?queue_capacity ?block_io ?spsc ()) ~domains ~requests ~io g

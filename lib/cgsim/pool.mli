@@ -29,10 +29,16 @@
     - the per-attempt deadline, fault plan, hooks and queue knobs come
       from the same config, passed to {!Runtime.instantiate} verbatim.
 
-    When an {!Obs.Trace} session is active, each attempt is a span on a
-    per-domain track (pid 3), and the pool emits [pool.request] timings
-    plus [pool.retry], [pool.deadline], [pool.shed] and
-    [pool.outcome.<label>] counters. *)
+    Observability is two-tier.  Always on (tracing or not): request
+    latencies are recorded into per-domain {!Obs.Hdr} histograms and
+    merged into [stats.metrics] at join, alongside outcome counters —
+    {!metrics_exposition} renders them as Prometheus text; the flight
+    recorder window of the domain that opens the circuit breaker is
+    kept in [stats.breaker_flight].  Additionally, when an {!Obs.Trace}
+    session is active, each attempt is a span on a per-domain track
+    (pid 3), and the pool emits [pool.request] timings plus
+    [pool.retry], [pool.deadline], [pool.shed] and
+    [pool.outcome.<label>] counters into the session. *)
 
 type request_result = {
   req_id : int;
@@ -42,6 +48,10 @@ type request_result = {
   attempts : int;  (** Executions performed; 0 when shed. *)
   shed : bool;  (** Refused by the open circuit breaker. *)
   req_wall_ns : float;  (** Wall time across all attempts and backoffs. *)
+  req_latency_ns : float;
+      (** Closed loop: service time (= [req_wall_ns]).  Open loop ([run]
+          with [~arrivals]): completion minus scheduled arrival, i.e.
+          queue wait included — the latency a client would see. *)
 }
 
 type outcome_counts = {
@@ -62,6 +72,15 @@ type stats = {
   breaker_tripped : bool;  (** The circuit opened at least once. *)
   counts : outcome_counts;
   wall_ns : float;  (** Whole-pool wall time, spawn to last join. *)
+  metrics : Obs.Metrics.snapshot;
+      (** Always-on pool metrics: the ["pool.request"] latency HDR
+          histogram (per-domain recorders merged at join), outcome
+          counters ([pool.outcome.<label>], [pool.shed]), retry/steal
+          totals and a [pool.domains] gauge.  Populated with tracing
+          off. *)
+  breaker_flight : Obs.Flight.entry list;
+      (** Flight-recorder window (oldest first) from the domain that
+          opened the circuit breaker; [[]] when it never tripped. *)
 }
 
 val count_outcomes : request_result array -> outcome_counts
@@ -77,15 +96,30 @@ val count_outcomes : request_result array -> outcome_counts
     during instantiation or wiring — are captured in the corresponding
     {!request_result}, never raised; the pool always produces a result
     for every request.  The graph is linted once up front at
-    [config.lint], not per request.  Raises [Invalid_argument] if
-    [domains] or [requests] is not positive. *)
+    [config.lint], not per request.
+
+    [?arrivals] switches the pool from closed-loop (execute as fast as
+    the domains allow) to open-loop: [arrivals.(r)] is request [r]'s
+    scheduled arrival as a ns offset from pool start, the executing
+    domain waits out the arrival before starting, and
+    [req_latency_ns] counts from the scheduled arrival — so when the
+    pool cannot keep up, the backlog shows up as latency, exactly as a
+    client would measure it.  Offsets should be non-decreasing in
+    request id.  Raises [Invalid_argument] if the array length differs
+    from [requests], or if [domains]/[requests] is not positive. *)
 val run :
   ?config:Run_config.t ->
+  ?arrivals:float array ->
   domains:int ->
   requests:int ->
   io:(int -> Io.source list * Io.sink list) ->
   Serialized.t ->
   stats
+
+(** Prometheus text exposition (format 0.0.4) of [stats.metrics]:
+    [cgsim_pool_request] histogram series plus the outcome counters.
+    See {!Obs.Prom}. *)
+val metrics_exposition : stats -> string
 
 (** Deprecated optional-argument bridge; equivalent to building a
     {!Run_config.t} with the same knobs (no retries, no breaker). *)

@@ -103,6 +103,9 @@ type failure = {
   f_exn : exn;
   f_backtrace : string;  (* may be empty when backtrace recording is off *)
   f_src : Srcspan.t option;
+  f_flight : Obs.Flight.entry list;
+      (* flight-recorder window from the failing domain, oldest first;
+         captured whether or not tracing was on *)
 }
 
 type progress = {
@@ -112,6 +115,7 @@ type progress = {
   p_occupancy : (string * int) list;  (* net name, unretired elements *)
   p_last_kernel : string option;
   p_stats : Sched.stats;
+  p_flight : Obs.Flight.entry list;  (* as f_flight *)
 }
 
 type outcome =
@@ -191,8 +195,11 @@ let supervise_hooks (ctx : t option ref) =
         | (Sched.End_of_stream | Sched.Terminated) as e -> raise e
         | e ->
           let bt = Printexc.get_backtrace () in
+          Obs.Flight.note Obs.Flight.Body_raise inst.Serialized.inst_name;
           (match !ctx with
            | Some t when t.failure = None ->
+             (* Snapshot here, on the failing domain, while the ring still
+                holds the events leading up to the raise. *)
              t.failure <-
                Some
                  {
@@ -201,6 +208,7 @@ let supervise_hooks (ctx : t option ref) =
                    f_exn = e;
                    f_backtrace = String.trim bt;
                    f_src = inst.Serialized.src;
+                   f_flight = Obs.Flight.snapshot ();
                  }
            | _ -> ());
           raise e);
@@ -450,6 +458,7 @@ let run t ~sources ~sinks =
               p_occupancy = occupancy_snapshot t;
               p_last_kernel = stop.Sched.last_task;
               p_stats = stats;
+              p_flight = Obs.Flight.snapshot ();
             })
      | None ->
        (match stats.Sched.failed with
@@ -464,6 +473,7 @@ let run t ~sources ~sinks =
               f_exn = exn;
               f_backtrace = "";
               f_src = src_of_fiber t name;
+              f_flight = Obs.Flight.snapshot ();
             }))
 
 let stats_exn = function

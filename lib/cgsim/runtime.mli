@@ -72,6 +72,10 @@ type failure = {
   f_exn : exn;
   f_backtrace : string;  (** Empty when backtrace recording is off. *)
   f_src : Srcspan.t option;  (** Construction-site span, when known. *)
+  f_flight : Obs.Flight.entry list;
+      (** Flight-recorder window from the failing domain (oldest first):
+          the last {!Obs.Flight.capacity} scheduler/pool events leading
+          up to the failure.  Captured whether or not tracing is on. *)
 }
 
 (** Post-mortem snapshot of a run stopped by deadline or fuel: which
@@ -85,6 +89,7 @@ type progress = {
   p_occupancy : (string * int) list;  (** (net name, unretired elements) *)
   p_last_kernel : string option;
   p_stats : Sched.stats;
+  p_flight : Obs.Flight.entry list;  (** As {!failure.f_flight}. *)
 }
 
 type outcome =

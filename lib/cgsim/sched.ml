@@ -6,6 +6,8 @@ exception End_of_stream
 
 type task = {
   name : string;
+  prof_key : string;  (* "kernel.self_ns:<name>", precomputed so the
+                         per-slice profiler observe never allocates *)
   mutable gen : int;  (* park generation; wakers from older parks are stale *)
   mutable state : task_state;
 }
@@ -120,7 +122,7 @@ let current_name () =
 let now_ns = Obs.Clock.now_ns
 
 let spawn (t : t) ~name fn =
-  let task = { name; gen = 0; state = Initial fn } in
+  let task = { name; prof_key = Obs.Profile.prefix ^ name; gen = 0; state = Initial fn } in
   t.spawned <- t.spawned + 1;
   t.tasks <- task :: t.tasks;
   Queue.push task t.ready
@@ -147,6 +149,7 @@ let wake w =
   | Parked k when task.gen = w.w_gen ->
     task.state <- Ready k;
     w.w_sched.n_parked <- w.w_sched.n_parked - 1;
+    Obs.Flight.note Obs.Flight.Wake task.name;
     if !Obs.Trace.on then begin
       Obs.Trace.instant ~track:task.name ~cat:"sched" "wake";
       Obs.Trace.incr_metric "sched.wakes"
@@ -194,6 +197,7 @@ let set_stop t reason =
     t.stop <- Some reason;
     t.stop_info <-
       Some { reason; parked = parked_names t; last_task = t.last_ran; stop_slices = t.slices };
+    Obs.Flight.note Obs.Flight.Stop (stop_reason_to_string reason);
     if !Obs.Trace.on then begin
       Obs.Trace.instant ~track:"<scheduler>" ~cat:"sched" (stop_reason_to_string reason);
       Obs.Trace.incr_metric "sched.cancel"
@@ -231,6 +235,7 @@ let fiber_handler (t : t) (task : task) : (unit, unit) handler =
               task.gen <- task.gen + 1;
               task.state <- Parked k;
               t.n_parked <- t.n_parked + 1;
+              Obs.Flight.note Obs.Flight.Park task.name;
               if !Obs.Trace.on then begin
                 Obs.Trace.instant ~track:task.name ~cat:"sched" "park";
                 Obs.Trace.incr_metric "sched.parks"
@@ -267,11 +272,15 @@ let run_slice (t : t) (task : task) =
   t.kernel_ns <- t.kernel_ns +. (t1 -. t0);
   t.slices <- t.slices + 1;
   t.last_ran <- Some task.name;
+  Obs.Flight.note_at ~ts:t1 Obs.Flight.Slice ~arg:(t1 -. t0) task.name;
   if !Obs.Trace.on then begin
     (* The span duration is exactly what was added to kernel_ns, so the
        exported trace and Sched.stats stay mutually consistent. *)
     Obs.Trace.span ~track:task.name ~cat:"sched" ~name:"slice" ~ts_ns:t0 ~dur_ns:(t1 -. t0) ();
-    Obs.Trace.observe_ns "sched.slice_ns" (t1 -. t0)
+    Obs.Trace.observe_ns "sched.slice_ns" (t1 -. t0);
+    (* Per-kernel self time: the same slice duration keyed by kernel, so
+       Obs.Profile can render a sorted profile and collapsed stacks. *)
+    Obs.Trace.observe_ns task.prof_key (t1 -. t0)
   end;
   slot := saved
 

@@ -1,0 +1,150 @@
+(* HDR-style log-linear histogram.
+
+   The log2-bucket histogram that used to back Obs.Metrics answers
+   "which power of two" — a p99 of 1.7 µs and one of 3.3 µs land in the
+   same bucket.  Production latency work (pool.request, the loadtest
+   percentiles) needs quantiles with a bounded RELATIVE error, which is
+   what the log-linear layout gives: every power-of-two octave is split
+   into [sub_count] equal-width linear sub-buckets, so the bucket width
+   is always at most value/sub_count.
+
+   Values are recorded as non-negative integer nanoseconds.  Buckets:
+
+   - n in [0, sub_count): bucket n exactly (integer resolution, zero
+     quantisation error);
+   - n >= sub_count with top bit at position msb: the octave is split
+     into sub_count buckets of width 2^(msb - sub_bits); the reported
+     representative is the HIGHEST value of the bucket, so the relative
+     error of any quantile is < 1/sub_count (~0.78 %), one-sided (never
+     under-reports).
+
+   Recording is O(1) (two float ops and an array increment), the layout
+   is a plain int array, and two histograms with the same layout merge
+   by bucket-wise addition — each pool domain records into its own
+   histogram with no synchronisation and the pool merges at join time.
+   The structure itself is NOT thread-safe; share it only under a lock
+   (Obs.Metrics does) or per-domain. *)
+
+let sub_bits = 7
+
+let sub_count = 1 lsl sub_bits (* 128 linear sub-buckets per octave *)
+
+(* Worst-case relative error of a reported quantile vs the exact rank
+   statistic of the recorded integers: below [sub_count] buckets are
+   exact, above it the bucket width over its lowest value is bounded by
+   1/sub_count. *)
+let rel_error = 1.0 /. float_of_int sub_count
+
+(* Highest representable msb for an OCaml int is 62; octave index
+   o = msb - sub_bits + 1 <= 56. *)
+let n_buckets = ((62 - sub_bits + 1) * sub_count) + sub_count
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  {
+    counts = Array.make n_buckets 0;
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let msb_of n = snd (Float.frexp (float_of_int n)) - 1
+
+let index_of n =
+  if n < sub_count then n
+  else begin
+    let msb = msb_of n in
+    let octave = msb - sub_bits + 1 in
+    let sub = (n lsr (msb - sub_bits)) - sub_count in
+    (octave * sub_count) + sub
+  end
+
+(* Highest value mapping to bucket [i] (the reported representative). *)
+let value_of i =
+  if i < sub_count then float_of_int i
+  else begin
+    let octave = i / sub_count in
+    let sub = i mod sub_count in
+    let shift = octave - 1 in
+    float_of_int (((sub + sub_count + 1) lsl shift) - 1)
+  end
+
+let record_n t v n =
+  if n > 0 then begin
+    let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+    (* Clamp above max_int so the float->int conversion stays defined;
+       4e18 ns is ~127 years, far past any latency we record. *)
+    let i = index_of (int_of_float (Float.round (Float.min v 4.0e18))) in
+    t.counts.(i) <- t.counts.(i) + n;
+    t.count <- t.count + n;
+    t.sum <- t.sum +. (v *. float_of_int n);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let record t v = record_n t v 1
+
+let count t = t.count
+
+let sum t = t.sum
+
+let min_value t = if t.count = 0 then 0.0 else t.min_v
+
+let max_value t = if t.count = 0 then 0.0 else t.max_v
+
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let quantile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int t.count)) in
+    let rank = max 1 (min t.count rank) in
+    let cum = ref 0 and i = ref 0 and found = ref (-1) in
+    while !found < 0 && !i < n_buckets do
+      cum := !cum + t.counts.(!i);
+      if !cum >= rank then found := !i;
+      incr i
+    done;
+    let v = if !found < 0 then t.max_v else value_of !found in
+    Float.min t.max_v (Float.max t.min_v v)
+  end
+
+let merge_into ~into src =
+  Array.iteri (fun i n -> if n > 0 then into.counts.(i) <- into.counts.(i) + n) src.counts;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.min_v < into.min_v then into.min_v <- src.min_v;
+  if src.max_v > into.max_v then into.max_v <- src.max_v
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let copy t =
+  let c = create () in
+  merge_into ~into:c t;
+  c
+
+(* Non-empty buckets as (upper bound, cumulative count), ascending —
+   the shape both quantile readers and the Prometheus [_bucket] series
+   consume. *)
+let cumulative t =
+  let acc = ref [] and cum = ref 0 in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        cum := !cum + n;
+        acc := (value_of i, !cum) :: !acc
+      end)
+    t.counts;
+  List.rev !acc

@@ -1,22 +1,14 @@
 type counter = { mutable total : float; mutable events : int }
 
-(* Power-of-two buckets: bucket [i] counts values in [2^i, 2^(i+1))
-   (bucket 0 also takes everything below 2).  64 buckets cover any ns
-   quantity we can measure; recording is two array ops, so histograms
-   are cheap enough for per-element paths. *)
-type histo = {
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-  buckets : int array;
-}
-
 type gauge = { mutable peak : float }
 
+(* Histograms are HDR log-linear (Obs.Hdr): quantiles carry a bounded
+   ~0.78 % relative error instead of the power-of-two bucket resolution
+   this module started with.  Recording is still two array ops, cheap
+   enough for per-element paths. *)
 type t = {
   counters : (string, counter) Hashtbl.t;
-  histos : (string, histo) Hashtbl.t;
+  histos : (string, Hdr.t) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   lock : Mutex.t;
 }
@@ -45,32 +37,20 @@ let add t name v =
 
 let incr t name = add t name 1.0
 
-let bucket_of v =
-  if v < 2.0 then 0
-  else begin
-    let e = snd (Float.frexp v) - 1 in
-    if e > 63 then 63 else e
-  end
+let find_histo t name =
+  match Hashtbl.find_opt t.histos name with
+  | Some h -> h
+  | None ->
+    let h = Hdr.create () in
+    Hashtbl.add t.histos name h;
+    h
 
-let observe t name v =
-  locked t (fun () ->
-      let h =
-        match Hashtbl.find_opt t.histos name with
-        | Some h -> h
-        | None ->
-          let h =
-            { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
-              buckets = Array.make 64 0 }
-          in
-          Hashtbl.add t.histos name h;
-          h
-      in
-      h.h_count <- h.h_count + 1;
-      h.h_sum <- h.h_sum +. v;
-      if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v;
-      let b = bucket_of v in
-      h.buckets.(b) <- h.buckets.(b) + 1)
+let observe t name v = locked t (fun () -> Hdr.record (find_histo t name) v)
+
+(* Merge a privately-accumulated HDR histogram (e.g. one per pool
+   domain) into histogram [name] — the aggregation path that keeps hot
+   recording lock-free. *)
+let merge_hdr t name hdr = locked t (fun () -> Hdr.merge_into ~into:(find_histo t name) hdr)
 
 let high_water t name v =
   locked t (fun () ->
@@ -99,6 +79,8 @@ type snapshot = {
 
 let by_name n1 n2 = String.compare n1 n2
 
+let quantile_rel_error = Hdr.rel_error
+
 let snapshot (t : t) =
   locked t (fun () ->
       let counters =
@@ -110,21 +92,13 @@ let snapshot (t : t) =
       let histograms =
         Hashtbl.fold
           (fun h_name h acc ->
-            let cum = ref 0 and entries = ref [] in
-            Array.iteri
-              (fun i n ->
-                if n > 0 then begin
-                  cum := !cum + n;
-                  entries := (Float.ldexp 1.0 (i + 1), !cum) :: !entries
-                end)
-              h.buckets;
             {
               h_name;
-              count = h.h_count;
-              sum = h.h_sum;
-              min_v = h.h_min;
-              max_v = h.h_max;
-              cumulative = List.rev !entries;
+              count = Hdr.count h;
+              sum = Hdr.sum h;
+              min_v = (if Hdr.count h = 0 then infinity else Hdr.min_value h);
+              max_v = (if Hdr.count h = 0 then neg_infinity else Hdr.max_value h);
+              cumulative = Hdr.cumulative h;
             }
             :: acc)
           t.histos []
@@ -140,8 +114,10 @@ let snapshot (t : t) =
 
 let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
 
-(* Bucket-resolution quantile: the upper bound of the first bucket whose
-   cumulative count reaches the rank, clamped to the observed extremes. *)
+(* Quantile over the snapshot's cumulative buckets: the upper bound of
+   the first bucket whose cumulative count reaches the rank, clamped to
+   the observed extremes.  With the HDR layout this is within
+   {!quantile_rel_error} of the exact rank statistic. *)
 let quantile h q =
   if h.count = 0 then 0.0
   else begin
@@ -167,11 +143,13 @@ let pp_snapshot ppf s =
     List.iter (fun g -> Format.fprintf ppf "  %-40s %14.1f@," g.g_name g.peak) s.gauges
   end;
   if s.histograms <> [] then begin
-    Format.fprintf ppf "histograms (ns):@,";
+    Format.fprintf ppf "histograms (ns, quantile rel. error <= %.2f%%):@,"
+      (100.0 *. quantile_rel_error);
     List.iter
       (fun h ->
-        Format.fprintf ppf "  %-40s n=%-8d mean=%-10.0f p50=%-10.0f p99=%-10.0f max=%.0f@,"
-          h.h_name h.count (mean h) (quantile h 0.5) (quantile h 0.99) h.max_v)
+        Format.fprintf ppf
+          "  %-40s n=%-8d mean=%-10.0f p50=%-10.0f p99=%-10.0f p999=%-10.0f max=%.0f@," h.h_name
+          h.count (mean h) (quantile h 0.5) (quantile h 0.99) (quantile h 0.999) h.max_v)
       s.histograms
   end;
   Format.fprintf ppf "@]"

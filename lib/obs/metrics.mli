@@ -1,5 +1,5 @@
-(** Named aggregate metrics: counters, high-water gauges and log2-bucket
-    latency histograms.
+(** Named aggregate metrics: counters, high-water gauges and HDR
+    log-linear latency histograms ({!Hdr}).
 
     Metrics complement the event ring: the ring holds a bounded window
     of individual events, metrics aggregate over the whole run (queue
@@ -17,8 +17,13 @@ val add : t -> string -> float -> unit
 val incr : t -> string -> unit
 
 (** [observe t name v] records [v] (typically ns) into histogram
-    [name]: power-of-two buckets, plus exact count/sum/min/max. *)
+    [name]: HDR log-linear buckets ({!quantile} error bounded by
+    {!quantile_rel_error}), plus exact count/sum/min/max. *)
 val observe : t -> string -> float -> unit
+
+(** [merge_hdr t name h] adds every bucket of a privately-accumulated
+    {!Hdr.t} (e.g. one per pool domain) into histogram [name]. *)
+val merge_hdr : t -> string -> Hdr.t -> unit
 
 (** [high_water t name v] raises gauge [name] to at least [v]. *)
 val high_water : t -> string -> float -> unit
@@ -48,8 +53,12 @@ val snapshot : t -> snapshot
 
 val mean : histo_snapshot -> float
 
-(** [quantile h q] for [q] in [0,1], at bucket resolution (the value is
-    an upper bound clamped to the observed min/max). *)
+(** Worst-case relative error of {!quantile} against the exact rank
+    statistic of the recorded values (the {!Hdr} bucket resolution). *)
+val quantile_rel_error : float
+
+(** [quantile h q] for [q] in [0,1]: an upper bound clamped to the
+    observed min/max, within {!quantile_rel_error} of exact. *)
 val quantile : histo_snapshot -> float -> float
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,75 @@
+(* Per-kernel self-time profiles.
+
+   The scheduler observes every slice it runs into a
+   "kernel.self_ns:NAME" HDR histogram (self time: the kernel body's
+   own slice durations, queue waits excluded by construction since a
+   parked fiber is not running).  This module renders those histograms
+   as a profile: a table sorted by total self time, and a collapsed
+   stack ("root;kernel value") that flamegraph.pl consumes directly. *)
+
+let prefix = "kernel.self_ns:"
+
+type row = {
+  kernel : string;
+  slices : int;
+  self_ns : float;  (* total self time *)
+  mean_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  max_ns : float;
+  share : float;  (* fraction of summed self time across kernels *)
+}
+
+let rows (s : Metrics.snapshot) =
+  let kernels =
+    List.filter_map
+      (fun (h : Metrics.histo_snapshot) ->
+        let n = String.length prefix in
+        if String.length h.Metrics.h_name > n && String.sub h.Metrics.h_name 0 n = prefix then
+          Some (String.sub h.Metrics.h_name n (String.length h.Metrics.h_name - n), h)
+        else None)
+      s.Metrics.histograms
+  in
+  let total = List.fold_left (fun acc (_, h) -> acc +. h.Metrics.sum) 0.0 kernels in
+  kernels
+  |> List.map (fun (kernel, (h : Metrics.histo_snapshot)) ->
+         {
+           kernel;
+           slices = h.Metrics.count;
+           self_ns = h.Metrics.sum;
+           mean_ns = Metrics.mean h;
+           p50_ns = Metrics.quantile h 0.5;
+           p99_ns = Metrics.quantile h 0.99;
+           p999_ns = Metrics.quantile h 0.999;
+           max_ns = h.Metrics.max_v;
+           share = (if total > 0.0 then h.Metrics.sum /. total else 0.0);
+         })
+  |> List.sort (fun a b -> compare b.self_ns a.self_ns)
+
+let table s =
+  match rows s with
+  | [] -> "no kernel self-time samples (run with tracing on)\n"
+  | rows ->
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf "%-28s %8s %12s %6s %10s %10s %10s %10s\n" "kernel" "slices" "self_ms"
+         "share" "mean_ns" "p50_ns" "p99_ns" "p999_ns");
+    List.iter
+      (fun r ->
+        Buffer.add_string b
+          (Printf.sprintf "%-28s %8d %12.3f %5.1f%% %10.0f %10.0f %10.0f %10.0f\n" r.kernel
+             r.slices (r.self_ns /. 1e6) (100.0 *. r.share) r.mean_ns r.p50_ns r.p99_ns r.p999_ns))
+      rows;
+    Buffer.contents b
+
+(* flamegraph.pl collapsed-stack format: "frame;frame value", one line
+   per stack, integer values.  Our "stacks" are one frame deep under a
+   synthetic root; the value is total self time in ns. *)
+let collapsed ?(root = "cgsim") s =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b (Printf.sprintf "%s;%s %.0f\n" root r.kernel r.self_ns))
+    (rows s);
+  Buffer.contents b

@@ -1,0 +1,30 @@
+(** Per-kernel self-time profiles over the ["kernel.self_ns:NAME"]
+    histograms the scheduler records (one HDR histogram per kernel,
+    slice durations; queue waits excluded since parked fibers are not
+    running). *)
+
+(** The histogram-name prefix the scheduler uses
+    (["kernel.self_ns:"]). *)
+val prefix : string
+
+type row = {
+  kernel : string;
+  slices : int;
+  self_ns : float;  (** Total self time. *)
+  mean_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  max_ns : float;
+  share : float;  (** Fraction of summed self time across kernels. *)
+}
+
+(** Profile rows, sorted by total self time, descending. *)
+val rows : Metrics.snapshot -> row list
+
+(** Render {!rows} as an aligned text table. *)
+val table : Metrics.snapshot -> string
+
+(** flamegraph.pl collapsed-stack lines (["root;kernel self_ns"]),
+    one per kernel. *)
+val collapsed : ?root:string -> Metrics.snapshot -> string

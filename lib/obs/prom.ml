@@ -1,0 +1,303 @@
+(* Prometheus text exposition (format 0.0.4) over a Metrics.snapshot.
+
+   Metric keys follow the in-tree convention "family.parts:instance"
+   (e.g. "kernel.self_ns:farrow0", "queue.blocked_put:bitonic/net3"):
+   the part before ':' becomes the metric family (dots mapped to
+   underscores, "cgsim_" namespace prefixed), the part after it becomes
+   an {id="..."} label, so per-kernel/per-net series aggregate the way
+   PromQL expects.  Counters get the _total suffix, gauges render
+   as-is, histograms emit the full _bucket/_sum/_count series with
+   cumulative counts and a +Inf bucket — the HDR buckets of Obs.Hdr
+   are already cumulative upper bounds, which is exactly the le
+   contract.
+
+   [validate] is the strict parser CI runs over every exposition the
+   tools write: line shapes, name/label syntax, declared types, bucket
+   monotonicity and +Inf/_count agreement all checked. *)
+
+let default_namespace = "cgsim_"
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let sanitize name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok = if i = 0 then is_name_start c else is_name_char c in
+      if not ok then Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  if s = "" then "_" else s
+
+(* "family.parts:instance" -> sanitized family, optional instance. *)
+let split_key key =
+  match String.index_opt key ':' with
+  | None -> sanitize key, None
+  | Some i ->
+    let base = String.sub key 0 i in
+    let id = String.sub key (i + 1) (String.length key - i - 1) in
+    sanitize base, if id = "" then None else Some id
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let labels_string = function
+  | None -> ""
+  | Some id -> Printf.sprintf "{id=\"%s\"}" (escape_label id)
+
+(* le needs an extra label spot inside an existing (or empty) set. *)
+let labels_with_le id le =
+  match id with
+  | None -> Printf.sprintf "{le=\"%s\"}" le
+  | Some id -> Printf.sprintf "{id=\"%s\",le=\"%s\"}" (escape_label id) le
+
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else if Float.is_finite f then Printf.sprintf "%.9g" f
+  else if f > 0.0 then "+Inf"
+  else if f < 0.0 then "-Inf"
+  else "NaN"
+
+(* Group snapshot entries family-first so each family gets exactly one
+   # TYPE line; first-encounter order (snapshot is name-sorted). *)
+let group_by_family entries =
+  let order = ref [] in
+  let table : (string, (string option * 'a) list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (key, payload) ->
+      let family, id = split_key key in
+      match Hashtbl.find_opt table family with
+      | Some cell -> cell := (id, payload) :: !cell
+      | None ->
+        Hashtbl.add table family (ref [ id, payload ]);
+        order := family :: !order)
+    entries;
+  List.rev_map (fun family -> family, List.rev !(Hashtbl.find table family)) !order
+
+let of_snapshot ?(namespace = default_namespace) (s : Metrics.snapshot) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b l; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (family, series) ->
+      let name = namespace ^ family ^ "_total" in
+      line "# TYPE %s counter" name;
+      List.iter
+        (fun (id, (c : Metrics.counter_snapshot)) ->
+          line "%s%s %s" name (labels_string id) (number c.Metrics.total))
+        series)
+    (group_by_family (List.map (fun (c : Metrics.counter_snapshot) -> c.Metrics.c_name, c) s.Metrics.counters));
+  List.iter
+    (fun (family, series) ->
+      let name = namespace ^ family in
+      line "# TYPE %s gauge" name;
+      List.iter
+        (fun (id, (g : Metrics.gauge_snapshot)) ->
+          line "%s%s %s" name (labels_string id) (number g.Metrics.peak))
+        series)
+    (group_by_family (List.map (fun (g : Metrics.gauge_snapshot) -> g.Metrics.g_name, g) s.Metrics.gauges));
+  List.iter
+    (fun (family, series) ->
+      let name = namespace ^ family in
+      line "# TYPE %s histogram" name;
+      List.iter
+        (fun (id, (h : Metrics.histo_snapshot)) ->
+          List.iter
+            (fun (bound, cum) -> line "%s_bucket%s %d" name (labels_with_le id (number bound)) cum)
+            h.Metrics.cumulative;
+          line "%s_bucket%s %d" name (labels_with_le id "+Inf") h.Metrics.count;
+          line "%s_sum%s %s" name (labels_string id) (number h.Metrics.sum);
+          line "%s_count%s %d" name (labels_string id) h.Metrics.count)
+        series)
+    (group_by_family (List.map (fun (h : Metrics.histo_snapshot) -> h.Metrics.h_name, h) s.Metrics.histograms));
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Strict validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type sample = { s_name : string; s_labels : (string * string) list; s_value : float }
+
+exception Bad of string
+
+let failv fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let parse_metric_name line pos =
+  let n = String.length line in
+  let start = !pos in
+  if !pos >= n || not (is_name_start line.[!pos]) then failv "expected metric name";
+  while !pos < n && is_name_char line.[!pos] do
+    incr pos
+  done;
+  String.sub line start (!pos - start)
+
+let parse_labels line pos =
+  let n = String.length line in
+  if !pos < n && line.[!pos] = '{' then begin
+    incr pos;
+    let labels = ref [] in
+    let rec one () =
+      let k = parse_metric_name line pos in
+      if !pos + 1 >= n || line.[!pos] <> '=' || line.[!pos + 1] <> '"' then
+        failv "label %s: expected =\"" k;
+      pos := !pos + 2;
+      let b = Buffer.create 16 in
+      let rec scan () =
+        if !pos >= n then failv "unterminated label value"
+        else
+          match line.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            if !pos + 1 >= n then failv "truncated escape";
+            (match line.[!pos + 1] with
+             | '\\' -> Buffer.add_char b '\\'
+             | '"' -> Buffer.add_char b '"'
+             | 'n' -> Buffer.add_char b '\n'
+             | c -> failv "bad escape \\%c" c);
+            pos := !pos + 2;
+            scan ()
+          | c ->
+            Buffer.add_char b c;
+            incr pos;
+            scan ()
+      in
+      scan ();
+      labels := (k, Buffer.contents b) :: !labels;
+      if !pos < n && line.[!pos] = ',' then begin
+        incr pos;
+        one ()
+      end
+      else if !pos < n && line.[!pos] = '}' then incr pos
+      else failv "expected , or } in labels"
+    in
+    one ();
+    List.rev !labels
+  end
+  else []
+
+let parse_value s =
+  match String.trim s with
+  | "+Inf" -> infinity
+  | "-Inf" -> neg_infinity
+  | "NaN" -> nan
+  | t -> (match float_of_string_opt t with Some f -> f | None -> failv "bad value %S" t)
+
+let parse_sample line =
+  let pos = ref 0 in
+  let name = parse_metric_name line pos in
+  let labels = parse_labels line pos in
+  let n = String.length line in
+  if !pos >= n || line.[!pos] <> ' ' then failv "expected space before value";
+  let value = parse_value (String.sub line !pos (n - !pos)) in
+  { s_name = name; s_labels = labels; s_value = value }
+
+(* The family a sample belongs to, given the declared types. *)
+let family_of types name =
+  if Hashtbl.mem types name then Some name
+  else
+    let strip suffix =
+      let ls = String.length suffix and ln = String.length name in
+      if ln > ls && String.sub name (ln - ls) ls = suffix then
+        let f = String.sub name 0 (ln - ls) in
+        if Hashtbl.find_opt types f = Some "histogram" then Some f else None
+      else None
+    in
+    match strip "_bucket" with
+    | Some f -> Some f
+    | None -> (match strip "_sum" with Some f -> Some f | None -> strip "_count")
+
+let validate text =
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  (* (family, non-le labels) -> buckets in order, sum seen, count value *)
+  let hists : (string * (string * string) list, (float * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let counts : (string * (string * string) list, float) Hashtbl.t = Hashtbl.create 16 in
+  let sums : (string * (string * string) list, unit) Hashtbl.t = Hashtbl.create 16 in
+  try
+    let lines = String.split_on_char '\n' text in
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        let err fmt = Printf.ksprintf (fun m -> raise (Bad (Printf.sprintf "line %d: %s" lineno m))) fmt in
+        let line = if String.length line > 0 && line.[String.length line - 1] = '\r' then String.sub line 0 (String.length line - 1) else line in
+        if line = "" then ()
+        else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+          match String.split_on_char ' ' (String.sub line 7 (String.length line - 7)) with
+          | [ name; ty ] ->
+            if not (String.length name > 0 && is_name_start name.[0] && String.for_all is_name_char name) then
+              err "bad metric name %S" name;
+            if not (List.mem ty [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ]) then
+              err "bad type %S" ty;
+            if Hashtbl.mem types name then err "duplicate TYPE for %s" name;
+            Hashtbl.add types name ty
+          | _ -> err "malformed # TYPE line"
+        end
+        else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then ()
+        else if String.length line >= 1 && line.[0] = '#' then err "unexpected comment %S" line
+        else begin
+          let s = try parse_sample line with Bad m -> err "%s" m in
+          match family_of types s.s_name with
+          | None -> err "sample %s has no preceding # TYPE" s.s_name
+          | Some family ->
+            let is_suffix suffix =
+              let ls = String.length suffix and ln = String.length s.s_name in
+              ln > ls && String.sub s.s_name (ln - ls) ls = suffix
+              && Hashtbl.find_opt types family = Some "histogram"
+            in
+            if Hashtbl.find_opt types family = Some "histogram" then begin
+              let base_labels = List.filter (fun (k, _) -> k <> "le") s.s_labels in
+              if is_suffix "_bucket" then begin
+                let le =
+                  match List.assoc_opt "le" s.s_labels with
+                  | Some le -> parse_value le
+                  | None -> err "%s_bucket without le label" family
+                in
+                let key = family, base_labels in
+                let cell =
+                  match Hashtbl.find_opt hists key with
+                  | Some c -> c
+                  | None ->
+                    let c = ref [] in
+                    Hashtbl.add hists key c;
+                    c
+                in
+                (match !cell with
+                 | (prev_le, prev_cum) :: _ ->
+                   if not (le > prev_le) then err "%s buckets not in ascending le order" family;
+                   if s.s_value < prev_cum then err "%s bucket counts not cumulative" family
+                 | [] -> ());
+                cell := (le, s.s_value) :: !cell
+              end
+              else if is_suffix "_count" then Hashtbl.replace counts (family, base_labels) s.s_value
+              else if is_suffix "_sum" then Hashtbl.replace sums (family, base_labels) ()
+              else err "histogram %s has stray sample %s" family s.s_name
+            end
+        end)
+      lines;
+    Hashtbl.iter
+      (fun (family, labels) cell ->
+        (match !cell with
+         | (le, cum) :: _ ->
+           if le <> infinity then failv "%s: bucket series does not end with +Inf" family
+           else begin
+             match Hashtbl.find_opt counts (family, labels) with
+             | Some c when c = cum -> ()
+             | Some c -> failv "%s: +Inf bucket %g but _count %g" family cum c
+             | None -> failv "%s: _bucket without _count" family
+           end
+         | [] -> ());
+        if not (Hashtbl.mem sums (family, labels)) then failv "%s: _bucket without _sum" family)
+      hists;
+    Ok ()
+  with Bad m -> Error m

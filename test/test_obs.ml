@@ -315,6 +315,259 @@ let test_csv_and_summary () =
     && String.sub summary 0 11 = "obs session")
 
 (* ------------------------------------------------------------------ *)
+(* HDR histogram: advertised accuracy, checked against exact ranks     *)
+(* ------------------------------------------------------------------ *)
+
+(* The exact rank statistic Hdr.quantile approximates: with the same
+   rank convention (ceil (q*n), clamped to [1,n]). *)
+let exact_quantile values q =
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+  List.nth sorted (rank - 1)
+
+let positive_values =
+  (* Spans the layout: exact integer range, several octaves, big values. *)
+  QCheck.(list_of_size Gen.(int_range 1 200) (oneof [ float_range 0.0 500.0; float_range 0.0 5e9 ]))
+
+let test_hdr_quantile_error_bound =
+  QCheck.Test.make ~count:200 ~name:"Hdr.quantile within advertised relative error"
+    positive_values (fun values ->
+      QCheck.assume (values <> []);
+      let h = Obs.Hdr.create () in
+      List.iter (Obs.Hdr.record h) values;
+      List.for_all
+        (fun q ->
+          let exact = exact_quantile values q in
+          let got = Obs.Hdr.quantile h q in
+          (* One-sided bucket upper bound: never below the exact value
+             (minus the 0.5 ns record-time rounding), above it by at
+             most rel_error plus 1 ns of rounding. *)
+          got >= exact -. 0.5 -. 1e-9 && got -. exact <= (exact *. Obs.Hdr.rel_error) +. 1.0)
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ])
+
+let test_hdr_merge_commutes =
+  QCheck.Test.make ~count:100 ~name:"Hdr.merge commutes and matches recording everything"
+    (QCheck.pair positive_values positive_values) (fun (xs, ys) ->
+      let record vs =
+        let h = Obs.Hdr.create () in
+        List.iter (Obs.Hdr.record h) vs;
+        h
+      in
+      let ab = Obs.Hdr.merge (record xs) (record ys) in
+      let ba = Obs.Hdr.merge (record ys) (record xs) in
+      let all = record (xs @ ys) in
+      Obs.Hdr.cumulative ab = Obs.Hdr.cumulative ba
+      && Obs.Hdr.cumulative ab = Obs.Hdr.cumulative all
+      && Obs.Hdr.count ab = List.length xs + List.length ys
+      && List.for_all
+           (fun q -> Obs.Hdr.quantile ab q = Obs.Hdr.quantile ba q)
+           [ 0.5; 0.99; 0.999 ])
+
+let test_hdr_basics () =
+  let h = Obs.Hdr.create () in
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Obs.Hdr.quantile h 0.5);
+  (* Below sub_count the layout is exact: one integer per bucket. *)
+  for i = 0 to 100 do
+    Obs.Hdr.record h (float_of_int i)
+  done;
+  Alcotest.(check (float 0.0)) "exact small-range median" 50.0 (Obs.Hdr.quantile h 0.5);
+  Alcotest.(check (float 0.0)) "p100 is max" 100.0 (Obs.Hdr.quantile h 1.0);
+  Alcotest.(check int) "count" 101 (Obs.Hdr.count h);
+  (* NaN and negatives clamp to zero instead of corrupting the layout. *)
+  Obs.Hdr.record h Float.nan;
+  Obs.Hdr.record h (-5.0);
+  Alcotest.(check int) "hostile inputs still counted" 103 (Obs.Hdr.count h);
+  Alcotest.(check (float 0.0)) "clamped to zero" 0.0 (Obs.Hdr.min_value h)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_flight_wraparound () =
+  Obs.Flight.clear ();
+  let n = Obs.Flight.capacity + 50 in
+  for i = 1 to n do
+    Obs.Flight.note Obs.Flight.Note ~arg:(float_of_int i) "w"
+  done;
+  Alcotest.(check int) "noted counts everything" n (Obs.Flight.noted ());
+  let snap = Obs.Flight.snapshot () in
+  Alcotest.(check int) "window capped at capacity" Obs.Flight.capacity (List.length snap);
+  let args = List.map (fun (e : Obs.Flight.entry) -> e.Obs.Flight.fl_arg) snap in
+  Alcotest.(check (float 0.0)) "oldest retained is n-capacity+1"
+    (float_of_int (n - Obs.Flight.capacity + 1))
+    (List.hd args);
+  Alcotest.(check (float 0.0)) "newest retained is n" (float_of_int n) (List.nth args (Obs.Flight.capacity - 1));
+  Alcotest.(check bool) "chronological" true (List.sort compare args = args);
+  Obs.Flight.clear ();
+  Alcotest.(check int) "clear resets" 0 (List.length (Obs.Flight.snapshot ()))
+
+let test_flight_disabled () =
+  Obs.Flight.clear ();
+  Obs.Flight.set_enabled false;
+  Obs.Flight.note Obs.Flight.Note "invisible";
+  Obs.Flight.set_enabled true;
+  Alcotest.(check int) "disabled notes dropped" 0 (List.length (Obs.Flight.snapshot ()));
+  Obs.Flight.note Obs.Flight.Note "visible";
+  Alcotest.(check int) "re-enabled notes land" 1 (List.length (Obs.Flight.snapshot ()));
+  Obs.Flight.clear ()
+
+let fail_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"obs_fail"
+    [ Cgsim.Kernel.in_port "in" Cgsim.Dtype.I32; Cgsim.Kernel.out_port "out" Cgsim.Dtype.I32 ]
+    (fun b ->
+      let i = Cgsim.Kernel.rd b 0 in
+      ignore (Cgsim.Port.get i);
+      ignore (Cgsim.Kernel.wr b 0);
+      failwith "obs_fail: boom")
+
+let () = Cgsim.Registry.register fail_kernel
+
+let fail_graph () =
+  Cgsim.Builder.make ~name:"obsfail" ~inputs:[ "x", Cgsim.Dtype.I32 ] (fun b conns ->
+      let out = Cgsim.Builder.net b Cgsim.Dtype.I32 in
+      ignore (Cgsim.Builder.add_kernel b fail_kernel [ List.hd conns; out ]);
+      [ out ])
+
+(* The tentpole property: failure outcomes carry recent-history context
+   with tracing OFF — the flight recorder runs unconditionally. *)
+let test_flight_snapshot_on_failure () =
+  Alcotest.(check bool) "tracing off" false (Obs.Trace.is_on ());
+  let sink, _ = Cgsim.Io.int_buffer () in
+  match
+    Cgsim.Runtime.execute (fail_graph ())
+      ~sources:[ Cgsim.Io.of_int_array Cgsim.Dtype.I32 (Array.init 16 (fun i -> i)) ]
+      ~sinks:[ sink ]
+  with
+  | Cgsim.Runtime.Kernel_failed f ->
+    Alcotest.(check bool) "flight snapshot non-empty" true (f.Cgsim.Runtime.f_flight <> []);
+    Alcotest.(check bool) "records the body raise" true
+      (List.exists
+         (fun (e : Obs.Flight.entry) -> e.Obs.Flight.fl_kind = Obs.Flight.Body_raise)
+         f.Cgsim.Runtime.f_flight);
+    Alcotest.(check bool) "renders" true
+      (String.length (Obs.Flight.render f.Cgsim.Runtime.f_flight) > 0)
+  | o -> Alcotest.failf "expected Kernel_failed, got %a" Cgsim.Runtime.pp_outcome o
+
+let test_flight_snapshot_on_deadline () =
+  Alcotest.(check bool) "tracing off" false (Obs.Trace.is_on ());
+  let sink, _ = Cgsim.Io.int_buffer () in
+  match
+    Cgsim.Runtime.execute
+      ~config:Cgsim.Run_config.(with_max_steps 3 default)
+      (pipe_graph ())
+      ~sources:[ Cgsim.Io.of_int_array Cgsim.Dtype.I32 (Array.init 500 (fun i -> i)) ]
+      ~sinks:[ sink ]
+  with
+  | Cgsim.Runtime.Deadline_exceeded p ->
+    Alcotest.(check bool) "flight snapshot non-empty" true (p.Cgsim.Runtime.p_flight <> []);
+    Alcotest.(check bool) "records scheduler slices" true
+      (List.exists
+         (fun (e : Obs.Flight.entry) -> e.Obs.Flight.fl_kind = Obs.Flight.Slice)
+         p.Cgsim.Runtime.p_flight)
+  | o -> Alcotest.failf "expected Deadline_exceeded, got %a" Cgsim.Runtime.pp_outcome o
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prom_roundtrip () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "port.get:k0.in";
+  Obs.Metrics.add m "port.get:k0.in" 41.0;
+  Obs.Metrics.incr m "sched.parks";
+  Obs.Metrics.high_water m "queue.occupancy_hw:g/net0" 7.0;
+  List.iter (fun v -> Obs.Metrics.observe m "kernel.self_ns:k0" v) [ 10.0; 200.0; 3000.0 ];
+  List.iter (fun v -> Obs.Metrics.observe m "pool.request" v) [ 1e6; 2e6 ];
+  let text = Obs.Prom.of_snapshot (Obs.Metrics.snapshot m) in
+  (match Obs.Prom.validate text with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "exposition rejected by own validator: %s\n%s" e text);
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      if not (contains needle) then Alcotest.failf "exposition missing %S:\n%s" needle text)
+    [
+      "# TYPE cgsim_port_get_total counter";
+      "cgsim_port_get_total{id=\"k0.in\"} 42";
+      "cgsim_sched_parks_total 1";
+      "# TYPE cgsim_queue_occupancy_hw gauge";
+      "# TYPE cgsim_kernel_self_ns histogram";
+      "cgsim_kernel_self_ns_count{id=\"k0\"} 3";
+      "cgsim_pool_request_bucket{le=\"+Inf\"} 2";
+      "cgsim_pool_request_count 2";
+    ]
+
+let test_prom_validate_rejects () =
+  List.iter
+    (fun (label, text) ->
+      match Obs.Prom.validate text with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "validator accepted %s" label)
+    [
+      "sample without TYPE", "cgsim_x_total 1\n";
+      "bad type", "# TYPE cgsim_x rate\ncgsim_x 1\n";
+      ( "buckets out of order",
+        "# TYPE h histogram\nh_bucket{le=\"10\"} 2\nh_bucket{le=\"5\"} 1\nh_bucket{le=\"+Inf\"} \
+         3\nh_sum 1\nh_count 3\n" );
+      ( "non-cumulative buckets",
+        "# TYPE h histogram\nh_bucket{le=\"5\"} 3\nh_bucket{le=\"10\"} 1\nh_bucket{le=\"+Inf\"} \
+         3\nh_sum 1\nh_count 3\n" );
+      ( "inf bucket disagrees with count",
+        "# TYPE h histogram\nh_bucket{le=\"5\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n"
+      );
+      "no +Inf bucket", "# TYPE h histogram\nh_bucket{le=\"5\"} 1\nh_sum 1\nh_count 1\n";
+      "missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n";
+      "bad label syntax", "# TYPE g gauge\ng{id=unquoted} 1\n";
+      "bad value", "# TYPE g gauge\ng{id=\"x\"} one\n";
+      "stray comment", "# random noise\n";
+    ]
+
+let test_prom_of_real_session () =
+  let (_, _), session = traced_cgsim_run () in
+  let text = Obs.Prom.of_snapshot (Obs.Metrics.snapshot session.Obs.Trace.metrics) in
+  match Obs.Prom.validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "session exposition invalid: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Per-kernel profiler                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_rows () =
+  let (_, _), session = traced_cgsim_run () in
+  let snap = Obs.Metrics.snapshot session.Obs.Trace.metrics in
+  let rows = Obs.Profile.rows snap in
+  Alcotest.(check bool) "profiles every fiber" true (List.length rows >= 2);
+  let total_share = List.fold_left (fun a (r : Obs.Profile.row) -> a +. r.Obs.Profile.share) 0.0 rows in
+  Alcotest.(check bool) "shares sum to 1" true (Float.abs (total_share -. 1.0) < 1e-9);
+  let sorted =
+    List.for_all2
+      (fun (a : Obs.Profile.row) (b : Obs.Profile.row) -> a.Obs.Profile.self_ns >= b.Obs.Profile.self_ns)
+      (List.filteri (fun i _ -> i < List.length rows - 1) rows)
+      (List.tl rows)
+  in
+  Alcotest.(check bool) "sorted by self time" true sorted;
+  let folded = Obs.Profile.collapsed snap in
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "collapsed line without count: %S" line
+        | Some i ->
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          (match float_of_string_opt v with
+           | Some f when f >= 0.0 -> ()
+           | _ -> Alcotest.failf "collapsed count not a number: %S" line);
+          if not (String.length line > 6 && String.sub line 0 6 = "cgsim;") then
+            Alcotest.failf "collapsed frame without root: %S" line)
+    (String.split_on_char '\n' folded)
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: x86sim instrumentation                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -372,4 +625,25 @@ let () =
           Alcotest.test_case "csv and summary" `Quick test_csv_and_summary;
         ] );
       "x86sim", [ Alcotest.test_case "thread spans" `Quick test_x86sim_thread_spans ];
+      ( "hdr",
+        Alcotest.test_case "basics and hostile inputs" `Quick test_hdr_basics
+        :: List.map
+             (QCheck_alcotest.to_alcotest ~long:false)
+             [ test_hdr_quantile_error_bound; test_hdr_merge_commutes ] );
+      ( "flight",
+        [
+          Alcotest.test_case "wraparound" `Quick test_flight_wraparound;
+          Alcotest.test_case "kill switch" `Quick test_flight_disabled;
+          Alcotest.test_case "snapshot on kernel failure (tracing off)" `Quick
+            test_flight_snapshot_on_failure;
+          Alcotest.test_case "snapshot on deadline (tracing off)" `Quick
+            test_flight_snapshot_on_deadline;
+        ] );
+      ( "prom",
+        [
+          Alcotest.test_case "snapshot renders and validates" `Quick test_prom_roundtrip;
+          Alcotest.test_case "validator rejects malformed text" `Quick test_prom_validate_rejects;
+          Alcotest.test_case "real session exposition valid" `Quick test_prom_of_real_session;
+        ] );
+      "profile", [ Alcotest.test_case "rows, shares and collapsed stacks" `Quick test_profile_rows ];
     ]
