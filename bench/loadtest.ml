@@ -202,6 +202,7 @@ let run ?json ?metrics ?(smoke = false) ?(chaos = false)
            "schema", Obs.Json.Str "cgsim-bench-load/1";
            "smoke", Obs.Json.Bool smoke;
            "chaos", Obs.Json.Bool chaos;
+           "warm", Obs.Json.Bool Cgsim.Run_config.default.Cgsim.Run_config.warm;
            "app", Obs.Json.Str t.Apps.Harness.name;
            "domains", Obs.Json.Num (float_of_int domains);
            "host_cores", Obs.Json.Num (float_of_int host_cores);

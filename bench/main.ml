@@ -26,6 +26,9 @@
      --smoke        fewer requests and domain counts for CI
      --domains CSV  domain counts to sweep (default 1,2,4,8)
      --requests N   requests per app per domain count
+     --warm on|off  restrict to the warm (instance cache + batching) or
+                    cold (fresh instance per attempt) path; default runs
+                    both and asserts per-request output equality
      --chaos        serve under deterministic fault injection instead:
                     seeded kernel raises + a stall, per-request deadline
                     and retry supervision; writes schema
@@ -52,7 +55,7 @@ let usage () =
   print_endline
     "usage: main.exe [table1|table2|table2-quick|profile [--trace FILE] [--json FILE] \
      [--folded FILE] [--smoke]|micro [--json FILE] [--smoke]|serve [--json FILE] [--smoke] \
-     [--domains CSV] [--requests N] [--chaos]|loadtest [--json FILE] [--metrics FILE] \
+     [--domains CSV] [--requests N] [--warm on|off] [--chaos]|loadtest [--json FILE] [--metrics FILE] \
      [--rates CSV] [--requests N] [--chaos] [--smoke]|ablation|check-json FILE|check-prom \
      FILE]...";
   exit 2
@@ -64,8 +67,8 @@ type action =
   | Profile of string option * string option * string option * bool
       (* trace file, json file, folded file, smoke *)
   | Micro of string option * bool  (* json file, smoke *)
-  | Serve of string option * bool * int list option * int option * bool
-      (* json file, smoke, domain counts, requests, chaos *)
+  | Serve of string option * bool * int list option * int option * bool option * bool
+      (* json file, smoke, domain counts, requests, warm, chaos *)
   | Loadtest of string option * string option * bool * bool * float list option * int option
       (* json file, metrics file, smoke, chaos, rates, requests *)
   | Ablation
@@ -98,16 +101,21 @@ let parse_actions args =
           then Some ds
           else None
       in
-      let rec opts json smoke doms reqs chaos = function
-        | "--json" :: file :: rest -> opts (Some file) smoke doms reqs chaos rest
+      let rec opts json smoke doms reqs warm chaos = function
+        | "--json" :: file :: rest -> opts (Some file) smoke doms reqs warm chaos rest
         | "--json" :: [] ->
           Printf.eprintf "--json needs a FILE argument\n";
           usage ()
-        | "--smoke" :: rest -> opts json true doms reqs chaos rest
-        | "--chaos" :: rest -> opts json smoke doms reqs true rest
+        | "--smoke" :: rest -> opts json true doms reqs warm chaos rest
+        | "--chaos" :: rest -> opts json smoke doms reqs warm true rest
+        | "--warm" :: v :: rest when v = "on" || v = "off" ->
+          opts json smoke doms reqs (Some (v = "on")) chaos rest
+        | "--warm" :: _ ->
+          Printf.eprintf "--warm needs \"on\" or \"off\"\n";
+          usage ()
         | "--domains" :: csv :: rest ->
           (match parse_domains csv with
-           | Some ds -> opts json smoke (Some ds) reqs chaos rest
+           | Some ds -> opts json smoke (Some ds) reqs warm chaos rest
            | None ->
              Printf.eprintf "--domains needs a CSV of positive ints (e.g. 1,2,4)\n";
              usage ())
@@ -116,16 +124,16 @@ let parse_actions args =
           usage ()
         | "--requests" :: n :: rest ->
           (match int_of_string_opt n with
-           | Some r when r > 0 -> opts json smoke doms (Some r) chaos rest
+           | Some r when r > 0 -> opts json smoke doms (Some r) warm chaos rest
            | _ ->
              Printf.eprintf "--requests needs a positive integer\n";
              usage ())
         | "--requests" :: [] ->
           Printf.eprintf "--requests needs an argument\n";
           usage ()
-        | rest -> Serve (json, smoke, doms, reqs, chaos) :: go rest
+        | rest -> Serve (json, smoke, doms, reqs, warm, chaos) :: go rest
       in
-      opts None false None None false rest
+      opts None false None None None false rest
     | "ablation" :: rest -> Ablation :: go rest
     | "loadtest" :: rest ->
       let parse_rates s =
@@ -238,9 +246,9 @@ let run = function
   | Table2_quick -> Table2.run ~scale:0.5 ()
   | Profile (trace, json, folded, smoke) -> Profile.run ?trace ?json ?folded ~smoke ()
   | Micro (json, smoke) -> Micro.run ?json ~smoke ()
-  | Serve (json, smoke, domains, requests, chaos) ->
+  | Serve (json, smoke, domains, requests, warm, chaos) ->
     if chaos then Serve.run_chaos ?json ~smoke ?requests ()
-    else Serve.run ?json ~smoke ?domains ?requests ()
+    else Serve.run ?json ~smoke ?domains ?requests ?warm ()
   | Loadtest (json, metrics, smoke, chaos, rates, requests) ->
     Loadtest.run ?json ?metrics ~smoke ~chaos ?rates ?requests ()
   | Ablation -> Ablation.run ()

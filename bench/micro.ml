@@ -6,7 +6,7 @@
    On top of the bechamel estimates, a manually-timed element-vs-block
    queue transfer on the same queue configuration backs the block
    fast-path claim in docs/PERFORMANCE.md; [run ~json:file] writes every
-   number as machine-readable JSON (schema "cgsim-bench-micro/1") so CI
+   number as machine-readable JSON (schema "cgsim-bench-micro/2") so CI
    can parse it back and the repo can commit a baseline. *)
 
 open Bechamel
@@ -64,6 +64,12 @@ let runtime_instantiation =
   Test.make ~name:"runtime: instantiate bitonic graph"
     (Staged.stage (fun () -> ignore (Cgsim.Runtime.instantiate g)))
 
+let runtime_reset =
+  let compiled = Cgsim.Runtime.compile (Apps.Bitonic.graph ()) in
+  let inst = Cgsim.Runtime.new_instance compiled in
+  Test.make ~name:"runtime: reset bitonic instance"
+    (Staged.stage (fun () -> Cgsim.Runtime.reset inst))
+
 let tests =
   [
     queue_transfer;
@@ -72,6 +78,7 @@ let tests =
     sort16_bench;
     graph_construction;
     runtime_instantiation;
+    runtime_reset;
   ]
 
 let bechamel_results ~quota =
@@ -200,6 +207,69 @@ let compare_spsc ~smoke =
     sp_speedup = mpmc_ns /. spsc_ns;
   }
 
+type warm_comparison = {
+  w_requests : int;
+  w_reps : int;
+  cold_us_per_req : float;
+  warm_us_per_req : float;
+  w_speedup : float;
+}
+
+(* Serving-shaped requests (bitonic at a small repetition count, where
+   setup cost is a large fraction of the request) served cold — a fresh
+   instantiation per request, lint included, exactly what a naive server
+   does — against warm: compile once, one instance, reset between
+   requests.  The per-request saving is what {!Cgsim.Pool}'s warm cache
+   banks per attempt. *)
+let compare_warm ~smoke =
+  let h = Apps.Harness.bitonic in
+  let reps = 4 in
+  let requests = if smoke then 32 else 256 in
+  let run_request inst =
+    let sinks, _ = h.Apps.Harness.make_sinks () in
+    match Cgsim.Runtime.run inst ~sources:(h.Apps.Harness.sources ~reps) ~sinks with
+    | Cgsim.Runtime.Completed _ -> ()
+    | o -> Format.kasprintf failwith "warm-serve bench: %a" Cgsim.Runtime.pp_outcome o
+  in
+  let g = h.Apps.Harness.graph () in
+  let cold () =
+    let t0 = Obs.Clock.now_ns () in
+    for _ = 1 to requests do
+      run_request (Cgsim.Runtime.instantiate g)
+    done;
+    Obs.Clock.now_ns () -. t0
+  in
+  let warm () =
+    let inst = Cgsim.Runtime.new_instance (Cgsim.Runtime.compile g) in
+    let t0 = Obs.Clock.now_ns () in
+    for _ = 1 to requests do
+      Cgsim.Runtime.reset inst;
+      run_request inst
+    done;
+    Obs.Clock.now_ns () -. t0
+  in
+  let rounds = if smoke then 2 else 5 in
+  let cold_ns = best_of rounds cold in
+  let warm_ns = best_of rounds warm in
+  let n = float_of_int requests in
+  {
+    w_requests = requests;
+    w_reps = reps;
+    cold_us_per_req = cold_ns /. n /. 1e3;
+    warm_us_per_req = warm_ns /. n /. 1e3;
+    w_speedup = cold_ns /. warm_ns;
+  }
+
+let json_of_warm (w : warm_comparison) =
+  Obs.Json.Obj
+    [
+      "requests", Obs.Json.Num (float_of_int w.w_requests);
+      "reps_per_request", Obs.Json.Num (float_of_int w.w_reps);
+      "cold_us_per_req", Obs.Json.Num w.cold_us_per_req;
+      "warm_us_per_req", Obs.Json.Num w.warm_us_per_req;
+      "speedup", Obs.Json.Num w.w_speedup;
+    ]
+
 let json_of_spsc (sp : spsc_comparison) =
   Obs.Json.Obj
     [
@@ -210,10 +280,11 @@ let json_of_spsc (sp : spsc_comparison) =
       "speedup", Obs.Json.Num sp.sp_speedup;
     ]
 
-let json_of_run ~smoke ~bechamel (cmp : block_comparison) (sp : spsc_comparison) =
+let json_of_run ~smoke ~bechamel (cmp : block_comparison) (sp : spsc_comparison)
+    (w : warm_comparison) =
   Obs.Json.Obj
     [
-      "schema", Obs.Json.Str "cgsim-bench-micro/1";
+      "schema", Obs.Json.Str "cgsim-bench-micro/2";
       "smoke", Obs.Json.Bool smoke;
       ( "results",
         Obs.Json.Arr
@@ -232,6 +303,7 @@ let json_of_run ~smoke ~bechamel (cmp : block_comparison) (sp : spsc_comparison)
             "speedup", Obs.Json.Num cmp.speedup;
           ] );
       "spsc", json_of_spsc sp;
+      "warm_serve", json_of_warm w;
     ]
 
 let run ?json ?(smoke = false) () =
@@ -251,10 +323,16 @@ let run ?json ?(smoke = false) () =
   Printf.printf "%-45s %12.2f ns/elem\n" "MPMC path (broadcast bookkeeping)" sp.mpmc_ns_per_elem;
   Printf.printf "%-45s %12.2f ns/elem\n" "SPSC path (sealed 1:1)" sp.spsc_ns_per_elem;
   Printf.printf "%-45s %12.2fx\n%!" "speedup" sp.sp_speedup;
+  let w = compare_warm ~smoke in
+  Printf.printf "\n== Warm serving (bitonic, %d reps/request, %d requests) ==\n%!" w.w_reps
+    w.w_requests;
+  Printf.printf "%-45s %12.2f us/req\n" "cold (instantiate per request)" w.cold_us_per_req;
+  Printf.printf "%-45s %12.2f us/req\n" "warm (compile once, reset between)" w.warm_us_per_req;
+  Printf.printf "%-45s %12.2fx\n%!" "speedup" w.w_speedup;
   match json with
   | None -> ()
   | Some file ->
-    let doc = json_of_run ~smoke ~bechamel cmp sp in
+    let doc = json_of_run ~smoke ~bechamel cmp sp w in
     (try Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc (Obs.Json.to_string doc))
      with Sys_error msg ->
        Printf.eprintf "error: cannot write %s: %s\n" file msg;

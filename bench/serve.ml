@@ -1,45 +1,59 @@
 (* Parallel serving benchmark: throughput of Cgsim.Pool over the four
-   example applications.
+   example applications, cold against warm.
 
-   Each request is one complete cgsim simulation of the app's graph
-   (fresh Runtime instance, [serve_reps] input blocks); the pool serves
-   a fixed batch of requests on 1/2/4/8 domains and we report
-   requests/sec plus scaling efficiency against the single-domain run.
-   Every request's output is verified against the scalar reference, so
-   the numbers can't quietly come from broken parallel runs.
+   Each request is one complete cgsim simulation of the app's graph at a
+   serving-sized repetition count (small enough that per-request setup
+   is a real fraction of the work — the regime warm pools exist for).
+   For every domain count the same batch of requests is served twice:
+   cold ([Run_config.warm = false]: a fresh Runtime instance per
+   attempt) and warm (the default warm-instance cache plus pure-graph
+   request batching).  Every request's output is verified against the
+   scalar reference on both paths, and the warm output of each request
+   is additionally asserted equal to its cold output — the speedup
+   cannot quietly come from a semantic change.
 
    The host core count is recorded in the JSON: on a single-core
    container the efficiency at >1 domains is expected to collapse to
    ~1/domains, and the committed baseline must be read with its
-   "host_cores" field in hand.
+   "host_cores" field in hand.  Runs with more domains than host cores
+   carry "oversubscribed": true so baseline consumers can filter them
+   out of scaling comparisons.
 
-   Runs with more domains than host cores carry "oversubscribed": true
-   in their JSON so baseline consumers can filter them out of scaling
-   comparisons.
-
-   [run ~json:file] writes schema "cgsim-bench-serve/2"; check-json
-   validates it in CI.  The SPSC micro comparison rides along so the
-   serving baseline and the queue fast-path numbers land in one file. *)
+   [run ~json:file] writes schema "cgsim-bench-serve/3"; check-json
+   validates it in CI.  [~warm:(Some true)] / [(Some false)] restricts
+   the sweep to one path (the CI smoke runs each separately so the cold
+   fallback cannot rot); the default [None] measures both and asserts
+   the per-request equivalence.  The SPSC micro comparison rides along
+   so the serving baseline and the queue fast-path numbers land in one
+   file. *)
 
 let default_domains = [ 1; 2; 4; 8 ]
 
 let smoke_domains = [ 1; 2 ]
 
-(* One request should be a meaningful simulation, not a fixture:
-   table2's per-app rep counts scaled down so a full serve run costs
-   about one table2 cgsim column per domain count. *)
+(* Serving-shaped requests: table2's per-app rep counts scaled well
+   down, so one request is a short simulation whose instantiation cost
+   matters — the workload the warm cache targets. *)
 let serve_reps ~smoke (t : Apps.Harness.t) =
-  max 1 (t.Apps.Harness.table2_reps / if smoke then 64 else 16)
+  max 1 (t.Apps.Harness.table2_reps / if smoke then 512 else 256)
+
+(* Requests multiplexed through one warm run when the graph is pure. *)
+let serve_batch = 8
 
 type app_run = {
   domains : int;
+  mode : string;  (* "cold" | "warm" *)
   wall_ns : float;
   rps : float;
   steals : int;
-  errors : string list;
+  warm_hits : int;
+  cold_builds : int;
+  batched : int;
+  outputs : Cgsim.Value.t list array;  (* per request, for cross-mode equality *)
+  mutable errors : string list;
 }
 
-let run_app ~domains ~requests ~reps (t : Apps.Harness.t) g =
+let run_app ~mode ~config ~domains ~requests ~reps (t : Apps.Harness.t) g =
   let contents = Array.make requests (fun () -> []) in
   let io r =
     (* Called on the executing domain; distinct [r] slots, no sharing. *)
@@ -47,34 +61,57 @@ let run_app ~domains ~requests ~reps (t : Apps.Harness.t) g =
     contents.(r) <- c;
     t.Apps.Harness.sources ~reps, sinks
   in
-  let stats = Cgsim.Pool.run ~domains ~requests ~io g in
+  let stats = Cgsim.Pool.run ~config ~domains ~requests ~io g in
+  let outputs = Array.map (fun c -> c ()) contents in
   let errors = ref [] in
   Array.iter
     (fun (res : Cgsim.Pool.request_result) ->
       match res.Cgsim.Pool.outcome with
       | Cgsim.Runtime.Completed _ ->
-        (match t.Apps.Harness.check ~reps (contents.(res.Cgsim.Pool.req_id) ()) with
+        (match t.Apps.Harness.check ~reps outputs.(res.Cgsim.Pool.req_id) with
          | Ok () -> ()
          | Error e ->
-           errors := Printf.sprintf "req %d: wrong output: %s" res.Cgsim.Pool.req_id e :: !errors)
+           errors :=
+             Printf.sprintf "req %d (%s): wrong output: %s" res.Cgsim.Pool.req_id mode e
+             :: !errors)
       | o ->
         errors :=
-          Format.asprintf "req %d: %a" res.Cgsim.Pool.req_id Cgsim.Runtime.pp_outcome o
+          Format.asprintf "req %d (%s): %a" res.Cgsim.Pool.req_id mode Cgsim.Runtime.pp_outcome o
           :: !errors)
     stats.Cgsim.Pool.results;
   {
     domains;
+    mode;
     wall_ns = stats.Cgsim.Pool.wall_ns;
     rps = float_of_int requests /. (stats.Cgsim.Pool.wall_ns /. 1e9);
     steals = stats.Cgsim.Pool.steals;
+    warm_hits = stats.Cgsim.Pool.warm_hits;
+    cold_builds = stats.Cgsim.Pool.cold_builds;
+    batched = stats.Cgsim.Pool.batched;
+    outputs;
     errors = List.rev !errors;
   }
+
+(* Per-request warm == cold: the fast path must be observationally
+   identical, element for element. *)
+let check_equivalence (cold : app_run) (warm : app_run) =
+  Array.iteri
+    (fun r cold_out ->
+      let warm_out = warm.outputs.(r) in
+      if
+        List.length cold_out <> List.length warm_out
+        || not (List.for_all2 Cgsim.Value.equal cold_out warm_out)
+      then
+        warm.errors <-
+          warm.errors @ [ Printf.sprintf "req %d: warm output differs from cold" r ])
+    cold.outputs
 
 let json_of_app_run ~base_wall ~host_cores (r : app_run) =
   let speedup = base_wall /. r.wall_ns in
   Obs.Json.Obj
     [
       "domains", Obs.Json.Num (float_of_int r.domains);
+      "mode", Obs.Json.Str r.mode;
       (* More domains than host cores: the run timeshares and its
          efficiency number is not a scaling datapoint — marked so
          baseline consumers can filter instead of reverse-engineering
@@ -85,48 +122,92 @@ let json_of_app_run ~base_wall ~host_cores (r : app_run) =
       "speedup_vs_1", Obs.Json.Num speedup;
       "efficiency", Obs.Json.Num (speedup /. float_of_int r.domains);
       "steals", Obs.Json.Num (float_of_int r.steals);
+      "warm_hits", Obs.Json.Num (float_of_int r.warm_hits);
+      "cold_builds", Obs.Json.Num (float_of_int r.cold_builds);
+      "batched", Obs.Json.Num (float_of_int r.batched);
       "errors", Obs.Json.Arr (List.map (fun e -> Obs.Json.Str e) r.errors);
     ]
 
 let run ?json ?(smoke = false) ?(domains = if smoke then smoke_domains else default_domains)
-    ?requests () =
-  let requests = Option.value requests ~default:(if smoke then 6 else 32) in
+    ?requests ?warm () =
+  let requests = Option.value requests ~default:(if smoke then 8 else 256) in
   let host_cores = Domain.recommended_domain_count () in
-  Printf.printf "\n== Parallel serving (Cgsim.Pool, %d requests/app, host cores: %d) ==\n%!"
-    requests host_cores;
+  let modes =
+    match warm with
+    | Some true -> [ "warm" ]
+    | Some false -> [ "cold" ]
+    | None -> [ "cold"; "warm" ]
+  in
+  Printf.printf
+    "\n== Parallel serving (Cgsim.Pool, %d requests/app, modes: %s, host cores: %d) ==\n%!"
+    requests (String.concat "+" modes) host_cores;
   let failures = ref 0 in
   let app_docs =
     List.map
       (fun (t : Apps.Harness.t) ->
         let reps = serve_reps ~smoke t in
         let g = t.Apps.Harness.graph () in
-        Printf.printf "\n%-10s (%d reps/request)\n%!" t.Apps.Harness.name reps;
-        let runs = List.map (fun d -> run_app ~domains:d ~requests ~reps t g) domains in
-        let base_wall =
-          match runs with
-          | first :: _ -> first.wall_ns
-          | [] -> 1.0
+        Printf.printf "\n%-10s (%d reps/request, batch %d when pure)\n%!" t.Apps.Harness.name
+          reps serve_batch;
+        Cgsim.Pool.clear_warm_cache ();
+        let runs =
+          List.concat_map
+            (fun d ->
+              let cold_cfg = Cgsim.Run_config.(with_warm false default) in
+              let warm_cfg = Cgsim.Run_config.(with_batch serve_batch default) in
+              let one mode =
+                let config = if mode = "cold" then cold_cfg else warm_cfg in
+                run_app ~mode ~config ~domains:d ~requests ~reps t g
+              in
+              let rs = List.map one modes in
+              (match rs with
+               | [ cold; warm ] -> check_equivalence cold warm
+               | _ -> ());
+              rs)
+            domains
+        in
+        let base_wall mode =
+          match List.find_opt (fun r -> r.mode = mode) runs with
+          | Some r -> r.wall_ns
+          | None -> 1.0
         in
         List.iter
           (fun r ->
-            let speedup = base_wall /. r.wall_ns in
+            let speedup = base_wall r.mode /. r.wall_ns in
             Printf.printf
-              "  domains=%d  %8.1f ms  %8.2f req/s  speedup %5.2fx  eff %4.0f%%  steals %d\n%!"
-              r.domains (r.wall_ns /. 1e6) r.rps speedup
+              "  domains=%d %-5s %8.1f ms  %9.1f req/s  speedup %5.2fx  eff %4.0f%%  steals %d  \
+               warm %d  batched %d\n%!"
+              r.domains r.mode (r.wall_ns /. 1e6) r.rps speedup
               (100.0 *. speedup /. float_of_int r.domains)
-              r.steals;
+              r.steals r.warm_hits r.batched;
             List.iter
               (fun e ->
                 incr failures;
                 Printf.printf "    ERROR %s\n%!" e)
               r.errors)
           runs;
+        (* Warm-over-cold at each domain count, when both ran. *)
+        List.iter
+          (fun d ->
+            match
+              ( List.find_opt (fun r -> r.mode = "cold" && r.domains = d) runs,
+                List.find_opt (fun r -> r.mode = "warm" && r.domains = d) runs )
+            with
+            | Some c, Some w ->
+              Printf.printf "  domains=%d warm/cold: %5.2fx\n%!" d (w.rps /. c.rps)
+            | _ -> ())
+          domains;
         Obs.Json.Obj
           [
             "name", Obs.Json.Str t.Apps.Harness.name;
             "reps_per_request", Obs.Json.Num (float_of_int reps);
             "requests", Obs.Json.Num (float_of_int requests);
-            "runs", Obs.Json.Arr (List.map (json_of_app_run ~base_wall ~host_cores) runs);
+            "batch", Obs.Json.Num (float_of_int serve_batch);
+            ( "runs",
+              Obs.Json.Arr
+                (List.map
+                   (fun r -> json_of_app_run ~base_wall:(base_wall r.mode) ~host_cores r)
+                   runs) );
           ])
       Apps.Harness.all
   in
@@ -139,9 +220,11 @@ let run ?json ?(smoke = false) ?(domains = if smoke then smoke_domains else defa
      let doc =
        Obs.Json.Obj
          [
-           "schema", Obs.Json.Str "cgsim-bench-serve/2";
+           "schema", Obs.Json.Str "cgsim-bench-serve/3";
            "smoke", Obs.Json.Bool smoke;
            "host_cores", Obs.Json.Num (float_of_int host_cores);
+           ( "modes",
+             Obs.Json.Arr (List.map (fun m -> Obs.Json.Str m) modes) );
            "apps", Obs.Json.Arr app_docs;
            "spsc_micro", Micro.json_of_spsc sp;
          ]

@@ -51,18 +51,24 @@ for f in examples/cgc/*.cgc; do
   echo "lint OK: $f (rc=$rc)"
 done
 
-echo "== serve smoke (parallel pool on 2 domains, JSON output) =="
-SERVE_JSON=$(mktemp -t ci-serve-XXXXXX.json)
-trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_JSON"' EXIT
+echo "== serve smoke (parallel pool on 2 domains, warm off / warm on, JSON output) =="
+SERVE_COLD_JSON=$(mktemp -t ci-serve-cold-XXXXXX.json)
+SERVE_WARM_JSON=$(mktemp -t ci-serve-warm-XXXXXX.json)
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON"' EXIT
 # Every request's output is verified inside the bench; nonzero exit on
-# any wrong result.  Schema cgsim-bench-serve/1.
-dune exec bench/main.exe -- serve --smoke --domains 1,2 --json "$SERVE_JSON"
-test -s "$SERVE_JSON" || { echo "ci: serve JSON is empty" >&2; exit 1; }
-dune exec bench/main.exe -- check-json "$SERVE_JSON"
+# any wrong result.  Both paths run separately so the cold fallback
+# (fresh instance per attempt) can never silently rot behind the warm
+# cache.  Schema cgsim-bench-serve/3.
+dune exec bench/main.exe -- serve --smoke --domains 1,2 --warm off --json "$SERVE_COLD_JSON"
+test -s "$SERVE_COLD_JSON" || { echo "ci: cold serve JSON is empty" >&2; exit 1; }
+dune exec bench/main.exe -- check-json "$SERVE_COLD_JSON"
+dune exec bench/main.exe -- serve --smoke --domains 1,2 --warm on --json "$SERVE_WARM_JSON"
+test -s "$SERVE_WARM_JSON" || { echo "ci: warm serve JSON is empty" >&2; exit 1; }
+dune exec bench/main.exe -- check-json "$SERVE_WARM_JSON"
 
 echo "== chaos smoke (fault injection + retry supervision, JSON output) =="
 CHAOS_JSON=$(mktemp -t ci-chaos-XXXXXX.json)
-trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_JSON" "$CHAOS_JSON"' EXIT
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON"' EXIT
 # Serves under a seeded fault plan (kernel raises + a busy-stall) with a
 # per-request deadline and retries; exits nonzero unless every injected
 # fault was absorbed and at least one request recovered by retry.
@@ -74,7 +80,7 @@ dune exec bench/main.exe -- check-json "$CHAOS_JSON"
 echo "== loadtest smoke (open-loop Poisson arrivals + chaos, JSON + Prometheus output) =="
 LOAD_JSON=$(mktemp -t ci-load-XXXXXX.json)
 LOAD_PROM=$(mktemp -t ci-load-XXXXXX.prom)
-trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM"' EXIT
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM"' EXIT
 # Open-loop arrivals against the pool under a transient-fault plan with
 # retries; exits nonzero if nothing completed or chaos never forced a
 # retry.  Schema cgsim-bench-load/1.
@@ -88,18 +94,19 @@ dune exec bench/main.exe -- check-prom "$LOAD_PROM"
 
 echo "== cgx --metrics smoke (Prometheus exposition from the extractor CLI) =="
 CGX_PROM=$(mktemp -t ci-cgx-XXXXXX.prom)
-trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM" "$CGX_PROM"' EXIT
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM" "$CGX_PROM"' EXIT
 dune exec bin/cgx.exe -- simulate examples/cgc/bitonic.cgc --reps 4 --metrics "$CGX_PROM"
 test -s "$CGX_PROM" || { echo "ci: cgx exposition is empty" >&2; exit 1; }
 dune exec bench/main.exe -- check-prom "$CGX_PROM"
 
 echo "== deprecated-shim gate =="
 # The optional-argument bridges (instantiate_opts/run_opts/execute_opts)
-# exist for out-of-tree callers only; in-tree code must use Run_config.
+# were removed; Run_config is the only entry point.  The grep stays as a
+# regression gate so the names cannot creep back in.
 if grep -rnE '(Runtime|Pool|Sim)\.(instantiate|execute|run)_opts' lib bin bench examples; then
-  echo "ci: in-tree caller uses a deprecated _opts shim (use Run_config)" >&2
+  echo "ci: caller references a removed _opts shim (use Run_config)" >&2
   exit 1
 fi
-echo "no in-tree shim callers"
+echo "no shim references"
 
 echo "== ci passed =="

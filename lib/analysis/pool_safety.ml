@@ -1,6 +1,19 @@
 module S = Cgsim.Serialized
 module D = Cgsim.Diagnostic
 
+(* The gate {!Cgsim.Pool} request batching relies on: every kernel
+   instance resolves, is declared [Pure] AND [stateless].  Purity alone
+   (no state shared between instances) is not enough — a filter with a
+   local delay line is pure yet produces different output for
+   concatenated streams, which is exactly what batching feeds it. *)
+let batching_safe (g : S.t) =
+  Array.for_all
+    (fun (inst : S.kernel_inst) ->
+      match Cgsim.Registry.find inst.S.key with
+      | None -> false
+      | Some k -> k.Cgsim.Kernel.purity = Cgsim.Kernel.Pure && k.Cgsim.Kernel.stateless)
+    g.S.kernels
+
 let analyze (g : S.t) =
   let diags = ref [] in
   let unknown = ref [] in

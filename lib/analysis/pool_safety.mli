@@ -13,3 +13,13 @@
       declared their purity, as a nudge to annotate them. *)
 
 val analyze : Cgsim.Serialized.t -> Cgsim.Diagnostic.t list
+
+(** [batching_safe g] is [true] iff every kernel instance resolves
+    through the registry to a definition declared [~pure:true] {e and}
+    [~stateless:true] — the property {!Cgsim.Pool} requires before
+    multiplexing several requests through one warm run
+    ({!Cgsim.Runtime.compiled_batchable} is the runtime-side
+    equivalent).  Purity alone is weaker: it admits kernels with local
+    per-run memory (delay lines, accumulators), which are pool-safe but
+    not concatenation-safe. *)
+val batching_safe : Cgsim.Serialized.t -> bool

@@ -7,6 +7,7 @@ type t = {
   mutable head : int;  (* sequence number of the next write *)
   mutable retired : int;  (* cached min consumer cursor; see [min_cursor] *)
   mutable consumers : consumer list;
+  mutable producer_records : producer list;  (* for [reset] to reopen *)
   mutable producers_open : int;
   mutable producers_total : int;
   mutable closed : bool;
@@ -49,6 +50,7 @@ let create ~name ~dtype ~capacity () =
     head = 0;
     retired = 0;
     consumers = [];
+    producer_records = [];
     producers_open = 0;
     producers_total = 0;
     closed = false;
@@ -87,10 +89,28 @@ let add_consumer q =
 let add_producer q =
   if q.closed then invalid_arg ("cgsim: adding producer to closed queue " ^ q.q_name);
   let p = { p_queue = q; open_ = true } in
+  q.producer_records <- p :: q.producer_records;
   q.producers_open <- q.producers_open + 1;
   q.producers_total <- q.producers_total + 1;
   q.spsc <- false;  (* interleaving producers share the MPMC append point *)
   p
+
+(* Restore the queue to its just-created-and-wired state: cursors back to
+   zero, every registered producer reopened, contents discarded.  The
+   endpoint set is untouched, so a sealed SPSC plan survives the reset —
+   warm runtime instances reuse queue, endpoints and validator without
+   reallocation. *)
+let reset q =
+  q.head <- 0;
+  q.retired <- 0;
+  List.iter (fun c -> c.cursor <- 0) q.consumers;
+  List.iter (fun p -> p.open_ <- true) q.producer_records;
+  q.producers_open <- q.producers_total;
+  q.closed <- false;
+  q.put_waiters <- [];
+  q.get_waiters <- [];
+  q.total_put <- 0;
+  q.occ_hw <- 0
 
 let seal ?(spsc = true) q =
   q.spsc <- spsc && q.producers_total = 1 && (match q.consumers with [ _ ] -> true | _ -> false)

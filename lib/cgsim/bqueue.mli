@@ -57,6 +57,16 @@ val seal : ?spsc:bool -> t -> unit
 (** Whether the sealed queue is currently on the SPSC fast path. *)
 val is_spsc : t -> bool
 
+(** [reset q] restores the queue to its just-created-and-wired state:
+    cursors and sequence numbers return to zero, buffered contents are
+    discarded, every registered producer is reopened and the queue is
+    unclosed.  The endpoint set (and therefore a sealed SPSC plan) is
+    preserved — warm runtime instances reuse the queue without
+    reallocating buffers, endpoints or the compiled validator.  Must not
+    be called while fibers are parked on the queue (the waiter lists are
+    dropped); the runtime resets only between runs. *)
+val reset : t -> unit
+
 (** Free slots from the producer side (capacity minus unretired
     elements).  Advisory: another fiber may change it; block writes
     re-check under their own blocking discipline. *)

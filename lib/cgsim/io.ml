@@ -116,6 +116,51 @@ let repeat n values =
     length = Some total;
   }
 
+let concat sources =
+  match sources with
+  | [] -> invalid_arg "cgsim: Io.concat needs at least one source"
+  | [ s ] -> s
+  | _ ->
+    let arr = Array.of_list sources in
+    let n = Array.length arr in
+    let length =
+      Array.fold_left
+        (fun acc s -> match acc, s.length with Some a, Some l -> Some (a + l) | _ -> None)
+        (Some 0) arr
+    in
+    let make_pull () =
+      let idx = ref 0 in
+      let cur = ref (arr.(0).make_pull ()) in
+      let rec pull () =
+        match !cur () with
+        | Some _ as v -> v
+        | None ->
+          if !idx + 1 >= n then None
+          else begin
+            incr idx;
+            cur := arr.(!idx).make_pull ();
+            pull ()
+          end
+      in
+      pull
+    in
+    let make_pull_block () =
+      let idx = ref 0 in
+      let cur = ref (arr.(0).make_pull_block ()) in
+      let rec pull_block want =
+        let chunk = !cur want in
+        if Array.length chunk > 0 then chunk
+        else if !idx + 1 >= n then [||]
+        else begin
+          incr idx;
+          cur := arr.(!idx).make_pull_block ();
+          pull_block want
+        end
+      in
+      pull_block
+    in
+    { src_name = "concat-source"; make_pull; make_pull_block; length }
+
 let of_fun f =
   {
     src_name = "fun-source";

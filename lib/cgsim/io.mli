@@ -30,6 +30,12 @@ val repeat : int -> Value.t list -> source
 (** Pull-based source: called until it returns [None]. *)
 val of_fun : (unit -> Value.t option) -> source
 
+(** [concat srcs] streams each source to exhaustion in order — the batching
+    path uses it to pump several requests' inputs through one warm run.
+    Length is the sum when every part's length is known.  Raises
+    [Invalid_argument] on the empty list. *)
+val concat : source list -> source
+
 (** Runtime-parameter source: writes one scalar, then closes. *)
 val rtp : Value.t -> source
 

@@ -27,13 +27,17 @@ type stats = {
   results : request_result array;
   steals : int;
   retries : int;
+  warm_hits : int;
+  cold_builds : int;
+  batched : int;
   breaker_tripped : bool;
   counts : outcome_counts;
   wall_ns : float;
   metrics : Obs.Metrics.snapshot;
       (* always-on pool metrics: request-latency HDR histogram
          ("pool.request", per-domain recorders merged at join), outcome
-         counters, steal/retry totals — populated with tracing off *)
+         counters, steal/retry/warm/batch totals — populated with
+         tracing off *)
   breaker_flight : Obs.Flight.entry list;
       (* flight-recorder window from the domain that opened the circuit
          breaker, oldest first; [] when the breaker never tripped *)
@@ -71,6 +75,110 @@ let next_unit_float st =
   let bits = Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x2545F4914F6CDD1DL) 11) in
   float_of_int (bits land 0xFFFFF) /. float_of_int 0x100000
 
+(* ------------------------------------------------------------------ *)
+(* Warm-instance cache                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Compiled graphs and their reusable instances, keyed by graph identity
+   (physical — recompiling a structurally equal Serialized.t is exactly
+   what the cache exists to avoid, so callers are expected to hold on to
+   one) plus configuration compatibility.  Bounded two ways: at most
+   [cache_entries] distinct (graph, config) pairs, least-recently-used
+   evicted, and at most [instances_per_entry] idle instances parked per
+   entry — a poisoned instance (reset failed) is simply dropped, which
+   is the eviction path for broken state. *)
+
+(* Run_config compatibility for cache keying.  Scalar knobs compare
+   structurally; hooks and fault plans compare physically (closures have
+   no structural equality — and two distinct plans genuinely are
+   different keys, since their shared fire budgets are entry state). *)
+let config_key_equal (a : Run_config.t) (b : Run_config.t) =
+  a.Run_config.hooks == b.Run_config.hooks
+  && a.Run_config.queue_capacity = b.Run_config.queue_capacity
+  && a.Run_config.block_io = b.Run_config.block_io
+  && a.Run_config.spsc = b.Run_config.spsc
+  && a.Run_config.lint = b.Run_config.lint
+  && a.Run_config.deadline_ns = b.Run_config.deadline_ns
+  && a.Run_config.max_steps = b.Run_config.max_steps
+  && (match a.Run_config.faults, b.Run_config.faults with
+      | None, None -> true
+      | Some x, Some y -> x == y
+      | _ -> false)
+
+type cache_entry = {
+  e_graph : Serialized.t;
+  e_config : Run_config.t;
+  e_compiled : Runtime.compiled;
+  e_lock : Mutex.t;
+  mutable e_free : Runtime.t list;  (* idle reset instances, under e_lock *)
+  mutable e_stamp : int;  (* LRU clock value of the last use *)
+}
+
+let cache_entries = 8
+
+let instances_per_entry = 8
+
+let cache : cache_entry list ref = ref []
+
+let cache_lock = Mutex.create ()
+
+let cache_clock = ref 0
+
+let clear_warm_cache () =
+  Mutex.lock cache_lock;
+  cache := [];
+  Mutex.unlock cache_lock
+
+(* Find-or-compile under the cache lock.  Compilation (validation +
+   registry resolution + the one pre-flight lint whose verdict the entry
+   carries) happens at most once per entry; warm hits and retries never
+   re-lint.  May raise exactly as [Runtime.compile] does — the lock is
+   released first. *)
+let acquire_entry g config =
+  Mutex.lock cache_lock;
+  incr cache_clock;
+  let stamp = !cache_clock in
+  match
+    List.find_opt (fun e -> e.e_graph == g && config_key_equal e.e_config config) !cache
+  with
+  | Some e ->
+    e.e_stamp <- stamp;
+    Mutex.unlock cache_lock;
+    e
+  | None ->
+    Mutex.unlock cache_lock;
+    let compiled = Runtime.compile ~config g in
+    let entry =
+      {
+        e_graph = g;
+        e_config = config;
+        e_compiled = compiled;
+        e_lock = Mutex.create ();
+        e_free = [];
+        e_stamp = stamp;
+      }
+    in
+    Mutex.lock cache_lock;
+    let entries = entry :: !cache in
+    let entries =
+      if List.length entries <= cache_entries then entries
+      else begin
+        (* Evict the least recently used entry (and its idle instances). *)
+        let oldest =
+          List.fold_left (fun acc e -> if e.e_stamp < acc.e_stamp then e else acc)
+            (List.hd entries) entries
+        in
+        List.filter (fun e -> e != oldest) entries
+      end
+    in
+    cache := entries;
+    Mutex.unlock cache_lock;
+    entry
+
+(* ------------------------------------------------------------------ *)
+(* Work deques                                                         *)
+(* ------------------------------------------------------------------ *)
+
 (* Per-domain work deque over a fixed population of request ids.  All
    items are seeded before any domain starts and nothing is ever pushed
    back, so the structure only shrinks: a mutex per deque is plenty, and
@@ -103,6 +211,22 @@ let pop_bottom d =
       end
       else None)
 
+(* Owner-side bulk pop for batching: up to [n] requests in one lock
+   acquisition, returned in ascending request order (the order the
+   one-at-a-time pops would have replayed). *)
+let pop_bottom_many d n =
+  with_lock d (fun () ->
+      let take = min n (d.bot - d.top) in
+      if take <= 0 then []
+      else begin
+        let out = ref [] in
+        for _ = 1 to take do
+          d.bot <- d.bot - 1;
+          out := d.items.(d.bot) :: !out
+        done;
+        List.rev !out
+      end)
+
 let steal_top d =
   with_lock d (fun () ->
       if d.top < d.bot then begin
@@ -119,12 +243,33 @@ let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Ser
    | Some a when Array.length a <> requests ->
      invalid_arg "cgsim: Pool.run ~arrivals must have one offset per request"
    | Some _ | None -> ());
-  (* Lint once up front — the pool-safety pass flags kernels whose bodies
-     share mutable state across the instances the domains run. *)
-  Runtime.preflight ~lint:config.Run_config.lint g;
-  (* The graph is linted once when the pool is built, not once per
-     request (or attempt) on every serving domain. *)
-  let request_config = Run_config.with_lint `Off config in
+  (* Compile once: validation, registry resolution and the pool-safety
+     lint (which flags kernels whose bodies share mutable state across
+     the instances the domains run) all happen here, never per request
+     or per retry attempt.  On the warm path the compiled artifact —
+     lint verdict included — comes from the cache. *)
+  let warm_entry = if config.Run_config.warm then Some (acquire_entry g config) else None in
+  let compiled =
+    match warm_entry with
+    | Some e -> e.e_compiled
+    | None -> Runtime.compile ~config g
+  in
+  (* Batching gate: only closed-loop runs of a provably batchable graph
+     (every kernel declared [~pure:true] AND [~stateless:true] — a merely
+     pure kernel may still carry a delay line across the concatenation
+     boundary) are multiplexed, and only on the warm path; fault plans
+     stay unbatched so per-request injection accounting keeps its
+     meaning. *)
+  let batch_n =
+    if
+      config.Run_config.batch > 1
+      && Runtime.compiled_batchable compiled
+      && warm_entry <> None
+      && arrivals = None
+      && config.Run_config.faults = None
+    then config.Run_config.batch
+    else 1
+  in
   (* Seed round-robin: request r belongs to domain [r mod domains].  The
      per-domain lists are built back-to-front so the owner's LIFO pop
      replays its seeds in ascending request order — with one domain the
@@ -152,6 +297,9 @@ let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Ser
   let results = Array.make requests dummy in
   let steals = Atomic.make 0 in
   let retries_total = Atomic.make 0 in
+  let warm_hits = Atomic.make 0 in
+  let cold_builds = Atomic.make 0 in
+  let batched_total = Atomic.make 0 in
   (* Open-loop arrivals are offsets from this instant (set just before
      the workers spawn). *)
   let pool_t0 = ref 0.0 in
@@ -160,6 +308,40 @@ let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Ser
      merge is the cross-domain HDR aggregation story in practice. *)
   let lat_hdrs = Array.init domains (fun _ -> Obs.Hdr.create ()) in
   let breaker_flight = ref [] in
+  (* Instance acquisition: pop a reset instance from the warm entry, or
+     build a fresh one (the cold path — also the warm pool's fill
+     path).  Release resets and parks the instance for the next request;
+     an instance whose reset fails is dropped, never reused. *)
+  let acquire () =
+    match warm_entry with
+    | Some e ->
+      Mutex.lock e.e_lock;
+      (match e.e_free with
+       | inst :: rest ->
+         e.e_free <- rest;
+         Mutex.unlock e.e_lock;
+         Atomic.incr warm_hits;
+         if !Obs.Trace.on then Obs.Trace.incr_metric "pool.warm_hit";
+         inst
+       | [] ->
+         Mutex.unlock e.e_lock;
+         Atomic.incr cold_builds;
+         Runtime.new_instance compiled)
+    | None ->
+      Atomic.incr cold_builds;
+      Runtime.new_instance compiled
+  in
+  let release inst =
+    match warm_entry with
+    | None -> ()
+    | Some e ->
+      (match Runtime.reset inst with
+       | () ->
+         Mutex.lock e.e_lock;
+         if List.length e.e_free < instances_per_entry then e.e_free <- inst :: e.e_free;
+         Mutex.unlock e.e_lock
+       | exception _ -> () (* poisoned: evict by dropping *))
+  in
   (* Circuit breaker: consecutive requests whose FINAL outcome was a
      failure or deadline (retries exhausted).  Once the count reaches the
      threshold the circuit opens and every not-yet-started request is
@@ -219,9 +401,13 @@ let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Ser
         let a0 = Obs.Clock.now_ns () in
         let outcome =
           try
-            let t = Runtime.instantiate ~config:request_config g in
+            let t = acquire () in
             let sources, sinks = io r in
-            Runtime.run t ~sources ~sinks
+            let outcome = Runtime.run t ~sources ~sinks in
+            (* Reset and park the instance for the next request; a raise
+               above leaves it un-released (dropped), never reused. *)
+            release t;
+            outcome
           with exn ->
             (* Wiring/instantiation raises (caller bugs) are captured so
                the pool still runs every request to completion. *)
@@ -282,6 +468,82 @@ let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Ser
           req_latency_ns = latency }
     end
   in
+  (* Batched execution: pump [rs]'s inputs through ONE warm run via
+     per-slot source concatenation, then demultiplex the outputs by even
+     split.  Only attempted when every request supplies length-known
+     sources of identical per-slot length (so the split point is
+     defined); any other shape, a non-Completed outcome or an output
+     count not divisible by the batch size falls back to individual
+     execution — correctness never depends on batching.  Returns [true]
+     when the whole batch was served. *)
+  let execute_batch ~domain rs =
+    let n = List.length rs in
+    let cg = Runtime.compiled_graph compiled in
+    let n_in = Array.length cg.Serialized.input_order in
+    let n_out = Array.length cg.Serialized.output_order in
+    let t0 = Obs.Clock.now_ns () in
+    let ios = List.map (fun r -> r, io r) rs in
+    let shapes_ok =
+      List.for_all
+        (fun (_, (srcs, snks)) -> List.length srcs = n_in && List.length snks = n_out)
+        ios
+    in
+    let slot_sources i = List.map (fun (_, (srcs, _)) -> List.nth srcs i) ios in
+    let lengths_ok =
+      shapes_ok
+      && List.for_all
+           (fun i ->
+             match List.map Io.source_length (slot_sources i) with
+             | Some l0 :: rest -> List.for_all (fun l -> l = Some l0) rest
+             | _ -> false)
+           (List.init n_in Fun.id)
+    in
+    if not lengths_ok then false
+    else begin
+      let sources = List.map (fun i -> Io.concat (slot_sources i)) (List.init n_in Fun.id) in
+      let collectors = List.init n_out (fun _ -> Io.buffer ()) in
+      let t = acquire () in
+      match Runtime.run t ~sources ~sinks:(List.map fst collectors) with
+      | Runtime.Completed _ as outcome ->
+        release t;
+        let outputs =
+          List.map (fun (_, contents) -> Array.of_list (contents ())) collectors
+        in
+        if not (List.for_all (fun arr -> Array.length arr mod n = 0) outputs) then false
+        else begin
+          let finished = Obs.Clock.now_ns () in
+          let dt = (finished -. t0) /. float_of_int n in
+          List.iteri
+            (fun k (r, (_, snks)) ->
+              List.iteri
+                (fun j snk ->
+                  let arr = List.nth outputs j in
+                  let per = Array.length arr / n in
+                  Io.sink_push_block snk (Array.sub arr (k * per) per))
+                snks;
+              Obs.Hdr.record lat_hdrs.(domain) dt;
+              results.(r) <-
+                { req_id = r; domain; stolen = false; outcome; attempts = 1; shed = false;
+                  req_wall_ns = dt; req_latency_ns = dt })
+            ios;
+          Atomic.set consec_failures 0;
+          Atomic.fetch_and_add batched_total n |> ignore;
+          if !Obs.Trace.on then begin
+            Obs.Trace.span
+              ~track:(Printf.sprintf "serve-domain-%d" domain)
+              ~cat:"pool" ~pid:3
+              ~name:(Printf.sprintf "batch-%d" n)
+              ~ts_ns:t0 ~dur_ns:(finished -. t0) ();
+            Obs.Trace.add_metric "pool.batched" (float_of_int n)
+          end;
+          true
+        end
+      | _other ->
+        release t;
+        false
+      | exception _ -> false (* instance dropped; individual path decides *)
+    end
+  in
   let worker domain () =
     Obs.Trace.set_thread_label (Printf.sprintf "serve-domain-%d" domain);
     let own = deques.(domain) in
@@ -292,18 +554,33 @@ let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Ser
         | Some _ as hit -> hit
         | None -> try_steal (k + 1)
     in
-    let rec loop () =
-      match pop_bottom own with
+    let steal_or_stop loop =
+      match try_steal 1 with
       | Some r ->
-        execute ~domain ~stolen:false r;
+        Atomic.incr steals;
+        execute ~domain ~stolen:true r;
         loop ()
-      | None -> (
-        match try_steal 1 with
-        | Some r ->
-          Atomic.incr steals;
-          execute ~domain ~stolen:true r;
+      | None -> ()
+    in
+    let rec loop () =
+      if batch_n > 1 then begin
+        match pop_bottom_many own batch_n with
+        | [] -> steal_or_stop loop
+        | [ r ] ->
+          execute ~domain ~stolen:false r;
           loop ()
-        | None -> ())
+        | rs ->
+          if breaker_open () || not (execute_batch ~domain rs) then
+            List.iter (execute ~domain ~stolen:false) rs;
+          loop ()
+      end
+      else begin
+        match pop_bottom own with
+        | Some r ->
+          execute ~domain ~stolen:false r;
+          loop ()
+        | None -> steal_or_stop loop
+      end
     in
     loop ()
   in
@@ -314,7 +591,13 @@ let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Ser
   Gc.set { gc with Gc.minor_heap_size = max gc.Gc.minor_heap_size (8 * 1024 * 1024) };
   pool_t0 := Obs.Clock.now_ns ();
   let t0 = !pool_t0 in
-  let spawned = Array.init domains (fun d -> Domain.spawn (worker d)) in
+  (* Worker 0 runs inline on the calling domain: spawning a child domain
+     for it costs real throughput on small hosts (every minor collection
+     is a stop-the-world handshake with the otherwise-idle joining
+     domain), and with [~domains:1] the pool must degenerate to a plain
+     sequential loop. *)
+  let spawned = Array.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+  worker 0 ();
   Array.iter Domain.join spawned;
   let wall_ns = Obs.Clock.now_ns () -. t0 in
   Gc.set gc;
@@ -330,8 +613,14 @@ let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Ser
     results;
   let retries_n = Atomic.get retries_total in
   let steals_n = Atomic.get steals in
+  let warm_n = Atomic.get warm_hits in
+  let cold_n = Atomic.get cold_builds in
+  let batched_n = Atomic.get batched_total in
   if retries_n > 0 then Obs.Metrics.add metrics "pool.retries" (float_of_int retries_n);
   if steals_n > 0 then Obs.Metrics.add metrics "pool.steals" (float_of_int steals_n);
+  if warm_n > 0 then Obs.Metrics.add metrics "pool.warm_hit" (float_of_int warm_n);
+  if cold_n > 0 then Obs.Metrics.add metrics "pool.cold" (float_of_int cold_n);
+  if batched_n > 0 then Obs.Metrics.add metrics "pool.batched" (float_of_int batched_n);
   Obs.Metrics.high_water metrics "pool.domains" (float_of_int domains);
   {
     domains;
@@ -339,6 +628,9 @@ let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Ser
     results;
     steals = steals_n;
     retries = retries_n;
+    warm_hits = warm_n;
+    cold_builds = cold_n;
+    batched = batched_n;
     breaker_tripped = Atomic.get breaker_tripped;
     counts = count_outcomes results;
     wall_ns;
@@ -347,6 +639,3 @@ let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Ser
   }
 
 let metrics_exposition s = Obs.Prom.of_snapshot s.metrics
-
-let run_opts ?queue_capacity ?block_io ?spsc ~domains ~requests ~io g =
-  run ~config:(Run_config.make ?queue_capacity ?block_io ?spsc ()) ~domains ~requests ~io g

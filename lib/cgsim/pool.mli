@@ -2,12 +2,35 @@
     per-request supervision.
 
     One serialized graph, N requests, D OCaml domains: each request gets
-    its own {!Runtime} instantiation (contexts are single-shot and share
-    no mutable state), so whole-graph simulations can run in parallel
-    even though each individual instance is cooperatively scheduled on a
-    single domain.  This is the "many independent simulations" serving
-    model — parameter sweeps, regression batteries, request services —
-    rather than intra-graph parallelism.
+    its own {!Runtime} instance (instances share no mutable state), so
+    whole-graph simulations can run in parallel even though each
+    individual instance is cooperatively scheduled on a single domain.
+    This is the "many independent simulations" serving model — parameter
+    sweeps, regression batteries, request services — rather than
+    intra-graph parallelism.
+
+    {b Warm serving} (default, [config.warm]): the graph is
+    {!Runtime.compile}d once — validation, registry resolution and the
+    pre-flight lint verdict live in a bounded process-wide cache keyed
+    by graph identity + config compatibility (LRU-evicted; see
+    {!clear_warm_cache}) — and served requests draw {!Runtime.reset}
+    instances from the entry's idle pool instead of rebuilding queues
+    and wiring per attempt.  An instance whose reset fails is dropped.
+    [config.warm = false] forces the cold path: a fresh instance per
+    attempt (still compiled once per {!run}).
+
+    {b Batching} ([config.batch] > 1): when the compiled graph is
+    provably batchable (every kernel declared [~pure:true] {e and}
+    [~stateless:true] — purity alone admits local delay lines, which
+    concatenation would corrupt), the run is closed-loop and no
+    fault plan is installed, a domain pops up to [batch] of its own
+    requests at once, concatenates their per-slot inputs
+    ({!Io.concat}), pumps them through one warm run and demultiplexes
+    the outputs by even split.  Requests with unknown or mismatched
+    input lengths, non-[Completed] batch outcomes or outputs not
+    divisible by the batch size fall back to individual execution —
+    batching is a fast path, never a semantic change.  Stolen requests
+    are never batched.
 
     Requests are distributed round-robin across per-domain work deques;
     a domain that drains its own deque steals from the others (owner
@@ -69,6 +92,9 @@ type stats = {
   results : request_result array;  (** Indexed by request id. *)
   steals : int;  (** Requests executed by a non-owner domain. *)
   retries : int;  (** Retry attempts across all requests. *)
+  warm_hits : int;  (** Attempts served by a reused (reset) instance. *)
+  cold_builds : int;  (** Attempts that built a fresh instance. *)
+  batched : int;  (** Requests served through a multiplexed batch run. *)
   breaker_tripped : bool;  (** The circuit opened at least once. *)
   counts : outcome_counts;
   wall_ns : float;  (** Whole-pool wall time, spawn to last join. *)
@@ -121,15 +147,7 @@ val run :
     See {!Obs.Prom}. *)
 val metrics_exposition : stats -> string
 
-(** Deprecated optional-argument bridge; equivalent to building a
-    {!Run_config.t} with the same knobs (no retries, no breaker). *)
-val run_opts :
-  ?queue_capacity:int ->
-  ?block_io:bool ->
-  ?spsc:bool ->
-  domains:int ->
-  requests:int ->
-  io:(int -> Io.source list * Io.sink list) ->
-  Serialized.t ->
-  stats
-[@@ocaml.deprecated "use run ?config with Run_config"]
+(** Drop every cached compiled graph and idle warm instance.  Mainly for
+    tests and benchmarks that compare warm against genuinely cold
+    serving; production callers never need it (the cache is bounded). *)
+val clear_warm_cache : unit -> unit

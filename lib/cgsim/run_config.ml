@@ -26,6 +26,8 @@ type t = {
   breaker_threshold : int option;
   faults : Faults.t option;
   seed : int;
+  warm : bool;
+  batch : int;
 }
 
 let default =
@@ -43,6 +45,8 @@ let default =
     breaker_threshold = None;
     faults = None;
     seed = 1;
+    warm = true;
+    batch = 1;
   }
 
 let with_hooks hooks t = { t with hooks }
@@ -65,20 +69,8 @@ let with_backoff ?base_ns ?cap_ns t =
 let with_breaker threshold t = { t with breaker_threshold = Some threshold }
 let with_faults faults t = { t with faults = Some faults }
 let with_seed seed t = { t with seed }
+let with_warm warm t = { t with warm }
 
-(* Bridge for the deprecated optional-arg entry points: exactly the old
-   defaults when an argument is omitted. *)
-let make ?hooks ?queue_capacity ?block_io ?spsc ?lint ?deadline_ns ?max_steps ?retries ?faults ()
-    =
-  {
-    default with
-    hooks = Option.value hooks ~default:Hooks.none;
-    queue_capacity;
-    block_io = Option.value block_io ~default:true;
-    spsc = Option.value spsc ~default:true;
-    lint = Option.value lint ~default:`Warn;
-    deadline_ns;
-    max_steps;
-    retries = Option.value retries ~default:0;
-    faults;
-  }
+let with_batch batch t =
+  if batch < 1 then invalid_arg "cgsim: Run_config.with_batch needs a positive batch size";
+  { t with batch }

@@ -40,6 +40,16 @@ type t = {
           circuit opens and remaining requests are shed; default off. *)
   faults : Faults.t option;  (** Fault-injection plan; default none. *)
   seed : int;  (** Seed for backoff jitter (determinism). *)
+  warm : bool;
+      (** {!Pool} only: serve requests from per-domain warm runtime
+          instances (compile once, {!Runtime.reset} between requests);
+          default [true].  [false] forces the cold path — a fresh
+          instantiation per attempt. *)
+  batch : int;
+      (** {!Pool} only: maximum requests pumped through one warm run when
+          the graph is provably batchable (every kernel declared
+          [~pure:true] and [~stateless:true]); default 1 (no batching).
+          Ignored on the cold path and for open-loop arrivals. *)
 }
 
 val default : t
@@ -57,18 +67,7 @@ val with_backoff : ?base_ns:float -> ?cap_ns:float -> t -> t
 val with_breaker : int -> t -> t
 val with_faults : Faults.t -> t -> t
 val with_seed : int -> t -> t
+val with_warm : bool -> t -> t
 
-(** Bridge used by the deprecated optional-arg shims: omitted arguments
-    take exactly the historical defaults. *)
-val make :
-  ?hooks:Hooks.t ->
-  ?queue_capacity:int ->
-  ?block_io:bool ->
-  ?spsc:bool ->
-  ?lint:lint_level ->
-  ?deadline_ns:float ->
-  ?max_steps:int ->
-  ?retries:int ->
-  ?faults:Faults.t ->
-  unit ->
-  t
+(** Raises [Invalid_argument] unless the batch size is positive. *)
+val with_batch : int -> t -> t

@@ -159,12 +159,63 @@ let pp_outcome ppf = function
   | Cancelled -> Format.pp_print_string ppf "cancelled"
   | Kernel_failed f -> Format.pp_print_string ppf (failure_message f)
 
+(* ------------------------------------------------------------------ *)
+(* Compiled graphs and warm instances                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The lifecycle is split in two (the paper's own separation of the
+   static compute-graph description from its simulated execution):
+
+   - [compiled]: everything derivable from the Serialized.t + Run_config
+     pair alone — validation, registry resolution, per-net queue
+     capacities, precomputed fiber profiler keys, graph purity and the
+     pre-flight lint verdict.  Built once, shared freely.
+
+   - [t] (an instance): the mutable per-request state — queues with their
+     registered endpoints and sealed SPSC plan, the scheduler, failure
+     slot and the I/O slots of the current run.  [reset] restores a used
+     instance to pristine without reallocating any of it; [arm] (called
+     by every [run]) re-applies the hook stack to the raw ports and
+     respawns all fibers, so per-instantiation hook state (fault access
+     counters, tracing) behaves exactly as a fresh build. *)
+
+type compiled = {
+  c_graph : Serialized.t;
+  c_config : Run_config.t;
+  c_kernels : Kernel.t array;  (* registry-resolved, indexed like kernels *)
+  c_prof_keys : string array;  (* per kernel inst, for Sched.spawn *)
+  c_capacities : int array;  (* per net id *)
+  c_pure : bool;  (* every kernel body declared Pure *)
+  c_batchable : bool;  (* every kernel Pure AND stateless: concat-safe *)
+  c_linted : bool;  (* pre-flight verdict already established *)
+}
+
+(* One kernel port wired to its queue endpoint.  Raw (unhooked) port
+   records are built once per instance; [arm] wraps them per run. *)
+type port_wire =
+  | Wire_in of int * Port.reader  (* port index in inst.ports *)
+  | Wire_out of int * Port.writer
+
+type wired_kernel = {
+  wk_inst : Serialized.kernel_inst;
+  wk_kernel : Kernel.t;
+  wk_prof_key : string;
+  wk_wires : port_wire array;  (* in inst.ports order *)
+  wk_producers : Bqueue.producer list;  (* closed when the fiber ends *)
+}
+
 type t = {
   graph : Serialized.t;
   sched : Sched.t;
   queues : Bqueue.t array;  (* indexed by net id *)
-  mutable config : Run_config.t;
+  config : Run_config.t;
+  kernels : wired_kernel array;
+  in_producers : Bqueue.producer array;  (* per input_order slot *)
+  out_consumers : Bqueue.consumer array;  (* per output_order slot *)
+  mutable cur_sources : Io.source array;  (* the current run's I/O *)
+  mutable cur_sinks : Io.sink array;
   mutable ran : bool;
+  mutable linted : bool;
   mutable failure : failure option;  (* first kernel failure, with context *)
 }
 
@@ -180,12 +231,210 @@ let cancel t = Sched.cancel t.sched
    by the queue capacity so a chunk is at most one full ring. *)
 let io_chunk q = max 1 (min (Bqueue.capacity q) 1024)
 
+let resolve_graph ~(config : Run_config.t) (g : Serialized.t) =
+  (match Serialized.validate_diags g with
+   | [] -> ()
+   | diags ->
+     fail "cannot instantiate %s: %s" g.Serialized.gname
+       (String.concat "; " (List.map Diagnostic.render diags)));
+  let kernels =
+    Array.map
+      (fun (inst : Serialized.kernel_inst) ->
+        match Registry.find inst.key with
+        | Some k -> k
+        | None -> fail "graph %s references unregistered kernel %s" g.Serialized.gname inst.key)
+      g.Serialized.kernels
+  in
+  let prof_keys =
+    Array.map
+      (fun (inst : Serialized.kernel_inst) -> Obs.Profile.prefix ^ inst.Serialized.inst_name)
+      g.Serialized.kernels
+  in
+  let capacities =
+    Array.map
+      (fun (n : Serialized.net) ->
+        match config.Run_config.queue_capacity with
+        | Some c -> c
+        | None -> Settings.resolved_depth ~elem_bytes:(Dtype.size_bytes n.dtype) n.settings)
+      g.Serialized.nets
+  in
+  let pure = Array.for_all (fun k -> k.Kernel.purity = Kernel.Pure) kernels in
+  let batchable =
+    pure && Array.for_all (fun k -> k.Kernel.stateless) kernels
+  in
+  kernels, prof_keys, capacities, pure, batchable
+
+let compile_internal ~linted ~(config : Run_config.t) (g : Serialized.t) =
+  let kernels, prof_keys, capacities, pure, batchable = resolve_graph ~config g in
+  {
+    c_graph = g;
+    c_config = config;
+    c_kernels = kernels;
+    c_prof_keys = prof_keys;
+    c_capacities = capacities;
+    c_pure = pure;
+    c_batchable = batchable;
+    c_linted = linted;
+  }
+
+let compile ?(config = Run_config.default) (g : Serialized.t) =
+  let c = compile_internal ~linted:true ~config g in
+  (* The lint verdict is part of the compiled artifact: warm hits and
+     retries reuse it instead of re-running the analyzer. *)
+  preflight ~lint:config.Run_config.lint g;
+  c
+
+let compiled_graph c = c.c_graph
+
+let compiled_config c = c.c_config
+
+let compiled_pure c = c.c_pure
+
+let compiled_batchable c = c.c_batchable
+
+(* Every net must end wiring with at least one producer and one consumer
+   on its queue: a producer-less queue never closes (its readers would
+   hang until end-of-run cancellation), and a consumer-less queue retires
+   nothing (its writers fill it and hang).  Both used to fail silently at
+   run time; now they fail at instance build, naming the kernel ports. *)
+let check_wiring ~(g : Serialized.t) queues =
+  let describe_eps eps =
+    match eps with
+    | [] -> "no kernel ports"
+    | _ ->
+      String.concat ", "
+        (List.map
+           (fun (ep : Serialized.endpoint) ->
+             let ki = g.Serialized.kernels.(ep.kernel_idx) in
+             Printf.sprintf "%s.%s" ki.inst_name ki.ports.(ep.port_idx).Kernel.pname)
+           eps)
+  in
+  Array.iteri
+    (fun id q ->
+      let (n : Serialized.net) = g.Serialized.nets.(id) in
+      if Bqueue.producers q = 0 then
+        fail "graph %s: net %s has no producer — readers %s would hang (missing source?)"
+          g.gname (Bqueue.name q) (describe_eps n.readers);
+      if Bqueue.consumers q = 0 then
+        fail "graph %s: net %s has no consumer — writers %s would hang (missing sink?)"
+          g.gname (Bqueue.name q) (describe_eps n.writers))
+    queues
+
+(* Build the per-request state from a compiled graph: queues, endpoint
+   registration (kernel ports and one producer/consumer per global I/O
+   slot, so endpoint counts are static and the SPSC seal survives
+   resets), wiring check and seal — everything [run] does not have to
+   repeat. *)
+let new_instance (c : compiled) =
+  let g = c.c_graph in
+  let config = c.c_config in
+  let sched = Sched.create () in
+  let queues =
+    Array.mapi
+      (fun id (n : Serialized.net) ->
+        Bqueue.create
+          ~name:(Printf.sprintf "%s/net%d" g.Serialized.gname n.net_id)
+          ~dtype:n.dtype ~capacity:c.c_capacities.(id) ())
+      g.Serialized.nets
+  in
+  let block_io = config.Run_config.block_io in
+  let kernels =
+    Array.mapi
+      (fun idx (inst : Serialized.kernel_inst) ->
+        let producers = ref [] in
+        let wires =
+          Array.mapi
+            (fun port_idx (spec : Kernel.port_spec) ->
+              let q = queues.(inst.port_nets.(port_idx)) in
+              Port.check_dtype ~expected:spec.Kernel.dtype ~actual:(Bqueue.dtype q)
+                ~what:(Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname);
+              match spec.Kernel.dir with
+              | Kernel.In ->
+                let cns = Bqueue.add_consumer q in
+                Wire_in
+                  ( port_idx,
+                    {
+                      Port.r_name = Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname;
+                      r_dtype = spec.Kernel.dtype;
+                      r_get = (fun () -> Bqueue.get cns);
+                      r_peek = (fun () -> Bqueue.peek cns);
+                      r_available = (fun () -> Bqueue.available cns);
+                      r_get_block =
+                        (if block_io then fun n -> Bqueue.get_block cns n
+                         else Port.block_get_of_get (fun () -> Bqueue.get cns));
+                    } )
+              | Kernel.Out ->
+                let p = Bqueue.add_producer q in
+                producers := p :: !producers;
+                Wire_out
+                  ( port_idx,
+                    {
+                      Port.w_name = Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname;
+                      w_dtype = spec.Kernel.dtype;
+                      w_put = (fun v -> Bqueue.put p v);
+                      w_put_block =
+                        (if block_io then Bqueue.put_block p
+                         else Port.block_put_of_put (fun v -> Bqueue.put p v));
+                      w_space = (fun () -> Bqueue.space q);
+                    } ))
+            inst.ports
+        in
+        {
+          wk_inst = inst;
+          wk_kernel = c.c_kernels.(idx);
+          wk_prof_key = c.c_prof_keys.(idx);
+          wk_wires = wires;
+          wk_producers = !producers;
+        })
+      g.Serialized.kernels
+  in
+  let in_producers =
+    Array.map (fun net_id -> Bqueue.add_producer queues.(net_id)) g.Serialized.input_order
+  in
+  let out_consumers =
+    Array.map (fun net_id -> Bqueue.add_consumer queues.(net_id)) g.Serialized.output_order
+  in
+  check_wiring ~g queues;
+  Array.iter (fun q -> Bqueue.seal ~spsc:config.Run_config.spsc q) queues;
+  {
+    graph = g;
+    sched;
+    queues;
+    config;
+    kernels;
+    in_producers;
+    out_consumers;
+    cur_sources = [||];
+    cur_sinks = [||];
+    ran = false;
+    linted = c.c_linted;
+    failure = None;
+  }
+
+(* [instantiate] keeps its historical semantics: the graph is validated
+   and wired here, but the pre-flight lint still happens at the first
+   [run] (the compiled artifact of a bare instantiate carries no
+   verdict). *)
+let instantiate ?(config = Run_config.default) (g : Serialized.t) =
+  new_instance (compile_internal ~linted:false ~config g)
+
+(* Restore a used instance to pristine: ring cursors, producer-open
+   flags, scheduler state and the failure slot all return to their
+   just-built values; nothing is reallocated and the endpoint set (and
+   with it the sealed SPSC plan and lint verdict) is preserved. *)
+let reset t =
+  Array.iter Bqueue.reset t.queues;
+  Sched.reset t.sched;
+  t.cur_sources <- [||];
+  t.cur_sinks <- [||];
+  t.ran <- false;
+  t.failure <- None
+
 (* Failure supervision, expressed as the outermost body hook: a kernel
    body raising is recorded — kernel name, exception, backtrace, source
    span from the graph — before the scheduler's fiber boundary sees it.
-   Only the first failure is kept (later ones are usually collateral).
-   [ctx] is filled in by [instantiate] before any body can run. *)
-let supervise_hooks (ctx : t option ref) =
+   Only the first failure is kept (later ones are usually collateral). *)
+let supervise_hooks (t : t) =
   {
     Hooks.wrap_reader = (fun _ _ r -> r);
     wrap_writer = (fun _ _ w -> w);
@@ -196,212 +445,129 @@ let supervise_hooks (ctx : t option ref) =
         | e ->
           let bt = Printexc.get_backtrace () in
           Obs.Flight.note Obs.Flight.Body_raise inst.Serialized.inst_name;
-          (match !ctx with
-           | Some t when t.failure = None ->
-             (* Snapshot here, on the failing domain, while the ring still
-                holds the events leading up to the raise. *)
-             t.failure <-
-               Some
-                 {
-                   f_graph = t.graph.Serialized.gname;
-                   f_kernel = inst.Serialized.inst_name;
-                   f_exn = e;
-                   f_backtrace = String.trim bt;
-                   f_src = inst.Serialized.src;
-                   f_flight = Obs.Flight.snapshot ();
-                 }
-           | _ -> ());
+          if t.failure = None then
+            (* Snapshot here, on the failing domain, while the ring still
+               holds the events leading up to the raise. *)
+            t.failure <-
+              Some
+                {
+                  f_graph = t.graph.Serialized.gname;
+                  f_kernel = inst.Serialized.inst_name;
+                  f_exn = e;
+                  f_backtrace = String.trim bt;
+                  f_src = inst.Serialized.src;
+                  f_flight = Obs.Flight.snapshot ();
+                };
           raise e);
   }
 
-let instantiate ?(config = Run_config.default) (g : Serialized.t) =
-  (* Hook nesting, outermost first: failure supervision, caller hooks,
-     observability counters, fault injection.  Faults sit innermost so an
-     injected raise unwinds through (and is seen by) every other layer,
-     exactly like a real kernel bug. *)
-  let ctx = ref None in
-  let hooks = Hooks.compose (supervise_hooks ctx) config.Run_config.hooks in
+(* Arm the instance for one run: compose the hook stack and spawn every
+   fiber.  Hook nesting, outermost first: failure supervision, caller
+   hooks, observability counters, fault injection.  Faults sit innermost
+   so an injected raise unwinds through (and is seen by) every other
+   layer, exactly like a real kernel bug.  Re-wrapping per run keeps
+   per-instantiation hook state — fault access counters, trace-session
+   checks — identical to a fresh build. *)
+let arm t =
+  let config = t.config in
+  let hooks = Hooks.compose (supervise_hooks t) config.Run_config.hooks in
   let hooks = if !Obs.Trace.on then Hooks.compose hooks (obs_hooks ()) else hooks in
   let hooks =
     match config.Run_config.faults with
     | None -> hooks
     | Some plan -> Hooks.compose hooks (Faults.hooks plan)
   in
-  (match Serialized.validate_diags g with
-   | [] -> ()
-   | diags ->
-     fail "cannot instantiate %s: %s" g.Serialized.gname
-       (String.concat "; " (List.map Diagnostic.render diags)));
-  let sched = Sched.create () in
-  let queues =
-    Array.map
-      (fun (n : Serialized.net) ->
-        let elem_bytes = Dtype.size_bytes n.dtype in
-        let capacity =
-          match config.Run_config.queue_capacity with
-          | Some c -> c
-          | None -> Settings.resolved_depth ~elem_bytes n.settings
-        in
-        Bqueue.create
-          ~name:(Printf.sprintf "%s/net%d" g.Serialized.gname n.net_id)
-          ~dtype:n.dtype ~capacity ())
-      g.Serialized.nets
-  in
-  let t = { graph = g; sched; queues; config; ran = false; failure = None } in
-  ctx := Some t;
-  let block_io = config.Run_config.block_io in
-  (* Wire every kernel instance.  Endpoint registration happens here, up
-     front, so broadcast completeness holds from the first element. *)
-  Array.iteri
-    (fun _idx (inst : Serialized.kernel_inst) ->
-      let kernel =
-        match Registry.find inst.key with
-        | Some k -> k
-        | None -> fail "graph %s references unregistered kernel %s" g.Serialized.gname inst.key
-      in
+  Array.iter
+    (fun wk ->
+      let inst = wk.wk_inst in
       let readers = ref [] in
       let writers = ref [] in
-      let writer_producers = ref [] in
-      Array.iteri
-        (fun port_idx (spec : Kernel.port_spec) ->
-          let q = queues.(inst.port_nets.(port_idx)) in
-          Port.check_dtype ~expected:spec.Kernel.dtype ~actual:(Bqueue.dtype q)
-            ~what:(Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname);
-          match spec.Kernel.dir with
-          | Kernel.In ->
-            let c = Bqueue.add_consumer q in
-            let r =
-              {
-                Port.r_name = Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname;
-                r_dtype = spec.Kernel.dtype;
-                r_get = (fun () -> Bqueue.get c);
-                r_peek = (fun () -> Bqueue.peek c);
-                r_available = (fun () -> Bqueue.available c);
-                r_get_block =
-                  (if block_io then fun n -> Bqueue.get_block c n
-                   else Port.block_get_of_get (fun () -> Bqueue.get c));
-              }
-            in
+      Array.iter
+        (fun wire ->
+          match wire with
+          | Wire_in (port_idx, r) ->
             readers := hooks.Hooks.wrap_reader inst port_idx r :: !readers
-          | Kernel.Out ->
-            let p = Bqueue.add_producer q in
-            writer_producers := p :: !writer_producers;
-            let w =
-              {
-                Port.w_name = Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname;
-                w_dtype = spec.Kernel.dtype;
-                w_put = (fun v -> Bqueue.put p v);
-                w_put_block =
-                  (if block_io then Bqueue.put_block p
-                   else Port.block_put_of_put (fun v -> Bqueue.put p v));
-                w_space = (fun () -> Bqueue.space q);
-              }
-            in
+          | Wire_out (port_idx, w) ->
             writers := hooks.Hooks.wrap_writer inst port_idx w :: !writers)
-        inst.ports;
+        wk.wk_wires;
       let binding =
         {
           Kernel.readers = Array.of_list (List.rev !readers);
           writers = Array.of_list (List.rev !writers);
         }
       in
-      let producers = !writer_producers in
+      let producers = wk.wk_producers in
       let body () =
         (* When a kernel terminates (normally or via End_of_stream), its
            output nets lose one producer; fully-drained nets close and the
            closure propagates downstream. *)
         Fun.protect
           ~finally:(fun () -> List.iter Bqueue.producer_done producers)
-          (hooks.Hooks.around_body inst (fun () -> kernel.Kernel.body binding))
+          (hooks.Hooks.around_body inst (fun () -> wk.wk_kernel.Kernel.body binding))
       in
-      Sched.spawn sched ~name:inst.inst_name body)
-    g.Serialized.kernels;
-  t
-
-let attach_source t net_id source =
-  let q = t.queues.(net_id) in
-  let p = Bqueue.add_producer q in
-  let body =
-    if t.config.Run_config.block_io then begin
-      let pull_block = Io.source_pull_block source in
-      let chunk = io_chunk q in
-      fun () ->
-        let rec loop () =
-          let vs = pull_block chunk in
-          if Array.length vs > 0 then begin
-            Bqueue.put_block p vs;
-            loop ()
-          end
-        in
-        loop ()
-    end
-    else begin
-      let pull = Io.source_pull source in
-      fun () ->
-        let rec loop () =
-          match pull () with
-          | Some v ->
-            Bqueue.put p v;
-            loop ()
-          | None -> ()
-        in
-        loop ()
-    end
-  in
-  Sched.spawn t.sched ~name:(Io.source_name source) (fun () ->
-      Fun.protect ~finally:(fun () -> Bqueue.producer_done p) body)
-
-let attach_sink t net_id sink =
-  let q = t.queues.(net_id) in
-  let c = Bqueue.add_consumer q in
-  let body =
-    if t.config.Run_config.block_io then begin
-      let chunk = io_chunk q in
-      fun () ->
-        let rec loop () =
-          let vs = Bqueue.get_some c ~max:chunk in
-          Io.sink_push_block sink vs;
-          loop ()
-        in
-        loop ()
-    end
-    else fun () ->
-      let rec loop () =
-        let v = Bqueue.get c in
-        Io.sink_push sink v;
-        loop ()
-      in
-      loop ()
-  in
-  Sched.spawn t.sched ~name:(Io.sink_name sink) body
-
-(* Every net must end wiring with at least one producer and one consumer
-   on its queue: a producer-less queue never closes (its readers would
-   hang until end-of-run cancellation), and a consumer-less queue retires
-   nothing (its writers fill it and hang).  Both used to fail silently at
-   run time; now they fail up front, naming the kernel ports on the net. *)
-let check_wiring t =
-  let describe_eps eps =
-    match eps with
-    | [] -> "no kernel ports"
-    | _ ->
-      String.concat ", "
-        (List.map
-           (fun (ep : Serialized.endpoint) ->
-             let ki = t.graph.Serialized.kernels.(ep.kernel_idx) in
-             Printf.sprintf "%s.%s" ki.inst_name ki.ports.(ep.port_idx).Kernel.pname)
-           eps)
-  in
+      Sched.spawn ~prof_key:wk.wk_prof_key t.sched ~name:inst.inst_name body)
+    t.kernels;
   Array.iteri
-    (fun id q ->
-      let (n : Serialized.net) = t.graph.Serialized.nets.(id) in
-      if Bqueue.producers q = 0 then
-        fail "graph %s: net %s has no producer — readers %s would hang (missing source?)"
-          t.graph.gname (Bqueue.name q) (describe_eps n.readers);
-      if Bqueue.consumers q = 0 then
-        fail "graph %s: net %s has no consumer — writers %s would hang (missing sink?)"
-          t.graph.gname (Bqueue.name q) (describe_eps n.writers))
-    t.queues
+    (fun i net_id ->
+      let source = t.cur_sources.(i) in
+      let q = t.queues.(net_id) in
+      let p = t.in_producers.(i) in
+      let body =
+        if config.Run_config.block_io then begin
+          let pull_block = Io.source_pull_block source in
+          let chunk = io_chunk q in
+          fun () ->
+            let rec loop () =
+              let vs = pull_block chunk in
+              if Array.length vs > 0 then begin
+                Bqueue.put_block p vs;
+                loop ()
+              end
+            in
+            loop ()
+        end
+        else begin
+          let pull = Io.source_pull source in
+          fun () ->
+            let rec loop () =
+              match pull () with
+              | Some v ->
+                Bqueue.put p v;
+                loop ()
+              | None -> ()
+            in
+            loop ()
+        end
+      in
+      Sched.spawn t.sched ~name:(Io.source_name source) (fun () ->
+          Fun.protect ~finally:(fun () -> Bqueue.producer_done p) body))
+    t.graph.Serialized.input_order;
+  Array.iteri
+    (fun i net_id ->
+      let sink = t.cur_sinks.(i) in
+      let q = t.queues.(net_id) in
+      let c = t.out_consumers.(i) in
+      let body =
+        if config.Run_config.block_io then begin
+          let chunk = io_chunk q in
+          fun () ->
+            let rec loop () =
+              let vs = Bqueue.get_some c ~max:chunk in
+              Io.sink_push_block sink vs;
+              loop ()
+            in
+            loop ()
+        end
+        else fun () ->
+          let rec loop () =
+            let v = Bqueue.get c in
+            Io.sink_push sink v;
+            loop ()
+          in
+          loop ()
+      in
+      Sched.spawn t.sched ~name:(Io.sink_name sink) body)
+    t.graph.Serialized.output_order
 
 (* Source span of a kernel instance by fiber name, for failures recorded
    at the scheduler boundary (source/sink fibers have no span). *)
@@ -415,11 +581,16 @@ let occupancy_snapshot t =
   Array.to_list (Array.map (fun q -> Bqueue.name q, Bqueue.occupancy q) t.queues)
 
 let run t ~sources ~sinks =
-  if t.ran then fail "runtime context for %s is single-shot; instantiate again" t.graph.gname;
+  if t.ran then
+    fail "runtime context for %s already ran; reset it (or instantiate again)" t.graph.gname;
   (* Pre-flight static analysis happens before any fiber is scheduled:
      at [`Error] a failing graph is refused before a single kernel body
-     executes. *)
-  preflight ~lint:t.config.Run_config.lint t.graph;
+     executes.  A compiled graph's verdict (and a reset instance's) is
+     reused — warm hits and retries never re-lint. *)
+  if not t.linted then begin
+    preflight ~lint:t.config.Run_config.lint t.graph;
+    t.linted <- true
+  end;
   t.ran <- true;
   let n_in = Array.length t.graph.Serialized.input_order in
   let n_out = Array.length t.graph.Serialized.output_order in
@@ -429,12 +600,9 @@ let run t ~sources ~sinks =
   if List.length sinks <> n_out then
     fail "graph %s has %d global outputs but %d sinks were supplied" t.graph.gname n_out
       (List.length sinks);
-  List.iteri (fun i src -> attach_source t t.graph.Serialized.input_order.(i) src) sources;
-  List.iteri (fun i snk -> attach_sink t t.graph.Serialized.output_order.(i) snk) sinks;
-  (* Wiring is complete: verify every edge, then seal the queues so
-     1-producer/1-consumer edges take the SPSC fast path. *)
-  check_wiring t;
-  Array.iter (fun q -> Bqueue.seal ~spsc:t.config.Run_config.spsc q) t.queues;
+  t.cur_sources <- Array.of_list sources;
+  t.cur_sinks <- Array.of_list sinks;
+  arm t;
   let stats =
     Sched.run ?deadline_ns:t.config.Run_config.deadline_ns
       ?max_steps:t.config.Run_config.max_steps t.sched
@@ -489,21 +657,3 @@ let execute ?config g ~sources ~sinks =
   run t ~sources ~sinks
 
 let execute_exn ?config g ~sources ~sinks = stats_exn (execute ?config g ~sources ~sinks)
-
-(* ------------------------------------------------------------------ *)
-(* Deprecated optional-arg shims (one release; see docs/ROBUSTNESS.md)  *)
-(* ------------------------------------------------------------------ *)
-
-let instantiate_opts ?hooks ?queue_capacity ?block_io ?spsc g =
-  instantiate ~config:(Run_config.make ?hooks ?queue_capacity ?block_io ?spsc ()) g
-
-let run_opts ?lint t ~sources ~sinks =
-  (match lint with
-   | Some lint -> t.config <- Run_config.with_lint lint t.config
-   | None -> ());
-  stats_exn (run t ~sources ~sinks)
-
-let execute_opts ?hooks ?queue_capacity ?block_io ?spsc ?lint g ~sources ~sinks =
-  stats_exn
-    (execute ~config:(Run_config.make ?hooks ?queue_capacity ?block_io ?spsc ?lint ()) g ~sources
-       ~sinks)

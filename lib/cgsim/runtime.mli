@@ -12,10 +12,19 @@
     structured {!outcome} instead of raising on failure.  Use
     {!run_exn}/{!execute_exn} for the raising convenience.
 
-    Each instantiation is one execution instance; contexts are
-    single-shot (build a fresh one per run, as cgsim does). *)
+    The lifecycle is split between an immutable {!compiled} graph
+    (validation, registry resolution, queue capacities, profiler keys,
+    purity, lint verdict — everything derivable from the
+    {!Serialized.t} + {!Run_config.t} pair alone) and cheap per-request
+    instances: {!new_instance} builds one, a run uses it, and {!reset}
+    restores it to pristine without reallocation so warm serving reuses
+    queues, endpoints and the sealed SPSC plan.  {!instantiate} remains
+    the one-shot convenience (compile + new instance). *)
 
 type t
+
+(** An immutable compiled graph: share freely, build instances from it. *)
+type compiled
 
 exception Runtime_error of string
 
@@ -121,6 +130,48 @@ val stats_exn : outcome -> Sched.stats
     the serialized form is invalid. *)
 val instantiate : ?config:Run_config.t -> Serialized.t -> t
 
+(** {1 Compile-once serving}
+
+    [compile g] does the per-graph work once: validation, registry
+    resolution, per-net queue-capacity resolution, profiler-key
+    precomputation, the purity check that gates request batching, and
+    the pre-flight lint at [config.lint] — the verdict is part of the
+    artifact, so instances built from it (and their resets) never
+    re-lint.  Raises exactly as {!instantiate} would on an invalid
+    graph, and as {!run}'s pre-flight would at [`Error]. *)
+val compile : ?config:Run_config.t -> Serialized.t -> compiled
+
+val compiled_graph : compiled -> Serialized.t
+
+val compiled_config : compiled -> Run_config.t
+
+(** Whether every kernel body is declared [Pure] ({!Kernel.define}'s
+    [?pure:true]) — the property concurrent {!Pool} serving relies on. *)
+val compiled_pure : compiled -> bool
+
+(** Whether every kernel is additionally declared [stateless]
+    (concatenation-safe: no memory across inputs within a run) — the
+    gate for pumping several requests through one warm run.  Implies
+    {!compiled_pure}. *)
+val compiled_batchable : compiled -> bool
+
+(** [new_instance c] builds the per-request state: queues at the
+    compiled capacities, all kernel and global-I/O endpoints registered
+    (so endpoint counts are static and the SPSC seal survives resets),
+    wiring verified and queues sealed.  The instance is ready for one
+    {!run}; {!reset} readies it for the next. *)
+val new_instance : compiled -> t
+
+(** [reset t] restores a used instance to its just-built state without
+    reallocating: ring cursors and sequence numbers return to zero,
+    producers reopen, the scheduler empties and the failure slot clears,
+    while the endpoint set, sealed SPSC plan and lint verdict are
+    preserved.  Works after any outcome, including [Kernel_failed] and
+    [Deadline_exceeded] (every run drives remaining fibers to
+    termination first).  Must not be called while {!run} is in progress
+    (raises [Invalid_argument]). *)
+val reset : t -> unit
+
 (** [run t ~sources ~sinks] attaches positional sources to the graph's
     global inputs and sinks to its global outputs (counts must match;
     {!Runtime_error} otherwise), verifies that every net ends up with at
@@ -163,29 +214,3 @@ val config : t -> Run_config.t
 (** Total elements that crossed each net during the last run, indexed by
     net id (diagnostics and bench reporting). *)
 val net_traffic : t -> int array
-
-(** {1 Deprecated shims}
-
-    One-release bridges for the pre-{!Run_config} optional-argument API;
-    see [docs/ROBUSTNESS.md] for the migration table.  They raise on
-    non-[Completed] outcomes exactly like the historical entry points. *)
-
-val instantiate_opts :
-  ?hooks:wrap_hooks -> ?queue_capacity:int -> ?block_io:bool -> ?spsc:bool -> Serialized.t -> t
-[@@ocaml.deprecated "use instantiate ?config with Run_config"]
-
-val run_opts :
-  ?lint:lint_level -> t -> sources:Io.source list -> sinks:Io.sink list -> Sched.stats
-[@@ocaml.deprecated "use run (returns outcome) or run_exn"]
-
-val execute_opts :
-  ?hooks:wrap_hooks ->
-  ?queue_capacity:int ->
-  ?block_io:bool ->
-  ?spsc:bool ->
-  ?lint:lint_level ->
-  Serialized.t ->
-  sources:Io.source list ->
-  sinks:Io.sink list ->
-  Sched.stats
-[@@ocaml.deprecated "use execute ?config (returns outcome) or execute_exn"]

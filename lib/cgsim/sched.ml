@@ -121,11 +121,34 @@ let current_name () =
    and exported obs spans must agree on what "now" means. *)
 let now_ns = Obs.Clock.now_ns
 
-let spawn (t : t) ~name fn =
-  let task = { name; prof_key = Obs.Profile.prefix ^ name; gen = 0; state = Initial fn } in
+let spawn ?prof_key (t : t) ~name fn =
+  let prof_key =
+    match prof_key with Some k -> k | None -> Obs.Profile.prefix ^ name
+  in
+  let task = { name; prof_key; gen = 0; state = Initial fn } in
   t.spawned <- t.spawned + 1;
   t.tasks <- task :: t.tasks;
   Queue.push task t.ready
+
+(* Restore a scheduler to its freshly-[create]d state so a warm runtime
+   instance can respawn its fibers without reallocating the scheduler.
+   All fibers must already be finished (every [run] drives the task set
+   to quiescence or terminates it), so dropping the task list loses no
+   live continuation. *)
+let reset (t : t) =
+  if t.in_run then invalid_arg "cgsim: Sched.reset called during run";
+  Queue.clear t.ready;
+  t.tasks <- [];
+  t.spawned <- 0;
+  t.completed <- 0;
+  t.cancelled <- 0;
+  t.failed <- [];
+  t.slices <- 0;
+  t.kernel_ns <- 0.0;
+  t.n_parked <- 0;
+  t.stop <- None;
+  t.stop_info <- None;
+  t.last_ran <- None
 
 (* Suspension points double as the cancellation checkpoints: once the
    scheduler's stop token is set, a fiber reaching any park/yield boundary

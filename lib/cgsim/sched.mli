@@ -69,8 +69,18 @@ val pp_stats : Format.formatter -> stats -> unit
 val create : unit -> t
 
 (** [spawn t ~name fn] registers a fiber in the suspended state.  Allowed
-    both before {!run} and from inside a running fiber. *)
-val spawn : t -> name:string -> (unit -> unit) -> unit
+    both before {!run} and from inside a running fiber.  [prof_key]
+    overrides the per-kernel profiler key (default
+    [Obs.Profile.prefix ^ name]); warm runtimes pass a precomputed key so
+    respawning a fiber never allocates the string again. *)
+val spawn : ?prof_key:string -> t -> name:string -> (unit -> unit) -> unit
+
+(** Restore the scheduler to its freshly-{!create}d state: empties the
+    task set and ready queue and zeroes all counters and the stop token.
+    Every prior {!run} drives fibers to quiescence (or terminates them),
+    so no live continuation is dropped.  Raises [Invalid_argument] if
+    called from inside {!run}. *)
+val reset : t -> unit
 
 (** Run until no fiber can continue.  Not reentrant.
 

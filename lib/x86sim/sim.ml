@@ -248,11 +248,3 @@ let stats_exn = function
       (match waiting with [] -> "<none>" | ws -> String.concat ", " ws)
 
 let run_exn ?config g ~sources ~sinks = stats_exn (run ?config g ~sources ~sinks)
-
-let run_opts ?queue_capacity g ~sources ~sinks =
-  let config =
-    match queue_capacity with
-    | None -> Cgsim.Run_config.default
-    | Some c -> Cgsim.Run_config.with_queue_capacity c Cgsim.Run_config.default
-  in
-  stats_exn (run ~config g ~sources ~sinks)

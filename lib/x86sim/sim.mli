@@ -63,13 +63,3 @@ val run_exn :
   sources:Cgsim.Io.source list ->
   sinks:Cgsim.Io.sink list ->
   stats
-
-(** Deprecated optional-argument bridge (raises on failure, like the
-    historical entry point). *)
-val run_opts :
-  ?queue_capacity:int ->
-  Cgsim.Serialized.t ->
-  sources:Cgsim.Io.source list ->
-  sinks:Cgsim.Io.sink list ->
-  stats
-[@@ocaml.deprecated "use run ?config with Cgsim.Run_config (returns outcome) or run_exn"]

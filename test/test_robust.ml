@@ -1,10 +1,6 @@
 (* Robustness stack tests: structured outcomes, deadlines, cancellation,
-   fault injection, pool supervision (retry + circuit breaker), and the
-   deprecated optional-argument shims against the Run_config path. *)
-
-(* The shim-equivalence cases exercise the deprecated entry points on
-   purpose. *)
-[@@@warning "-3"]
+   fault injection, and pool supervision (retry + circuit breaker),
+   including warm-vs-cold serving equivalence. *)
 
 let contains needle haystack =
   let nl = String.length needle and hl = String.length haystack in
@@ -398,94 +394,29 @@ let test_x86_failure_names_graph () =
    | o -> Alcotest.failf "expected Kernel_failed, got %s" (X86sim.Sim.outcome_label o))
 
 (* ------------------------------------------------------------------ *)
-(* Deprecated shims == Run_config path                                 *)
+(* Warm vs cold pool serving                                           *)
 (* ------------------------------------------------------------------ *)
 
-let test_shims_match_config_path () =
-  (* The optional-argument bridges must be behaviourally identical to
-     the Run_config record path on all four example apps. *)
-  List.iter
-    (fun (h : Apps.Harness.t) ->
-      let reps = 1 in
-      let via_config () =
-        let sinks, contents = h.Apps.Harness.make_sinks () in
-        ignore
-          (Cgsim.Runtime.execute_exn
-             ~config:Cgsim.Run_config.(with_queue_capacity 8 default)
-             (h.Apps.Harness.graph ())
-             ~sources:(h.Apps.Harness.sources ~reps) ~sinks);
-        contents ()
-      in
-      let via_shim () =
-        let sinks, contents = h.Apps.Harness.make_sinks () in
-        ignore
-          (Cgsim.Runtime.execute_opts ~queue_capacity:8
-             (h.Apps.Harness.graph ())
-             ~sources:(h.Apps.Harness.sources ~reps) ~sinks);
-        contents ()
-      in
-      let a = via_config () and b = via_shim () in
-      if not (List.for_all2 Cgsim.Value.equal a b) then
-        Alcotest.failf "%s: shim and config paths differ" h.Apps.Harness.name)
-    Apps.Harness.all
-
-let test_instantiate_shim_matches () =
-  let via_shim =
-    let t = Cgsim.Runtime.instantiate_opts ~spsc:false (chain_graph ()) in
-    let sink, contents = Cgsim.Io.f32_buffer () in
-    ignore (Cgsim.Runtime.run_opts t ~sources:[ chain_input 8 ] ~sinks:[ sink ]);
-    contents ()
-  in
-  let via_config =
-    let t =
-      Cgsim.Runtime.instantiate
-        ~config:Cgsim.Run_config.(with_spsc false default)
-        (chain_graph ())
-    in
-    let sink, contents = Cgsim.Io.f32_buffer () in
-    ignore (Cgsim.Runtime.stats_exn (Cgsim.Runtime.run t ~sources:[ chain_input 8 ] ~sinks:[ sink ]));
-    contents ()
-  in
-  Alcotest.(check (array (float 0.0))) "instantiate shim == config" via_config via_shim
-
-let test_pool_shim_matches () =
-  let requests = 3 in
-  let run_pool run_fn =
+let test_pool_warm_matches_cold () =
+  (* The warm path (reset instances from the cache) must produce exactly
+     the outputs of the cold path (fresh instance per attempt). *)
+  let requests = 4 in
+  let g = chain_graph () in
+  let run_pool config =
     let contents = Array.make requests (fun () -> [||]) in
-    let stats = run_fn (pool_io contents) in
-    Array.map (fun c -> c ()) (Array.map (fun r -> contents.(r.Cgsim.Pool.req_id)) stats.Cgsim.Pool.results)
+    let stats = Cgsim.Pool.run ~config ~domains:1 ~requests ~io:(pool_io contents) g in
+    Alcotest.(check int) "all completed" requests stats.Cgsim.Pool.counts.Cgsim.Pool.n_completed;
+    stats, Array.map (fun c -> c ()) contents
   in
-  let a =
-    run_pool (fun io ->
-        Cgsim.Pool.run
-          ~config:Cgsim.Run_config.(with_queue_capacity 4 default)
-          ~domains:1 ~requests ~io (chain_graph ()))
-  in
-  let b =
-    run_pool (fun io ->
-        Cgsim.Pool.run_opts ~queue_capacity:4 ~domains:1 ~requests ~io (chain_graph ()))
-  in
+  Cgsim.Pool.clear_warm_cache ();
+  let warm_stats, warm = run_pool Cgsim.Run_config.default in
+  let _, cold = run_pool Cgsim.Run_config.(with_warm false default) in
+  Alcotest.(check bool)
+    "warm path reused instances" true
+    (warm_stats.Cgsim.Pool.warm_hits > 0);
   Array.iteri
-    (fun i ai -> Alcotest.(check (array (float 0.0))) (Printf.sprintf "req %d" i) ai b.(i))
-    a
-
-let test_x86_shim_matches () =
-  let via_config =
-    let sink, contents = Cgsim.Io.f32_buffer () in
-    ignore
-      (X86sim.Sim.run_exn
-         ~config:Cgsim.Run_config.(with_queue_capacity 4 default)
-         (chain_graph ()) ~sources:[ chain_input 8 ] ~sinks:[ sink ]);
-    contents ()
-  in
-  let via_shim =
-    let sink, contents = Cgsim.Io.f32_buffer () in
-    ignore
-      (X86sim.Sim.run_opts ~queue_capacity:4 (chain_graph ()) ~sources:[ chain_input 8 ]
-         ~sinks:[ sink ]);
-    contents ()
-  in
-  Alcotest.(check (array (float 0.0))) "x86sim shim == config" via_config via_shim
+    (fun i wi -> Alcotest.(check (array (float 0.0))) (Printf.sprintf "req %d" i) cold.(i) wi)
+    warm
 
 (* ------------------------------------------------------------------ *)
 
@@ -524,11 +455,8 @@ let () =
           Alcotest.test_case "watchdog deadline" `Quick test_x86_deadline_poisons;
           Alcotest.test_case "failure names graph" `Quick test_x86_failure_names_graph;
         ] );
-      ( "shims",
+      ( "warm-pool",
         [
-          Alcotest.test_case "execute_opts on all apps" `Quick test_shims_match_config_path;
-          Alcotest.test_case "instantiate_opts/run_opts" `Quick test_instantiate_shim_matches;
-          Alcotest.test_case "Pool.run_opts" `Quick test_pool_shim_matches;
-          Alcotest.test_case "X86sim run_opts" `Quick test_x86_shim_matches;
+          Alcotest.test_case "warm == cold outputs" `Quick test_pool_warm_matches_cold;
         ] );
     ]

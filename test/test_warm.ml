@@ -1,0 +1,465 @@
+(* Warm-instance serving tests: the compile-once / reset lifecycle must
+   be observationally identical to fresh instantiation — across all four
+   evaluation apps, with the SPSC and block-IO fast paths on and off,
+   under deterministic fault injection, and after failed or
+   fuel-exhausted runs — and pure-graph request batching must demultiplex
+   outputs exactly as per-request execution would. *)
+
+module R = Cgsim.Runtime
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Elementwise doubler declared pure + stateless: batching-eligible. *)
+let pure_scale =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"warm_scale" ~pure:true ~stateless:true
+    [
+      Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32;
+      Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32;
+    ]
+    (fun b ->
+      let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+      while true do
+        Cgsim.Port.put_f32 o (2.0 *. Cgsim.Port.get_f32 i)
+      done)
+
+(* Running-sum kernel: pure (state is local to the body closure, so
+   pool-safe) but NOT stateless — its output depends on everything seen
+   so far, so concatenating requests would corrupt all but the first. *)
+let prefix_sum_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"warm_prefix_sum" ~pure:true
+    [
+      Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32;
+      Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32;
+    ]
+    (fun b ->
+      let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+      let acc = ref 0.0 in
+      while true do
+        acc := !acc +. Cgsim.Port.get_f32 i;
+        Cgsim.Port.put_f32 o !acc
+      done)
+
+(* Identity kernel that never declared its purity: batching-ineligible. *)
+let opaque_kernel =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"warm_opaque"
+    [
+      Cgsim.Kernel.in_port "in" Cgsim.Dtype.F32;
+      Cgsim.Kernel.out_port "out" Cgsim.Dtype.F32;
+    ]
+    (fun b ->
+      let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+      while true do
+        Cgsim.Port.put_f32 o (Cgsim.Port.get_f32 i)
+      done)
+
+let () =
+  Cgsim.Registry.register pure_scale;
+  Cgsim.Registry.register prefix_sum_kernel;
+  Cgsim.Registry.register opaque_kernel
+
+(* in -> warm_scale_0 -> warm_scale_1 -> out  (x4 elementwise) *)
+let pure_graph () =
+  Cgsim.Builder.make ~name:"warm_pure_chain" ~inputs:[ "x", Cgsim.Dtype.F32 ]
+    (fun b conns ->
+      let mid = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      ignore (Cgsim.Builder.add_kernel b pure_scale [ List.hd conns; mid ]);
+      ignore (Cgsim.Builder.add_kernel b pure_scale [ mid; out ]);
+      [ out ])
+
+let prefix_sum_graph () =
+  Cgsim.Builder.make ~name:"warm_prefix_graph" ~inputs:[ "x", Cgsim.Dtype.F32 ]
+    (fun b conns ->
+      let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      ignore (Cgsim.Builder.add_kernel b prefix_sum_kernel [ List.hd conns; out ]);
+      [ out ])
+
+let opaque_graph () =
+  Cgsim.Builder.make ~name:"warm_opaque_graph" ~inputs:[ "x", Cgsim.Dtype.F32 ]
+    (fun b conns ->
+      let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+      ignore (Cgsim.Builder.add_kernel b opaque_kernel [ List.hd conns; out ]);
+      [ out ])
+
+let values_equal msg (a : Cgsim.Value.t list) (b : Cgsim.Value.t list) =
+  Alcotest.(check int) (msg ^ ": output count") (List.length a) (List.length b);
+  Alcotest.(check bool) (msg ^ ": outputs equal") true
+    (List.for_all2 Cgsim.Value.equal a b)
+
+let run_checked msg (h : Apps.Harness.t) inst ~reps =
+  let sinks, contents = h.Apps.Harness.make_sinks () in
+  (match R.run inst ~sources:(h.Apps.Harness.sources ~reps) ~sinks with
+   | R.Completed _ -> ()
+   | o -> Alcotest.failf "%s: expected Completed, got %a" msg R.pp_outcome o);
+  let out = contents () in
+  (match h.Apps.Harness.check ~reps out with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "%s: %s" msg e);
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Reset equivalence across apps and fast-path configurations         *)
+(* ------------------------------------------------------------------ *)
+
+let fastpath_configs =
+  Cgsim.Run_config.
+    [
+      "default", default;
+      "spsc-off", with_spsc false default;
+      "block-io-off", with_block_io false default;
+      "both-off", (default |> with_spsc false |> with_block_io false);
+    ]
+
+(* reset-and-rerun == fresh run, for every app under every fast-path
+   combination.  The first run after [new_instance] is the fresh
+   baseline; the post-reset run must match it bit for bit. *)
+let test_reset_matches_fresh_all_apps () =
+  List.iter
+    (fun (h : Apps.Harness.t) ->
+      List.iter
+        (fun (cname, config) ->
+          let label = Printf.sprintf "%s/%s" h.Apps.Harness.name cname in
+          let compiled = R.compile ~config (h.Apps.Harness.graph ()) in
+          let inst = R.new_instance compiled in
+          let fresh = run_checked (label ^ " fresh") h inst ~reps:2 in
+          R.reset inst;
+          let warm = run_checked (label ^ " after reset") h inst ~reps:2 in
+          values_equal label fresh warm)
+        fastpath_configs)
+    Apps.Harness.all
+
+(* Many reset cycles on one instance: no drift, no resource leak into
+   wrong answers. *)
+let test_reset_many_cycles () =
+  let h = Apps.Harness.bitonic in
+  let inst = R.new_instance (R.compile (h.Apps.Harness.graph ())) in
+  let baseline = run_checked "cycle 0" h inst ~reps:3 in
+  for cycle = 1 to 5 do
+    R.reset inst;
+    let out = run_checked (Printf.sprintf "cycle %d" cycle) h inst ~reps:3 in
+    values_equal (Printf.sprintf "cycle %d" cycle) baseline out
+  done
+
+let test_reset_during_run_rejected () =
+  let h = Apps.Harness.bitonic in
+  let inst = R.new_instance (R.compile (h.Apps.Harness.graph ())) in
+  ignore (run_checked "pre" h inst ~reps:1);
+  (* A used instance refuses a second run until reset. *)
+  let sinks, _ = h.Apps.Harness.make_sinks () in
+  (match R.run inst ~sources:(h.Apps.Harness.sources ~reps:1) ~sinks with
+   | exception R.Runtime_error msg ->
+     Alcotest.(check bool) ("mentions reset: " ^ msg) true
+       (let nl = String.length "reset" in
+        let rec at i =
+          i + nl <= String.length msg && (String.sub msg i nl = "reset" || at (i + 1))
+        in
+        at 0)
+   | _ -> Alcotest.fail "second run without reset must raise");
+  R.reset inst;
+  ignore (run_checked "post" h inst ~reps:1)
+
+(* ------------------------------------------------------------------ *)
+(* Reset equivalence under deterministic fault injection              *)
+(* ------------------------------------------------------------------ *)
+
+(* Two identically-seeded fault plans drive two sequences of three runs:
+   one re-instantiating from scratch every time, one resetting a single
+   warm instance.  Outcome labels and sink contents (including the
+   partial output of the faulted run) must agree run by run. *)
+let test_reset_equivalence_under_faults () =
+  let h = Apps.Harness.bitonic in
+  let specs seed =
+    Cgsim.Faults.plan ~seed [ Cgsim.Faults.raise_on ~kernel:"*" ~after:1 ~fires:1 () ]
+  in
+  let run_sequence make_inst =
+    List.map
+      (fun i ->
+        let inst = make_inst () in
+        let sinks, contents = h.Apps.Harness.make_sinks () in
+        let o = R.run inst ~sources:(h.Apps.Harness.sources ~reps:1) ~sinks in
+        ignore i;
+        R.outcome_label o, contents ())
+      [ 0; 1; 2 ]
+  in
+  let fresh_cfg = Cgsim.Run_config.(with_faults (specs 11) default) in
+  let fresh_graph = h.Apps.Harness.graph () in
+  let fresh_seq =
+    run_sequence (fun () -> R.instantiate ~config:fresh_cfg fresh_graph)
+  in
+  let warm_cfg = Cgsim.Run_config.(with_faults (specs 11) default) in
+  let warm_inst = ref None in
+  let warm_seq =
+    run_sequence (fun () ->
+        match !warm_inst with
+        | None ->
+          let inst = R.new_instance (R.compile ~config:warm_cfg (h.Apps.Harness.graph ())) in
+          warm_inst := Some inst;
+          inst
+        | Some inst ->
+          R.reset inst;
+          inst)
+  in
+  List.iteri
+    (fun i ((fl, fo), (wl, wo)) ->
+      Alcotest.(check string) (Printf.sprintf "run %d outcome" i) fl wl;
+      values_equal (Printf.sprintf "run %d" i) fo wo)
+    (List.combine fresh_seq warm_seq);
+  (* The fire budget must have been spent exactly once per sequence:
+     first run fails, the rest complete. *)
+  match fresh_seq with
+  | (l0, _) :: rest ->
+    Alcotest.(check string) "first run faulted" "failed" l0;
+    List.iter (fun (l, _) -> Alcotest.(check string) "later runs clean" "completed" l) rest
+  | [] -> assert false
+
+(* A poisoned instance — one whose run ended in [Kernel_failed] — must
+   reset to a clean, correct instance. *)
+let test_reset_after_kernel_failed () =
+  let h = Apps.Harness.farrow in
+  let faults = Cgsim.Faults.plan ~seed:7 [ Cgsim.Faults.raise_on ~kernel:"*" ~after:1 ~fires:1 () ] in
+  let config = Cgsim.Run_config.(with_faults faults default) in
+  let inst = R.new_instance (R.compile ~config (h.Apps.Harness.graph ())) in
+  let sinks, _ = h.Apps.Harness.make_sinks () in
+  (match R.run inst ~sources:(h.Apps.Harness.sources ~reps:1) ~sinks with
+   | R.Kernel_failed f ->
+     (match f.R.f_exn with
+      | Cgsim.Faults.Injected _ -> ()
+      | e -> Alcotest.failf "unexpected failure exn %s" (Printexc.to_string e))
+   | o -> Alcotest.failf "expected Kernel_failed, got %a" R.pp_outcome o);
+  R.reset inst;
+  ignore (run_checked "after Kernel_failed + reset" h inst ~reps:2)
+
+(* Same for a run stopped by the fuel budget ([Deadline_exceeded] with
+   [`Max_steps]): a one-shot stall burns the fuel, the reset instance
+   then completes well inside the same budget. *)
+let test_reset_after_max_steps () =
+  let h = Apps.Harness.bitonic in
+  let faults = Cgsim.Faults.plan ~seed:3 [ Cgsim.Faults.stall_on ~kernel:"*" ~after:1 ~fires:1 () ] in
+  let config = Cgsim.Run_config.(default |> with_faults faults |> with_max_steps 100_000) in
+  let inst = R.new_instance (R.compile ~config (h.Apps.Harness.graph ())) in
+  let sinks, _ = h.Apps.Harness.make_sinks () in
+  (match R.run inst ~sources:(h.Apps.Harness.sources ~reps:1) ~sinks with
+   | R.Deadline_exceeded p ->
+     Alcotest.(check bool) "stopped by fuel" true (p.R.p_reason = `Max_steps)
+   | o -> Alcotest.failf "expected Deadline_exceeded, got %a" R.pp_outcome o);
+  R.reset inst;
+  ignore (run_checked "after Max_steps + reset" h inst ~reps:2)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-graph properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_compiled_purity_and_analysis () =
+  Alcotest.(check bool) "stateless chain is batching-safe" true
+    (Analysis.Pool_safety.batching_safe (pure_graph ()));
+  Alcotest.(check bool) "pure-but-stateful graph is not" false
+    (Analysis.Pool_safety.batching_safe (prefix_sum_graph ()));
+  Alcotest.(check bool) "unannotated graph is not" false
+    (Analysis.Pool_safety.batching_safe (opaque_graph ()));
+  Alcotest.(check bool) "compiled_batchable agrees (stateless)" true
+    (R.compiled_batchable (R.compile (pure_graph ())));
+  Alcotest.(check bool) "compiled_pure but not batchable (prefix sum)" true
+    (let c = R.compile (prefix_sum_graph ()) in
+     R.compiled_pure c && not (R.compiled_batchable c));
+  Alcotest.(check bool) "compiled_pure agrees (opaque)" false
+    (R.compiled_pure (R.compile (opaque_graph ())));
+  (* ~stateless requires ~pure:true. *)
+  (match
+     Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name:"warm_bad" ~stateless:true
+       [ Cgsim.Kernel.out_port "o" Cgsim.Dtype.F32 ]
+       (fun _ -> ())
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "~stateless without ~pure:true must be rejected");
+  (* Every evaluation app is pool-safe (pure), but only the windowed
+     block-independent apps are concatenation-safe: the farrow and IIR
+     filters carry delay lines across their input stream. *)
+  List.iter
+    (fun (h : Apps.Harness.t) ->
+      let expected =
+        match h.Apps.Harness.name with
+        | "bitonic" | "bilinear" -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) (h.Apps.Harness.name ^ " batching-safe") expected
+        (Analysis.Pool_safety.batching_safe (h.Apps.Harness.graph ())))
+    Apps.Harness.all
+
+(* ------------------------------------------------------------------ *)
+(* Pool batching                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let n_requests = 8
+let req_len = 8
+
+let request_input r = Array.init req_len (fun i -> float_of_int ((r * 100) + i))
+
+let pool_io bufs r =
+  let sink, contents = Cgsim.Io.f32_buffer () in
+  bufs.(r) <- contents;
+  [ Cgsim.Io.of_f32_array (request_input r) ], [ sink ]
+
+let check_scaled_outputs msg (stats : Cgsim.Pool.stats) bufs =
+  Array.iteri
+    (fun r (res : Cgsim.Pool.request_result) ->
+      (match res.Cgsim.Pool.outcome with
+       | R.Completed _ -> ()
+       | o -> Alcotest.failf "%s: request %d: %a" msg r R.pp_outcome o);
+      let expected = Array.map (fun v -> 4.0 *. v) (request_input r) in
+      Alcotest.(check (array (float 1e-6)))
+        (Printf.sprintf "%s: request %d output" msg r)
+        expected (bufs.(r) ()))
+    stats.Cgsim.Pool.results
+
+(* Pure graph, batch 4, equal-length requests: every request is served
+   through a multiplexed warm run and each demuxed output slice is
+   exactly what per-request execution produces. *)
+let test_batching_demux () =
+  Cgsim.Pool.clear_warm_cache ();
+  let g = pure_graph () in
+  let bufs = Array.make n_requests (fun () -> [||]) in
+  let config = Cgsim.Run_config.(with_batch 4 default) in
+  let stats =
+    Cgsim.Pool.run ~config ~domains:1 ~requests:n_requests ~io:(pool_io bufs) g
+  in
+  Alcotest.(check int) "all requests batched" n_requests stats.Cgsim.Pool.batched;
+  check_scaled_outputs "batched" stats bufs;
+  (* And the same requests served without batching agree. *)
+  let bufs_cold = Array.make n_requests (fun () -> [||]) in
+  let cold_cfg = Cgsim.Run_config.(with_warm false default) in
+  let cold =
+    Cgsim.Pool.run ~config:cold_cfg ~domains:1 ~requests:n_requests ~io:(pool_io bufs_cold) g
+  in
+  Alcotest.(check int) "cold path never batches" 0 cold.Cgsim.Pool.batched;
+  check_scaled_outputs "cold" cold bufs_cold;
+  Array.iteri
+    (fun r buf ->
+      Alcotest.(check (array (float 1e-6)))
+        (Printf.sprintf "request %d batched == cold" r)
+        (bufs_cold.(r) ()) (buf ()))
+    bufs
+
+(* Mismatched request lengths make a batch ineligible: the pool falls
+   back to individual execution and still answers every request. *)
+let test_batching_fallback_on_ragged_lengths () =
+  Cgsim.Pool.clear_warm_cache ();
+  let g = pure_graph () in
+  let inputs = Array.init n_requests (fun r -> Array.init (4 + r) float_of_int) in
+  let bufs = Array.make n_requests (fun () -> [||]) in
+  let io r =
+    let sink, contents = Cgsim.Io.f32_buffer () in
+    bufs.(r) <- contents;
+    [ Cgsim.Io.of_f32_array inputs.(r) ], [ sink ]
+  in
+  let config = Cgsim.Run_config.(with_batch 4 default) in
+  let stats = Cgsim.Pool.run ~config ~domains:1 ~requests:n_requests ~io g in
+  Alcotest.(check int) "ragged batch not multiplexed" 0 stats.Cgsim.Pool.batched;
+  Array.iteri
+    (fun r (res : Cgsim.Pool.request_result) ->
+      (match res.Cgsim.Pool.outcome with
+       | R.Completed _ -> ()
+       | o -> Alcotest.failf "request %d: %a" r R.pp_outcome o);
+      Alcotest.(check (array (float 1e-6)))
+        (Printf.sprintf "request %d output" r)
+        (Array.map (fun v -> 4.0 *. v) inputs.(r))
+        (bufs.(r) ()))
+    stats.Cgsim.Pool.results
+
+(* A pure-but-stateful graph (prefix sum) must not be batched: each
+   request's running sum has to start from zero. *)
+let test_batching_requires_statelessness () =
+  Cgsim.Pool.clear_warm_cache ();
+  let g = prefix_sum_graph () in
+  let bufs = Array.make n_requests (fun () -> [||]) in
+  let config = Cgsim.Run_config.(with_batch 4 default) in
+  let stats =
+    Cgsim.Pool.run ~config ~domains:1 ~requests:n_requests ~io:(pool_io bufs) g
+  in
+  Alcotest.(check int) "pure-but-stateful never batched" 0 stats.Cgsim.Pool.batched;
+  Array.iteri
+    (fun r (res : Cgsim.Pool.request_result) ->
+      (match res.Cgsim.Pool.outcome with
+       | R.Completed _ -> ()
+       | o -> Alcotest.failf "request %d: %a" r R.pp_outcome o);
+      let acc = ref 0.0 in
+      let expected =
+        Array.map
+          (fun v ->
+            acc := !acc +. v;
+            !acc)
+          (request_input r)
+      in
+      Alcotest.(check (array (float 1e-6)))
+        (Printf.sprintf "request %d prefix sum restarts at zero" r)
+        expected (bufs.(r) ()))
+    stats.Cgsim.Pool.results
+
+(* A graph whose kernels never declared purity must not be batched even
+   when the caller asks for it. *)
+let test_batching_requires_purity () =
+  Cgsim.Pool.clear_warm_cache ();
+  let g = opaque_graph () in
+  let bufs = Array.make n_requests (fun () -> [||]) in
+  let config = Cgsim.Run_config.(with_batch 4 default) in
+  let stats =
+    Cgsim.Pool.run ~config ~domains:1 ~requests:n_requests ~io:(pool_io bufs) g
+  in
+  Alcotest.(check int) "unknown purity never batched" 0 stats.Cgsim.Pool.batched;
+  Array.iteri
+    (fun r (res : Cgsim.Pool.request_result) ->
+      (match res.Cgsim.Pool.outcome with
+       | R.Completed _ -> ()
+       | o -> Alcotest.failf "request %d: %a" r R.pp_outcome o);
+      Alcotest.(check (array (float 1e-6)))
+        (Printf.sprintf "request %d identity output" r)
+        (request_input r) (bufs.(r) ()))
+    stats.Cgsim.Pool.results
+
+(* Warm pool reuse across requests: after the first build per domain,
+   requests are served from reset instances. *)
+let test_warm_reuse_counts () =
+  Cgsim.Pool.clear_warm_cache ();
+  let g = pure_graph () in
+  let bufs = Array.make n_requests (fun () -> [||]) in
+  let stats = Cgsim.Pool.run ~domains:1 ~requests:n_requests ~io:(pool_io bufs) g in
+  check_scaled_outputs "warm" stats bufs;
+  Alcotest.(check bool) "at most one cold build" true (stats.Cgsim.Pool.cold_builds <= 1);
+  Alcotest.(check int) "the rest are warm hits" (n_requests - stats.Cgsim.Pool.cold_builds)
+    stats.Cgsim.Pool.warm_hits
+
+let () =
+  Alcotest.run "warm"
+    [
+      ( "reset-equivalence",
+        [
+          Alcotest.test_case "reset matches fresh (all apps, fast paths)" `Quick
+            test_reset_matches_fresh_all_apps;
+          Alcotest.test_case "many reset cycles" `Quick test_reset_many_cycles;
+          Alcotest.test_case "second run without reset rejected" `Quick
+            test_reset_during_run_rejected;
+        ] );
+      ( "reset-faults",
+        [
+          Alcotest.test_case "fresh vs warm under seeded faults" `Quick
+            test_reset_equivalence_under_faults;
+          Alcotest.test_case "reset after Kernel_failed" `Quick test_reset_after_kernel_failed;
+          Alcotest.test_case "reset after Max_steps" `Quick test_reset_after_max_steps;
+        ] );
+      ( "purity",
+        [
+          Alcotest.test_case "compiled_pure and batching_safe agree" `Quick
+            test_compiled_purity_and_analysis;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "demux matches per-request execution" `Quick test_batching_demux;
+          Alcotest.test_case "ragged lengths fall back" `Quick
+            test_batching_fallback_on_ragged_lengths;
+          Alcotest.test_case "pure-but-stateful never batched" `Quick
+            test_batching_requires_statelessness;
+          Alcotest.test_case "unknown purity never batched" `Quick test_batching_requires_purity;
+          Alcotest.test_case "warm reuse counts" `Quick test_warm_reuse_counts;
+        ] );
+    ]
