@@ -17,9 +17,12 @@
                     instrumentation hooks)
 
    micro takes options:
-     --json FILE    write estimates and the block-transfer comparison
-                    as machine-readable JSON
+     --json FILE    write estimates and the block-transfer, SPSC and
+                    fusion comparisons as machine-readable JSON
      --smoke        reduced quotas and element counts for CI
+     --fuse on|off  run the warm-serving section with operator fusion
+                    enabled or disabled (default on); the fusion
+                    comparison section always measures both
 
    serve benchmarks parallel request serving over Cgsim.Pool:
      --json FILE    write requests/sec + scaling per app as JSON
@@ -44,8 +47,9 @@
      --chaos        inject transient faults with retry supervision
      --smoke        one low rate, few requests (CI)
 
-   check-json FILE parses FILE with the strict Obs.Json parser and
-   requires a top-level object with a "schema" string; exits nonzero
+   check-json FILE [--schema NAME] parses FILE with the strict
+   Obs.Json parser and requires a top-level object with a "schema"
+   string (equal to NAME when given); exits nonzero
    on malformed output (the CI guard for --json).
 
    check-prom FILE validates FILE as Prometheus text exposition with
@@ -54,7 +58,7 @@
 let usage () =
   print_endline
     "usage: main.exe [table1|table2|table2-quick|profile [--trace FILE] [--json FILE] \
-     [--folded FILE] [--smoke]|micro [--json FILE] [--smoke]|serve [--json FILE] [--smoke] \
+     [--folded FILE] [--smoke]|micro [--json FILE] [--smoke] [--fuse on|off]|serve [--json FILE] [--smoke] \
      [--domains CSV] [--requests N] [--warm on|off] [--chaos]|loadtest [--json FILE] [--metrics FILE] \
      [--rates CSV] [--requests N] [--chaos] [--smoke]|ablation|check-json FILE|check-prom \
      FILE]...";
@@ -66,13 +70,13 @@ type action =
   | Table2_quick
   | Profile of string option * string option * string option * bool
       (* trace file, json file, folded file, smoke *)
-  | Micro of string option * bool  (* json file, smoke *)
+  | Micro of string option * bool * bool option  (* json file, smoke, fuse *)
   | Serve of string option * bool * int list option * int option * bool option * bool
       (* json file, smoke, domain counts, requests, warm, chaos *)
   | Loadtest of string option * string option * bool * bool * float list option * int option
       (* json file, metrics file, smoke, chaos, rates, requests *)
   | Ablation
-  | Check_json of string
+  | Check_json of string * string option
   | Check_prom of string
 
 let parse_actions args =
@@ -82,15 +86,20 @@ let parse_actions args =
     | "table2" :: rest -> Table2 :: go rest
     | "table2-quick" :: rest -> Table2_quick :: go rest
     | "micro" :: rest ->
-      let rec opts json smoke = function
-        | "--json" :: file :: rest -> opts (Some file) smoke rest
+      let rec opts json smoke fuse = function
+        | "--json" :: file :: rest -> opts (Some file) smoke fuse rest
         | "--json" :: [] ->
           Printf.eprintf "--json needs a FILE argument\n";
           usage ()
-        | "--smoke" :: rest -> opts json true rest
-        | rest -> Micro (json, smoke) :: go rest
+        | "--smoke" :: rest -> opts json true fuse rest
+        | "--fuse" :: v :: rest when v = "on" || v = "off" ->
+          opts json smoke (Some (v = "on")) rest
+        | "--fuse" :: _ ->
+          Printf.eprintf "--fuse needs \"on\" or \"off\"\n";
+          usage ()
+        | rest -> Micro (json, smoke, fuse) :: go rest
       in
-      opts None false rest
+      opts None false None rest
     | "serve" :: rest ->
       let parse_domains s =
         match String.split_on_char ',' s |> List.map int_of_string_opt with
@@ -195,7 +204,12 @@ let parse_actions args =
         | rest -> Profile (trace, json, folded, smoke) :: go rest
       in
       opts None None None false rest
-    | "check-json" :: file :: rest -> Check_json file :: go rest
+    | "check-json" :: file :: "--schema" :: name :: rest ->
+      Check_json (file, Some name) :: go rest
+    | "check-json" :: "--schema" :: _ ->
+      Printf.eprintf "check-json needs the FILE before --schema\n";
+      usage ()
+    | "check-json" :: file :: rest -> Check_json (file, None) :: go rest
     | "check-json" :: [] ->
       Printf.eprintf "check-json needs a FILE argument\n";
       usage ()
@@ -209,7 +223,7 @@ let parse_actions args =
   in
   go args
 
-let check_json file =
+let check_json ?expect file =
   let contents =
     try In_channel.with_open_bin file In_channel.input_all
     with Sys_error msg ->
@@ -221,9 +235,12 @@ let check_json file =
     Printf.eprintf "check-json: %s is malformed: %s\n" file msg;
     exit 1
   | Ok doc ->
-    (match Option.bind (Obs.Json.member "schema" doc) Obs.Json.to_str with
-     | Some schema -> Printf.printf "check-json: %s ok (schema %s)\n%!" file schema
-     | None ->
+    (match Option.bind (Obs.Json.member "schema" doc) Obs.Json.to_str, expect with
+     | Some schema, Some want when schema <> want ->
+       Printf.eprintf "check-json: %s has schema %s, expected %s\n" file schema want;
+       exit 1
+     | Some schema, _ -> Printf.printf "check-json: %s ok (schema %s)\n%!" file schema
+     | None, _ ->
        Printf.eprintf "check-json: %s has no \"schema\" string\n" file;
        exit 1)
 
@@ -245,14 +262,14 @@ let run = function
   | Table2 -> Table2.run ()
   | Table2_quick -> Table2.run ~scale:0.5 ()
   | Profile (trace, json, folded, smoke) -> Profile.run ?trace ?json ?folded ~smoke ()
-  | Micro (json, smoke) -> Micro.run ?json ~smoke ()
+  | Micro (json, smoke, fuse) -> Micro.run ?json ~smoke ?fuse ()
   | Serve (json, smoke, domains, requests, warm, chaos) ->
     if chaos then Serve.run_chaos ?json ~smoke ?requests ()
     else Serve.run ?json ~smoke ?domains ?requests ?warm ()
   | Loadtest (json, metrics, smoke, chaos, rates, requests) ->
     Loadtest.run ?json ?metrics ~smoke ~chaos ?rates ?requests ()
   | Ablation -> Ablation.run ()
-  | Check_json file -> check_json file
+  | Check_json (file, expect) -> check_json ?expect file
   | Check_prom file -> check_prom file
 
 let () =

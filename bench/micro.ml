@@ -5,8 +5,11 @@
 
    On top of the bechamel estimates, a manually-timed element-vs-block
    queue transfer on the same queue configuration backs the block
-   fast-path claim in docs/PERFORMANCE.md; [run ~json:file] writes every
-   number as machine-readable JSON (schema "cgsim-bench-micro/2") so CI
+   fast-path claim in docs/PERFORMANCE.md — the block side rides the
+   unboxed (bigarray-backed) data plane, so it is a bounds-checked blit.
+   A fused-vs-unfused comparison on a three-kernel rate-matched chain
+   backs the operator-fusion claim.  [run ~json:file] writes every
+   number as machine-readable JSON (schema "cgsim-bench-micro/3") so CI
    can parse it back and the repo can commit a baseline. *)
 
 open Bechamel
@@ -101,9 +104,9 @@ let bechamel_results ~quota =
 (* Element-vs-block transfer on one queue configuration                 *)
 (* ------------------------------------------------------------------ *)
 
-let transfer_capacity = 1024
+let transfer_capacity = 4096
 
-let transfer_chunk = 256
+let transfer_chunk = 512
 
 (* Move [elements] I32 values through one capacity-[transfer_capacity]
    queue between a producer and a consumer fiber; returns wall ns.
@@ -134,8 +137,11 @@ let time_element_path ?(spsc = false) ~elements () =
   ignore (Cgsim.Sched.run s);
   Obs.Clock.now_ns () -. t0
 
-(* Same traffic, but the producer pushes [transfer_chunk]-element blocks
-   and the consumer drains with [get_some] — the fast path. *)
+(* Same traffic, but the producer pushes [transfer_chunk]-element flat
+   int blocks and the consumer drains with [get_ints_into] into one
+   reused buffer — the unboxed fast path: both sides are bounds-checked
+   blits against the bigarray-backed ring, no per-element boxing and no
+   per-chunk allocation anywhere. *)
 let time_block_path ~elements =
   let q =
     Cgsim.Bqueue.create ~name:"xfer-blk" ~dtype:Cgsim.Dtype.I32 ~capacity:transfer_capacity ()
@@ -143,16 +149,17 @@ let time_block_path ~elements =
   let p = Cgsim.Bqueue.add_producer q in
   let c = Cgsim.Bqueue.add_consumer q in
   let s = Cgsim.Sched.create () in
-  let block = Array.make transfer_chunk (Cgsim.Value.Int 7) in
+  let block = Array.make transfer_chunk 7 in
   let blocks = elements / transfer_chunk in
   Cgsim.Sched.spawn s ~name:"producer" (fun () ->
       for _ = 1 to blocks do
-        Cgsim.Bqueue.put_block p block
+        Cgsim.Bqueue.put_ints p block
       done;
       Cgsim.Bqueue.producer_done p);
   Cgsim.Sched.spawn s ~name:"consumer" (fun () ->
+      let buf = Array.make transfer_chunk 0 in
       let rec loop () =
-        ignore (Cgsim.Bqueue.get_some c ~max:transfer_chunk);
+        ignore (Cgsim.Bqueue.get_ints_into c buf);
         loop ()
       in
       loop ());
@@ -207,6 +214,107 @@ let compare_spsc ~smoke =
     sp_speedup = mpmc_ns /. spsc_ns;
   }
 
+type fusion_comparison = {
+  f_kernels : int;
+  f_rate : int;
+  f_elements : int;
+  unfused_ns_per_elem : float;
+  fused_ns_per_elem : float;
+  f_speedup : float;
+}
+
+(* Three rate-matched F32 scale kernels in a line — the memcpy-class
+   chain operator fusion targets: each hop moves whole 64-element
+   windows and the per-window arithmetic is a single multiply, so queue
+   transfer and fiber hand-off dominate.  Unfused, every hop is a
+   Bqueue with a scheduler round-trip per window; fused, the runtime
+   collapses all three kernels into one fiber passing windows through
+   direct hand-off edges.
+
+   The graph boundary (source and sink) nets get a deep DMA-style
+   buffer so the comparison isolates the inter-kernel hops: both
+   configurations pay the same boundary cost, and the chain-internal
+   nets keep the realistic default stream depth — exactly the queues
+   fusion removes. *)
+let fusion_rate = 64
+
+let fusion_boundary_depth = 4096
+
+let fusion_scale_kernel ?in_settings ?out_settings name factor =
+  Cgsim.Kernel.define ~realm:Cgsim.Kernel.Aie ~name ~pure:true ~stateless:true
+    ~rates:[ "in", fusion_rate; "out", fusion_rate ]
+    [
+      Cgsim.Kernel.in_port ?settings:in_settings "in" Cgsim.Dtype.F32;
+      Cgsim.Kernel.out_port ?settings:out_settings "out" Cgsim.Dtype.F32;
+    ]
+    (fun b ->
+      let i = Cgsim.Kernel.rd b 0 and o = Cgsim.Kernel.wr b 0 in
+      while true do
+        let w = Cgsim.Port.get_window_f32 i fusion_rate in
+        for k = 0 to fusion_rate - 1 do
+          w.(k) <- w.(k) *. factor
+        done;
+        Cgsim.Port.put_window_f32 o w
+      done)
+
+let fusion_kernels =
+  lazy
+    (let deep = Cgsim.Settings.(with_depth fusion_boundary_depth default) in
+     let ks =
+       [
+         fusion_scale_kernel ~in_settings:deep "micro_scale_a" 2.0;
+         fusion_scale_kernel "micro_scale_b" 3.0;
+         fusion_scale_kernel ~out_settings:deep "micro_scale_c" 0.5;
+       ]
+     in
+     List.iter Cgsim.Registry.register ks;
+     ks)
+
+let fusion_graph () =
+  match Lazy.force fusion_kernels with
+  | [ ka; kb; kc ] ->
+    Cgsim.Builder.make ~name:"micro_fusion_chain" ~inputs:[ "in", Cgsim.Dtype.F32 ]
+      (fun b conns ->
+        let n1 = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        let n2 = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        let out = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel b ka [ List.hd conns; n1 ]);
+        ignore (Cgsim.Builder.add_kernel b kb [ n1; n2 ]);
+        ignore (Cgsim.Builder.add_kernel b kc [ n2; out ]);
+        [ out ])
+  | _ -> assert false
+
+let time_fusion ~fuse ~elements =
+  let g = fusion_graph () in
+  let config = Cgsim.Run_config.(with_fuse fuse default) in
+  let input = Array.init elements (fun i -> float_of_int (i land 1023)) in
+  let inst = Cgsim.Runtime.new_instance (Cgsim.Runtime.compile ~config g) in
+  let sink, _ = Cgsim.Io.f32_buffer () in
+  let t0 = Obs.Clock.now_ns () in
+  (match Cgsim.Runtime.run inst ~sources:[ Cgsim.Io.of_f32_array input ] ~sinks:[ sink ] with
+   | Cgsim.Runtime.Completed _ -> ()
+   | o -> Format.kasprintf failwith "fusion bench: %a" Cgsim.Runtime.pp_outcome o);
+  Obs.Clock.now_ns () -. t0
+
+let compare_fusion ~smoke =
+  let elements = if smoke then 16384 else 262144 in
+  let rounds = if smoke then 2 else 5 in
+  (* Earlier sections (bechamel, block transfer) leave a large live major
+     heap; compact so both configs start from the same GC state instead of
+     paying for their predecessors' garbage. *)
+  Gc.compact ();
+  let unfused_ns = best_of rounds (fun () -> time_fusion ~fuse:false ~elements) in
+  let fused_ns = best_of rounds (fun () -> time_fusion ~fuse:true ~elements) in
+  let n = float_of_int elements in
+  {
+    f_kernels = 3;
+    f_rate = fusion_rate;
+    f_elements = elements;
+    unfused_ns_per_elem = unfused_ns /. n;
+    fused_ns_per_elem = fused_ns /. n;
+    f_speedup = unfused_ns /. fused_ns;
+  }
+
 type warm_comparison = {
   w_requests : int;
   w_reps : int;
@@ -221,10 +329,11 @@ type warm_comparison = {
    does — against warm: compile once, one instance, reset between
    requests.  The per-request saving is what {!Cgsim.Pool}'s warm cache
    banks per attempt. *)
-let compare_warm ~smoke =
+let compare_warm ~smoke ~fuse =
   let h = Apps.Harness.bitonic in
   let reps = 4 in
   let requests = if smoke then 32 else 256 in
+  let config = Cgsim.Run_config.(with_fuse fuse default) in
   let run_request inst =
     let sinks, _ = h.Apps.Harness.make_sinks () in
     match Cgsim.Runtime.run inst ~sources:(h.Apps.Harness.sources ~reps) ~sinks with
@@ -235,12 +344,12 @@ let compare_warm ~smoke =
   let cold () =
     let t0 = Obs.Clock.now_ns () in
     for _ = 1 to requests do
-      run_request (Cgsim.Runtime.instantiate g)
+      run_request (Cgsim.Runtime.instantiate ~config g)
     done;
     Obs.Clock.now_ns () -. t0
   in
   let warm () =
-    let inst = Cgsim.Runtime.new_instance (Cgsim.Runtime.compile g) in
+    let inst = Cgsim.Runtime.new_instance (Cgsim.Runtime.compile ~config g) in
     let t0 = Obs.Clock.now_ns () in
     for _ = 1 to requests do
       Cgsim.Runtime.reset inst;
@@ -280,12 +389,24 @@ let json_of_spsc (sp : spsc_comparison) =
       "speedup", Obs.Json.Num sp.sp_speedup;
     ]
 
-let json_of_run ~smoke ~bechamel (cmp : block_comparison) (sp : spsc_comparison)
-    (w : warm_comparison) =
+let json_of_fusion (f : fusion_comparison) =
   Obs.Json.Obj
     [
-      "schema", Obs.Json.Str "cgsim-bench-micro/2";
+      "kernels", Obs.Json.Num (float_of_int f.f_kernels);
+      "rate", Obs.Json.Num (float_of_int f.f_rate);
+      "elements", Obs.Json.Num (float_of_int f.f_elements);
+      "unfused_ns_per_elem", Obs.Json.Num f.unfused_ns_per_elem;
+      "fused_ns_per_elem", Obs.Json.Num f.fused_ns_per_elem;
+      "speedup", Obs.Json.Num f.f_speedup;
+    ]
+
+let json_of_run ~smoke ~fuse ~bechamel (cmp : block_comparison) (sp : spsc_comparison)
+    (fc : fusion_comparison) (w : warm_comparison) =
+  Obs.Json.Obj
+    [
+      "schema", Obs.Json.Str "cgsim-bench-micro/3";
       "smoke", Obs.Json.Bool smoke;
+      "fuse", Obs.Json.Bool fuse;
       ( "results",
         Obs.Json.Arr
           (List.map
@@ -303,10 +424,16 @@ let json_of_run ~smoke ~bechamel (cmp : block_comparison) (sp : spsc_comparison)
             "speedup", Obs.Json.Num cmp.speedup;
           ] );
       "spsc", json_of_spsc sp;
+      "fusion", json_of_fusion fc;
       "warm_serve", json_of_warm w;
     ]
 
-let run ?json ?(smoke = false) () =
+let run ?json ?(smoke = false) ?(fuse = true) () =
+  (* Measure fusion first: it is the most GC/process-state-sensitive
+     comparison, and the bechamel + transfer sections leave the process
+     measurably slower (larger heap, hot allocator) in a way that best-of
+     minima do not recover from. *)
+  let fc = compare_fusion ~smoke in
   Printf.printf "\n== Micro-benchmarks (bechamel) ==\n%!";
   let quota = if smoke then 0.02 else 0.25 in
   let bechamel = bechamel_results ~quota in
@@ -315,7 +442,7 @@ let run ?json ?(smoke = false) () =
     transfer_capacity transfer_chunk;
   let cmp = compare_transfer ~smoke in
   Printf.printf "%-45s %12.2f ns/elem\n" "element path (put/get)" cmp.element_ns_per_elem;
-  Printf.printf "%-45s %12.2f ns/elem\n" "block path (put_block/get_some)" cmp.block_ns_per_elem;
+  Printf.printf "%-45s %12.2f ns/elem\n" "block path (put_ints/get_ints_into)" cmp.block_ns_per_elem;
   Printf.printf "%-45s %12.2fx\n%!" "speedup" cmp.speedup;
   Printf.printf "\n== SPSC fast path (1:1 edge, element transfers, cap=%d) ==\n%!"
     transfer_capacity;
@@ -323,7 +450,12 @@ let run ?json ?(smoke = false) () =
   Printf.printf "%-45s %12.2f ns/elem\n" "MPMC path (broadcast bookkeeping)" sp.mpmc_ns_per_elem;
   Printf.printf "%-45s %12.2f ns/elem\n" "SPSC path (sealed 1:1)" sp.spsc_ns_per_elem;
   Printf.printf "%-45s %12.2fx\n%!" "speedup" sp.sp_speedup;
-  let w = compare_warm ~smoke in
+  Printf.printf "\n== Operator fusion (%d rate-matched kernels, window=%d) ==\n%!" fc.f_kernels
+    fc.f_rate;
+  Printf.printf "%-45s %12.2f ns/elem\n" "unfused (one fiber + queue per hop)" fc.unfused_ns_per_elem;
+  Printf.printf "%-45s %12.2f ns/elem\n" "fused (one fiber, direct hand-off)" fc.fused_ns_per_elem;
+  Printf.printf "%-45s %12.2fx\n%!" "speedup" fc.f_speedup;
+  let w = compare_warm ~smoke ~fuse in
   Printf.printf "\n== Warm serving (bitonic, %d reps/request, %d requests) ==\n%!" w.w_reps
     w.w_requests;
   Printf.printf "%-45s %12.2f us/req\n" "cold (instantiate per request)" w.cold_us_per_req;
@@ -332,7 +464,7 @@ let run ?json ?(smoke = false) () =
   match json with
   | None -> ()
   | Some file ->
-    let doc = json_of_run ~smoke ~bechamel cmp sp w in
+    let doc = json_of_run ~smoke ~fuse ~bechamel cmp sp fc w in
     (try Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc (Obs.Json.to_string doc))
      with Sys_error msg ->
        Printf.eprintf "error: cannot write %s: %s\n" file msg;

@@ -28,12 +28,17 @@ test -s "$TRACE" || { echo "ci: trace file is empty" >&2; exit 1; }
 grep -q '"traceEvents"' "$TRACE" || { echo "ci: trace file has no traceEvents" >&2; exit 1; }
 echo "trace OK: $(wc -c < "$TRACE") bytes"
 
-echo "== micro smoke (block fast path, JSON output) =="
-dune exec bench/main.exe -- micro --smoke --json "$MICRO_JSON"
-test -s "$MICRO_JSON" || { echo "ci: micro JSON is empty" >&2; exit 1; }
+echo "== micro smoke (block + fusion fast paths, JSON output) =="
+# Run once with operator fusion on (the default) and once with it off:
+# both paths must complete, produce valid JSON and carry the v3 schema.
+dune exec bench/main.exe -- micro --smoke --fuse on --json "$MICRO_JSON"
+test -s "$MICRO_JSON" || { echo "ci: micro JSON (fuse on) is empty" >&2; exit 1; }
 # check-json re-parses with the strict Obs.Json parser and fails on
-# malformed output or a missing schema marker.
-dune exec bench/main.exe -- check-json "$MICRO_JSON"
+# malformed output, a missing schema marker, or a schema mismatch.
+dune exec bench/main.exe -- check-json "$MICRO_JSON" --schema cgsim-bench-micro/3
+dune exec bench/main.exe -- micro --smoke --fuse off --json "$MICRO_JSON"
+test -s "$MICRO_JSON" || { echo "ci: micro JSON (fuse off) is empty" >&2; exit 1; }
+dune exec bench/main.exe -- check-json "$MICRO_JSON" --schema cgsim-bench-micro/3
 
 echo "== graph lint (examples/cgc, JSON output) =="
 LINT_JSON=$(mktemp -t ci-lint-XXXXXX.json)
@@ -58,7 +63,9 @@ trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_
 # Every request's output is verified inside the bench; nonzero exit on
 # any wrong result.  Both paths run separately so the cold fallback
 # (fresh instance per attempt) can never silently rot behind the warm
-# cache.  Schema cgsim-bench-serve/3.
+# cache.  Run_config defaults keep operator fusion and the unboxed data
+# plane ON here, so these smokes also assert warm-vs-cold equivalence
+# with fusion enabled.  Schema cgsim-bench-serve/3.
 dune exec bench/main.exe -- serve --smoke --domains 1,2 --warm off --json "$SERVE_COLD_JSON"
 test -s "$SERVE_COLD_JSON" || { echo "ci: cold serve JSON is empty" >&2; exit 1; }
 dune exec bench/main.exe -- check-json "$SERVE_COLD_JSON"

@@ -86,6 +86,20 @@ let capture ?(config = Cgsim.Run_config.default) (d : Deploy.t) ~sources ~sinks 
                   Aie.Trace.emit ev
                 done;
                 vs);
+            Cgsim.Port.r_get_floats =
+              (fun n ->
+                let fs = r.Cgsim.Port.r_get_floats n in
+                for _ = 1 to Array.length fs do
+                  Aie.Trace.emit ev
+                done;
+                fs);
+            Cgsim.Port.r_get_ints =
+              (fun n ->
+                let is = r.Cgsim.Port.r_get_ints n in
+                for _ = 1 to Array.length is do
+                  Aie.Trace.emit ev
+                done;
+                is);
           });
       wrap_writer =
         (fun inst port_idx w ->
@@ -105,6 +119,18 @@ let capture ?(config = Cgsim.Run_config.default) (d : Deploy.t) ~sources ~sinks 
               (fun vs ->
                 w.Cgsim.Port.w_put_block vs;
                 for _ = 1 to Array.length vs do
+                  Aie.Trace.emit ev
+                done);
+            Cgsim.Port.w_put_floats =
+              (fun fs ->
+                w.Cgsim.Port.w_put_floats fs;
+                for _ = 1 to Array.length fs do
+                  Aie.Trace.emit ev
+                done);
+            Cgsim.Port.w_put_ints =
+              (fun is ->
+                w.Cgsim.Port.w_put_ints is;
+                for _ = 1 to Array.length is do
                   Aie.Trace.emit ev
                 done);
             Cgsim.Port.w_space =
@@ -137,11 +163,14 @@ let capture ?(config = Cgsim.Run_config.default) (d : Deploy.t) ~sources ~sinks 
     List.iter (fun (name, _) -> Aie.Trace.unbind name) recorders
   in
   (* The caller's hooks (if any) wrap the capture wrappers, so capture
-     records the traffic the kernels actually performed. *)
+     records the traffic the kernels actually performed.  Fusion is
+     forced off: replay models one tile per kernel, so capture must see
+     every kernel on its own fiber with real queues between them. *)
   let config =
-    Cgsim.Run_config.with_hooks
-      (Cgsim.Runtime.compose_hooks config.Cgsim.Run_config.hooks hooks)
-      config
+    Cgsim.Run_config.with_fuse false
+      (Cgsim.Run_config.with_hooks
+         (Cgsim.Runtime.compose_hooks config.Cgsim.Run_config.hooks hooks)
+         config)
   in
   let ctx = Cgsim.Runtime.instantiate ~config g in
   let outcome =

@@ -1,0 +1,25 @@
+(** Operator-fusion discovery.
+
+    Finds maximal chains of kernels connected by exclusive
+    point-to-point nets — each interior net has exactly one writer and
+    one reader, is not a global input/output or RTP side channel, is the
+    writer's only output and the reader's only input.  Those are the
+    hops {!Cgsim.Runtime} collapses into a single fiber with direct
+    hand-off edges when [Run_config.fuse] is on (the runtime re-checks
+    the structure before acting on a proposal).
+
+    Chains are proposed only for lint-clean graphs: structural
+    validation, the SDF balance solve ({!Rates}) and the {!Deadlock}
+    pass must all come back error-free, so rate-mismatched or
+    deadlock-prone graphs keep one fiber per kernel and their
+    diagnostics stay accurate. *)
+
+(** Proposed chains, each a list of kernel indices upstream-first with
+    at least two members.  Chains are disjoint.  Installed as the
+    runtime's fusion hook when the analysis library is linked (see
+    {!Lint.install_runtime_hook}). *)
+val chains : Cgsim.Serialized.t -> int list list
+
+(** Lint pass: one [CG-I103] info per discovered chain, naming the
+    member kernels upstream-first. *)
+val analyze : Cgsim.Serialized.t -> Cgsim.Diagnostic.t list

@@ -12,6 +12,7 @@ let default_passes =
     { pass_name = "deadlock"; pass_run = Deadlock.analyze };
     { pass_name = "hazards"; pass_run = Hazards.analyze };
     { pass_name = "pool-safety"; pass_run = Pool_safety.analyze };
+    { pass_name = "fusion"; pass_run = Fusion.analyze };
   ]
 
 let suppress_key = "lint.suppress"
@@ -42,7 +43,10 @@ let run ?(passes = default_passes) (g : S.t) =
     D.sort (List.filter (fun d -> not (is_suppressed g d)) findings)
   end
 
-let install_runtime_hook () = Cgsim.Runtime.set_lint_hook (fun g -> run g)
+let install_runtime_hook () =
+  Cgsim.Runtime.set_lint_hook (fun g -> run g);
+  Cgsim.Runtime.set_fusion_hook Fusion.chains
 
-(* Linking the analysis library arms the runtime pre-flight. *)
+(* Linking the analysis library arms the runtime pre-flight and the
+   operator-fusion pass. *)
 let () = install_runtime_hook ()

@@ -87,7 +87,7 @@ let kernel =
             let quads = Array.map quad_of_value (Cgsim.Port.get_window input group) in
             let out = blend_group quads in
             Aie.Intrinsics.scalar_op ~count:2 "addr";
-            Cgsim.Port.put_window output (Array.map (fun v -> Cgsim.Value.Int v) out))
+            Cgsim.Port.put_window_int output out)
       done)
 
 let () = Cgsim.Registry.register kernel

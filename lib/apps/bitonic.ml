@@ -46,10 +46,10 @@ let kernel =
       let input = Cgsim.Kernel.rd b 0 and output = Cgsim.Kernel.wr b 0 in
       while true do
         Aie.Trace.mark_iteration ();
-        let v = Array.map Cgsim.Value.to_float (Cgsim.Port.get_window input lanes) in
+        let v = Cgsim.Port.get_window_f32 input lanes in
         let sorted = sort_vector v in
         Aie.Intrinsics.scalar_op ~count:2 "blk_ctl";
-        Cgsim.Port.put_window output (Array.map (fun f -> Cgsim.Value.Float f) sorted)
+        Cgsim.Port.put_window_f32 output sorted
       done)
 
 let () = Cgsim.Registry.register kernel

@@ -33,9 +33,7 @@ let stage1 =
       let groups = samples_per_window / group in
       while true do
         Aie.Trace.mark_iteration ();
-        let samples =
-          Array.map Cgsim.Value.to_int (Cgsim.Port.get_window input samples_per_window)
-        in
+        let samples = Cgsim.Port.get_window_int input samples_per_window in
         (* ext.(i + taps - 1) = samples.(i), prefixed with history. *)
         let ext = Array.append history samples in
         Aie.Intrinsics.scalar_op ~count:4 "win_setup";
@@ -115,7 +113,7 @@ let stage2 =
             done;
             let y = Aie.Intrinsics.srs16 ~shift:0 !acc in
             Aie.Intrinsics.scalar_op ~count:2 "addr";
-            Cgsim.Port.put_window output (Array.map (fun s -> Cgsim.Value.Int s) y))
+            Cgsim.Port.put_window_int output y)
       done)
 
 let () =

@@ -48,8 +48,8 @@ let kernel =
       let buf = Array.make samples_per_window 0.0 in
       while true do
         Aie.Trace.mark_iteration ();
-        let win = Cgsim.Port.get_window input samples_per_window in
-        Array.iteri (fun i v -> buf.(i) <- Cgsim.Value.to_float v) win;
+        let win = Cgsim.Port.get_window_f32 input samples_per_window in
+        Array.blit win 0 buf 0 samples_per_window;
         Array.iteri
           (fun si m ->
             let st = state.(si) in
@@ -72,7 +72,7 @@ let kernel =
                 Aie.Intrinsics.store_f32 buf (g * group) y))
           matrices;
         Aie.Intrinsics.scalar_op ~count:4 "win_ctl";
-        Cgsim.Port.put_window output (Array.map (fun f -> Cgsim.Value.Float f) buf)
+        Cgsim.Port.put_window_f32 output buf
       done)
 
 let () = Cgsim.Registry.register kernel

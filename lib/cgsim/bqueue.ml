@@ -1,8 +1,21 @@
+(* Ring storage.  Scalar-dtype queues default to Bigarray backing so
+   block transfers move flat memory (no per-element Value boxing); the
+   boxed array remains both the aggregate-dtype path and the [?unboxed:
+   false] equivalence baseline.  Integer dtypes share one native-int
+   bigarray: U32 (max 4294967295) and I64 payloads exceed int32, and
+   native [int_elt] keeps every in-range integer dtype exact while the
+   copy loops stay branch-free. *)
+type storage =
+  | Boxed of Value.t array
+  | F32 of (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+  | F64 of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  | Ints of (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   q_name : string;
   q_dtype : Dtype.t;
   q_cap : int;
-  buf : Value.t array;
+  buf : storage;
   check : Value.t -> bool;  (* validator compiled once from q_dtype *)
   mutable head : int;  (* sequence number of the next write *)
   mutable retired : int;  (* cached min consumer cursor; see [min_cursor] *)
@@ -39,13 +52,23 @@ and producer = {
   mutable open_ : bool;
 }
 
-let create ~name ~dtype ~capacity () =
+let make_storage ~unboxed dtype capacity =
+  if not unboxed then Boxed (Array.make capacity (Value.Int 0))
+  else
+    match dtype with
+    | Dtype.F32 -> F32 (Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout capacity)
+    | Dtype.F64 -> F64 (Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout capacity)
+    | Dtype.I8 | Dtype.I16 | Dtype.I32 | Dtype.I64 | Dtype.U8 | Dtype.U16 | Dtype.U32 ->
+      Ints (Bigarray.Array1.create Bigarray.int Bigarray.c_layout capacity)
+    | Dtype.Vector _ | Dtype.Struct _ -> Boxed (Array.make capacity (Value.Int 0))
+
+let create ?(unboxed = true) ~name ~dtype ~capacity () =
   if capacity <= 0 then invalid_arg ("cgsim: queue capacity must be positive: " ^ name);
   {
     q_name = name;
     q_dtype = dtype;
     q_cap = capacity;
-    buf = Array.make capacity (Value.Int 0);
+    buf = make_storage ~unboxed dtype capacity;
     check = Value.compile_check dtype;
     head = 0;
     retired = 0;
@@ -73,6 +96,7 @@ let total_put q = q.total_put
 let producers q = q.producers_total
 let consumers q = List.length q.consumers
 let is_spsc q = q.spsc
+let is_unboxed q = match q.buf with Boxed _ -> false | F32 _ | F64 _ | Ints _ -> true
 
 let add_consumer q =
   (* A consumer attached mid-stream starts at the current head: broadcast
@@ -238,8 +262,26 @@ let wait_for_data c =
   end
   else spin ()
 
+(* Single-slot access.  Bigarray-backed slots box/unbox at the boundary;
+   the scalar path is the slow path by design, blocks go through the
+   segment copies below. *)
+
+let write_slot q i v =
+  match q.buf with
+  | Boxed buf -> buf.(i) <- v
+  | F32 ba -> Bigarray.Array1.set ba i (Value.to_float v)
+  | F64 ba -> Bigarray.Array1.set ba i (Value.to_float v)
+  | Ints ba -> Bigarray.Array1.set ba i (Value.to_int v)
+
+let read_slot q i =
+  match q.buf with
+  | Boxed buf -> buf.(i)
+  | F32 ba -> Value.Float (Bigarray.Array1.get ba i)
+  | F64 ba -> Value.Float (Bigarray.Array1.get ba i)
+  | Ints ba -> Value.Int (Bigarray.Array1.get ba i)
+
 let store q v =
-  q.buf.(q.head mod q.q_cap) <- v;
+  write_slot q (q.head mod q.q_cap) v;
   q.head <- q.head + 1;
   q.total_put <- q.total_put + 1;
   if !Obs.Trace.on then note_put q;
@@ -263,7 +305,7 @@ let get c =
     wait_for_data c;
     if c.cursor >= q.head then raise Sched.End_of_stream (* closed while parked *)
   end;
-  let v = q.buf.(c.cursor mod q.q_cap) in
+  let v = read_slot q (c.cursor mod q.q_cap) in
   let old = c.cursor in
   c.cursor <- old + 1;
   if !Obs.Trace.on then note_get q;
@@ -283,40 +325,113 @@ let get c =
 (* ------------------------------------------------------------------ *)
 
 (* The block fast path moves contiguous ring slices: each chunk is at
-   most two [Array.blit]s (the slice up to the ring wrap point plus the
-   remainder), the dtype is validated by the precompiled [q.check], and
-   waiters are woken once per stored/retired chunk instead of once per
-   element.  Blocks larger than the queue capacity stream through in
-   capacity-sized chunks, interleaving with the consumers/producers. *)
+   most two segment copies (the slice up to the ring wrap point plus the
+   remainder) — an [Array.blit] on boxed storage, a tight unsafe
+   index loop on bigarray storage — dtype validation uses the queue's
+   precompiled checker ({!Value.compile_check}), and waiters are woken
+   once per chunk rather than once per element.  Blocks larger than the
+   queue capacity stream through in capacity-sized chunks, interleaving
+   with the consumers/producers.
 
-let blit_in q src off len =
-  let idx = q.head mod q.q_cap in
-  let first = min len (q.q_cap - idx) in
-  Array.blit src off q.buf idx first;
-  if len > first then Array.blit src (off + first) q.buf 0 (len - first);
-  q.head <- q.head + len;
-  q.total_put <- q.total_put + len
+   Each entry point builds one segment-copy closure for its (storage,
+   payload) pair, then runs the shared chunk loop; [seg soff idx len]
+   copies [len] elements between payload offset [soff] and ring index
+   [idx] with no wrap inside the segment. *)
 
-let blit_out c dst off len =
-  let q = c.c_queue in
-  let idx = c.cursor mod q.q_cap in
-  let first = min len (q.q_cap - idx) in
-  Array.blit q.buf idx dst off first;
-  if len > first then Array.blit q.buf 0 dst (off + first) (len - first)
+(* Bigarray segment copies.  Each helper is monomorphic in the bigarray
+   kind and layout: with the element type statically known the compiler
+   emits inline loads/stores, whereas a kind-polymorphic loop would fall
+   back to the generic C accessors and cost an external call per
+   element — the difference between a memcpy-class blit and a 10x
+   slowdown on exactly the path this storage exists to speed up.
+   Indices are in range by construction (the chunk loop splits at the
+   wrap point), hence the unsafe accessors. *)
 
-let put_block p vs =
-  let q = p.p_queue in
-  if not p.open_ then invalid_arg ("cgsim: put on finished producer of " ^ q.q_name);
-  let n = Array.length vs in
-  for i = 0 to n - 1 do
-    if not (q.check vs.(i)) then Value.check ~net:q.q_name q.q_dtype vs.(i)
-  done;
+type f32ba = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type f64ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type intba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let values_to_f32 (ba : f32ba) (src : Value.t array) soff idx len =
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set ba (idx + i) (Value.to_float (Array.unsafe_get src (soff + i)))
+  done
+
+let f32_to_values (ba : f32ba) (dst : Value.t array) idx doff len =
+  for i = 0 to len - 1 do
+    Array.unsafe_set dst (doff + i) (Value.Float (Bigarray.Array1.unsafe_get ba (idx + i)))
+  done
+
+let values_to_f64 (ba : f64ba) (src : Value.t array) soff idx len =
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set ba (idx + i) (Value.to_float (Array.unsafe_get src (soff + i)))
+  done
+
+let f64_to_values (ba : f64ba) (dst : Value.t array) idx doff len =
+  for i = 0 to len - 1 do
+    Array.unsafe_set dst (doff + i) (Value.Float (Bigarray.Array1.unsafe_get ba (idx + i)))
+  done
+
+(* Native-array <-> bigarray segments go through C stubs: the f64 and
+   int legs are memcpy-class, the f32 legs a vectorized convert loop.
+   All are [@@noalloc] — no GC interaction, no boxing, one call per
+   segment rather than per element. *)
+external floats_to_f32 : f32ba -> float array -> int -> int -> int -> unit
+  = "cgsim_floats_to_f32"
+  [@@noalloc]
+
+external f32_to_floats : f32ba -> float array -> int -> int -> int -> unit
+  = "cgsim_f32_to_floats"
+  [@@noalloc]
+
+external floats_to_f64 : f64ba -> float array -> int -> int -> int -> unit
+  = "cgsim_floats_to_f64"
+  [@@noalloc]
+
+external f64_to_floats : f64ba -> float array -> int -> int -> int -> unit
+  = "cgsim_f64_to_floats"
+  [@@noalloc]
+
+let values_to_iba (ba : intba) (src : Value.t array) soff idx len =
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set ba (idx + i) (Value.to_int (Array.unsafe_get src (soff + i)))
+  done
+
+let iba_to_values (ba : intba) (dst : Value.t array) idx doff len =
+  for i = 0 to len - 1 do
+    Array.unsafe_set dst (doff + i) (Value.Int (Bigarray.Array1.unsafe_get ba (idx + i)))
+  done
+
+external ints_to_iba : intba -> int array -> int -> int -> int -> unit
+  = "cgsim_ints_to_iba"
+  [@@noalloc]
+
+external iba_to_ints : intba -> int array -> int -> int -> int -> unit
+  = "cgsim_iba_to_ints"
+  [@@noalloc]
+
+(* Range-checked int store: returns the first offending source offset,
+   -1 when the whole segment landed. *)
+external ints_to_iba_checked :
+  intba -> int array -> int -> int -> int -> int -> int -> int
+  = "cgsim_ints_to_iba_checked_byte" "cgsim_ints_to_iba_checked"
+  [@@noalloc]
+
+(* Shared producer chunk loop: wait for free slots, copy a wrap-split
+   chunk at [head], advance the cursors, wake once per chunk. *)
+let put_loop q n seg =
   let off = ref 0 in
   while !off < n do
     let free = if q.spsc then q.q_cap - (q.head - q.retired) else space q in
     if free > 0 then begin
       let len = min free (n - !off) in
-      blit_in q vs !off len;
+      let idx = q.head mod q.q_cap in
+      let first = min len (q.q_cap - idx) in
+      seg !off idx first;
+      if len > first then seg (!off + first) 0 (len - first);
+      q.head <- q.head + len;
+      q.total_put <- q.total_put + len;
       off := !off + len;
       if !Obs.Trace.on then note_put q;
       wake_all_get q
@@ -324,32 +439,44 @@ let put_block p vs =
     else wait_for_space q
   done
 
-let get_block c n =
+(* Wrap-split copy of [len] available elements at [c.cursor]. *)
+let get_ring c seg dst_off len =
+  let q = c.c_queue in
+  let idx = c.cursor mod q.q_cap in
+  let first = min len (q.q_cap - idx) in
+  seg idx dst_off first;
+  if len > first then seg 0 (dst_off + first) (len - first)
+
+let advance c len =
+  let q = c.c_queue in
+  let old = c.cursor in
+  c.cursor <- old + len;
+  if !Obs.Trace.on then note_get q;
+  if q.spsc then begin
+    q.retired <- old + len;
+    wake_all_put q
+  end
+  else note_retire q old
+
+(* Shared consumer chunk loop for exactly-[n] window reads. *)
+let get_loop c n seg =
   if n < 0 then invalid_arg "cgsim: get_block with negative count";
   let q = c.c_queue in
-  let out = Array.make n (Value.Int 0) in
   let filled = ref 0 in
   while !filled < n do
     let avail = q.head - c.cursor in
     if avail > 0 then begin
       let len = min avail (n - !filled) in
-      blit_out c out !filled len;
-      let old = c.cursor in
-      c.cursor <- old + len;
-      filled := !filled + len;
-      if !Obs.Trace.on then note_get q;
-      if q.spsc then begin
-        q.retired <- old + len;
-        wake_all_put q
-      end
-      else note_retire q old
+      get_ring c seg !filled len;
+      advance c len;
+      filled := !filled + len
     end
     else if q.closed then raise Sched.End_of_stream
     else wait_for_data c
-  done;
-  out
+  done
 
-let get_some c ~max =
+(* Blocking available-length probe shared by the [get_*_some] drains. *)
+let some_len c ~max =
   if max <= 0 then invalid_arg "cgsim: get_some needs a positive bound";
   let q = c.c_queue in
   let rec avail () =
@@ -361,22 +488,200 @@ let get_some c ~max =
       avail ()
     end
   in
-  let len = min (avail ()) max in
-  let out = Array.make len (Value.Int 0) in
-  blit_out c out 0 len;
-  let old = c.cursor in
-  c.cursor <- old + len;
-  if !Obs.Trace.on then note_get q;
-  if q.spsc then begin
-    q.retired <- old + len;
-    wake_all_put q
-  end
-  else note_retire q old;
+  min (avail ()) max
+
+let seg_in_values q (src : Value.t array) =
+  match q.buf with
+  | Boxed buf -> fun soff idx len -> Array.blit src soff buf idx len
+  | F32 ba -> values_to_f32 ba src
+  | F64 ba -> values_to_f64 ba src
+  | Ints ba -> values_to_iba ba src
+
+let seg_out_values q (dst : Value.t array) =
+  match q.buf with
+  | Boxed buf -> fun idx doff len -> Array.blit buf idx dst doff len
+  | F32 ba -> f32_to_values ba dst
+  | F64 ba -> f64_to_values ba dst
+  | Ints ba -> iba_to_values ba dst
+
+let put_block p vs =
+  let q = p.p_queue in
+  if not p.open_ then invalid_arg ("cgsim: put on finished producer of " ^ q.q_name);
+  let n = Array.length vs in
+  for i = 0 to n - 1 do
+    if not (q.check vs.(i)) then Value.check ~net:q.q_name q.q_dtype vs.(i)
+  done;
+  put_loop q n (seg_in_values q vs)
+
+let get_block c n =
+  if n < 0 then invalid_arg "cgsim: get_block with negative count";
+  let out = Array.make n (Value.Int 0) in
+  get_loop c n (seg_out_values c.c_queue out);
   out
+
+let get_some c ~max =
+  let len = some_len c ~max in
+  let out = Array.make len (Value.Int 0) in
+  get_ring c (seg_out_values c.c_queue out) 0 len;
+  advance c len;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Unboxed block transfers                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Flat-payload variants of the block operations: same blocking and
+   End_of_stream discipline, no [Value.t] in the interface.  On bigarray
+   storage both sides of the copy are unboxed — memcpy-class; on boxed
+   storage they box/unbox per element, preserving semantics (the
+   [?unboxed:false] baseline).  Dtype discipline: float transfers
+   require a float net, integer transfers an integer net, checked once
+   per block.  F32 nets store single precision: payloads round on store
+   exactly as {!Value.round_f32} (bigarray [float32] storage rounds
+   natively; the boxed fallback rounds explicitly). *)
+
+let require_float q what =
+  match q.q_dtype with
+  | Dtype.F32 | Dtype.F64 -> ()
+  | d ->
+    invalid_arg
+      (Printf.sprintf "cgsim: %s on net %s of dtype %s" what q.q_name (Dtype.to_string d))
+
+let require_int q what =
+  match q.q_dtype with
+  | Dtype.I8 | Dtype.I16 | Dtype.I32 | Dtype.I64 | Dtype.U8 | Dtype.U16 | Dtype.U32 -> ()
+  | d ->
+    invalid_arg
+      (Printf.sprintf "cgsim: %s on net %s of dtype %s" what q.q_name (Dtype.to_string d))
+
+let seg_in_floats q (src : float array) =
+  require_float q "float block write";
+  match q.buf with
+  | F32 ba -> floats_to_f32 ba src
+  | F64 ba -> floats_to_f64 ba src
+  | Boxed buf ->
+    if q.q_dtype = Dtype.F32 then
+      fun soff idx len ->
+        for i = 0 to len - 1 do
+          buf.(idx + i) <- Value.Float (Value.round_f32 src.(soff + i))
+        done
+    else
+      fun soff idx len ->
+        for i = 0 to len - 1 do
+          buf.(idx + i) <- Value.Float src.(soff + i)
+        done
+  | Ints _ -> assert false (* integer storage implies integer dtype *)
+
+let seg_out_floats q (dst : float array) =
+  require_float q "float block read";
+  match q.buf with
+  | F32 ba -> f32_to_floats ba dst
+  | F64 ba -> f64_to_floats ba dst
+  | Boxed buf ->
+    fun idx doff len ->
+      for i = 0 to len - 1 do
+        dst.(doff + i) <- Value.to_float buf.(idx + i)
+      done
+  | Ints _ -> assert false
+
+let int_out_of_range q v =
+  invalid_arg
+    (Printf.sprintf "cgsim: value %d does not conform to dtype %s on net %s" v
+       (Dtype.to_string q.q_dtype) q.q_name)
+
+(* The dtype conformance check is fused into the copy loop: one pass
+   over the payload instead of a check pass plus a copy pass.  A
+   violation raises before [put_loop] advances [head], so no offending
+   element is ever published (slots beyond [head] may hold partial
+   writes, which the ring treats as free space). *)
+let seg_in_ints q (src : int array) =
+  require_int q "int block write";
+  match q.buf, Value.int_range q.q_dtype with
+  | Ints ba, None -> ints_to_iba ba src
+  | Ints ba, Some (lo, hi) ->
+    fun soff idx len ->
+      let bad = ints_to_iba_checked ba src soff idx len lo hi in
+      if bad >= 0 then int_out_of_range q src.(bad)
+  | Boxed buf, range ->
+    let check =
+      match range with
+      | None -> fun _ -> ()
+      | Some (lo, hi) -> fun v -> if v < lo || v > hi then int_out_of_range q v
+    in
+    fun soff idx len ->
+      for i = 0 to len - 1 do
+        let v = src.(soff + i) in
+        check v;
+        buf.(idx + i) <- Value.Int v
+      done
+  | (F32 _ | F64 _), _ -> assert false (* float storage implies float dtype *)
+
+let seg_out_ints q (dst : int array) =
+  require_int q "int block read";
+  match q.buf with
+  | Ints ba -> iba_to_ints ba dst
+  | Boxed buf ->
+    fun idx doff len ->
+      for i = 0 to len - 1 do
+        dst.(doff + i) <- Value.to_int buf.(idx + i)
+      done
+  | F32 _ | F64 _ -> assert false
+
+let put_floats p fs =
+  let q = p.p_queue in
+  if not p.open_ then invalid_arg ("cgsim: put on finished producer of " ^ q.q_name);
+  put_loop q (Array.length fs) (seg_in_floats q fs)
+
+let get_floats c n =
+  if n < 0 then invalid_arg "cgsim: get_block with negative count";
+  let out = Array.create_float n in
+  get_loop c n (seg_out_floats c.c_queue out);
+  out
+
+let get_floats_some c ~max =
+  let len = some_len c ~max in
+  let out = Array.create_float len in
+  get_ring c (seg_out_floats c.c_queue out) 0 len;
+  advance c len;
+  out
+
+let put_ints p is =
+  let q = p.p_queue in
+  if not p.open_ then invalid_arg ("cgsim: put on finished producer of " ^ q.q_name);
+  put_loop q (Array.length is) (seg_in_ints q is)
+
+let get_ints c n =
+  if n < 0 then invalid_arg "cgsim: get_block with negative count";
+  let out = Array.make n 0 in
+  get_loop c n (seg_out_ints c.c_queue out);
+  out
+
+let get_ints_some c ~max =
+  let len = some_len c ~max in
+  let out = Array.make len 0 in
+  get_ring c (seg_out_ints c.c_queue out) 0 len;
+  advance c len;
+  out
+
+(* Allocation-free drains: fill a caller-owned buffer and return the
+   element count.  Steady-state consumers (IO pumps, benches) reuse one
+   buffer instead of allocating a fresh array per chunk. *)
+
+let get_floats_into c dst =
+  let len = some_len c ~max:(Array.length dst) in
+  get_ring c (seg_out_floats c.c_queue dst) 0 len;
+  advance c len;
+  len
+
+let get_ints_into c dst =
+  let len = some_len c ~max:(Array.length dst) in
+  get_ring c (seg_out_ints c.c_queue dst) 0 len;
+  advance c len;
+  len
 
 let peek c =
   let q = c.c_queue in
-  if c.cursor < q.head then Some q.buf.(c.cursor mod q.q_cap)
+  if c.cursor < q.head then Some (read_slot q (c.cursor mod q.q_cap))
   else if q.closed then raise Sched.End_of_stream
   else None
 

@@ -22,8 +22,17 @@ type producer
     most [capacity] elements (a positive count).  Written values are
     checked against [dtype].  Blocking endpoints park on the scheduler of
     whichever fiber touches them ({!Sched.park} uses the running fiber's
-    scheduler), so a queue belongs to whatever run it is used in. *)
-val create : name:string -> dtype:Dtype.t -> capacity:int -> unit -> t
+    scheduler), so a queue belongs to whatever run it is used in.
+
+    [unboxed] (default [true]) backs scalar-dtype rings with
+    [Bigarray.Array1] storage — [float32]/[float64] for floats, native
+    [int] for every integer dtype (U32 and I64 payloads exceed int32) —
+    so the flat block transfers below move unboxed memory.  Aggregate
+    dtypes always use boxed storage.  Semantics are identical either
+    way, with one storage conversion: an F32 ring holds single
+    precision, so stored floats round exactly as {!Value.round_f32}
+    (in-tree F32 producers already round before writing). *)
+val create : ?unboxed:bool -> name:string -> dtype:Dtype.t -> capacity:int -> unit -> t
 
 val name : t -> string
 val dtype : t -> Dtype.t
@@ -56,6 +65,9 @@ val seal : ?spsc:bool -> t -> unit
 
 (** Whether the sealed queue is currently on the SPSC fast path. *)
 val is_spsc : t -> bool
+
+(** Whether the ring is bigarray-backed (see {!create}'s [unboxed]). *)
+val is_unboxed : t -> bool
 
 (** [reset q] restores the queue to its just-created-and-wired state:
     cursors and sequence numbers return to zero, buffered contents are
@@ -109,6 +121,32 @@ val put_block : producer -> Value.t array -> unit
     natural drain loop for sinks.  Raises {!Sched.End_of_stream} when
     closed and drained. *)
 val get_some : consumer -> max:int -> Value.t array
+
+(** {1 Unboxed block transfers}
+
+    Flat-payload variants of the block operations: same blocking,
+    chunking and {!Sched.End_of_stream} discipline, no {!Value.t} in
+    the interface.  On bigarray storage both sides of the copy are
+    unboxed (memcpy-class); on boxed storage they box/unbox per element
+    with identical semantics.  Float transfers require a float-dtype
+    net and integer transfers an integer-dtype net
+    ([Invalid_argument] otherwise); integer payloads are range-checked
+    against the dtype, and F32 nets round on store as {!Value.round_f32}. *)
+
+val put_floats : producer -> float array -> unit
+val get_floats : consumer -> int -> float array
+val get_floats_some : consumer -> max:int -> float array
+val put_ints : producer -> int array -> unit
+val get_ints : consumer -> int -> int array
+val get_ints_some : consumer -> max:int -> int array
+
+(** Allocation-free drains: like the [get_*_some] variants but fill the
+    caller's buffer (up to its length) and return the element count, so a
+    steady-state consumer reuses one buffer instead of allocating per
+    chunk. *)
+
+val get_floats_into : consumer -> float array -> int
+val get_ints_into : consumer -> int array -> int
 
 (** Non-blocking probe: [Some v] without consuming, [None] when empty.
     Raises {!Sched.End_of_stream} when closed and drained. *)

@@ -160,6 +160,14 @@ let hooks t =
           (fun n ->
             check ();
             r.Port.r_get_block n);
+        Port.r_get_floats =
+          (fun n ->
+            check ();
+            r.Port.r_get_floats n);
+        Port.r_get_ints =
+          (fun n ->
+            check ();
+            r.Port.r_get_ints n);
       }
   in
   let wrap_writer (inst : Serialized.kernel_inst) _idx (w : Port.writer) =
@@ -201,6 +209,16 @@ let hooks t =
             check ();
             throttle ();
             w.Port.w_put_block vs);
+        Port.w_put_floats =
+          (fun fs ->
+            check ();
+            throttle ();
+            w.Port.w_put_floats fs);
+        Port.w_put_ints =
+          (fun is ->
+            check ();
+            throttle ();
+            w.Port.w_put_ints is);
         Port.w_space = (fun () -> if !pressure > 0 then 0 else w.Port.w_space ());
       }
   in

@@ -1,0 +1,403 @@
+(* Fused-chain edges: the direct hand-off replacing a Bqueue between two
+   kernels that the fusion pass collapsed into one fiber.
+
+   Within a fused chain only one kernel body executes at a time, so the
+   edge needs no waiters, no broadcast bookkeeping and no capacity
+   blocking — it is a growable ring plus a coroutine: the downstream
+   reader states its demand and *pulls*, resuming the upstream body (the
+   edge's pump) until enough elements arrived or the upstream finished.
+   The upstream body runs under a deep effect handler and suspends
+   itself (a private [Suspend] effect) as soon as the stated demand is
+   met, so production stays demand-driven and buffering is bounded by
+   the window sizes the bodies actually use.  Scheduler effects
+   ([Sched.park]/[yield]) performed inside the pump are not handled
+   here — they propagate through to the chain fiber's handler, so a
+   chain head blocking on a real input queue parks the whole chain
+   fiber exactly like an unfused kernel.
+
+   Storage is unboxed per dtype (OCaml float/int arrays — flat memory,
+   like the bigarray-backed queues); aggregates stay boxed.  F32 edges
+   round on store exactly as {!Value.round_f32}, matching unboxed queue
+   storage. *)
+
+type _ Effect.t += Suspend : unit Effect.t
+
+type store =
+  | SBox of Value.t array
+  | SFloat of float array
+  | SInt of int array
+
+type pump =
+  | No_pump  (* not armed: reader demand just observes [closed] *)
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, unit) Effect.Deep.continuation
+  | Done
+
+type edge = {
+  e_name : string;
+  e_dtype : Dtype.t;
+  e_check : Value.t -> bool;
+  e_round : bool;  (* F32: round floats on store *)
+  e_bounds : (int * int) option;  (* integer payload range check *)
+  mutable e_store : store;
+  mutable e_cap : int;  (* power of two; ring index = seq land (cap-1) *)
+  mutable e_head : int;  (* total elements written *)
+  mutable e_tail : int;  (* total elements read *)
+  mutable e_demand : int;  (* absolute head the reader currently wants *)
+  mutable e_closed : bool;
+  mutable e_pump : pump;
+}
+
+let initial_cap = 64
+
+let make_store dtype cap =
+  match dtype with
+  | Dtype.F32 | Dtype.F64 -> SFloat (Array.make cap 0.)
+  | Dtype.I8 | Dtype.I16 | Dtype.I32 | Dtype.I64 | Dtype.U8 | Dtype.U16 | Dtype.U32 ->
+    SInt (Array.make cap 0)
+  | Dtype.Vector _ | Dtype.Struct _ -> SBox (Array.make cap (Value.Int 0))
+
+let create ~name ~dtype =
+  {
+    e_name = name;
+    e_dtype = dtype;
+    e_check = Value.compile_check dtype;
+    e_round = dtype = Dtype.F32;
+    e_bounds = Value.int_range dtype;
+    e_store = make_store dtype initial_cap;
+    e_cap = initial_cap;
+    e_head = 0;
+    e_tail = 0;
+    e_demand = 0;
+    e_closed = false;
+    e_pump = No_pump;
+  }
+
+let name e = e.e_name
+let dtype e = e.e_dtype
+let total_put e = e.e_head
+let occupancy e = e.e_head - e.e_tail
+let is_closed e = e.e_closed
+let close e = e.e_closed <- true
+let install_pump e f = e.e_pump <- Not_started f
+
+(* Grow the ring so [needed] elements fit.  Live elements keep their
+   sequence numbers; only their ring slots move. *)
+let grow e needed =
+  let nc = ref e.e_cap in
+  while !nc < needed do
+    nc := !nc * 2
+  done;
+  let nc = !nc in
+  let om = e.e_cap - 1 and nm = nc - 1 in
+  (match e.e_store with
+   | SBox a ->
+     let b = Array.make nc (Value.Int 0) in
+     for seq = e.e_tail to e.e_head - 1 do
+       b.(seq land nm) <- a.(seq land om)
+     done;
+     e.e_store <- SBox b
+   | SFloat a ->
+     let b = Array.make nc 0. in
+     for seq = e.e_tail to e.e_head - 1 do
+       b.(seq land nm) <- a.(seq land om)
+     done;
+     e.e_store <- SFloat b
+   | SInt a ->
+     let b = Array.make nc 0 in
+     for seq = e.e_tail to e.e_head - 1 do
+       b.(seq land nm) <- a.(seq land om)
+     done;
+     e.e_store <- SInt b);
+  e.e_cap <- nc
+
+let reserve e n =
+  let needed = e.e_head - e.e_tail + n in
+  if needed > e.e_cap then grow e needed
+
+(* ------------------------------------------------------------------ *)
+(* Writer side (the upstream member's output port)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Once the reader's stated demand is met, hand control back to the
+   ensure-loop that resumed us.  Performed, not called: the matching
+   handler is installed by [run_pump] below. *)
+let maybe_suspend e = if e.e_head >= e.e_demand then Effect.perform Suspend
+
+let wrong_payload e what =
+  invalid_arg
+    (Printf.sprintf "cgsim: %s on fused edge %s of dtype %s" what e.e_name
+       (Dtype.to_string e.e_dtype))
+
+let put e v =
+  if not (e.e_check v) then Value.check ~net:e.e_name e.e_dtype v;
+  reserve e 1;
+  let mask = e.e_cap - 1 in
+  (match e.e_store with
+   | SBox a -> a.(e.e_head land mask) <- v
+   | SFloat a ->
+     let f = Value.to_float v in
+     a.(e.e_head land mask) <- (if e.e_round then Value.round_f32 f else f)
+   | SInt a -> a.(e.e_head land mask) <- Value.to_int v);
+  e.e_head <- e.e_head + 1;
+  maybe_suspend e
+
+let put_block e vs =
+  let n = Array.length vs in
+  for i = 0 to n - 1 do
+    if not (e.e_check vs.(i)) then Value.check ~net:e.e_name e.e_dtype vs.(i)
+  done;
+  reserve e n;
+  let mask = e.e_cap - 1 in
+  (match e.e_store with
+   | SBox a ->
+     for i = 0 to n - 1 do
+       Array.unsafe_set a ((e.e_head + i) land mask) (Array.unsafe_get vs i)
+     done
+   | SFloat a ->
+     if e.e_round then
+       for i = 0 to n - 1 do
+         Array.unsafe_set a ((e.e_head + i) land mask)
+           (Value.round_f32 (Value.to_float (Array.unsafe_get vs i)))
+       done
+     else
+       for i = 0 to n - 1 do
+         Array.unsafe_set a ((e.e_head + i) land mask) (Value.to_float (Array.unsafe_get vs i))
+       done
+   | SInt a ->
+     for i = 0 to n - 1 do
+       Array.unsafe_set a ((e.e_head + i) land mask) (Value.to_int (Array.unsafe_get vs i))
+     done);
+  e.e_head <- e.e_head + n;
+  maybe_suspend e
+
+let put_floats e fs =
+  let n = Array.length fs in
+  (match e.e_store with SFloat _ -> () | SBox _ | SInt _ -> wrong_payload e "float block write");
+  reserve e n;
+  let mask = e.e_cap - 1 in
+  (match e.e_store with
+   | SFloat a ->
+     if e.e_round then
+       for i = 0 to n - 1 do
+         Array.unsafe_set a ((e.e_head + i) land mask) (Value.round_f32 (Array.unsafe_get fs i))
+       done
+     else
+       for i = 0 to n - 1 do
+         Array.unsafe_set a ((e.e_head + i) land mask) (Array.unsafe_get fs i)
+       done
+   | SBox _ | SInt _ -> assert false);
+  e.e_head <- e.e_head + n;
+  maybe_suspend e
+
+let put_ints e is =
+  let n = Array.length is in
+  (match e.e_store with SInt _ -> () | SBox _ | SFloat _ -> wrong_payload e "int block write");
+  (match e.e_bounds with
+   | None -> ()
+   | Some (lo, hi) ->
+     for i = 0 to n - 1 do
+       let v = Array.unsafe_get is i in
+       if v < lo || v > hi then
+         invalid_arg
+           (Printf.sprintf "cgsim: value %d does not conform to dtype %s on net %s" v
+              (Dtype.to_string e.e_dtype) e.e_name)
+     done);
+  reserve e n;
+  let mask = e.e_cap - 1 in
+  (match e.e_store with
+   | SInt a ->
+     for i = 0 to n - 1 do
+       Array.unsafe_set a ((e.e_head + i) land mask) (Array.unsafe_get is i)
+     done
+   | SBox _ | SFloat _ -> assert false);
+  e.e_head <- e.e_head + n;
+  maybe_suspend e
+
+(* Advisory: how many more elements the reader currently wants.  The
+   interleave-aware writers use free space to size chunks; on a fused
+   edge outstanding demand plays that role. *)
+let w_space e = max 0 (e.e_demand - e.e_head)
+
+(* ------------------------------------------------------------------ *)
+(* The pump: running the upstream body on demand                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the upstream coroutine one step: start it under the deep
+   handler, or resume its suspended continuation (the handler installed
+   at start stays in force across resumes).  Normal return and
+   End_of_stream close the edge quietly — the downstream reader
+   observes end of stream from the drained edge, exactly as with a
+   closed queue.  Any other exception (including Terminated) closes the
+   edge and propagates to the caller, i.e. into the downstream body and
+   from there to the chain fiber's supervision. *)
+let run_pump e =
+  match e.e_pump with
+  | No_pump | Done -> close e (* no upstream left; demand is unsatisfiable *)
+  | Suspended k ->
+    e.e_pump <- Done;
+    (* placeholder: one-shot continuation, never resume twice *)
+    Effect.Deep.continue k ()
+  | Not_started f ->
+    e.e_pump <- Done;
+    Effect.Deep.match_with f ()
+      {
+        retc =
+          (fun () ->
+            e.e_pump <- Done;
+            close e);
+        exnc =
+          (fun ex ->
+            e.e_pump <- Done;
+            close e;
+            match ex with
+            | Sched.End_of_stream -> ()
+            | ex -> raise ex);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) -> e.e_pump <- Suspended k)
+            | _ -> None);
+      }
+
+(* Reader-side demand loop: state how far the head must advance, then
+   pump until it did or the upstream finished.
+
+   Demand carries slack: a suspend/resume round-trip through the effect
+   handler costs a continuation capture, and charging it per window
+   makes the fused edge slower than the queue hop it replaced.  Asking
+   the pump to run ahead by [slack] elements amortises one capture over
+   many windows.  Running ahead is safe exactly where fusion is legal —
+   chain members own their sole intermediate edge, so extra production
+   only buffers data the reader is guaranteed to want, and a shorter
+   final batch ends with the upstream closing the edge as usual. *)
+let slack = 4096
+
+let ensure e n =
+  if e.e_head - e.e_tail < n && not e.e_closed then begin
+    e.e_demand <- e.e_tail + (if n > slack then n else slack);
+    while e.e_head < e.e_demand && not e.e_closed do
+      run_pump e
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reader side (the downstream member's input port)                    *)
+(* ------------------------------------------------------------------ *)
+
+let read_slot e seq =
+  let mask = e.e_cap - 1 in
+  match e.e_store with
+  | SBox a -> a.(seq land mask)
+  | SFloat a -> Value.Float a.(seq land mask)
+  | SInt a -> Value.Int a.(seq land mask)
+
+let get e =
+  ensure e 1;
+  if e.e_head > e.e_tail then begin
+    let v = read_slot e e.e_tail in
+    e.e_tail <- e.e_tail + 1;
+    v
+  end
+  else raise Sched.End_of_stream
+
+(* Pulls (and may therefore run the upstream body, park, or observe end
+   of stream) — a fused edge has no meaningful "nothing available yet"
+   state to report, because availability is demand-driven. *)
+let peek e =
+  ensure e 1;
+  if e.e_head > e.e_tail then Some (read_slot e e.e_tail) else raise Sched.End_of_stream
+
+let available e = e.e_head - e.e_tail
+
+(* Exact-n block read with queue-matching End_of_stream semantics: if
+   the upstream closes short of [n], whatever arrived is consumed and
+   End_of_stream raised — as a loop of scalar gets would behave. *)
+let take e n avail =
+  e.e_tail <- e.e_tail + avail;
+  if avail < n then raise Sched.End_of_stream
+
+let get_block e n =
+  if n < 0 then invalid_arg "cgsim: get_block with negative count";
+  ensure e n;
+  let avail = min n (e.e_head - e.e_tail) in
+  let out = Array.make avail (Value.Int 0) in
+  let mask = e.e_cap - 1 in
+  (match e.e_store with
+   | SBox a ->
+     for i = 0 to avail - 1 do
+       Array.unsafe_set out i (Array.unsafe_get a ((e.e_tail + i) land mask))
+     done
+   | SFloat a ->
+     for i = 0 to avail - 1 do
+       Array.unsafe_set out i (Value.Float (Array.unsafe_get a ((e.e_tail + i) land mask)))
+     done
+   | SInt a ->
+     for i = 0 to avail - 1 do
+       Array.unsafe_set out i (Value.Int (Array.unsafe_get a ((e.e_tail + i) land mask)))
+     done);
+  take e n avail;
+  out
+
+let get_floats e n =
+  if n < 0 then invalid_arg "cgsim: get_block with negative count";
+  (match e.e_store with SFloat _ -> () | SBox _ | SInt _ -> wrong_payload e "float block read");
+  ensure e n;
+  let avail = min n (e.e_head - e.e_tail) in
+  let out = Array.create_float avail in
+  let mask = e.e_cap - 1 in
+  (match e.e_store with
+   | SFloat a ->
+     for i = 0 to avail - 1 do
+       Array.unsafe_set out i (Array.unsafe_get a ((e.e_tail + i) land mask))
+     done
+   | SBox _ | SInt _ -> assert false);
+  take e n avail;
+  out
+
+let get_ints e n =
+  if n < 0 then invalid_arg "cgsim: get_block with negative count";
+  (match e.e_store with SInt _ -> () | SBox _ | SFloat _ -> wrong_payload e "int block read");
+  ensure e n;
+  let avail = min n (e.e_head - e.e_tail) in
+  let out = Array.make avail 0 in
+  let mask = e.e_cap - 1 in
+  (match e.e_store with
+   | SInt a ->
+     for i = 0 to avail - 1 do
+       Array.unsafe_set out i (Array.unsafe_get a ((e.e_tail + i) land mask))
+     done
+   | SBox _ | SFloat _ -> assert false);
+  take e n avail;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Teardown and reuse                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* End-of-run cleanup from the chain fiber's finally: a pump left
+   suspended (the downstream body finished without draining it) is
+   discontinued with Terminated so its own protect/finally code runs —
+   the fused analogue of the scheduler cancelling parked fibers. *)
+let kill e =
+  (match e.e_pump with
+   | Suspended k -> (
+     e.e_pump <- Done;
+     try Effect.Deep.discontinue k Sched.Terminated with Sched.Terminated -> ())
+   | No_pump | Not_started _ | Done -> ());
+  e.e_pump <- Done;
+  close e
+
+(* Back to pristine for the next run; [arm] installs a fresh pump.  The
+   grown ring is kept — warm serving reuses the high-water capacity. *)
+let reset e =
+  (match e.e_pump with
+   | Suspended _ -> kill e
+   | No_pump | Not_started _ | Done -> ());
+  e.e_head <- 0;
+  e.e_tail <- 0;
+  e.e_demand <- 0;
+  e.e_closed <- false;
+  e.e_pump <- No_pump

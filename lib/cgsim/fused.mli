@@ -1,0 +1,77 @@
+(** Direct hand-off edges inside fused kernel chains.
+
+    When the fusion pass collapses a chain of rate-matched
+    single-producer/single-consumer kernels into one fiber
+    ({!Runtime.compile} with [Run_config.fuse]), the queue between two
+    chain members is replaced by an [edge]: a growable unboxed ring plus
+    a pull coroutine.  The downstream member's port reads state a demand
+    and resume the upstream member's body (the edge's {e pump}) until
+    enough elements arrived; the upstream body suspends itself once the
+    demand is met.  No scheduler parking, waking or capacity blocking
+    happens on the edge itself — blocking operations inside the pump
+    (e.g. the chain head reading a real input queue) park the whole
+    chain fiber, preserving unfused semantics.
+
+    Semantic differences from a {!Bqueue}, by design:
+    - [peek] {e pulls}: it may run the upstream body (and park or raise
+      {!Sched.End_of_stream}) instead of returning [None], because
+      availability on a demand-driven edge is not observable without
+      producing.
+    - capacity is elastic (bounded by the window sizes the bodies use),
+      so a fused chain never deadlocks on edge capacity.
+
+    Everything here is single-fiber code driven by {!Runtime}; none of
+    it is safe to share between domains. *)
+
+type edge
+
+val create : name:string -> dtype:Dtype.t -> edge
+
+val name : edge -> string
+val dtype : edge -> Dtype.t
+
+(** Elements written over the run so far (net-traffic accounting). *)
+val total_put : edge -> int
+
+(** Elements buffered: written but not yet read. *)
+val occupancy : edge -> int
+
+val is_closed : edge -> bool
+
+(** Install the upstream body as this run's pump ({!Runtime}'s [arm]
+    does this before spawning the chain fiber). *)
+val install_pump : edge -> (unit -> unit) -> unit
+
+(** {1 Writer side — used by the upstream member's output port} *)
+
+val put : edge -> Value.t -> unit
+val put_block : edge -> Value.t array -> unit
+val put_floats : edge -> float array -> unit
+val put_ints : edge -> int array -> unit
+
+(** Outstanding demand (elements still wanted before the writer would
+    suspend) — the advisory the fused writer exposes as [w_space]. *)
+val w_space : edge -> int
+
+(** {1 Reader side — used by the downstream member's input port} *)
+
+val get : edge -> Value.t
+val peek : edge -> Value.t option
+val available : edge -> int
+val get_block : edge -> int -> Value.t array
+val get_floats : edge -> int -> float array
+val get_ints : edge -> int -> int array
+
+(** {1 Lifecycle} *)
+
+(** Close the edge (upstream finished); readers drain then observe
+    {!Sched.End_of_stream}. *)
+val close : edge -> unit
+
+(** End-of-run teardown: discontinue a still-suspended pump with
+    {!Sched.Terminated} (so its cleanup runs) and close the edge. *)
+val kill : edge -> unit
+
+(** Restore to pristine for the next run (the grown ring is kept; the
+    pump slot empties until the next {!install_pump}). *)
+val reset : edge -> unit

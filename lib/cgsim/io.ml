@@ -4,6 +4,11 @@ type source = {
   make_pull_block : unit -> int -> Value.t array;
       (* Returns at most [n] elements; [||] means exhausted.  Independent
          iterator from [make_pull]: a run uses one or the other. *)
+  make_pull_floats : unit -> int -> float array;
+      (* Unboxed block pull (float payloads), same contract as
+         [make_pull_block]; the runtime selects it on unboxed float
+         nets so source data never boxes.  Independent iterator. *)
+  make_pull_ints : unit -> int -> int array;
   length : int option;
 }
 
@@ -11,6 +16,8 @@ type sink = {
   snk_name : string;
   push : Value.t -> unit;
   push_block : Value.t array -> unit;
+  push_floats : float array -> unit;
+  push_ints : int array -> unit;
 }
 
 (* Derive a block pull from a scalar pull (element loop, same stream). *)
@@ -31,6 +38,16 @@ let block_of_pull make_pull () =
     List.iteri (fun i v -> out.(!taken - 1 - i) <- v) !acc;
     out
 
+(* Derive the unboxed pulls from the block pull: one block underneath,
+   unbox at the boundary (sources with flat native storage override). *)
+let floats_of_block make_pull_block () =
+  let pull_block = make_pull_block () in
+  fun n -> Array.map Value.to_float (pull_block n)
+
+let ints_of_block make_pull_block () =
+  let pull_block = make_pull_block () in
+  fun n -> Array.map Value.to_int (pull_block n)
+
 let of_list values =
   let make_pull () =
     let rest = ref values in
@@ -41,14 +58,28 @@ let of_list values =
         rest := tl;
         Some v
   in
+  let make_pull_block = block_of_pull make_pull in
   {
     src_name = "list-source";
     make_pull;
-    make_pull_block = block_of_pull make_pull;
+    make_pull_block;
+    make_pull_floats = floats_of_block make_pull_block;
+    make_pull_ints = ints_of_block make_pull_block;
     length = Some (List.length values);
   }
 
 let of_array values =
+  let make_pull_block () =
+    let i = ref 0 in
+    fun n ->
+      let len = min n (Array.length values - !i) in
+      if len <= 0 then [||]
+      else begin
+        let slice = Array.sub values !i len in
+        i := !i + len;
+        slice
+      end
+  in
   {
     src_name = "array-source";
     make_pull =
@@ -63,33 +94,84 @@ let of_array values =
           end);
     (* Array-backed sources hand out [Array.sub] slices directly: the
        whole chunk is one copy, feeding [Bqueue.put_block]'s blit path. *)
-    make_pull_block =
-      (fun () ->
-        let i = ref 0 in
-        fun n ->
-          let len = min n (Array.length values - !i) in
-          if len <= 0 then [||]
-          else begin
-            let slice = Array.sub values !i len in
-            i := !i + len;
-            slice
-          end);
+    make_pull_block;
+    make_pull_floats = floats_of_block make_pull_block;
+    make_pull_ints = ints_of_block make_pull_block;
     length = Some (Array.length values);
   }
 
+(* Flat slice pulls over native float/int backing arrays: the chunk is
+   one [Array.sub], no boxing anywhere on the unboxed path. *)
+let flat_float_pull values () =
+  let i = ref 0 in
+  fun n ->
+    let len = min n (Array.length values - !i) in
+    if len <= 0 then [||]
+    else begin
+      let slice = Array.sub values !i len in
+      i := !i + len;
+      slice
+    end
+
+let flat_int_pull (values : int array) () =
+  let i = ref 0 in
+  fun n ->
+    let len = min n (Array.length values - !i) in
+    if len <= 0 then [||]
+    else begin
+      let slice = Array.sub values !i len in
+      i := !i + len;
+      slice
+    end
+
 let of_f32_array values =
-  let tagged = Array.map (fun f -> Value.Float (Value.round_f32 f)) values in
-  { (of_array tagged) with src_name = "f32-source" }
+  (* Round once, up front: both the boxed and the unboxed path then
+     deliver identical single-precision data (the equivalence the
+     fused/unboxed baselines assert).  The boxed [Value.t] view is
+     derived lazily: a run whose input net is unboxed only ever calls
+     [make_pull_floats], and tagging a large input would dominate the
+     run it feeds. *)
+  let rounded = Array.map Value.round_f32 values in
+  let tagged = lazy (Array.map (fun f -> Value.Float f) rounded) in
+  let boxed = lazy (of_array (Lazy.force tagged)) in
+  {
+    src_name = "f32-source";
+    make_pull = (fun () -> (Lazy.force boxed).make_pull ());
+    make_pull_block = (fun () -> (Lazy.force boxed).make_pull_block ());
+    make_pull_floats = flat_float_pull rounded;
+    make_pull_ints = ints_of_block (fun () -> (Lazy.force boxed).make_pull_block ());
+    length = Some (Array.length rounded);
+  }
 
 let of_int_array dtype values =
-  let tagged = Array.map (fun i -> Value.Int (Value.wrap_int dtype i)) values in
-  { (of_array tagged) with src_name = "int-source" }
+  let wrapped = Array.map (Value.wrap_int dtype) values in
+  let tagged = lazy (Array.map (fun i -> Value.Int i) wrapped) in
+  let boxed = lazy (of_array (Lazy.force tagged)) in
+  {
+    src_name = "int-source";
+    make_pull = (fun () -> (Lazy.force boxed).make_pull ());
+    make_pull_block = (fun () -> (Lazy.force boxed).make_pull_block ());
+    make_pull_floats = floats_of_block (fun () -> (Lazy.force boxed).make_pull_block ());
+    make_pull_ints = flat_int_pull wrapped;
+    length = Some (Array.length wrapped);
+  }
 
 let repeat n values =
   if n < 0 then invalid_arg "cgsim: Io.repeat with negative count";
   let len = List.length values in
   let arr = Array.of_list values in
   let total = n * len in
+  let make_pull_block () =
+    let produced = ref 0 in
+    fun want ->
+      let take = min want (total - !produced) in
+      if take <= 0 then [||]
+      else begin
+        let out = Array.init take (fun k -> arr.((!produced + k) mod len)) in
+        produced := !produced + take;
+        out
+      end
+  in
   {
     src_name = Printf.sprintf "repeat%d-source" n;
     make_pull =
@@ -102,17 +184,9 @@ let repeat n values =
             incr produced;
             Some v
           end);
-    make_pull_block =
-      (fun () ->
-        let produced = ref 0 in
-        fun want ->
-          let take = min want (total - !produced) in
-          if take <= 0 then [||]
-          else begin
-            let out = Array.init take (fun k -> arr.((!produced + k) mod len)) in
-            produced := !produced + take;
-            out
-          end);
+    make_pull_block;
+    make_pull_floats = floats_of_block make_pull_block;
+    make_pull_ints = ints_of_block make_pull_block;
     length = Some total;
   }
 
@@ -144,28 +218,41 @@ let concat sources =
       in
       pull
     in
-    let make_pull_block () =
+    (* One chunked iterator shape for all three block pulls, so the
+       batching path (concat of per-request sources) stays unboxed when
+       its parts are. *)
+    let chunked part () =
       let idx = ref 0 in
-      let cur = ref (arr.(0).make_pull_block ()) in
+      let cur = ref (part arr.(0) ()) in
       let rec pull_block want =
         let chunk = !cur want in
         if Array.length chunk > 0 then chunk
         else if !idx + 1 >= n then [||]
         else begin
           incr idx;
-          cur := arr.(!idx).make_pull_block ();
+          cur := part arr.(!idx) ();
           pull_block want
         end
       in
       pull_block
     in
-    { src_name = "concat-source"; make_pull; make_pull_block; length }
+    {
+      src_name = "concat-source";
+      make_pull;
+      make_pull_block = chunked (fun s -> s.make_pull_block);
+      make_pull_floats = chunked (fun s -> s.make_pull_floats);
+      make_pull_ints = chunked (fun s -> s.make_pull_ints);
+      length;
+    }
 
 let of_fun f =
+  let make_pull_block = block_of_pull (fun () -> f) in
   {
     src_name = "fun-source";
     make_pull = (fun () -> f);
-    make_pull_block = block_of_pull (fun () -> f);
+    make_pull_block;
+    make_pull_floats = floats_of_block make_pull_block;
+    make_pull_ints = ints_of_block make_pull_block;
     length = None;
   }
 
@@ -179,10 +266,13 @@ let rtp v =
         Some v
       end
   in
+  let make_pull_block = block_of_pull make_pull in
   {
     src_name = "rtp-source";
     make_pull;
-    make_pull_block = block_of_pull make_pull;
+    make_pull_block;
+    make_pull_floats = floats_of_block make_pull_block;
+    make_pull_ints = ints_of_block make_pull_block;
     length = Some 1;
   }
 
@@ -190,7 +280,14 @@ let source_name s = s.src_name
 
 let with_source_name name s = { s with src_name = name }
 
-let sink_of_push name push = { snk_name = name; push; push_block = Array.iter push }
+let sink_of_push name push =
+  {
+    snk_name = name;
+    push;
+    push_block = Array.iter push;
+    push_floats = (fun fs -> Array.iter (fun f -> push (Value.Float f)) fs);
+    push_ints = (fun is -> Array.iter (fun i -> push (Value.Int i)) is);
+  }
 
 let buffer () =
   let acc = ref [] in
@@ -198,18 +295,72 @@ let buffer () =
       snk_name = "buffer-sink";
       push = (fun v -> acc := v :: !acc);
       push_block = (fun vs -> Array.iter (fun v -> acc := v :: !acc) vs);
+      push_floats = (fun fs -> Array.iter (fun f -> acc := Value.Float f :: !acc) fs);
+      push_ints = (fun is -> Array.iter (fun i -> acc := Value.Int i :: !acc) is);
     },
     fun () -> List.rev !acc )
 
+(* Growable flat accumulator shared by the typed buffer sinks: boxed and
+   unboxed pushes land in the same native array, so the post-run view is
+   one [Array.sub] whichever path the run used. *)
+let flat_buffer ~(zero : 'a) ~(of_value : Value.t -> 'a) =
+  let buf = ref (Array.make 64 zero) in
+  let len = ref 0 in
+  let reserve n =
+    if !len + n > Array.length !buf then begin
+      let nc = ref (Array.length !buf * 2) in
+      while !nc < !len + n do
+        nc := !nc * 2
+      done;
+      let b = Array.make !nc zero in
+      Array.blit !buf 0 b 0 !len;
+      buf := b
+    end
+  in
+  let push_one x =
+    reserve 1;
+    !buf.(!len) <- x;
+    incr len
+  in
+  let push_many xs =
+    let n = Array.length xs in
+    reserve n;
+    Array.blit xs 0 !buf !len n;
+    len := !len + n
+  in
+  let push_values vs =
+    let n = Array.length vs in
+    reserve n;
+    for i = 0 to n - 1 do
+      !buf.(!len + i) <- of_value vs.(i)
+    done;
+    len := !len + n
+  in
+  push_one, push_many, push_values, fun () -> Array.sub !buf 0 !len
+
 let f32_buffer () =
-  let sink, contents = buffer () in
-  ( { sink with snk_name = "f32-buffer-sink" },
-    fun () -> Array.of_list (List.map Value.to_float (contents ())) )
+  let push_one, push_floats, push_values, contents =
+    flat_buffer ~zero:0. ~of_value:Value.to_float
+  in
+  ( {
+      snk_name = "f32-buffer-sink";
+      push = (fun v -> push_one (Value.to_float v));
+      push_block = push_values;
+      push_floats;
+      push_ints = (fun is -> Array.iter (fun i -> push_one (float_of_int i)) is);
+    },
+    contents )
 
 let int_buffer () =
-  let sink, contents = buffer () in
-  ( { sink with snk_name = "int-buffer-sink" },
-    fun () -> Array.of_list (List.map Value.to_int (contents ())) )
+  let push_one, push_ints, push_values, contents = flat_buffer ~zero:0 ~of_value:Value.to_int in
+  ( {
+      snk_name = "int-buffer-sink";
+      push = (fun v -> push_one (Value.to_int v));
+      push_block = push_values;
+      push_floats = (fun fs -> Array.iter (fun f -> push_one (int_of_float f)) fs);
+      push_ints;
+    },
+    contents )
 
 let counter () =
   let n = ref 0 in
@@ -217,6 +368,8 @@ let counter () =
       snk_name = "counter-sink";
       push = (fun _ -> incr n);
       push_block = (fun vs -> n := !n + Array.length vs);
+      push_floats = (fun fs -> n := !n + Array.length fs);
+      push_ints = (fun is -> n := !n + Array.length is);
     },
     fun () -> !n )
 
@@ -225,7 +378,9 @@ let rtp_sink () =
   ( sink_of_push "rtp-sink" (fun v -> cell := Some v),
     fun () -> !cell )
 
-let null () = { snk_name = "null-sink"; push = ignore; push_block = ignore }
+let null () =
+  { snk_name = "null-sink"; push = ignore; push_block = ignore; push_floats = ignore;
+    push_ints = ignore }
 
 let of_consumer push = sink_of_push "consumer-sink" push
 
@@ -237,8 +392,16 @@ let source_pull s = s.make_pull ()
 
 let source_pull_block s = s.make_pull_block ()
 
+let source_pull_floats s = s.make_pull_floats ()
+
+let source_pull_ints s = s.make_pull_ints ()
+
 let source_length s = s.length
 
 let sink_push s v = s.push v
 
 let sink_push_block s vs = s.push_block vs
+
+let sink_push_floats s fs = s.push_floats fs
+
+let sink_push_ints s is = s.push_ints is

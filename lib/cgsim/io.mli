@@ -81,6 +81,16 @@ val source_pull : source -> unit -> Value.t option
     a run drives one or the other, never both. *)
 val source_pull_block : source -> int -> Value.t array
 
+(** Unboxed block pulls, same contract as {!source_pull_block} with flat
+    float/int payloads.  Sources with native float/int backing
+    ({!of_f32_array}, {!of_int_array}, and {!concat} over them) serve
+    [Array.sub] slices with no boxing; others unbox a boxed block at the
+    boundary.  The runtime drives these on unboxed scalar nets so source
+    data goes straight into bigarray queue storage. *)
+val source_pull_floats : source -> int -> float array
+
+val source_pull_ints : source -> int -> int array
+
 (** Elements the source will produce, when statically known. *)
 val source_length : source -> int option
 
@@ -88,3 +98,10 @@ val sink_push : sink -> Value.t -> unit
 
 (** Push a whole block; equivalent to pushing each element in order. *)
 val sink_push_block : sink -> Value.t array -> unit
+
+(** Unboxed block pushes; equivalent to boxing each element and pushing.
+    {!f32_buffer}, {!int_buffer}, {!counter} and {!null} accept them
+    without boxing. *)
+val sink_push_floats : sink -> float array -> unit
+
+val sink_push_ints : sink -> int array -> unit

@@ -5,6 +5,8 @@ type reader = {
   r_peek : unit -> Value.t option;
   r_available : unit -> int;
   r_get_block : int -> Value.t array;
+  r_get_floats : int -> float array;
+  r_get_ints : int -> int array;
 }
 
 type writer = {
@@ -12,6 +14,8 @@ type writer = {
   w_dtype : Dtype.t;
   w_put : Value.t -> unit;
   w_put_block : Value.t array -> unit;
+  w_put_floats : float array -> unit;
+  w_put_ints : int array -> unit;
   w_space : unit -> int;
 }
 
@@ -22,6 +26,16 @@ let put w v = w.w_put v
 let get_window r n = r.r_get_block n
 
 let put_window w vs = w.w_put_block vs
+
+(* Unboxed windows: flat float/int payloads through the transport's
+   unboxed block path — no Value boxing on bigarray-backed queues. *)
+let get_window_f32 r n = r.r_get_floats n
+
+let put_window_f32 w fs = w.w_put_floats fs
+
+let get_window_int r n = r.r_get_ints n
+
+let put_window_int w is = w.w_put_ints is
 
 (* Two-port interleaved block write.  Some kernels (farrow stage 1)
    produce two streams that a downstream kernel drains alternately; a
@@ -61,6 +75,21 @@ let put_window2 wa wb va vb =
 let block_get_of_get get n = Array.init n (fun _ -> get ())
 
 let block_put_of_put put vs = Array.iter put vs
+
+(* Derive the unboxed accessors from the boxed block path, for bindings
+   whose transport has no native unboxed operation: box/unbox at the
+   boundary, one block transaction underneath.  The float writer rounds
+   F32 payloads before boxing, matching unboxed-storage semantics. *)
+let floats_of_block get_block n = Array.map Value.to_float (get_block n)
+
+let ints_of_block get_block n = Array.map Value.to_int (get_block n)
+
+let block_of_floats dtype put_block fs =
+  match dtype with
+  | Dtype.F32 -> put_block (Array.map (fun f -> Value.Float (Value.round_f32 f)) fs)
+  | _ -> put_block (Array.map (fun f -> Value.Float f) fs)
+
+let block_of_ints put_block is = put_block (Array.map (fun i -> Value.Int i) is)
 
 let get_f32 r = Value.to_float (get r)
 

@@ -20,6 +20,11 @@ type reader = {
   r_get_block : int -> Value.t array;
       (** Block read: equivalent to [n] calls of [r_get] but routed
           through the transport's block fast path when it has one. *)
+  r_get_floats : int -> float array;
+      (** Unboxed block read (float-dtype ports): equivalent to
+          [Array.map Value.to_float (r_get_block n)] but with no boxing
+          when the transport stores unboxed. *)
+  r_get_ints : int -> int array;  (** Unboxed block read, integer dtypes. *)
 }
 
 type writer = {
@@ -27,6 +32,11 @@ type writer = {
   w_dtype : Dtype.t;
   w_put : Value.t -> unit;  (** May suspend. *)
   w_put_block : Value.t array -> unit;  (** Block write, cf. [r_get_block]. *)
+  w_put_floats : float array -> unit;
+      (** Unboxed block write (float-dtype ports); F32 payloads round to
+          single precision on store ({!Value.round_f32}). *)
+  w_put_ints : int array -> unit;
+      (** Unboxed block write, integer dtypes; range-checked. *)
   w_space : unit -> int;
       (** Advisory free space of the transport (never suspends); the
           interleave-aware {!put_window2} sizes its lockstep chunks with
@@ -43,6 +53,19 @@ val get_window : reader -> int -> Value.t array
 
 val put_window : writer -> Value.t array -> unit
 
+(** Unboxed windows: flat float/int payloads through the transport's
+    unboxed block path.  On a bigarray-backed queue the transfer is a
+    bounds-checked blit with no {!Value.t} allocation; elsewhere it
+    boxes at the boundary with identical semantics. *)
+
+val get_window_f32 : reader -> int -> float array
+
+val put_window_f32 : writer -> float array -> unit
+
+val get_window_int : reader -> int -> int array
+
+val put_window_int : writer -> int array -> unit
+
 (** [put_window2 wa wb va vb] writes two equal-length windows to two
     ports in lockstep chunks sized by the free space of the tighter
     queue — the block path for producers whose consumer drains the two
@@ -58,6 +81,19 @@ val put_window2 : writer -> writer -> Value.t array -> Value.t array -> unit
 val block_get_of_get : (unit -> Value.t) -> int -> Value.t array
 
 val block_put_of_put : (Value.t -> unit) -> Value.t array -> unit
+
+(** Derive unboxed accessors from a boxed block path, for transports
+    with no native unboxed operation: one block transaction underneath,
+    box/unbox at the boundary.  [block_of_floats] rounds F32 payloads
+    before boxing, matching unboxed-storage semantics. *)
+
+val floats_of_block : (int -> Value.t array) -> int -> float array
+
+val ints_of_block : (int -> Value.t array) -> int -> int array
+
+val block_of_floats : Dtype.t -> (Value.t array -> unit) -> float array -> unit
+
+val block_of_ints : (Value.t array -> unit) -> int array -> unit
 
 (** {1 Scalar conveniences} *)
 

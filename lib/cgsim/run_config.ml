@@ -28,6 +28,8 @@ type t = {
   seed : int;
   warm : bool;
   batch : int;
+  fuse : bool;
+  unboxed : bool;
 }
 
 let default =
@@ -47,6 +49,8 @@ let default =
     seed = 1;
     warm = true;
     batch = 1;
+    fuse = true;
+    unboxed = true;
   }
 
 let with_hooks hooks t = { t with hooks }
@@ -74,3 +78,6 @@ let with_warm warm t = { t with warm }
 let with_batch batch t =
   if batch < 1 then invalid_arg "cgsim: Run_config.with_batch needs a positive batch size";
   { t with batch }
+
+let with_fuse fuse t = { t with fuse }
+let with_unboxed unboxed t = { t with unboxed }

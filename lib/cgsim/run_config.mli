@@ -50,6 +50,19 @@ type t = {
           the graph is provably batchable (every kernel declared
           [~pure:true] and [~stateless:true]); default 1 (no batching).
           Ignored on the cold path and for open-loop arrivals. *)
+  fuse : bool;
+      (** Operator fusion (default [true]): collapse chains of
+          rate-matched single-producer/single-consumer kernels into one
+          fiber, passing windows directly with no intermediate queue.
+          Only lint-clean chains identified by the analysis pass are
+          fused; everything else falls back transparently.  [false]
+          keeps one fiber + one queue per hop — the equivalence
+          baseline. *)
+  unboxed : bool;
+      (** Unboxed data plane (default [true]): back scalar-dtype queue
+          storage with [Bigarray.Array1] so block transfers move flat
+          memory instead of boxed {!Value.t}s.  [false] forces boxed
+          storage everywhere — the equivalence baseline. *)
 }
 
 val default : t
@@ -71,3 +84,6 @@ val with_warm : bool -> t -> t
 
 (** Raises [Invalid_argument] unless the batch size is positive. *)
 val with_batch : int -> t -> t
+
+val with_fuse : bool -> t -> t
+val with_unboxed : bool -> t -> t

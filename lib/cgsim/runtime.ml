@@ -37,6 +37,16 @@ let obs_hooks () =
               (* One metric update per block, same totals as per-element. *)
               Obs.Trace.add_metric key (float_of_int (Array.length vs));
               vs);
+          Port.r_get_floats =
+            (fun n ->
+              let fs = r.Port.r_get_floats n in
+              Obs.Trace.add_metric key (float_of_int (Array.length fs));
+              fs);
+          Port.r_get_ints =
+            (fun n ->
+              let is = r.Port.r_get_ints n in
+              Obs.Trace.add_metric key (float_of_int (Array.length is));
+              is);
         });
     wrap_writer =
       (fun _inst _idx w ->
@@ -51,6 +61,14 @@ let obs_hooks () =
             (fun vs ->
               w.Port.w_put_block vs;
               Obs.Trace.add_metric key (float_of_int (Array.length vs)));
+          Port.w_put_floats =
+            (fun fs ->
+              w.Port.w_put_floats fs;
+              Obs.Trace.add_metric key (float_of_int (Array.length fs)));
+          Port.w_put_ints =
+            (fun is ->
+              w.Port.w_put_ints is;
+              Obs.Trace.add_metric key (float_of_int (Array.length is)));
         });
     around_body =
       (fun inst body () ->
@@ -92,6 +110,102 @@ let preflight ~lint (g : Serialized.t) =
       | _ ->
         List.iter (fun d -> prerr_endline (Diagnostic.render d)) diags
     end
+
+(* The fusion analysis (lib/analysis) installs itself here at module-init
+   time, like the linter.  It proposes chains of kernel indices
+   (upstream first) whose members are rate-matched and connected by
+   exclusive SPSC nets; [compile] collapses each accepted chain into one
+   fiber with direct hand-off edges ({!Fused}) instead of queues.  With
+   no hook installed, or [Run_config.fuse] off, nothing fuses. *)
+let fusion_hook : (Serialized.t -> int list list) option ref = ref None
+
+let set_fusion_hook f = fusion_hook := Some f
+
+(* Re-validate proposed chains against the structural facts the
+   single-fiber pump protocol needs; a chain that fails any check is
+   dropped (transparent fallback to normal queued execution), never an
+   error.  Returns the accepted chains as (member kernel indices,
+   interior net ids) plus the per-net fused flags. *)
+let resolve_chains ~(config : Run_config.t) (g : Serialized.t) =
+  let n_nets = Array.length g.Serialized.nets in
+  match (if config.Run_config.fuse then !fusion_hook else None) with
+  | None -> [||], Array.make n_nets false
+  | Some hook ->
+    let n_kernels = Array.length g.Serialized.kernels in
+    let proposed = try hook g with _ -> [] in
+    let claimed = Array.make n_kernels false in
+    let fused = Array.make n_nets false in
+    let dir_nets dir k =
+      let inst = g.Serialized.kernels.(k) in
+      let acc = ref [] in
+      Array.iteri
+        (fun pi (spec : Kernel.port_spec) ->
+          if spec.Kernel.dir = dir then acc := inst.Serialized.port_nets.(pi) :: !acc)
+        inst.Serialized.ports;
+      !acc
+    in
+    (* The unique exclusive non-global net written by [a] and read by
+       [b], if there is exactly one. *)
+    let pair_net a b =
+      let hits = ref [] in
+      Array.iteri
+        (fun id (n : Serialized.net) ->
+          if n.Serialized.global_input = None && n.Serialized.global_output = None
+             && (match n.Serialized.writers with
+                 | [ w ] -> w.Serialized.kernel_idx = a
+                 | _ -> false)
+             && (match n.Serialized.readers with
+                 | [ r ] -> r.Serialized.kernel_idx = b
+                 | _ -> false)
+          then hits := id :: !hits)
+        g.Serialized.nets;
+      match !hits with [ id ] -> Some id | _ -> None
+    in
+    let accepted = ref [] in
+    List.iter
+      (fun chain ->
+        let members = Array.of_list chain in
+        let m = Array.length members in
+        let distinct =
+          m >= 2
+          && Array.for_all (fun k -> k >= 0 && k < n_kernels && not claimed.(k)) members
+          &&
+          let seen = Hashtbl.create m in
+          Array.for_all
+            (fun k ->
+              if Hashtbl.mem seen k then false
+              else begin
+                Hashtbl.add seen k ();
+                true
+              end)
+            members
+        in
+        if distinct then begin
+          let edges = Array.init (m - 1) (fun i -> pair_net members.(i) members.(i + 1)) in
+          let connected = Array.for_all Option.is_some edges in
+          if connected then begin
+            let edges = Array.map Option.get edges in
+            (* Shape the pump protocol supports: every non-tail member's
+               sole output is its chain edge (its body is the downstream
+               edge's pump), every non-head member's sole input is the
+               edge from its predecessor.  Head inputs and tail outputs
+               stay real. *)
+            let shape_ok = ref true in
+            for i = 0 to m - 2 do
+              if dir_nets Kernel.Out members.(i) <> [ edges.(i) ] then shape_ok := false
+            done;
+            for i = 1 to m - 1 do
+              if dir_nets Kernel.In members.(i) <> [ edges.(i - 1) ] then shape_ok := false
+            done;
+            if !shape_ok then begin
+              Array.iter (fun k -> claimed.(k) <- true) members;
+              Array.iter (fun id -> fused.(id) <- true) edges;
+              accepted := (members, edges) :: !accepted
+            end
+          end
+        end)
+      proposed;
+    Array.of_list (List.rev !accepted), fused
 
 (* ------------------------------------------------------------------ *)
 (* Structured outcomes                                                 *)
@@ -185,6 +299,10 @@ type compiled = {
   c_kernels : Kernel.t array;  (* registry-resolved, indexed like kernels *)
   c_prof_keys : string array;  (* per kernel inst, for Sched.spawn *)
   c_capacities : int array;  (* per net id *)
+  c_chains : (int array * int array) array;
+      (* accepted fusion chains: member kernel indices (upstream first)
+         and the net ids of the interior edges between them *)
+  c_fused : bool array;  (* per net id: replaced by a Fused.edge *)
   c_pure : bool;  (* every kernel body declared Pure *)
   c_batchable : bool;  (* every kernel Pure AND stateless: concat-safe *)
   c_linted : bool;  (* pre-flight verdict already established *)
@@ -204,10 +322,20 @@ type wired_kernel = {
   wk_producers : Bqueue.producer list;  (* closed when the fiber ends *)
 }
 
+(* One fused chain, instantiated: members index [t.kernels]; edge [i]
+   hands off between members [i] and [i+1]. *)
+type chain_rt = {
+  ch_members : int array;
+  ch_edges : Fused.edge array;
+}
+
 type t = {
   graph : Serialized.t;
   sched : Sched.t;
   queues : Bqueue.t array;  (* indexed by net id *)
+  f_edges : Fused.edge option array;  (* indexed by net id; Some = fused *)
+  chains : chain_rt array;
+  member_chain : int array;  (* kernel idx -> chain idx, -1 = unfused *)
   config : Run_config.t;
   kernels : wired_kernel array;
   in_producers : Bqueue.producer array;  (* per input_order slot *)
@@ -223,7 +351,13 @@ let graph t = t.graph
 
 let config t = t.config
 
-let net_traffic t = Array.map Bqueue.total_put t.queues
+let net_traffic t =
+  Array.mapi
+    (fun id q ->
+      match t.f_edges.(id) with
+      | Some e -> Fused.total_put e
+      | None -> Bqueue.total_put q)
+    t.queues
 
 let cancel t = Sched.cancel t.sched
 
@@ -266,12 +400,15 @@ let resolve_graph ~(config : Run_config.t) (g : Serialized.t) =
 
 let compile_internal ~linted ~(config : Run_config.t) (g : Serialized.t) =
   let kernels, prof_keys, capacities, pure, batchable = resolve_graph ~config g in
+  let chains, fused = resolve_chains ~config g in
   {
     c_graph = g;
     c_config = config;
     c_kernels = kernels;
     c_prof_keys = prof_keys;
     c_capacities = capacities;
+    c_chains = chains;
+    c_fused = fused;
     c_pure = pure;
     c_batchable = batchable;
     c_linted = linted;
@@ -292,12 +429,16 @@ let compiled_pure c = c.c_pure
 
 let compiled_batchable c = c.c_batchable
 
+(* Accepted fusion chains, as kernel indices upstream-first (empty when
+   fusion is off, no analysis is linked, or nothing qualified). *)
+let compiled_chains c = Array.map fst c.c_chains
+
 (* Every net must end wiring with at least one producer and one consumer
    on its queue: a producer-less queue never closes (its readers would
    hang until end-of-run cancellation), and a consumer-less queue retires
    nothing (its writers fill it and hang).  Both used to fail silently at
    run time; now they fail at instance build, naming the kernel ports. *)
-let check_wiring ~(g : Serialized.t) queues =
+let check_wiring ~(g : Serialized.t) ~fused queues =
   let describe_eps eps =
     match eps with
     | [] -> "no kernel ports"
@@ -311,13 +452,17 @@ let check_wiring ~(g : Serialized.t) queues =
   in
   Array.iteri
     (fun id q ->
-      let (n : Serialized.net) = g.Serialized.nets.(id) in
-      if Bqueue.producers q = 0 then
-        fail "graph %s: net %s has no producer — readers %s would hang (missing source?)"
-          g.gname (Bqueue.name q) (describe_eps n.readers);
-      if Bqueue.consumers q = 0 then
-        fail "graph %s: net %s has no consumer — writers %s would hang (missing sink?)"
-          g.gname (Bqueue.name q) (describe_eps n.writers))
+      (* Fused nets have no queue endpoints by design: their single
+         writer/reader pair hands off through a Fused.edge. *)
+      if not fused.(id) then begin
+        let (n : Serialized.net) = g.Serialized.nets.(id) in
+        if Bqueue.producers q = 0 then
+          fail "graph %s: net %s has no producer — readers %s would hang (missing source?)"
+            g.gname (Bqueue.name q) (describe_eps n.readers);
+        if Bqueue.consumers q = 0 then
+          fail "graph %s: net %s has no consumer — writers %s would hang (missing sink?)"
+            g.gname (Bqueue.name q) (describe_eps n.writers)
+      end)
     queues
 
 (* Build the per-request state from a compiled graph: queues, endpoint
@@ -329,12 +474,30 @@ let new_instance (c : compiled) =
   let g = c.c_graph in
   let config = c.c_config in
   let sched = Sched.create () in
+  let f_edges =
+    Array.mapi
+      (fun id (n : Serialized.net) ->
+        if c.c_fused.(id) then
+          Some
+            (Fused.create
+               ~name:(Printf.sprintf "%s/net%d" g.Serialized.gname n.net_id)
+               ~dtype:n.dtype)
+        else None)
+      g.Serialized.nets
+  in
   let queues =
     Array.mapi
       (fun id (n : Serialized.net) ->
-        Bqueue.create
-          ~name:(Printf.sprintf "%s/net%d" g.Serialized.gname n.net_id)
-          ~dtype:n.dtype ~capacity:c.c_capacities.(id) ())
+        (* Fused nets keep an index-aligned placeholder queue (never
+           endpointed, minimal ring) so per-net arrays stay dense. *)
+        if c.c_fused.(id) then
+          Bqueue.create ~unboxed:false
+            ~name:(Printf.sprintf "%s/net%d" g.Serialized.gname n.net_id)
+            ~dtype:n.dtype ~capacity:1 ()
+        else
+          Bqueue.create ~unboxed:config.Run_config.unboxed
+            ~name:(Printf.sprintf "%s/net%d" g.Serialized.gname n.net_id)
+            ~dtype:n.dtype ~capacity:c.c_capacities.(id) ())
       g.Serialized.nets
   in
   let block_io = config.Run_config.block_io in
@@ -345,36 +508,78 @@ let new_instance (c : compiled) =
         let wires =
           Array.mapi
             (fun port_idx (spec : Kernel.port_spec) ->
-              let q = queues.(inst.port_nets.(port_idx)) in
+              let net_id = inst.port_nets.(port_idx) in
+              let q = queues.(net_id) in
               Port.check_dtype ~expected:spec.Kernel.dtype ~actual:(Bqueue.dtype q)
                 ~what:(Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname);
-              match spec.Kernel.dir with
-              | Kernel.In ->
-                let cns = Bqueue.add_consumer q in
+              let pname = Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname in
+              match f_edges.(net_id), spec.Kernel.dir with
+              | Some e, Kernel.In ->
+                (* Fused hand-off: reads pull the upstream pump directly,
+                   no queue transaction, so block_io granularity does not
+                   apply. *)
                 Wire_in
                   ( port_idx,
                     {
-                      Port.r_name = Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname;
+                      Port.r_name = pname;
+                      r_dtype = spec.Kernel.dtype;
+                      r_get = (fun () -> Fused.get e);
+                      r_peek = (fun () -> Fused.peek e);
+                      r_available = (fun () -> Fused.available e);
+                      r_get_block = Fused.get_block e;
+                      r_get_floats = Fused.get_floats e;
+                      r_get_ints = Fused.get_ints e;
+                    } )
+              | Some e, Kernel.Out ->
+                Wire_out
+                  ( port_idx,
+                    {
+                      Port.w_name = pname;
+                      w_dtype = spec.Kernel.dtype;
+                      w_put = Fused.put e;
+                      w_put_block = Fused.put_block e;
+                      w_put_floats = Fused.put_floats e;
+                      w_put_ints = Fused.put_ints e;
+                      w_space = (fun () -> Fused.w_space e);
+                    } )
+              | None, Kernel.In ->
+                let cns = Bqueue.add_consumer q in
+                let boxed_block_get = Port.block_get_of_get (fun () -> Bqueue.get cns) in
+                Wire_in
+                  ( port_idx,
+                    {
+                      Port.r_name = pname;
                       r_dtype = spec.Kernel.dtype;
                       r_get = (fun () -> Bqueue.get cns);
                       r_peek = (fun () -> Bqueue.peek cns);
                       r_available = (fun () -> Bqueue.available cns);
                       r_get_block =
                         (if block_io then fun n -> Bqueue.get_block cns n
-                         else Port.block_get_of_get (fun () -> Bqueue.get cns));
+                         else boxed_block_get);
+                      r_get_floats =
+                        (if block_io then fun n -> Bqueue.get_floats cns n
+                         else Port.floats_of_block boxed_block_get);
+                      r_get_ints =
+                        (if block_io then fun n -> Bqueue.get_ints cns n
+                         else Port.ints_of_block boxed_block_get);
                     } )
-              | Kernel.Out ->
+              | None, Kernel.Out ->
                 let p = Bqueue.add_producer q in
                 producers := p :: !producers;
+                let boxed_block_put = Port.block_put_of_put (fun v -> Bqueue.put p v) in
                 Wire_out
                   ( port_idx,
                     {
-                      Port.w_name = Printf.sprintf "%s.%s" inst.inst_name spec.Kernel.pname;
+                      Port.w_name = pname;
                       w_dtype = spec.Kernel.dtype;
                       w_put = (fun v -> Bqueue.put p v);
-                      w_put_block =
-                        (if block_io then Bqueue.put_block p
-                         else Port.block_put_of_put (fun v -> Bqueue.put p v));
+                      w_put_block = (if block_io then Bqueue.put_block p else boxed_block_put);
+                      w_put_floats =
+                        (if block_io then Bqueue.put_floats p
+                         else Port.block_of_floats spec.Kernel.dtype boxed_block_put);
+                      w_put_ints =
+                        (if block_io then Bqueue.put_ints p
+                         else Port.block_of_ints boxed_block_put);
                       w_space = (fun () -> Bqueue.space q);
                     } ))
             inst.ports
@@ -388,18 +593,36 @@ let new_instance (c : compiled) =
         })
       g.Serialized.kernels
   in
+  let chains =
+    Array.map
+      (fun (members, edge_nets) ->
+        {
+          ch_members = members;
+          ch_edges = Array.map (fun id -> Option.get f_edges.(id)) edge_nets;
+        })
+      c.c_chains
+  in
+  let member_chain = Array.make (Array.length g.Serialized.kernels) (-1) in
+  Array.iteri
+    (fun ci ch -> Array.iter (fun k -> member_chain.(k) <- ci) ch.ch_members)
+    chains;
   let in_producers =
     Array.map (fun net_id -> Bqueue.add_producer queues.(net_id)) g.Serialized.input_order
   in
   let out_consumers =
     Array.map (fun net_id -> Bqueue.add_consumer queues.(net_id)) g.Serialized.output_order
   in
-  check_wiring ~g queues;
-  Array.iter (fun q -> Bqueue.seal ~spsc:config.Run_config.spsc q) queues;
+  check_wiring ~g ~fused:c.c_fused queues;
+  Array.iteri
+    (fun id q -> if not c.c_fused.(id) then Bqueue.seal ~spsc:config.Run_config.spsc q)
+    queues;
   {
     graph = g;
     sched;
     queues;
+    f_edges;
+    chains;
+    member_chain;
     config;
     kernels;
     in_producers;
@@ -424,6 +647,7 @@ let instantiate ?(config = Run_config.default) (g : Serialized.t) =
    with it the sealed SPSC plan and lint verdict) is preserved. *)
 let reset t =
   Array.iter Bqueue.reset t.queues;
+  Array.iter (function Some e -> Fused.reset e | None -> ()) t.f_edges;
   Sched.reset t.sched;
   t.cur_sources <- [||];
   t.cur_sinks <- [||];
@@ -477,36 +701,60 @@ let arm t =
     | None -> hooks
     | Some plan -> Hooks.compose hooks (Faults.hooks plan)
   in
-  Array.iter
-    (fun wk ->
-      let inst = wk.wk_inst in
-      let readers = ref [] in
-      let writers = ref [] in
-      Array.iter
-        (fun wire ->
-          match wire with
-          | Wire_in (port_idx, r) ->
-            readers := hooks.Hooks.wrap_reader inst port_idx r :: !readers
-          | Wire_out (port_idx, w) ->
-            writers := hooks.Hooks.wrap_writer inst port_idx w :: !writers)
-        wk.wk_wires;
-      let binding =
-        {
-          Kernel.readers = Array.of_list (List.rev !readers);
-          writers = Array.of_list (List.rev !writers);
-        }
-      in
-      let producers = wk.wk_producers in
-      let body () =
-        (* When a kernel terminates (normally or via End_of_stream), its
-           output nets lose one producer; fully-drained nets close and the
-           closure propagates downstream. *)
-        Fun.protect
-          ~finally:(fun () -> List.iter Bqueue.producer_done producers)
-          (hooks.Hooks.around_body inst (fun () -> wk.wk_kernel.Kernel.body binding))
-      in
-      Sched.spawn ~prof_key:wk.wk_prof_key t.sched ~name:inst.inst_name body)
+  let wrap_binding wk =
+    let readers = ref [] in
+    let writers = ref [] in
+    Array.iter
+      (fun wire ->
+        match wire with
+        | Wire_in (port_idx, r) ->
+          readers := hooks.Hooks.wrap_reader wk.wk_inst port_idx r :: !readers
+        | Wire_out (port_idx, w) ->
+          writers := hooks.Hooks.wrap_writer wk.wk_inst port_idx w :: !writers)
+      wk.wk_wires;
+    {
+      Kernel.readers = Array.of_list (List.rev !readers);
+      writers = Array.of_list (List.rev !writers);
+    }
+  in
+  (* Hook-wrapped body of one kernel, closing its queue producers when it
+     ends however it ends — as a standalone fiber or as a fused pump. *)
+  let member_body wk =
+    let binding = wrap_binding wk in
+    let producers = wk.wk_producers in
+    fun () ->
+      (* When a kernel terminates (normally or via End_of_stream), its
+         output nets lose one producer; fully-drained nets close and the
+         closure propagates downstream. *)
+      Fun.protect
+        ~finally:(fun () -> List.iter Bqueue.producer_done producers)
+        (hooks.Hooks.around_body wk.wk_inst (fun () -> wk.wk_kernel.Kernel.body binding))
+  in
+  Array.iteri
+    (fun idx wk ->
+      if t.member_chain.(idx) < 0 then
+        Sched.spawn ~prof_key:wk.wk_prof_key t.sched ~name:wk.wk_inst.inst_name
+          (member_body wk))
     t.kernels;
+  (* Fused chains: one fiber per chain.  Every member but the tail is
+     installed as the pump of its outgoing edge (the downstream member's
+     reads resume it on demand); the tail body runs the fiber.  Blocking
+     operations inside any member park the whole chain fiber, so external
+     behaviour matches the unfused graph.  Teardown discontinues
+     still-suspended pumps so their cleanup (producer_done, fault
+     counters) runs exactly as when each kernel had its own fiber. *)
+  Array.iter
+    (fun ch ->
+      let m = Array.length ch.ch_members in
+      for i = 0 to m - 2 do
+        Fused.install_pump ch.ch_edges.(i) (member_body t.kernels.(ch.ch_members.(i)))
+      done;
+      let tail = t.kernels.(ch.ch_members.(m - 1)) in
+      let tail_body = member_body tail in
+      Sched.spawn ~prof_key:tail.wk_prof_key t.sched ~name:tail.wk_inst.inst_name
+        (fun () ->
+          Fun.protect ~finally:(fun () -> Array.iter Fused.kill ch.ch_edges) tail_body))
+    t.chains;
   Array.iteri
     (fun i net_id ->
       let source = t.cur_sources.(i) in
@@ -514,17 +762,46 @@ let arm t =
       let p = t.in_producers.(i) in
       let body =
         if config.Run_config.block_io then begin
-          let pull_block = Io.source_pull_block source in
           let chunk = io_chunk q in
-          fun () ->
-            let rec loop () =
-              let vs = pull_block chunk in
-              if Array.length vs > 0 then begin
-                Bqueue.put_block p vs;
-                loop ()
-              end
-            in
-            loop ()
+          let dt = Bqueue.dtype q in
+          (* On unboxed scalar nets, pump flat payloads straight into the
+             bigarray ring — source data never boxes. *)
+          if Bqueue.is_unboxed q && Dtype.is_float dt then begin
+            let pull_floats = Io.source_pull_floats source in
+            fun () ->
+              let rec loop () =
+                let fs = pull_floats chunk in
+                if Array.length fs > 0 then begin
+                  Bqueue.put_floats p fs;
+                  loop ()
+                end
+              in
+              loop ()
+          end
+          else if Bqueue.is_unboxed q && Dtype.is_integer dt then begin
+            let pull_ints = Io.source_pull_ints source in
+            fun () ->
+              let rec loop () =
+                let is = pull_ints chunk in
+                if Array.length is > 0 then begin
+                  Bqueue.put_ints p is;
+                  loop ()
+                end
+              in
+              loop ()
+          end
+          else begin
+            let pull_block = Io.source_pull_block source in
+            fun () ->
+              let rec loop () =
+                let vs = pull_block chunk in
+                if Array.length vs > 0 then begin
+                  Bqueue.put_block p vs;
+                  loop ()
+                end
+              in
+              loop ()
+          end
         end
         else begin
           let pull = Io.source_pull source in
@@ -550,7 +827,22 @@ let arm t =
       let body =
         if config.Run_config.block_io then begin
           let chunk = io_chunk q in
-          fun () ->
+          let dt = Bqueue.dtype q in
+          if Bqueue.is_unboxed q && Dtype.is_float dt then fun () ->
+            let rec loop () =
+              let fs = Bqueue.get_floats_some c ~max:chunk in
+              Io.sink_push_floats sink fs;
+              loop ()
+            in
+            loop ()
+          else if Bqueue.is_unboxed q && Dtype.is_integer dt then fun () ->
+            let rec loop () =
+              let is = Bqueue.get_ints_some c ~max:chunk in
+              Io.sink_push_ints sink is;
+              loop ()
+            in
+            loop ()
+          else fun () ->
             let rec loop () =
               let vs = Bqueue.get_some c ~max:chunk in
               Io.sink_push_block sink vs;
@@ -578,7 +870,13 @@ let src_of_fiber t name =
     None t.graph.Serialized.kernels
 
 let occupancy_snapshot t =
-  Array.to_list (Array.map (fun q -> Bqueue.name q, Bqueue.occupancy q) t.queues)
+  Array.to_list
+    (Array.mapi
+       (fun id q ->
+         match t.f_edges.(id) with
+         | Some e -> Fused.name e, Fused.occupancy e
+         | None -> Bqueue.name q, Bqueue.occupancy q)
+       t.queues)
 
 let run t ~sources ~sinks =
   if t.ran then

@@ -47,6 +47,20 @@ val set_lint_hook : (Serialized.t -> Diagnostic.t list) -> unit
     want to lint it once. *)
 val preflight : lint:lint_level -> Serialized.t -> unit
 
+(** Install the operator-fusion analysis used by {!compile} when
+    [Run_config.fuse] is on.  The hook proposes chains of kernel indices
+    (upstream first) that are rate-matched and connected by exclusive
+    SPSC nets; the runtime re-validates each proposal structurally —
+    consecutive members joined by exactly one non-global
+    single-writer/single-reader net, non-tail members with that edge as
+    their only output, non-head members with it as their only input —
+    and silently drops chains that fail, falling back to queued
+    execution.  Accepted chains run as one fiber with direct hand-off
+    edges ({!Fused}) in place of queues.  Installed by the [analysis]
+    library at link time ([Analysis.Fusion.chains]); without a hook
+    nothing fuses. *)
+val set_fusion_hook : (Serialized.t -> int list list) -> unit
+
 (** Hooks letting a simulator intercept every kernel-port access without
     changing kernel code — the mechanism aiesim uses to count stream
     traffic and attribute cycle costs per endpoint.  The type is an
@@ -154,6 +168,12 @@ val compiled_pure : compiled -> bool
     gate for pumping several requests through one warm run.  Implies
     {!compiled_pure}. *)
 val compiled_batchable : compiled -> bool
+
+(** The fusion chains this artifact will execute, as kernel indices into
+    the graph's kernel array, upstream first — empty when fusion is off
+    ([Run_config.fuse = false]), no fusion hook is linked, or no chain
+    qualified.  Exposed for tests and bench reporting. *)
+val compiled_chains : compiled -> int array array
 
 (** [new_instance c] builds the per-request state: queues at the
     compiled capacities, all kernel and global-I/O endpoints registered

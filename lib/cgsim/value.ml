@@ -135,4 +135,9 @@ let wrap_int dtype i =
   | Dtype.U32 -> i land 4294967295
   | Dtype.I64 | Dtype.F32 | Dtype.F64 | Dtype.Vector _ | Dtype.Struct _ -> i
 
-let round_f32 f = Int32.float_of_bits (Int32.bits_of_float f)
+(* Single-precision rounding via a C cast: the Int32.bits_of_float
+   spelling boxes an Int32 per call, which on unboxed f32 stores (one
+   round per element) is the difference between a pure register op and
+   the dominant allocation of the whole data plane. *)
+external round_f32 : float -> float = "cgsim_round_f32_byte" "cgsim_round_f32"
+  [@@unboxed] [@@noalloc]

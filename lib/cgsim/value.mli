@@ -45,6 +45,10 @@ val to_int : t -> int
 val to_vec : t -> t array
 val field : t -> string -> t
 
+(** Representable range of a bounded integer dtype; [None] for [I64]
+    (treated as unbounded native int), floats and aggregates. *)
+val int_range : Dtype.t -> (int * int) option
+
 (** Saturating / wrapping integer helpers used by fixed-point kernels. *)
 
 val clamp_int : Dtype.t -> int -> int
@@ -53,5 +57,8 @@ val clamp_int : Dtype.t -> int -> int
 val wrap_int : Dtype.t -> int -> int
 (** Wrap (two's complement) an int into the range of an integer dtype. *)
 
-(** Round a float to single precision (F32 storage semantics). *)
-val round_f32 : float -> float
+(** Round a float to single precision (F32 storage semantics).
+    Exposed as an unboxed external so per-element rounding on unboxed
+    stores stays allocation-free across module boundaries. *)
+external round_f32 : float -> float = "cgsim_round_f32_byte" "cgsim_round_f32"
+  [@@unboxed] [@@noalloc]

@@ -58,8 +58,8 @@ let run ?(config = Cgsim.Run_config.default) (g : Cgsim.Serialized.t) ~sources ~
                only matter to aiesim. *)
             max deep_stream_depth (Cgsim.Settings.resolved_depth ~elem_bytes n.settings)
         in
-        Tqueue.create ~name:(Printf.sprintf "%s/net%d" g.gname n.net_id) ~dtype:n.dtype ~capacity
-          ())
+        Tqueue.create ~unboxed:config.Cgsim.Run_config.unboxed
+          ~name:(Printf.sprintf "%s/net%d" g.gname n.net_id) ~dtype:n.dtype ~capacity ())
       g.nets
   in
   let failures = ref [] in
@@ -93,6 +93,8 @@ let run ?(config = Cgsim.Run_config.default) (g : Cgsim.Serialized.t) ~sources ~
                 r_peek = (fun () -> Tqueue.peek c);
                 r_available = (fun () -> Tqueue.available c);
                 r_get_block = (fun n -> Tqueue.get_block c n);
+                r_get_floats = (fun n -> Tqueue.get_floats c n);
+                r_get_ints = (fun n -> Tqueue.get_ints c n);
               }
               :: !readers
           | Cgsim.Kernel.Out ->
@@ -104,6 +106,8 @@ let run ?(config = Cgsim.Run_config.default) (g : Cgsim.Serialized.t) ~sources ~
                 w_dtype = spec.Cgsim.Kernel.dtype;
                 w_put = (fun v -> Tqueue.put p v);
                 w_put_block = Tqueue.put_block p;
+                w_put_floats = Tqueue.put_floats p;
+                w_put_ints = Tqueue.put_ints p;
                 w_space = (fun () -> Tqueue.space q);
               }
               :: !writers)

@@ -1,9 +1,21 @@
+(* Ring storage mirrors Cgsim.Bqueue's unboxed data plane in threaded
+   form: scalar-dtype rings hold plain OCaml [float array]/[int array]
+   (both flat, unboxed representations), so the unboxed block transfers
+   below move native memory under the queue lock.  Aggregate dtypes keep
+   boxed [Value.t] storage. *)
+type storage =
+  | Boxed of Cgsim.Value.t array
+  | Floats of float array
+  | Ints of int array
+
 type t = {
   q_name : string;
   q_dtype : Cgsim.Dtype.t;
   check : Cgsim.Value.t -> bool;  (* compiled dtype validator *)
+  round : float -> float;  (* storage rounding: round_f32 on F32 rings *)
+  bounds : (int * int) option;  (* integer dtype range, for flat int puts *)
   cap : int;
-  buf : Cgsim.Value.t array;
+  buf : storage;
   mutable head : int;
   mutable retired : int;
       (* cached min consumer cursor; valid whenever [consumers <> []] *)
@@ -29,14 +41,21 @@ and producer = {
   mutable open_ : bool;
 }
 
-let create ~name ~dtype ~capacity () =
+let create ?(unboxed = true) ~name ~dtype ~capacity () =
   if capacity <= 0 then invalid_arg ("x86sim: queue capacity must be positive: " ^ name);
+  let buf =
+    if unboxed && Cgsim.Dtype.is_float dtype then Floats (Array.make capacity 0.)
+    else if unboxed && Cgsim.Dtype.is_integer dtype then Ints (Array.make capacity 0)
+    else Boxed (Array.make capacity (Cgsim.Value.Int 0))
+  in
   {
     q_name = name;
     q_dtype = dtype;
     check = Cgsim.Value.compile_check dtype;
+    round = (if dtype = Cgsim.Dtype.F32 then Cgsim.Value.round_f32 else Fun.id);
+    bounds = Cgsim.Value.int_range dtype;
     cap = capacity;
-    buf = Array.make capacity (Cgsim.Value.Int 0);
+    buf;
     head = 0;
     retired = 0;
     consumers = [];
@@ -50,6 +69,8 @@ let create ~name ~dtype ~capacity () =
     k_wput = "queue.wait_put:" ^ name;
     k_wget = "queue.wait_get:" ^ name;
   }
+
+let is_unboxed q = match q.buf with Boxed _ -> false | Floats _ | Ints _ -> true
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -136,6 +157,20 @@ let timed_wait ~key cond q predicate =
   end;
   check_poison q
 
+(* Per-storage slot accessors; [write_slot] assumes the value already
+   passed the dtype check, so the scalar conversions cannot fail. *)
+let write_slot q idx v =
+  match q.buf with
+  | Boxed a -> a.(idx) <- v
+  | Floats a -> a.(idx) <- q.round (Cgsim.Value.to_float v)
+  | Ints a -> a.(idx) <- Cgsim.Value.to_int v
+
+let read_slot q idx =
+  match q.buf with
+  | Boxed a -> a.(idx)
+  | Floats a -> Cgsim.Value.Float a.(idx)
+  | Ints a -> Cgsim.Value.Int a.(idx)
+
 let put p v =
   let q = p.p_queue in
   if not p.open_ then invalid_arg ("x86sim: put on finished producer of " ^ q.q_name);
@@ -144,7 +179,7 @@ let put p v =
       timed_wait ~key:q.k_wput q.nonfull q (fun () ->
           q.head - min_cursor q >= q.cap && not q.closed);
       if q.closed then invalid_arg ("x86sim: put on closed queue " ^ q.q_name);
-      q.buf.(q.head mod q.cap) <- v;
+      write_slot q (q.head mod q.cap) v;
       q.head <- q.head + 1;
       q.total <- q.total + 1;
       Condition.broadcast q.nonempty)
@@ -154,7 +189,7 @@ let get c =
   with_lock q (fun () ->
       timed_wait ~key:q.k_wget q.nonempty q (fun () -> c.cursor >= q.head && not q.closed);
       if c.cursor < q.head then begin
-        let v = q.buf.(c.cursor mod q.cap) in
+        let v = read_slot q (c.cursor mod q.cap) in
         let old = c.cursor in
         c.cursor <- old + 1;
         note_retire q old;
@@ -162,29 +197,129 @@ let get c =
       end
       else raise Cgsim.Sched.End_of_stream)
 
-(* Ring-slice copies: at most two [Array.blit]s around the seam. *)
-let blit_in q src off len =
-  let pos = q.head mod q.cap in
+(* Ring-slice copies: at most two contiguous segments around the seam.
+   One family per (payload, storage) pairing; mismatched-representation
+   pairs convert per element, matched pairs blit. *)
+let seam q pos len k =
   let first = min len (q.cap - pos) in
-  Array.blit src off q.buf pos first;
-  if len > first then Array.blit src (off + first) q.buf 0 (len - first)
+  k pos 0 first;
+  if len > first then k 0 first (len - first)
 
-let blit_out c dst off len =
+let blit_in_values q src off len =
+  let pos = q.head mod q.cap in
+  match q.buf with
+  | Boxed a -> seam q pos len (fun rp so l -> Array.blit src (off + so) a rp l)
+  | Floats a ->
+    seam q pos len (fun rp so l ->
+        for i = 0 to l - 1 do
+          a.(rp + i) <- q.round (Cgsim.Value.to_float src.(off + so + i))
+        done)
+  | Ints a ->
+    seam q pos len (fun rp so l ->
+        for i = 0 to l - 1 do
+          a.(rp + i) <- Cgsim.Value.to_int src.(off + so + i)
+        done)
+
+let blit_out_values c dst off len =
   let q = c.c_queue in
   let pos = c.cursor mod q.cap in
-  let first = min len (q.cap - pos) in
-  Array.blit q.buf pos dst off first;
-  if len > first then Array.blit q.buf 0 dst (off + first) (len - first)
+  match q.buf with
+  | Boxed a -> seam q pos len (fun rp so l -> Array.blit a rp dst (off + so) l)
+  | Floats a ->
+    seam q pos len (fun rp so l ->
+        for i = 0 to l - 1 do
+          dst.(off + so + i) <- Cgsim.Value.Float a.(rp + i)
+        done)
+  | Ints a ->
+    seam q pos len (fun rp so l ->
+        for i = 0 to l - 1 do
+          dst.(off + so + i) <- Cgsim.Value.Int a.(rp + i)
+        done)
 
-let put_block p vs =
+let require_float q =
+  if not (Cgsim.Dtype.is_float q.q_dtype) then
+    invalid_arg
+      (Printf.sprintf "x86sim: float block transfer on %s dtype net %s"
+         (Cgsim.Dtype.to_string q.q_dtype) q.q_name)
+
+let require_int q =
+  if not (Cgsim.Dtype.is_integer q.q_dtype) then
+    invalid_arg
+      (Printf.sprintf "x86sim: integer block transfer on %s dtype net %s"
+         (Cgsim.Dtype.to_string q.q_dtype) q.q_name)
+
+let blit_in_floats q (src : float array) off len =
+  let pos = q.head mod q.cap in
+  match q.buf with
+  | Floats a ->
+    seam q pos len (fun rp so l ->
+        if q.q_dtype = Cgsim.Dtype.F32 then
+          for i = 0 to l - 1 do
+            a.(rp + i) <- q.round src.(off + so + i)
+          done
+        else Array.blit src (off + so) a rp l)
+  | Boxed a ->
+    seam q pos len (fun rp so l ->
+        for i = 0 to l - 1 do
+          a.(rp + i) <- Cgsim.Value.Float (q.round src.(off + so + i))
+        done)
+  | Ints _ -> assert false (* require_float ran first *)
+
+let blit_out_floats c (dst : float array) off len =
+  let q = c.c_queue in
+  let pos = c.cursor mod q.cap in
+  match q.buf with
+  | Floats a -> seam q pos len (fun rp so l -> Array.blit a rp dst (off + so) l)
+  | Boxed a ->
+    seam q pos len (fun rp so l ->
+        for i = 0 to l - 1 do
+          dst.(off + so + i) <- Cgsim.Value.to_float a.(rp + i)
+        done)
+  | Ints _ -> assert false
+
+let blit_in_ints q (src : int array) off len =
+  let pos = q.head mod q.cap in
+  match q.buf with
+  | Ints a -> seam q pos len (fun rp so l -> Array.blit src (off + so) a rp l)
+  | Boxed a ->
+    seam q pos len (fun rp so l ->
+        for i = 0 to l - 1 do
+          a.(rp + i) <- Cgsim.Value.Int src.(off + so + i)
+        done)
+  | Floats _ -> assert false
+
+let blit_out_ints c (dst : int array) off len =
+  let q = c.c_queue in
+  let pos = c.cursor mod q.cap in
+  match q.buf with
+  | Ints a -> seam q pos len (fun rp so l -> Array.blit a rp dst (off + so) l)
+  | Boxed a ->
+    seam q pos len (fun rp so l ->
+        for i = 0 to l - 1 do
+          dst.(off + so + i) <- Cgsim.Value.to_int a.(rp + i)
+        done)
+  | Floats _ -> assert false
+
+let check_int_block q is =
+  match q.bounds with
+  | None -> ()
+  | Some (lo, hi) ->
+    Array.iter
+      (fun i ->
+        if i < lo || i > hi then
+          invalid_arg
+            (Printf.sprintf "x86sim: %d out of %s range on net %s" i
+               (Cgsim.Dtype.to_string q.q_dtype) q.q_name))
+      is
+
+(* Shared chunk loops: one lock acquisition for the whole block
+   (condition waits release it while blocked), the other side woken once
+   per stored/retired chunk.  [blit off chunk] copies [chunk] elements of
+   the caller's payload starting at [off] into/out of the ring. *)
+let put_loop p len blit =
   let q = p.p_queue in
   if not p.open_ then invalid_arg ("x86sim: put on finished producer of " ^ q.q_name);
-  (* Validate the whole block before taking the lock. *)
-  Array.iter (fun v -> if not (q.check v) then Cgsim.Value.check ~net:q.q_name q.q_dtype v) vs;
-  let len = Array.length vs in
   if len > 0 then
-    (* One lock acquisition for the whole block; [Condition.wait] releases
-       it while full, and consumers are woken once per stored chunk. *)
     with_lock q (fun () ->
         let off = ref 0 in
         while !off < len do
@@ -193,26 +328,23 @@ let put_block p vs =
           if q.closed then invalid_arg ("x86sim: put on closed queue " ^ q.q_name);
           let space = q.cap - (q.head - min_cursor q) in
           let chunk = min space (len - !off) in
-          blit_in q vs !off chunk;
+          blit !off chunk;
           q.head <- q.head + chunk;
           q.total <- q.total + chunk;
           off := !off + chunk;
           Condition.broadcast q.nonempty
         done)
 
-let get_block c n =
-  if n < 0 then invalid_arg "x86sim: get_block with negative count";
+let get_loop c n blit =
   let q = c.c_queue in
-  if n = 0 then [||]
-  else begin
-    let out = Array.make n (Cgsim.Value.Int 0) in
+  if n > 0 then
     with_lock q (fun () ->
         let filled = ref 0 in
         while !filled < n do
           timed_wait ~key:q.k_wget q.nonempty q (fun () -> c.cursor >= q.head && not q.closed);
           if c.cursor < q.head then begin
             let take = min (q.head - c.cursor) (n - !filled) in
-            blit_out c out !filled take;
+            blit !filled take;
             let old = c.cursor in
             c.cursor <- old + take;
             filled := !filled + take;
@@ -222,31 +354,99 @@ let get_block c n =
             (* Closed and drained mid-block: consumed elements stay
                consumed, exactly like the element loop. *)
             raise Cgsim.Sched.End_of_stream
-        done);
-    out
-  end
+        done)
 
-let get_some c ~max =
+let some_loop c ~max blit =
   if max <= 0 then invalid_arg "x86sim: get_some needs a positive max";
   let q = c.c_queue in
   with_lock q (fun () ->
       timed_wait ~key:q.k_wget q.nonempty q (fun () -> c.cursor >= q.head && not q.closed);
       if c.cursor < q.head then begin
         let take = min (q.head - c.cursor) max in
-        let out = Array.make take (Cgsim.Value.Int 0) in
-        blit_out c out 0 take;
+        blit take;
         let old = c.cursor in
         c.cursor <- old + take;
         note_retire q old;
-        out
+        take
       end
       else raise Cgsim.Sched.End_of_stream)
+
+let put_block p vs =
+  let q = p.p_queue in
+  (* Validate the whole block before taking the lock. *)
+  Array.iter (fun v -> if not (q.check v) then Cgsim.Value.check ~net:q.q_name q.q_dtype v) vs;
+  put_loop p (Array.length vs) (fun off chunk -> blit_in_values q vs off chunk)
+
+let get_block c n =
+  if n < 0 then invalid_arg "x86sim: get_block with negative count";
+  let out = Array.make n (Cgsim.Value.Int 0) in
+  get_loop c n (fun off take -> blit_out_values c out off take);
+  out
+
+let get_some c ~max =
+  let out = ref [||] in
+  let _ =
+    some_loop c ~max (fun take ->
+        let a = Array.make take (Cgsim.Value.Int 0) in
+        blit_out_values c a 0 take;
+        out := a)
+  in
+  !out
+
+(* {1 Unboxed block transfers} — flat payloads, same locking discipline. *)
+
+let put_floats p fs =
+  let q = p.p_queue in
+  require_float q;
+  put_loop p (Array.length fs) (fun off chunk -> blit_in_floats q fs off chunk)
+
+let get_floats c n =
+  if n < 0 then invalid_arg "x86sim: get_floats with negative count";
+  require_float c.c_queue;
+  let out = Array.make n 0. in
+  get_loop c n (fun off take -> blit_out_floats c out off take);
+  out
+
+let get_floats_some c ~max =
+  require_float c.c_queue;
+  let out = ref [||] in
+  let _ =
+    some_loop c ~max (fun take ->
+        let a = Array.make take 0. in
+        blit_out_floats c a 0 take;
+        out := a)
+  in
+  !out
+
+let put_ints p is =
+  let q = p.p_queue in
+  require_int q;
+  check_int_block q is;
+  put_loop p (Array.length is) (fun off chunk -> blit_in_ints q is off chunk)
+
+let get_ints c n =
+  if n < 0 then invalid_arg "x86sim: get_ints with negative count";
+  require_int c.c_queue;
+  let out = Array.make n 0 in
+  get_loop c n (fun off take -> blit_out_ints c out off take);
+  out
+
+let get_ints_some c ~max =
+  require_int c.c_queue;
+  let out = ref [||] in
+  let _ =
+    some_loop c ~max (fun take ->
+        let a = Array.make take 0 in
+        blit_out_ints c a 0 take;
+        out := a)
+  in
+  !out
 
 let peek c =
   let q = c.c_queue in
   with_lock q (fun () ->
       check_poison q;
-      if c.cursor < q.head then Some q.buf.(c.cursor mod q.cap)
+      if c.cursor < q.head then Some (read_slot q (c.cursor mod q.cap))
       else if q.closed then raise Cgsim.Sched.End_of_stream
       else None)
 

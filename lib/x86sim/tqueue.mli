@@ -16,7 +16,16 @@ type consumer
 
 type producer
 
-val create : name:string -> dtype:Cgsim.Dtype.t -> capacity:int -> unit -> t
+(** [unboxed] (default [true]) backs scalar-dtype rings with flat
+    [float array]/[int array] storage — the threaded mirror of
+    {!Cgsim.Bqueue}'s bigarray data plane — so the unboxed block
+    transfers below move native memory.  Aggregate dtypes always box.
+    Semantics are identical either way; F32 rings round stored values as
+    {!Cgsim.Value.round_f32}. *)
+val create : ?unboxed:bool -> name:string -> dtype:Cgsim.Dtype.t -> capacity:int -> unit -> t
+
+(** Whether the ring stores flat scalars (see [create]'s [unboxed]). *)
+val is_unboxed : t -> bool
 
 val add_consumer : t -> consumer
 
@@ -49,6 +58,27 @@ val get_some : consumer -> max:int -> Cgsim.Value.t array
 (** Read between 1 and [max] immediately-available elements, blocking
     only while the queue is empty; raises {!Cgsim.Sched.End_of_stream}
     when closed and drained.  The sink-drain primitive. *)
+
+(** {1 Unboxed block transfers}
+
+    Flat-payload variants with the same locking, chunking and
+    end-of-stream discipline; on flat storage both sides of the copy are
+    native arrays.  Float transfers require a float-dtype net and
+    integer transfers an integer-dtype net ([Invalid_argument]
+    otherwise); integer payloads are range-checked and F32 nets round on
+    store. *)
+
+val put_floats : producer -> float array -> unit
+
+val get_floats : consumer -> int -> float array
+
+val get_floats_some : consumer -> max:int -> float array
+
+val put_ints : producer -> int array -> unit
+
+val get_ints : consumer -> int -> int array
+
+val get_ints_some : consumer -> max:int -> int array
 
 val peek : consumer -> Cgsim.Value.t option
 
