@@ -60,8 +60,8 @@ let usage () =
     "usage: main.exe [table1|table2|table2-quick|profile [--trace FILE] [--json FILE] \
      [--folded FILE] [--smoke]|micro [--json FILE] [--smoke] [--fuse on|off]|serve [--json FILE] [--smoke] \
      [--domains CSV] [--requests N] [--warm on|off] [--chaos]|loadtest [--json FILE] [--metrics FILE] \
-     [--rates CSV] [--requests N] [--chaos] [--smoke]|ablation|check-json FILE|check-prom \
-     FILE]...";
+     [--rates CSV] [--requests N] [--chaos] [--smoke]|ablation|fuzz [--json FILE] [--count N] \
+     [--smoke]|check-json FILE|check-prom FILE]...";
   exit 2
 
 type action =
@@ -76,6 +76,7 @@ type action =
   | Loadtest of string option * string option * bool * bool * float list option * int option
       (* json file, metrics file, smoke, chaos, rates, requests *)
   | Ablation
+  | Fuzz of string option * bool * int option  (* json file, smoke, count *)
   | Check_json of string * string option
   | Check_prom of string
 
@@ -144,6 +145,25 @@ let parse_actions args =
       in
       opts None false None None None false rest
     | "ablation" :: rest -> Ablation :: go rest
+    | "fuzz" :: rest ->
+      let rec opts json smoke count = function
+        | "--json" :: file :: rest -> opts (Some file) smoke count rest
+        | "--json" :: [] ->
+          Printf.eprintf "--json needs a FILE argument\n";
+          usage ()
+        | "--smoke" :: rest -> opts json true count rest
+        | "--count" :: n :: rest ->
+          (match int_of_string_opt n with
+           | Some c when c > 0 -> opts json smoke (Some c) rest
+           | _ ->
+             Printf.eprintf "--count needs a positive integer\n";
+             usage ())
+        | "--count" :: [] ->
+          Printf.eprintf "--count needs an argument\n";
+          usage ()
+        | rest -> Fuzz (json, smoke, count) :: go rest
+      in
+      opts None false None rest
     | "loadtest" :: rest ->
       let parse_rates s =
         match String.split_on_char ',' s |> List.map float_of_string_opt with
@@ -269,6 +289,7 @@ let run = function
   | Loadtest (json, metrics, smoke, chaos, rates, requests) ->
     Loadtest.run ?json ?metrics ~smoke ~chaos ?rates ?requests ()
   | Ablation -> Ablation.run ()
+  | Fuzz (json, smoke, count) -> Fuzz.run ?json ~smoke ?count ()
   | Check_json (file, expect) -> check_json ?expect file
   | Check_prom file -> check_prom file
 

@@ -40,6 +40,45 @@ let serve_reps ~smoke (t : Apps.Harness.t) =
 (* Requests multiplexed through one warm run when the graph is pure. *)
 let serve_batch = 8
 
+(* Static predicted ceiling: profile a few single-domain requests with
+   fusion off (so the self-time histograms stay per kernel instance),
+   turn the Obs.Profile rows into a per-kernel ns/request cost model,
+   and ask Analysis.Throughput for the sequential bound — the req/s one
+   domain cannot beat.  Printed and recorded next to the measured
+   numbers so the static analyser is held against reality on every
+   benchmark run. *)
+let probe_requests = 4
+
+let predict_ceiling ~reps (t : Apps.Harness.t) g =
+  let config =
+    Cgsim.Run_config.(default |> with_lint `Off |> with_fuse false |> with_warm false)
+  in
+  let (), session =
+    Obs.Trace.with_session (fun () ->
+        let compiled = Cgsim.Runtime.compile ~config g in
+        for _ = 1 to probe_requests do
+          let inst = Cgsim.Runtime.new_instance compiled in
+          let sinks, _ = t.Apps.Harness.make_sinks () in
+          ignore
+            (Cgsim.Runtime.run inst ~sources:(t.Apps.Harness.sources ~reps) ~sinks)
+        done)
+  in
+  let rows = Obs.Profile.rows (Obs.Metrics.snapshot session.Obs.Trace.metrics) in
+  let cost name =
+    List.find_map
+      (fun (r : Obs.Profile.row) ->
+        if String.equal r.Obs.Profile.kernel name then
+          Some (r.Obs.Profile.self_ns /. float_of_int probe_requests)
+        else None)
+      rows
+  in
+  match Analysis.Throughput.bound ~cost g with
+  | None -> None
+  | Some b ->
+    (match Analysis.Throughput.sequential_per_sec b with
+     | None -> None
+     | Some rps -> Some (rps, b.Analysis.Throughput.b_bottleneck))
+
 type app_run = {
   domains : int;
   mode : string;  (* "cold" | "warm" *)
@@ -149,6 +188,13 @@ let run ?json ?(smoke = false) ?(domains = if smoke then smoke_domains else defa
         let g = t.Apps.Harness.graph () in
         Printf.printf "\n%-10s (%d reps/request, batch %d when pure)\n%!" t.Apps.Harness.name
           reps serve_batch;
+        let predicted = predict_ceiling ~reps t g in
+        (match predicted with
+         | Some (rps, bn) ->
+           Printf.printf "  static ceiling (profiled, 1 domain): %9.1f req/s  bottleneck %s\n%!"
+             rps bn
+         | None ->
+           Printf.printf "  static ceiling: unavailable (no profiled kernel time)\n%!");
         Cgsim.Pool.clear_warm_cache ();
         let runs =
           List.concat_map
@@ -203,6 +249,14 @@ let run ?json ?(smoke = false) ?(domains = if smoke then smoke_domains else defa
             "reps_per_request", Obs.Json.Num (float_of_int reps);
             "requests", Obs.Json.Num (float_of_int requests);
             "batch", Obs.Json.Num (float_of_int serve_batch);
+            ( "predicted_rps",
+              match predicted with
+              | Some (rps, _) -> Obs.Json.Num rps
+              | None -> Obs.Json.Null );
+            ( "predicted_bottleneck",
+              match predicted with
+              | Some (_, bn) -> Obs.Json.Str bn
+              | None -> Obs.Json.Null );
             ( "runs",
               Obs.Json.Arr
                 (List.map

@@ -110,7 +110,18 @@ let dump_cmd =
 let json_arg =
   Arg.(
     value & flag
-    & info [ "json" ] ~doc:"Emit findings as a JSON document (schema cgsim-lint/1).")
+    & info [ "json" ] ~doc:"Emit findings as a JSON document (schema cgsim-lint/2).")
+
+let suggest_capacities_arg =
+  Arg.(
+    value & flag
+    & info
+        [ "suggest-capacities" ]
+        ~doc:
+          "Run the capacity synthesizer and print the minimal deadlock-free queue depth for \
+           every under-buffered cycle net, as net-id/depth pairs ready to apply (the same \
+           depths Run_config.auto_capacity applies automatically).  With $(b,--json) the \
+           pairs populate the suggested_capacities field.")
 
 let graph_arg =
   Arg.(
@@ -119,7 +130,7 @@ let graph_arg =
     & info [ "g"; "graph" ] ~docv:"NAME" ~doc:"Lint only the graph named NAME.")
 
 let lint_cmd =
-  let run input include_dirs json graph_name =
+  let run input include_dirs json graph_name suggest =
     handle_errors (fun () ->
         let env = Cgc.Driver.analyze_file ~include_dirs input in
         let graphs =
@@ -137,7 +148,16 @@ let lint_cmd =
         let linted =
           List.map
             (fun (g : Cgc.Ast.graph) ->
-              g.Cgc.Ast.g_name, Analysis.Lint.run (Cgc.Consteval.eval_graph env g))
+              let serialized = Cgc.Consteval.eval_graph env g in
+              let caps = if suggest || json then Analysis.Capacity.suggest serialized else [] in
+              let bottleneck =
+                if json then
+                  Option.map
+                    (fun b -> b.Analysis.Throughput.b_bottleneck)
+                    (Analysis.Throughput.bound serialized)
+                else None
+              in
+              g.Cgc.Ast.g_name, serialized, Analysis.Lint.run serialized, caps, bottleneck)
             graphs
         in
         if json then
@@ -145,31 +165,46 @@ let lint_cmd =
             (Obs.Json.to_string
                (Obs.Json.Obj
                   [
-                    "schema", Obs.Json.Str "cgsim-lint/1";
+                    "schema", Obs.Json.Str "cgsim-lint/2";
                     "file", Obs.Json.Str input;
                     ( "graphs",
                       Obs.Json.Arr
                         (List.map
-                           (fun (name, diags) -> Analysis.Report.to_json ~graph:name diags)
+                           (fun (name, _, diags, caps, bottleneck) ->
+                             Analysis.Report.to_json ~suggested_capacities:caps
+                               ?predicted_bottleneck:bottleneck ~graph:name diags)
                            linted) );
                   ]))
         else
           List.iter
-            (fun (name, diags) ->
+            (fun (name, serialized, diags, caps, _) ->
               Printf.printf "graph %s: %s\n" name (Analysis.Report.summary diags);
               List.iter
                 (fun d -> print_endline ("  " ^ Cgsim.Diagnostic.render d))
-                (Cgsim.Diagnostic.sort diags))
+                (Cgsim.Diagnostic.sort diags);
+              if suggest then
+                if caps = [] then
+                  Printf.printf "  capacities: all cycle nets already meet their bounds\n"
+                else
+                  List.iter
+                    (fun (net_id, depth) ->
+                      Printf.printf "  capacity: %s -> depth %d\n"
+                        (Cgsim.Serialized.net_display serialized net_id)
+                        depth)
+                    caps)
             linted;
         (* 0 clean/info, 1 warnings, 2 errors — CI gates on >= 2. *)
-        exit (Cgsim.Diagnostic.exit_status (List.concat_map snd linted)))
+        exit
+          (Cgsim.Diagnostic.exit_status (List.concat_map (fun (_, _, d, _, _) -> d) linted)))
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically analyze the compute graphs of a file: structural validity, rate balance, \
-          capacity-aware deadlock detection, fan-out/settings hazards, pool safety.")
-    Term.(const run $ input_arg $ include_dirs_arg $ json_arg $ graph_arg)
+          capacity-aware deadlock detection, capacity synthesis, throughput bounds, \
+          fan-out/settings hazards, pool safety.")
+    Term.(
+      const run $ input_arg $ include_dirs_arg $ json_arg $ graph_arg $ suggest_capacities_arg)
 
 let reps_arg =
   Arg.(value & opt int 8 & info [ "r"; "reps" ] ~docv:"N" ~doc:"Input blocks to simulate.")

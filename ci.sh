@@ -52,14 +52,24 @@ for f in examples/cgc/*.cgc; do
     cat "$LINT_JSON" >&2
     exit 1
   fi
-  dune exec bench/main.exe -- check-json "$LINT_JSON"
+  dune exec bench/main.exe -- check-json "$LINT_JSON" --schema cgsim-lint/2
   echo "lint OK: $f (rc=$rc)"
 done
+
+echo "== fuzz smoke (lint-vs-runtime differential oracle, JSON output) =="
+FUZZ_JSON=$(mktemp -t ci-fuzz-XXXXXX.json)
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$FUZZ_JSON"' EXIT
+# ~50 seeded SDF graphs (clean + labelled defects): the linter's verdict
+# must agree with actual cgsim/x86sim behaviour on every one; the bench
+# exits nonzero on any disagreement.  Schema cgsim-bench-fuzz/1.
+dune exec bench/main.exe -- fuzz --smoke --json "$FUZZ_JSON"
+test -s "$FUZZ_JSON" || { echo "ci: fuzz JSON is empty" >&2; exit 1; }
+dune exec bench/main.exe -- check-json "$FUZZ_JSON" --schema cgsim-bench-fuzz/1
 
 echo "== serve smoke (parallel pool on 2 domains, warm off / warm on, JSON output) =="
 SERVE_COLD_JSON=$(mktemp -t ci-serve-cold-XXXXXX.json)
 SERVE_WARM_JSON=$(mktemp -t ci-serve-warm-XXXXXX.json)
-trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON"' EXIT
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$FUZZ_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON"' EXIT
 # Every request's output is verified inside the bench; nonzero exit on
 # any wrong result.  Both paths run separately so the cold fallback
 # (fresh instance per attempt) can never silently rot behind the warm
@@ -75,7 +85,7 @@ dune exec bench/main.exe -- check-json "$SERVE_WARM_JSON"
 
 echo "== chaos smoke (fault injection + retry supervision, JSON output) =="
 CHAOS_JSON=$(mktemp -t ci-chaos-XXXXXX.json)
-trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON"' EXIT
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$FUZZ_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON"' EXIT
 # Serves under a seeded fault plan (kernel raises + a busy-stall) with a
 # per-request deadline and retries; exits nonzero unless every injected
 # fault was absorbed and at least one request recovered by retry.
@@ -87,7 +97,7 @@ dune exec bench/main.exe -- check-json "$CHAOS_JSON"
 echo "== loadtest smoke (open-loop Poisson arrivals + chaos, JSON + Prometheus output) =="
 LOAD_JSON=$(mktemp -t ci-load-XXXXXX.json)
 LOAD_PROM=$(mktemp -t ci-load-XXXXXX.prom)
-trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM"' EXIT
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$FUZZ_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM"' EXIT
 # Open-loop arrivals against the pool under a transient-fault plan with
 # retries; exits nonzero if nothing completed or chaos never forced a
 # retry.  Schema cgsim-bench-load/1.
@@ -101,7 +111,7 @@ dune exec bench/main.exe -- check-prom "$LOAD_PROM"
 
 echo "== cgx --metrics smoke (Prometheus exposition from the extractor CLI) =="
 CGX_PROM=$(mktemp -t ci-cgx-XXXXXX.prom)
-trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM" "$CGX_PROM"' EXIT
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$FUZZ_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM" "$CGX_PROM"' EXIT
 dune exec bin/cgx.exe -- simulate examples/cgc/bitonic.cgc --reps 4 --metrics "$CGX_PROM"
 test -s "$CGX_PROM" || { echo "ci: cgx exposition is empty" >&2; exit 1; }
 dune exec bench/main.exe -- check-prom "$CGX_PROM"

@@ -18,4 +18,13 @@
 
     Acyclic graphs produce no findings. *)
 
+(** [required_capacity g inside n]: minimum elements net [n] must buffer
+    for a cycle over the kernels in [inside] (a hashtable keyed by
+    kernel index) to make progress — the larger of one writer firing's
+    deposit and one reader firing's demand, over the endpoints inside
+    the component.  [None] when any such endpoint has no known rate.
+    Exposed for the capacity-synthesis pass, which turns the same bound
+    into suggested depths instead of errors. *)
+val required_capacity : Cgsim.Serialized.t -> (int, unit) Hashtbl.t -> Cgsim.Serialized.net -> int option
+
 val analyze : Cgsim.Serialized.t -> Cgsim.Diagnostic.t list

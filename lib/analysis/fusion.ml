@@ -89,7 +89,18 @@ let analyze (g : S.t) =
   List.map
     (fun chain ->
       let names = List.map (fun k -> g.S.kernels.(k).S.inst_name) chain in
+      (* Interior hand-off nets: the sole output of every non-tail
+         member.  Carrying them lets [lint.suppress] on those nets mute
+         the finding for chains the user deliberately keeps unfused. *)
+      let interior =
+        match List.rev chain with
+        | [] | [ _ ] -> []
+        | _ :: rev_heads ->
+          List.rev_map (fun k -> List.hd (dir_nets g Cgsim.Kernel.Out k)) rev_heads
+      in
       D.make ~severity:D.Info ~code:"CG-I103" ~graph:g.S.gname ~kernels:names
+        ~nets:(List.map (S.net_display g) interior)
+        ~net_ids:interior
         (Printf.sprintf
            "fusible chain: %s — %d queue hop%s collapse into direct hand-off when \
             Run_config.fuse is on"

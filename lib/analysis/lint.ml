@@ -10,6 +10,8 @@ let default_passes =
   [
     { pass_name = "rates"; pass_run = Rates.analyze };
     { pass_name = "deadlock"; pass_run = Deadlock.analyze };
+    { pass_name = "capacity"; pass_run = Capacity.analyze };
+    { pass_name = "throughput"; pass_run = Throughput.analyze };
     { pass_name = "hazards"; pass_run = Hazards.analyze };
     { pass_name = "pool-safety"; pass_run = Pool_safety.analyze };
     { pass_name = "fusion"; pass_run = Fusion.analyze };
@@ -45,8 +47,9 @@ let run ?(passes = default_passes) (g : S.t) =
 
 let install_runtime_hook () =
   Cgsim.Runtime.set_lint_hook (fun g -> run g);
-  Cgsim.Runtime.set_fusion_hook Fusion.chains
+  Cgsim.Runtime.set_fusion_hook Fusion.chains;
+  Cgsim.Runtime.set_capacity_hook Capacity.suggest
 
-(* Linking the analysis library arms the runtime pre-flight and the
-   operator-fusion pass. *)
+(* Linking the analysis library arms the runtime pre-flight, the
+   operator-fusion pass and the capacity synthesizer. *)
 let () = install_runtime_hook ()

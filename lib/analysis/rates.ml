@@ -63,7 +63,19 @@ let ep_port_name (g : S.t) (ep : S.endpoint) =
   let ki = g.S.kernels.(ep.S.kernel_idx) in
   ki.S.ports.(ep.S.port_idx).Cgsim.Kernel.pname
 
-let analyze (g : S.t) =
+(* Shared propagation core: collects the balance constraints, solves by
+   propagation per connected component, and returns the raw solution —
+   per-kernel rational repetitions, component ids, and the CG-E101
+   findings discovered on the way.  [analyze] renders findings from it;
+   [solve] reduces it to minimal integer repetition vectors. *)
+type raw = {
+  raw_diags : D.t list;  (* emission order *)
+  raw_rep : ratio option array;  (* per kernel idx *)
+  raw_comp : int array;  (* per kernel idx, -1 = unconstrained *)
+  raw_comp_count : int;
+}
+
+let propagate (g : S.t) =
   let diags = ref [] in
   let emit d = diags := d :: !diags in
   let constraints = ref [] in
@@ -164,11 +176,18 @@ let analyze (g : S.t) =
       done
     end
   done;
+  { raw_diags = List.rev !diags; raw_rep = rep; raw_comp = comp; raw_comp_count = !comp_count }
+
+let analyze (g : S.t) =
+  let raw = propagate g in
+  let nk = Array.length g.S.kernels in
+  let rep = raw.raw_rep in
+  let comp = raw.raw_comp in
   (* Deduplicate CG-E101: propagation can visit a bad net from both
      ends.  One finding per net is what a human wants to read. *)
   let seen_bad = Hashtbl.create 4 in
   let diags =
-    List.rev !diags
+    raw.raw_diags
     |> List.filter (fun (d : D.t) ->
            match d.D.net_ids with
            | [ id ] when d.D.code = "CG-E101" ->
@@ -187,7 +206,7 @@ let analyze (g : S.t) =
     (fun (d : D.t) -> List.iter (fun k -> Hashtbl.replace bad_kernels k ()) d.D.kernels)
     diags;
   let infos = ref [] in
-  for id = 0 to !comp_count - 1 do
+  for id = 0 to raw.raw_comp_count - 1 do
     let members =
       List.filter (fun k -> comp.(k) = id) (List.init nk Fun.id)
     in
@@ -215,3 +234,38 @@ let analyze (g : S.t) =
     end
   done;
   diags @ List.rev !infos
+
+(* ------------------------------------------------------------------ *)
+(* Programmatic solve — the entry the capacity and throughput passes   *)
+(* (and the fuzzer oracle) build on.                                   *)
+(* ------------------------------------------------------------------ *)
+
+type solution = {
+  balanced : bool;
+  repetitions : (int * int) list;
+}
+
+let solve (g : S.t) =
+  let raw = propagate g in
+  let nk = Array.length g.S.kernels in
+  let balanced =
+    not (List.exists (fun (d : D.t) -> d.D.code = "CG-E101") raw.raw_diags)
+  in
+  let lcm a b = if a = 0 || b = 0 then 0 else abs (a * b) / abs (gcd a b) in
+  let reps = ref [] in
+  for id = raw.raw_comp_count - 1 downto 0 do
+    let members = List.filter (fun k -> raw.raw_comp.(k) = id) (List.init nk Fun.id) in
+    let l =
+      List.fold_left (fun acc k -> lcm acc (Option.get raw.raw_rep.(k)).den) 1 members
+    in
+    let scaled =
+      List.map
+        (fun k ->
+          let r = Option.get raw.raw_rep.(k) in
+          k, r.num * (l / r.den))
+        members
+    in
+    let g0 = max 1 (List.fold_left (fun acc (_, v) -> abs (gcd acc v)) 0 scaled) in
+    List.iter (fun (k, v) -> reps := (k, v / g0) :: !reps) scaled
+  done;
+  { balanced; repetitions = List.sort compare !reps }

@@ -27,3 +27,21 @@
 val port_rate : Cgsim.Serialized.t -> int -> int -> int option
 
 val analyze : Cgsim.Serialized.t -> Cgsim.Diagnostic.t list
+
+(** Programmatic form of the balance solve, for passes that need the
+    repetition vector itself rather than rendered findings (capacity
+    synthesis, throughput bounds, the fuzzer oracle). *)
+type solution = {
+  balanced : bool;
+      (** No [CG-E101] inconsistency anywhere in the graph. *)
+  repetitions : (int * int) list;
+      (** Minimal positive integer repetitions [(kernel_idx, rep)],
+          sorted by kernel index, one entry per kernel that appears in a
+          balance-constrained component.  Kernels with no known-rate
+          constraints (isolated sources/sinks, plain streams without
+          declarations) are absent — treat them as repetition 1.  When
+          [balanced] is false the entries of inconsistent components are
+          best-effort and should not be trusted. *)
+}
+
+val solve : Cgsim.Serialized.t -> solution

@@ -19,11 +19,11 @@ let to_text diags =
   | _ ->
     String.concat "\n" (List.map D.render (D.sort diags) @ [ summary diags ])
 
-let to_json ~graph diags =
+let to_json ?(suggested_capacities = []) ?predicted_bottleneck ~graph diags =
   let open Obs.Json in
   Obj
     [
-      "schema", Str "cgsim-lint/1";
+      "schema", Str "cgsim-lint/2";
       "graph", Str graph;
       ( "counts",
         Obj
@@ -32,5 +32,13 @@ let to_json ~graph diags =
             "warning", Num (float_of_int (count D.Warning diags));
             "info", Num (float_of_int (count D.Info diags));
           ] );
+      ( "suggested_capacities",
+        Arr
+          (List.map
+             (fun (net_id, depth) ->
+               Obj [ "net", Num (float_of_int net_id); "depth", Num (float_of_int depth) ])
+             suggested_capacities) );
+      ( "predicted_bottleneck",
+        match predicted_bottleneck with Some k -> Str k | None -> Null );
       "findings", Arr (List.map D.to_json (D.sort diags));
     ]

@@ -13,6 +13,15 @@ val to_text : Cgsim.Diagnostic.t list -> string
 (** The summary line by itself. *)
 val summary : Cgsim.Diagnostic.t list -> string
 
-(** JSON document with schema ["cgsim-lint/1"]: graph name, per-severity
-    counts, and the findings as structured objects. *)
-val to_json : graph:string -> Cgsim.Diagnostic.t list -> Obs.Json.t
+(** JSON document with schema ["cgsim-lint/2"]: graph name, per-severity
+    counts, the findings as structured objects, plus — new in /2 and
+    always present — [suggested_capacities] (the {!Capacity.suggest}
+    [(net, depth)] pairs; empty array when the caller passes none) and
+    [predicted_bottleneck] (the {!Throughput} bottleneck kernel name, or
+    [null]). *)
+val to_json :
+  ?suggested_capacities:(int * int) list ->
+  ?predicted_bottleneck:string ->
+  graph:string ->
+  Cgsim.Diagnostic.t list ->
+  Obs.Json.t

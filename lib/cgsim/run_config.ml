@@ -30,6 +30,7 @@ type t = {
   batch : int;
   fuse : bool;
   unboxed : bool;
+  auto_capacity : bool;
 }
 
 let default =
@@ -51,6 +52,7 @@ let default =
     batch = 1;
     fuse = true;
     unboxed = true;
+    auto_capacity = false;
   }
 
 let with_hooks hooks t = { t with hooks }
@@ -81,3 +83,4 @@ let with_batch batch t =
 
 let with_fuse fuse t = { t with fuse }
 let with_unboxed unboxed t = { t with unboxed }
+let with_auto_capacity auto_capacity t = { t with auto_capacity }

@@ -63,6 +63,15 @@ type t = {
           storage with [Bigarray.Array1] so block transfers move flat
           memory instead of boxed {!Value.t}s.  [false] forces boxed
           storage everywhere — the equivalence baseline. *)
+  auto_capacity : bool;
+      (** Capacity synthesis (default [false]): at {!Runtime.compile}
+          time, raise each net's queue depth to the minimal
+          deadlock-free capacity suggested by the static analyzer's
+          capacity pass ([Analysis.Capacity], finding CG-I204).
+          Depths are only ever raised, never lowered, so a clean graph
+          is untouched.  No-op unless the [analysis] library is linked
+          (the suggestion hook installs itself, like the lint and
+          fusion hooks). *)
 }
 
 val default : t
@@ -87,3 +96,4 @@ val with_batch : int -> t -> t
 
 val with_fuse : bool -> t -> t
 val with_unboxed : bool -> t -> t
+val with_auto_capacity : bool -> t -> t

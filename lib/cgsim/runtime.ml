@@ -207,6 +207,17 @@ let resolve_chains ~(config : Run_config.t) (g : Serialized.t) =
       proposed;
     Array.of_list (List.rev !accepted), fused
 
+(* The capacity-synthesis analysis (lib/analysis) installs itself here
+   at module-init time, like the linter and the fusion pass.  It maps a
+   graph to (net id, minimal deadlock-free depth) suggestions;
+   [resolve_graph] raises the corresponding queue capacities when
+   [Run_config.auto_capacity] is on.  Depths are only ever raised — a
+   suggestion below the resolved depth is ignored — so the synthesis
+   can never shrink a queue the user sized deliberately. *)
+let capacity_hook : (Serialized.t -> (int * int) list) option ref = ref None
+
+let set_capacity_hook f = capacity_hook := Some f
+
 (* ------------------------------------------------------------------ *)
 (* Structured outcomes                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -392,6 +403,14 @@ let resolve_graph ~(config : Run_config.t) (g : Serialized.t) =
         | None -> Settings.resolved_depth ~elem_bytes:(Dtype.size_bytes n.dtype) n.settings)
       g.Serialized.nets
   in
+  (match (if config.Run_config.auto_capacity then !capacity_hook else None) with
+   | None -> ()
+   | Some hook ->
+     List.iter
+       (fun (id, depth) ->
+         if id >= 0 && id < Array.length capacities then
+           capacities.(id) <- max capacities.(id) depth)
+       (try hook g with _ -> []));
   let pure = Array.for_all (fun k -> k.Kernel.purity = Kernel.Pure) kernels in
   let batchable =
     pure && Array.for_all (fun k -> k.Kernel.stateless) kernels

@@ -61,6 +61,16 @@ val preflight : lint:lint_level -> Serialized.t -> unit
     nothing fuses. *)
 val set_fusion_hook : (Serialized.t -> int list list) -> unit
 
+(** Install the capacity-synthesis analysis used by {!compile} when
+    [Run_config.auto_capacity] is on.  The hook maps a graph to
+    [(net_id, minimal deadlock-free depth)] suggestions; the runtime
+    raises each suggested net's queue capacity to the suggested depth
+    (never lowers one, so deliberately over-sized queues are left
+    alone).  Installed by the [analysis] library at link time
+    ([Analysis.Capacity.suggest]); without a hook, [auto_capacity] is a
+    no-op. *)
+val set_capacity_hook : (Serialized.t -> (int * int) list) -> unit
+
 (** Hooks letting a simulator intercept every kernel-port access without
     changing kernel code — the mechanism aiesim uses to count stream
     traffic and attribute cycle costs per endpoint.  The type is an

@@ -235,6 +235,20 @@ let equal_topology a b =
   && Array.length a.output_order = Array.length b.output_order
   && Array.for_all2 Int.equal a.output_order b.output_order
 
+let with_net_depths t depths =
+  match depths with
+  | [] -> t
+  | _ ->
+    let nets =
+      Array.map
+        (fun n ->
+          match List.assoc_opt n.net_id depths with
+          | Some d when d > 0 -> { n with settings = Settings.with_depth d n.settings }
+          | _ -> n)
+        t.nets
+    in
+    { t with nets }
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>graph %s (%d kernels, %d nets)@," t.gname (Array.length t.kernels)
     (Array.length t.nets);

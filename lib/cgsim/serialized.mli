@@ -79,6 +79,14 @@ val validate_diags : t -> Diagnostic.t list
     builder graphs and CGC-consteval graphs agree. *)
 val equal_topology : t -> t -> bool
 
+(** [with_net_depths t [(net_id, depth); ...]] returns a copy of [t]
+    whose listed nets carry an explicit queue [depth] in their settings
+    (see {!Settings.with_depth}); other nets, and entries with unknown
+    ids or non-positive depths, are untouched.  Used to apply (or, in
+    tests, deliberately under-apply) the capacities synthesized by the
+    static analyzer without rebuilding the graph. *)
+val with_net_depths : t -> (int * int) list -> t
+
 val pp : Format.formatter -> t -> unit
 
 (** Total element-size-weighted fan of the graph — diagnostic metric used

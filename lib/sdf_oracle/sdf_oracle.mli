@@ -1,0 +1,26 @@
+(** Differential lint-vs-runtime oracle over {!Workloads.Sdf_gen}
+    cases.
+
+    Lives apart from [workloads] so that linking the generator's
+    fixtures does not transitively link [analysis] (which arms the
+    runtime lint/fusion/capacity hooks at module-init time and would
+    change runtime behaviour for every binary using workloads).  Only
+    the fuzz surfaces (bench fuzz, test_fuzz) link this library.
+
+    [check] asserts the correspondences documented on
+    {!Workloads.Sdf_gen}: clean graphs lint clean, draw no capacity
+    suggestions and complete on both cgsim and x86sim with
+    bit-identical outputs of the statically known length; injected
+    defects draw their predicted diagnostic and (where applicable)
+    genuinely deadlock, with [Run_config.auto_capacity] rescuing
+    under-buffered cycles at exactly the suggested depth — one element
+    less deadlocks again. *)
+
+(** Run one case against the oracle; returns human-readable
+    disagreement descriptions (empty = linter and runtime agree). *)
+val check : Workloads.Sdf_gen.case -> string list
+
+(** [run_suite ?progress count] checks {!Workloads.Sdf_gen.nth_case}
+    [0..count-1]; [progress done disagreements] is called after each.
+    Returns all disagreements. *)
+val run_suite : ?progress:(int -> int -> unit) -> int -> string list

@@ -242,6 +242,123 @@ let test_acyclic_no_findings () =
   Alcotest.(check int) "no cycle findings" 0 (List.length (Deadlock.analyze g))
 
 (* ------------------------------------------------------------------ *)
+(* Capacity synthesis                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_capacity_suggestion () =
+  (* The canonical under-buffered cycle: depth 4 against a 64-wide
+     firing.  The synthesizer must propose exactly the demand. *)
+  let ks = cycle_kernels ~rates:64 ~fb_depth:4 "ana_cap_small" in
+  let g = cycle_graph ~name:"ana_cap_under" ks in
+  (match Capacity.suggest g with
+   | [ (_, depth) ] -> Alcotest.(check int) "minimal depth" 64 depth
+   | caps -> Alcotest.failf "expected one suggestion, got %d" (List.length caps));
+  match with_code "CG-I204" (Capacity.analyze g) with
+  | [ d ] ->
+    Alcotest.(check bool) "info severity" true (d.D.severity = D.Info);
+    Alcotest.(check bool) "names both cycle kernels" true
+      (List.mem "ana_cap_small_fwd_0" d.D.kernels
+       && List.mem "ana_cap_small_back_0" d.D.kernels);
+    Alcotest.(check bool) "names the starved net" true (d.D.net_ids <> []);
+    Alcotest.(check bool) "carries the per-net depth" true
+      (contains "4 -> 64" d.D.message)
+  | ds -> Alcotest.failf "expected exactly one CG-I204, got %d" (List.length ds)
+
+let test_capacity_quiet_when_buffered () =
+  let ks = cycle_kernels ~rates:64 ~fb_depth:64 "ana_cap_big" in
+  let g = cycle_graph ~name:"ana_cap_ok" ks in
+  Alcotest.(check (list (pair int int))) "no suggestions" [] (Capacity.suggest g);
+  Alcotest.(check int) "no CG-I204" 0 (List.length (Capacity.analyze g))
+
+let test_capacity_quiet_on_acyclic () =
+  let a = stream_kernel "ana_cap_acyc_a" in
+  let b = stream_kernel "ana_cap_acyc_b" in
+  let g =
+    Cgsim.Builder.make ~name:"ana_cap_acyclic" ~inputs:[ "in", Cgsim.Dtype.F32 ]
+      (fun bld conns ->
+        let mid = Cgsim.Builder.net bld Cgsim.Dtype.F32 in
+        let out = Cgsim.Builder.net bld Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel bld a [ List.hd conns; mid ]);
+        ignore (Cgsim.Builder.add_kernel bld b [ mid; out ]);
+        [ out ])
+  in
+  Alcotest.(check (list (pair int int))) "nothing to size" [] (Capacity.suggest g)
+
+(* ------------------------------------------------------------------ *)
+(* Throughput bound                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_throughput_unit_bottleneck () =
+  (* a fires 1x (producing 6), b fires 2x (consuming 3): at unit cost b
+     is the structural bottleneck with 2 of 3 firings. *)
+  let a = stream_kernel ~rates:[ "in", 2; "out", 6 ] "ana_thr_a" in
+  let b = stream_kernel ~rates:[ "in", 3; "out", 1 ] "ana_thr_b" in
+  let g =
+    Cgsim.Builder.make ~name:"ana_thr" ~inputs:[ "in", Cgsim.Dtype.F32 ] (fun bld conns ->
+        let mid = Cgsim.Builder.net bld Cgsim.Dtype.F32 in
+        let out = Cgsim.Builder.net bld Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel bld a [ List.hd conns; mid ]);
+        ignore (Cgsim.Builder.add_kernel bld b [ mid; out ]);
+        [ out ])
+  in
+  (match Throughput.bound g with
+   | Some bd ->
+     Alcotest.(check string) "bottleneck" "ana_thr_b_0" bd.Throughput.b_bottleneck;
+     Alcotest.(check (float 1e-9)) "total firings" 3.0 bd.Throughput.b_total;
+     Alcotest.(check bool) "unit cost is not a request ceiling" true
+       (Throughput.sequential_per_sec bd = None)
+   | None -> Alcotest.fail "expected a bound for a non-empty graph");
+  match with_code "CG-I105" (Throughput.analyze g) with
+  | [ d ] ->
+    Alcotest.(check bool) "info severity" true (d.D.severity = D.Info);
+    Alcotest.(check bool) "names the bottleneck" true (List.mem "ana_thr_b_0" d.D.kernels)
+  | ds -> Alcotest.failf "expected exactly one CG-I105, got %d" (List.length ds)
+
+let test_throughput_measured_ceiling () =
+  let a = stream_kernel ~rates:[ "in", 1; "out", 1 ] "ana_thrm_a" in
+  let b = stream_kernel ~rates:[ "in", 1; "out", 1 ] "ana_thrm_b" in
+  let g =
+    Cgsim.Builder.make ~name:"ana_thrm" ~inputs:[ "in", Cgsim.Dtype.F32 ] (fun bld conns ->
+        let mid = Cgsim.Builder.net bld Cgsim.Dtype.F32 in
+        let out = Cgsim.Builder.net bld Cgsim.Dtype.F32 in
+        ignore (Cgsim.Builder.add_kernel bld a [ List.hd conns; mid ]);
+        ignore (Cgsim.Builder.add_kernel bld b [ mid; out ]);
+        [ out ])
+  in
+  (* 600ns + 400ns per request -> a 1e9/1000 = 1M req/s sequential
+     ceiling, bottleneck a; pipelined the 600ns stage dominates. *)
+  let cost = function
+    | "ana_thrm_a_0" -> Some 600.0
+    | "ana_thrm_b_0" -> Some 400.0
+    | _ -> None
+  in
+  match Throughput.bound ~cost g with
+  | Some bd ->
+    Alcotest.(check string) "bottleneck" "ana_thrm_a_0" bd.Throughput.b_bottleneck;
+    (match Throughput.sequential_per_sec bd with
+     | Some rps -> Alcotest.(check (float 1.0)) "sequential ceiling" 1e6 rps
+     | None -> Alcotest.fail "measured bound must give a sequential ceiling");
+    (match Throughput.pipelined_per_sec bd with
+     | Some rps ->
+       Alcotest.(check (float 1.0)) "pipelined ceiling" (1e9 /. 600.0) rps
+     | None -> Alcotest.fail "measured bound must give a pipelined ceiling")
+  | None -> Alcotest.fail "expected a bound"
+
+let test_throughput_cycle_is_one_stage () =
+  (* Cycle kernels cannot overlap: pipelined critical weight is the
+     cycle's sum, not the max member. *)
+  let ks = cycle_kernels ~rates:8 ~fb_depth:8 "ana_thr_cyc" in
+  let g = cycle_graph ~name:"ana_thr_cycle" ks in
+  let cost = function
+    | "ana_thr_cyc_fwd_0" -> Some 300.0
+    | "ana_thr_cyc_back_0" -> Some 200.0
+    | _ -> None
+  in
+  match Throughput.bound ~cost g with
+  | Some bd -> Alcotest.(check (float 1e-9)) "critical = cycle sum" 500.0 bd.Throughput.b_critical
+  | None -> Alcotest.fail "expected a bound"
+
+(* ------------------------------------------------------------------ *)
 (* Hazards                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -451,8 +568,12 @@ let test_report_text_and_json () =
   match Obs.Json.of_string json with
   | Error e -> Alcotest.failf "reporter emitted malformed JSON: %s" e
   | Ok doc ->
-    Alcotest.(check (option string)) "schema" (Some "cgsim-lint/1")
+    Alcotest.(check (option string)) "schema" (Some "cgsim-lint/2")
       (Option.bind (Obs.Json.member "schema" doc) Obs.Json.to_str);
+    Alcotest.(check bool) "suggested_capacities present" true
+      (Obs.Json.member "suggested_capacities" doc <> None);
+    Alcotest.(check bool) "predicted_bottleneck present" true
+      (Obs.Json.member "predicted_bottleneck" doc <> None);
     let errors =
       match Option.bind (Obs.Json.member "counts" doc) (Obs.Json.member "error") with
       | Some j -> Obs.Json.to_float j
@@ -683,6 +804,18 @@ let () =
           Alcotest.test_case "buffered cycle passes" `Quick test_deadlock_buffered_ok;
           Alcotest.test_case "unknown rates warn" `Quick test_deadlock_unknown_rates;
           Alcotest.test_case "acyclic is silent" `Quick test_acyclic_no_findings;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "CG-I204 on under-buffered cycle" `Quick test_capacity_suggestion;
+          Alcotest.test_case "quiet when buffered" `Quick test_capacity_quiet_when_buffered;
+          Alcotest.test_case "quiet on acyclic" `Quick test_capacity_quiet_on_acyclic;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "CG-I105 unit bottleneck" `Quick test_throughput_unit_bottleneck;
+          Alcotest.test_case "measured ceiling" `Quick test_throughput_measured_ceiling;
+          Alcotest.test_case "cycle is one stage" `Quick test_throughput_cycle_is_one_stage;
         ] );
       ( "hazards",
         [

@@ -221,6 +221,51 @@ let test_clean_graph_no_i103 () =
   let g = diamond_graph () in
   Alcotest.(check int) "no fusion info on diamond" 0 (List.length (F.analyze g))
 
+(* CG-I103 names the chain's interior nets, so the standard
+   lint.suppress machinery applies to it like every other finding — the
+   regression this guards is the pass attaching no nets, which made the
+   attribute a silent no-op for fusion hints. *)
+let chain_with_suppress ~name ~spec factors =
+  let ks = List.map (fun f -> scale_kernel ~rate:2 ~factor:f) factors in
+  Cgsim.Builder.make ~name ~inputs:[ "in", Cgsim.Dtype.F32 ] (fun b conns ->
+      let _, interior =
+        List.fold_left
+          (fun (src, nets) k ->
+            let dst = Cgsim.Builder.net b Cgsim.Dtype.F32 in
+            ignore (Cgsim.Builder.add_kernel b k [ src; dst ]);
+            dst, dst :: nets)
+          (List.hd conns, []) ks
+      in
+      (match interior with
+       | last :: rest ->
+         (* [rest] = the chain's interior hops ([last] is the output). *)
+         List.iteri
+           (fun i n ->
+             match spec i with
+             | Some s -> Cgsim.Builder.attach_attributes b n [ Cgsim.Attr.s "lint.suppress" s ]
+             | None -> ())
+           (List.rev rest);
+         [ last ]
+       | [] -> []))
+
+let test_cg_i103_suppressed () =
+  let g = chain_with_suppress ~name:"fz_lintsup" ~spec:(fun _ -> Some "CG-I103") [ 2; 3 ] in
+  Alcotest.(check bool) "pass itself still reports the chain" true
+    (List.exists (fun (d : D.t) -> d.D.code = "CG-I103") (F.analyze g));
+  let codes = List.map (fun (d : D.t) -> d.D.code) (Analysis.Lint.run g) in
+  Alcotest.(check bool) "lint driver honors lint.suppress" false (List.mem "CG-I103" codes)
+
+let test_cg_i103_partial_suppress_still_fires () =
+  (* Two interior nets, only one suppressed: the finding must survive. *)
+  let g =
+    chain_with_suppress ~name:"fz_lintsup2"
+      ~spec:(fun i -> if i = 0 then Some "CG-I103" else None)
+      [ 2; 3; 4 ]
+  in
+  let codes = List.map (fun (d : D.t) -> d.D.code) (Analysis.Lint.run g) in
+  Alcotest.(check bool) "partially suppressed chain still reported" true
+    (List.mem "CG-I103" codes)
+
 (* ------------------------------------------------------------------ *)
 (* Runtime fallback                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -374,6 +419,9 @@ let () =
           Alcotest.test_case "CG-I103 emitted" `Quick test_cg_i103_emitted;
           Alcotest.test_case "CG-I103 via lint driver" `Quick test_cg_i103_in_lint_driver;
           Alcotest.test_case "no info without chains" `Quick test_clean_graph_no_i103;
+          Alcotest.test_case "CG-I103 respects lint.suppress" `Quick test_cg_i103_suppressed;
+          Alcotest.test_case "partial suppress still fires" `Quick
+            test_cg_i103_partial_suppress_still_fires;
         ] );
       ( "fallback",
         [
