@@ -16,10 +16,19 @@
    supervision rides along, so the tail latencies include retry storms —
    the production shape.
 
-   [run ~json:file] writes schema "cgsim-bench-load/1"; check-json
+   With [~remote:addr] the same sweep drives a running `cgx serve`
+   daemon through Serve.Client instead of an in-process pool: a fresh
+   pipelined connection per rate step, a sender pacing the Poisson
+   schedule with [send_run], and a receiver domain timing each reply
+   against its scheduled arrival — so the measured path includes the
+   wire codec, the socket, and the server's queueing.  Chaos injection
+   is in-process only and rejected with [--remote].
+
+   [run ~json:file] writes schema "cgsim-bench-load/2"; check-json
    validates it in CI.  [~metrics:file] dumps the last step's
-   Prometheus exposition (Pool.metrics_exposition); check-prom
-   validates that. *)
+   Prometheus exposition (Pool.metrics_exposition in-process, the
+   daemon's merged /metrics under [--remote]); check-prom validates
+   that. *)
 
 let default_rates = [ 50.0; 200.0; 800.0 ]
 
@@ -139,6 +148,100 @@ let run_step ~chaos ~smoke ~requests ~seed (t : Apps.Harness.t) g rate_rps =
     },
     stats )
 
+let drain_source src =
+  let pull = Cgsim.Io.source_pull src in
+  let rec go acc =
+    match pull () with
+    | Some v -> go (v :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+(* One rate step against a live daemon.  The client assigns ids from 0
+   per connection, so with a fresh connection per step the reply id IS
+   the request index — arrivals.(id) needs no shared map.  The sender
+   (this domain) paces the Poisson schedule; the receiver domain clocks
+   each reply against its scheduled arrival, the same
+   coordinated-omission-free convention as the in-process path. *)
+let run_step_remote ~smoke ~requests ~seed (t : Apps.Harness.t) addr rate_rps =
+  let reps = load_reps ~smoke t in
+  let inputs = List.map drain_source (t.Apps.Harness.sources ~reps) in
+  let arrivals = poisson_arrivals ~seed ~rate_rps ~requests in
+  let client = Serve.Client.connect ~retries:10 addr in
+  let t0 = Obs.Clock.now_ns () in
+  let receiver =
+    Domain.spawn (fun () ->
+        let hdr = Obs.Hdr.create () in
+        let completed = ref 0 in
+        let errors = ref 0 in
+        let retries = ref 0 in
+        let shed = ref false in
+        let last_ns = ref t0 in
+        let rec loop remaining =
+          if remaining > 0 then
+            match Serve.Client.recv client with
+            | Error m ->
+              (* Transport failure: everything still in flight is lost. *)
+              Printf.eprintf "loadtest --remote: %s (%d replies outstanding)\n%!" m remaining;
+              errors := !errors + remaining
+            | Ok reply ->
+              let now = Obs.Clock.now_ns () in
+              last_ns := now;
+              (match reply.Serve.Wire.p_body with
+               | Serve.Wire.Result r ->
+                 retries := !retries + max 0 (r.Serve.Wire.rp_attempts - 1);
+                 (match r.Serve.Wire.rp_outcome with
+                  | Serve.Wire.Completed outputs ->
+                    let primary = match outputs with o :: _ -> o | [] -> [] in
+                    let id = reply.Serve.Wire.p_id in
+                    (match t.Apps.Harness.check ~reps primary with
+                     | Ok () when id >= 0 && id < requests ->
+                       incr completed;
+                       Obs.Hdr.record hdr (now -. (t0 +. arrivals.(id)))
+                     | Ok () | Error _ -> incr errors)
+                  | Serve.Wire.Shed ->
+                    shed := true;
+                    incr errors
+                  | Serve.Wire.Deadline _ | Serve.Wire.Cancelled | Serve.Wire.Failed _ ->
+                    incr errors)
+               | Serve.Wire.Error (_, _) | Serve.Wire.Metrics_text _ | Serve.Wire.Pong ->
+                 incr errors);
+              loop (remaining - 1)
+        in
+        loop requests;
+        hdr, !completed, !errors, !retries, !shed, !last_ns)
+  in
+  for i = 0 to requests - 1 do
+    let target = t0 +. arrivals.(i) in
+    let now = Obs.Clock.now_ns () in
+    if target > now then Unix.sleepf ((target -. now) /. 1e9);
+    ignore (Serve.Client.send_run client ~graph:t.Apps.Harness.name inputs : int)
+  done;
+  let hdr, completed, errors, retries, shed, last_ns = Domain.join receiver in
+  (* All replies are in: the connection is quiet, safe for a blocking
+     metrics exchange before it closes. *)
+  let exposition =
+    match Serve.Client.metrics client with Ok body -> Some body | Error _ -> None
+  in
+  Serve.Client.close client;
+  let wall_ns = Float.max 1.0 (last_ns -. t0) in
+  ( {
+      rate_rps;
+      requests;
+      completed;
+      errors;
+      wall_ns;
+      achieved_rps = float_of_int completed /. (wall_ns /. 1e9);
+      p50_ns = Obs.Hdr.quantile hdr 0.5;
+      p99_ns = Obs.Hdr.quantile hdr 0.99;
+      p999_ns = Obs.Hdr.quantile hdr 0.999;
+      max_ns = (if Obs.Hdr.count hdr = 0 then 0.0 else Obs.Hdr.max_value hdr);
+      mean_ns = Obs.Hdr.mean hdr;
+      retries;
+      breaker_tripped = shed;
+    },
+    exposition )
+
 let json_of_step (s : step) =
   Obs.Json.Obj
     [
@@ -159,23 +262,50 @@ let json_of_step (s : step) =
     ]
 
 let run ?json ?metrics ?(smoke = false) ?(chaos = false)
-    ?(rates = if smoke then smoke_rates else default_rates) ?requests () =
+    ?(rates = if smoke then smoke_rates else default_rates) ?requests ?remote () =
+  (match remote, chaos with
+   | Some _, true ->
+     Printf.eprintf "loadtest: --chaos is in-process fault injection; it cannot ride --remote\n";
+     exit 2
+   | _ -> ());
+  let remote_addr =
+    match remote with
+    | None -> None
+    | Some spec -> (
+      match Serve.Addr.parse spec with
+      | Ok a -> Some a
+      | Error m ->
+        Printf.eprintf "loadtest: %s\n" m;
+        exit 2)
+  in
   let t = Apps.Harness.bitonic in
   let requests = Option.value requests ~default:(if smoke then 10 else 64) in
   let g = t.Apps.Harness.graph () in
   let host_cores = Domain.recommended_domain_count () in
   Printf.printf
-    "\n== Open-loop load test (%s, Poisson arrivals, %d requests/step, %d domains%s) ==\n%!"
-    t.Apps.Harness.name requests domains
+    "\n== Open-loop load test (%s, Poisson arrivals, %d requests/step, %s%s) ==\n%!"
+    t.Apps.Harness.name requests
+    (match remote with
+     | Some addr -> Printf.sprintf "remote %s" addr
+     | None -> Printf.sprintf "%d domains" domains)
     (if chaos then ", chaos faults + retries" else "");
   Printf.printf "%9s %6s %6s %6s %10s %9s %9s %9s %9s %8s\n" "rate_rps" "reqs" "ok" "err"
     "achieved" "p50_ms" "p99_ms" "p999_ms" "max_ms" "retries";
-  let last_stats = ref None in
+  let last_exposition = ref None in
   let steps =
     List.mapi
       (fun i rate ->
-        let s, stats = run_step ~chaos ~smoke ~requests ~seed:(11 + i) t g rate in
-        last_stats := Some stats;
+        let s =
+          match remote_addr with
+          | Some addr ->
+            let s, exposition = run_step_remote ~smoke ~requests ~seed:(11 + i) t addr rate in
+            (match exposition with Some e -> last_exposition := Some e | None -> ());
+            s
+          | None ->
+            let s, stats = run_step ~chaos ~smoke ~requests ~seed:(11 + i) t g rate in
+            last_exposition := Some (Cgsim.Pool.metrics_exposition stats);
+            s
+        in
         Printf.printf "%9.0f %6d %6d %6d %10.1f %9.2f %9.2f %9.2f %9.2f %8d%s\n%!" s.rate_rps
           s.requests s.completed s.errors s.achieved_rps (s.p50_ns /. 1e6) (s.p99_ns /. 1e6)
           (s.p999_ns /. 1e6) (s.max_ns /. 1e6) s.retries
@@ -183,28 +313,34 @@ let run ?json ?metrics ?(smoke = false) ?(chaos = false)
         s)
       rates
   in
-  (match metrics, !last_stats with
-   | Some file, Some stats ->
+  (match metrics, !last_exposition with
+   | Some file, Some exposition ->
      (try
-        Out_channel.with_open_bin file (fun oc ->
-            Out_channel.output_string oc (Cgsim.Pool.metrics_exposition stats))
+        Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc exposition)
       with Sys_error msg ->
         Printf.eprintf "error: cannot write %s: %s\n" file msg;
         exit 1);
      Printf.printf "wrote Prometheus exposition (last step) to %s\n%!" file
-   | _ -> ());
+   | Some file, None ->
+     Printf.eprintf "error: no exposition collected for %s\n" file;
+     exit 1
+   | None, _ -> ());
   (match json with
    | None -> ()
    | Some file ->
      let doc =
        Obs.Json.Obj
          [
-           "schema", Obs.Json.Str "cgsim-bench-load/1";
+           "schema", Obs.Json.Str "cgsim-bench-load/2";
            "smoke", Obs.Json.Bool smoke;
            "chaos", Obs.Json.Bool chaos;
+           "remote", (match remote with Some a -> Obs.Json.Str a | None -> Obs.Json.Null);
            "warm", Obs.Json.Bool Cgsim.Run_config.default.Cgsim.Run_config.warm;
            "app", Obs.Json.Str t.Apps.Harness.name;
-           "domains", Obs.Json.Num (float_of_int domains);
+           "domains",
+           (match remote with
+            | Some _ -> Obs.Json.Null (* server-side; unknown to the client *)
+            | None -> Obs.Json.Num (float_of_int domains));
            "host_cores", Obs.Json.Num (float_of_int host_cores);
            "oversubscribed", Obs.Json.Bool (domains > host_cores);
            "requests_per_step", Obs.Json.Num (float_of_int requests);

@@ -9,20 +9,12 @@
 
    With no arguments all five run in order.
 
-   profile takes options:
-     --trace FILE   run under an obs session and write a Chrome
-                    trace-event JSON (Perfetto-loadable)
-     --json FILE    write per-app stats as machine-readable JSON
-     --smoke        reduced repetition counts (CI guard for the
-                    instrumentation hooks)
+   Options are parsed by the shared Cli module, so every subcommand
+   spells --json/--metrics/--schema/--smoke/--requests the same way:
 
-   micro takes options:
-     --json FILE    write estimates and the block-transfer, SPSC and
-                    fusion comparisons as machine-readable JSON
-     --smoke        reduced quotas and element counts for CI
-     --fuse on|off  run the warm-serving section with operator fusion
-                    enabled or disabled (default on); the fusion
-                    comparison section always measures both
+   profile [--trace FILE] [--json FILE] [--folded FILE] [--smoke]
+
+   micro [--json FILE] [--smoke] [--fuse on|off]
 
    serve benchmarks parallel request serving over Cgsim.Pool:
      --json FILE    write requests/sec + scaling per app as JSON
@@ -38,14 +30,20 @@
                     "cgsim-bench-chaos/1" and fails unless every fault
                     was absorbed (at least one by retry)
 
-   loadtest runs open-loop Poisson arrivals against Cgsim.Pool:
+   loadtest runs open-loop Poisson arrivals against Cgsim.Pool, or — with
+   --remote — against a running `cgx serve` daemon through Serve.Client:
      --json FILE    write p50/p99/p999 + error rate per rate step as
-                    JSON (schema "cgsim-bench-load/1")
+                    JSON (schema "cgsim-bench-load/2")
      --metrics FILE write the last step's Prometheus exposition
      --rates CSV    offered arrival rates in req/s (default 50,200,800)
      --requests N   requests per rate step
      --chaos        inject transient faults with retry supervision
+                    (in-process only; rejected with --remote)
+     --remote ADDR  drive a cgx serve daemon over its socket (unix:PATH
+                    or HOST:PORT), pipelined, measuring the network path
      --smoke        one low rate, few requests (CI)
+
+   fuzz [--json FILE] [--count N] [--smoke]
 
    check-json FILE [--schema NAME] parses FILE with the strict
    Obs.Json parser and requires a top-level object with a "schema"
@@ -60,25 +58,29 @@ let usage () =
     "usage: main.exe [table1|table2|table2-quick|profile [--trace FILE] [--json FILE] \
      [--folded FILE] [--smoke]|micro [--json FILE] [--smoke] [--fuse on|off]|serve [--json FILE] [--smoke] \
      [--domains CSV] [--requests N] [--warm on|off] [--chaos]|loadtest [--json FILE] [--metrics FILE] \
-     [--rates CSV] [--requests N] [--chaos] [--smoke]|ablation|fuzz [--json FILE] [--count N] \
-     [--smoke]|check-json FILE|check-prom FILE]...";
+     [--rates CSV] [--requests N] [--chaos] [--remote ADDR] [--smoke]|ablation|fuzz [--json FILE] [--count N] \
+     [--smoke]|check-json FILE [--schema NAME]|check-prom FILE]...";
   exit 2
 
 type action =
   | Table1
   | Table2
   | Table2_quick
-  | Profile of string option * string option * string option * bool
-      (* trace file, json file, folded file, smoke *)
-  | Micro of string option * bool * bool option  (* json file, smoke, fuse *)
-  | Serve of string option * bool * int list option * int option * bool option * bool
-      (* json file, smoke, domain counts, requests, warm, chaos *)
-  | Loadtest of string option * string option * bool * bool * float list option * int option
-      (* json file, metrics file, smoke, chaos, rates, requests *)
+  | Profile of Cli.opts
+  | Micro of Cli.opts
+  | Serve_pool of Cli.opts
+  | Loadtest of Cli.opts
   | Ablation
-  | Fuzz of string option * bool * int option  (* json file, smoke, count *)
+  | Fuzz of Cli.opts
   | Check_json of string * string option
   | Check_prom of string
+
+let parse_opts ~cmd ~accept rest k =
+  match Cli.parse ~cmd ~accept rest with
+  | Ok (opts, rest) -> k opts rest
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    usage ()
 
 let parse_actions args =
   let rec go = function
@@ -87,154 +89,38 @@ let parse_actions args =
     | "table2" :: rest -> Table2 :: go rest
     | "table2-quick" :: rest -> Table2_quick :: go rest
     | "micro" :: rest ->
-      let rec opts json smoke fuse = function
-        | "--json" :: file :: rest -> opts (Some file) smoke fuse rest
-        | "--json" :: [] ->
-          Printf.eprintf "--json needs a FILE argument\n";
-          usage ()
-        | "--smoke" :: rest -> opts json true fuse rest
-        | "--fuse" :: v :: rest when v = "on" || v = "off" ->
-          opts json smoke (Some (v = "on")) rest
-        | "--fuse" :: _ ->
-          Printf.eprintf "--fuse needs \"on\" or \"off\"\n";
-          usage ()
-        | rest -> Micro (json, smoke, fuse) :: go rest
-      in
-      opts None false None rest
+      parse_opts ~cmd:"micro" ~accept:[ "--json"; "--smoke"; "--fuse" ] rest (fun o rest ->
+          Micro o :: go rest)
     | "serve" :: rest ->
-      let parse_domains s =
-        match String.split_on_char ',' s |> List.map int_of_string_opt with
-        | exception _ -> None
-        | parts ->
-          let ds = List.filter_map Fun.id parts in
-          if List.length ds = List.length parts && ds <> [] && List.for_all (fun d -> d > 0) ds
-          then Some ds
-          else None
-      in
-      let rec opts json smoke doms reqs warm chaos = function
-        | "--json" :: file :: rest -> opts (Some file) smoke doms reqs warm chaos rest
-        | "--json" :: [] ->
-          Printf.eprintf "--json needs a FILE argument\n";
-          usage ()
-        | "--smoke" :: rest -> opts json true doms reqs warm chaos rest
-        | "--chaos" :: rest -> opts json smoke doms reqs warm true rest
-        | "--warm" :: v :: rest when v = "on" || v = "off" ->
-          opts json smoke doms reqs (Some (v = "on")) chaos rest
-        | "--warm" :: _ ->
-          Printf.eprintf "--warm needs \"on\" or \"off\"\n";
-          usage ()
-        | "--domains" :: csv :: rest ->
-          (match parse_domains csv with
-           | Some ds -> opts json smoke (Some ds) reqs warm chaos rest
-           | None ->
-             Printf.eprintf "--domains needs a CSV of positive ints (e.g. 1,2,4)\n";
-             usage ())
-        | "--domains" :: [] ->
-          Printf.eprintf "--domains needs a CSV argument\n";
-          usage ()
-        | "--requests" :: n :: rest ->
-          (match int_of_string_opt n with
-           | Some r when r > 0 -> opts json smoke doms (Some r) warm chaos rest
-           | _ ->
-             Printf.eprintf "--requests needs a positive integer\n";
-             usage ())
-        | "--requests" :: [] ->
-          Printf.eprintf "--requests needs an argument\n";
-          usage ()
-        | rest -> Serve (json, smoke, doms, reqs, warm, chaos) :: go rest
-      in
-      opts None false None None None false rest
+      parse_opts ~cmd:"serve"
+        ~accept:[ "--json"; "--smoke"; "--chaos"; "--warm"; "--domains"; "--requests" ]
+        rest
+        (fun o rest -> Serve_pool o :: go rest)
     | "ablation" :: rest -> Ablation :: go rest
     | "fuzz" :: rest ->
-      let rec opts json smoke count = function
-        | "--json" :: file :: rest -> opts (Some file) smoke count rest
-        | "--json" :: [] ->
-          Printf.eprintf "--json needs a FILE argument\n";
-          usage ()
-        | "--smoke" :: rest -> opts json true count rest
-        | "--count" :: n :: rest ->
-          (match int_of_string_opt n with
-           | Some c when c > 0 -> opts json smoke (Some c) rest
-           | _ ->
-             Printf.eprintf "--count needs a positive integer\n";
-             usage ())
-        | "--count" :: [] ->
-          Printf.eprintf "--count needs an argument\n";
-          usage ()
-        | rest -> Fuzz (json, smoke, count) :: go rest
-      in
-      opts None false None rest
+      parse_opts ~cmd:"fuzz" ~accept:[ "--json"; "--smoke"; "--count" ] rest (fun o rest ->
+          Fuzz o :: go rest)
     | "loadtest" :: rest ->
-      let parse_rates s =
-        match String.split_on_char ',' s |> List.map float_of_string_opt with
-        | exception _ -> None
-        | parts ->
-          let rs = List.filter_map Fun.id parts in
-          if List.length rs = List.length parts && rs <> [] && List.for_all (fun r -> r > 0.) rs
-          then Some rs
-          else None
-      in
-      let rec opts json metrics smoke chaos rates reqs = function
-        | "--json" :: file :: rest -> opts (Some file) metrics smoke chaos rates reqs rest
-        | "--json" :: [] ->
-          Printf.eprintf "--json needs a FILE argument\n";
-          usage ()
-        | "--metrics" :: file :: rest -> opts json (Some file) smoke chaos rates reqs rest
-        | "--metrics" :: [] ->
-          Printf.eprintf "--metrics needs a FILE argument\n";
-          usage ()
-        | "--smoke" :: rest -> opts json metrics true chaos rates reqs rest
-        | "--chaos" :: rest -> opts json metrics smoke true rates reqs rest
-        | "--rates" :: csv :: rest ->
-          (match parse_rates csv with
-           | Some rs -> opts json metrics smoke chaos (Some rs) reqs rest
-           | None ->
-             Printf.eprintf "--rates needs a CSV of positive numbers (e.g. 50,200,800)\n";
-             usage ())
-        | "--rates" :: [] ->
-          Printf.eprintf "--rates needs a CSV argument\n";
-          usage ()
-        | "--requests" :: n :: rest ->
-          (match int_of_string_opt n with
-           | Some r when r > 0 -> opts json metrics smoke chaos rates (Some r) rest
-           | _ ->
-             Printf.eprintf "--requests needs a positive integer\n";
-             usage ())
-        | "--requests" :: [] ->
-          Printf.eprintf "--requests needs an argument\n";
-          usage ()
-        | rest -> Loadtest (json, metrics, smoke, chaos, rates, reqs) :: go rest
-      in
-      opts None None false false None None rest
+      parse_opts ~cmd:"loadtest"
+        ~accept:[ "--json"; "--metrics"; "--smoke"; "--chaos"; "--rates"; "--requests"; "--remote" ]
+        rest
+        (fun o rest -> Loadtest o :: go rest)
     | "profile" :: rest ->
-      let rec opts trace json folded smoke = function
-        | "--trace" :: file :: rest -> opts (Some file) json folded smoke rest
-        | "--trace" :: [] ->
-          Printf.eprintf "--trace needs a FILE argument\n";
-          usage ()
-        | "--json" :: file :: rest -> opts trace (Some file) folded smoke rest
-        | "--json" :: [] ->
-          Printf.eprintf "--json needs a FILE argument\n";
-          usage ()
-        | "--folded" :: file :: rest -> opts trace json (Some file) smoke rest
-        | "--folded" :: [] ->
-          Printf.eprintf "--folded needs a FILE argument\n";
-          usage ()
-        | "--smoke" :: rest -> opts trace json folded true rest
-        | rest -> Profile (trace, json, folded, smoke) :: go rest
-      in
-      opts None None None false rest
-    | "check-json" :: file :: "--schema" :: name :: rest ->
-      Check_json (file, Some name) :: go rest
-    | "check-json" :: "--schema" :: _ ->
-      Printf.eprintf "check-json needs the FILE before --schema\n";
-      usage ()
-    | "check-json" :: file :: rest -> Check_json (file, None) :: go rest
-    | "check-json" :: [] ->
-      Printf.eprintf "check-json needs a FILE argument\n";
-      usage ()
-    | "check-prom" :: file :: rest -> Check_prom file :: go rest
-    | "check-prom" :: [] ->
+      parse_opts ~cmd:"profile" ~accept:[ "--trace"; "--json"; "--folded"; "--smoke" ] rest
+        (fun o rest -> Profile o :: go rest)
+    | "check-json" :: rest ->
+      (* The file may come before or after --schema. *)
+      parse_opts ~cmd:"check-json" ~accept:[ "--schema" ] rest (fun o rest ->
+          match rest with
+          | file :: rest ->
+            parse_opts ~cmd:"check-json" ~accept:[ "--schema" ] rest (fun o2 rest ->
+                let schema = match o2.Cli.schema with Some _ as s -> s | None -> o.Cli.schema in
+                Check_json (file, schema) :: go rest)
+          | [] ->
+            Printf.eprintf "check-json needs a FILE argument\n";
+            usage ())
+    | "check-prom" :: file :: rest when file <> "--schema" -> Check_prom file :: go rest
+    | "check-prom" :: _ ->
       Printf.eprintf "check-prom needs a FILE argument\n";
       usage ()
     | other :: _ ->
@@ -281,15 +167,19 @@ let run = function
   | Table1 -> Table1.run ()
   | Table2 -> Table2.run ()
   | Table2_quick -> Table2.run ~scale:0.5 ()
-  | Profile (trace, json, folded, smoke) -> Profile.run ?trace ?json ?folded ~smoke ()
-  | Micro (json, smoke, fuse) -> Micro.run ?json ~smoke ?fuse ()
-  | Serve (json, smoke, domains, requests, warm, chaos) ->
-    if chaos then Serve.run_chaos ?json ~smoke ?requests ()
-    else Serve.run ?json ~smoke ?domains ?requests ?warm ()
-  | Loadtest (json, metrics, smoke, chaos, rates, requests) ->
-    Loadtest.run ?json ?metrics ~smoke ~chaos ?rates ?requests ()
+  | Profile o ->
+    Profile.run ?trace:o.Cli.trace ?json:o.Cli.json ?folded:o.Cli.folded ~smoke:o.Cli.smoke ()
+  | Micro o -> Micro.run ?json:o.Cli.json ~smoke:o.Cli.smoke ?fuse:o.Cli.fuse ()
+  | Serve_pool o ->
+    if o.Cli.chaos then Serve_bench.run_chaos ?json:o.Cli.json ~smoke:o.Cli.smoke ?requests:o.Cli.requests ()
+    else
+      Serve_bench.run ?json:o.Cli.json ~smoke:o.Cli.smoke ?domains:o.Cli.domains
+        ?requests:o.Cli.requests ?warm:o.Cli.warm ()
+  | Loadtest o ->
+    Loadtest.run ?json:o.Cli.json ?metrics:o.Cli.metrics ~smoke:o.Cli.smoke ~chaos:o.Cli.chaos
+      ?rates:o.Cli.rates ?requests:o.Cli.requests ?remote:o.Cli.remote ()
   | Ablation -> Ablation.run ()
-  | Fuzz (json, smoke, count) -> Fuzz.run ?json ~smoke ?count ()
+  | Fuzz o -> Fuzz.run ?json:o.Cli.json ~smoke:o.Cli.smoke ?count:o.Cli.count ()
   | Check_json (file, expect) -> check_json ?expect file
   | Check_prom file -> check_prom file
 

@@ -1,59 +1,20 @@
-(* cgx — the cgsim compute-graph extractor command-line tool.
+(* cgx — the cgsim compute-graph extractor and serving command-line tool.
 
    Mirrors the paper's source-to-source translation workflow (Figure 5):
    point it at a C++ (CGC) file containing cgsim graph prototypes and it
-   emits one deployable AIE project per extractable graph.
+   emits one deployable AIE project per extractable graph.  Beyond the
+   offline workflow, `serve` exposes the warm-pool runtime behind a
+   socket and `request` is its client.
 
      cgx extract examples/cgc/farrow.cgc -o out/
      cgx inspect examples/cgc/farrow.cgc
-     cgx simulate examples/cgc/bitonic.cgc          # aiesim, thunk model *)
+     cgx simulate examples/cgc/bitonic.cgc          # aiesim, thunk model
+     cgx serve --listen unix:/tmp/cgx.sock &
+     cgx request --connect unix:/tmp/cgx.sock --app farrow *)
 
 open Cmdliner
 
-let input_arg =
-  Arg.(
-    required
-    & pos 0 (some file) None
-    & info [] ~docv:"FILE" ~doc:"C++ source file containing cgsim compute graphs.")
-
-let include_dirs_arg =
-  Arg.(
-    value & opt_all dir []
-    & info [ "I"; "include" ] ~docv:"DIR" ~doc:"Additional include directory.")
-
-let all_graphs_arg =
-  Arg.(
-    value & flag
-    & info [ "a"; "all-graphs" ]
-        ~doc:
-          "Extract every graph, not only those annotated \
-           [[extract_compute_graph]].")
-
-let out_dir_arg =
-  Arg.(
-    value & opt string "extracted"
-    & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory for generated projects.")
-
-let handle_errors f =
-  try f () with
-  | Cgc.Diag.Error (range, msg) ->
-    Printf.eprintf "%s\n" (Cgc.Diag.to_string range msg);
-    exit 1
-  | Cgc.Sema.Sema_error (range, msg) ->
-    Printf.eprintf "%s\n" (Cgc.Diag.to_string range msg);
-    exit 1
-  | Cgc.Consteval.Eval_error (range, msg) ->
-    Printf.eprintf "%s\n" (Cgc.Diag.to_string range msg);
-    exit 1
-  | Cgc.Driver.Driver_error msg | Extractor.Project.Extract_error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
-  | Sys_error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
-  | Aiesim.Sim.Sim_error msg | Cgsim.Runtime.Runtime_error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
+let handle_errors = Cgx_args.handle_errors
 
 let extract_cmd =
   let run input include_dirs all_graphs out_dir =
@@ -68,7 +29,8 @@ let extract_cmd =
   in
   Cmd.v
     (Cmd.info "extract" ~doc:"Extract compute graphs into deployable AIE projects.")
-    Term.(const run $ input_arg $ include_dirs_arg $ all_graphs_arg $ out_dir_arg)
+    Term.(
+      const run $ Cgx_args.input $ Cgx_args.include_dirs $ Cgx_args.all_graphs $ Cgx_args.out_dir)
 
 let dot_arg =
   Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot instead of the text summary.")
@@ -91,7 +53,7 @@ let inspect_cmd =
   in
   Cmd.v
     (Cmd.info "inspect" ~doc:"Show the serialized graphs and port classification of a file.")
-    Term.(const run $ input_arg $ include_dirs_arg $ all_graphs_arg $ dot_arg)
+    Term.(const run $ Cgx_args.input $ Cgx_args.include_dirs $ Cgx_args.all_graphs $ dot_arg)
 
 let dump_cmd =
   let run input include_dirs all_graphs =
@@ -105,12 +67,7 @@ let dump_cmd =
     (Cmd.info "dump"
        ~doc:
          "Print the flattened serialized graphs in the textual graph format (the on-disk           analogue of the constexpr graph variable).")
-    Term.(const run $ input_arg $ include_dirs_arg $ all_graphs_arg)
-
-let json_arg =
-  Arg.(
-    value & flag
-    & info [ "json" ] ~doc:"Emit findings as a JSON document (schema cgsim-lint/2).")
+    Term.(const run $ Cgx_args.input $ Cgx_args.include_dirs $ Cgx_args.all_graphs)
 
 let suggest_capacities_arg =
   Arg.(
@@ -122,12 +79,6 @@ let suggest_capacities_arg =
            every under-buffered cycle net, as net-id/depth pairs ready to apply (the same \
            depths Run_config.auto_capacity applies automatically).  With $(b,--json) the \
            pairs populate the suggested_capacities field.")
-
-let graph_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "g"; "graph" ] ~docv:"NAME" ~doc:"Lint only the graph named NAME.")
 
 let lint_cmd =
   let run input include_dirs json graph_name suggest =
@@ -204,40 +155,8 @@ let lint_cmd =
           capacity-aware deadlock detection, capacity synthesis, throughput bounds, \
           fan-out/settings hazards, pool safety.")
     Term.(
-      const run $ input_arg $ include_dirs_arg $ json_arg $ graph_arg $ suggest_capacities_arg)
-
-let reps_arg =
-  Arg.(value & opt int 8 & info [ "r"; "reps" ] ~docv:"N" ~doc:"Input blocks to simulate.")
-
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:
-          "Write an execution trace of the simulation.  FILE ending in .json gets the full \
-           Chrome trace-event form (capture-phase scheduler/queue activity plus the replay \
-           timeline; open in Perfetto); any other extension gets the CSV iteration timeline.")
-
-let deadline_arg =
-  Arg.(
-    value
-    & opt (some float) None
-    & info [ "deadline-ms" ] ~docv:"MS"
-        ~doc:
-          "Wall-clock budget for the functional capture phase of each simulated graph.  A \
-           stalled or divergent graph is stopped at the budget and reported as an error \
-           naming the parked kernels, instead of hanging the command.")
-
-let metrics_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "metrics" ] ~docv:"FILE"
-        ~doc:
-          "Write the simulation's aggregate metrics (per-port element counters, per-kernel \
-           self-time histograms, scheduler/queue latencies) as Prometheus text exposition \
-           (format 0.0.4) to FILE.")
+      const run $ Cgx_args.input $ Cgx_args.include_dirs $ Cgx_args.json $ Cgx_args.graph
+      $ suggest_capacities_arg)
 
 let simulate_cmd =
   let run input include_dirs all_graphs reps trace deadline_ms metrics =
@@ -313,12 +232,176 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Extract and run on the cycle-approximate AIE simulator (known workloads only).")
     Term.(
-      const run $ input_arg $ include_dirs_arg $ all_graphs_arg $ reps_arg $ trace_arg
-      $ deadline_arg $ metrics_arg)
+      const run $ Cgx_args.input $ Cgx_args.include_dirs $ Cgx_args.all_graphs $ Cgx_args.reps
+      $ Cgx_args.trace $ Cgx_args.deadline_ms $ Cgx_args.metrics)
+
+(* ------------------------------------------------------------------ *)
+(* serve / request                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_addr s =
+  match Serve.Addr.parse s with
+  | Ok a -> a
+  | Error m ->
+    Printf.eprintf "error: %s\n" m;
+    exit 2
+
+let builtin_graphs () =
+  List.map (fun h -> h.Apps.Harness.name, h.Apps.Harness.graph ()) Apps.Harness.all
+
+let stats_interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stats-interval" ] ~docv:"SECONDS"
+        ~doc:"Print a one-line serving summary to stderr every SECONDS seconds.")
+
+let extra_graph_files_arg =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Additional CGC source files whose extracted graphs are served alongside the four \
+           built-in paper applications.")
+
+let serve_cmd =
+  let run listen domains include_dirs files deadline_ms retries breaker stats_interval =
+    handle_errors (fun () ->
+        let addr = parse_addr listen in
+        let extracted =
+          List.concat_map
+            (fun f ->
+              let ps = Extractor.Project.extract_file ~include_dirs ~all_graphs:true f in
+              List.map
+                (fun p -> p.Extractor.Project.graph_name, p.Extractor.Project.serialized)
+                ps)
+            files
+        in
+        let graphs = builtin_graphs () @ extracted in
+        let config =
+          let open Cgsim.Run_config in
+          let c = with_retries retries default in
+          let c = match deadline_ms with Some ms -> with_deadline_ms ms c | None -> c in
+          match breaker with Some n -> with_breaker n c | None -> c
+        in
+        let server =
+          Serve.Server.create ~config ?stats_interval_s:stats_interval ~graphs ~domains
+            ~listen:addr ()
+        in
+        Serve.Server.install_signal_handlers server;
+        Printf.eprintf "[cgx serve] listening on %s (%d domains, %d graphs)\n%!"
+          (Serve.Addr.to_string addr) domains (List.length graphs);
+        Serve.Server.serve server;
+        Printf.eprintf "[cgx serve] drained after %d requests\n%!" (Serve.Server.served server))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve compute graphs over a socket: a long-lived daemon owning a warm instance pool, \
+          speaking the versioned cgx-serve/1 length-prefixed JSON protocol.  SIGTERM drains \
+          gracefully: in-flight requests complete and their replies are written before exit.")
+    Term.(
+      const run $ Cgx_args.listen $ Cgx_args.domains $ Cgx_args.include_dirs
+      $ extra_graph_files_arg $ Cgx_args.deadline_ms $ Cgx_args.retries $ Cgx_args.breaker
+      $ stats_interval_arg)
+
+let app_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "app" ] ~docv:"NAME"
+        ~doc:"Run one of the built-in paper applications (bitonic, farrow, iir, bilinear).")
+
+let ping_arg = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe; print the round-trip time.")
+
+let drain_source src =
+  let pull = Cgsim.Io.source_pull src in
+  let rec go acc =
+    match pull () with
+    | Some v -> go (v :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let request_app client name reps seed deadline_ms =
+  match Apps.Harness.find name with
+  | None ->
+    Printf.eprintf "error: unknown app %S (expected bitonic, farrow, iir or bilinear)\n" name;
+    exit 2
+  | Some h ->
+    let inputs = List.map drain_source (h.Apps.Harness.sources ~reps) in
+    (match Serve.Client.run client ?deadline_ms ?seed ~graph:name inputs with
+     | Error m ->
+       Printf.eprintf "error: %s\n" m;
+       exit 1
+     | Ok rp -> (
+       match rp.Serve.Wire.rp_outcome with
+       | Serve.Wire.Completed outputs ->
+         let primary = match outputs with o :: _ -> o | [] -> [] in
+         (match h.Apps.Harness.check ~reps primary with
+          | Ok () ->
+            Printf.printf
+              "graph %s: completed, %d output elements in %.3f ms server time (run %.3f ms, %d \
+               attempt(s), domain %d); output check passed\n"
+              name (List.length primary)
+              (rp.Serve.Wire.rp_server_ns /. 1e6)
+              (rp.Serve.Wire.rp_run_ns /. 1e6)
+              rp.Serve.Wire.rp_attempts rp.Serve.Wire.rp_domain
+          | Error m ->
+            Printf.eprintf "graph %s: completed but output check failed: %s\n" name m;
+            exit 1)
+       | other ->
+         Printf.eprintf "graph %s: %s (%d attempt(s))\n" name
+           (Serve.Wire.run_outcome_label other)
+           rp.Serve.Wire.rp_attempts;
+         exit 1))
+
+let request_cmd =
+  let run connect app reps seed deadline_ms metrics ping =
+    handle_errors (fun () ->
+        let addr = parse_addr connect in
+        let client = Serve.Client.connect ~retries:10 addr in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close client)
+          (fun () ->
+            if ping then (
+              match Serve.Client.ping client with
+              | Ok rtt_ns -> Printf.printf "pong in %.3f ms\n" (rtt_ns /. 1e6)
+              | Error m ->
+                Printf.eprintf "error: %s\n" m;
+                exit 1)
+            else
+              match metrics with
+              | Some file -> (
+                match Serve.Client.metrics client with
+                | Ok body ->
+                  Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc body);
+                  Printf.printf "wrote Prometheus exposition to %s\n" file
+                | Error m ->
+                  Printf.eprintf "error: %s\n" m;
+                  exit 1)
+              | None -> (
+                match app with
+                | Some name -> request_app client name reps seed deadline_ms
+                | None ->
+                  Printf.eprintf "error: one of --app, --metrics or --ping is required\n";
+                  exit 2)))
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running $(b,cgx serve) daemon: run a built-in app and check its \
+          outputs against the golden reference, dump the server's /metrics exposition, or ping.")
+    Term.(
+      const run $ Cgx_args.connect $ app_arg $ Cgx_args.reps $ Cgx_args.seed
+      $ Cgx_args.deadline_ms $ Cgx_args.metrics $ ping_arg)
 
 let () =
   let info =
     Cmd.info "cgx" ~version:"1.0.0"
       ~doc:"Compute-graph extractor for cgsim prototypes targeting AMD Versal AI Engines"
   in
-  exit (Cmd.eval (Cmd.group info [ extract_cmd; inspect_cmd; dump_cmd; lint_cmd; simulate_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ extract_cmd; inspect_cmd; dump_cmd; lint_cmd; simulate_cmd; serve_cmd; request_cmd ]))

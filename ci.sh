@@ -100,7 +100,7 @@ LOAD_PROM=$(mktemp -t ci-load-XXXXXX.prom)
 trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$FUZZ_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM"' EXIT
 # Open-loop arrivals against the pool under a transient-fault plan with
 # retries; exits nonzero if nothing completed or chaos never forced a
-# retry.  Schema cgsim-bench-load/1.
+# retry.  Schema cgsim-bench-load/2.
 dune exec bench/main.exe -- loadtest --smoke --chaos --json "$LOAD_JSON" --metrics "$LOAD_PROM"
 test -s "$LOAD_JSON" || { echo "ci: loadtest JSON is empty" >&2; exit 1; }
 dune exec bench/main.exe -- check-json "$LOAD_JSON"
@@ -109,9 +109,39 @@ dune exec bench/main.exe -- check-json "$LOAD_JSON"
 test -s "$LOAD_PROM" || { echo "ci: loadtest exposition is empty" >&2; exit 1; }
 dune exec bench/main.exe -- check-prom "$LOAD_PROM"
 
+echo "== serve daemon smoke (cgx serve over a Unix socket, wire protocol cgx-serve/1) =="
+SERVE_SOCK=$(mktemp -u -t ci-serve-XXXXXX.sock)
+DAEMON_PROM=$(mktemp -t ci-daemon-XXXXXX.prom)
+REMOTE_JSON=$(mktemp -t ci-remote-XXXXXX.json)
+SERVE_PID=""
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$FUZZ_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM" "$DAEMON_PROM" "$REMOTE_JSON" "$SERVE_SOCK"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+# Launch the daemon binary directly — not through dune exec — so the
+# SIGTERM at the end reaches cgx itself and the drain path is what is
+# actually tested.  Every built-in app round-trips through `cgx
+# request`, which checks the served output against the golden reference
+# and exits nonzero on any mismatch; the daemon's /metrics dump must
+# validate with the strict Obs.Prom parser; the open-loop loadtest runs
+# the same Poisson sweep remotely through the socket.
+dune build bin/cgx.exe bench/main.exe
+./_build/default/bin/cgx.exe serve --listen "unix:$SERVE_SOCK" --domains 2 &
+SERVE_PID=$!
+for app in bitonic farrow iir bilinear; do
+  ./_build/default/bin/cgx.exe request --connect "unix:$SERVE_SOCK" --app "$app"
+done
+./_build/default/bin/cgx.exe request --connect "unix:$SERVE_SOCK" --metrics "$DAEMON_PROM"
+test -s "$DAEMON_PROM" || { echo "ci: daemon exposition is empty" >&2; exit 1; }
+dune exec bench/main.exe -- check-prom "$DAEMON_PROM"
+./_build/default/bench/main.exe loadtest --smoke --remote "unix:$SERVE_SOCK" --json "$REMOTE_JSON"
+dune exec bench/main.exe -- check-json "$REMOTE_JSON" --schema cgsim-bench-load/2
+# Graceful drain: SIGTERM must complete in-flight work and exit 0.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "ci: serve daemon did not drain cleanly on SIGTERM" >&2; exit 1; }
+SERVE_PID=""
+echo "serve daemon OK: clean SIGTERM drain"
+
 echo "== cgx --metrics smoke (Prometheus exposition from the extractor CLI) =="
 CGX_PROM=$(mktemp -t ci-cgx-XXXXXX.prom)
-trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$FUZZ_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM" "$CGX_PROM"' EXIT
+trap 'rm -f "$TRACE" "$MICRO_JSON" "$LINT_JSON" "$FUZZ_JSON" "$SERVE_COLD_JSON" "$SERVE_WARM_JSON" "$CHAOS_JSON" "$LOAD_JSON" "$LOAD_PROM" "$DAEMON_PROM" "$REMOTE_JSON" "$SERVE_SOCK" "$CGX_PROM"' EXIT
 dune exec bin/cgx.exe -- simulate examples/cgc/bitonic.cgc --reps 4 --metrics "$CGX_PROM"
 test -s "$CGX_PROM" || { echo "ci: cgx exposition is empty" >&2; exit 1; }
 dune exec bench/main.exe -- check-prom "$CGX_PROM"

@@ -7,9 +7,10 @@ type request_result = {
   shed : bool;
   req_wall_ns : float;
   req_latency_ns : float;
-      (* closed loop: service time (= req_wall_ns); open loop (run with
-         ~arrivals): completion minus scheduled arrival, so time spent
-         waiting for a free domain counts — the latency a client sees *)
+      (* without a scheduled arrival: service time (= req_wall_ns); with
+         one (submit ~not_before_ns / run ~arrivals): completion minus
+         scheduled arrival, so time spent waiting for a free domain
+         counts — the latency a client sees *)
 }
 
 type outcome_counts = {
@@ -19,28 +20,6 @@ type outcome_counts = {
   n_failed : int;
   n_shed : int;
   n_retried_ok : int;  (* completed on a retry attempt *)
-}
-
-type stats = {
-  domains : int;
-  requests : int;
-  results : request_result array;
-  steals : int;
-  retries : int;
-  warm_hits : int;
-  cold_builds : int;
-  batched : int;
-  breaker_tripped : bool;
-  counts : outcome_counts;
-  wall_ns : float;
-  metrics : Obs.Metrics.snapshot;
-      (* always-on pool metrics: request-latency HDR histogram
-         ("pool.request", per-domain recorders merged at join), outcome
-         counters, steal/retry/warm/batch totals — populated with
-         tracing off *)
-  breaker_flight : Obs.Flight.entry list;
-      (* flight-recorder window from the domain that opened the circuit
-         breaker, oldest first; [] when the breaker never tripped *)
 }
 
 let count_outcomes results =
@@ -86,7 +65,9 @@ let next_unit_float st =
    [cache_entries] distinct (graph, config) pairs, least-recently-used
    evicted, and at most [instances_per_entry] idle instances parked per
    entry — a poisoned instance (reset failed) is simply dropped, which
-   is the eviction path for broken state. *)
+   is the eviction path for broken state.  Compilation caching serves
+   the cold path too (a cold config still resolves here); only the idle
+   instance list is warm-only. *)
 
 (* Run_config compatibility for cache keying.  Scalar knobs compare
    structurally; hooks and fault plans compare physically (closures have
@@ -178,65 +159,633 @@ let acquire_entry g config =
     entry
 
 (* ------------------------------------------------------------------ *)
-(* Work deques                                                         *)
+(* The persistent pool                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Per-domain work deque over a fixed population of request ids.  All
-   items are seeded before any domain starts and nothing is ever pushed
-   back, so the structure only shrinks: a mutex per deque is plenty, and
-   "every deque observed empty" is a sound termination condition.  The
-   owner pops the bottom (LIFO over its own seed order keeps it on the
-   requests it was dealt last), thieves take the top — the classic
-   work-stealing discipline, minus the lock-free heroics that a
-   requests-scale workload (each item is a whole graph simulation)
-   cannot measure. *)
-type deque = {
-  items : int array;
-  mutable top : int;  (* next index thieves take *)
-  mutable bot : int;  (* one past the owner's end *)
-  lock : Mutex.t;
+type handle = {
+  h_id : int;
+  h_lock : Mutex.t;
+  h_cond : Condition.t;
+  mutable h_result : request_result option;
+  mutable h_cancelled : bool;  (* cooperative cancel requested *)
+  mutable h_running : Runtime.t option;  (* instance executing this request *)
 }
 
-let deque_of_list ids =
-  let items = Array.of_list ids in
-  { items; top = 0; bot = Array.length items; lock = Mutex.create () }
+type pending = {
+  pr_handle : handle;
+  pr_graph : Serialized.t;
+  pr_config : Run_config.t;
+  pr_compiled : Runtime.compiled;
+  pr_entry : cache_entry option;  (* Some = warm instance reuse *)
+  pr_batchable : bool;  (* eligible for multiplexed batch runs *)
+  pr_arrival : float option;  (* absolute Clock.now_ns instant *)
+  pr_io : int -> Io.source list * Io.sink list;
+  pr_on_complete : (request_result -> unit) option;
+}
 
-let with_lock d f =
-  Mutex.lock d.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock d.lock) f
+type t = {
+  p_config : Run_config.t;
+  p_domains : int;
+  p_lock : Mutex.t;
+  p_cond : Condition.t;
+  p_queues : pending Queue.t array;  (* per-domain FIFO, under p_lock *)
+  mutable p_stop : bool;  (* no new submits; workers drain then exit *)
+  mutable p_next_id : int;
+  mutable p_queued : int;
+  mutable p_joined : bool;
+  mutable p_workers : unit Domain.t array;
+  p_t0 : float;
+  p_gc : Gc.control;
+  p_executing : int Atomic.t;
+  p_served : int Atomic.t;
+  p_steals : int Atomic.t;
+  p_retries : int Atomic.t;
+  p_warm_hits : int Atomic.t;
+  p_cold_builds : int Atomic.t;
+  p_batched : int Atomic.t;
+  (* final-outcome tallies, keyed like Runtime.outcome_label *)
+  p_completed : int Atomic.t;
+  p_deadline : int Atomic.t;  (* wall-clock deadline *)
+  p_max_steps : int Atomic.t;  (* fuel exhausted *)
+  p_cancelled : int Atomic.t;
+  p_failed : int Atomic.t;
+  p_shed : int Atomic.t;
+  p_retried_ok : int Atomic.t;
+  p_consec_failures : int Atomic.t;
+  p_breaker_tripped : bool Atomic.t;
+  p_breaker_flight : Obs.Flight.entry list ref;
+  (* one latency recorder per domain: recording stays lock-free on the
+     serving path, merging is the cross-domain HDR aggregation story *)
+  p_lat_hdrs : Obs.Hdr.t array;
+}
 
-let pop_bottom d =
-  with_lock d (fun () ->
-      if d.top < d.bot then begin
-        d.bot <- d.bot - 1;
-        Some d.items.(d.bot)
+let handle_id h = h.h_id
+
+let breaker_open pool =
+  match pool.p_config.Run_config.breaker_threshold with
+  | None -> false
+  | Some th -> Atomic.get pool.p_consec_failures >= th
+
+let pending pool =
+  Mutex.lock pool.p_lock;
+  let queued = pool.p_queued in
+  Mutex.unlock pool.p_lock;
+  queued + Atomic.get pool.p_executing
+
+let served pool = Atomic.get pool.p_served
+
+(* Publish a request's final result: wake awaiters, bump the tallies,
+   run the completion callback (on this worker domain). *)
+let record_result pool (p : pending) (res : request_result) =
+  let h = p.pr_handle in
+  Mutex.lock h.h_lock;
+  h.h_result <- Some res;
+  h.h_running <- None;
+  Condition.broadcast h.h_cond;
+  Mutex.unlock h.h_lock;
+  (if res.shed then Atomic.incr pool.p_shed
+   else
+     match res.outcome with
+     | Runtime.Completed _ ->
+       Atomic.incr pool.p_completed;
+       if res.attempts > 1 then Atomic.incr pool.p_retried_ok
+     | Runtime.Deadline_exceeded pr ->
+       (match pr.Runtime.p_reason with
+        | `Wall_clock -> Atomic.incr pool.p_deadline
+        | `Max_steps -> Atomic.incr pool.p_max_steps)
+     | Runtime.Cancelled -> Atomic.incr pool.p_cancelled
+     | Runtime.Kernel_failed _ -> Atomic.incr pool.p_failed);
+  Atomic.incr pool.p_served;
+  Atomic.decr pool.p_executing;
+  match p.pr_on_complete with
+  | None -> ()
+  | Some f -> ( try f res with _ -> ())
+
+(* Instance acquisition: pop a reset instance from the warm entry, or
+   build a fresh one (the cold path — also the warm pool's fill path).
+   Release resets and parks the instance for the next request; an
+   instance whose reset fails is dropped, never reused. *)
+let acquire pool (p : pending) =
+  match p.pr_entry with
+  | Some e ->
+    Mutex.lock e.e_lock;
+    (match e.e_free with
+     | inst :: rest ->
+       e.e_free <- rest;
+       Mutex.unlock e.e_lock;
+       Atomic.incr pool.p_warm_hits;
+       if !Obs.Trace.on then Obs.Trace.incr_metric "pool.warm_hit";
+       inst
+     | [] ->
+       Mutex.unlock e.e_lock;
+       Atomic.incr pool.p_cold_builds;
+       Runtime.new_instance p.pr_compiled)
+  | None ->
+    Atomic.incr pool.p_cold_builds;
+    Runtime.new_instance p.pr_compiled
+
+let release (p : pending) inst =
+  match p.pr_entry with
+  | None -> ()
+  | Some e ->
+    (match Runtime.reset inst with
+     | () ->
+       Mutex.lock e.e_lock;
+       if List.length e.e_free < instances_per_entry then e.e_free <- inst :: e.e_free;
+       Mutex.unlock e.e_lock
+     | exception _ -> () (* poisoned: evict by dropping *))
+
+(* First domain to observe the open circuit dumps its flight window:
+   the events leading up to the failure streak. *)
+let note_breaker_trip pool gname =
+  if not (Atomic.exchange pool.p_breaker_tripped true) then begin
+    Obs.Flight.note Obs.Flight.Breaker gname;
+    pool.p_breaker_flight := Obs.Flight.snapshot ();
+    if !Obs.Trace.on then Obs.Trace.instant ~track:"pool" ~cat:"pool" "breaker-open"
+  end
+
+let shed_result ~domain ~stolen (p : pending) =
+  {
+    req_id = p.pr_handle.h_id;
+    domain;
+    stolen;
+    outcome = Runtime.Cancelled;
+    attempts = 0;
+    shed = true;
+    req_wall_ns = 0.;
+    req_latency_ns = 0.;
+  }
+
+let execute pool ~domain ~stolen (p : pending) =
+  let r = p.pr_handle.h_id in
+  let config = p.pr_config in
+  let gname = p.pr_graph.Serialized.gname in
+  if p.pr_handle.h_cancelled then
+    (* Cancelled while queued: never executes, zero attempts. *)
+    record_result pool p
+      { req_id = r; domain; stolen; outcome = Runtime.Cancelled; attempts = 0; shed = false;
+        req_wall_ns = 0.; req_latency_ns = 0. }
+  else if breaker_open pool then begin
+    note_breaker_trip pool gname;
+    if !Obs.Trace.on then Obs.Trace.incr_metric "pool.shed";
+    record_result pool p (shed_result ~domain ~stolen p)
+  end
+  else begin
+    (* Open loop: wait out this request's scheduled arrival, then count
+       latency from the arrival instant, so any backlog the pool built
+       up is charged to the requests that queued behind it. *)
+    let arrival_abs =
+      match p.pr_arrival with
+      | Some target ->
+        let wait = target -. Obs.Clock.now_ns () in
+        if wait > 0.0 then Unix.sleepf (wait /. 1e9);
+        target
+      | None -> 0.0
+    in
+    let t0 = Obs.Clock.now_ns () in
+    Obs.Flight.note Obs.Flight.Request ~arg:(float_of_int r) gname;
+    let jitter = jitter_state ~seed:config.Run_config.seed ~req:r in
+    let prev_backoff = ref config.Run_config.retry_base_ns in
+    let backoff () =
+      let base = config.Run_config.retry_base_ns in
+      if base > 0. then begin
+        (* Decorrelated jitter: sleep in [base, min(cap, 3*prev)],
+           uniformly — retries from concurrent domains desynchronise
+           instead of hammering in lockstep. *)
+        let hi = Float.min config.Run_config.retry_cap_ns (Float.max base (!prev_backoff *. 3.)) in
+        let sleep = base +. (next_unit_float jitter *. (hi -. base)) in
+        prev_backoff := sleep;
+        Unix.sleepf (sleep /. 1e9)
       end
-      else None)
+    in
+    let run_once attempt =
+      let a0 = Obs.Clock.now_ns () in
+      let outcome =
+        try
+          let t = acquire pool p in
+          (* Expose the instance to [cancel] for exactly the run window;
+             cleared before release so a late cancel can never reach an
+             instance parked for (or serving) another request. *)
+          let h = p.pr_handle in
+          Mutex.lock h.h_lock;
+          h.h_running <- Some t;
+          let cancelled = h.h_cancelled in
+          Mutex.unlock h.h_lock;
+          if cancelled then Runtime.cancel t;
+          let outcome =
+            Fun.protect
+              ~finally:(fun () ->
+                Mutex.lock h.h_lock;
+                h.h_running <- None;
+                Mutex.unlock h.h_lock)
+              (fun () ->
+                let sources, sinks = p.pr_io r in
+                Runtime.run t ~sources ~sinks)
+          in
+          (* Reset and park the instance for the next request; a raise
+             above leaves it un-released (dropped), never reused. *)
+          release p t;
+          outcome
+        with exn ->
+          (* Wiring/instantiation raises (caller bugs) are captured so
+             the pool still runs every request to completion. *)
+          Runtime.Kernel_failed
+            {
+              Runtime.f_graph = gname;
+              f_kernel = "<harness>";
+              f_exn = exn;
+              f_backtrace = "";
+              f_src = None;
+              f_flight = Obs.Flight.snapshot ();
+            }
+      in
+      let dt = Obs.Clock.now_ns () -. a0 in
+      if !Obs.Trace.on then begin
+        let track = Printf.sprintf "serve-domain-%d" domain in
+        Obs.Trace.span ~track ~cat:"pool" ~pid:3
+          ~name:
+            (Printf.sprintf "req-%d%s%s" r
+               (if attempt > 1 then Printf.sprintf " try-%d" attempt else "")
+               (if stolen then " (stolen)" else ""))
+          ~ts_ns:a0 ~dur_ns:dt ();
+        Obs.Trace.observe_ns "pool.request" dt;
+        Obs.Trace.incr_metric ("pool.outcome:" ^ Runtime.outcome_label outcome);
+        (match outcome with
+         | Runtime.Deadline_exceeded _ -> Obs.Trace.incr_metric "pool.deadline"
+         | _ -> ())
+      end;
+      outcome
+    in
+    let rec supervise attempt =
+      let outcome = run_once attempt in
+      match outcome with
+      | Runtime.Completed _ | Runtime.Cancelled -> outcome, attempt
+      | Runtime.Deadline_exceeded _ | Runtime.Kernel_failed _ ->
+        if p.pr_handle.h_cancelled then Runtime.Cancelled, attempt
+        else if attempt <= config.Run_config.retries then begin
+          Atomic.incr pool.p_retries;
+          Obs.Flight.note Obs.Flight.Retry ~arg:(float_of_int attempt) gname;
+          if !Obs.Trace.on then Obs.Trace.incr_metric "pool.retry";
+          backoff ();
+          supervise (attempt + 1)
+        end
+        else outcome, attempt
+    in
+    let outcome, attempts = supervise 1 in
+    (match outcome with
+     | Runtime.Completed _ -> Atomic.set pool.p_consec_failures 0
+     | Runtime.Cancelled -> ()
+     | Runtime.Deadline_exceeded _ | Runtime.Kernel_failed _ ->
+       Atomic.incr pool.p_consec_failures);
+    let finished = Obs.Clock.now_ns () in
+    let dt = finished -. t0 in
+    let latency =
+      match p.pr_arrival with
+      | Some _ -> Float.max 0.0 (finished -. arrival_abs)
+      | None -> dt
+    in
+    Obs.Hdr.record pool.p_lat_hdrs.(domain) latency;
+    record_result pool p
+      { req_id = r; domain; stolen; outcome; attempts; shed = false; req_wall_ns = dt;
+        req_latency_ns = latency }
+  end
 
-(* Owner-side bulk pop for batching: up to [n] requests in one lock
-   acquisition, returned in ascending request order (the order the
-   one-at-a-time pops would have replayed). *)
-let pop_bottom_many d n =
-  with_lock d (fun () ->
-      let take = min n (d.bot - d.top) in
-      if take <= 0 then []
+(* Batched execution: pump the requests' inputs through ONE warm run via
+   per-slot source concatenation, then demultiplex the outputs by even
+   split.  Only attempted when every request supplies length-known
+   sources of identical per-slot length (so the split point is defined);
+   any other shape, a non-Completed outcome or an output count not
+   divisible by the batch size falls back to individual execution —
+   correctness never depends on batching.  Returns [true] when the whole
+   batch was served. *)
+let execute_batch pool ~domain (ps : pending list) =
+  let p0 = List.hd ps in
+  let n = List.length ps in
+  let cg = Runtime.compiled_graph p0.pr_compiled in
+  let n_in = Array.length cg.Serialized.input_order in
+  let n_out = Array.length cg.Serialized.output_order in
+  let t0 = Obs.Clock.now_ns () in
+  let ios = List.map (fun p -> p, p.pr_io p.pr_handle.h_id) ps in
+  let shapes_ok =
+    List.for_all
+      (fun (_, (srcs, snks)) -> List.length srcs = n_in && List.length snks = n_out)
+      ios
+  in
+  let slot_sources i = List.map (fun (_, (srcs, _)) -> List.nth srcs i) ios in
+  let lengths_ok =
+    shapes_ok
+    && List.for_all
+         (fun i ->
+           match List.map Io.source_length (slot_sources i) with
+           | Some l0 :: rest -> List.for_all (fun l -> l = Some l0) rest
+           | _ -> false)
+         (List.init n_in Fun.id)
+  in
+  if not lengths_ok then false
+  else begin
+    let sources = List.map (fun i -> Io.concat (slot_sources i)) (List.init n_in Fun.id) in
+    let collectors = List.init n_out (fun _ -> Io.buffer ()) in
+    let t = acquire pool p0 in
+    match Runtime.run t ~sources ~sinks:(List.map fst collectors) with
+    | Runtime.Completed _ as outcome ->
+      release p0 t;
+      let outputs =
+        List.map (fun (_, contents) -> Array.of_list (contents ())) collectors
+      in
+      if not (List.for_all (fun arr -> Array.length arr mod n = 0) outputs) then false
       else begin
-        let out = ref [] in
-        for _ = 1 to take do
-          d.bot <- d.bot - 1;
-          out := d.items.(d.bot) :: !out
-        done;
-        List.rev !out
-      end)
-
-let steal_top d =
-  with_lock d (fun () ->
-      if d.top < d.bot then begin
-        let r = d.items.(d.top) in
-        d.top <- d.top + 1;
-        Some r
+        let finished = Obs.Clock.now_ns () in
+        let dt = (finished -. t0) /. float_of_int n in
+        List.iteri
+          (fun k (p, (_, snks)) ->
+            List.iteri
+              (fun j snk ->
+                let arr = List.nth outputs j in
+                let per = Array.length arr / n in
+                Io.sink_push_block snk (Array.sub arr (k * per) per))
+              snks;
+            Obs.Hdr.record pool.p_lat_hdrs.(domain) dt;
+            record_result pool p
+              { req_id = p.pr_handle.h_id; domain; stolen = false; outcome; attempts = 1;
+                shed = false; req_wall_ns = dt; req_latency_ns = dt })
+          ios;
+        Atomic.set pool.p_consec_failures 0;
+        Atomic.fetch_and_add pool.p_batched n |> ignore;
+        if !Obs.Trace.on then begin
+          Obs.Trace.span
+            ~track:(Printf.sprintf "serve-domain-%d" domain)
+            ~cat:"pool" ~pid:3
+            ~name:(Printf.sprintf "batch-%d" n)
+            ~ts_ns:t0 ~dur_ns:(finished -. t0) ();
+          Obs.Trace.add_metric "pool.batched" (float_of_int n)
+        end;
+        true
       end
-      else None)
+    | _other ->
+      release p0 t;
+      false
+    | exception _ -> false (* instance dropped; individual path decides *)
+  end
+
+(* Work selection, under p_lock.  Owner takes the oldest of its own FIFO
+   (batch-popping consecutive compatible requests when batching is on);
+   a drained owner steals the oldest queued request of another domain.
+   Stolen requests are never batched. *)
+type work =
+  | Single of pending * bool  (* pending, stolen *)
+  | Batch of pending list
+
+let pop_work pool domain =
+  let own = pool.p_queues.(domain) in
+  match Queue.take_opt own with
+  | Some p ->
+    pool.p_queued <- pool.p_queued - 1;
+    let batch_n = p.pr_config.Run_config.batch in
+    if p.pr_batchable && batch_n > 1 then begin
+      let rec collect acc k =
+        if k >= batch_n then List.rev acc
+        else
+          match Queue.peek_opt own with
+          | Some q
+            when q.pr_batchable
+                 && q.pr_compiled == p.pr_compiled
+                 && q.pr_config == p.pr_config
+                 && not q.pr_handle.h_cancelled ->
+            ignore (Queue.take own);
+            pool.p_queued <- pool.p_queued - 1;
+            collect (q :: acc) (k + 1)
+          | _ -> List.rev acc
+      in
+      match collect [ p ] 1 with
+      | [ only ] -> Some (Single (only, false))
+      | ps -> Some (Batch ps)
+    end
+    else Some (Single (p, false))
+  | None ->
+    let rec try_steal k =
+      if k >= pool.p_domains then None
+      else
+        match Queue.take_opt pool.p_queues.((domain + k) mod pool.p_domains) with
+        | Some p ->
+          pool.p_queued <- pool.p_queued - 1;
+          Atomic.incr pool.p_steals;
+          Some (Single (p, true))
+        | None -> try_steal (k + 1)
+    in
+    try_steal 1
+
+let worker pool domain () =
+  Obs.Trace.set_thread_label (Printf.sprintf "serve-domain-%d" domain);
+  let rec loop () =
+    Mutex.lock pool.p_lock;
+    let rec take () =
+      match pop_work pool domain with
+      | Some w ->
+        Atomic.incr pool.p_executing;
+        Mutex.unlock pool.p_lock;
+        Some w
+      | None ->
+        if pool.p_stop then begin
+          Mutex.unlock pool.p_lock;
+          None
+        end
+        else begin
+          Condition.wait pool.p_cond pool.p_lock;
+          take ()
+        end
+    in
+    match take () with
+    | None -> ()
+    | Some (Single (p, stolen)) ->
+      execute pool ~domain ~stolen p;
+      loop ()
+    | Some (Batch ps) ->
+      (* p_executing counts the batch as one unit of in-flight work. *)
+      if breaker_open pool || not (execute_batch pool ~domain ps) then begin
+        (* Individual fallback executes (or sheds) every member; the
+           batch's single p_executing slot stays held throughout, and
+           record_result decrements once per member — rebalance. *)
+        Atomic.fetch_and_add pool.p_executing (List.length ps - 1) |> ignore;
+        List.iter (execute pool ~domain ~stolen:false) ps
+      end
+      else Atomic.fetch_and_add pool.p_executing (List.length ps - 1) |> ignore;
+      loop ()
+  in
+  loop ()
+
+let create ?(config = Run_config.default) ~domains () =
+  if domains <= 0 then invalid_arg "cgsim: Pool.create needs a positive domain count";
+  (* OCaml 5 minor collections stop every domain; the same larger minor
+     heap x86sim uses keeps the parallel instances off each other's
+     backs.  Restored at shutdown. *)
+  let gc = Gc.get () in
+  Gc.set { gc with Gc.minor_heap_size = max gc.Gc.minor_heap_size (8 * 1024 * 1024) };
+  let pool =
+    {
+      p_config = config;
+      p_domains = domains;
+      p_lock = Mutex.create ();
+      p_cond = Condition.create ();
+      p_queues = Array.init domains (fun _ -> Queue.create ());
+      p_stop = false;
+      p_next_id = 0;
+      p_queued = 0;
+      p_joined = false;
+      p_workers = [||];
+      p_t0 = Obs.Clock.now_ns ();
+      p_gc = gc;
+      p_executing = Atomic.make 0;
+      p_served = Atomic.make 0;
+      p_steals = Atomic.make 0;
+      p_retries = Atomic.make 0;
+      p_warm_hits = Atomic.make 0;
+      p_cold_builds = Atomic.make 0;
+      p_batched = Atomic.make 0;
+      p_completed = Atomic.make 0;
+      p_deadline = Atomic.make 0;
+      p_max_steps = Atomic.make 0;
+      p_cancelled = Atomic.make 0;
+      p_failed = Atomic.make 0;
+      p_shed = Atomic.make 0;
+      p_retried_ok = Atomic.make 0;
+      p_consec_failures = Atomic.make 0;
+      p_breaker_tripped = Atomic.make false;
+      p_breaker_flight = ref [];
+      p_lat_hdrs = Array.init domains (fun _ -> Obs.Hdr.create ());
+    }
+  in
+  pool.p_workers <- Array.init domains (fun d -> Domain.spawn (worker pool d));
+  pool
+
+let submit pool ?config ?not_before_ns ?on_complete ~io (g : Serialized.t) =
+  let config = Option.value config ~default:pool.p_config in
+  (* Compile (or fetch the cached artifact) before queueing: compile
+     errors are caller bugs and raise here, never from a worker. *)
+  let entry = acquire_entry g config in
+  let pr_entry = if config.Run_config.warm then Some entry else None in
+  let pr_batchable =
+    config.Run_config.batch > 1
+    && Runtime.compiled_batchable entry.e_compiled
+    && pr_entry <> None
+    && not_before_ns = None
+    && config.Run_config.faults = None
+  in
+  Mutex.lock pool.p_lock;
+  if pool.p_stop then begin
+    Mutex.unlock pool.p_lock;
+    invalid_arg "cgsim: Pool.submit after shutdown"
+  end;
+  let id = pool.p_next_id in
+  pool.p_next_id <- id + 1;
+  let h =
+    {
+      h_id = id;
+      h_lock = Mutex.create ();
+      h_cond = Condition.create ();
+      h_result = None;
+      h_cancelled = false;
+      h_running = None;
+    }
+  in
+  let p =
+    {
+      pr_handle = h;
+      pr_graph = g;
+      pr_config = config;
+      pr_compiled = entry.e_compiled;
+      pr_entry;
+      pr_batchable;
+      pr_arrival = not_before_ns;
+      pr_io = io;
+      pr_on_complete = on_complete;
+    }
+  in
+  (* Seed round-robin: request [id] belongs to domain [id mod domains];
+     per-domain queues are FIFO, so one domain replays submit order. *)
+  Queue.push p pool.p_queues.(id mod pool.p_domains);
+  pool.p_queued <- pool.p_queued + 1;
+  Condition.broadcast pool.p_cond;
+  Mutex.unlock pool.p_lock;
+  h
+
+let await h =
+  Mutex.lock h.h_lock;
+  let rec wait () =
+    match h.h_result with
+    | Some r ->
+      Mutex.unlock h.h_lock;
+      r
+    | None ->
+      Condition.wait h.h_cond h.h_lock;
+      wait ()
+  in
+  wait ()
+
+let poll h =
+  Mutex.lock h.h_lock;
+  let r = h.h_result in
+  Mutex.unlock h.h_lock;
+  r
+
+let cancel h =
+  Mutex.lock h.h_lock;
+  h.h_cancelled <- true;
+  (match h.h_running with Some inst -> Runtime.cancel inst | None -> ());
+  Mutex.unlock h.h_lock
+
+let metrics pool =
+  (* Fold the per-domain recorders and the outcome tallies into one
+     metrics registry, under the "family.parts:instance" key convention
+     Obs.Prom renders from.  Safe while requests are in flight (the HDR
+     merge reads live buckets; counts may trail by a request). *)
+  let m = Obs.Metrics.create () in
+  Array.iter (fun hdr -> Obs.Metrics.merge_hdr m "pool.request" hdr) pool.p_lat_hdrs;
+  let addc name v = if v > 0 then Obs.Metrics.add m name (float_of_int v) in
+  addc "pool.outcome:completed" (Atomic.get pool.p_completed);
+  addc "pool.outcome:deadline" (Atomic.get pool.p_deadline);
+  addc "pool.outcome:max-steps" (Atomic.get pool.p_max_steps);
+  addc "pool.outcome:cancelled" (Atomic.get pool.p_cancelled);
+  addc "pool.outcome:failed" (Atomic.get pool.p_failed);
+  addc "pool.shed" (Atomic.get pool.p_shed);
+  addc "pool.retries" (Atomic.get pool.p_retries);
+  addc "pool.steals" (Atomic.get pool.p_steals);
+  addc "pool.warm_hit" (Atomic.get pool.p_warm_hits);
+  addc "pool.cold" (Atomic.get pool.p_cold_builds);
+  addc "pool.batched" (Atomic.get pool.p_batched);
+  Obs.Metrics.high_water m "pool.domains" (float_of_int pool.p_domains);
+  Obs.Metrics.snapshot m
+
+let shutdown pool =
+  Mutex.lock pool.p_lock;
+  if pool.p_joined then Mutex.unlock pool.p_lock
+  else begin
+    pool.p_stop <- true;
+    pool.p_joined <- true;
+    Condition.broadcast pool.p_cond;
+    Mutex.unlock pool.p_lock;
+    Array.iter Domain.join pool.p_workers;
+    Gc.set pool.p_gc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Batch runs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  domains : int;
+  requests : int;
+  results : request_result array;
+  steals : int;
+  retries : int;
+  warm_hits : int;
+  cold_builds : int;
+  batched : int;
+  breaker_tripped : bool;
+  counts : outcome_counts;
+  wall_ns : float;
+  metrics : Obs.Metrics.snapshot;
+  breaker_flight : Obs.Flight.entry list;
+}
 
 let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Serialized.t) =
   if domains <= 0 then invalid_arg "cgsim: Pool.run needs a positive domain count";
@@ -245,399 +794,30 @@ let run ?(config = Run_config.default) ?arrivals ~domains ~requests ~io (g : Ser
    | Some a when Array.length a <> requests ->
      invalid_arg "cgsim: Pool.run ~arrivals must have one offset per request"
    | Some _ | None -> ());
-  (* Compile once: validation, registry resolution and the pool-safety
-     lint (which flags kernels whose bodies share mutable state across
-     the instances the domains run) all happen here, never per request
-     or per retry attempt.  On the warm path the compiled artifact —
-     lint verdict included — comes from the cache. *)
-  let warm_entry = if config.Run_config.warm then Some (acquire_entry g config) else None in
-  let compiled =
-    match warm_entry with
-    | Some e -> e.e_compiled
-    | None -> Runtime.compile ~config g
+  let pool = create ~config ~domains () in
+  let t0 = pool.p_t0 in
+  let handles =
+    Array.init requests (fun r ->
+        let not_before_ns = Option.map (fun a -> t0 +. a.(r)) arrivals in
+        submit pool ?not_before_ns ~io g)
   in
-  (* Batching gate: only closed-loop runs of a provably batchable graph
-     (every kernel declared [~pure:true] AND [~stateless:true] — a merely
-     pure kernel may still carry a delay line across the concatenation
-     boundary) are multiplexed, and only on the warm path; fault plans
-     stay unbatched so per-request injection accounting keeps its
-     meaning. *)
-  let batch_n =
-    if
-      config.Run_config.batch > 1
-      && Runtime.compiled_batchable compiled
-      && warm_entry <> None
-      && arrivals = None
-      && config.Run_config.faults = None
-    then config.Run_config.batch
-    else 1
-  in
-  (* Seed round-robin: request r belongs to domain [r mod domains].  The
-     per-domain lists are built back-to-front so the owner's LIFO pop
-     replays its seeds in ascending request order — with one domain the
-     pool degenerates to the sequential loop [for r = 0 to requests-1]. *)
-  let seeds = Array.make domains [] in
-  for r = requests - 1 downto 0 do
-    let d = r mod domains in
-    seeds.(d) <- r :: seeds.(d)
-  done;
-  let deques = Array.map (fun ids -> deque_of_list (List.rev ids)) seeds in
-  let dummy =
-    {
-      req_id = -1;
-      domain = -1;
-      stolen = false;
-      outcome = Runtime.Cancelled;
-      attempts = 0;
-      shed = false;
-      req_wall_ns = 0.;
-      req_latency_ns = 0.;
-    }
-  in
-  (* Each slot is written exactly once, by whichever domain executed the
-     request, and read only after the joins — no lock needed. *)
-  let results = Array.make requests dummy in
-  let steals = Atomic.make 0 in
-  let retries_total = Atomic.make 0 in
-  let warm_hits = Atomic.make 0 in
-  let cold_builds = Atomic.make 0 in
-  let batched_total = Atomic.make 0 in
-  (* Open-loop arrivals are offsets from this instant (set just before
-     the workers spawn). *)
-  let pool_t0 = ref 0.0 in
-  (* One latency recorder per domain, merged into the pool metrics after
-     the joins: recording stays lock-free on the serving path, and the
-     merge is the cross-domain HDR aggregation story in practice. *)
-  let lat_hdrs = Array.init domains (fun _ -> Obs.Hdr.create ()) in
-  let breaker_flight = ref [] in
-  (* Instance acquisition: pop a reset instance from the warm entry, or
-     build a fresh one (the cold path — also the warm pool's fill
-     path).  Release resets and parks the instance for the next request;
-     an instance whose reset fails is dropped, never reused. *)
-  let acquire () =
-    match warm_entry with
-    | Some e ->
-      Mutex.lock e.e_lock;
-      (match e.e_free with
-       | inst :: rest ->
-         e.e_free <- rest;
-         Mutex.unlock e.e_lock;
-         Atomic.incr warm_hits;
-         if !Obs.Trace.on then Obs.Trace.incr_metric "pool.warm_hit";
-         inst
-       | [] ->
-         Mutex.unlock e.e_lock;
-         Atomic.incr cold_builds;
-         Runtime.new_instance compiled)
-    | None ->
-      Atomic.incr cold_builds;
-      Runtime.new_instance compiled
-  in
-  let release inst =
-    match warm_entry with
-    | None -> ()
-    | Some e ->
-      (match Runtime.reset inst with
-       | () ->
-         Mutex.lock e.e_lock;
-         if List.length e.e_free < instances_per_entry then e.e_free <- inst :: e.e_free;
-         Mutex.unlock e.e_lock
-       | exception _ -> () (* poisoned: evict by dropping *))
-  in
-  (* Circuit breaker: consecutive requests whose FINAL outcome was a
-     failure or deadline (retries exhausted).  Once the count reaches the
-     threshold the circuit opens and every not-yet-started request is
-     shed without executing — load shedding under systemic failure. *)
-  let consec_failures = Atomic.make 0 in
-  let breaker_tripped = Atomic.make false in
-  let breaker_open () =
-    match config.Run_config.breaker_threshold with
-    | None -> false
-    | Some th -> Atomic.get consec_failures >= th
-  in
-  let execute ~domain ~stolen r =
-    if breaker_open () then begin
-      if not (Atomic.exchange breaker_tripped true) then begin
-        (* First domain to observe the open circuit dumps its flight
-           window: the events leading up to the failure streak. *)
-        Obs.Flight.note Obs.Flight.Breaker g.Serialized.gname;
-        breaker_flight := Obs.Flight.snapshot ();
-        if !Obs.Trace.on then
-          Obs.Trace.instant ~track:"pool" ~cat:"pool" "breaker-open"
-      end;
-      if !Obs.Trace.on then Obs.Trace.incr_metric "pool.shed";
-      results.(r) <-
-        { req_id = r; domain; stolen; outcome = Runtime.Cancelled; attempts = 0; shed = true;
-          req_wall_ns = 0.; req_latency_ns = 0. }
-    end
-    else begin
-      (* Open loop: wait out this request's scheduled arrival, then count
-         latency from the arrival instant, so any backlog the pool built
-         up is charged to the requests that queued behind it. *)
-      let arrival_abs =
-        match arrivals with
-        | Some a ->
-          let target = !pool_t0 +. a.(r) in
-          let wait = target -. Obs.Clock.now_ns () in
-          if wait > 0.0 then Unix.sleepf (wait /. 1e9);
-          target
-        | None -> 0.0
-      in
-      let t0 = Obs.Clock.now_ns () in
-      Obs.Flight.note Obs.Flight.Request ~arg:(float_of_int r) g.Serialized.gname;
-      let jitter = jitter_state ~seed:config.Run_config.seed ~req:r in
-      let prev_backoff = ref config.Run_config.retry_base_ns in
-      let backoff () =
-        let base = config.Run_config.retry_base_ns in
-        if base > 0. then begin
-          (* Decorrelated jitter: sleep in [base, min(cap, 3*prev)],
-             uniformly — retries from concurrent domains desynchronise
-             instead of hammering in lockstep. *)
-          let hi = Float.min config.Run_config.retry_cap_ns (Float.max base (!prev_backoff *. 3.)) in
-          let sleep = base +. (next_unit_float jitter *. (hi -. base)) in
-          prev_backoff := sleep;
-          Unix.sleepf (sleep /. 1e9)
-        end
-      in
-      let run_once attempt =
-        let a0 = Obs.Clock.now_ns () in
-        let outcome =
-          try
-            let t = acquire () in
-            let sources, sinks = io r in
-            let outcome = Runtime.run t ~sources ~sinks in
-            (* Reset and park the instance for the next request; a raise
-               above leaves it un-released (dropped), never reused. *)
-            release t;
-            outcome
-          with exn ->
-            (* Wiring/instantiation raises (caller bugs) are captured so
-               the pool still runs every request to completion. *)
-            Runtime.Kernel_failed
-              {
-                Runtime.f_graph = g.Serialized.gname;
-                f_kernel = "<harness>";
-                f_exn = exn;
-                f_backtrace = "";
-                f_src = None;
-                f_flight = Obs.Flight.snapshot ();
-              }
-        in
-        let dt = Obs.Clock.now_ns () -. a0 in
-        if !Obs.Trace.on then begin
-          let track = Printf.sprintf "serve-domain-%d" domain in
-          Obs.Trace.span ~track ~cat:"pool" ~pid:3
-            ~name:
-              (Printf.sprintf "req-%d%s%s" r
-                 (if attempt > 1 then Printf.sprintf " try-%d" attempt else "")
-                 (if stolen then " (stolen)" else ""))
-            ~ts_ns:a0 ~dur_ns:dt ();
-          Obs.Trace.observe_ns "pool.request" dt;
-          Obs.Trace.incr_metric ("pool.outcome." ^ Runtime.outcome_label outcome);
-          (match outcome with
-           | Runtime.Deadline_exceeded _ -> Obs.Trace.incr_metric "pool.deadline"
-           | _ -> ())
-        end;
-        outcome
-      in
-      let rec supervise attempt =
-        let outcome = run_once attempt in
-        match outcome with
-        | Runtime.Completed _ | Runtime.Cancelled -> outcome, attempt
-        | Runtime.Deadline_exceeded _ | Runtime.Kernel_failed _ ->
-          if attempt <= config.Run_config.retries then begin
-            Atomic.incr retries_total;
-            Obs.Flight.note Obs.Flight.Retry ~arg:(float_of_int attempt) g.Serialized.gname;
-            if !Obs.Trace.on then Obs.Trace.incr_metric "pool.retry";
-            backoff ();
-            supervise (attempt + 1)
-          end
-          else outcome, attempt
-      in
-      let outcome, attempts = supervise 1 in
-      (match outcome with
-       | Runtime.Completed _ -> Atomic.set consec_failures 0
-       | Runtime.Cancelled -> ()
-       | Runtime.Deadline_exceeded _ | Runtime.Kernel_failed _ -> Atomic.incr consec_failures);
-      let finished = Obs.Clock.now_ns () in
-      let dt = finished -. t0 in
-      let latency =
-        match arrivals with Some _ -> Float.max 0.0 (finished -. arrival_abs) | None -> dt
-      in
-      Obs.Hdr.record lat_hdrs.(domain) latency;
-      results.(r) <-
-        { req_id = r; domain; stolen; outcome; attempts; shed = false; req_wall_ns = dt;
-          req_latency_ns = latency }
-    end
-  in
-  (* Batched execution: pump [rs]'s inputs through ONE warm run via
-     per-slot source concatenation, then demultiplex the outputs by even
-     split.  Only attempted when every request supplies length-known
-     sources of identical per-slot length (so the split point is
-     defined); any other shape, a non-Completed outcome or an output
-     count not divisible by the batch size falls back to individual
-     execution — correctness never depends on batching.  Returns [true]
-     when the whole batch was served. *)
-  let execute_batch ~domain rs =
-    let n = List.length rs in
-    let cg = Runtime.compiled_graph compiled in
-    let n_in = Array.length cg.Serialized.input_order in
-    let n_out = Array.length cg.Serialized.output_order in
-    let t0 = Obs.Clock.now_ns () in
-    let ios = List.map (fun r -> r, io r) rs in
-    let shapes_ok =
-      List.for_all
-        (fun (_, (srcs, snks)) -> List.length srcs = n_in && List.length snks = n_out)
-        ios
-    in
-    let slot_sources i = List.map (fun (_, (srcs, _)) -> List.nth srcs i) ios in
-    let lengths_ok =
-      shapes_ok
-      && List.for_all
-           (fun i ->
-             match List.map Io.source_length (slot_sources i) with
-             | Some l0 :: rest -> List.for_all (fun l -> l = Some l0) rest
-             | _ -> false)
-           (List.init n_in Fun.id)
-    in
-    if not lengths_ok then false
-    else begin
-      let sources = List.map (fun i -> Io.concat (slot_sources i)) (List.init n_in Fun.id) in
-      let collectors = List.init n_out (fun _ -> Io.buffer ()) in
-      let t = acquire () in
-      match Runtime.run t ~sources ~sinks:(List.map fst collectors) with
-      | Runtime.Completed _ as outcome ->
-        release t;
-        let outputs =
-          List.map (fun (_, contents) -> Array.of_list (contents ())) collectors
-        in
-        if not (List.for_all (fun arr -> Array.length arr mod n = 0) outputs) then false
-        else begin
-          let finished = Obs.Clock.now_ns () in
-          let dt = (finished -. t0) /. float_of_int n in
-          List.iteri
-            (fun k (r, (_, snks)) ->
-              List.iteri
-                (fun j snk ->
-                  let arr = List.nth outputs j in
-                  let per = Array.length arr / n in
-                  Io.sink_push_block snk (Array.sub arr (k * per) per))
-                snks;
-              Obs.Hdr.record lat_hdrs.(domain) dt;
-              results.(r) <-
-                { req_id = r; domain; stolen = false; outcome; attempts = 1; shed = false;
-                  req_wall_ns = dt; req_latency_ns = dt })
-            ios;
-          Atomic.set consec_failures 0;
-          Atomic.fetch_and_add batched_total n |> ignore;
-          if !Obs.Trace.on then begin
-            Obs.Trace.span
-              ~track:(Printf.sprintf "serve-domain-%d" domain)
-              ~cat:"pool" ~pid:3
-              ~name:(Printf.sprintf "batch-%d" n)
-              ~ts_ns:t0 ~dur_ns:(finished -. t0) ();
-            Obs.Trace.add_metric "pool.batched" (float_of_int n)
-          end;
-          true
-        end
-      | _other ->
-        release t;
-        false
-      | exception _ -> false (* instance dropped; individual path decides *)
-    end
-  in
-  let worker domain () =
-    Obs.Trace.set_thread_label (Printf.sprintf "serve-domain-%d" domain);
-    let own = deques.(domain) in
-    let rec try_steal k =
-      if k >= domains then None
-      else
-        match steal_top deques.((domain + k) mod domains) with
-        | Some _ as hit -> hit
-        | None -> try_steal (k + 1)
-    in
-    let steal_or_stop loop =
-      match try_steal 1 with
-      | Some r ->
-        Atomic.incr steals;
-        execute ~domain ~stolen:true r;
-        loop ()
-      | None -> ()
-    in
-    let rec loop () =
-      if batch_n > 1 then begin
-        match pop_bottom_many own batch_n with
-        | [] -> steal_or_stop loop
-        | [ r ] ->
-          execute ~domain ~stolen:false r;
-          loop ()
-        | rs ->
-          if breaker_open () || not (execute_batch ~domain rs) then
-            List.iter (execute ~domain ~stolen:false) rs;
-          loop ()
-      end
-      else begin
-        match pop_bottom own with
-        | Some r ->
-          execute ~domain ~stolen:false r;
-          loop ()
-        | None -> steal_or_stop loop
-      end
-    in
-    loop ()
-  in
-  (* OCaml 5 minor collections stop every domain; the same larger minor
-     heap x86sim uses keeps the parallel instances off each other's
-     backs.  Restored after the joins. *)
-  let gc = Gc.get () in
-  Gc.set { gc with Gc.minor_heap_size = max gc.Gc.minor_heap_size (8 * 1024 * 1024) };
-  pool_t0 := Obs.Clock.now_ns ();
-  let t0 = !pool_t0 in
-  (* Worker 0 runs inline on the calling domain: spawning a child domain
-     for it costs real throughput on small hosts (every minor collection
-     is a stop-the-world handshake with the otherwise-idle joining
-     domain), and with [~domains:1] the pool must degenerate to a plain
-     sequential loop. *)
-  let spawned = Array.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
-  worker 0 ();
-  Array.iter Domain.join spawned;
+  let results = Array.map await handles in
+  shutdown pool;
   let wall_ns = Obs.Clock.now_ns () -. t0 in
-  Gc.set gc;
-  (* Fold the per-domain recorders and the outcome tallies into one
-     metrics registry; this (not a trace session) is what
-     [metrics_exposition] serves, so it is populated unconditionally. *)
-  let metrics = Obs.Metrics.create () in
-  Array.iter (fun hdr -> Obs.Metrics.merge_hdr metrics "pool.request" hdr) lat_hdrs;
-  Array.iter
-    (fun r ->
-      if r.shed then Obs.Metrics.incr metrics "pool.shed"
-      else Obs.Metrics.incr metrics ("pool.outcome." ^ Runtime.outcome_label r.outcome))
-    results;
-  let retries_n = Atomic.get retries_total in
-  let steals_n = Atomic.get steals in
-  let warm_n = Atomic.get warm_hits in
-  let cold_n = Atomic.get cold_builds in
-  let batched_n = Atomic.get batched_total in
-  if retries_n > 0 then Obs.Metrics.add metrics "pool.retries" (float_of_int retries_n);
-  if steals_n > 0 then Obs.Metrics.add metrics "pool.steals" (float_of_int steals_n);
-  if warm_n > 0 then Obs.Metrics.add metrics "pool.warm_hit" (float_of_int warm_n);
-  if cold_n > 0 then Obs.Metrics.add metrics "pool.cold" (float_of_int cold_n);
-  if batched_n > 0 then Obs.Metrics.add metrics "pool.batched" (float_of_int batched_n);
-  Obs.Metrics.high_water metrics "pool.domains" (float_of_int domains);
   {
     domains;
     requests;
     results;
-    steals = steals_n;
-    retries = retries_n;
-    warm_hits = warm_n;
-    cold_builds = cold_n;
-    batched = batched_n;
-    breaker_tripped = Atomic.get breaker_tripped;
+    steals = Atomic.get pool.p_steals;
+    retries = Atomic.get pool.p_retries;
+    warm_hits = Atomic.get pool.p_warm_hits;
+    cold_builds = Atomic.get pool.p_cold_builds;
+    batched = Atomic.get pool.p_batched;
+    breaker_tripped = Atomic.get pool.p_breaker_tripped;
     counts = count_outcomes results;
     wall_ns;
-    metrics = Obs.Metrics.snapshot metrics;
-    breaker_flight = !breaker_flight;
+    metrics = metrics pool;
+    breaker_flight = !(pool.p_breaker_flight);
   }
 
 let metrics_exposition s = Obs.Prom.of_snapshot s.metrics

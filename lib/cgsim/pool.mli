@@ -9,6 +9,15 @@
     sweeps, regression batteries, request services — rather than
     intra-graph parallelism.
 
+    The pool itself is a long-lived object: {!create} spawns the worker
+    domains once, {!submit} hands them a request and returns a
+    {!handle} (request id + awaitable result + cooperative
+    cancellation), and {!shutdown} drains queued and in-flight work and
+    joins the workers.  The batch entry point {!run} — one graph, a
+    fixed request population, stats at the end — is a thin wrapper:
+    create, submit everything, await everything, shutdown.  Network
+    front ends ({!Serve.Server}) drive {!submit}/{!await} directly.
+
     {b Warm serving} (default, [config.warm]): the graph is
     {!Runtime.compile}d once — validation, registry resolution and the
     pre-flight lint verdict live in a bounded process-wide cache keyed
@@ -17,25 +26,25 @@
     instances from the entry's idle pool instead of rebuilding queues
     and wiring per attempt.  An instance whose reset fails is dropped.
     [config.warm = false] forces the cold path: a fresh instance per
-    attempt (still compiled once per {!run}).
+    attempt (the compiled artifact is still cached, instances are not).
 
-    {b Batching} ([config.batch] > 1): when the compiled graph is
-    provably batchable (every kernel declared [~pure:true] {e and}
+    {b Batching} ([config.batch] > 1): when a request's compiled graph
+    is provably batchable (every kernel declared [~pure:true] {e and}
     [~stateless:true] — purity alone admits local delay lines, which
-    concatenation would corrupt), the run is closed-loop and no
-    fault plan is installed, a domain pops up to [batch] of its own
-    requests at once, concatenates their per-slot inputs
-    ({!Io.concat}), pumps them through one warm run and demultiplexes
-    the outputs by even split.  Requests with unknown or mismatched
-    input lengths, non-[Completed] batch outcomes or outputs not
-    divisible by the batch size fall back to individual execution —
-    batching is a fast path, never a semantic change.  Stolen requests
-    are never batched.
+    concatenation would corrupt), it has no scheduled arrival and no
+    fault plan is installed, a domain pops up to [batch] consecutive
+    same-graph/same-config requests of its own queue at once,
+    concatenates their per-slot inputs ({!Io.concat}), pumps them
+    through one warm run and demultiplexes the outputs by even split.
+    Requests with unknown or mismatched input lengths, non-[Completed]
+    batch outcomes or outputs not divisible by the batch size fall back
+    to individual execution — batching is a fast path, never a semantic
+    change.  Stolen requests are never batched.
 
-    Requests are distributed round-robin across per-domain work deques;
-    a domain that drains its own deque steals from the others (owner
-    pops one end, thieves take the other), so skewed request costs still
-    balance.  With [~domains:1] execution order is exactly the seeded
+    Requests are distributed round-robin across per-domain work queues;
+    a domain that drains its own queue steals the oldest queued request
+    of another, so skewed request costs still balance.  Each queue is
+    FIFO, so with [~domains:1] execution order is exactly the submit
     order, making single-domain runs deterministic and comparable to a
     sequential loop.
 
@@ -48,20 +57,24 @@
     - after [config.breaker_threshold] consecutive requests whose final
       outcome was still a failure/deadline, the circuit opens and every
       not-yet-started request is shed without executing (the classic
-      load-shedding breaker); successes reset the count;
+      load-shedding breaker); successes reset the count.  {!breaker_open}
+      exposes the live state so a front end can refuse admission at the
+      door;
     - the per-attempt deadline, fault plan, hooks and queue knobs come
       from the same config, passed to {!Runtime.instantiate} verbatim.
 
     Observability is two-tier.  Always on (tracing or not): request
     latencies are recorded into per-domain {!Obs.Hdr} histograms and
-    merged into [stats.metrics] at join, alongside outcome counters —
-    {!metrics_exposition} renders them as Prometheus text; the flight
-    recorder window of the domain that opens the circuit breaker is
-    kept in [stats.breaker_flight].  Additionally, when an {!Obs.Trace}
-    session is active, each attempt is a span on a per-domain track
-    (pid 3), and the pool emits [pool.request] timings plus
-    [pool.retry], [pool.deadline], [pool.shed] and
-    [pool.outcome.<label>] counters into the session. *)
+    merged into [stats.metrics] (and the live {!metrics} snapshot),
+    alongside outcome counters — {!metrics_exposition} renders them as
+    Prometheus text under the ["family.parts:instance"] key convention
+    ([pool.request] histogram, [pool.outcome:<label>] counters); the
+    flight recorder window of the domain that opens the circuit breaker
+    is kept in [stats.breaker_flight].  Additionally, when an
+    {!Obs.Trace} session is active, each attempt is a span on a
+    per-domain track (pid 3), and the pool emits [pool.request] timings
+    plus [pool.retry], [pool.deadline], [pool.shed] and
+    [pool.outcome:<label>] counters into the session. *)
 
 type request_result = {
   req_id : int;
@@ -72,9 +85,10 @@ type request_result = {
   shed : bool;  (** Refused by the open circuit breaker. *)
   req_wall_ns : float;  (** Wall time across all attempts and backoffs. *)
   req_latency_ns : float;
-      (** Closed loop: service time (= [req_wall_ns]).  Open loop ([run]
-          with [~arrivals]): completion minus scheduled arrival, i.e.
-          queue wait included — the latency a client would see. *)
+      (** Without a scheduled arrival: service time (= [req_wall_ns]).
+          With one ([submit ~not_before_ns], or [run ~arrivals]):
+          completion minus scheduled arrival, i.e. queue wait included —
+          the latency a client would see. *)
 }
 
 type outcome_counts = {
@@ -85,6 +99,96 @@ type outcome_counts = {
   n_shed : int;
   n_retried_ok : int;  (** Completed, but only on a retry attempt. *)
 }
+
+val count_outcomes : request_result array -> outcome_counts
+
+(** {1 The persistent pool} *)
+
+(** A running pool of worker domains. *)
+type t
+
+(** One submitted request: its id, its awaitable result, its
+    cancellation hook. *)
+type handle
+
+(** [create ~domains ()] spawns [domains] worker domains that serve
+    submitted requests until {!shutdown}.  [config] (default
+    {!Run_config.default}) is the default execution config for every
+    request; {!submit} can override it per request.  Raises
+    [Invalid_argument] unless [domains] is positive. *)
+val create : ?config:Run_config.t -> domains:int -> unit -> t
+
+(** [submit pool ~io g] enqueues one request for graph [g] and returns
+    immediately.  [io id] is called on the executing domain, once per
+    attempt, to build the sources and sinks for this request (it must be
+    safe to call concurrently with other requests' [io], and sources
+    must be re-buildable if the config enables retries).
+
+    [?config] overrides the pool default for this request (e.g. a
+    per-request deadline or seed); graph compilation is cached per
+    (graph, config-compatibility) pair, so a handful of distinct configs
+    serve warm.  [?not_before_ns] is an absolute {!Obs.Clock.now_ns}
+    instant: the executing domain waits it out before starting, and
+    [req_latency_ns] counts from it (open-loop latency semantics).
+    [?on_complete] runs on the executing domain right after the result
+    is published — network front ends use it to write the response
+    without a dedicated waiter; exceptions it raises are swallowed.
+
+    Per-request failures — including {!Runtime.Runtime_error} raised
+    during wiring — are captured in the {!request_result}, never raised;
+    the pool always produces a result for every submitted request.
+    Compilation errors (invalid graph, failed [`Error]-level lint)
+    raise out of [submit], before the request is queued.  Raises
+    [Invalid_argument] after {!shutdown}. *)
+val submit :
+  t ->
+  ?config:Run_config.t ->
+  ?not_before_ns:float ->
+  ?on_complete:(request_result -> unit) ->
+  io:(int -> Io.source list * Io.sink list) ->
+  Serialized.t ->
+  handle
+
+(** Pool-unique request id (dense, starting at 0). *)
+val handle_id : handle -> int
+
+(** Block until the request's final result (after retries) is
+    published.  Every handle eventually completes: shed, cancelled and
+    captured-failure requests all produce results. *)
+val await : handle -> request_result
+
+(** The result, if already published. *)
+val poll : handle -> request_result option
+
+(** Request cooperative cancellation: a queued request completes as
+    [Cancelled] without executing ([attempts = 0]); a running request
+    has {!Runtime.cancel} invoked on its instance and winds down at the
+    next scheduling boundary; a finished request is unaffected. *)
+val cancel : handle -> unit
+
+(** Whether the circuit breaker is currently open (new requests would be
+    shed) — the admission-control signal for network front ends. *)
+val breaker_open : t -> bool
+
+(** Queued + executing requests (drain/backlog probe). *)
+val pending : t -> int
+
+(** Requests whose results have been published since {!create}. *)
+val served : t -> int
+
+(** Live always-on pool metrics: the ["pool.request"] latency HDR
+    histogram (per-domain recorders merged at snapshot time),
+    [pool.outcome:<label>] and [pool.shed] counters, retry/steal/warm/
+    cold/batch totals and a [pool.domains] gauge.  Populated with
+    tracing off; safe to call while requests are in flight. *)
+val metrics : t -> Obs.Metrics.snapshot
+
+(** Stop accepting new submissions, finish every queued and in-flight
+    request, join the worker domains.  Idempotent.  Handles submitted
+    before the call remain awaitable afterwards. *)
+val shutdown : t -> unit
+
+(** {1 Batch runs} *)
 
 type stats = {
   domains : int;
@@ -97,40 +201,27 @@ type stats = {
   batched : int;  (** Requests served through a multiplexed batch run. *)
   breaker_tripped : bool;  (** The circuit opened at least once. *)
   counts : outcome_counts;
-  wall_ns : float;  (** Whole-pool wall time, spawn to last join. *)
+  wall_ns : float;  (** Whole-pool wall time, create to shutdown. *)
   metrics : Obs.Metrics.snapshot;
-      (** Always-on pool metrics: the ["pool.request"] latency HDR
-          histogram (per-domain recorders merged at join), outcome
-          counters ([pool.outcome.<label>], [pool.shed]), retry/steal
-          totals and a [pool.domains] gauge.  Populated with tracing
-          off. *)
+      (** Always-on pool metrics (see {!metrics}), snapshotted after the
+          joins. *)
   breaker_flight : Obs.Flight.entry list;
       (** Flight-recorder window (oldest first) from the domain that
           opened the circuit breaker; [[]] when it never tripped. *)
 }
 
-val count_outcomes : request_result array -> outcome_counts
-
 (** [run ~domains ~requests ~io g] executes [requests] independent
     instances of [g] on [domains] parallel domains under [config]
-    (default {!Run_config.default}).  [io r] is called on the executing
+    (default {!Run_config.default}): a {!create}/{!submit}/{!await}/
+    {!shutdown} round in one call.  [io r] is called on the executing
     domain, once per attempt, to build the sources and sinks for request
-    [r] (it must be safe to call concurrently for distinct [r], and
-    sources must be re-buildable if [config.retries > 0]).
-
-    Per-request failures — including {!Runtime.Runtime_error} raised
-    during instantiation or wiring — are captured in the corresponding
-    {!request_result}, never raised; the pool always produces a result
-    for every request.  The graph is linted once up front at
-    [config.lint], not per request.
+    [r].  The graph is compiled (and linted) once up front, not per
+    request.
 
     [?arrivals] switches the pool from closed-loop (execute as fast as
     the domains allow) to open-loop: [arrivals.(r)] is request [r]'s
-    scheduled arrival as a ns offset from pool start, the executing
-    domain waits out the arrival before starting, and
-    [req_latency_ns] counts from the scheduled arrival — so when the
-    pool cannot keep up, the backlog shows up as latency, exactly as a
-    client would measure it.  Offsets should be non-decreasing in
+    scheduled arrival as a ns offset from pool start (see
+    [submit ?not_before_ns]).  Offsets should be non-decreasing in
     request id.  Raises [Invalid_argument] if the array length differs
     from [requests], or if [domains]/[requests] is not positive. *)
 val run :
@@ -143,8 +234,9 @@ val run :
   stats
 
 (** Prometheus text exposition (format 0.0.4) of [stats.metrics]:
-    [cgsim_pool_request] histogram series plus the outcome counters.
-    See {!Obs.Prom}. *)
+    [cgsim_pool_request] histogram series plus the outcome counters
+    ([cgsim_pool_outcome_total{id="completed"}], ...).  See
+    {!Obs.Prom}. *)
 val metrics_exposition : stats -> string
 
 (** Drop every cached compiled graph and idle warm instance.  Mainly for

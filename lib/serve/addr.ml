@@ -1,0 +1,39 @@
+type t =
+  | Unix_path of string
+  | Tcp of string * int
+
+let parse s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S: expected unix:PATH or HOST:PORT" s)
+  | Some i ->
+    let before = String.sub s 0 i in
+    let after = String.sub s (i + 1) (String.length s - i - 1) in
+    if String.equal before "unix" then
+      if String.length after = 0 then Error "bad address: unix: needs a socket path"
+      else Ok (Unix_path after)
+    else (
+      match int_of_string_opt after with
+      | Some port when port >= 0 && port < 65536 -> Ok (Tcp (before, port))
+      | _ -> Error (Printf.sprintf "bad address %S: port %S is not a valid TCP port" s after))
+
+let to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let sockaddr = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) ->
+    let ip =
+      if String.length host = 0 || String.equal host "localhost" then Unix.inet_addr_loopback
+      else
+        match Unix.inet_addr_of_string host with
+        | ip -> ip
+        | exception Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_loopback)
+    in
+    Unix.ADDR_INET (ip, port)
+
+let domain = function
+  | Unix_path _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET

@@ -1,0 +1,19 @@
+(** Listen/connect endpoint specifications shared by {!Server},
+    {!Client} and the CLI: ["unix:PATH"] for a Unix-domain stream
+    socket, ["HOST:PORT"] for TCP (empty host means loopback). *)
+
+type t =
+  | Unix_path of string
+  | Tcp of string * int  (** host, port *)
+
+(** Parse an endpoint spec; [Error] explains both accepted forms. *)
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+
+(** Resolve to a connectable/bindable [Unix.sockaddr] (TCP hosts through
+    [gethostbyname], falling back to loopback). *)
+val sockaddr : t -> Unix.sockaddr
+
+(** [PF_UNIX] or [PF_INET], matching {!sockaddr}. *)
+val domain : t -> Unix.socket_domain

@@ -1,0 +1,97 @@
+type t = {
+  fd : Unix.file_descr;
+  lock : Mutex.t;  (* serializes writes and id assignment *)
+  mutable next_id : int;
+}
+
+let connect ?(retries = 0) addr =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sa = Addr.sockaddr addr in
+  let rec attempt k backoff =
+    let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ETIMEDOUT), _, _)
+      when k < retries ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf backoff;
+      attempt (k + 1) (Float.min 1.0 (backoff *. 2.))
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  { fd = attempt 0 0.05; lock = Mutex.create (); next_id = 0 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t body =
+  Mutex.lock t.lock;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let r =
+    try
+      Wire.write_frame t.fd (Wire.encode_request { Wire.q_id = id; q_body = body });
+      Ok id
+    with Unix.Unix_error (e, _, _) -> Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+  in
+  Mutex.unlock t.lock;
+  r
+
+let recv t =
+  match Wire.read_frame t.fd with
+  | Error e -> Error (Wire.frame_error_message e)
+  | Ok payload -> (
+    match Wire.decode_reply payload with
+    | Ok reply -> Ok reply
+    | Error e -> Error (Wire.decode_error_message e))
+
+let ( let* ) r f =
+  match r with
+  | Ok v -> f v
+  | Error _ as e -> e
+
+(* Blocking exchange: send, then read until the matching id shows up.
+   With no pipelined traffic interleaved the first reply is ours; the
+   loop tolerates stragglers from an aborted earlier exchange. *)
+let roundtrip t body =
+  let* id = send t body in
+  let rec wait () =
+    let* reply = recv t in
+    if reply.Wire.p_id = id || reply.Wire.p_id = -1 then Ok reply.Wire.p_body else wait ()
+  in
+  wait ()
+
+let error_message code msg = Printf.sprintf "server error [%s]: %s" (Wire.error_code_label code) msg
+
+let run t ?deadline_ms ?seed ~graph inputs =
+  let body =
+    Wire.Run { rq_graph = graph; rq_inputs = inputs; rq_deadline_ms = deadline_ms; rq_seed = seed }
+  in
+  let* reply = roundtrip t body in
+  match reply with
+  | Wire.Result r -> Ok r
+  | Wire.Error (code, msg) -> Error (error_message code msg)
+  | Wire.Metrics_text _ | Wire.Pong -> Error "protocol error: unexpected reply type to run"
+
+let metrics t =
+  let* reply = roundtrip t Wire.Metrics in
+  match reply with
+  | Wire.Metrics_text body -> Ok body
+  | Wire.Error (code, msg) -> Error (error_message code msg)
+  | Wire.Result _ | Wire.Pong -> Error "protocol error: unexpected reply type to metrics"
+
+let ping t =
+  let t0 = Obs.Clock.now_ns () in
+  let* reply = roundtrip t Wire.Ping in
+  match reply with
+  | Wire.Pong -> Ok (Obs.Clock.now_ns () -. t0)
+  | Wire.Error (code, msg) -> Error (error_message code msg)
+  | Wire.Result _ | Wire.Metrics_text _ -> Error "protocol error: unexpected reply type to ping"
+
+let send_run t ?deadline_ms ?seed ~graph inputs =
+  match
+    send t
+      (Wire.Run { rq_graph = graph; rq_inputs = inputs; rq_deadline_ms = deadline_ms; rq_seed = seed })
+  with
+  | Ok id -> id
+  | Error m -> failwith m
